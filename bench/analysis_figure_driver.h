@@ -1,0 +1,11 @@
+// Shared driver for the Figure 5 (Apache) / Figure 6 (Flash) analytic benches.
+#ifndef BENCH_ANALYSIS_FIGURE_DRIVER_H_
+#define BENCH_ANALYSIS_FIGURE_DRIVER_H_
+
+namespace lard {
+
+int RunAnalysisFigure(int argc, char** argv, const char* figure_name, bool flash);
+
+}  // namespace lard
+
+#endif  // BENCH_ANALYSIS_FIGURE_DRIVER_H_

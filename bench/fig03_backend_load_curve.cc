@@ -1,0 +1,68 @@
+// Figure 3: a single back-end server's throughput and delay as a function of
+// load (number of active connections). The paper uses this curve to motivate
+// the L_idle / L_overload thresholds of the LARD cost metrics: throughput
+// saturates past a knee while delay keeps climbing.
+//
+// We sweep the closed-loop client population of a one-node cluster on a
+// cache-resident workload (so the CPU, not the disk, shapes the curve, as in
+// the paper's sketch).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace lard {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagSet flags("fig03_backend_load_curve");
+  int64_t max_connections = 192;
+  std::string csv;
+  std::string personality = "apache";
+  flags.AddInt("max-connections", &max_connections, "largest client population");
+  flags.AddString("personality", &personality, "apache | flash");
+  flags.AddString("csv", &csv, "also write CSV here");
+  flags.Parse(argc, argv);
+
+  // Small working set: everything fits in the cache after warmup.
+  SyntheticTraceConfig trace_config;
+  trace_config.seed = 7;
+  trace_config.num_pages = 60;
+  trace_config.num_sessions = 4000;
+  const Trace trace = GenerateSyntheticTrace(trace_config);
+
+  Table table({"active connections", "throughput (req/s)", "mean batch delay (ms)",
+               "cpu idle", "disk idle"});
+  const ServerCostModel costs = personality == "flash" ? FlashCosts() : ApacheCosts();
+  const LardParams params;
+  for (int64_t conns = 2; conns <= max_connections; conns *= 2) {
+    ClusterSimConfig config;
+    config.num_nodes = 1;
+    config.policy = Policy::kLard;
+    config.mechanism = Mechanism::kSingleHandoff;
+    config.server_costs = costs;
+    config.concurrent_sessions_per_node = static_cast<int>(conns);
+    ClusterSim sim(config, &trace);
+    const ClusterSimMetrics metrics = sim.Run();
+    table.Row()
+        .Cell(conns)
+        .Cell(metrics.throughput_rps, 0)
+        .Cell(metrics.mean_batch_latency_ms, 2)
+        .Cell(metrics.mean_cpu_idle, 3)
+        .Cell(metrics.mean_disk_idle, 3);
+  }
+  table.Print("Figure 3 analogue: single back-end throughput & delay vs load [" + costs.name +
+                  "]",
+              csv);
+  std::printf("\nL_idle=%.0f and L_overload=%.0f (LARD defaults) bracket the knee of this "
+              "curve: below the knee delay is flat, past it throughput is saturated and only "
+              "delay grows.\n",
+              params.l_idle, params.l_overload);
+  return 0;
+}
+
+}  // namespace
+}  // namespace lard
+
+int main(int argc, char** argv) { return lard::Main(argc, argv); }

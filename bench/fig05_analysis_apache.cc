@@ -1,0 +1,9 @@
+// Figure 5: analytic cluster bandwidth vs mean response size for the TCP
+// multiple-handoff and back-end-forwarding mechanisms, Apache cost model,
+// 4 nodes, pessimal policy (every request after the first served remotely).
+// Prints the two series and the crossover point.
+#include "bench/analysis_figure_driver.h"
+
+int main(int argc, char** argv) {
+  return lard::RunAnalysisFigure(argc, argv, "Figure 5", /*flash=*/false);
+}

@@ -1,0 +1,7 @@
+// Figure 6: the Figure 5 analysis under the Flash cost model — lower per-byte
+// cost moves the handoff/forwarding crossover to a smaller response size.
+#include "bench/analysis_figure_driver.h"
+
+int main(int argc, char** argv) {
+  return lard::RunAnalysisFigure(argc, argv, "Figure 6", /*flash=*/true);
+}

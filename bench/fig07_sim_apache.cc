@@ -1,0 +1,8 @@
+// Figure 7: simulated cluster throughput (requests/s) vs number of back-end
+// nodes, Apache cost model, for the seven policy/mechanism combinations of
+// the paper's legend. Prints the figure's series plus the headline ratios.
+#include "bench/sim_figure_driver.h"
+
+int main(int argc, char** argv) {
+  return lard::RunSimFigure(argc, argv, "Figure 7", "apache");
+}

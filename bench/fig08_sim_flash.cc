@@ -1,0 +1,8 @@
+// Figure 8: the Figure 7 experiment under the Flash cost model. The paper's
+// point: with a faster server, persistent-connection CPU savings matter more
+// and simple-LARD's locality loss under P-HTTP is larger than with Apache.
+#include "bench/sim_figure_driver.h"
+
+int main(int argc, char** argv) {
+  return lard::RunSimFigure(argc, argv, "Figure 8", "flash");
+}

@@ -1,0 +1,57 @@
+// The paper's front-end scalability estimate (Section 8.2): running extended
+// LARD with back-end forwarding on six Apache back-ends leaves the front-end
+// CPU ~60% utilized, implying one front-end CPU supports ~10 back-ends of
+// equal speed. We account front-end CPU (accept, handoff, per-request
+// forwarding-module work) in the simulator and report utilization and the
+// implied supportable back-end count per cluster size.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace lard {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagSet flags("frontend_scalability");
+  int64_t max_nodes = 10;
+  int64_t sessions = 30000;
+  std::string csv;
+  flags.AddInt("max-nodes", &max_nodes, "largest cluster size");
+  flags.AddInt("sessions", &sessions, "trace sessions");
+  flags.AddString("csv", &csv, "also write CSV here");
+  flags.Parse(argc, argv);
+
+  const Trace trace = GenerateSyntheticTrace(PaperScaleTraceConfig(sessions));
+  const SimCurve curve{"BEforward-extLARD-PHTTP", Policy::kExtendedLard,
+                       Mechanism::kBackEndForwarding, false};
+
+  Table table({"back-ends", "cluster req/s", "FE utilization", "supportable back-ends"});
+  double util_at_6 = 0.0;
+  for (int nodes = 1; nodes <= max_nodes; ++nodes) {
+    const ClusterSimMetrics metrics = RunSimPoint(trace, curve, nodes, ApacheCosts());
+    const double supportable =
+        metrics.fe_utilization > 0.0 ? static_cast<double>(nodes) / metrics.fe_utilization : 0.0;
+    if (nodes == 6) {
+      util_at_6 = metrics.fe_utilization;
+    }
+    table.Row()
+        .Cell(static_cast<int64_t>(nodes))
+        .Cell(metrics.throughput_rps, 0)
+        .Cell(metrics.fe_utilization, 3)
+        .Cell(supportable, 1);
+  }
+  table.Print("Front-end CPU scalability (Apache back-ends, extLARD + BE forwarding)", csv);
+  if (util_at_6 > 0.0) {
+    std::printf("\nat 6 back-ends the FE is %.0f%% utilized -> one FE CPU supports ~%.0f "
+                "back-ends (paper: ~60%% -> ~10 back-ends)\n",
+                100.0 * util_at_6, 6.0 / util_at_6);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lard
+
+int main(int argc, char** argv) { return lard::Main(argc, argv); }

@@ -1,0 +1,149 @@
+// Google-benchmark microbenchmarks for the hot paths of the library: the
+// dispatcher decision, the LRU cache, the HTTP parser, the event engine and
+// the workload sampler. These bound how much of a real deployment's budget
+// the policy machinery itself would consume.
+#include <benchmark/benchmark.h>
+
+#include "src/core/dispatcher.h"
+#include "src/http/request_parser.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/resources.h"
+#include "src/util/rng.h"
+
+namespace lard {
+namespace {
+
+void BM_LruCacheHit(benchmark::State& state) {
+  LruCache cache(1ull << 30);
+  for (TargetId id = 0; id < 1024; ++id) {
+    cache.Insert(id, 8192);
+  }
+  TargetId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Touch(id));
+    id = (id + 1) & 1023;
+  }
+}
+BENCHMARK(BM_LruCacheHit);
+
+void BM_LruCacheInsertEvict(benchmark::State& state) {
+  LruCache cache(1024 * 8192 / 2);  // half the ids fit
+  TargetId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Insert(id, 8192));
+    id = (id + 1) & 1023;
+  }
+}
+BENCHMARK(BM_LruCacheInsertEvict);
+
+void BM_DispatcherFirstRequest(benchmark::State& state) {
+  TargetCatalog catalog;
+  std::vector<TargetId> targets;
+  for (int i = 0; i < 4096; ++i) {
+    targets.push_back(catalog.Intern("/t" + std::to_string(i), 8192));
+  }
+  NullBackendStats stats;
+  DispatcherConfig config;
+  config.policy = Policy::kLard;
+  config.mechanism = Mechanism::kSingleHandoff;
+  config.num_nodes = static_cast<int>(state.range(0));
+  Dispatcher dispatcher(config, &catalog, &stats);
+  ConnId conn = 1;
+  size_t t = 0;
+  for (auto _ : state) {
+    dispatcher.OnConnectionOpen(conn);
+    benchmark::DoNotOptimize(dispatcher.OnBatch(conn, {targets[t & 4095]}));
+    dispatcher.OnConnectionClose(conn);
+    ++conn;
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatcherFirstRequest)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DispatcherExtLardBatch(benchmark::State& state) {
+  TargetCatalog catalog;
+  std::vector<TargetId> targets;
+  for (int i = 0; i < 4096; ++i) {
+    targets.push_back(catalog.Intern("/t" + std::to_string(i), 8192));
+  }
+  NullBackendStats stats;
+  DispatcherConfig config;
+  config.policy = Policy::kExtendedLard;
+  config.mechanism = Mechanism::kBackEndForwarding;
+  config.num_nodes = 8;
+  Dispatcher dispatcher(config, &catalog, &stats);
+  dispatcher.OnConnectionOpen(1);
+  dispatcher.OnBatch(1, {targets[0]});
+  size_t t = 0;
+  std::vector<TargetId> batch(8);
+  for (auto _ : state) {
+    for (auto& entry : batch) {
+      entry = targets[t++ & 4095];
+    }
+    benchmark::DoNotOptimize(dispatcher.OnBatch(1, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_DispatcherExtLardBatch);
+
+void BM_RequestParserPipelined(benchmark::State& state) {
+  std::string wire;
+  for (int i = 0; i < 8; ++i) {
+    wire += "GET /page" + std::to_string(i) + "/obj.dat HTTP/1.1\r\nHost: cluster\r\n\r\n";
+  }
+  for (auto _ : state) {
+    RequestParser parser;
+    std::vector<HttpRequest> requests;
+    parser.Feed(wire, &requests);
+    benchmark::DoNotOptimize(requests);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_RequestParserPipelined);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue queue;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      queue.ScheduleAt(i * 7 % 997, [&fired]() { ++fired; });
+    }
+    queue.RunUntilEmpty();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_FifoServerSubmit(benchmark::State& state) {
+  EventQueue queue;
+  FifoServer server(&queue);
+  for (auto _ : state) {
+    server.Submit(10.0, []() {});
+    if (queue.pending() > 4096) {
+      state.PauseTiming();
+      queue.RunUntilEmpty();
+      state.ResumeTiming();
+    }
+  }
+  queue.RunUntilEmpty();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoServerSubmit);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(1);
+  ZipfSampler zipf(40000, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace lard
+
+BENCHMARK_MAIN();

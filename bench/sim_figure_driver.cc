@@ -1,0 +1,118 @@
+#include "bench/sim_figure_driver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace lard {
+
+int RunSimFigure(int argc, char** argv, const char* figure_name,
+                 const char* default_personality) {
+  FlagSet flags(figure_name);
+  int64_t max_nodes = 10;
+  int64_t sessions = 60000;
+  int64_t pages = 0;  // 0 = PaperScaleTraceConfig default
+  double alpha = 0.0;
+  double pages_per_session = 0.0;
+  int64_t seed = 42;
+  int64_t cache_mb = 32;
+  std::string csv;
+  std::string personality = default_personality;
+  flags.AddInt("max-nodes", &max_nodes, "largest cluster size to simulate");
+  flags.AddInt("sessions", &sessions, "trace sessions (more = slower, smoother)");
+  flags.AddInt("pages", &pages, "distinct pages in the corpus (0 = default)");
+  flags.AddDouble("alpha", &alpha, "Zipf popularity exponent (0 = default)");
+  flags.AddDouble("pages-per-session", &pages_per_session,
+                  "mean page visits per persistent connection (0 = default)");
+  flags.AddInt("seed", &seed, "workload seed");
+  flags.AddInt("cache-mb", &cache_mb, "per-node file cache size (MB)");
+  flags.AddString("csv", &csv, "also write CSV here");
+  flags.AddString("personality", &personality, "apache | flash");
+  flags.Parse(argc, argv);
+
+  const ServerCostModel costs = personality == "flash" ? FlashCosts() : ApacheCosts();
+  const uint64_t cache_bytes = static_cast<uint64_t>(cache_mb) * 1024 * 1024;
+  std::printf("%s: generating Rice-like trace (%lld sessions)...\n", figure_name,
+              static_cast<long long>(sessions));
+  SyntheticTraceConfig trace_config =
+      PaperScaleTraceConfig(sessions, static_cast<uint64_t>(seed));
+  if (pages > 0) {
+    trace_config.num_pages = pages;
+  }
+  if (alpha > 0.0) {
+    trace_config.zipf_alpha = alpha;
+  }
+  if (pages_per_session > 0.0) {
+    trace_config.pages_per_session_mean = pages_per_session;
+  }
+  const Trace trace = GenerateSyntheticTrace(trace_config);
+  std::printf("trace: %zu targets, %.0f MB footprint, %zu requests, %.1f req/conn\n",
+              trace.catalog().size(), static_cast<double>(trace.catalog().TotalBytes()) / 1e6,
+              trace.total_requests(), trace.mean_requests_per_session());
+
+  std::vector<std::string> columns = {"policy/mechanism"};
+  for (int nodes = 1; nodes <= max_nodes; ++nodes) {
+    columns.push_back(std::to_string(nodes));
+  }
+  Table table(columns);
+
+  std::vector<std::vector<double>> throughput;
+  const auto curves = FigureSevenCurves();
+  for (const SimCurve& curve : curves) {
+    std::vector<std::string> row = {curve.label};
+    std::vector<double> series;
+    for (int nodes = 1; nodes <= max_nodes; ++nodes) {
+      const ClusterSimMetrics metrics = RunSimPoint(trace, curve, nodes, costs, cache_bytes);
+      series.push_back(metrics.throughput_rps);
+      row.push_back(FormatDouble(metrics.throughput_rps, 0));
+    }
+    throughput.push_back(series);
+    table.AddRow(row);
+    std::printf("  %-28s done\n", curve.label.c_str());
+  }
+  table.Print(std::string(figure_name) + " analogue: throughput (req/s) vs cluster size [" +
+                  costs.name + "]",
+              csv);
+
+  const size_t last = static_cast<size_t>(max_nodes - 1);
+  const auto at = [&](const char* label) -> const std::vector<double>& {
+    for (size_t i = 0; i < curves.size(); ++i) {
+      if (curves[i].label == label) {
+        return throughput[i];
+      }
+    }
+    std::fprintf(stderr, "missing curve %s\n", label);
+    std::abort();
+  };
+  const double be = at("BEforward-extLARD-PHTTP")[last];
+  const double multi = at("multiHandoff-extLARD-PHTTP")[last];
+  const double ideal = at("zeroCost-extLARD-PHTTP")[last];
+  const double simple = at("simple-LARD")[last];
+  const double simple_phttp = at("simple-LARD-PHTTP")[last];
+  const double wrr = at("WRR")[last];
+
+  double worst_simple_loss = 0.0;
+  for (size_t n = 0; n <= last; ++n) {
+    const double loss = 1.0 - at("simple-LARD-PHTTP")[n] / std::max(at("simple-LARD")[n], 1e-9);
+    worst_simple_loss = std::max(worst_simple_loss, loss);
+  }
+
+  std::printf("\nheadline comparisons at %lld nodes:\n", static_cast<long long>(max_nodes));
+  std::printf("  BEforward-extLARD vs WRR              : %.2fx  (paper: ~4x)\n", be / wrr);
+  std::printf("  BEforward below zeroCost ideal by     : %.1f%%  (paper: within ~6%%)\n",
+              100.0 * (1.0 - be / ideal));
+  std::printf("  BEforward vs multiHandoff             : %+.1f%%  (paper: within ~6%%)\n",
+              100.0 * (be - multi) / multi);
+  std::printf("  extLARD P-HTTP gain over simple-LARD  : %+.1f%%  (paper: up to ~26%%)\n",
+              100.0 * (be - simple) / simple);
+  std::printf("  simple-LARD-PHTTP vs simple-LARD      : %+.1f%% at max nodes, worst case "
+              "-%.1f%%  (paper: up to ~35%% loss on Apache, larger on Flash)\n",
+              100.0 * (simple_phttp - simple) / simple, 100.0 * worst_simple_loss);
+  return 0;
+}
+
+}  // namespace lard

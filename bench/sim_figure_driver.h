@@ -1,0 +1,16 @@
+// Shared driver for the Figure 7 (Apache) and Figure 8 (Flash) benches:
+// simulated cluster throughput vs node count for the seven policy/mechanism
+// combinations, plus the paper's headline ratios.
+#ifndef BENCH_SIM_FIGURE_DRIVER_H_
+#define BENCH_SIM_FIGURE_DRIVER_H_
+
+namespace lard {
+
+// `figure_name` is "Figure 7" / "Figure 8"; `default_personality` is
+// "apache" or "flash" (overridable with --personality).
+int RunSimFigure(int argc, char** argv, const char* figure_name,
+                 const char* default_personality);
+
+}  // namespace lard
+
+#endif  // BENCH_SIM_FIGURE_DRIVER_H_

@@ -1,0 +1,71 @@
+// The paper's in-text trace characterization (Section 6): number of targets,
+// footprint, and the memory needed to cover 97/98/99/100% of all requests.
+// Reports the same table for our Rice-like synthetic workload, plus the
+// session/batch structure the P-HTTP heuristic produces.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/trace/trace_stats.h"
+#include "src/util/flags.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace lard {
+namespace {
+
+int Main(int argc, char** argv) {
+  FlagSet flags("trace_stats");
+  int64_t sessions = 12000;
+  int64_t seed = 42;
+  std::string csv;
+  flags.AddInt("sessions", &sessions, "trace sessions");
+  flags.AddInt("seed", &seed, "workload seed");
+  flags.AddString("csv", &csv, "also write coverage CSV here");
+  flags.Parse(argc, argv);
+
+  const Trace trace =
+      GenerateSyntheticTrace(PaperScaleTraceConfig(sessions, static_cast<uint64_t>(seed)));
+  const TraceStats stats = ComputeTraceStats(trace);
+
+  std::printf("== Trace characterization (paper Section 6 analogue) ==\n");
+  std::printf("targets               : %zu\n", stats.num_targets);
+  std::printf("footprint             : %.2f GB\n", static_cast<double>(stats.footprint_bytes) / 1e9);
+  std::printf("requests              : %zu\n", stats.num_requests);
+  std::printf("sessions (P-HTTP conn): %zu\n", stats.num_sessions);
+  std::printf("mean response size    : %.1f KB (paper: era traffic <~13 KB)\n",
+              stats.mean_response_bytes / 1024.0);
+  std::printf("mean requests/conn    : %.2f\n", stats.mean_requests_per_session);
+  std::printf("mean batches/conn     : %.2f\n", stats.mean_batches_per_session);
+
+  Table coverage({"request coverage", "memory needed (MB)", "targets"});
+  for (const CoveragePoint& point : stats.coverage) {
+    coverage.Row()
+        .Cell(FormatDouble(100.0 * point.request_fraction, 0) + "%")
+        .Cell(static_cast<double>(point.bytes_needed) / 1e6, 1)
+        .Cell(static_cast<int64_t>(point.targets_needed));
+  }
+  coverage.Print("memory needed to cover a fraction of all requests", csv);
+
+  // Distribution shape, for the record.
+  LogHistogram sizes;
+  for (const auto& session : trace.sessions()) {
+    for (const auto& batch : session.batches) {
+      for (const TargetId target : batch.targets) {
+        sizes.Add(trace.catalog().Get(target).size_bytes);
+      }
+    }
+  }
+  std::printf("\nresponse size distribution (bytes, log2 buckets):\n%s", sizes.ToString().c_str());
+
+  LogHistogram session_lengths;
+  for (const auto& session : trace.sessions()) {
+    session_lengths.Add(session.total_requests());
+  }
+  std::printf("\nrequests-per-connection distribution:\n%s", session_lengths.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace lard
+
+int main(int argc, char** argv) { return lard::Main(argc, argv); }

@@ -1,0 +1,97 @@
+#include "src/analysis/mechanism_analysis.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace lard {
+namespace {
+
+// Total cluster CPU microseconds to serve one persistent connection of R
+// requests with mean response size S, under the pessimal assumption that
+// every request after the first is served remotely.
+double MultiHandoffCpuUs(const AnalysisConfig& config, double size_bytes) {
+  const ServerCostModel& costs = config.costs;
+  const double requests = config.requests_per_connection;
+  const double xmit = TransmitCostUs(costs, static_cast<uint64_t>(size_bytes));
+  // Effective per-migration overhead: CPU plus the pipeline-stall equivalent.
+  const double migration = costs.handoff_us + costs.migration_stall_us;
+  return costs.conn_setup_us + costs.conn_teardown_us +
+         requests * (costs.per_request_us + xmit) + (requests - 1.0) * migration;
+}
+
+double BackEndForwardingCpuUs(const AnalysisConfig& config, double size_bytes) {
+  const ServerCostModel& costs = config.costs;
+  const double requests = config.requests_per_connection;
+  const double xmit = TransmitCostUs(costs, static_cast<uint64_t>(size_bytes));
+  // Remote request: P + X on the caching node (serves to the handling node),
+  // plus rho*X receive + X client relay + tag on the handling node.
+  const double remote = costs.per_request_us + xmit +
+                        config.forward_receive_factor * xmit + xmit + costs.tag_us;
+  return costs.conn_setup_us + costs.conn_teardown_us + (costs.per_request_us + xmit) +
+         (requests - 1.0) * remote;
+}
+
+double BandwidthMbps(const AnalysisConfig& config, double size_bytes, double cpu_us) {
+  // k CPUs working in parallel; Mb/s = bits / microsecond.
+  const double bits = 8.0 * config.requests_per_connection * size_bytes;
+  return static_cast<double>(config.num_nodes) * bits / cpu_us;
+}
+
+}  // namespace
+
+double MultiHandoffBandwidthMbps(const AnalysisConfig& config, double file_size_bytes) {
+  LARD_CHECK(config.requests_per_connection >= 1.0);
+  return BandwidthMbps(config, file_size_bytes, MultiHandoffCpuUs(config, file_size_bytes));
+}
+
+double BackEndForwardingBandwidthMbps(const AnalysisConfig& config, double file_size_bytes) {
+  LARD_CHECK(config.requests_per_connection >= 1.0);
+  return BandwidthMbps(config, file_size_bytes, BackEndForwardingCpuUs(config, file_size_bytes));
+}
+
+std::vector<AnalysisPoint> SweepFileSizes(const AnalysisConfig& config, double min_kb,
+                                          double max_kb, int steps) {
+  LARD_CHECK(steps >= 2);
+  std::vector<AnalysisPoint> points;
+  points.reserve(static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double kb =
+        min_kb + (max_kb - min_kb) * static_cast<double>(i) / static_cast<double>(steps - 1);
+    AnalysisPoint point;
+    point.file_size_bytes = kb * 1024.0;
+    point.bandwidth_multi_handoff_mbps = MultiHandoffBandwidthMbps(config, point.file_size_bytes);
+    point.bandwidth_be_forwarding_mbps =
+        BackEndForwardingBandwidthMbps(config, point.file_size_bytes);
+    points.push_back(point);
+  }
+  return points;
+}
+
+double CrossoverFileSizeBytes(const AnalysisConfig& config) {
+  // Forwarding wins (less CPU per connection) exactly while
+  //   (1 + rho) * X(S) + tag < handoff.
+  // X(S) is nondecreasing in S, so bisection applies.
+  auto forwarding_wins = [&](double size_bytes) {
+    return BackEndForwardingCpuUs(config, size_bytes) < MultiHandoffCpuUs(config, size_bytes);
+  };
+  double lo = 64.0;
+  double hi = 1024.0 * 1024.0;
+  if (!forwarding_wins(lo)) {
+    return 0.0;
+  }
+  if (forwarding_wins(hi)) {
+    return hi;
+  }
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (forwarding_wins(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace lard

@@ -1,0 +1,62 @@
+// Closed-form performance analysis of Section 5 (Figures 5 and 6): cluster
+// bandwidth as a function of mean response size for the TCP-multiple-handoff
+// and back-end-forwarding mechanisms, under the paper's pessimal policy
+// assumption that every request after the first on a persistent connection is
+// served by a node other than the connection-handling node.
+//
+// Accounting (all CPU time, network assumed infinitely fast, content cached):
+//   local request            : P + X(S)                       on serving node
+//   BE-forwarded request     : P + X(S) on remote node, plus
+//                              rho*X(S) receive + X(S) relay + P_tag
+//                              on the handling node
+//   migrated request         : H (effective per-migration back-end overhead,
+//                              incl. pipeline-stall equivalent) + P + X(S)
+//   connection (once)        : C_setup + C_teardown on the handling node
+// where X(S) = per-512-byte transmit cost * ceil(S/512).
+//
+// Bandwidth = k nodes * (aggregate bytes / aggregate CPU time), i.e. the
+// cluster is CPU-limited and perfectly utilized — matching the analysis'
+// "all other factors equal" framing.
+#ifndef SRC_ANALYSIS_MECHANISM_ANALYSIS_H_
+#define SRC_ANALYSIS_MECHANISM_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+
+namespace lard {
+
+struct AnalysisConfig {
+  ServerCostModel costs;       // Apache or Flash personality
+  int num_nodes = 4;           // the paper uses a 4-node cluster
+  double requests_per_connection = 8.0;
+  // Receive-side per-byte cost on the handling node, as a fraction of the
+  // transmit cost.
+  double forward_receive_factor = 1.0;
+};
+
+// One point of the Fig. 5/6 curves.
+struct AnalysisPoint {
+  double file_size_bytes = 0.0;
+  double bandwidth_multi_handoff_mbps = 0.0;
+  double bandwidth_be_forwarding_mbps = 0.0;
+};
+
+// Bandwidth (Mb/s) for a single mean response size.
+double MultiHandoffBandwidthMbps(const AnalysisConfig& config, double file_size_bytes);
+double BackEndForwardingBandwidthMbps(const AnalysisConfig& config, double file_size_bytes);
+
+// Sweeps file sizes [min_kb, max_kb] in `steps` points (linear).
+std::vector<AnalysisPoint> SweepFileSizes(const AnalysisConfig& config, double min_kb,
+                                          double max_kb, int steps);
+
+// Response size at which the two mechanisms tie (bisection over [64B, 1MB]).
+// Below the crossover back-end forwarding wins; above it multiple handoff
+// wins. Returns 0 when forwarding wins everywhere in range, and 1 MB when it
+// never wins.
+double CrossoverFileSizeBytes(const AnalysisConfig& config);
+
+}  // namespace lard
+
+#endif  // SRC_ANALYSIS_MECHANISM_ANALYSIS_H_

@@ -1,0 +1,72 @@
+#include "src/core/cluster_types.h"
+
+namespace lard {
+
+const char* MechanismName(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::kRelayingFrontEnd:
+      return "relay";
+    case Mechanism::kSingleHandoff:
+      return "singleHandoff";
+    case Mechanism::kMultipleHandoff:
+      return "multiHandoff";
+    case Mechanism::kBackEndForwarding:
+      return "BEforward";
+    case Mechanism::kIdealHandoff:
+      return "zeroCost";
+  }
+  return "?";
+}
+
+const char* PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kWrr:
+      return "WRR";
+    case Policy::kLard:
+      return "LARD";
+    case Policy::kExtendedLard:
+      return "extLARD";
+  }
+  return "?";
+}
+
+bool MechanismAllowsPerRequestDistribution(Mechanism mechanism) {
+  switch (mechanism) {
+    case Mechanism::kRelayingFrontEnd:
+    case Mechanism::kMultipleHandoff:
+    case Mechanism::kBackEndForwarding:
+    case Mechanism::kIdealHandoff:
+      return true;
+    case Mechanism::kSingleHandoff:
+      return false;
+  }
+  return false;
+}
+
+const char* AssignmentActionName(AssignmentAction action) {
+  switch (action) {
+    case AssignmentAction::kServeLocal:
+      return "serve-local";
+    case AssignmentAction::kHandoff:
+      return "handoff";
+    case AssignmentAction::kForward:
+      return "forward";
+    case AssignmentAction::kMigrate:
+      return "migrate";
+    case AssignmentAction::kRelay:
+      return "relay";
+  }
+  return "?";
+}
+
+std::string Assignment::ToString() const {
+  std::string out = AssignmentActionName(action);
+  out += "->node";
+  out += std::to_string(node);
+  if (!cache_after_miss) {
+    out += " (no-cache)";
+  }
+  return out;
+}
+
+}  // namespace lard

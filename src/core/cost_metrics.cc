@@ -1,0 +1,31 @@
+#include "src/core/cost_metrics.h"
+
+namespace lard {
+
+double CostBalancing(double load, const LardParams& params) {
+  if (load < params.l_idle) {
+    return 0.0;
+  }
+  if (load >= params.l_overload) {
+    return kInfiniteCost;
+  }
+  return load - params.l_idle;
+}
+
+double CostLocality(bool target_cached_at_node, const LardParams& params) {
+  return target_cached_at_node ? 0.0 : params.miss_cost;
+}
+
+double CostReplacement(double load, bool target_cached_at_node, const LardParams& params) {
+  if (load < params.l_idle || target_cached_at_node) {
+    return 0.0;
+  }
+  return params.miss_cost;
+}
+
+double AggregateCost(double load, bool target_cached_at_node, const LardParams& params) {
+  return CostBalancing(load, params) + CostLocality(target_cached_at_node, params) +
+         CostReplacement(load, target_cached_at_node, params);
+}
+
+}  // namespace lard

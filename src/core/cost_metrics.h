@@ -1,0 +1,35 @@
+// The three LARD cost metrics of Figure 4, as pure functions so they are
+// independently testable. Aggregate cost = balancing + locality + replacement;
+// the dispatcher assigns a request to the candidate with minimum aggregate.
+#ifndef SRC_CORE_COST_METRICS_H_
+#define SRC_CORE_COST_METRICS_H_
+
+#include <limits>
+
+#include "src/core/lard_params.h"
+
+namespace lard {
+
+inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+// Delay due to already-queued work:
+//   0                      if load < L_idle
+//   infinity               if load >= L_overload
+//   load - L_idle          otherwise
+double CostBalancing(double load, const LardParams& params);
+
+// Delay due to a likely cache miss: 0 when the target is considered cached at
+// the node, MissCost otherwise.
+double CostLocality(bool target_cached_at_node, const LardParams& params);
+
+// Future overhead of evicting cached content to make room: free when the node
+// is underloaded (cache presumed not thrashing) or the target is already
+// cached; MissCost otherwise.
+double CostReplacement(double load, bool target_cached_at_node, const LardParams& params);
+
+// Sum of the three.
+double AggregateCost(double load, bool target_cached_at_node, const LardParams& params);
+
+}  // namespace lard
+
+#endif  // SRC_CORE_COST_METRICS_H_

@@ -1,0 +1,321 @@
+#include "src/core/dispatcher.h"
+
+#include <algorithm>
+
+#include "src/core/cost_metrics.h"
+#include "src/util/logging.h"
+
+namespace lard {
+
+Dispatcher::Dispatcher(const DispatcherConfig& config, const TargetCatalog* catalog,
+                       const BackendStatsProvider* stats)
+    : config_(config), catalog_(catalog), stats_(stats) {
+  LARD_CHECK(config_.num_nodes > 0);
+  LARD_CHECK(catalog_ != nullptr);
+  LARD_CHECK(stats_ != nullptr);
+  load_.assign(static_cast<size_t>(config_.num_nodes), 0.0);
+  vcaches_.reserve(static_cast<size_t>(config_.num_nodes));
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    vcaches_.emplace_back(config_.virtual_cache_bytes);
+  }
+}
+
+void Dispatcher::OnConnectionOpen(ConnId conn) {
+  auto [it, inserted] = conns_.emplace(conn, ConnState{});
+  LARD_CHECK(inserted) << "duplicate connection id " << conn;
+  ++counters_.connections;
+  (void)it;
+}
+
+std::vector<Assignment> Dispatcher::OnBatch(ConnId conn, const std::vector<TargetId>& targets) {
+  auto it = conns_.find(conn);
+  LARD_CHECK(it != conns_.end()) << "OnBatch for unknown connection " << conn;
+  ConnState& conn_state = it->second;
+
+  // A new batch implies the previous batch has been served ("the front-end
+  // assumes that all previous requests have finished once a new batch of
+  // requests arrives on the same connection").
+  ReleaseBatchLoads(conn_state);
+
+  std::vector<Assignment> assignments;
+  assignments.reserve(targets.size());
+  const double fraction = targets.empty() ? 0.0
+                          : config_.params.fractional_batch_load
+                              ? 1.0 / static_cast<double>(targets.size())
+                              : 1.0;
+  conn_state.remote_fraction = fraction;
+
+  for (const TargetId target : targets) {
+    ++counters_.requests;
+    Assignment assignment;
+
+    if (target == kInvalidTarget) {
+      // Path outside the catalog (will 404): load-balance it, skip all cache
+      // modeling.
+      if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
+        assignment.action = AssignmentAction::kRelay;
+        assignment.node = PickWrr();
+        ++counters_.relays;
+        load_[assignment.node] += fraction;
+        conn_state.remote_nodes.push_back(assignment.node);
+      } else if (conn_state.handling == kInvalidNode) {
+        assignment.action = AssignmentAction::kHandoff;
+        assignment.node = PickWrr();
+        conn_state.handling = assignment.node;
+        ++counters_.handoffs;
+      } else {
+        assignment.node = conn_state.handling;
+        ++counters_.local_serves;
+      }
+      assignments.push_back(assignment);
+      continue;
+    }
+
+    if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
+      // No handoff ever: the FE relays each request to a per-request choice.
+      assignment.action = AssignmentAction::kRelay;
+      assignment.node =
+          config_.policy == Policy::kWrr ? PickWrr() : PickBasicLard(target);
+      assignment.served_from_cache = Cached(assignment.node, target);
+      ++counters_.relays;
+      load_[assignment.node] += fraction;
+      conn_state.remote_nodes.push_back(assignment.node);
+    } else if (conn_state.handling == kInvalidNode) {
+      // First request of the connection: the handoff decision.
+      assignment.action = AssignmentAction::kHandoff;
+      assignment.node = PickFirstNode(target);
+      assignment.served_from_cache = Cached(assignment.node, target);
+      conn_state.handling = assignment.node;
+      ++counters_.handoffs;
+    } else {
+      assignment = DecideSubsequent(conn_state, target);
+    }
+
+    ApplyCacheEffects(target, assignment);
+    assignments.push_back(assignment);
+  }
+
+  // The connection-handling node carries one load unit while the batch is in
+  // service.
+  if (conn_state.handling != kInvalidNode && !conn_state.active && !targets.empty()) {
+    conn_state.active = true;
+    load_[conn_state.handling] += 1.0;
+  }
+  return assignments;
+}
+
+Assignment Dispatcher::DecideSubsequent(ConnState& conn_state, TargetId target) {
+  const NodeId handling = conn_state.handling;
+  Assignment assignment;
+  assignment.node = handling;
+  assignment.action = AssignmentAction::kServeLocal;
+
+  const bool per_request_allowed = config_.policy == Policy::kExtendedLard &&
+                                   MechanismAllowsPerRequestDistribution(config_.mechanism);
+  if (!per_request_allowed) {
+    // WRR, basic LARD, or a single-handoff mechanism: stuck on the handling
+    // node no matter what.
+    assignment.served_from_cache = Cached(handling, target);
+    ++counters_.local_serves;
+    return assignment;
+  }
+
+  // Extended LARD, Section 4.2.
+  if (Cached(handling, target)) {
+    assignment.served_from_cache = true;
+    ++counters_.local_serves;
+    return assignment;
+  }
+  if (stats_->DiskQueueLength(handling) < config_.params.low_disk_queue_threshold) {
+    // Local disk is idle enough: read locally, avoid forwarding overhead, and
+    // cache the result (disk not thrashing => there is room to cache).
+    ++counters_.local_serves;
+    return assignment;
+  }
+
+  // Local disk is busy: consider the handling node and every node that
+  // currently caches the target; pick the minimum aggregate cost.
+  NodeId best = handling;
+  double best_cost = AggregateCost(load_[handling], /*target_cached_at_node=*/false,
+                                   config_.params);
+  bool any_remote_candidate = false;
+  for (NodeId node = 0; node < config_.num_nodes; ++node) {
+    if (node == handling || !Cached(node, target)) {
+      continue;
+    }
+    any_remote_candidate = true;
+    const double cost = AggregateCost(load_[node], /*target_cached_at_node=*/true,
+                                      config_.params);
+    if (cost < best_cost || (cost == best_cost && load_[node] < load_[best])) {
+      best = node;
+      best_cost = cost;
+    }
+  }
+  if (!any_remote_candidate) {
+    // Cached nowhere: this is a first placement, not replication — cache it
+    // (the no-cache heuristic exists to bound *replication*; never caching a
+    // cold target would freeze the cluster in its cold state).
+    ++counters_.local_serves;
+    return assignment;
+  }
+  if (best_cost == kInfiniteCost) {
+    // Everything (including the handling node) is past L_overload; fall back
+    // to the least-loaded candidate to stay work-conserving.
+    for (NodeId node = 0; node < config_.num_nodes; ++node) {
+      if ((node == handling || Cached(node, target)) && load_[node] < load_[best]) {
+        best = node;
+      }
+    }
+  }
+
+  if (best == handling) {
+    // Serve locally from a busy disk; do NOT cache (the heuristic: a busy
+    // disk means the main-memory cache is already thrashing, and another
+    // node holds a copy already).
+    if (config_.params.no_cache_when_busy) {
+      assignment.cache_after_miss = false;
+      ++counters_.served_without_caching;
+    }
+    ++counters_.local_serves;
+    return assignment;
+  }
+
+  assignment.node = best;
+  assignment.served_from_cache = true;  // `best` was a candidate because it caches the target
+  if (config_.mechanism == Mechanism::kBackEndForwarding) {
+    assignment.action = AssignmentAction::kForward;
+    ++counters_.forwards;
+    // Remote node carries 1/N for the batch service time.
+    load_[best] += conn_state.remote_fraction;
+    conn_state.remote_nodes.push_back(best);
+  } else {
+    // Multiple handoff (or the zero-cost ideal): the connection itself moves.
+    assignment.action = AssignmentAction::kMigrate;
+    ++counters_.migrations;
+    if (conn_state.active) {
+      load_[conn_state.handling] -= 1.0;
+      load_[best] += 1.0;
+    }
+    conn_state.handling = best;
+  }
+  return assignment;
+}
+
+NodeId Dispatcher::PickFirstNode(TargetId target) {
+  return config_.policy == Policy::kWrr ? PickWrr() : PickBasicLard(target);
+}
+
+NodeId Dispatcher::PickWrr() {
+  // Weighted round-robin with equal-speed nodes and load feedback: choose the
+  // least-loaded node, breaking ties in round-robin order so an idle cluster
+  // still rotates.
+  NodeId best = kInvalidNode;
+  double best_load = kInfiniteCost;
+  const size_t n = static_cast<size_t>(config_.num_nodes);
+  for (size_t k = 0; k < n; ++k) {
+    const NodeId node = static_cast<NodeId>((rr_cursor_ + k) % n);
+    if (load_[node] < best_load) {
+      best = node;
+      best_load = load_[node];
+    }
+  }
+  rr_cursor_ = (static_cast<size_t>(best) + 1) % n;
+  return best;
+}
+
+NodeId Dispatcher::PickBasicLard(TargetId target) {
+  // Basic LARD in its Fig. 4 cost form: evaluate every node, assign to the
+  // minimum aggregate cost. Ties prefer a node that caches the target, then
+  // the lower load. Remaining full ties (e.g. a cold target on an idle
+  // cluster) rotate round-robin so initial placements spread — the cost form
+  // is otherwise indifferent and piling cold targets onto node 0 would defeat
+  // the partitioning.
+  NodeId best = kInvalidNode;
+  double best_cost = kInfiniteCost;
+  bool best_cached = false;
+  const size_t n = static_cast<size_t>(config_.num_nodes);
+  for (size_t k = 0; k < n; ++k) {
+    const NodeId node = static_cast<NodeId>((rr_cursor_ + k) % n);
+    const bool cached = Cached(node, target);
+    const double cost = AggregateCost(load_[node], cached, config_.params);
+    const bool better =
+        best == kInvalidNode || cost < best_cost ||
+        (cost == best_cost && (cached && !best_cached)) ||
+        (cost == best_cost && cached == best_cached && load_[node] < load_[best]);
+    if (better) {
+      best = node;
+      best_cost = cost;
+      best_cached = cached;
+    }
+  }
+  if (best_cost == kInfiniteCost) {
+    for (NodeId node = 0; node < config_.num_nodes; ++node) {
+      if (load_[node] < load_[best]) {
+        best = node;
+      }
+    }
+  }
+  if (!best_cached) {
+    rr_cursor_ = (static_cast<size_t>(best) + 1) % n;
+  }
+  return best;
+}
+
+void Dispatcher::ApplyCacheEffects(TargetId target, const Assignment& assignment) {
+  // The dispatcher updates its model of back-end cache contents "each time a
+  // target is fetched from a backend node". The serving node ends up with the
+  // target resident (MRU) — except when extended LARD decided not to cache on
+  // a thrashing node.
+  LruCache& cache = vcaches_[assignment.node];
+  if (cache.Touch(target)) {
+    return;
+  }
+  if (assignment.cache_after_miss) {
+    cache.Insert(target, SizeOf(target));
+  }
+}
+
+void Dispatcher::ReleaseBatchLoads(ConnState& conn_state) {
+  for (const NodeId node : conn_state.remote_nodes) {
+    load_[node] -= conn_state.remote_fraction;
+    if (load_[node] < 0.0 && load_[node] > -1e-9) {
+      load_[node] = 0.0;  // scrub float dust
+    }
+  }
+  conn_state.remote_nodes.clear();
+}
+
+void Dispatcher::OnConnectionIdle(ConnId conn) {
+  auto it = conns_.find(conn);
+  LARD_CHECK(it != conns_.end()) << "OnConnectionIdle for unknown connection " << conn;
+  ConnState& conn_state = it->second;
+  ReleaseBatchLoads(conn_state);
+  if (conn_state.active) {
+    conn_state.active = false;
+    load_[conn_state.handling] -= 1.0;
+  }
+}
+
+void Dispatcher::OnConnectionClose(ConnId conn) {
+  auto it = conns_.find(conn);
+  LARD_CHECK(it != conns_.end()) << "OnConnectionClose for unknown connection " << conn;
+  OnConnectionIdle(conn);
+  conns_.erase(conn);
+}
+
+double Dispatcher::NodeLoad(NodeId node) const {
+  LARD_CHECK(node >= 0 && node < config_.num_nodes);
+  return load_[node];
+}
+
+NodeId Dispatcher::HandlingNode(ConnId conn) const {
+  auto it = conns_.find(conn);
+  return it == conns_.end() ? kInvalidNode : it->second.handling;
+}
+
+bool Dispatcher::TargetCachedAt(NodeId node, TargetId target) const {
+  LARD_CHECK(node >= 0 && node < config_.num_nodes);
+  return vcaches_[node].Contains(target);
+}
+
+}  // namespace lard

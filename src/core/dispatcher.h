@@ -1,0 +1,130 @@
+// The front-end dispatcher: one implementation of the paper's policies
+// (WRR, LARD, extended LARD) against an abstract mechanism, shared verbatim
+// by the discrete-event simulator (src/sim) and the socket prototype
+// (src/proto) so that simulated and measured policy behaviour is the same
+// code.
+//
+// The dispatcher is a pure decision engine. It never touches sockets or
+// simulated hardware; it consumes connection-lifecycle events and emits
+// Assignments. It maintains:
+//   * per-node load in the paper's load units: 1 per active handed-off
+//     connection on its handling node, plus 1/N per remote node serving
+//     requests of an N-request pipelined batch, held for the batch service
+//     time (Section 4.2's accounting),
+//   * per-node *virtual caches* (LRU over target ids, same sizes as the
+//     back-end caches): the front-end's model of what each back-end caches —
+//     the paper's target->node mappings, "updated each time a target is
+//     fetched from a backend node",
+//   * per-connection state: handling node, activity, outstanding fractional
+//     loads.
+//
+// Not thread-safe: the simulator is single-threaded and the prototype drives
+// it from its single dispatcher thread (mirroring the kernel dispatcher
+// module, which serializes on the control session).
+#ifndef SRC_CORE_DISPATCHER_H_
+#define SRC_CORE_DISPATCHER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cluster_types.h"
+#include "src/core/lard_params.h"
+#include "src/core/lru_cache.h"
+#include "src/trace/trace.h"
+
+namespace lard {
+
+struct DispatcherConfig {
+  Policy policy = Policy::kExtendedLard;
+  Mechanism mechanism = Mechanism::kBackEndForwarding;
+  LardParams params;
+  int num_nodes = 1;
+  // Capacity of the dispatcher's per-node virtual cache; should match the
+  // back-ends' file-cache size.
+  uint64_t virtual_cache_bytes = 85ull * 1024 * 1024;
+};
+
+// Aggregate decision counters, for tests, metrics and EXPERIMENTS.md tables.
+struct DispatcherCounters {
+  uint64_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t handoffs = 0;
+  uint64_t local_serves = 0;
+  uint64_t forwards = 0;
+  uint64_t migrations = 0;
+  uint64_t relays = 0;
+  uint64_t served_without_caching = 0;  // extLARD "disk busy, don't cache"
+};
+
+class Dispatcher {
+ public:
+  // `catalog` supplies target sizes for the virtual caches; `stats` supplies
+  // back-end disk-queue lengths (extended LARD's only back-end feedback).
+  // Both must outlive the dispatcher.
+  Dispatcher(const DispatcherConfig& config, const TargetCatalog* catalog,
+             const BackendStatsProvider* stats);
+
+  // A client connection was accepted (no request content seen yet).
+  void OnConnectionOpen(ConnId conn);
+
+  // The next batch of pipelined requests arrived on `conn`. Returns one
+  // assignment per target, in order. The first assignment ever returned for
+  // a connection is the handoff decision (kHandoff / kRelay). Arrival of a
+  // batch also tells the dispatcher that the previous batch on this
+  // connection has been fully served (the paper's batch-service estimate),
+  // so the previous batch's fractional remote loads are released.
+  std::vector<Assignment> OnBatch(ConnId conn, const std::vector<TargetId>& targets);
+
+  // The connection went idle (client ACK silence): the current batch is
+  // done; release its load. The connection stays open and may receive more
+  // batches.
+  void OnConnectionIdle(ConnId conn);
+
+  // The connection closed. Releases all load and state.
+  void OnConnectionClose(ConnId conn);
+
+  // --- introspection (tests, metrics) ---
+  double NodeLoad(NodeId node) const;
+  NodeId HandlingNode(ConnId conn) const;
+  bool TargetCachedAt(NodeId node, TargetId target) const;
+  const DispatcherCounters& counters() const { return counters_; }
+  const DispatcherConfig& config() const { return config_; }
+  size_t open_connections() const { return conns_.size(); }
+
+ private:
+  struct ConnState {
+    NodeId handling = kInvalidNode;
+    bool active = false;               // contributes 1 load unit to handling
+    std::vector<NodeId> remote_nodes;  // fractional loads of the current batch
+    double remote_fraction = 0.0;      // the 1/N each of them carries
+  };
+
+  // Policy entry points.
+  NodeId PickFirstNode(TargetId target);
+  NodeId PickWrr();
+  NodeId PickBasicLard(TargetId target);
+  Assignment DecideSubsequent(ConnState& conn_state, TargetId target);
+
+  // Applies the cache-model side effects of serving `target` per `assignment`.
+  void ApplyCacheEffects(TargetId target, const Assignment& assignment);
+
+  void ReleaseBatchLoads(ConnState& conn_state);
+
+  bool Cached(NodeId node, TargetId target) const { return vcaches_[node].Contains(target); }
+  uint64_t SizeOf(TargetId target) const { return catalog_->Get(target).size_bytes; }
+
+  DispatcherConfig config_;
+  const TargetCatalog* catalog_;
+  const BackendStatsProvider* stats_;
+
+  std::vector<double> load_;
+  std::vector<LruCache> vcaches_;
+  std::unordered_map<ConnId, ConnState> conns_;
+  size_t rr_cursor_ = 0;  // WRR tie-breaking
+  DispatcherCounters counters_;
+};
+
+}  // namespace lard
+
+#endif  // SRC_CORE_DISPATCHER_H_

@@ -1,0 +1,43 @@
+// Tunables of the LARD cost model (Fig. 3 / Fig. 4) and of the extended
+// policy (Section 4.2). Defaults follow the paper where legible and the
+// ASPLOS'98 lineage where our copy of the text is garbled (see DESIGN.md §3):
+// the footnote equivalence "L_idle = T_low, MissCost = 2*(T_high - T_low)"
+// with the ASPLOS values T_low = 25, T_high = 65 gives L_idle = 25,
+// MissCost = 80, and L_overload ~ 2*T_high = 130.
+#ifndef SRC_CORE_LARD_PARAMS_H_
+#define SRC_CORE_LARD_PARAMS_H_
+
+namespace lard {
+
+struct LardParams {
+  // Load (in connection units) below which a node counts as underutilized.
+  double l_idle = 25.0;
+  // Load at which the delay difference vs an idle node becomes unacceptable;
+  // cost_balancing is infinite from here on.
+  double l_overload = 130.0;
+  // Cost (in load/delay units: "the delay experienced by a request for a
+  // cached target at an otherwise unloaded server") charged for a likely
+  // cache miss and for a likely future replacement.
+  double miss_cost = 80.0;
+  // Extended LARD: a connection-handling node's disk is "low utilization"
+  // when fewer than this many disk events are queued; then subsequent
+  // requests are served locally from disk and the fetched content is cached
+  // locally. [reconstructed; swept in bench/ablation_extlard]
+  int low_disk_queue_threshold = 4;
+
+  // --- Ablation switches (paper behaviour = defaults) ---
+
+  // Section 4.2's 1/N batch accounting: a remote node serving requests of an
+  // N-request pipelined batch carries 1/N load units for the batch service
+  // time. When false, each forwarded request charges a full unit instead.
+  bool fractional_batch_load = true;
+
+  // The replication-avoidance heuristic: when a busy-disk handling node
+  // serves a target that another node already caches, do not cache the copy.
+  // When false, every miss populates the cache (LARD-classic behaviour).
+  bool no_cache_when_busy = true;
+};
+
+}  // namespace lard
+
+#endif  // SRC_CORE_LARD_PARAMS_H_

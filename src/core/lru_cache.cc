@@ -1,0 +1,50 @@
+#include "src/core/lru_cache.h"
+
+namespace lard {
+
+bool LruCache::Touch(TargetId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return true;
+}
+
+bool LruCache::Insert(TargetId id, uint64_t size_bytes, std::vector<TargetId>* evicted) {
+  if (Touch(id)) {
+    return true;
+  }
+  if (size_bytes > capacity_bytes_) {
+    return false;
+  }
+  while (used_bytes_ + size_bytes > capacity_bytes_ && !entries_.empty()) {
+    EvictOne(evicted);
+  }
+  entries_.push_front(Entry{id, size_bytes});
+  index_.emplace(id, entries_.begin());
+  used_bytes_ += size_bytes;
+  return true;
+}
+
+void LruCache::Erase(TargetId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return;
+  }
+  used_bytes_ -= it->second->size_bytes;
+  entries_.erase(it->second);
+  index_.erase(it);
+}
+
+void LruCache::EvictOne(std::vector<TargetId>* evicted) {
+  const Entry& victim = entries_.back();
+  if (evicted != nullptr) {
+    evicted->push_back(victim.id);
+  }
+  used_bytes_ -= victim.size_bytes;
+  index_.erase(victim.id);
+  entries_.pop_back();
+}
+
+}  // namespace lard

@@ -1,0 +1,60 @@
+// Byte-budgeted LRU cache over TargetIds. Used in three places:
+//   * the dispatcher's per-node *virtual* caches — the front-end's model of
+//     what each back-end currently caches (the paper's target->node mappings,
+//     generalized to sets with eviction),
+//   * the simulator's per-back-end main-memory file cache,
+//   * the prototype back-end's content cache (there with real bytes besides).
+// Keeping one implementation ensures the front-end's model and the back-ends'
+// reality evolve identically under the same update stream.
+#ifndef SRC_CORE_LRU_CACHE_H_
+#define SRC_CORE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace lard {
+
+class LruCache {
+ public:
+  explicit LruCache(uint64_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+  bool Contains(TargetId id) const { return index_.find(id) != index_.end(); }
+
+  // Moves `id` to most-recently-used. Returns false (and does nothing) when
+  // the entry is absent.
+  bool Touch(TargetId id);
+
+  // Inserts (or refreshes) `id` with `size_bytes`, evicting least-recently
+  // used entries as needed. Evicted ids are appended to *evicted when
+  // non-null. An object larger than the whole capacity is not cached.
+  // Returns true when the object is resident afterwards.
+  bool Insert(TargetId id, uint64_t size_bytes, std::vector<TargetId>* evicted = nullptr);
+
+  // Removes `id` if present.
+  void Erase(TargetId id);
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t entry_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    TargetId id;
+    uint64_t size_bytes;
+  };
+
+  void EvictOne(std::vector<TargetId>* evicted);
+
+  uint64_t capacity_bytes_;
+  uint64_t used_bytes_ = 0;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<TargetId, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace lard
+
+#endif  // SRC_CORE_LRU_CACHE_H_

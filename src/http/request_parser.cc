@@ -1,0 +1,124 @@
+#include "src/http/request_parser.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace lard {
+namespace {
+
+constexpr size_t kParseError = static_cast<size_t>(-1);
+
+// Splits "GET /path HTTP/1.1" -> method/path/version. Returns false on any
+// deviation.
+bool ParseRequestLine(std::string_view line, HttpRequest* request) {
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) {
+    return false;
+  }
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+    return false;
+  }
+  if (line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return false;
+  }
+  request->method = std::string(line.substr(0, sp1));
+  request->path = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    request->version = HttpVersion::kHttp11;
+  } else if (version == "HTTP/1.0") {
+    request->version = HttpVersion::kHttp10;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+size_t RequestParser::ParseOne(HttpRequest* request) {
+  // Find the end of the header section.
+  const size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return buffer_.size() > kMaxHeaderBytes ? kParseError : 0;
+  }
+  if (header_end > kMaxHeaderBytes) {
+    return kParseError;
+  }
+
+  const std::string_view head(buffer_.data(), header_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  *request = HttpRequest{};
+  if (!ParseRequestLine(request_line, request)) {
+    return kParseError;
+  }
+
+  // Header lines.
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) {
+      eol = head.size();
+    }
+    const std::string_view line = head.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return kParseError;
+    }
+    request->headers.Add(std::string(Trim(line.substr(0, colon))),
+                         std::string(Trim(line.substr(colon + 1))));
+    pos = eol + 2;
+  }
+
+  // Body (GETs normally have none; honor Content-Length when present).
+  size_t body_bytes = 0;
+  if (const std::string* length = request->headers.Find("Content-Length")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(length->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0 || v > (1ll << 30)) {
+      return kParseError;
+    }
+    body_bytes = static_cast<size_t>(v);
+  }
+  const size_t total = header_end + 4 + body_bytes;
+  if (buffer_.size() < total) {
+    return 0;
+  }
+  request->body = buffer_.substr(header_end + 4, body_bytes);
+  return total;
+}
+
+RequestParser::State RequestParser::Feed(std::string_view data, std::vector<HttpRequest>* out) {
+  if (error_) {
+    return State::kError;
+  }
+  buffer_.append(data.data(), data.size());
+  while (true) {
+    HttpRequest request;
+    const size_t consumed = ParseOne(&request);
+    if (consumed == kParseError) {
+      error_ = true;
+      return State::kError;
+    }
+    if (consumed == 0) {
+      return State::kNeedMore;
+    }
+    buffer_.erase(0, consumed);
+    out->push_back(std::move(request));
+  }
+}
+
+}  // namespace lard

@@ -1,0 +1,106 @@
+#include "src/http/response_parser.h"
+
+#include <cstdlib>
+
+namespace lard {
+namespace {
+
+constexpr size_t kParseError = static_cast<size_t>(-1);
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+size_t ResponseParser::ParseOne(HttpResponse* response) {
+  const size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return buffer_.size() > kMaxHeaderBytes ? kParseError : 0;
+  }
+  const std::string_view head(buffer_.data(), header_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // "HTTP/1.1 200 OK"
+  *response = HttpResponse{};
+  if (status_line.rfind("HTTP/1.1 ", 0) == 0) {
+    response->version = HttpVersion::kHttp11;
+  } else if (status_line.rfind("HTTP/1.0 ", 0) == 0) {
+    response->version = HttpVersion::kHttp10;
+  } else {
+    return kParseError;
+  }
+  if (status_line.size() < 12) {
+    return kParseError;
+  }
+  char* end = nullptr;
+  const long status = std::strtol(std::string(status_line.substr(9, 3)).c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || status < 100 || status > 599) {
+    return kParseError;
+  }
+  response->status = static_cast<int>(status);
+  if (status_line.size() > 13) {
+    response->reason = std::string(status_line.substr(13));
+  }
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) {
+      eol = head.size();
+    }
+    const std::string_view line = head.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return kParseError;
+    }
+    response->headers.Add(std::string(Trim(line.substr(0, colon))),
+                          std::string(Trim(line.substr(colon + 1))));
+    pos = eol + 2;
+  }
+
+  size_t body_bytes = 0;
+  if (const std::string* length = response->headers.Find("Content-Length")) {
+    const long long v = std::strtoll(length->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) {
+      return kParseError;
+    }
+    body_bytes = static_cast<size_t>(v);
+  }
+  const size_t total = header_end + 4 + body_bytes;
+  if (buffer_.size() < total) {
+    return 0;
+  }
+  response->body = buffer_.substr(header_end + 4, body_bytes);
+  return total;
+}
+
+ResponseParser::State ResponseParser::Feed(std::string_view data, std::vector<HttpResponse>* out) {
+  if (error_) {
+    return State::kError;
+  }
+  buffer_.append(data.data(), data.size());
+  while (true) {
+    HttpResponse response;
+    const size_t consumed = ParseOne(&response);
+    if (consumed == kParseError) {
+      error_ = true;
+      return State::kError;
+    }
+    if (consumed == 0) {
+      return State::kNeedMore;
+    }
+    buffer_.erase(0, consumed);
+    out->push_back(std::move(response));
+  }
+}
+
+}  // namespace lard

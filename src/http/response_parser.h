@@ -1,0 +1,37 @@
+// Incremental HTTP response parser, used by the prototype's client load
+// generator and by the lateral-fetch client on back-end nodes. Supports
+// pipelined responses and Content-Length framing (the only framing our
+// static-content servers emit).
+#ifndef SRC_HTTP_RESPONSE_PARSER_H_
+#define SRC_HTTP_RESPONSE_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/http/http_message.h"
+
+namespace lard {
+
+class ResponseParser {
+ public:
+  enum class State { kNeedMore, kError };
+
+  // Appends socket bytes; extracts complete responses into *out.
+  State Feed(std::string_view data, std::vector<HttpResponse>* out);
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+  static constexpr size_t kMaxHeaderBytes = 64 * 1024;
+
+ private:
+  size_t ParseOne(HttpResponse* response);
+
+  std::string buffer_;
+  bool error_ = false;
+};
+
+}  // namespace lard
+
+#endif  // SRC_HTTP_RESPONSE_PARSER_H_

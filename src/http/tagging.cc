@@ -1,0 +1,43 @@
+#include "src/http/tagging.h"
+
+#include <cctype>
+
+#include "src/util/logging.h"
+
+namespace lard {
+namespace {
+constexpr char kPrefix[] = "/__be";
+constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+}  // namespace
+
+std::string TagPathForNode(const std::string& path, NodeId node) {
+  LARD_CHECK(node >= 0);
+  LARD_CHECK(!path.empty() && path[0] == '/') << "path must be absolute: " << path;
+  return kPrefix + std::to_string(node) + path;
+}
+
+bool ParseTaggedPath(const std::string& path, NodeId* node, std::string* untagged_path) {
+  if (path.compare(0, kPrefixLen, kPrefix) != 0) {
+    return false;
+  }
+  size_t pos = kPrefixLen;
+  if (pos >= path.size() || !std::isdigit(static_cast<unsigned char>(path[pos]))) {
+    return false;
+  }
+  NodeId value = 0;
+  while (pos < path.size() && std::isdigit(static_cast<unsigned char>(path[pos]))) {
+    value = value * 10 + (path[pos] - '0');
+    if (value > 1 << 20) {
+      return false;  // absurd node number; treat as a plain path
+    }
+    ++pos;
+  }
+  if (pos >= path.size() || path[pos] != '/') {
+    return false;
+  }
+  *node = value;
+  *untagged_path = path.substr(pos);
+  return true;
+}
+
+}  // namespace lard

@@ -1,0 +1,27 @@
+// Request tagging (Section 7.3/7.4): the front-end dispatcher instructs the
+// connection-handling node to fetch a target from another back-end by
+// rewriting the URL with a per-node prefix — the paper prepends the remote
+// node's NFS-mount directory ("GET /back_end2/foo"). We use the same idea
+// with a reserved "/__be<k>" prefix; a path that starts with the prefix is a
+// lateral-fetch instruction, anything else is served locally.
+#ifndef SRC_HTTP_TAGGING_H_
+#define SRC_HTTP_TAGGING_H_
+
+#include <string>
+
+#include "src/core/cluster_types.h"
+
+namespace lard {
+
+// "/foo/bar.html" tagged for node 2 -> "/__be2/foo/bar.html".
+std::string TagPathForNode(const std::string& path, NodeId node);
+
+// Decomposes a possibly tagged path. Returns true and fills *node and
+// *untagged_path when `path` carries a tag; returns false (leaving outputs
+// untouched) for ordinary paths. Malformed tags ("/__bex/...") are treated as
+// ordinary paths — they simply miss in the content store.
+bool ParseTaggedPath(const std::string& path, NodeId* node, std::string* untagged_path);
+
+}  // namespace lard
+
+#endif  // SRC_HTTP_TAGGING_H_

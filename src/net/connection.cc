@@ -1,0 +1,190 @@
+#include "src/net/connection.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "src/util/logging.h"
+
+namespace lard {
+
+Connection::Connection(EventLoop* loop, UniqueFd fd) : loop_(loop), fd_(std::move(fd)) {
+  LARD_CHECK(fd_.valid());
+}
+
+Connection::~Connection() {
+  if (open_) {
+    Close();
+  }
+}
+
+void Connection::Start() {
+  LARD_CHECK(!open_);
+  open_ = true;
+  interest_ = EPOLLIN;
+  loop_->Register(fd_.get(), interest_, [this](uint32_t events) { HandleEvents(events); });
+}
+
+void Connection::HandleEvents(uint32_t events) {
+  if (!open_) {
+    return;
+  }
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    FailAndClose();
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    HandleWritable();
+  }
+  if (open_ && (events & EPOLLIN) != 0) {
+    HandleReadable();
+  }
+}
+
+void Connection::HandleReadable() {
+  char buf[64 * 1024];
+  while (open_) {
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (on_data_) {
+        on_data_(std::string_view(buf, static_cast<size_t>(n)));
+      }
+      if (static_cast<size_t>(n) < sizeof(buf)) {
+        return;  // drained
+      }
+      continue;
+    }
+    if (n == 0) {
+      FailAndClose();  // peer EOF
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    FailAndClose();
+    return;
+  }
+}
+
+void Connection::Write(std::string_view data) {
+  LARD_CHECK(open_);
+  // Fast path: nothing buffered, try a direct send.
+  size_t sent = 0;
+  if (write_buffer_.size() == write_offset_) {
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      FailAndClose();
+      return;
+    }
+  }
+  if (sent < data.size()) {
+    write_buffer_.append(data.data() + sent, data.size() - sent);
+    UpdateInterest();
+  }
+}
+
+void Connection::HandleWritable() {
+  while (write_offset_ < write_buffer_.size()) {
+    const ssize_t n = ::send(fd_.get(), write_buffer_.data() + write_offset_,
+                             write_buffer_.size() - write_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_offset_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    FailAndClose();
+    return;
+  }
+  if (write_offset_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_offset_ = 0;
+    if (close_after_flush_) {
+      Close();
+      return;
+    }
+    UpdateInterest();
+    if (on_write_drained_) {
+      auto drained = std::move(on_write_drained_);
+      on_write_drained_ = nullptr;
+      drained();
+    }
+  }
+}
+
+void Connection::UpdateInterest() {
+  if (!open_) {
+    return;
+  }
+  const uint32_t want =
+      EPOLLIN | (write_buffer_.size() > write_offset_ ? EPOLLOUT : 0u);
+  if (want != interest_) {
+    interest_ = want;
+    loop_->Modify(fd_.get(), interest_);
+  }
+}
+
+void Connection::CloseAfterFlush() {
+  if (!open_) {
+    return;
+  }
+  if (write_buffer_.size() == write_offset_) {
+    Close();
+    return;
+  }
+  close_after_flush_ = true;
+}
+
+void Connection::Close() {
+  if (!open_) {
+    return;
+  }
+  open_ = false;
+  loop_->Unregister(fd_.get());
+  fd_.Reset();
+}
+
+void Connection::FailAndClose() {
+  if (!open_) {
+    return;
+  }
+  open_ = false;
+  loop_->Unregister(fd_.get());
+  fd_.Reset();
+  if (on_close_) {
+    on_close_();
+  }
+}
+
+Connection::Detached Connection::Detach() {
+  LARD_CHECK(open_);
+  LARD_CHECK(pending_write_bytes() == 0) << "cannot hand off with unsent response bytes";
+  open_ = false;
+  loop_->Unregister(fd_.get());
+  Detached detached;
+  detached.fd = std::move(fd_);
+  detached.unconsumed_input = std::move(pushback_);
+  pushback_.clear();
+  return detached;
+}
+
+}  // namespace lard

@@ -1,0 +1,108 @@
+// Buffered non-blocking stream connection on an EventLoop.
+//
+// Detach() is the key facility for the prototype's TCP handoff: it atomically
+// pulls the socket out of the loop and returns the fd together with any bytes
+// already read but not yet consumed — exactly the state the paper's in-kernel
+// handoff transfers (connection endpoint + buffered client data, e.g. further
+// pipelined requests that arrived glued to the first one).
+//
+// All methods must be called on the loop thread.
+#ifndef SRC_NET_CONNECTION_H_
+#define SRC_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/net/event_loop.h"
+#include "src/net/fd.h"
+
+namespace lard {
+
+class Connection {
+ public:
+  // `fd` must already be non-blocking.
+  Connection(EventLoop* loop, UniqueFd fd);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // `on_data` receives freshly read bytes; the callee consumes all of them
+  // (re-buffering into its parser as needed). `on_close` fires once on EOF or
+  // error; the Connection is dead afterwards (but destruction stays the
+  // owner's job).
+  //
+  // LIFETIME: callbacks run from inside this Connection's event handler, so
+  // they must not destroy the Connection synchronously — defer destruction to
+  // the next loop tick (e.g. move the owner's unique_ptr into a posted task).
+  void set_on_data(std::function<void(std::string_view)> on_data) {
+    on_data_ = std::move(on_data);
+  }
+  void set_on_close(std::function<void()> on_close) { on_close_ = std::move(on_close); }
+
+  // One-shot: fires (from the write path) when the buffered write data has
+  // fully reached the kernel. Callers that need to detach a connection with
+  // in-flight responses (multiple-handoff hand-back) register this after
+  // checking pending_write_bytes() > 0.
+  void set_on_write_drained(std::function<void()> on_drained) {
+    on_write_drained_ = std::move(on_drained);
+  }
+
+  // Registers with the loop. Call after the callbacks are set.
+  void Start();
+
+  // Queues bytes for transmission (immediate write attempt, remainder
+  // buffered until EPOLLOUT).
+  void Write(std::string_view data);
+
+  // Closes once the write buffer drains (used for HTTP/1.0-style responses).
+  void CloseAfterFlush();
+
+  // Immediate teardown; on_close is NOT invoked (caller-initiated).
+  void Close();
+
+  struct Detached {
+    UniqueFd fd;
+    std::string unconsumed_input;
+  };
+  // Unregisters and surrenders the socket. Only legal while open and with an
+  // empty write buffer. `unconsumed_input` is whatever the *caller's* parser
+  // returned to us via PushBack plus anything unread — see PushBack().
+  Detached Detach();
+
+  // Returns bytes the caller read via on_data but did not consume, so a later
+  // Detach() ships them along with the fd. (The front-end pushes back the
+  // pipelined tail after parsing the first request.)
+  void PushBack(std::string_view data) { pushback_.append(data.data(), data.size()); }
+
+  bool open() const { return open_; }
+  int fd() const { return fd_.get(); }
+  size_t pending_write_bytes() const { return write_buffer_.size() - write_offset_; }
+
+ private:
+  void HandleEvents(uint32_t events);
+  void HandleReadable();
+  void HandleWritable();
+  void UpdateInterest();
+  void FailAndClose();
+
+  EventLoop* loop_;
+  UniqueFd fd_;
+  bool open_ = false;
+  bool close_after_flush_ = false;
+
+  std::function<void(std::string_view)> on_data_;
+  std::function<void()> on_close_;
+  std::function<void()> on_write_drained_;
+
+  std::string write_buffer_;
+  size_t write_offset_ = 0;
+  std::string pushback_;
+  uint32_t interest_ = 0;
+};
+
+}  // namespace lard
+
+#endif  // SRC_NET_CONNECTION_H_

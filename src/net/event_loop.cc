@@ -1,0 +1,169 @@
+#include "src/net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace lard {
+
+EventLoop::EventLoop() {
+  epoll_fd_.Reset(::epoll_create1(EPOLL_CLOEXEC));
+  LARD_CHECK(epoll_fd_.valid()) << "epoll_create1 failed";
+  wakeup_fd_.Reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  LARD_CHECK(wakeup_fd_.valid()) << "eventfd failed";
+
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wakeup_fd_.get();
+  LARD_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wakeup_fd_.get(), &event) == 0);
+}
+
+EventLoop::~EventLoop() = default;
+
+int64_t EventLoop::NowMs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+void EventLoop::Register(int fd, uint32_t events, IoCallback callback) {
+  LARD_CHECK(handlers_.find(fd) == handlers_.end()) << "fd " << fd << " already registered";
+  handlers_[fd] = std::make_shared<IoCallback>(std::move(callback));
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  LARD_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &event) == 0)
+      << "epoll_ctl(ADD) fd=" << fd;
+}
+
+void EventLoop::Modify(int fd, uint32_t events) {
+  LARD_CHECK(handlers_.find(fd) != handlers_.end()) << "fd " << fd << " not registered";
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  LARD_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &event) == 0)
+      << "epoll_ctl(MOD) fd=" << fd;
+}
+
+void EventLoop::Unregister(int fd) {
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) {
+    return;
+  }
+  handlers_.erase(it);
+  // The fd may already be closed by the owner; ignore ENOENT/EBADF.
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+EventLoop::TimerId EventLoop::ScheduleAfterMs(int64_t delay_ms, std::function<void()> fn) {
+  const TimerId id = next_timer_id_++;
+  timer_fns_[id] = std::move(fn);
+  timers_.push(Timer{NowMs() + delay_ms, id});
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) { timer_fns_.erase(id); }
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wakeup_fd_.get(), &one, sizeof(one));
+}
+
+void EventLoop::DrainTasks() {
+  std::deque<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) {
+    task();
+  }
+}
+
+int EventLoop::NextTimeoutMs() {
+  // Skip cancelled timers sitting at the heap top.
+  while (!timers_.empty() && timer_fns_.find(timers_.top().id) == timer_fns_.end()) {
+    timers_.pop();
+  }
+  if (timers_.empty()) {
+    return 100;  // wake periodically so Stop() is prompt even without tasks
+  }
+  const int64_t delta = timers_.top().deadline_ms - NowMs();
+  if (delta <= 0) {
+    return 0;
+  }
+  return static_cast<int>(std::min<int64_t>(delta, 100));
+}
+
+void EventLoop::FireDueTimers() {
+  const int64_t now = NowMs();
+  while (!timers_.empty() && timers_.top().deadline_ms <= now) {
+    const Timer timer = timers_.top();
+    timers_.pop();
+    auto it = timer_fns_.find(timer.id);
+    if (it == timer_fns_.end()) {
+      continue;  // cancelled
+    }
+    auto fn = std::move(it->second);
+    timer_fns_.erase(it);
+    fn();
+  }
+}
+
+void EventLoop::Run() {
+  loop_thread_ = std::this_thread::get_id();
+  running_.store(true);
+  epoll_event events[64];
+  while (running_.load()) {
+    const int n = ::epoll_wait(epoll_fd_.get(), events, 64, NextTimeoutMs());
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      LARD_LOG(FATAL) << "epoll_wait: " << std::strerror(errno);
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_fd_.get()) {
+        uint64_t drain;
+        while (::read(wakeup_fd_.get(), &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      // Look the handler up fresh: an earlier callback in this batch may have
+      // unregistered this fd.
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) {
+        continue;
+      }
+      auto handler = it->second;  // keep alive across the call
+      (*handler)(events[i].events);
+    }
+    DrainTasks();
+    FireDueTimers();
+  }
+  // Final drain so no posted task is silently dropped at shutdown.
+  DrainTasks();
+}
+
+void EventLoop::Stop() {
+  running_.store(false);
+  Wakeup();
+}
+
+}  // namespace lard

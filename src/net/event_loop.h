@@ -1,0 +1,91 @@
+// Single-threaded epoll event loop: the execution substrate for the
+// prototype's front-end and back-end components (one loop thread each, like
+// the paper's kernel-resident protocol contexts).
+//
+// Threading contract: Register/Modify/Unregister and timer APIs must be
+// called on the loop thread; Post() and Stop() may be called from any thread.
+#ifndef SRC_NET_EVENT_LOOP_H_
+#define SRC_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/fd.h"
+
+namespace lard {
+
+class EventLoop {
+ public:
+  using IoCallback = std::function<void(uint32_t epoll_events)>;
+  using TimerId = uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Watches `fd` for `events` (EPOLLIN/EPOLLOUT/...). The loop does not own
+  // the fd. One registration per fd.
+  void Register(int fd, uint32_t events, IoCallback callback);
+  void Modify(int fd, uint32_t events);
+  void Unregister(int fd);
+
+  // Runs `fn` once, `delay_ms` from now, on the loop thread.
+  TimerId ScheduleAfterMs(int64_t delay_ms, std::function<void()> fn);
+  void CancelTimer(TimerId id);
+
+  // Enqueues `task` for execution on the loop thread (thread-safe).
+  void Post(std::function<void()> task);
+
+  // Runs until Stop(). Must be called from exactly one thread, which becomes
+  // the loop thread.
+  void Run();
+  // Signals the loop to exit (thread-safe).
+  void Stop();
+
+  bool IsInLoopThread() const { return std::this_thread::get_id() == loop_thread_; }
+
+ private:
+  struct Timer {
+    int64_t deadline_ms;
+    TimerId id;
+    bool operator>(const Timer& other) const {
+      return deadline_ms != other.deadline_ms ? deadline_ms > other.deadline_ms : id > other.id;
+    }
+  };
+
+  static int64_t NowMs();
+  void Wakeup();
+  void DrainTasks();
+  int NextTimeoutMs();
+  void FireDueTimers();
+
+  UniqueFd epoll_fd_;
+  UniqueFd wakeup_fd_;  // eventfd
+  std::atomic<bool> running_{false};
+  std::thread::id loop_thread_;
+
+  // fd -> callback; shared_ptr so a handler staying alive through dispatch is
+  // safe even if Unregister runs from inside another handler.
+  std::unordered_map<int, std::shared_ptr<IoCallback>> handlers_;
+
+  std::mutex tasks_mutex_;
+  std::deque<std::function<void()>> tasks_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::unordered_map<TimerId, std::function<void()>> timer_fns_;
+  TimerId next_timer_id_ = 1;
+};
+
+}  // namespace lard
+
+#endif  // SRC_NET_EVENT_LOOP_H_

@@ -1,0 +1,87 @@
+// Length-prefixed message channel over a stream socket, with optional file
+// descriptor attachment per message (SCM_RIGHTS on unix-domain sockets).
+//
+// This is the prototype's control-session transport (Section 7.1): the
+// dispatcher's tagged requests, the back-ends' disk-queue reports, and —
+// carrying an fd — the TCP connection handoff itself.
+//
+// Wire format (little-endian):
+//   u32 payload_length | u8 type | u8 flags (bit0: fd attached) | u16 zero |
+//   payload bytes
+// The fd's SCM_RIGHTS control message rides on the sendmsg() that transmits
+// the first byte of its frame, so by the time a receiver has the complete
+// frame the fd has necessarily arrived (kernel delivers cmsgs no later than
+// the byte span they were attached to).
+//
+// All methods on the loop thread.
+#ifndef SRC_NET_FRAMED_CHANNEL_H_
+#define SRC_NET_FRAMED_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/net/event_loop.h"
+#include "src/net/fd.h"
+
+namespace lard {
+
+class FramedChannel {
+ public:
+  // type, payload, fd (invalid unless the frame carried one).
+  using MessageCallback = std::function<void(uint8_t type, std::string payload, UniqueFd fd)>;
+
+  // `fd` must be non-blocking. fd attachment requires a unix-domain socket.
+  FramedChannel(EventLoop* loop, UniqueFd fd);
+  ~FramedChannel();
+
+  FramedChannel(const FramedChannel&) = delete;
+  FramedChannel& operator=(const FramedChannel&) = delete;
+
+  void set_on_message(MessageCallback on_message) { on_message_ = std::move(on_message); }
+  void set_on_close(std::function<void()> on_close) { on_close_ = std::move(on_close); }
+
+  void Start();
+
+  void Send(uint8_t type, std::string_view payload);
+  // Takes ownership of `fd`; it is closed once transmitted.
+  void SendWithFd(uint8_t type, std::string_view payload, UniqueFd fd);
+
+  void Close();
+  bool open() const { return open_; }
+  int fd() const { return fd_.get(); }
+
+  static constexpr size_t kMaxPayload = 16 * 1024 * 1024;
+
+ private:
+  struct OutFrame {
+    std::string bytes;   // header + payload
+    size_t offset = 0;
+    UniqueFd fd;         // sent with the frame's first byte
+  };
+
+  void HandleEvents(uint32_t events);
+  void HandleReadable();
+  void Flush();
+  void ParseFrames();
+  void UpdateInterest();
+  void FailAndClose();
+
+  EventLoop* loop_;
+  UniqueFd fd_;
+  bool open_ = false;
+
+  MessageCallback on_message_;
+  std::function<void()> on_close_;
+
+  std::deque<OutFrame> out_;
+  std::string in_buffer_;
+  std::deque<UniqueFd> received_fds_;
+  uint32_t interest_ = 0;
+};
+
+}  // namespace lard
+
+#endif  // SRC_NET_FRAMED_CHANNEL_H_

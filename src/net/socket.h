@@ -1,0 +1,34 @@
+// Socket construction helpers for the prototype cluster. Everything runs on
+// localhost: client traffic over TCP (so the data path is a real kernel TCP
+// path) and intra-cluster control sessions over unix-domain sockets (so
+// connection handoff can pass file descriptors, our stand-in for the paper's
+// in-kernel TCP handoff).
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/net/fd.h"
+#include "src/util/status.h"
+
+namespace lard {
+
+// Creates a listening TCP socket on 127.0.0.1. Port 0 picks a free port; the
+// actual port is returned in *bound_port.
+StatusOr<UniqueFd> ListenTcp(uint16_t port, uint16_t* bound_port);
+
+// Blocking connect to 127.0.0.1:port.
+StatusOr<UniqueFd> ConnectTcp(uint16_t port);
+
+// A connected unix-domain stream socket pair (for control sessions and fd
+// passing between front-end and back-end components).
+StatusOr<std::pair<UniqueFd, UniqueFd>> UnixPair();
+
+Status SetNonBlocking(int fd, bool non_blocking);
+Status SetTcpNoDelay(int fd);
+
+}  // namespace lard
+
+#endif  // SRC_NET_SOCKET_H_

@@ -1,0 +1,580 @@
+#include "src/proto/backend_server.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <time.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/http/tagging.h"
+#include "src/net/socket.h"
+#include "src/util/logging.h"
+
+namespace lard {
+namespace {
+constexpr int64_t kHousekeepingPeriodMs = 100;
+}  // namespace
+
+BackendServer::BackendServer(const BackendConfig& config, EventLoop* loop,
+                             const ContentStore* store)
+    : config_(config), loop_(loop), store_(store), cache_(config.cache_bytes) {
+  LARD_CHECK(loop_ != nullptr);
+  LARD_CHECK(store_ != nullptr);
+  LARD_CHECK(config_.node_id >= 0 && config_.node_id < config_.num_nodes);
+}
+
+BackendServer::~BackendServer() = default;
+
+int64_t BackendServer::NowMs() const {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+void BackendServer::Start(UniqueFd control_fd) {
+  disk_ = std::make_unique<DiskGate>(loop_, config_.disk_costs, config_.disk_time_scale);
+
+  LARD_CHECK_OK(SetNonBlocking(control_fd.get(), true));
+  control_ = std::make_unique<FramedChannel>(loop_, std::move(control_fd));
+  control_->set_on_message([this](uint8_t type, std::string payload, UniqueFd fd) {
+    OnControlMessage(type, std::move(payload), std::move(fd));
+  });
+  control_->set_on_close(
+      [this]() { LARD_LOG(WARNING) << "backend " << config_.node_id << ": control session lost"; });
+  control_->Start();
+
+  auto listener = ListenTcp(0, &lateral_port_);
+  LARD_CHECK(listener.ok()) << listener.status().ToString();
+  lateral_listener_ = std::move(listener.value());
+  LARD_CHECK_OK(SetNonBlocking(lateral_listener_.get(), true));
+  loop_->Register(lateral_listener_.get(), EPOLLIN,
+                  [this](uint32_t events) { OnLateralAccept(events); });
+
+  // Housekeeping: disk-queue reports to the dispatcher + idle-connection
+  // sweep, every 100 ms (the paper conveys disk queue lengths over the
+  // control sessions).
+  struct Rearm {
+    BackendServer* self;
+    void operator()() const {
+      if (self->control_ != nullptr && self->control_->open()) {
+        self->control_->Send(static_cast<uint8_t>(ControlMsg::kDiskReport),
+                             EncodeU32(static_cast<uint32_t>(self->disk_->queue_length())));
+      }
+      self->SweepIdleConnections();
+      self->loop_->ScheduleAfterMs(kHousekeepingPeriodMs, Rearm{self});
+    }
+  };
+  loop_->ScheduleAfterMs(kHousekeepingPeriodMs, Rearm{this});
+}
+
+void BackendServer::ConnectPeers(const std::vector<uint16_t>& ports) {
+  LARD_CHECK(ports.size() == static_cast<size_t>(config_.num_nodes));
+  peers_.clear();
+  for (int node = 0; node < config_.num_nodes; ++node) {
+    if (node == config_.node_id) {
+      peers_.push_back(nullptr);
+    } else {
+      peers_.push_back(std::make_unique<LateralClient>(loop_, ports[static_cast<size_t>(node)]));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control session
+// ---------------------------------------------------------------------------
+
+void BackendServer::OnControlMessage(uint8_t type, std::string payload, UniqueFd fd) {
+  switch (static_cast<ControlMsg>(type)) {
+    case ControlMsg::kHandoff: {
+      HandoffMsg msg;
+      if (!DecodeHandoff(payload, &msg) || !fd.valid()) {
+        LARD_LOG(ERROR) << "backend " << config_.node_id << ": bad handoff message";
+        return;
+      }
+      AdoptConnection(std::move(msg), std::move(fd));
+      return;
+    }
+    case ControlMsg::kAssignments: {
+      AssignmentsMsg msg;
+      if (!DecodeAssignments(payload, &msg)) {
+        LARD_LOG(ERROR) << "backend " << config_.node_id << ": bad assignments message";
+        return;
+      }
+      OnAssignments(msg);
+      return;
+    }
+    default:
+      LARD_LOG(ERROR) << "backend " << config_.node_id << ": unexpected control message type "
+                      << static_cast<int>(type);
+  }
+}
+
+void BackendServer::AdoptConnection(HandoffMsg msg, UniqueFd fd) {
+  LARD_CHECK_OK(SetNonBlocking(fd.get(), true));
+  (void)SetTcpNoDelay(fd.get());
+
+  auto conn = std::make_unique<ClientConn>();
+  ClientConn* raw = conn.get();
+  raw->id = msg.conn_id;
+  raw->autonomous = msg.autonomous;
+  raw->directives.assign(msg.directives.begin(), msg.directives.end());
+  raw->preassigned_remaining = msg.directives.size();
+  raw->last_activity_ms = NowMs();
+  raw->idle_reported = false;
+  raw->conn = std::make_unique<Connection>(loop_, std::move(fd));
+  raw->conn->set_on_data(
+      [this, id = raw->id](std::string_view data) {
+        auto it = conns_.find(id);
+        if (it != conns_.end()) {
+          OnClientData(it->second.get(), data);
+        }
+      });
+  raw->conn->set_on_close([this, id = raw->id]() {
+    auto it = conns_.find(id);
+    if (it != conns_.end()) {
+      OnClientClosed(it->second.get());
+    }
+  });
+  counters_.connections_adopted.fetch_add(1, std::memory_order_relaxed);
+  conns_.emplace(raw->id, std::move(conn));
+
+  // Register with the loop first (no events can arrive until we return to
+  // epoll_wait), then replay the byte stream the front-end received: it
+  // precedes anything still in the socket buffer.
+  raw->conn->Start();
+  if (!msg.unparsed_input.empty()) {
+    OnClientData(raw, msg.unparsed_input);
+    if (raw->closed) {
+      return;
+    }
+  }
+  ProcessNext(raw);
+}
+
+void BackendServer::OnAssignments(const AssignmentsMsg& msg) {
+  auto it = conns_.find(msg.conn_id);
+  if (it == conns_.end()) {
+    return;  // connection already closed; dispatcher will hear kConnClosed
+  }
+  ClientConn* conn = it->second.get();
+  conn->consult_outstanding = false;
+  for (const auto& directive : msg.directives) {
+    conn->directives.push_back(directive);
+  }
+  MaybeConsult(conn);
+  ProcessNext(conn);
+}
+
+// ---------------------------------------------------------------------------
+// Client connections
+// ---------------------------------------------------------------------------
+
+void BackendServer::OnClientData(ClientConn* conn, std::string_view data) {
+  if (conn->closed) {
+    return;
+  }
+  conn->last_activity_ms = NowMs();
+  std::vector<HttpRequest> requests;
+  if (conn->parser.Feed(data, &requests) == RequestParser::State::kError) {
+    HttpRequest bad;
+    bad.version = HttpVersion::kHttp10;
+    WriteResponse(conn, bad, 400, "bad request\n");
+    return;
+  }
+  if (requests.empty()) {
+    return;
+  }
+  conn->idle_reported = false;
+  for (auto& request : requests) {
+    if (conn->preassigned_remaining > 0) {
+      // Batch-1 request replayed from the handoff payload: its directive
+      // already arrived with the handoff message.
+      --conn->preassigned_remaining;
+    } else if (conn->autonomous) {
+      RequestDirective directive;
+      directive.path = request.path;
+      conn->directives.push_back(std::move(directive));
+    } else {
+      conn->consult_backlog.push_back(request.path);
+    }
+    conn->requests.push_back(std::move(request));
+  }
+  MaybeConsult(conn);
+  ProcessNext(conn);
+}
+
+void BackendServer::MaybeConsult(ClientConn* conn) {
+  if (conn->autonomous || conn->consult_outstanding || conn->consult_backlog.empty() ||
+      conn->closed || conn->migrating) {
+    return;
+  }
+  ConsultMsg msg;
+  msg.conn_id = conn->id;
+  msg.paths = std::move(conn->consult_backlog);
+  msg.disk_queue_len = static_cast<uint32_t>(disk_->queue_length());
+  conn->consult_backlog.clear();
+  conn->consult_outstanding = true;
+  control_->Send(static_cast<uint8_t>(ControlMsg::kConsult), EncodeConsult(msg));
+}
+
+void BackendServer::ProcessNext(ClientConn* conn) {
+  if (conn->serving || conn->closed || conn->migrating) {
+    return;
+  }
+  if (conn->requests.empty() || conn->directives.empty()) {
+    ReportIdleIfQuiescent(conn);
+    return;
+  }
+
+  if (conn->directives.front().action == DirectiveAction::kMigrate) {
+    // Wait for any in-flight consult so the front-end's reply stream for
+    // this connection is drained before the state moves.
+    if (conn->consult_outstanding) {
+      return;
+    }
+    StartHandback(conn);
+    return;
+  }
+
+  HttpRequest request = std::move(conn->requests.front());
+  conn->requests.pop_front();
+  RequestDirective directive = std::move(conn->directives.front());
+  conn->directives.pop_front();
+  conn->serving = true;
+
+  NodeId peer = kInvalidNode;
+  std::string untagged;
+  if (directive.action == DirectiveAction::kLateral &&
+      ParseTaggedPath(directive.path, &peer, &untagged) && peer != config_.node_id &&
+      peer >= 0 && peer < config_.num_nodes) {
+    LARD_CHECK(untagged == request.path)
+        << "directive/request mismatch: " << untagged << " vs " << request.path;
+    ServeLateral(conn, request, peer, untagged);
+    return;
+  }
+  ServeLocal(conn, request, directive);
+}
+
+void BackendServer::StartHandback(ClientConn* conn) {
+  const RequestDirective& head = conn->directives.front();
+  if (head.node < 0 || head.node >= config_.num_nodes || head.node == config_.node_id ||
+      conn->conn == nullptr || !conn->conn->open()) {
+    // Degenerate migration (bad target or dying socket): serve locally.
+    conn->directives.front().action = DirectiveAction::kLocal;
+    ProcessNext(conn);
+    return;
+  }
+  conn->migrating = true;
+  if (conn->conn->pending_write_bytes() > 0) {
+    conn->conn->set_on_write_drained([this, id = conn->id]() { DoHandback(id); });
+    return;
+  }
+  DoHandback(conn->id);
+}
+
+void BackendServer::DoHandback(ConnId conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;
+  }
+  ClientConn* conn = it->second.get();
+  if (conn->closed || conn->conn == nullptr || !conn->conn->open()) {
+    return;  // client went away while we flushed; normal close path handles it
+  }
+  LARD_CHECK(!conn->directives.empty());
+  LARD_CHECK(conn->requests.size() >= conn->directives.size())
+      << "every directive must have a parsed request";
+
+  HandbackMsg msg;
+  msg.conn_id = conn->id;
+  msg.target_node = conn->directives.front().node;
+
+  // The migrating request is served locally at the target.
+  RequestDirective first = conn->directives.front();
+  first.action = DirectiveAction::kLocal;
+  first.node = kInvalidNode;
+  msg.directives.push_back(std::move(first));
+  for (size_t i = 1; i < conn->directives.size(); ++i) {
+    msg.directives.push_back(conn->directives[i]);
+  }
+
+  // Replay stream: every unserved request re-serialized in order, then the
+  // unparsed tail. Requests beyond the directive count were never consulted
+  // (their paths sit in consult_backlog, which we drop): the target node
+  // re-consults them when it re-parses the stream.
+  std::string replay;
+  for (const HttpRequest& request : conn->requests) {
+    replay += request.Serialize();
+  }
+  replay += conn->parser.buffered();
+  msg.replay_input = std::move(replay);
+
+  Connection::Detached detached = conn->conn->Detach();
+  control_->SendWithFd(static_cast<uint8_t>(ControlMsg::kHandback), EncodeHandback(msg),
+                       std::move(detached.fd));
+  counters_.handbacks.fetch_add(1, std::memory_order_relaxed);
+
+  // State is gone from this node; do NOT notify kConnClosed — the connection
+  // lives on at the target. (Deferred: we may be inside a callback.)
+  conn->closed = true;
+  loop_->Post([this, id = conn->id]() { conns_.erase(id); });
+}
+
+void BackendServer::ServeLocal(ClientConn* conn, const HttpRequest& request,
+                               const RequestDirective& directive) {
+  const TargetId target = store_->Resolve(request.path);
+  if (target == kInvalidTarget) {
+    counters_.not_found.fetch_add(1, std::memory_order_relaxed);
+    WriteResponse(conn, request, 404, "not found\n");
+    return;
+  }
+  const uint64_t size = store_->SizeOf(target);
+  if (cache_.Touch(target)) {
+    counters_.local_hits.fetch_add(1, std::memory_order_relaxed);
+    WriteResponse(conn, request, 200, store_->BodyFor(target));
+    return;
+  }
+  counters_.local_misses.fetch_add(1, std::memory_order_relaxed);
+  const ConnId id = conn->id;
+  const bool cache_after_miss = directive.cache_after_miss;
+  // Copy the request: the disk read outlives this stack frame.
+  disk_->Read(size, [this, id, target, cache_after_miss, request]() {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) {
+      return;  // client went away while the disk was busy
+    }
+    if (cache_after_miss) {
+      cache_.Insert(target, store_->SizeOf(target));
+    }
+    WriteResponse(it->second.get(), request, 200, store_->BodyFor(target));
+  });
+}
+
+void BackendServer::ServeLateral(ClientConn* conn, const HttpRequest& request, NodeId peer,
+                                 const std::string& path) {
+  counters_.lateral_out.fetch_add(1, std::memory_order_relaxed);
+  LateralClient* client = peers_[static_cast<size_t>(peer)].get();
+  LARD_CHECK(client != nullptr) << "no lateral client for node " << peer;
+  const ConnId id = conn->id;
+  client->Fetch(path, [this, id, request](int status, std::string body) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) {
+      return;
+    }
+    ClientConn* conn = it->second.get();
+    if (status == 200) {
+      // Relay without caching locally (NFS-client-caching-disabled semantics:
+      // replication stays under LARD's control).
+      WriteResponse(conn, request, 200, std::move(body));
+      return;
+    }
+    if (status == 0) {
+      // Peer unreachable: degrade to a local serve so the client still gets
+      // its document (the paper's NFS path would block instead).
+      LARD_LOG(WARNING) << "backend " << config_.node_id
+                        << ": lateral fetch failed, serving locally: " << request.path;
+      RequestDirective fallback;
+      fallback.path = request.path;
+      ServeLocal(conn, request, fallback);
+      return;
+    }
+    WriteResponse(conn, request, status, std::move(body));
+  });
+}
+
+void BackendServer::WriteResponse(ClientConn* conn, const HttpRequest& request, int status,
+                                  std::string body) {
+  if (conn->closed || conn->conn == nullptr || !conn->conn->open()) {
+    // Client vanished mid-service; just advance the pipeline.
+    FinishRequest(conn);
+    return;
+  }
+  HttpResponse response;
+  response.version = request.version;
+  response.status = status;
+  response.reason = ReasonPhrase(status);
+  response.headers.Add("Server", "lard-be" + std::to_string(config_.node_id));
+  response.headers.Add("Content-Type", "application/octet-stream");
+  const bool keep_alive = status != 400 && request.KeepAlive();
+  if (!keep_alive) {
+    response.headers.Add("Connection", "close");
+  }
+  response.body = std::move(body);
+  counters_.requests_served.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_to_clients.fetch_add(response.body.size(), std::memory_order_relaxed);
+  conn->conn->Write(response.Serialize());
+  conn->last_activity_ms = NowMs();
+
+  if (!keep_alive) {
+    conn->conn->CloseAfterFlush();
+    CloseClient(conn, /*notify_frontend=*/true);
+    return;
+  }
+  FinishRequest(conn);
+}
+
+void BackendServer::FinishRequest(ClientConn* conn) {
+  conn->serving = false;
+  if (!conn->closed) {
+    ProcessNext(conn);
+  }
+}
+
+void BackendServer::ReportIdleIfQuiescent(ClientConn* conn) {
+  if (conn->autonomous || conn->closed || conn->idle_reported || conn->serving ||
+      !conn->requests.empty() || !conn->directives.empty() || !conn->consult_backlog.empty() ||
+      conn->consult_outstanding) {
+    return;
+  }
+  conn->idle_reported = true;
+  control_->Send(static_cast<uint8_t>(ControlMsg::kIdle), EncodeU64(conn->id));
+}
+
+void BackendServer::OnClientClosed(ClientConn* conn) {
+  CloseClient(conn, /*notify_frontend=*/true);
+}
+
+void BackendServer::CloseClient(ClientConn* conn, bool notify_frontend) {
+  if (conn->closed) {
+    return;
+  }
+  conn->closed = true;
+  if (notify_frontend && control_ != nullptr && control_->open()) {
+    control_->Send(static_cast<uint8_t>(ControlMsg::kConnClosed), EncodeU64(conn->id));
+  }
+  // The Connection may be mid-callback and disk/lateral callbacks may still
+  // reference this ClientConn by id, so tear down on the next tick.
+  loop_->Post([this, id = conn->id]() { conns_.erase(id); });
+}
+
+void BackendServer::SweepIdleConnections() {
+  if (config_.idle_close_ms <= 0) {
+    return;
+  }
+  const int64_t now = NowMs();
+  std::vector<ClientConn*> idle;
+  for (auto& [id, conn] : conns_) {
+    if (!conn->closed && !conn->serving && conn->requests.empty() &&
+        now - conn->last_activity_ms >= config_.idle_close_ms) {
+      idle.push_back(conn.get());
+    }
+  }
+  for (ClientConn* conn : idle) {
+    CloseClient(conn, /*notify_frontend=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lateral service (peer-facing)
+// ---------------------------------------------------------------------------
+
+void BackendServer::OnLateralAccept(uint32_t) {
+  while (true) {
+    const int fd = ::accept4(lateral_listener_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      LARD_LOG(ERROR) << "backend " << config_.node_id << ": lateral accept: "
+                      << std::strerror(errno);
+      return;
+    }
+    auto lateral = std::make_unique<LateralConn>();
+    LateralConn* raw = lateral.get();
+    raw->id = next_lateral_id_++;
+    (void)SetTcpNoDelay(fd);
+    raw->conn = std::make_unique<Connection>(loop_, UniqueFd(fd));
+    raw->conn->set_on_data(
+        [this, id = raw->id](std::string_view data) { OnLateralData(id, data); });
+    raw->conn->set_on_close([this, id = raw->id]() { DestroyLateralConn(id); });
+    raw->conn->Start();
+    lateral_conns_.emplace(raw->id, std::move(lateral));
+  }
+}
+
+void BackendServer::OnLateralData(uint64_t lateral_id, std::string_view data) {
+  auto it = lateral_conns_.find(lateral_id);
+  if (it == lateral_conns_.end()) {
+    return;
+  }
+  LateralConn* conn = it->second.get();
+  std::vector<HttpRequest> requests;
+  if (conn->parser.Feed(data, &requests) == RequestParser::State::kError) {
+    conn->conn->Close();
+    DestroyLateralConn(lateral_id);
+    return;
+  }
+  for (auto& request : requests) {
+    conn->pending.push_back(std::move(request));
+  }
+  ProcessNextLateral(lateral_id);
+}
+
+void BackendServer::ProcessNextLateral(uint64_t lateral_id) {
+  auto it = lateral_conns_.find(lateral_id);
+  if (it == lateral_conns_.end()) {
+    return;
+  }
+  LateralConn* conn = it->second.get();
+  if (conn->serving || conn->pending.empty()) {
+    return;
+  }
+  const HttpRequest request = std::move(conn->pending.front());
+  conn->pending.pop_front();
+  conn->serving = true;
+  counters_.lateral_in.fetch_add(1, std::memory_order_relaxed);
+
+  auto respond = [this, lateral_id](int status, std::string body) {
+    auto it = lateral_conns_.find(lateral_id);
+    if (it == lateral_conns_.end()) {
+      return;
+    }
+    LateralConn* conn = it->second.get();
+    if (conn->conn != nullptr && conn->conn->open()) {
+      HttpResponse response;
+      response.version = HttpVersion::kHttp11;
+      response.status = status;
+      response.reason = ReasonPhrase(status);
+      response.body = std::move(body);
+      conn->conn->Write(response.Serialize());
+    }
+    conn->serving = false;
+    ProcessNextLateral(lateral_id);
+  };
+
+  const TargetId target = store_->Resolve(request.path);
+  if (target == kInvalidTarget) {
+    respond(404, "not found\n");
+    return;
+  }
+  if (cache_.Touch(target)) {
+    counters_.local_hits.fetch_add(1, std::memory_order_relaxed);
+    respond(200, store_->BodyFor(target));
+    return;
+  }
+  counters_.local_misses.fetch_add(1, std::memory_order_relaxed);
+  disk_->Read(store_->SizeOf(target), [this, target, respond]() {
+    // This node is the caching node for laterally requested targets: misses
+    // populate the cache.
+    cache_.Insert(target, store_->SizeOf(target));
+    respond(200, store_->BodyFor(target));
+  });
+}
+
+void BackendServer::DestroyLateralConn(uint64_t lateral_id) {
+  auto it = lateral_conns_.find(lateral_id);
+  if (it == lateral_conns_.end()) {
+    return;
+  }
+  // May be called from inside the connection's own callback: defer.
+  std::shared_ptr<LateralConn> dead(it->second.release());
+  lateral_conns_.erase(it);
+  loop_->Post([dead]() {});
+}
+
+}  // namespace lard

@@ -1,0 +1,181 @@
+// Prototype back-end node (Sections 7.1–7.4), in user space:
+//
+//   * adopts client TCP connections handed off by the front-end (the fd
+//     arrives over the control session — our in-kernel-handoff analogue) and
+//     serves HTTP/1.0 and persistent HTTP/1.1 with pipelining on them,
+//   * for non-autonomous connections, echoes every parsed batch of requests
+//     to the front-end dispatcher (the forwarding module's packet-copy path)
+//     and acts on the returned *tagged requests*: a "/__be<k>/..." tag makes
+//     it fetch the content laterally from node k and relay the response on
+//     its client connection (back-end request forwarding),
+//   * serves lateral fetches for its peers from its own cache/disk,
+//   * reports its disk queue length to the front-end (piggybacked on
+//     consults and on a periodic timer), which is the extended-LARD policy's
+//     only back-end feedback.
+//
+// The cache is an LruCache over target ids; a miss passes through the
+// DiskGate (simulated disk, DESIGN.md §2). Lateral fetches never populate the
+// fetching node's cache — preserving the paper's "NFS client caching
+// disabled" semantics so LARD alone controls replication.
+//
+// Threading: everything runs on the node's EventLoop thread; stats counters
+// are atomics readable from outside.
+#ifndef SRC_PROTO_BACKEND_SERVER_H_
+#define SRC_PROTO_BACKEND_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cluster_types.h"
+#include "src/core/lru_cache.h"
+#include "src/http/request_parser.h"
+#include "src/net/connection.h"
+#include "src/net/event_loop.h"
+#include "src/net/framed_channel.h"
+#include "src/proto/content_store.h"
+#include "src/proto/control_protocol.h"
+#include "src/proto/disk_gate.h"
+#include "src/proto/lateral_client.h"
+
+namespace lard {
+
+struct BackendConfig {
+  NodeId node_id = 0;
+  int num_nodes = 1;
+  uint64_t cache_bytes = 32ull * 1024 * 1024;
+  DiskCostModel disk_costs;
+  double disk_time_scale = 1.0;
+  // Close a client connection after this much inactivity (the paper's
+  // "configurable interval, typically 15 seconds"). <= 0 disables.
+  int64_t idle_close_ms = 15000;
+};
+
+struct BackendCounters {
+  std::atomic<uint64_t> connections_adopted{0};
+  std::atomic<uint64_t> handbacks{0};  // connections migrated away (multiple handoff)
+  std::atomic<uint64_t> requests_served{0};     // responses written to clients
+  std::atomic<uint64_t> local_hits{0};
+  std::atomic<uint64_t> local_misses{0};
+  std::atomic<uint64_t> lateral_out{0};         // fetched from a peer
+  std::atomic<uint64_t> lateral_in{0};          // served on behalf of a peer
+  std::atomic<uint64_t> bytes_to_clients{0};
+  std::atomic<uint64_t> not_found{0};
+};
+
+class BackendServer {
+ public:
+  // `loop` and `store` must outlive the server. The server is constructed on
+  // the owner's thread but must be *started* on the loop thread.
+  BackendServer(const BackendConfig& config, EventLoop* loop, const ContentStore* store);
+  ~BackendServer();
+
+  BackendServer(const BackendServer&) = delete;
+  BackendServer& operator=(const BackendServer&) = delete;
+
+  // Loop thread. Attaches the control session to the front-end and opens the
+  // lateral listener (port returned via lateral_port()).
+  void Start(UniqueFd control_fd);
+
+  // Loop thread. Connects lateral clients; ports[i] is node i's lateral port
+  // (entry for self ignored). Call once after every node has started.
+  void ConnectPeers(const std::vector<uint16_t>& ports);
+
+  uint16_t lateral_port() const { return lateral_port_; }
+  const BackendCounters& counters() const { return counters_; }
+  int disk_queue_length() const { return disk_ == nullptr ? 0 : disk_->queue_length(); }
+
+ private:
+  struct ClientConn {
+    ConnId id = 0;
+    std::unique_ptr<Connection> conn;
+    RequestParser parser;
+    bool autonomous = false;
+    bool closed = false;
+    // Requests whose directives arrived with the handoff (batch 1): that many
+    // parsed requests must not be re-consulted to the dispatcher.
+    size_t preassigned_remaining = 0;
+    // Parsed-but-unserved requests, paired FIFO with directives.
+    std::deque<HttpRequest> requests;
+    std::deque<RequestDirective> directives;
+    // Paths parsed but not yet consulted (accumulates while one consult is in
+    // flight; flushed as the next batch).
+    std::vector<std::string> consult_backlog;
+    bool consult_outstanding = false;
+    bool serving = false;       // a response is being produced (serial per conn)
+    bool migrating = false;     // hand-back in progress: no consults, no serves
+    bool idle_reported = true;  // kIdle sent and nothing new since
+    int64_t last_activity_ms = 0;
+  };
+
+  struct LateralConn {
+    uint64_t id = 0;
+    std::unique_ptr<Connection> conn;
+    RequestParser parser;
+    // Responses must leave in request order even when a cache hit follows a
+    // disk miss, so lateral service is serial per connection.
+    std::deque<HttpRequest> pending;
+    bool serving = false;
+  };
+
+  // Control session.
+  void OnControlMessage(uint8_t type, std::string payload, UniqueFd fd);
+  void AdoptConnection(HandoffMsg msg, UniqueFd fd);
+  void OnAssignments(const AssignmentsMsg& msg);
+
+  // Client connections.
+  void OnClientData(ClientConn* conn, std::string_view data);
+  void OnClientClosed(ClientConn* conn);
+  void MaybeConsult(ClientConn* conn);
+  void ProcessNext(ClientConn* conn);
+  // Multiple handoff: flush outstanding responses, then detach the client
+  // socket and hand it back to the front-end for migration (Section 7.2's
+  // sketched design — "the handoff protocol at the backend can hand back the
+  // connection to the frontend, which can further hand it to another
+  // backend"; flushing first keeps the response pipeline from draining
+  // mid-response).
+  void StartHandback(ClientConn* conn);
+  void DoHandback(ConnId conn_id);
+  void ServeLocal(ClientConn* conn, const HttpRequest& request, const RequestDirective& directive);
+  void ServeLateral(ClientConn* conn, const HttpRequest& request, NodeId peer,
+                    const std::string& path);
+  void WriteResponse(ClientConn* conn, const HttpRequest& request, int status, std::string body);
+  void FinishRequest(ClientConn* conn);
+  void CloseClient(ClientConn* conn, bool notify_frontend);
+  void ReportIdleIfQuiescent(ClientConn* conn);
+
+  // Lateral service.
+  void OnLateralAccept(uint32_t events);
+  void OnLateralData(uint64_t lateral_id, std::string_view data);
+  void ProcessNextLateral(uint64_t lateral_id);
+  void DestroyLateralConn(uint64_t lateral_id);
+
+  void SweepIdleConnections();
+  int64_t NowMs() const;
+
+  BackendConfig config_;
+  EventLoop* loop_;
+  const ContentStore* store_;
+
+  std::unique_ptr<FramedChannel> control_;
+  std::unique_ptr<DiskGate> disk_;
+  LruCache cache_;
+
+  UniqueFd lateral_listener_;
+  uint16_t lateral_port_ = 0;
+  std::vector<std::unique_ptr<LateralClient>> peers_;  // index = NodeId
+
+  std::unordered_map<ConnId, std::unique_ptr<ClientConn>> conns_;
+  std::unordered_map<uint64_t, std::unique_ptr<LateralConn>> lateral_conns_;
+  uint64_t next_lateral_id_ = 1;
+
+  BackendCounters counters_;
+};
+
+}  // namespace lard
+
+#endif  // SRC_PROTO_BACKEND_SERVER_H_

@@ -1,0 +1,162 @@
+#include "src/proto/cluster.h"
+
+#include <future>
+
+#include "src/net/socket.h"
+#include "src/util/logging.h"
+
+namespace lard {
+namespace {
+
+// Runs `fn` on the loop's thread and waits for completion.
+void RunOnLoop(EventLoop* loop, std::function<void()> fn) {
+  std::promise<void> done;
+  auto future = done.get_future();
+  loop->Post([&fn, &done]() {
+    fn();
+    done.set_value();
+  });
+  future.wait();
+}
+
+}  // namespace
+
+// One back-end node: loop thread + server. Declaration order matters: the
+// loop must outlive the server (whose teardown unregisters fds).
+struct Cluster::Node {
+  std::unique_ptr<EventLoop> loop;
+  std::unique_ptr<BackendServer> server;
+  std::thread thread;
+};
+
+Cluster::Cluster(const ClusterConfig& config, const TargetCatalog* catalog)
+    : config_(config), store_(catalog) {
+  LARD_CHECK(config_.num_nodes > 0);
+}
+
+Cluster::~Cluster() { Stop(); }
+
+Status Cluster::Start() {
+  LARD_CHECK(!started_);
+  started_ = true;
+
+  // Control sessions: one unix socketpair per back-end.
+  std::vector<UniqueFd> fe_ends;
+  std::vector<UniqueFd> be_ends;
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    auto pair = UnixPair();
+    if (!pair.ok()) {
+      return pair.status();
+    }
+    fe_ends.push_back(std::move(pair.value().first));
+    be_ends.push_back(std::move(pair.value().second));
+  }
+
+  // Back-ends.
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    auto node = std::make_unique<Node>();
+    node->loop = std::make_unique<EventLoop>();
+    BackendConfig backend_config;
+    backend_config.node_id = i;
+    backend_config.num_nodes = config_.num_nodes;
+    backend_config.cache_bytes = config_.backend_cache_bytes;
+    backend_config.disk_costs = config_.disk_costs;
+    backend_config.disk_time_scale = config_.disk_time_scale;
+    backend_config.idle_close_ms = config_.idle_close_ms;
+    node->server = std::make_unique<BackendServer>(backend_config, node->loop.get(), &store_);
+    node->thread = std::thread([loop = node->loop.get()]() { loop->Run(); });
+    nodes_.push_back(std::move(node));
+  }
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    Node* node = nodes_[static_cast<size_t>(i)].get();
+    RunOnLoop(node->loop.get(), [node, fd = &be_ends[static_cast<size_t>(i)]]() {
+      node->server->Start(std::move(*fd));
+    });
+  }
+
+  // Lateral mesh.
+  std::vector<uint16_t> lateral_ports;
+  for (const auto& node : nodes_) {
+    lateral_ports.push_back(node->server->lateral_port());
+  }
+  for (const auto& node : nodes_) {
+    RunOnLoop(node->loop.get(),
+              [&node, &lateral_ports]() { node->server->ConnectPeers(lateral_ports); });
+  }
+
+  // Front-end.
+  fe_loop_ = std::make_unique<EventLoop>();
+  FrontEndConfig fe_config;
+  fe_config.num_nodes = config_.num_nodes;
+  fe_config.policy = config_.policy;
+  fe_config.mechanism = config_.mechanism;
+  fe_config.params = config_.params;
+  fe_config.virtual_cache_bytes = config_.backend_cache_bytes;
+  fe_config.listen_port = config_.listen_port;
+  frontend_ = std::make_unique<FrontEnd>(fe_config, fe_loop_.get(), &store_.catalog());
+  fe_thread_ = std::thread([loop = fe_loop_.get()]() { loop->Run(); });
+  RunOnLoop(fe_loop_.get(), [this, &fe_ends, &lateral_ports]() {
+    frontend_->Start(std::move(fe_ends));
+    if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
+      frontend_->ConnectBackends(lateral_ports);
+    }
+  });
+  return Status::Ok();
+}
+
+void Cluster::Stop() {
+  if (!started_ || stopped_) {
+    return;
+  }
+  stopped_ = true;
+  if (fe_loop_ != nullptr) {
+    fe_loop_->Stop();
+  }
+  if (fe_thread_.joinable()) {
+    fe_thread_.join();
+  }
+  for (auto& node : nodes_) {
+    node->loop->Stop();
+    if (node->thread.joinable()) {
+      node->thread.join();
+    }
+  }
+}
+
+uint16_t Cluster::port() const {
+  LARD_CHECK(frontend_ != nullptr);
+  return frontend_->port();
+}
+
+ClusterSnapshot Cluster::Snapshot() const {
+  ClusterSnapshot snapshot;
+  for (const auto& node : nodes_) {
+    const BackendCounters& counters = node->server->counters();
+    const uint64_t requests = counters.requests_served.load(std::memory_order_relaxed);
+    snapshot.requests_served += requests;
+    snapshot.requests_per_node.push_back(requests);
+    snapshot.local_hits += counters.local_hits.load(std::memory_order_relaxed);
+    snapshot.local_misses += counters.local_misses.load(std::memory_order_relaxed);
+    snapshot.lateral_out += counters.lateral_out.load(std::memory_order_relaxed);
+    snapshot.bytes_to_clients += counters.bytes_to_clients.load(std::memory_order_relaxed);
+    snapshot.not_found += counters.not_found.load(std::memory_order_relaxed);
+    snapshot.migrations += counters.handbacks.load(std::memory_order_relaxed);
+  }
+  if (frontend_ != nullptr) {
+    snapshot.connections = frontend_->counters().connections_accepted.load();
+    snapshot.consults = frontend_->counters().consults.load();
+    snapshot.handoffs = frontend_->counters().handoffs.load();
+    if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
+      // Relay mode serves clients from the front-end; back-end
+      // requests_served counters stay zero (their lateral path served the
+      // fetches).
+      snapshot.requests_served += frontend_->counters().relayed_requests.load();
+    }
+  }
+  const uint64_t lookups = snapshot.local_hits + snapshot.local_misses;
+  snapshot.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(snapshot.local_hits) / static_cast<double>(lookups) : 0.0;
+  return snapshot;
+}
+
+}  // namespace lard

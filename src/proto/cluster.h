@@ -1,0 +1,89 @@
+// In-process prototype cluster harness (Figure 12's testbed in one process):
+// wires up one front-end and N back-ends, each on its own event-loop thread,
+// connected by unix-socket control sessions, and exposes the front-end's TCP
+// port. Used by the integration tests, the examples and the Figure 13 bench.
+#ifndef SRC_PROTO_CLUSTER_H_
+#define SRC_PROTO_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/cluster_types.h"
+#include "src/core/lard_params.h"
+#include "src/proto/backend_server.h"
+#include "src/proto/content_store.h"
+#include "src/proto/frontend.h"
+#include "src/sim/cost_model.h"
+#include "src/trace/trace.h"
+#include "src/util/status.h"
+
+namespace lard {
+
+struct ClusterConfig {
+  int num_nodes = 2;
+  Policy policy = Policy::kExtendedLard;
+  Mechanism mechanism = Mechanism::kBackEndForwarding;
+  LardParams params;
+  uint64_t backend_cache_bytes = 32ull * 1024 * 1024;
+  DiskCostModel disk_costs;
+  // 1.0 = paper-faithful disk latencies; tests compress (e.g. 0.02).
+  double disk_time_scale = 1.0;
+  int64_t idle_close_ms = 15000;
+  uint16_t listen_port = 0;  // 0 = ephemeral
+};
+
+// Snapshot of the whole cluster's counters.
+struct ClusterSnapshot {
+  uint64_t requests_served = 0;
+  uint64_t local_hits = 0;
+  uint64_t local_misses = 0;
+  uint64_t lateral_out = 0;
+  uint64_t bytes_to_clients = 0;
+  uint64_t connections = 0;
+  uint64_t consults = 0;
+  uint64_t handoffs = 0;
+  uint64_t migrations = 0;  // multiple-handoff hand-backs
+  uint64_t not_found = 0;
+  double cache_hit_rate = 0.0;
+  std::vector<uint64_t> requests_per_node;
+};
+
+class Cluster {
+ public:
+  // `catalog` (document tree) must outlive the cluster.
+  Cluster(const ClusterConfig& config, const TargetCatalog* catalog);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Starts all loops and components; returns once the front-end is listening.
+  Status Start();
+  // Stops all loops and joins the threads. Safe to call twice.
+  void Stop();
+
+  uint16_t port() const;
+  ClusterSnapshot Snapshot() const;
+  const ContentStore& store() const { return store_; }
+
+ private:
+  struct Node;
+
+  ClusterConfig config_;
+  ContentStore store_;
+
+  std::unique_ptr<EventLoop> fe_loop_;
+  std::unique_ptr<FrontEnd> frontend_;
+  std::thread fe_thread_;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace lard
+
+#endif  // SRC_PROTO_CLUSTER_H_

@@ -1,0 +1,50 @@
+#include "src/proto/content_store.h"
+
+#include "src/util/logging.h"
+
+namespace lard {
+namespace {
+
+// 64-byte repeating fill block; offset rotated by a path hash so different
+// documents have different bytes.
+constexpr char kFill[] =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789+/";
+
+uint64_t PathHash(const std::string& path) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char c : path) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ContentStore::ContentStore(const TargetCatalog* catalog) : catalog_(catalog) {
+  LARD_CHECK(catalog_ != nullptr);
+}
+
+std::string ContentStore::ExpectedBody(const std::string& path, uint64_t size_bytes) {
+  std::string body;
+  body.reserve(size_bytes);
+  std::string header = path + "#" + std::to_string(size_bytes) + "#";
+  if (header.size() > size_bytes) {
+    header.resize(size_bytes);
+  }
+  body = header;
+  const uint64_t rot = PathHash(path) % 64;
+  size_t i = body.size();
+  body.resize(size_bytes);
+  for (; i < size_bytes; ++i) {
+    body[i] = kFill[(i + rot) % 64];
+  }
+  return body;
+}
+
+std::string ContentStore::BodyFor(TargetId target) const {
+  const Target& entry = catalog_->Get(target);
+  return ExpectedBody(entry.path, entry.size_bytes);
+}
+
+}  // namespace lard

@@ -1,0 +1,42 @@
+// Deterministic synthetic content for the prototype back-ends (DESIGN.md §2:
+// the substitution for the Rice servers' real document tree). Bodies are
+// generated on demand from the target's path and size — no gigabytes on disk,
+// yet every byte is reproducible, so the load generator can verify responses
+// end-to-end.
+#ifndef SRC_PROTO_CONTENT_STORE_H_
+#define SRC_PROTO_CONTENT_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace lard {
+
+class ContentStore {
+ public:
+  // `catalog` must outlive the store; it defines the document tree.
+  explicit ContentStore(const TargetCatalog* catalog);
+
+  // Body bytes for `target`: "<path>#<size>#" followed by a deterministic
+  // byte pattern, exactly Get(target).size_bytes long (a header longer than
+  // the document is truncated).
+  std::string BodyFor(TargetId target) const;
+
+  // The body a client should expect for a path of the given size — used for
+  // end-to-end verification without a catalog round-trip.
+  static std::string ExpectedBody(const std::string& path, uint64_t size_bytes);
+
+  // Resolves a path to a target id; kInvalidTarget when absent (-> 404).
+  TargetId Resolve(const std::string& path) const { return catalog_->Find(path); }
+
+  uint64_t SizeOf(TargetId target) const { return catalog_->Get(target).size_bytes; }
+  const TargetCatalog& catalog() const { return *catalog_; }
+
+ private:
+  const TargetCatalog* catalog_;
+};
+
+}  // namespace lard
+
+#endif  // SRC_PROTO_CONTENT_STORE_H_

@@ -1,0 +1,147 @@
+#include "src/proto/control_protocol.h"
+
+namespace lard {
+namespace {
+
+void EncodeDirectives(WireWriter* writer, const std::vector<RequestDirective>& directives) {
+  writer->U32(static_cast<uint32_t>(directives.size()));
+  for (const auto& directive : directives) {
+    writer->U8(static_cast<uint8_t>(directive.action));
+    writer->U32(static_cast<uint32_t>(directive.node));
+    writer->Str(directive.path);
+    writer->U8(directive.cache_after_miss ? 1 : 0);
+  }
+}
+
+bool DecodeDirectives(WireReader* reader, std::vector<RequestDirective>* directives) {
+  const uint32_t count = reader->U32();
+  if (count > 1u << 20) {
+    return false;
+  }
+  directives->clear();
+  directives->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RequestDirective directive;
+    const uint8_t action = reader->U8();
+    if (action > static_cast<uint8_t>(DirectiveAction::kMigrate)) {
+      return false;
+    }
+    directive.action = static_cast<DirectiveAction>(action);
+    directive.node = static_cast<NodeId>(reader->U32());
+    directive.path = reader->Str();
+    directive.cache_after_miss = reader->U8() != 0;
+    directives->push_back(std::move(directive));
+  }
+  return reader->ok();
+}
+
+}  // namespace
+
+std::string EncodeHandoff(const HandoffMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.conn_id);
+  writer.U8(msg.autonomous ? 1 : 0);
+  EncodeDirectives(&writer, msg.directives);
+  writer.Str(msg.unparsed_input);
+  return writer.Take();
+}
+
+bool DecodeHandoff(std::string_view payload, HandoffMsg* msg) {
+  WireReader reader(payload);
+  msg->conn_id = reader.U64();
+  msg->autonomous = reader.U8() != 0;
+  if (!DecodeDirectives(&reader, &msg->directives)) {
+    return false;
+  }
+  msg->unparsed_input = reader.Str();
+  return reader.Complete();
+}
+
+std::string EncodeHandback(const HandbackMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.conn_id);
+  writer.U32(static_cast<uint32_t>(msg.target_node));
+  EncodeDirectives(&writer, msg.directives);
+  writer.Str(msg.replay_input);
+  return writer.Take();
+}
+
+bool DecodeHandback(std::string_view payload, HandbackMsg* msg) {
+  WireReader reader(payload);
+  msg->conn_id = reader.U64();
+  msg->target_node = static_cast<NodeId>(reader.U32());
+  if (!DecodeDirectives(&reader, &msg->directives)) {
+    return false;
+  }
+  msg->replay_input = reader.Str();
+  return reader.Complete();
+}
+
+std::string EncodeConsult(const ConsultMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.conn_id);
+  writer.U32(msg.disk_queue_len);
+  writer.U32(static_cast<uint32_t>(msg.paths.size()));
+  for (const auto& path : msg.paths) {
+    writer.Str(path);
+  }
+  return writer.Take();
+}
+
+bool DecodeConsult(std::string_view payload, ConsultMsg* msg) {
+  WireReader reader(payload);
+  msg->conn_id = reader.U64();
+  msg->disk_queue_len = reader.U32();
+  const uint32_t count = reader.U32();
+  if (count > 1u << 20) {
+    return false;
+  }
+  msg->paths.clear();
+  msg->paths.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    msg->paths.push_back(reader.Str());
+  }
+  return reader.Complete();
+}
+
+std::string EncodeAssignments(const AssignmentsMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.conn_id);
+  EncodeDirectives(&writer, msg.directives);
+  return writer.Take();
+}
+
+bool DecodeAssignments(std::string_view payload, AssignmentsMsg* msg) {
+  WireReader reader(payload);
+  msg->conn_id = reader.U64();
+  if (!DecodeDirectives(&reader, &msg->directives)) {
+    return false;
+  }
+  return reader.Complete();
+}
+
+std::string EncodeU64(uint64_t value) {
+  WireWriter writer;
+  writer.U64(value);
+  return writer.Take();
+}
+
+bool DecodeU64(std::string_view payload, uint64_t* value) {
+  WireReader reader(payload);
+  *value = reader.U64();
+  return reader.Complete();
+}
+
+std::string EncodeU32(uint32_t value) {
+  WireWriter writer;
+  writer.U32(value);
+  return writer.Take();
+}
+
+bool DecodeU32(std::string_view payload, uint32_t* value) {
+  WireReader reader(payload);
+  *value = reader.U32();
+  return reader.Complete();
+}
+
+}  // namespace lard

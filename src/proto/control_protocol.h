@@ -1,0 +1,121 @@
+// Control-session protocol between the prototype front-end and back-ends
+// (Section 7.1): the user-space analogue of the paper's handoff-protocol
+// control connection. Carries connection handoffs (with the client socket fd
+// attached — our TCP handoff), dispatcher consults and tagged-request
+// replies, idle/close notifications, and disk-queue-length reports.
+#ifndef SRC_PROTO_CONTROL_PROTOCOL_H_
+#define SRC_PROTO_CONTROL_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster_types.h"
+#include "src/proto/wire.h"
+
+namespace lard {
+
+enum class ControlMsg : uint8_t {
+  // FE -> BE. fd attached: the client socket. Payload: HandoffMsg.
+  kHandoff = 1,
+  // BE -> FE. Payload: ConsultMsg — the next pipelined batch of requests on
+  // a handed-off connection (the analogue of the forwarding module's request
+  // packet copies reaching the dispatcher).
+  kConsult = 2,
+  // FE -> BE. Payload: AssignmentsMsg — the dispatcher's tagged requests.
+  kAssignments = 3,
+  // BE -> FE. Payload: u64 conn_id. All responses flushed; connection idle.
+  kIdle = 4,
+  // BE -> FE. Payload: u64 conn_id. Client connection closed.
+  kConnClosed = 5,
+  // BE -> FE. Payload: u32 queue length. Periodic disk report.
+  kDiskReport = 6,
+  // BE -> FE. fd attached: the client socket, being handed *back* for
+  // migration to another node (TCP multiple handoff, Section 7.2's sketched
+  // extension). Payload: HandbackMsg. The FE relays it as a kHandoff to the
+  // target node.
+  kHandback = 7,
+};
+
+// One request directive inside kHandoff / kAssignments.
+enum class DirectiveAction : uint8_t {
+  // Serve on the node holding the connection (path is the original path).
+  kLocal = 0,
+  // Back-end forwarding: path carries a "/__be<k>/..." tag; fetch laterally.
+  kLateral = 1,
+  // Multiple handoff: flush, then hand the connection back to the front-end
+  // for migration to `node`; this request is served there.
+  kMigrate = 2,
+};
+
+struct RequestDirective {
+  DirectiveAction action = DirectiveAction::kLocal;
+  // Migration target (kMigrate only).
+  NodeId node = kInvalidNode;
+  // The path the back-end server should act on: the original path for a
+  // local serve or migrate, or a tagged path ("/__be<k>/...") instructing a
+  // lateral fetch from node k (Section 7.3's URL-prefix tagging).
+  std::string path;
+  // Extended LARD's caching heuristic: when false, a local disk miss must not
+  // populate the cache.
+  bool cache_after_miss = true;
+};
+
+struct HandoffMsg {
+  ConnId conn_id = 0;
+  // When true the back-end serves all subsequent requests locally without
+  // consulting the dispatcher — the connection-granularity mechanisms (WRR,
+  // simple LARD over single handoff).
+  bool autonomous = false;
+  // Directives for the requests the FE already read before handing off
+  // (batch 1: the first request plus any pipelined tail).
+  std::vector<RequestDirective> directives;
+  // Raw bytes the FE read but did not parse (suffix of a partial request);
+  // must be replayed into the back-end's parser before new socket data.
+  std::string unparsed_input;
+};
+
+struct ConsultMsg {
+  ConnId conn_id = 0;
+  std::vector<std::string> paths;
+  uint32_t disk_queue_len = 0;  // piggybacked feedback
+};
+
+struct AssignmentsMsg {
+  ConnId conn_id = 0;
+  std::vector<RequestDirective> directives;
+};
+
+// The multiple-handoff hand-back: the connection (fd attached to the frame)
+// plus everything the next node needs to continue it seamlessly.
+struct HandbackMsg {
+  ConnId conn_id = 0;
+  NodeId target_node = kInvalidNode;
+  // Directives for the replayed requests, in order (the migrating request
+  // first, rewritten as kLocal for the target).
+  std::vector<RequestDirective> directives;
+  // Serialized unserved requests followed by the unparsed input tail.
+  std::string replay_input;
+};
+
+std::string EncodeHandoff(const HandoffMsg& msg);
+bool DecodeHandoff(std::string_view payload, HandoffMsg* msg);
+
+std::string EncodeHandback(const HandbackMsg& msg);
+bool DecodeHandback(std::string_view payload, HandbackMsg* msg);
+
+std::string EncodeConsult(const ConsultMsg& msg);
+bool DecodeConsult(std::string_view payload, ConsultMsg* msg);
+
+std::string EncodeAssignments(const AssignmentsMsg& msg);
+bool DecodeAssignments(std::string_view payload, AssignmentsMsg* msg);
+
+std::string EncodeU64(uint64_t value);
+bool DecodeU64(std::string_view payload, uint64_t* value);
+
+std::string EncodeU32(uint32_t value);
+bool DecodeU32(std::string_view payload, uint32_t* value);
+
+}  // namespace lard
+
+#endif  // SRC_PROTO_CONTROL_PROTOCOL_H_

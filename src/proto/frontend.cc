@@ -1,0 +1,371 @@
+#include "src/proto/frontend.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/http/tagging.h"
+#include "src/net/socket.h"
+#include "src/util/logging.h"
+
+namespace lard {
+
+// Last-reported disk queue length per back-end — the dispatcher's
+// BackendStatsProvider view (updated from kDiskReport messages and consult
+// piggybacks; all on the loop thread).
+class FrontEnd::DiskTable final : public BackendStatsProvider {
+ public:
+  explicit DiskTable(int num_nodes) : queue_lengths_(static_cast<size_t>(num_nodes), 0) {}
+  int DiskQueueLength(NodeId node) const override {
+    return queue_lengths_[static_cast<size_t>(node)];
+  }
+  void Update(NodeId node, int length) { queue_lengths_[static_cast<size_t>(node)] = length; }
+
+ private:
+  std::vector<int> queue_lengths_;
+};
+
+FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCatalog* catalog)
+    : config_(config), loop_(loop), catalog_(catalog) {
+  LARD_CHECK(loop_ != nullptr);
+  LARD_CHECK(catalog_ != nullptr);
+  LARD_CHECK(config_.mechanism == Mechanism::kSingleHandoff ||
+             config_.mechanism == Mechanism::kBackEndForwarding ||
+             config_.mechanism == Mechanism::kMultipleHandoff ||
+             config_.mechanism == Mechanism::kRelayingFrontEnd)
+      << "prototype supports single/multiple handoff, BE forwarding and relaying";
+  disk_table_ = std::make_unique<DiskTable>(config_.num_nodes);
+
+  DispatcherConfig dispatch_config;
+  dispatch_config.policy = config_.policy;
+  dispatch_config.mechanism = config_.mechanism;
+  dispatch_config.params = config_.params;
+  dispatch_config.num_nodes = config_.num_nodes;
+  dispatch_config.virtual_cache_bytes = config_.virtual_cache_bytes;
+  dispatcher_ = std::make_unique<Dispatcher>(dispatch_config, catalog_, disk_table_.get());
+}
+
+FrontEnd::~FrontEnd() = default;
+
+void FrontEnd::Start(std::vector<UniqueFd> control_fds) {
+  LARD_CHECK(control_fds.size() == static_cast<size_t>(config_.num_nodes));
+  for (int node = 0; node < config_.num_nodes; ++node) {
+    UniqueFd fd = std::move(control_fds[static_cast<size_t>(node)]);
+    LARD_CHECK_OK(SetNonBlocking(fd.get(), true));
+    auto channel = std::make_unique<FramedChannel>(loop_, std::move(fd));
+    channel->set_on_message([this, node](uint8_t type, std::string payload, UniqueFd passed_fd) {
+      OnControlMessage(node, type, std::move(payload), std::move(passed_fd));
+    });
+    channel->set_on_close(
+        [node]() { LARD_LOG(WARNING) << "front-end: control session to node " << node << " lost"; });
+    channel->Start();
+    controls_.push_back(std::move(channel));
+  }
+
+  auto listener = ListenTcp(config_.listen_port, &port_);
+  LARD_CHECK(listener.ok()) << listener.status().ToString();
+  listener_ = std::move(listener.value());
+  LARD_CHECK_OK(SetNonBlocking(listener_.get(), true));
+  loop_->Register(listener_.get(), EPOLLIN, [this](uint32_t events) { OnAccept(events); });
+}
+
+void FrontEnd::ConnectBackends(const std::vector<uint16_t>& backend_http_ports) {
+  LARD_CHECK(backend_http_ports.size() == static_cast<size_t>(config_.num_nodes));
+  relays_.clear();
+  for (int node = 0; node < config_.num_nodes; ++node) {
+    relays_.push_back(
+        std::make_unique<LateralClient>(loop_, backend_http_ports[static_cast<size_t>(node)]));
+  }
+}
+
+void FrontEnd::OnAccept(uint32_t) {
+  while (true) {
+    const int fd = ::accept4(listener_.get(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      LARD_LOG(ERROR) << "front-end accept: " << std::strerror(errno);
+      return;
+    }
+    (void)SetTcpNoDelay(fd);
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+
+    auto conn = std::make_unique<FeConn>();
+    FeConn* raw = conn.get();
+    raw->id = next_conn_id_++;
+    raw->conn = std::make_unique<Connection>(loop_, UniqueFd(fd));
+    raw->conn->set_on_data([this, id = raw->id](std::string_view data) {
+      auto it = conns_.find(id);
+      if (it != conns_.end()) {
+        OnClientData(it->second.get(), data);
+      }
+    });
+    raw->conn->set_on_close([this, id = raw->id]() {
+      auto it = conns_.find(id);
+      if (it != conns_.end()) {
+        OnClientClosed(it->second.get());
+      }
+    });
+    raw->conn->Start();
+    conns_.emplace(raw->id, std::move(conn));
+
+    if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
+      raw->in_dispatcher = true;
+      live_in_dispatcher_.insert(raw->id);
+      dispatcher_->OnConnectionOpen(raw->id);
+    }
+  }
+}
+
+void FrontEnd::OnClientData(FeConn* conn, std::string_view data) {
+  if (conn->closed) {
+    return;
+  }
+  conn->raw_bytes.append(data.data(), data.size());
+  std::vector<HttpRequest> requests;
+  if (conn->parser.Feed(data, &requests) == RequestParser::State::kError) {
+    conn->conn->Write("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n");
+    conn->conn->CloseAfterFlush();
+    DestroyConn(conn);
+    return;
+  }
+  if (requests.empty()) {
+    return;
+  }
+  if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
+    RelayFlow(conn, std::move(requests));
+  } else {
+    HandoffFlow(conn, std::move(requests));
+  }
+}
+
+std::vector<TargetId> FrontEnd::PathsToTargets(const std::vector<std::string>& paths) const {
+  std::vector<TargetId> targets;
+  targets.reserve(paths.size());
+  for (const auto& path : paths) {
+    targets.push_back(catalog_->Find(path));
+  }
+  return targets;
+}
+
+RequestDirective FrontEnd::DirectiveFor(const std::string& path,
+                                        const Assignment& assignment) const {
+  RequestDirective directive;
+  directive.cache_after_miss = assignment.cache_after_miss;
+  if (assignment.action == AssignmentAction::kForward) {
+    directive.action = DirectiveAction::kLateral;
+    directive.path = TagPathForNode(path, assignment.node);
+  } else if (assignment.action == AssignmentAction::kMigrate) {
+    directive.action = DirectiveAction::kMigrate;
+    directive.node = assignment.node;
+    directive.path = path;
+  } else {
+    directive.path = path;
+  }
+  return directive;
+}
+
+void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
+  // The first batch: every complete request that arrived before we decided.
+  std::vector<std::string> paths;
+  paths.reserve(requests.size());
+  for (const auto& request : requests) {
+    paths.push_back(request.path);
+  }
+
+  dispatcher_->OnConnectionOpen(conn->id);
+  live_in_dispatcher_.insert(conn->id);
+  const std::vector<Assignment> assignments =
+      dispatcher_->OnBatch(conn->id, PathsToTargets(paths));
+  LARD_CHECK(!assignments.empty());
+  const NodeId node = assignments[0].node;
+  LARD_CHECK(assignments[0].action == AssignmentAction::kHandoff);
+
+  HandoffMsg msg;
+  msg.conn_id = conn->id;
+  // Connection-granularity policies/mechanisms never consult per request.
+  msg.autonomous = !(config_.policy == Policy::kExtendedLard &&
+                     (config_.mechanism == Mechanism::kBackEndForwarding ||
+                      config_.mechanism == Mechanism::kMultipleHandoff));
+  msg.directives.reserve(assignments.size());
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    msg.directives.push_back(DirectiveFor(paths[i], assignments[i]));
+  }
+  // Ship the whole byte stream we saw; the back-end re-parses it and pairs
+  // requests with our directives 1:1 (the paper's "copy of request packets to
+  // the dispatcher" in reverse).
+  msg.unparsed_input = std::move(conn->raw_bytes);
+
+  Connection::Detached detached = conn->conn->Detach();
+  controls_[static_cast<size_t>(node)]->SendWithFd(static_cast<uint8_t>(ControlMsg::kHandoff),
+                                                   EncodeHandoff(msg), std::move(detached.fd));
+  counters_.handoffs.fetch_add(1, std::memory_order_relaxed);
+  // Dispatcher state for this connection now lives on; our socket plumbing
+  // does not. (Deferred: we are inside this Connection's on_data callback.)
+  conn->closed = true;
+  loop_->Post([this, id = conn->id]() { conns_.erase(id); });
+}
+
+void FrontEnd::RelayFlow(FeConn* conn, std::vector<HttpRequest> requests) {
+  std::vector<std::string> paths;
+  paths.reserve(requests.size());
+  for (const auto& request : requests) {
+    paths.push_back(request.path);
+  }
+  const std::vector<Assignment> assignments =
+      dispatcher_->OnBatch(conn->id, PathsToTargets(paths));
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    LARD_CHECK(assignments[i].action == AssignmentAction::kRelay);
+    conn->relay_queue.emplace_back(std::move(requests[i]), assignments[i].node);
+  }
+  ProcessNextRelay(conn->id);
+}
+
+void FrontEnd::ProcessNextRelay(ConnId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return;
+  }
+  FeConn* conn = it->second.get();
+  if (conn->serving || conn->closed || conn->relay_queue.empty()) {
+    if (!conn->serving && !conn->closed && conn->relay_queue.empty() &&
+        live_in_dispatcher_.count(id) != 0) {
+      dispatcher_->OnConnectionIdle(id);
+    }
+    return;
+  }
+  auto [request, node] = std::move(conn->relay_queue.front());
+  conn->relay_queue.pop_front();
+  conn->serving = true;
+  counters_.relayed_requests.fetch_add(1, std::memory_order_relaxed);
+
+  LARD_CHECK(!relays_.empty()) << "relay mode requires ConnectBackends()";
+  relays_[static_cast<size_t>(node)]->Fetch(
+      request.path, [this, id, request](int status, std::string body) {
+        auto it = conns_.find(id);
+        if (it == conns_.end()) {
+          return;
+        }
+        FeConn* conn = it->second.get();
+        if (conn->closed || !conn->conn->open()) {
+          return;
+        }
+        HttpResponse response;
+        response.version = request.version;
+        response.status = status == 0 ? 503 : status;
+        response.reason = ReasonPhrase(response.status);
+        response.body = std::move(body);
+        const bool keep_alive = request.KeepAlive();
+        if (!keep_alive) {
+          response.headers.Add("Connection", "close");
+        }
+        conn->conn->Write(response.Serialize());
+        conn->serving = false;
+        if (!keep_alive) {
+          conn->conn->CloseAfterFlush();
+          DestroyConn(conn);
+          return;
+        }
+        ProcessNextRelay(id);
+      });
+}
+
+void FrontEnd::OnClientClosed(FeConn* conn) { DestroyConn(conn); }
+
+void FrontEnd::DestroyConn(FeConn* conn) {
+  if (conn->closed) {
+    return;
+  }
+  conn->closed = true;
+  if (conn->in_dispatcher && live_in_dispatcher_.erase(conn->id) > 0) {
+    dispatcher_->OnConnectionClose(conn->id);
+  }
+  loop_->Post([this, id = conn->id]() { conns_.erase(id); });
+}
+
+void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, UniqueFd fd) {
+  switch (static_cast<ControlMsg>(type)) {
+    case ControlMsg::kHandback: {
+      // Multiple handoff: a back-end flushed and detached the connection; we
+      // relay it to the dispatcher-chosen target as a fresh (non-autonomous)
+      // handoff carrying the unserved request replay.
+      HandbackMsg msg;
+      if (!DecodeHandback(payload, &msg) || !fd.valid() || msg.target_node < 0 ||
+          msg.target_node >= config_.num_nodes) {
+        LARD_LOG(ERROR) << "front-end: bad handback from node " << node;
+        return;
+      }
+      if (live_in_dispatcher_.count(msg.conn_id) == 0) {
+        return;  // connection died in flight; drop the fd (RAII closes it)
+      }
+      HandoffMsg handoff;
+      handoff.conn_id = msg.conn_id;
+      handoff.autonomous = false;
+      handoff.directives = std::move(msg.directives);
+      handoff.unparsed_input = std::move(msg.replay_input);
+      controls_[static_cast<size_t>(msg.target_node)]->SendWithFd(
+          static_cast<uint8_t>(ControlMsg::kHandoff), EncodeHandoff(handoff), std::move(fd));
+      counters_.migrations.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    case ControlMsg::kConsult: {
+      ConsultMsg msg;
+      if (!DecodeConsult(payload, &msg)) {
+        LARD_LOG(ERROR) << "front-end: bad consult from node " << node;
+        return;
+      }
+      HandleConsult(node, msg);
+      return;
+    }
+    case ControlMsg::kIdle: {
+      uint64_t conn_id = 0;
+      if (DecodeU64(payload, &conn_id) && live_in_dispatcher_.count(conn_id) != 0) {
+        dispatcher_->OnConnectionIdle(conn_id);
+      }
+      return;
+    }
+    case ControlMsg::kConnClosed: {
+      uint64_t conn_id = 0;
+      if (DecodeU64(payload, &conn_id) && live_in_dispatcher_.erase(conn_id) > 0) {
+        dispatcher_->OnConnectionClose(conn_id);
+      }
+      return;
+    }
+    case ControlMsg::kDiskReport: {
+      uint32_t queue_length = 0;
+      if (DecodeU32(payload, &queue_length)) {
+        disk_table_->Update(node, static_cast<int>(queue_length));
+      }
+      return;
+    }
+    default:
+      LARD_LOG(ERROR) << "front-end: unexpected control message type " << static_cast<int>(type)
+                      << " from node " << node;
+  }
+}
+
+void FrontEnd::HandleConsult(NodeId node, const ConsultMsg& msg) {
+  counters_.consults.fetch_add(1, std::memory_order_relaxed);
+  disk_table_->Update(node, static_cast<int>(msg.disk_queue_len));
+  if (live_in_dispatcher_.count(msg.conn_id) == 0) {
+    return;  // connection raced away; the back-end will see kConnClosed state
+  }
+  const std::vector<Assignment> assignments =
+      dispatcher_->OnBatch(msg.conn_id, PathsToTargets(msg.paths));
+  AssignmentsMsg reply;
+  reply.conn_id = msg.conn_id;
+  reply.directives.reserve(assignments.size());
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    reply.directives.push_back(DirectiveFor(msg.paths[i], assignments[i]));
+  }
+  controls_[static_cast<size_t>(node)]->Send(static_cast<uint8_t>(ControlMsg::kAssignments),
+                                             EncodeAssignments(reply));
+}
+
+}  // namespace lard

@@ -1,0 +1,139 @@
+// Prototype front-end node (Sections 7.1–7.3): accepts client TCP
+// connections, reads the first (batch of) request(s), runs the src/core
+// Dispatcher, and
+//
+//   * in the handoff mechanisms, passes the client socket fd plus the bytes
+//     received so far to the chosen back-end over that back-end's control
+//     session (our user-space TCP single handoff), then keeps serving the
+//     connection's dispatcher consults — answering with *tagged requests*
+//     that direct the handling node to serve locally or fetch laterally
+//     (back-end request forwarding);
+//   * in the multiple-handoff mechanism, additionally relays kHandback
+//     messages: a back-end that must migrate a connection flushes, detaches
+//     the client fd and returns it here; we forward it to the target node as
+//     a fresh handoff carrying the unserved-request replay (Section 7.2's
+//     sketched design, which the paper's prototype did not implement);
+//   * in the relaying mechanism, never hands off: it proxies every request to
+//     a per-request back-end choice over persistent back-end connections and
+//     relays the response bytes itself.
+//
+// Load accounting and cache modeling live in the shared Dispatcher; this
+// class is plumbing. Runs entirely on its EventLoop thread.
+#ifndef SRC_PROTO_FRONTEND_H_
+#define SRC_PROTO_FRONTEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cluster_types.h"
+#include "src/core/dispatcher.h"
+#include "src/http/request_parser.h"
+#include "src/net/connection.h"
+#include "src/net/event_loop.h"
+#include "src/net/framed_channel.h"
+#include "src/proto/control_protocol.h"
+#include "src/proto/lateral_client.h"
+#include "src/trace/trace.h"
+
+namespace lard {
+
+struct FrontEndConfig {
+  int num_nodes = 1;
+  Policy policy = Policy::kExtendedLard;
+  // Supported in the prototype: kSingleHandoff, kBackEndForwarding,
+  // kMultipleHandoff (our extension: the paper's prototype never built it —
+  // we migrate connections via fd hand-back through the front-end) and
+  // kRelayingFrontEnd.
+  Mechanism mechanism = Mechanism::kBackEndForwarding;
+  LardParams params;
+  uint64_t virtual_cache_bytes = 32ull * 1024 * 1024;
+  uint16_t listen_port = 0;  // 0 = pick a free port
+};
+
+struct FrontEndCounters {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> handoffs{0};
+  std::atomic<uint64_t> consults{0};
+  std::atomic<uint64_t> relayed_requests{0};
+  std::atomic<uint64_t> migrations{0};  // hand-backs relayed (multiple handoff)
+};
+
+class FrontEnd {
+ public:
+  // `catalog` maps request paths to targets (sizes) for the dispatcher's
+  // virtual caches; must outlive the front-end.
+  FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCatalog* catalog);
+  ~FrontEnd();
+
+  FrontEnd(const FrontEnd&) = delete;
+  FrontEnd& operator=(const FrontEnd&) = delete;
+
+  // Loop thread. control_fds[i] is the unix-socket end of node i's control
+  // session. Opens the client listener; port available via port() after.
+  void Start(std::vector<UniqueFd> control_fds);
+
+  // Loop thread; relaying mechanism only: connect to the back-ends' HTTP
+  // (lateral) ports.
+  void ConnectBackends(const std::vector<uint16_t>& backend_http_ports);
+
+  uint16_t port() const { return port_; }
+  const FrontEndCounters& counters() const { return counters_; }
+  const Dispatcher& dispatcher() const { return *dispatcher_; }
+
+ private:
+  struct FeConn {
+    ConnId id = 0;
+    std::unique_ptr<Connection> conn;
+    RequestParser parser;
+    std::string raw_bytes;  // everything received (shipped on handoff)
+    // Relaying mode state:
+    bool in_dispatcher = false;
+    std::deque<std::pair<HttpRequest, NodeId>> relay_queue;
+    bool serving = false;
+    bool closed = false;
+  };
+
+  class DiskTable;
+
+  void OnAccept(uint32_t events);
+  void OnClientData(FeConn* conn, std::string_view data);
+  void OnClientClosed(FeConn* conn);
+  void DestroyConn(FeConn* conn);
+
+  void HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests);
+  void RelayFlow(FeConn* conn, std::vector<HttpRequest> requests);
+  void ProcessNextRelay(ConnId id);
+
+  void OnControlMessage(NodeId node, uint8_t type, std::string payload, UniqueFd fd);
+  void HandleConsult(NodeId node, const ConsultMsg& msg);
+
+  std::vector<TargetId> PathsToTargets(const std::vector<std::string>& paths) const;
+  RequestDirective DirectiveFor(const std::string& path, const Assignment& assignment) const;
+
+  FrontEndConfig config_;
+  EventLoop* loop_;
+  const TargetCatalog* catalog_;
+
+  std::unique_ptr<DiskTable> disk_table_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  UniqueFd listener_;
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<FramedChannel>> controls_;  // index = NodeId
+  std::vector<std::unique_ptr<LateralClient>> relays_;    // relaying mode
+
+  std::unordered_map<ConnId, std::unique_ptr<FeConn>> conns_;
+  std::set<ConnId> live_in_dispatcher_;  // conns with dispatcher state
+  ConnId next_conn_id_ = 1;
+
+  FrontEndCounters counters_;
+};
+
+}  // namespace lard
+
+#endif  // SRC_PROTO_FRONTEND_H_

@@ -1,0 +1,74 @@
+#include "src/proto/lateral_client.h"
+
+#include "src/net/socket.h"
+#include "src/util/logging.h"
+
+namespace lard {
+
+LateralClient::LateralClient(EventLoop* loop, uint16_t peer_port)
+    : loop_(loop), peer_port_(peer_port) {}
+
+bool LateralClient::EnsureConnected() {
+  if (conn_ != nullptr && conn_->open()) {
+    return true;
+  }
+  conn_.reset();
+  auto fd = ConnectTcp(peer_port_);
+  if (!fd.ok()) {
+    LARD_LOG(ERROR) << "lateral connect to :" << peer_port_ << " failed: "
+                    << fd.status().ToString();
+    return false;
+  }
+  LARD_CHECK_OK(SetNonBlocking(fd.value().get(), true));
+  LARD_CHECK_OK(SetTcpNoDelay(fd.value().get()));
+  conn_ = std::make_unique<Connection>(loop_, std::move(fd.value()));
+  parser_ = ResponseParser();
+  conn_->set_on_data([this](std::string_view data) { OnData(data); });
+  conn_->set_on_close([this]() { OnClose(); });
+  conn_->Start();
+  return true;
+}
+
+void LateralClient::Fetch(const std::string& path, FetchCallback callback) {
+  if (!EnsureConnected()) {
+    callback(0, "");
+    return;
+  }
+  ++fetches_issued_;
+  pending_.push_back(std::move(callback));
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: lateral\r\n\r\n";
+  conn_->Write(request);
+}
+
+void LateralClient::OnData(std::string_view data) {
+  std::vector<HttpResponse> responses;
+  if (parser_.Feed(data, &responses) == ResponseParser::State::kError) {
+    LARD_LOG(ERROR) << "lateral peer :" << peer_port_ << " sent garbage";
+    conn_->Close();
+    OnClose();
+    return;
+  }
+  for (auto& response : responses) {
+    LARD_CHECK(!pending_.empty()) << "lateral response without a pending fetch";
+    FetchCallback callback = std::move(pending_.front());
+    pending_.pop_front();
+    callback(response.status, std::move(response.body));
+  }
+}
+
+void LateralClient::OnClose() {
+  // Fail everything in flight; the next Fetch reconnects. The Connection may
+  // be calling us from inside its own callback, so its destruction is
+  // deferred to the next loop tick.
+  std::deque<FetchCallback> failed;
+  failed.swap(pending_);
+  if (conn_ != nullptr) {
+    std::shared_ptr<Connection> dead(conn_.release());
+    loop_->Post([dead]() {});
+  }
+  for (auto& callback : failed) {
+    callback(0, "");
+  }
+}
+
+}  // namespace lard

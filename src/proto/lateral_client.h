@@ -1,0 +1,53 @@
+// Client side of the back-end-to-back-end lateral fetch path (Section 7.4).
+// The paper implements remote fetching over NFS cross-mounts and notes that
+// "persistent HTTP connections among the backend nodes" are the equivalent
+// alternative — which is what we build: one persistent HTTP/1.1 connection
+// per peer, pipelined, with responses matched to fetches in FIFO order.
+// The relaying front-end reuses this class for its back-end connections.
+//
+// All methods on the owning event loop's thread.
+#ifndef SRC_PROTO_LATERAL_CLIENT_H_
+#define SRC_PROTO_LATERAL_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/http/response_parser.h"
+#include "src/net/connection.h"
+#include "src/net/event_loop.h"
+
+namespace lard {
+
+class LateralClient {
+ public:
+  // status, body. status 0 = transport failure.
+  using FetchCallback = std::function<void(int status, std::string body)>;
+
+  LateralClient(EventLoop* loop, uint16_t peer_port);
+
+  // Issues GET `path`; callbacks fire in issue order. Connects lazily on
+  // first use; a transport failure fails all in-flight fetches with status 0
+  // and the next fetch reconnects.
+  void Fetch(const std::string& path, FetchCallback callback);
+
+  uint64_t fetches_issued() const { return fetches_issued_; }
+
+ private:
+  bool EnsureConnected();
+  void OnData(std::string_view data);
+  void OnClose();
+
+  EventLoop* loop_;
+  uint16_t peer_port_;
+  std::unique_ptr<Connection> conn_;
+  ResponseParser parser_;
+  std::deque<FetchCallback> pending_;
+  uint64_t fetches_issued_ = 0;
+};
+
+}  // namespace lard
+
+#endif  // SRC_PROTO_LATERAL_CLIENT_H_

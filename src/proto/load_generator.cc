@@ -1,0 +1,266 @@
+#include "src/proto/load_generator.h"
+
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <mutex>
+#include <thread>
+
+#include "src/http/response_parser.h"
+#include "src/net/socket.h"
+#include "src/proto/content_store.h"
+#include "src/util/logging.h"
+
+namespace lard {
+namespace {
+
+int64_t NowMs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+// Per-worker tallies, merged under a mutex at the end.
+struct WorkerStats {
+  uint64_t sessions = 0;
+  uint64_t requests = 0;
+  uint64_t responses_ok = 0;
+  uint64_t responses_bad = 0;
+  uint64_t transport_errors = 0;
+  uint64_t bytes_received = 0;
+  StreamingStats batch_latency_ms;
+  PercentileTracker batch_latency_p;
+};
+
+// Blocking read of `count` pipelined responses.
+bool ReadResponses(int fd, size_t count, ResponseParser* parser,
+                   std::vector<HttpResponse>* responses) {
+  responses->clear();
+  char buf[64 * 1024];
+  while (responses->size() < count) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (parser->Feed(std::string_view(buf, static_cast<size_t>(n)), responses) ==
+          ResponseParser::State::kError) {
+        return false;
+      }
+      continue;
+    }
+    if (n == 0) {
+      return false;  // premature EOF
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+class Worker {
+ public:
+  Worker(const LoadGeneratorConfig* config, const Trace* trace) : config_(config), trace_(trace) {}
+
+  void RunSession(const TraceSession& session, WorkerStats* stats) {
+    if (config_->http10) {
+      RunHttp10Session(session, stats);
+    } else {
+      RunPhttpSession(session, stats);
+    }
+    ++stats->sessions;
+  }
+
+ private:
+  bool Verify(const HttpResponse& response, TargetId target, WorkerStats* stats) const {
+    const Target& entry = trace_->catalog().Get(target);
+    stats->bytes_received += response.body.size();
+    if (response.status != 200 || response.body.size() != entry.size_bytes) {
+      return false;
+    }
+    if (!config_->verify_bodies) {
+      return true;
+    }
+    // Prefix check is enough: the body generator embeds path and true size at
+    // the front, so a mixed-up response cannot pass.
+    std::string header = entry.path + "#" + std::to_string(entry.size_bytes) + "#";
+    if (header.size() > entry.size_bytes) {
+      header.resize(entry.size_bytes);
+    }
+    return response.body.compare(0, header.size(), header) == 0;
+  }
+
+  void RunPhttpSession(const TraceSession& session, WorkerStats* stats) {
+    auto fd = ConnectTcp(config_->port);
+    if (!fd.ok()) {
+      ++stats->transport_errors;
+      return;
+    }
+    (void)SetTcpNoDelay(fd.value().get());
+    ResponseParser parser;
+    std::vector<HttpResponse> responses;
+    for (size_t b = 0; b < session.batches.size(); ++b) {
+      const TraceBatch& batch = session.batches[b];
+      if (batch.targets.empty()) {
+        continue;
+      }
+      std::string out;
+      for (const TargetId target : batch.targets) {
+        out += "GET " + trace_->catalog().Get(target).path + " HTTP/1.1\r\nHost: cluster\r\n";
+        // Last request of the last batch announces connection close.
+        if (b + 1 == session.batches.size() && target == batch.targets.back()) {
+          out += "Connection: close\r\n";
+        }
+        out += "\r\n";
+      }
+      const int64_t start = NowMs();
+      stats->requests += batch.targets.size();
+      if (!SendAll(fd.value().get(), out) ||
+          !ReadResponses(fd.value().get(), batch.targets.size(), &parser, &responses)) {
+        stats->transport_errors += 1;
+        return;
+      }
+      const double latency = static_cast<double>(NowMs() - start);
+      stats->batch_latency_ms.Add(latency);
+      stats->batch_latency_p.Add(latency);
+      for (size_t i = 0; i < responses.size(); ++i) {
+        if (Verify(responses[i], batch.targets[i], stats)) {
+          ++stats->responses_ok;
+        } else {
+          ++stats->responses_bad;
+        }
+      }
+    }
+  }
+
+  void RunHttp10Session(const TraceSession& session, WorkerStats* stats) {
+    for (const auto& batch : session.batches) {
+      for (const TargetId target : batch.targets) {
+        auto fd = ConnectTcp(config_->port);
+        if (!fd.ok()) {
+          ++stats->transport_errors;
+          continue;
+        }
+        (void)SetTcpNoDelay(fd.value().get());
+        const std::string out =
+            "GET " + trace_->catalog().Get(target).path + " HTTP/1.0\r\nHost: cluster\r\n\r\n";
+        ResponseParser parser;
+        std::vector<HttpResponse> responses;
+        const int64_t start = NowMs();
+        ++stats->requests;
+        if (!SendAll(fd.value().get(), out) ||
+            !ReadResponses(fd.value().get(), 1, &parser, &responses)) {
+          ++stats->transport_errors;
+          continue;
+        }
+        const double latency = static_cast<double>(NowMs() - start);
+        stats->batch_latency_ms.Add(latency);
+        stats->batch_latency_p.Add(latency);
+        if (Verify(responses[0], target, stats)) {
+          ++stats->responses_ok;
+        } else {
+          ++stats->responses_bad;
+        }
+      }
+    }
+  }
+
+  const LoadGeneratorConfig* config_;
+  const Trace* trace_;
+};
+
+}  // namespace
+
+LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace) {
+  LARD_CHECK(config.port != 0);
+  LARD_CHECK(config.num_clients > 0);
+
+  const size_t session_limit =
+      config.max_sessions < 0
+          ? trace.sessions().size()
+          : std::min<size_t>(trace.sessions().size(), static_cast<size_t>(config.max_sessions));
+
+  std::atomic<size_t> next_session{0};
+  std::atomic<bool> time_up{false};
+  const int64_t start_ms = NowMs();
+
+  std::mutex merge_mutex;
+  WorkerStats merged;
+  StreamingStats merged_latency;
+  PercentileTracker merged_p;
+
+  auto worker_fn = [&]() {
+    Worker worker(&config, &trace);
+    WorkerStats stats;
+    while (!time_up.load(std::memory_order_relaxed)) {
+      const size_t index = next_session.fetch_add(1, std::memory_order_relaxed);
+      if (index >= session_limit) {
+        break;
+      }
+      worker.RunSession(trace.sessions()[index], &stats);
+      if (config.time_limit_ms > 0 && NowMs() - start_ms > config.time_limit_ms) {
+        time_up.store(true, std::memory_order_relaxed);
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    merged.sessions += stats.sessions;
+    merged.requests += stats.requests;
+    merged.responses_ok += stats.responses_ok;
+    merged.responses_bad += stats.responses_bad;
+    merged.transport_errors += stats.transport_errors;
+    merged.bytes_received += stats.bytes_received;
+    merged_latency.Merge(stats.batch_latency_ms);
+    if (stats.batch_latency_p.count() > 0) {
+      // Cross-worker p95 is summarized as the median of per-worker p95s
+      // (workers see statistically identical session streams).
+      merged_p.Add(stats.batch_latency_p.Percentile(95.0));
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(config.num_clients));
+  for (int i = 0; i < config.num_clients; ++i) {
+    threads.emplace_back(worker_fn);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  LoadResult result;
+  result.sessions = merged.sessions;
+  result.requests = merged.requests;
+  result.responses_ok = merged.responses_ok;
+  result.responses_bad = merged.responses_bad;
+  result.transport_errors = merged.transport_errors;
+  result.bytes_received = merged.bytes_received;
+  result.wall_seconds = static_cast<double>(NowMs() - start_ms) / 1000.0;
+  if (result.wall_seconds > 0.0) {
+    result.throughput_rps = static_cast<double>(result.responses_ok + result.responses_bad) /
+                            result.wall_seconds;
+    result.throughput_mbps =
+        8.0 * static_cast<double>(result.bytes_received) / 1e6 / result.wall_seconds;
+  }
+  result.mean_batch_latency_ms = merged_latency.mean();
+  result.p95_batch_latency_ms = merged_p.Percentile(50.0);  // median of workers' p95s
+  return result;
+}
+
+}  // namespace lard

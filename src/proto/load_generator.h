@@ -1,0 +1,54 @@
+// Closed-loop HTTP client load generator (Section 8.1's "event-driven program
+// that simulates multiple HTTP clients ... each simulated client makes
+// requests as fast as the server cluster can handle them").
+//
+// Worker threads replay trace sessions with blocking sockets: P-HTTP mode
+// opens one connection per session, sends each batch pipelined, and reads all
+// of the batch's responses before the next batch; HTTP/1.0 mode opens one
+// connection per request. Responses are verified against the deterministic
+// content store (prefix + length), making every bench an end-to-end
+// correctness check too.
+#ifndef SRC_PROTO_LOAD_GENERATOR_H_
+#define SRC_PROTO_LOAD_GENERATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+#include "src/util/stats.h"
+
+namespace lard {
+
+struct LoadGeneratorConfig {
+  uint16_t port = 0;           // front-end port
+  int num_clients = 16;        // concurrent client workers
+  bool http10 = false;         // flatten sessions to one request per connection
+  bool verify_bodies = true;   // check prefix/length of every response
+  int64_t max_sessions = -1;   // cap (-1 = whole trace)
+  // Stop issuing new sessions after this long (0 = no limit); in-flight
+  // sessions complete.
+  int64_t time_limit_ms = 0;
+};
+
+struct LoadResult {
+  uint64_t sessions = 0;
+  uint64_t requests = 0;
+  uint64_t responses_ok = 0;
+  uint64_t responses_bad = 0;    // non-200 or body mismatch
+  uint64_t transport_errors = 0; // connect/read/write failures
+  uint64_t bytes_received = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double throughput_mbps = 0.0;
+  double mean_batch_latency_ms = 0.0;
+  double p95_batch_latency_ms = 0.0;
+};
+
+// Replays `trace` against the cluster at 127.0.0.1:config.port and blocks
+// until done. Sessions are dealt to workers in trace order.
+LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace);
+
+}  // namespace lard
+
+#endif  // SRC_PROTO_LOAD_GENERATOR_H_

@@ -1,0 +1,332 @@
+#include "src/sim/cluster_sim.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace lard {
+
+// One back-end node: CPU and disk. There is exactly one cache model in the
+// simulator — the dispatcher's — shared by policy and service, as in the
+// paper's simulator; each assignment carries the model's hit/miss verdict.
+struct ClusterSim::Backend {
+  Backend(EventQueue* queue, const DiskCostModel& disk_costs)
+      : cpu(queue), disk(queue, disk_costs) {}
+
+  FifoServer cpu;
+  DiskServer disk;
+  BackendSimMetrics metrics;
+};
+
+// Adapts the back-ends' disk queues to the dispatcher's feedback interface
+// (the paper conveys exactly this signal over the handoff control sessions).
+class ClusterSim::DiskQueueStats final : public BackendStatsProvider {
+ public:
+  explicit DiskQueueStats(const std::vector<std::unique_ptr<Backend>>* backends)
+      : backends_(backends) {}
+  int DiskQueueLength(NodeId node) const override {
+    return (*backends_)[static_cast<size_t>(node)]->disk.queue_length();
+  }
+
+ private:
+  const std::vector<std::unique_ptr<Backend>>* backends_;
+};
+
+// Replay state of one in-flight session (= one persistent connection).
+struct ClusterSim::SessionRun {
+  const TraceSession* session = nullptr;
+  ConnId conn = 0;
+  size_t next_batch = 0;
+  size_t outstanding = 0;       // responses pending in the current batch
+  SimTimeUs batch_start_us = 0;
+  bool first_batch = true;
+};
+
+ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : config_(config) {
+  LARD_CHECK(trace != nullptr);
+  LARD_CHECK(config_.num_nodes > 0);
+  if (config_.http10) {
+    http10_trace_ = trace->ToHttp10();
+    trace_ = &http10_trace_;
+  } else {
+    trace_ = trace;
+  }
+
+  backends_.reserve(static_cast<size_t>(config_.num_nodes));
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    backends_.push_back(std::make_unique<Backend>(&queue_, config_.disk_costs));
+  }
+  disk_stats_ = std::make_unique<DiskQueueStats>(&backends_);
+
+  DispatcherConfig dispatch_config;
+  dispatch_config.policy = config_.policy;
+  dispatch_config.mechanism = config_.mechanism;
+  dispatch_config.params = config_.lard_params;
+  dispatch_config.num_nodes = config_.num_nodes;
+  dispatch_config.virtual_cache_bytes = config_.backend_cache_bytes;
+  dispatcher_ =
+      std::make_unique<Dispatcher>(dispatch_config, &trace_->catalog(), disk_stats_.get());
+
+  if (config_.model_front_end_limit || config_.mechanism == Mechanism::kRelayingFrontEnd) {
+    fe_cpu_ = std::make_unique<FifoServer>(&queue_);
+  }
+}
+
+ClusterSim::~ClusterSim() = default;
+
+void ClusterSim::FrontEndWork(double cost_us, std::function<void()> done) {
+  if (fe_cpu_ != nullptr) {
+    fe_accounted_us_ += cost_us;
+    fe_cpu_->Submit(cost_us, std::move(done));
+  } else {
+    fe_accounted_us_ += cost_us;
+    done();
+  }
+}
+
+void ClusterSim::StartNextSession() {
+  if (next_session_ >= trace_->sessions().size()) {
+    return;
+  }
+  const TraceSession& session = trace_->sessions()[next_session_++];
+  auto run = std::make_unique<SessionRun>();
+  run->session = &session;
+  run->conn = next_conn_id_++;
+  SessionRun* raw = run.get();
+  active_runs_.push_back(std::move(run));
+
+  dispatcher_->OnConnectionOpen(raw->conn);
+  FrontEndWork(config_.fe_costs.accept_us, [this, raw]() { ProcessBatch(raw); });
+}
+
+void ClusterSim::ProcessBatch(SessionRun* run) {
+  LARD_CHECK(run->next_batch < run->session->batches.size());
+  const TraceBatch& batch = run->session->batches[run->next_batch++];
+  run->batch_start_us = queue_.now_us();
+  run->outstanding = batch.targets.size();
+  if (batch.targets.empty()) {
+    OnResponseDone(run);  // degenerate; treat as instantly complete
+    return;
+  }
+
+  const std::vector<Assignment> assignments = dispatcher_->OnBatch(run->conn, batch.targets);
+  LARD_CHECK(assignments.size() == batch.targets.size());
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    IssueRequest(run, batch.targets[i], assignments[i]);
+  }
+}
+
+void ClusterSim::IssueRequest(SessionRun* run, TargetId target, const Assignment& assignment) {
+  ++total_requests_;
+  const uint64_t bytes = trace_->catalog().Get(target).size_bytes;
+  total_bytes_ += bytes;
+  const ServerCostModel& costs = config_.server_costs;
+  const bool zero_cost = config_.mechanism == Mechanism::kIdealHandoff;
+  auto done = [this, run]() { OnResponseDone(run); };
+
+  switch (assignment.action) {
+    case AssignmentAction::kHandoff: {
+      // First request: FE pays handoff, handling node pays connection setup
+      // before regular request processing.
+      const NodeId node = assignment.node;
+      const double setup = zero_cost ? 0.0 : costs.conn_setup_us;
+      const double fe_cost = zero_cost ? 0.0 : config_.fe_costs.handoff_us;
+      FrontEndWork(fe_cost, [this, node, target, hit = assignment.served_from_cache, setup,
+                             done]() { ServeAtNode(node, target, hit, setup, done); });
+      break;
+    }
+    case AssignmentAction::kServeLocal: {
+      FrontEndWork(config_.fe_costs.per_request_us,
+                   [this, node = assignment.node, target, hit = assignment.served_from_cache,
+                    done]() { ServeAtNode(node, target, hit, 0.0, done); });
+      break;
+    }
+    case AssignmentAction::kForward: {
+      // Handling node A tags + issues the lateral request; remote node B
+      // serves it (possibly from disk) transmitting to A; A receives and
+      // relays the response to the client.
+      const NodeId handling = dispatcher_->HandlingNode(run->conn);
+      LARD_CHECK(handling != kInvalidNode);
+      const NodeId remote = assignment.node;
+      const double xmit = TransmitCostUs(costs, bytes);
+      const double relay_cost = costs.tag_us + costs.forward_receive_factor * xmit + xmit;
+      FrontEndWork(config_.fe_costs.per_request_us,
+                   [this, handling, remote, target, bytes, relay_cost,
+                    hit = assignment.served_from_cache, done]() {
+                     // Remote serve: per-request + cache/disk + transmit (to
+                     // the handling node), then the handling node receives and
+                     // relays to the client.
+                     ServeAtNode(remote, target, hit, 0.0,
+                                 [this, handling, relay_cost, bytes, done]() {
+                                   Backend& handler =
+                                       *backends_[static_cast<size_t>(handling)];
+                                   handler.cpu.Submit(
+                                       relay_cost, [this, handling, bytes, done]() {
+                                         Backend& h =
+                                             *backends_[static_cast<size_t>(handling)];
+                                         h.metrics.bytes_sent += bytes;
+                                         done();
+                                       });
+                                 });
+                   });
+      break;
+    }
+    case AssignmentAction::kMigrate: {
+      // Connection moves to assignment.node: the new node pays the migration
+      // CPU, and the connection additionally stalls for the pipeline-drain
+      // time (latency, not CPU).
+      const double overhead = zero_cost ? 0.0 : costs.handoff_us;
+      const double stall = zero_cost ? 0.0 : costs.migration_stall_us;
+      const double fe_cost = zero_cost ? 0.0 : config_.fe_costs.migrate_us;
+      FrontEndWork(fe_cost, [this, node = assignment.node, target,
+                             hit = assignment.served_from_cache, overhead, stall, done]() {
+        queue_.ScheduleAfter(stall, [this, node, target, hit, overhead, done]() {
+          ServeAtNode(node, target, hit, overhead, done);
+        });
+      });
+      break;
+    }
+    case AssignmentAction::kRelay: {
+      // FE relays request and response bytes through its own CPU.
+      const double fe_cost = config_.fe_costs.per_request_us +
+                             config_.fe_costs.relay_us_per_512b *
+                                 static_cast<double>((bytes + 511) / 512);
+      const NodeId node = assignment.node;
+      const bool hit = assignment.served_from_cache;
+      // Charge the FE after the back-end produced the data (response path
+      // dominates); ordering does not affect totals.
+      ServeAtNode(node, target, hit, 0.0, [this, fe_cost, done]() {
+        FrontEndWork(fe_cost, done);
+      });
+      break;
+    }
+  }
+}
+
+void ClusterSim::ServeAtNode(NodeId node, TargetId target, bool cached, double extra_cpu_us,
+                             std::function<void()> done) {
+  Backend& backend = *backends_[static_cast<size_t>(node)];
+  const uint64_t bytes = trace_->catalog().Get(target).size_bytes;
+  const ServerCostModel& costs = config_.server_costs;
+  backend.metrics.requests++;
+
+  backend.cpu.Submit(extra_cpu_us + costs.per_request_us,
+                     [this, node, bytes, cached, done = std::move(done)]() {
+                       Backend& backend = *backends_[static_cast<size_t>(node)];
+                       const double xmit = TransmitCostUs(config_.server_costs, bytes);
+                       if (cached) {
+                         backend.metrics.cache_hits++;
+                         backend.metrics.bytes_sent += bytes;
+                         backend.cpu.Submit(xmit, std::move(done));
+                         return;
+                       }
+                       backend.metrics.disk_reads++;
+                       backend.disk.Read(bytes, [this, node, bytes, xmit,
+                                                 done = std::move(done)]() {
+                         Backend& backend = *backends_[static_cast<size_t>(node)];
+                         backend.metrics.bytes_sent += bytes;
+                         backend.cpu.Submit(xmit, std::move(done));
+                       });
+                     });
+  (void)costs;
+}
+
+void ClusterSim::OnResponseDone(SessionRun* run) {
+  if (run->outstanding > 0) {
+    --run->outstanding;
+  }
+  if (run->outstanding > 0) {
+    return;
+  }
+  batch_latency_us_.Add(static_cast<double>(queue_.now_us() - run->batch_start_us));
+
+  if (run->next_batch >= run->session->batches.size()) {
+    FinishSession(run);
+    return;
+  }
+  if (config_.use_think_times) {
+    const int64_t prev_offset = run->session->batches[run->next_batch - 1].offset_us;
+    const int64_t next_offset = run->session->batches[run->next_batch].offset_us;
+    const double think_us = static_cast<double>(std::max<int64_t>(next_offset - prev_offset, 0));
+    if (think_us > 0.0) {
+      dispatcher_->OnConnectionIdle(run->conn);
+      queue_.ScheduleAfter(think_us, [this, run]() { ProcessBatch(run); });
+      return;
+    }
+  }
+  ProcessBatch(run);
+}
+
+void ClusterSim::FinishSession(SessionRun* run) {
+  // Connection teardown: handling node pays teardown CPU; FE cleans up.
+  const NodeId handling = dispatcher_->HandlingNode(run->conn);
+  const bool zero_cost = config_.mechanism == Mechanism::kIdealHandoff;
+  if (handling != kInvalidNode && !zero_cost) {
+    backends_[static_cast<size_t>(handling)]->cpu.Submit(config_.server_costs.conn_teardown_us,
+                                                         []() {});
+  }
+  fe_accounted_us_ += config_.fe_costs.conn_close_us;
+  dispatcher_->OnConnectionClose(run->conn);
+
+  ++sessions_done_;
+  // Recycle the slot: start the next session from the trace.
+  auto it = std::find_if(active_runs_.begin(), active_runs_.end(),
+                         [run](const std::unique_ptr<SessionRun>& p) { return p.get() == run; });
+  LARD_CHECK(it != active_runs_.end());
+  active_runs_.erase(it);
+  StartNextSession();
+}
+
+ClusterSimMetrics ClusterSim::Run() {
+  LARD_CHECK(!ran_) << "ClusterSim::Run may be called once";
+  ran_ = true;
+
+  const size_t initial =
+      std::min(trace_->sessions().size(),
+               static_cast<size_t>(config_.concurrent_sessions_per_node) *
+                   static_cast<size_t>(config_.num_nodes));
+  for (size_t i = 0; i < initial; ++i) {
+    StartNextSession();
+  }
+  queue_.RunUntilEmpty();
+  LARD_CHECK(sessions_done_ == trace_->sessions().size()) << "sessions stranded";
+
+  ClusterSimMetrics metrics;
+  metrics.sim_seconds = static_cast<double>(queue_.now_us()) / 1e6;
+  metrics.total_requests = total_requests_;
+  metrics.total_connections = sessions_done_;
+  metrics.throughput_rps =
+      metrics.sim_seconds > 0.0 ? static_cast<double>(total_requests_) / metrics.sim_seconds : 0.0;
+  metrics.throughput_mbps = metrics.sim_seconds > 0.0
+                                ? 8.0 * static_cast<double>(total_bytes_) / 1e6 /
+                                      metrics.sim_seconds
+                                : 0.0;
+  metrics.mean_batch_latency_ms = batch_latency_us_.mean() / 1000.0;
+  metrics.dispatcher = dispatcher_->counters();
+
+  uint64_t hits = 0;
+  uint64_t served = 0;
+  double cpu_util_sum = 0.0;
+  double disk_util_sum = 0.0;
+  for (const auto& backend : backends_) {
+    BackendSimMetrics node = backend->metrics;
+    node.cpu_busy_us = backend->cpu.total_busy_us();
+    node.disk_busy_us = backend->disk.total_busy_us();
+    node.cpu_utilization = backend->cpu.Utilization();
+    node.disk_utilization = backend->disk.Utilization();
+    cpu_util_sum += node.cpu_utilization;
+    disk_util_sum += node.disk_utilization;
+    hits += node.cache_hits;
+    served += node.cache_hits + node.disk_reads;
+    metrics.per_node.push_back(node);
+  }
+  metrics.cache_hit_rate =
+      served > 0 ? static_cast<double>(hits) / static_cast<double>(served) : 0.0;
+  metrics.mean_cpu_idle = 1.0 - cpu_util_sum / static_cast<double>(config_.num_nodes);
+  metrics.mean_disk_idle = 1.0 - disk_util_sum / static_cast<double>(config_.num_nodes);
+  metrics.fe_utilization =
+      queue_.now_us() > 0 ? fe_accounted_us_ / static_cast<double>(queue_.now_us()) : 0.0;
+  return metrics;
+}
+
+}  // namespace lard

@@ -1,0 +1,140 @@
+// Trace-driven cluster simulator (Section 6): a front-end plus N back-ends,
+// each back-end a CPU + disk + LRU main-memory file cache, driven closed-loop
+// by a Trace and distributing requests through the shared src/core Dispatcher.
+//
+// Like the paper's simulator, the network is infinitely fast and data
+// transmission is continuous (no TCP slow-start); throughput is limited by
+// back-end CPU and disk. Front-end CPU is *accounted* (for the scalability
+// experiment) but only throttles when `model_front_end_limit` is set — except
+// under the relaying mechanism, where the FE data path always limits.
+#ifndef SRC_SIM_CLUSTER_SIM_H_
+#define SRC_SIM_CLUSTER_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/cluster_types.h"
+#include "src/core/dispatcher.h"
+#include "src/core/lard_params.h"
+#include "src/core/lru_cache.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/resources.h"
+#include "src/trace/trace.h"
+#include "src/util/stats.h"
+
+namespace lard {
+
+struct ClusterSimConfig {
+  int num_nodes = 4;
+  Policy policy = Policy::kExtendedLard;
+  Mechanism mechanism = Mechanism::kBackEndForwarding;
+  LardParams lard_params;
+  ServerCostModel server_costs = ApacheCosts();
+  DiskCostModel disk_costs;
+  FrontEndCostModel fe_costs;
+
+  // Back-end main-memory file cache (and the dispatcher's model of it).
+  uint64_t backend_cache_bytes = 85ull * 1024 * 1024;
+
+  // Closed-loop client population: this many sessions are kept in flight per
+  // back-end node ("the request arrival rate was matched to the aggregate
+  // throughput of the server").
+  int concurrent_sessions_per_node = 64;
+
+  // When false (default) the P-HTTP session structure of the trace is used;
+  // when true the trace is flattened to one connection per request.
+  bool http10 = false;
+
+  // Replay the trace's inter-batch think times instead of sending the next
+  // batch as soon as the previous one completes.
+  bool use_think_times = false;
+
+  // Serialize front-end work through a real CPU (otherwise only accounted).
+  bool model_front_end_limit = false;
+};
+
+struct BackendSimMetrics {
+  uint64_t requests = 0;       // requests whose response this node produced
+  uint64_t cache_hits = 0;
+  uint64_t disk_reads = 0;
+  uint64_t bytes_sent = 0;
+  double cpu_busy_us = 0.0;
+  double disk_busy_us = 0.0;
+  double cpu_utilization = 0.0;
+  double disk_utilization = 0.0;
+};
+
+struct ClusterSimMetrics {
+  double sim_seconds = 0.0;
+  uint64_t total_requests = 0;
+  uint64_t total_connections = 0;
+  double throughput_rps = 0.0;
+  double throughput_mbps = 0.0;
+  double cache_hit_rate = 0.0;
+  double mean_batch_latency_ms = 0.0;
+  double fe_utilization = 0.0;
+  double mean_cpu_idle = 0.0;   // across back-ends
+  double mean_disk_idle = 0.0;  // across back-ends
+  std::vector<BackendSimMetrics> per_node;
+  DispatcherCounters dispatcher;
+};
+
+class ClusterSim {
+ public:
+  // `trace` must outlive the simulator. When config.http10 is set, a
+  // flattened copy is made internally.
+  ClusterSim(const ClusterSimConfig& config, const Trace* trace);
+  ~ClusterSim();
+
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  // Replays the whole trace to completion and returns the metrics.
+  // Call at most once.
+  ClusterSimMetrics Run();
+
+ private:
+  struct Backend;
+  struct SessionRun;
+  class DiskQueueStats;
+
+  void StartNextSession();
+  void ProcessBatch(SessionRun* run);
+  void IssueRequest(SessionRun* run, TargetId target, const Assignment& assignment);
+  // Serves one request at `node`: per-request CPU, then (for a model-declared
+  // miss) the disk, then transmit CPU. `cached` is the dispatcher model's
+  // verdict carried by the assignment.
+  void ServeAtNode(NodeId node, TargetId target, bool cached, double extra_cpu_us,
+                   std::function<void()> done);
+  void OnResponseDone(SessionRun* run);
+  void FinishSession(SessionRun* run);
+  // Runs `done` after charging `cost_us` of front-end CPU (serialized or
+  // merely accounted, per config).
+  void FrontEndWork(double cost_us, std::function<void()> done);
+
+  ClusterSimConfig config_;
+  Trace http10_trace_;          // used only when config.http10
+  const Trace* trace_;          // points at the caller's trace or http10_trace_
+  EventQueue queue_;
+  std::unique_ptr<DiskQueueStats> disk_stats_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::unique_ptr<FifoServer> fe_cpu_;  // set when the FE is limiting
+  double fe_accounted_us_ = 0.0;
+
+  size_t next_session_ = 0;
+  size_t sessions_done_ = 0;
+  ConnId next_conn_id_ = 1;
+  std::vector<std::unique_ptr<SessionRun>> active_runs_;
+
+  uint64_t total_requests_ = 0;
+  uint64_t total_bytes_ = 0;
+  StreamingStats batch_latency_us_;
+  bool ran_ = false;
+};
+
+}  // namespace lard
+
+#endif  // SRC_SIM_CLUSTER_SIM_H_

@@ -1,0 +1,48 @@
+#include "src/sim/cost_model.h"
+
+#include <cmath>
+
+namespace lard {
+
+ServerCostModel ApacheCosts() {
+  ServerCostModel costs;
+  costs.name = "apache";
+  costs.conn_setup_us = 145.0;
+  costs.conn_teardown_us = 145.0;
+  costs.per_request_us = 40.0;
+  costs.transmit_us_per_512b = 40.0;
+  costs.handoff_us = 300.0;
+  costs.migration_stall_us = 1660.0;
+  costs.tag_us = 40.0;
+  return costs;
+}
+
+ServerCostModel FlashCosts() {
+  ServerCostModel costs;
+  costs.name = "flash";
+  costs.conn_setup_us = 78.0;
+  costs.conn_teardown_us = 78.0;
+  costs.per_request_us = 16.0;
+  costs.transmit_us_per_512b = 11.0;
+  costs.handoff_us = 150.0;
+  costs.migration_stall_us = 130.0;
+  costs.tag_us = 16.0;
+  return costs;
+}
+
+double TransmitCostUs(const ServerCostModel& costs, uint64_t bytes) {
+  const uint64_t units = (bytes + 511) / 512;
+  return costs.transmit_us_per_512b * static_cast<double>(units);
+}
+
+double DiskServiceTimeUs(const DiskCostModel& costs, uint64_t bytes) {
+  double time = costs.initial_latency_us;
+  time += costs.transfer_us_per_4kb * std::ceil(static_cast<double>(bytes) / 4096.0);
+  if (costs.extra_seek_every_bytes > 0 && bytes > costs.extra_seek_every_bytes) {
+    const uint64_t extra_seeks = (bytes - 1) / costs.extra_seek_every_bytes;
+    time += costs.extra_seek_us * static_cast<double>(extra_seeks);
+  }
+  return time;
+}
+
+}  // namespace lard

@@ -1,0 +1,33 @@
+#include "src/sim/resources.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lard {
+
+void FifoServer::Submit(double service_us, std::function<void()> done) {
+  LARD_CHECK(service_us >= 0.0);
+  const SimTimeUs start = std::max(queue_->now_us(), busy_until_us_);
+  const SimTimeUs completion = start + static_cast<SimTimeUs>(std::llround(service_us));
+  busy_until_us_ = completion;
+  total_busy_us_ += service_us;
+  ++outstanding_;
+  queue_->ScheduleAt(completion, [this, done = std::move(done)]() {
+    --outstanding_;
+    done();
+  });
+}
+
+double FifoServer::Utilization() const {
+  const SimTimeUs now = queue_->now_us();
+  if (now <= 0) {
+    return 0.0;
+  }
+  // Busy time that lies in the future (already-committed backlog) must not
+  // count against elapsed time.
+  const double busy_so_far =
+      total_busy_us_ - static_cast<double>(std::max<SimTimeUs>(busy_until_us_ - now, 0));
+  return std::max(0.0, busy_so_far) / static_cast<double>(now);
+}
+
+}  // namespace lard

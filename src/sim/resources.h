@@ -1,0 +1,60 @@
+// Queued resources of the cluster model: a back-end CPU and a back-end disk,
+// both single-server FIFO queues over the event engine. Because submissions
+// happen "now" and service is non-preemptive FIFO, a busy-until watermark is
+// sufficient — no explicit queue structure is needed, which keeps the
+// simulator at O(1) per work item.
+#ifndef SRC_SIM_RESOURCES_H_
+#define SRC_SIM_RESOURCES_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/event_queue.h"
+
+namespace lard {
+
+class FifoServer {
+ public:
+  explicit FifoServer(EventQueue* queue) : queue_(queue) {}
+
+  // Enqueues a work item of `service_us`; `done` runs when it completes.
+  void Submit(double service_us, std::function<void()> done);
+
+  // Work items submitted but not yet completed (waiting + in service).
+  // This is the paper's "queued disk events" feedback signal when the server
+  // models a disk.
+  int queue_length() const { return outstanding_; }
+
+  double total_busy_us() const { return total_busy_us_; }
+  // Fraction of [0, now] the server spent busy.
+  double Utilization() const;
+
+ private:
+  EventQueue* queue_;
+  SimTimeUs busy_until_us_ = 0;
+  double total_busy_us_ = 0.0;
+  int outstanding_ = 0;
+};
+
+// A back-end disk: service time from the seek/rotation/transfer model.
+class DiskServer {
+ public:
+  DiskServer(EventQueue* queue, const DiskCostModel& costs) : server_(queue), costs_(costs) {}
+
+  void Read(uint64_t bytes, std::function<void()> done) {
+    server_.Submit(DiskServiceTimeUs(costs_, bytes), std::move(done));
+  }
+
+  int queue_length() const { return server_.queue_length(); }
+  double total_busy_us() const { return server_.total_busy_us(); }
+  double Utilization() const { return server_.Utilization(); }
+
+ private:
+  FifoServer server_;
+  DiskCostModel costs_;
+};
+
+}  // namespace lard
+
+#endif  // SRC_SIM_RESOURCES_H_

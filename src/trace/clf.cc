@@ -1,0 +1,177 @@
+#include "src/trace/clf.h"
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <istream>
+
+namespace lard {
+namespace {
+
+const char* const kMonths[12] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                 "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+int MonthIndex(const std::string& name) {
+  for (int i = 0; i < 12; ++i) {
+    if (name == kMonths[i]) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+// Days since epoch for a civil date (Howard Hinnant's algorithm); avoids
+// timegm portability issues.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t year = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(year + (*m <= 2));
+}
+
+}  // namespace
+
+StatusOr<int64_t> ParseClfTimestamp(const std::string& text) {
+  // dd/Mon/yyyy:HH:MM:SS +zzzz
+  int day, year, hour, minute, second, tz_sign_hours_minutes;
+  char month_name[4] = {0};
+  char sign = '+';
+  if (std::sscanf(text.c_str(), "%d/%3s/%d:%d:%d:%d %c%d", &day, month_name, &year, &hour, &minute,
+                  &second, &sign, &tz_sign_hours_minutes) != 8) {
+    return InvalidArgumentError("bad CLF timestamp: " + text);
+  }
+  const int month = MonthIndex(month_name);
+  if (month < 0 || day < 1 || day > 31 || hour > 23 || minute > 59 || second > 60) {
+    return InvalidArgumentError("bad CLF timestamp fields: " + text);
+  }
+  int64_t seconds = DaysFromCivil(year, month + 1, day) * 86400 + hour * 3600 + minute * 60 + second;
+  const int tz_hours = tz_sign_hours_minutes / 100;
+  const int tz_minutes = tz_sign_hours_minutes % 100;
+  const int64_t tz_offset = tz_hours * 3600 + tz_minutes * 60;
+  // +0600 means local = UTC + 6h, so epoch = local - offset.
+  seconds += (sign == '-') ? tz_offset : -tz_offset;
+  return seconds * 1000000;
+}
+
+std::string FormatClfTimestamp(int64_t timestamp_us) {
+  int64_t seconds = timestamp_us / 1000000;
+  int64_t days = seconds / 86400;
+  int64_t rem = seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  int y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%02u/%s/%04d:%02lld:%02lld:%02lld +0000", d, kMonths[m - 1], y,
+                static_cast<long long>(rem / 3600), static_cast<long long>((rem / 60) % 60),
+                static_cast<long long>(rem % 60));
+  return buf;
+}
+
+StatusOr<ClfRecord> ParseClfLine(const std::string& line) {
+  ClfRecord record;
+  // host ident user [timestamp] "request" status bytes
+  const size_t host_end = line.find(' ');
+  if (host_end == std::string::npos) {
+    return InvalidArgumentError("no host field");
+  }
+  record.client_host = line.substr(0, host_end);
+
+  const size_t ts_open = line.find('[', host_end);
+  const size_t ts_close = line.find(']', ts_open);
+  if (ts_open == std::string::npos || ts_close == std::string::npos) {
+    return InvalidArgumentError("no timestamp");
+  }
+  auto ts = ParseClfTimestamp(line.substr(ts_open + 1, ts_close - ts_open - 1));
+  if (!ts.ok()) {
+    return ts.status();
+  }
+  record.timestamp_us = ts.value();
+
+  const size_t req_open = line.find('"', ts_close);
+  const size_t req_close = line.find('"', req_open + 1);
+  if (req_open == std::string::npos || req_close == std::string::npos) {
+    return InvalidArgumentError("no request field");
+  }
+  const std::string request = line.substr(req_open + 1, req_close - req_open - 1);
+  {
+    const size_t sp1 = request.find(' ');
+    if (sp1 == std::string::npos) {
+      return InvalidArgumentError("bad request line: " + request);
+    }
+    const size_t sp2 = request.find(' ', sp1 + 1);
+    record.method = request.substr(0, sp1);
+    record.path = sp2 == std::string::npos ? request.substr(sp1 + 1)
+                                           : request.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (record.path.empty()) {
+      return InvalidArgumentError("empty path: " + request);
+    }
+  }
+
+  int status = 0;
+  long long bytes = 0;
+  char bytes_buf[32] = {0};
+  if (std::sscanf(line.c_str() + req_close + 1, " %d %31s", &status, bytes_buf) != 2) {
+    return InvalidArgumentError("no status/bytes");
+  }
+  record.status = status;
+  if (std::strcmp(bytes_buf, "-") != 0) {
+    char* end = nullptr;
+    bytes = std::strtoll(bytes_buf, &end, 10);
+    if (end == nullptr || *end != '\0' || bytes < 0) {
+      return InvalidArgumentError("bad byte count");
+    }
+  }
+  record.response_bytes = static_cast<uint64_t>(bytes);
+  return record;
+}
+
+std::string FormatClfLine(const ClfRecord& record) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), "%s - - [%s] \"%s %s HTTP/1.0\" %d %llu",
+                record.client_host.c_str(), FormatClfTimestamp(record.timestamp_us).c_str(),
+                record.method.c_str(), record.path.c_str(), record.status,
+                static_cast<unsigned long long>(record.response_bytes));
+  return buf;
+}
+
+std::vector<ClfRecord> ParseClfStream(std::istream& in, size_t* skipped) {
+  std::vector<ClfRecord> records;
+  size_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    auto record = ParseClfLine(line);
+    if (record.ok()) {
+      records.push_back(std::move(record.value()));
+    } else {
+      ++bad;
+    }
+  }
+  if (skipped != nullptr) {
+    *skipped = bad;
+  }
+  return records;
+}
+
+}  // namespace lard

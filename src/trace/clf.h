@@ -1,0 +1,53 @@
+// Common Log Format (CLF) reading and writing.
+//
+// The paper constructs its P-HTTP workload from ordinary web-server access
+// logs ("most Web servers do not record whether two requests arrived on the
+// same connection"), so the pipeline is: CLF log -> flat request list ->
+// session_builder.h heuristics -> Trace. We implement the same pipeline so
+// real logs can be replayed, and a writer so the synthetic generator can
+// round-trip through it in tests.
+#ifndef SRC_TRACE_CLF_H_
+#define SRC_TRACE_CLF_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lard {
+
+// One parsed access-log line (the fields the workload pipeline needs).
+struct ClfRecord {
+  std::string client_host;
+  int64_t timestamp_us = 0;  // Unix epoch microseconds
+  std::string method;        // "GET"
+  std::string path;          // "/foo/bar.html"
+  int status = 200;
+  uint64_t response_bytes = 0;
+};
+
+// Parses one CLF line:
+//   host ident user [dd/Mon/yyyy:HH:MM:SS +zzzz] "METHOD /path HTTP/1.x" status bytes
+// Returns InvalidArgument on malformed lines. A "-" byte count parses as 0.
+StatusOr<ClfRecord> ParseClfLine(const std::string& line);
+
+// Serializes a record back to CLF (inverse of ParseClfLine up to the unused
+// ident/user fields).
+std::string FormatClfLine(const ClfRecord& record);
+
+// Parses a whole stream, skipping malformed lines (counted in *skipped when
+// non-null). Records are returned in file order.
+std::vector<ClfRecord> ParseClfStream(std::istream& in, size_t* skipped = nullptr);
+
+// Converts "[10/Oct/1999:13:55:36 -0600]"-style timestamps (without brackets)
+// to epoch microseconds. Exposed for tests.
+StatusOr<int64_t> ParseClfTimestamp(const std::string& text);
+
+// Inverse of ParseClfTimestamp; always renders in +0000.
+std::string FormatClfTimestamp(int64_t timestamp_us);
+
+}  // namespace lard
+
+#endif  // SRC_TRACE_CLF_H_

@@ -1,0 +1,85 @@
+#include "src/trace/session_builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace lard {
+
+Trace BuildSessions(const std::vector<ClfRecord>& records, const SessionBuilderConfig& config) {
+  Trace trace;
+
+  // Stable client numbering in order of first appearance.
+  std::unordered_map<std::string, uint32_t> client_ids;
+  struct Item {
+    uint32_t client;
+    int64_t timestamp_us;
+    TargetId target;
+    size_t order;  // original log order, to break timestamp ties stably
+  };
+  std::vector<Item> items;
+  items.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const ClfRecord& record = records[i];
+    if (config.keep_only_success && (record.status < 200 || record.status >= 300)) {
+      continue;
+    }
+    if (record.method != "GET") {
+      continue;
+    }
+    auto [it, inserted] =
+        client_ids.emplace(record.client_host, static_cast<uint32_t>(client_ids.size()));
+    const TargetId target = trace.catalog().Intern(record.path, record.response_bytes);
+    items.push_back(Item{it->second, record.timestamp_us, target, i});
+  }
+
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.client != b.client) {
+      return a.client < b.client;
+    }
+    if (a.timestamp_us != b.timestamp_us) {
+      return a.timestamp_us < b.timestamp_us;
+    }
+    return a.order < b.order;
+  });
+
+  for (size_t i = 0; i < items.size();) {
+    // One connection: same client, successive gaps < connection_idle_gap_us.
+    TraceSession session;
+    session.client_id = items[i].client;
+    session.start_us = items[i].timestamp_us;
+
+    size_t j = i;
+    while (j + 1 < items.size() && items[j + 1].client == items[i].client &&
+           items[j + 1].timestamp_us - items[j].timestamp_us < config.connection_idle_gap_us) {
+      ++j;
+    }
+    // items[i..j] form the connection. Split into batches: the first request
+    // is always its own batch (the front-end must see its response before the
+    // browser can issue embedded-object requests); subsequent requests within
+    // batch_window_us of their predecessor join the current batch.
+    TraceBatch batch;
+    batch.offset_us = 0;
+    batch.targets.push_back(items[i].target);
+    session.batches.push_back(batch);
+    for (size_t k = i + 1; k <= j; ++k) {
+      const int64_t gap = items[k].timestamp_us - items[k - 1].timestamp_us;
+      if (k == i + 1 || gap >= config.batch_window_us) {
+        TraceBatch next;
+        next.offset_us = items[k].timestamp_us - session.start_us;
+        next.targets.push_back(items[k].target);
+        session.batches.push_back(std::move(next));
+      } else {
+        session.batches.back().targets.push_back(items[k].target);
+      }
+    }
+    trace.sessions().push_back(std::move(session));
+    i = j + 1;
+  }
+
+  // Present sessions in global start-time order, as a replayer expects.
+  std::sort(trace.sessions().begin(), trace.sessions().end(),
+            [](const TraceSession& a, const TraceSession& b) { return a.start_us < b.start_us; });
+  return trace;
+}
+
+}  // namespace lard

@@ -1,0 +1,77 @@
+#include "src/trace/trace.h"
+
+namespace lard {
+
+TargetId TargetCatalog::Intern(const std::string& path, uint64_t size_bytes) {
+  auto it = by_path_.find(path);
+  if (it != by_path_.end()) {
+    return it->second;
+  }
+  const TargetId id = static_cast<TargetId>(targets_.size());
+  targets_.push_back(Target{path, size_bytes});
+  by_path_.emplace(path, id);
+  return id;
+}
+
+TargetId TargetCatalog::Find(const std::string& path) const {
+  auto it = by_path_.find(path);
+  return it == by_path_.end() ? kInvalidTarget : it->second;
+}
+
+uint64_t TargetCatalog::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& target : targets_) {
+    total += target.size_bytes;
+  }
+  return total;
+}
+
+size_t Trace::total_requests() const {
+  size_t n = 0;
+  for (const auto& session : sessions_) {
+    n += session.total_requests();
+  }
+  return n;
+}
+
+uint64_t Trace::total_response_bytes() const {
+  uint64_t total = 0;
+  for (const auto& session : sessions_) {
+    for (const auto& batch : session.batches) {
+      for (const TargetId id : batch.targets) {
+        total += catalog_.Get(id).size_bytes;
+      }
+    }
+  }
+  return total;
+}
+
+double Trace::mean_response_bytes() const {
+  const size_t n = total_requests();
+  return n == 0 ? 0.0 : static_cast<double>(total_response_bytes()) / static_cast<double>(n);
+}
+
+double Trace::mean_requests_per_session() const {
+  return sessions_.empty()
+             ? 0.0
+             : static_cast<double>(total_requests()) / static_cast<double>(sessions_.size());
+}
+
+Trace Trace::ToHttp10() const {
+  Trace out;
+  out.catalog_ = catalog_;
+  for (const auto& session : sessions_) {
+    for (const auto& batch : session.batches) {
+      for (const TargetId id : batch.targets) {
+        TraceSession single;
+        single.client_id = session.client_id;
+        single.start_us = session.start_us + batch.offset_us;
+        single.batches.push_back(TraceBatch{0, {id}});
+        out.sessions_.push_back(std::move(single));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lard

@@ -1,0 +1,172 @@
+#include "src/trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace lard {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'A', 'R', 'D', 'T', 'R', 'C', '1'};
+constexpr uint32_t kMaxCount = 1u << 28;  // structural sanity bound
+
+void PutU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out.write(buf, 4);
+}
+
+void PutU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out.write(buf, 8);
+}
+
+void PutStr(std::ostream& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool GetU32(std::istream& in, uint32_t* v) {
+  char buf[4];
+  if (!in.read(buf, 4)) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<uint8_t>(buf[i])) << (8 * i);
+  }
+  return true;
+}
+
+bool GetU64(std::istream& in, uint64_t* v) {
+  char buf[8];
+  if (!in.read(buf, 8)) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<uint8_t>(buf[i])) << (8 * i);
+  }
+  return true;
+}
+
+bool GetStr(std::istream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(in, &len) || len > kMaxCount) {
+    return false;
+  }
+  s->resize(len);
+  return static_cast<bool>(in.read(s->data(), len));
+}
+
+}  // namespace
+
+Status WriteTrace(const Trace& trace, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  PutU32(out, static_cast<uint32_t>(trace.catalog().size()));
+  for (TargetId id = 0; id < trace.catalog().size(); ++id) {
+    const Target& target = trace.catalog().Get(id);
+    PutStr(out, target.path);
+    PutU64(out, target.size_bytes);
+  }
+  PutU32(out, static_cast<uint32_t>(trace.sessions().size()));
+  for (const TraceSession& session : trace.sessions()) {
+    PutU32(out, session.client_id);
+    PutU64(out, static_cast<uint64_t>(session.start_us));
+    PutU32(out, static_cast<uint32_t>(session.batches.size()));
+    for (const TraceBatch& batch : session.batches) {
+      PutU64(out, static_cast<uint64_t>(batch.offset_us));
+      PutU32(out, static_cast<uint32_t>(batch.targets.size()));
+      for (const TargetId id : batch.targets) {
+        PutU32(out, id);
+      }
+    }
+  }
+  if (!out) {
+    return IoError("trace write failed");
+  }
+  return Status::Ok();
+}
+
+Status WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return IoError("cannot open for writing: " + path);
+  }
+  return WriteTrace(trace, out);
+}
+
+StatusOr<Trace> ReadTrace(std::istream& in) {
+  char magic[8];
+  if (!in.read(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return InvalidArgumentError("not a LARD trace file (bad magic)");
+  }
+  Trace trace;
+  uint32_t target_count = 0;
+  if (!GetU32(in, &target_count) || target_count > kMaxCount) {
+    return InvalidArgumentError("corrupt target count");
+  }
+  for (uint32_t i = 0; i < target_count; ++i) {
+    std::string path;
+    uint64_t size = 0;
+    if (!GetStr(in, &path) || !GetU64(in, &size)) {
+      return InvalidArgumentError("corrupt target record");
+    }
+    const TargetId id = trace.catalog().Intern(path, size);
+    if (id != i) {
+      return InvalidArgumentError("duplicate target path: " + path);
+    }
+  }
+  uint32_t session_count = 0;
+  if (!GetU32(in, &session_count) || session_count > kMaxCount) {
+    return InvalidArgumentError("corrupt session count");
+  }
+  trace.sessions().reserve(session_count);
+  for (uint32_t s = 0; s < session_count; ++s) {
+    TraceSession session;
+    uint64_t start = 0;
+    uint32_t batch_count = 0;
+    if (!GetU32(in, &session.client_id) || !GetU64(in, &start) || !GetU32(in, &batch_count) ||
+        batch_count > kMaxCount) {
+      return InvalidArgumentError("corrupt session header");
+    }
+    session.start_us = static_cast<int64_t>(start);
+    session.batches.reserve(batch_count);
+    for (uint32_t b = 0; b < batch_count; ++b) {
+      TraceBatch batch;
+      uint64_t offset = 0;
+      uint32_t n = 0;
+      if (!GetU64(in, &offset) || !GetU32(in, &n) || n > kMaxCount) {
+        return InvalidArgumentError("corrupt batch header");
+      }
+      batch.offset_us = static_cast<int64_t>(offset);
+      batch.targets.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint32_t id = 0;
+        if (!GetU32(in, &id) || id >= target_count) {
+          return InvalidArgumentError("target id out of range");
+        }
+        batch.targets.push_back(id);
+      }
+      session.batches.push_back(std::move(batch));
+    }
+    trace.sessions().push_back(std::move(session));
+  }
+  return trace;
+}
+
+StatusOr<Trace> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return IoError("cannot open: " + path);
+  }
+  return ReadTrace(in);
+}
+
+}  // namespace lard

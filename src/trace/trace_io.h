@@ -1,0 +1,32 @@
+// Binary trace serialization: freeze a generated (or log-reconstructed)
+// workload to a file and replay the exact same bytes later — the equivalent
+// of archiving the paper's trace segment so simulator and prototype runs are
+// comparable across machines and sessions.
+//
+// Format (little-endian): magic "LARDTRC1",
+//   u32 target_count, per target: str path, u64 size;
+//   u32 session_count, per session: u32 client, i64 start_us,
+//     u32 batch_count, per batch: i64 offset_us, u32 n, n * u32 target ids.
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.h"
+#include "src/util/status.h"
+
+namespace lard {
+
+// Serializes `trace` to the stream / file. Overwrites existing files.
+Status WriteTrace(const Trace& trace, std::ostream& out);
+Status WriteTraceFile(const Trace& trace, const std::string& path);
+
+// Loads a trace previously written by WriteTrace. Validates the magic,
+// target-id ranges and structural sanity; never trusts lengths blindly.
+StatusOr<Trace> ReadTrace(std::istream& in);
+StatusOr<Trace> ReadTraceFile(const std::string& path);
+
+}  // namespace lard
+
+#endif  // SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,74 @@
+#include "src/trace/trace_stats.h"
+
+#include <algorithm>
+
+namespace lard {
+
+TraceStats ComputeTraceStats(const Trace& trace, std::vector<double> fractions) {
+  if (fractions.empty()) {
+    fractions = {0.97, 0.98, 0.99, 1.0};
+  }
+  std::sort(fractions.begin(), fractions.end());
+
+  TraceStats stats;
+  stats.num_targets = trace.catalog().size();
+  stats.num_sessions = trace.sessions().size();
+  stats.footprint_bytes = trace.catalog().TotalBytes();
+
+  std::vector<uint64_t> request_counts(trace.catalog().size(), 0);
+  size_t batches = 0;
+  for (const auto& session : trace.sessions()) {
+    batches += session.batches.size();
+    for (const auto& batch : session.batches) {
+      for (const TargetId id : batch.targets) {
+        ++request_counts[id];
+        ++stats.num_requests;
+        stats.transferred_bytes += trace.catalog().Get(id).size_bytes;
+      }
+    }
+  }
+  stats.mean_response_bytes =
+      stats.num_requests == 0
+          ? 0.0
+          : static_cast<double>(stats.transferred_bytes) / static_cast<double>(stats.num_requests);
+  stats.mean_requests_per_session =
+      stats.num_sessions == 0
+          ? 0.0
+          : static_cast<double>(stats.num_requests) / static_cast<double>(stats.num_sessions);
+  stats.mean_batches_per_session =
+      stats.num_sessions == 0
+          ? 0.0
+          : static_cast<double>(batches) / static_cast<double>(stats.num_sessions);
+
+  // Coverage curve: hottest targets first.
+  std::vector<TargetId> order;
+  order.reserve(request_counts.size());
+  for (TargetId id = 0; id < request_counts.size(); ++id) {
+    if (request_counts[id] > 0) {
+      order.push_back(id);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](TargetId a, TargetId b) {
+    if (request_counts[a] != request_counts[b]) {
+      return request_counts[a] > request_counts[b];
+    }
+    return trace.catalog().Get(a).size_bytes < trace.catalog().Get(b).size_bytes;
+  });
+
+  size_t next_fraction = 0;
+  uint64_t covered_requests = 0;
+  uint64_t bytes = 0;
+  for (size_t i = 0; i < order.size() && next_fraction < fractions.size(); ++i) {
+    covered_requests += request_counts[order[i]];
+    bytes += trace.catalog().Get(order[i]).size_bytes;
+    while (next_fraction < fractions.size() &&
+           static_cast<double>(covered_requests) >=
+               fractions[next_fraction] * static_cast<double>(stats.num_requests)) {
+      stats.coverage.push_back(CoveragePoint{fractions[next_fraction], bytes, i + 1});
+      ++next_fraction;
+    }
+  }
+  return stats;
+}
+
+}  // namespace lard

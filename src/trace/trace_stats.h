@@ -1,0 +1,40 @@
+// Workload characterization, reproducing the paper's in-text trace table:
+// number of targets, total footprint, and the memory needed to cover a given
+// fraction of all requests (the paper quotes the MB needed for 97/98/99/100%).
+#ifndef SRC_TRACE_TRACE_STATS_H_
+#define SRC_TRACE_TRACE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace lard {
+
+struct CoveragePoint {
+  double request_fraction = 0.0;  // e.g. 0.97
+  uint64_t bytes_needed = 0;      // smallest cache holding the hottest targets
+                                  // that together absorb that fraction
+  size_t targets_needed = 0;
+};
+
+struct TraceStats {
+  size_t num_targets = 0;
+  size_t num_requests = 0;
+  size_t num_sessions = 0;
+  uint64_t footprint_bytes = 0;        // sum of distinct target sizes
+  uint64_t transferred_bytes = 0;      // sum over requests
+  double mean_response_bytes = 0.0;
+  double mean_requests_per_session = 0.0;
+  double mean_batches_per_session = 0.0;
+  std::vector<CoveragePoint> coverage;
+};
+
+// `fractions` defaults (when empty) to {0.97, 0.98, 0.99, 1.0} like the paper.
+// Coverage greedily picks targets by descending request count (ties: smaller
+// first), i.e. the optimal static cache content for hit-count.
+TraceStats ComputeTraceStats(const Trace& trace, std::vector<double> fractions = {});
+
+}  // namespace lard
+
+#endif  // SRC_TRACE_TRACE_STATS_H_

@@ -1,0 +1,116 @@
+#include "src/util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/logging.h"
+#include "src/util/table.h"
+
+namespace lard {
+
+void FlagSet::AddInt(const std::string& name, int64_t* value, const std::string& help) {
+  flags_.push_back({name, Type::kInt, value, help, std::to_string(*value)});
+}
+
+void FlagSet::AddDouble(const std::string& name, double* value, const std::string& help) {
+  flags_.push_back({name, Type::kDouble, value, help, FormatDouble(*value, 4)});
+}
+
+void FlagSet::AddString(const std::string& name, std::string* value, const std::string& help) {
+  flags_.push_back({name, Type::kString, value, help, *value});
+}
+
+void FlagSet::AddBool(const std::string& name, bool* value, const std::string& help) {
+  flags_.push_back({name, Type::kBool, value, help, *value ? "true" : "false"});
+}
+
+const FlagSet::Flag* FlagSet::Find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (flag.name == name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+bool FlagSet::SetValue(const Flag& flag, const std::string& text) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt: {
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || text.empty()) {
+        return false;
+      }
+      *static_cast<int64_t*>(flag.target) = v;
+      return true;
+    }
+    case Type::kDouble: {
+      const double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || text.empty()) {
+        return false;
+      }
+      *static_cast<double*>(flag.target) = v;
+      return true;
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = text;
+      return true;
+    case Type::kBool:
+      if (text == "true" || text == "1") {
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      }
+      if (text == "false" || text == "0") {
+        *static_cast<bool*>(flag.target) = false;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = "usage: " + program_ + " [flags]\n";
+  for (const auto& flag : flags_) {
+    out += "  --" + flag.name + "  (default " + flag.default_repr + ")  " + flag.help + "\n";
+  }
+  return out;
+}
+
+void FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", Usage().c_str());
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(), Usage().c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "flag --%s needs a value\n%s", arg.c_str(), Usage().c_str());
+      std::exit(2);
+    }
+    const Flag* flag = Find(arg);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", arg.c_str(), Usage().c_str());
+      std::exit(2);
+    }
+    if (!SetValue(*flag, value)) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n%s", arg.c_str(), value.c_str(),
+                   Usage().c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace lard

@@ -1,0 +1,51 @@
+// Tiny command-line flag parser for examples and benches.
+//
+//   lard::FlagSet flags("fig07_sim_apache");
+//   int nodes = 10;
+//   flags.AddInt("nodes", &nodes, "maximum cluster size");
+//   flags.Parse(argc, argv);   // accepts --nodes=4 and --nodes 4
+#ifndef SRC_UTIL_FLAGS_H_
+#define SRC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lard {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program) : program_(std::move(program)) {}
+
+  void AddInt(const std::string& name, int64_t* value, const std::string& help);
+  void AddDouble(const std::string& name, double* value, const std::string& help);
+  void AddString(const std::string& name, std::string* value, const std::string& help);
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+
+  // Parses argv; on --help prints usage and exits 0; on malformed input prints
+  // usage and exits 2. Unrecognized flags are fatal (catches typos in bench
+  // scripts early).
+  void Parse(int argc, char** argv);
+
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Flag* Find(const std::string& name) const;
+  static bool SetValue(const Flag& flag, const std::string& text);
+
+  std::string program_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace lard
+
+#endif  // SRC_UTIL_FLAGS_H_

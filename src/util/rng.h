@@ -1,0 +1,175 @@
+// Deterministic random number generation and the distributions the workload
+// generator needs. Header-only; no global state — every component that needs
+// randomness owns an Rng seeded from its config, which keeps simulations and
+// generated traces exactly reproducible.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace lard {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) {
+    LARD_CHECK(n > 0);
+    // Lemire's multiply-shift rejection method for unbiased bounded integers.
+    uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < n) {
+      uint64_t threshold = -n % n;
+      while (low < threshold) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    LARD_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Exponential with the given mean (mean = 1/lambda).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log(u);
+  }
+
+  // Log-normal with parameters of the underlying normal.
+  double NextLogNormal(double mu, double sigma) { return std::exp(mu + sigma * NextGaussian()); }
+
+  // Pareto with scale x_m and shape alpha (heavy tail for alpha near 1).
+  double NextPareto(double x_m, double alpha) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return x_m / std::pow(u, 1.0 / alpha);
+  }
+
+  // Standard normal via Marsaglia polar method.
+  double NextGaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * NextDouble() - 1.0;
+      v = 2.0 * NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    have_spare_ = true;
+    return u * factor;
+  }
+
+  // Geometric number of trials >= 1 with success probability p.
+  uint64_t NextGeometric(double p) {
+    LARD_CHECK(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) {
+      return 1;
+    }
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return 1 + static_cast<uint64_t>(std::log(u) / std::log(1.0 - p));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^alpha.
+// Used for Web document popularity (Zipf-like, per Arlitt & Williamson).
+// O(log n) per sample via binary search on the precomputed CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double alpha) : cdf_(n) {
+    LARD_CHECK(n > 0);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+      cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      cdf_[i] /= sum;
+    }
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+
+  size_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // First index with cdf >= u.
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lard
+
+#endif  // SRC_UTIL_RNG_H_

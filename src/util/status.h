@@ -1,0 +1,133 @@
+// Lightweight error propagation used across module boundaries instead of
+// exceptions. Modeled on absl::Status / absl::StatusOr but self-contained.
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lard {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,
+  kInternal,
+  kIoError,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT"...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+// Value-type result of an operation: a code plus an optional message.
+class Status {
+ public:
+  // Default status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status InternalError(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+inline Status IoError(std::string msg) { return Status(StatusCode::kIoError, std::move(msg)); }
+
+// Either a value of T or a non-OK Status. Accessing value() on an error aborts
+// (see CHECK in logging.h for the assertion idiom used by callers).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT: implicit by design
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT: implicit by design
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lard
+
+// Propagates a non-OK Status to the caller.
+#define LARD_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::lard::Status lard_status_ = (expr);   \
+    if (!lard_status_.ok()) {               \
+      return lard_status_;                  \
+    }                                       \
+  } while (0)
+
+#endif  // SRC_UTIL_STATUS_H_

@@ -1,0 +1,95 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "src/util/logging.h"
+
+namespace lard {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  LARD_CHECK(cells.size() == columns_.size()) << "row width mismatch";
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder& Table::RowBuilder::Cell(double v, int precision) {
+  cells_.push_back(FormatDouble(v, precision));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::Cell(int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += "| ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + emit_row(columns_) + sep;
+  for (const auto& row : rows_) {
+    out += emit_row(row);
+  }
+  out += sep;
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out += columns_[c];
+    out += c + 1 < columns_.size() ? "," : "\n";
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out += c + 1 < row.size() ? "," : "\n";
+    }
+  }
+  return out;
+}
+
+void Table::Print(const std::string& title, const std::string& csv_path) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), ToString().c_str());
+  std::fflush(stdout);
+  if (!csv_path.empty()) {
+    std::ofstream f(csv_path);
+    if (!f) {
+      LARD_LOG(ERROR) << "cannot write " << csv_path;
+      return;
+    }
+    f << ToCsv();
+  }
+}
+
+}  // namespace lard

@@ -1,0 +1,58 @@
+// Aligned-table and CSV emission for benchmark harnesses. Every figure bench
+// prints the same rows the paper's figure plots, in both a human-readable
+// table and (optionally) machine-readable CSV.
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lard {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  // Adds a row; the number of cells must match the number of columns.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience for rows that are mostly numbers.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table* table) : table_(table) {}
+    ~RowBuilder() { table_->AddRow(std::move(cells_)); }
+    RowBuilder& Cell(const std::string& s) {
+      cells_.push_back(s);
+      return *this;
+    }
+    RowBuilder& Cell(double v, int precision = 2);
+    RowBuilder& Cell(int64_t v);
+
+   private:
+    Table* table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder Row() { return RowBuilder(this); }
+
+  // Renders an aligned ASCII table.
+  std::string ToString() const;
+  // Renders RFC-4180-ish CSV (no quoting of embedded commas — our cells never
+  // contain them).
+  std::string ToCsv() const;
+
+  // Prints the table to stdout; when `csv_path` is non-empty also writes CSV.
+  void Print(const std::string& title, const std::string& csv_path = "") const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given precision (drop-in for std::format which we
+// avoid for toolchain portability).
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace lard
+
+#endif  // SRC_UTIL_TABLE_H_

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/mechanism_analysis.h"
+
+namespace lard {
+namespace {
+
+AnalysisConfig Apache() {
+  AnalysisConfig config;
+  config.costs = ApacheCosts();
+  return config;
+}
+
+AnalysisConfig Flash() {
+  AnalysisConfig config;
+  config.costs = FlashCosts();
+  return config;
+}
+
+TEST(AnalysisTest, ForwardingWinsForSmallResponses) {
+  const AnalysisConfig config = Apache();
+  EXPECT_GT(BackEndForwardingBandwidthMbps(config, 1024),
+            MultiHandoffBandwidthMbps(config, 1024));
+}
+
+TEST(AnalysisTest, HandoffWinsForLargeResponses) {
+  const AnalysisConfig config = Apache();
+  EXPECT_LT(BackEndForwardingBandwidthMbps(config, 100 * 1024),
+            MultiHandoffBandwidthMbps(config, 100 * 1024));
+}
+
+TEST(AnalysisTest, ApacheCrossoverNearTwelveKb) {
+  // Figure 5: with our reconstructed handoff cost the crossover lands at
+  // ~12 KB (see DESIGN.md §3); verify the solver and calibration agree.
+  const double crossover = CrossoverFileSizeBytes(Apache());
+  EXPECT_GT(crossover, 10.0 * 1024);
+  EXPECT_LT(crossover, 14.0 * 1024);
+}
+
+TEST(AnalysisTest, FlashCrossoverNearSixKb) {
+  const double crossover = CrossoverFileSizeBytes(Flash());
+  EXPECT_GT(crossover, 4.5 * 1024);
+  EXPECT_LT(crossover, 7.5 * 1024);
+}
+
+TEST(AnalysisTest, MechanismsTieAtCrossover) {
+  for (const AnalysisConfig& config : {Apache(), Flash()}) {
+    const double crossover = CrossoverFileSizeBytes(config);
+    const double forwarding = BackEndForwardingBandwidthMbps(config, crossover);
+    const double handoff = MultiHandoffBandwidthMbps(config, crossover);
+    EXPECT_NEAR(forwarding / handoff, 1.0, 0.02) << config.costs.name;
+  }
+}
+
+TEST(AnalysisTest, BandwidthIncreasesWithFileSize) {
+  const AnalysisConfig config = Apache();
+  double previous_multi = 0.0;
+  double previous_forward = 0.0;
+  for (double kb = 1; kb <= 100; kb += 1) {
+    const double multi = MultiHandoffBandwidthMbps(config, kb * 1024);
+    const double forward = BackEndForwardingBandwidthMbps(config, kb * 1024);
+    EXPECT_GT(multi, previous_multi);
+    EXPECT_GT(forward, previous_forward);
+    previous_multi = multi;
+    previous_forward = forward;
+  }
+}
+
+TEST(AnalysisTest, BandwidthScalesWithNodes) {
+  AnalysisConfig four = Apache();
+  AnalysisConfig eight = Apache();
+  eight.num_nodes = 8;
+  EXPECT_NEAR(MultiHandoffBandwidthMbps(eight, 8192) / MultiHandoffBandwidthMbps(four, 8192),
+              2.0, 1e-9);
+}
+
+TEST(AnalysisTest, SweepCoversRangeInOrder) {
+  const auto points = SweepFileSizes(Apache(), 1, 100, 34);
+  ASSERT_EQ(points.size(), 34u);
+  EXPECT_DOUBLE_EQ(points.front().file_size_bytes, 1024.0);
+  EXPECT_DOUBLE_EQ(points.back().file_size_bytes, 100.0 * 1024);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].file_size_bytes, points[i - 1].file_size_bytes);
+  }
+}
+
+TEST(AnalysisTest, CrossoverIndependentOfRequestsPerConnection) {
+  // The paper: "these results are nearly independent of the average number of
+  // requests received on a persistent connection". In our model the per-
+  // remote-request tradeoff is exactly independent of R.
+  AnalysisConfig config = Apache();
+  config.requests_per_connection = 2;
+  const double crossover_short = CrossoverFileSizeBytes(config);
+  config.requests_per_connection = 32;
+  const double crossover_long = CrossoverFileSizeBytes(config);
+  EXPECT_NEAR(crossover_short, crossover_long, 64.0);
+}
+
+TEST(AnalysisTest, HigherHandoffCostMovesCrossoverUp) {
+  AnalysisConfig config = Apache();
+  const double base = CrossoverFileSizeBytes(config);
+  config.costs.handoff_us *= 2;
+  EXPECT_GT(CrossoverFileSizeBytes(config), base);
+}
+
+TEST(AnalysisTest, CheaperForwardingMovesCrossoverUp) {
+  AnalysisConfig config = Apache();
+  const double base = CrossoverFileSizeBytes(config);
+  config.forward_receive_factor = 0.0;  // free receive path
+  EXPECT_GT(CrossoverFileSizeBytes(config), base);
+}
+
+}  // namespace
+}  // namespace lard

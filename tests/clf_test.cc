@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/clf.h"
+#include "src/trace/session_builder.h"
+
+namespace lard {
+namespace {
+
+TEST(ClfTimestampTest, ParsesUtc) {
+  auto ts = ParseClfTimestamp("10/Oct/1999:13:55:36 +0000");
+  ASSERT_TRUE(ts.ok());
+  // 1999-10-10T13:55:36Z = 939563736 epoch seconds.
+  EXPECT_EQ(ts.value(), 939563736ll * 1000000);
+}
+
+TEST(ClfTimestampTest, AppliesTimezoneOffset) {
+  auto utc = ParseClfTimestamp("10/Oct/1999:13:55:36 +0000");
+  auto behind = ParseClfTimestamp("10/Oct/1999:07:55:36 -0600");
+  ASSERT_TRUE(utc.ok());
+  ASSERT_TRUE(behind.ok());
+  EXPECT_EQ(utc.value(), behind.value());
+}
+
+TEST(ClfTimestampTest, RoundTrips) {
+  const int64_t ts = 939563736ll * 1000000;
+  auto parsed = ParseClfTimestamp(FormatClfTimestamp(ts));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), ts);
+}
+
+TEST(ClfTimestampTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseClfTimestamp("not a timestamp").ok());
+  EXPECT_FALSE(ParseClfTimestamp("32/Oct/1999:13:55:36 +0000").ok());
+  EXPECT_FALSE(ParseClfTimestamp("10/Foo/1999:13:55:36 +0000").ok());
+}
+
+TEST(ClfLineTest, ParsesCanonicalLine) {
+  auto record =
+      ParseClfLine("boffin.cs.rice.edu - - [10/Oct/1999:13:55:36 +0000] "
+                   "\"GET /class/comp320/foo.html HTTP/1.0\" 200 2326");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->client_host, "boffin.cs.rice.edu");
+  EXPECT_EQ(record->method, "GET");
+  EXPECT_EQ(record->path, "/class/comp320/foo.html");
+  EXPECT_EQ(record->status, 200);
+  EXPECT_EQ(record->response_bytes, 2326u);
+}
+
+TEST(ClfLineTest, DashByteCountIsZero) {
+  auto record = ParseClfLine(
+      "h - - [10/Oct/1999:13:55:36 +0000] \"GET /x HTTP/1.0\" 304 -");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->response_bytes, 0u);
+  EXPECT_EQ(record->status, 304);
+}
+
+TEST(ClfLineTest, RoundTripsThroughFormatter) {
+  ClfRecord record;
+  record.client_host = "client42";
+  record.timestamp_us = 939563736ll * 1000000;
+  record.method = "GET";
+  record.path = "/a/b.gif";
+  record.status = 200;
+  record.response_bytes = 1234;
+  auto reparsed = ParseClfLine(FormatClfLine(record));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->client_host, record.client_host);
+  EXPECT_EQ(reparsed->timestamp_us, record.timestamp_us);
+  EXPECT_EQ(reparsed->path, record.path);
+  EXPECT_EQ(reparsed->response_bytes, record.response_bytes);
+}
+
+TEST(ClfLineTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseClfLine("").ok());
+  EXPECT_FALSE(ParseClfLine("host").ok());
+  EXPECT_FALSE(ParseClfLine("host - - no timestamp \"GET / HTTP/1.0\" 200 1").ok());
+  EXPECT_FALSE(ParseClfLine("host - - [10/Oct/1999:13:55:36 +0000] \"BAD\" 200 1").ok());
+  EXPECT_FALSE(
+      ParseClfLine("host - - [10/Oct/1999:13:55:36 +0000] \"GET / HTTP/1.0\" abc 1").ok());
+}
+
+TEST(ClfStreamTest, SkipsBadLinesAndCounts) {
+  std::istringstream in(
+      "h1 - - [10/Oct/1999:13:55:36 +0000] \"GET /a HTTP/1.0\" 200 10\n"
+      "garbage line\n"
+      "h2 - - [10/Oct/1999:13:55:37 +0000] \"GET /b HTTP/1.0\" 200 20\n");
+  size_t skipped = 0;
+  const auto records = ParseClfStream(in, &skipped);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+// --- Session builder: the paper's 60 s / 1 s heuristic ---
+
+ClfRecord MakeRecord(const std::string& host, int64_t t_seconds, const std::string& path,
+                     uint64_t bytes = 100, int status = 200) {
+  ClfRecord record;
+  record.client_host = host;
+  record.timestamp_us = t_seconds * 1000000;
+  record.method = "GET";
+  record.path = path;
+  record.status = status;
+  record.response_bytes = bytes;
+  return record;
+}
+
+TEST(SessionBuilderTest, GroupsWithinIdleGap) {
+  std::vector<ClfRecord> records = {
+      MakeRecord("c1", 0, "/a"),
+      MakeRecord("c1", 30, "/b"),   // 30 s gap -> same connection
+      MakeRecord("c1", 120, "/c"),  // 90 s gap -> new connection
+  };
+  const Trace trace = BuildSessions(records, SessionBuilderConfig{});
+  ASSERT_EQ(trace.sessions().size(), 2u);
+  EXPECT_EQ(trace.sessions()[0].total_requests(), 2u);
+  EXPECT_EQ(trace.sessions()[1].total_requests(), 1u);
+}
+
+TEST(SessionBuilderTest, SeparatesClients) {
+  std::vector<ClfRecord> records = {
+      MakeRecord("c1", 0, "/a"),
+      MakeRecord("c2", 1, "/b"),
+      MakeRecord("c1", 2, "/c"),
+  };
+  const Trace trace = BuildSessions(records, SessionBuilderConfig{});
+  ASSERT_EQ(trace.sessions().size(), 2u);
+  size_t total = 0;
+  for (const auto& session : trace.sessions()) {
+    total += session.total_requests();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(SessionBuilderTest, FirstRequestIsItsOwnBatch) {
+  // /a at t=0; /b,/c at t=10 within the batch window of each other.
+  std::vector<ClfRecord> records = {
+      MakeRecord("c1", 0, "/a"),
+      MakeRecord("c1", 10, "/b"),
+      MakeRecord("c1", 10, "/c"),
+  };
+  const Trace trace = BuildSessions(records, SessionBuilderConfig{});
+  ASSERT_EQ(trace.sessions().size(), 1u);
+  const TraceSession& session = trace.sessions()[0];
+  ASSERT_EQ(session.batches.size(), 2u);
+  EXPECT_EQ(session.batches[0].targets.size(), 1u);
+  EXPECT_EQ(session.batches[1].targets.size(), 2u);
+}
+
+TEST(SessionBuilderTest, BatchWindowSplits) {
+  SessionBuilderConfig config;
+  config.batch_window_us = 1 * 1000000;
+  std::vector<ClfRecord> records = {
+      MakeRecord("c1", 0, "/a"),
+      MakeRecord("c1", 5, "/b"),
+      MakeRecord("c1", 10, "/c"),  // 5 s gaps: each its own batch
+  };
+  const Trace trace = BuildSessions(records, config);
+  ASSERT_EQ(trace.sessions().size(), 1u);
+  EXPECT_EQ(trace.sessions()[0].batches.size(), 3u);
+}
+
+TEST(SessionBuilderTest, DropsErrorsAndNonGets) {
+  std::vector<ClfRecord> records = {
+      MakeRecord("c1", 0, "/a"),
+      MakeRecord("c1", 1, "/missing", 0, 404),
+      MakeRecord("c1", 2, "/redir", 0, 302),
+  };
+  ClfRecord post = MakeRecord("c1", 3, "/form");
+  post.method = "POST";
+  records.push_back(post);
+  const Trace trace = BuildSessions(records, SessionBuilderConfig{});
+  EXPECT_EQ(trace.total_requests(), 1u);
+}
+
+TEST(SessionBuilderTest, UnsortedInputIsSorted) {
+  std::vector<ClfRecord> records = {
+      MakeRecord("c1", 10, "/b"),
+      MakeRecord("c1", 0, "/a"),
+  };
+  const Trace trace = BuildSessions(records, SessionBuilderConfig{});
+  ASSERT_EQ(trace.sessions().size(), 1u);
+  ASSERT_EQ(trace.sessions()[0].batches.size(), 2u);
+  // /a (t=0) must come first.
+  const TargetId first = trace.sessions()[0].batches[0].targets[0];
+  EXPECT_EQ(trace.catalog().Get(first).path, "/a");
+}
+
+// Parameterized sweep: the idle gap controls connection granularity.
+class SessionGapTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SessionGapTest, GapBoundaryRespected) {
+  const int64_t gap_s = GetParam();
+  SessionBuilderConfig config;
+  config.connection_idle_gap_us = gap_s * 1000000;
+  std::vector<ClfRecord> records = {
+      MakeRecord("c1", 0, "/a"),
+      MakeRecord("c1", gap_s - 1, "/b"),  // inside the gap
+      MakeRecord("c1", 2 * gap_s + 10, "/c"),  // outside
+  };
+  const Trace trace = BuildSessions(records, config);
+  EXPECT_EQ(trace.sessions().size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, SessionGapTest, ::testing::Values(5, 15, 60, 300));
+
+}  // namespace
+}  // namespace lard

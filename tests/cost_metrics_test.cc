@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "src/core/cost_metrics.h"
+
+namespace lard {
+namespace {
+
+LardParams Defaults() { return LardParams{}; }
+
+TEST(CostBalancingTest, ZeroBelowIdle) {
+  const LardParams params = Defaults();
+  EXPECT_EQ(CostBalancing(0, params), 0.0);
+  EXPECT_EQ(CostBalancing(params.l_idle - 1, params), 0.0);
+}
+
+TEST(CostBalancingTest, LinearBetweenThresholds) {
+  const LardParams params = Defaults();
+  EXPECT_EQ(CostBalancing(params.l_idle, params), 0.0);
+  EXPECT_EQ(CostBalancing(params.l_idle + 10, params), 10.0);
+  EXPECT_EQ(CostBalancing(params.l_overload - 1, params),
+            params.l_overload - 1 - params.l_idle);
+}
+
+TEST(CostBalancingTest, InfiniteAtOverload) {
+  const LardParams params = Defaults();
+  EXPECT_EQ(CostBalancing(params.l_overload, params), kInfiniteCost);
+  EXPECT_EQ(CostBalancing(params.l_overload + 100, params), kInfiniteCost);
+}
+
+TEST(CostLocalityTest, FreeWhenCached) {
+  const LardParams params = Defaults();
+  EXPECT_EQ(CostLocality(true, params), 0.0);
+  EXPECT_EQ(CostLocality(false, params), params.miss_cost);
+}
+
+TEST(CostReplacementTest, FreeWhenIdleOrCached) {
+  const LardParams params = Defaults();
+  EXPECT_EQ(CostReplacement(0, false, params), 0.0);           // idle, uncached
+  EXPECT_EQ(CostReplacement(params.l_idle + 5, true, params), 0.0);   // busy, cached
+  EXPECT_EQ(CostReplacement(params.l_idle + 5, false, params), params.miss_cost);
+}
+
+TEST(AggregateCostTest, SumsComponents) {
+  const LardParams params = Defaults();
+  const double load = params.l_idle + 7;
+  EXPECT_EQ(AggregateCost(load, false, params), 7 + params.miss_cost + params.miss_cost);
+  EXPECT_EQ(AggregateCost(load, true, params), 7.0);
+  EXPECT_EQ(AggregateCost(0, false, params), params.miss_cost);
+}
+
+TEST(AggregateCostTest, CachedBusyNodeCanLoseToIdleUncachedNode) {
+  // The LARD reassignment condition: a mapped node so loaded that an idle
+  // node paying a full miss is still cheaper.
+  const LardParams params = Defaults();
+  const double busy = params.l_idle + params.miss_cost + 1;  // cost = miss+1
+  EXPECT_GT(AggregateCost(busy, true, params), AggregateCost(0.0, false, params));
+}
+
+// Property sweep: aggregate cost is nondecreasing in load for fixed caching.
+class CostMonotonicityTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CostMonotonicityTest, NondecreasingInLoad) {
+  const LardParams params = Defaults();
+  const bool cached = GetParam();
+  double previous = AggregateCost(0, cached, params);
+  for (double load = 1; load <= params.l_overload + 10; load += 1) {
+    const double cost = AggregateCost(load, cached, params);
+    EXPECT_GE(cost, previous) << "load " << load;
+    previous = cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CachedOrNot, CostMonotonicityTest, ::testing::Bool());
+
+}  // namespace
+}  // namespace lard

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/cost_model.h"
+
+namespace lard {
+namespace {
+
+TEST(TransmitCostTest, RoundsUpTo512ByteUnits) {
+  const ServerCostModel apache = ApacheCosts();
+  EXPECT_DOUBLE_EQ(TransmitCostUs(apache, 0), 0.0);
+  EXPECT_DOUBLE_EQ(TransmitCostUs(apache, 1), 40.0);
+  EXPECT_DOUBLE_EQ(TransmitCostUs(apache, 512), 40.0);
+  EXPECT_DOUBLE_EQ(TransmitCostUs(apache, 513), 80.0);
+  EXPECT_DOUBLE_EQ(TransmitCostUs(apache, 8192), 16 * 40.0);
+}
+
+TEST(CostModelTest, ApacheHttp10ServiceRateNear1000PerSecond) {
+  // The calibration sanity check behind Section 6: an 8 KB cached document
+  // costs setup + teardown + request + transmit; the service rate should be
+  // near the ~1000 req/s the ASPLOS'98 lineage reports for Apache.
+  const ServerCostModel apache = ApacheCosts();
+  const double per_request_us = apache.conn_setup_us + apache.conn_teardown_us +
+                                apache.per_request_us + TransmitCostUs(apache, 8192);
+  const double rate = 1e6 / per_request_us;
+  EXPECT_GT(rate, 900.0);
+  EXPECT_LT(rate, 1200.0);
+}
+
+TEST(CostModelTest, FlashIsRoughlyThreeTimesApache) {
+  const ServerCostModel apache = ApacheCosts();
+  const ServerCostModel flash = FlashCosts();
+  const auto rate = [](const ServerCostModel& costs) {
+    return 1e6 / (costs.conn_setup_us + costs.conn_teardown_us + costs.per_request_us +
+                  TransmitCostUs(costs, 8192));
+  };
+  const double ratio = rate(flash) / rate(apache);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 3.5);
+}
+
+TEST(DiskModelTest, SmallReadIsSeekDominated) {
+  const DiskCostModel disk;
+  const double t = DiskServiceTimeUs(disk, 4096);
+  EXPECT_DOUBLE_EQ(t, 28500.0 + 410.0);
+}
+
+TEST(DiskModelTest, TransferScalesWithSize) {
+  const DiskCostModel disk;
+  EXPECT_DOUBLE_EQ(DiskServiceTimeUs(disk, 8192) - DiskServiceTimeUs(disk, 4096), 410.0);
+}
+
+TEST(DiskModelTest, LongReadsPayExtraSeeks) {
+  const DiskCostModel disk;
+  // 44 KB boundary: one extra seek beyond it.
+  const double just_below = DiskServiceTimeUs(disk, 44 * 1024);
+  const double just_above = DiskServiceTimeUs(disk, 44 * 1024 + 4096);
+  EXPECT_NEAR(just_above - just_below, 14000.0 + 410.0, 1.0);
+  // 1 MB read: floor((1MB-1)/44KB) = 23 extra seeks.
+  const double big = DiskServiceTimeUs(disk, 1024 * 1024);
+  EXPECT_GT(big, 23 * 14000.0);
+}
+
+TEST(DiskModelTest, ZeroExtraSeekPeriodDisablesExtraSeeks) {
+  DiskCostModel disk;
+  disk.extra_seek_every_bytes = 0;
+  EXPECT_DOUBLE_EQ(DiskServiceTimeUs(disk, 1024 * 1024),
+                   disk.initial_latency_us + 256 * disk.transfer_us_per_4kb);
+}
+
+TEST(CostModelTest, PersonalitiesAreNamed) {
+  EXPECT_EQ(ApacheCosts().name, "apache");
+  EXPECT_EQ(FlashCosts().name, "flash");
+}
+
+}  // namespace
+}  // namespace lard

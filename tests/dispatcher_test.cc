@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/dispatcher.h"
+
+namespace lard {
+namespace {
+
+// Scripted disk-queue feedback.
+class FakeDiskStats : public BackendStatsProvider {
+ public:
+  explicit FakeDiskStats(int num_nodes) : queues_(static_cast<size_t>(num_nodes), 0) {}
+  int DiskQueueLength(NodeId node) const override { return queues_[static_cast<size_t>(node)]; }
+  void Set(NodeId node, int length) { queues_[static_cast<size_t>(node)] = length; }
+
+ private:
+  std::vector<int> queues_;
+};
+
+class DispatcherTest : public ::testing::Test {
+ protected:
+  void Build(Policy policy, Mechanism mechanism, int num_nodes,
+             uint64_t cache_bytes = 1ull << 30, LardParams params = LardParams{}) {
+    stats_ = std::make_unique<FakeDiskStats>(num_nodes);
+    DispatcherConfig config;
+    config.policy = policy;
+    config.mechanism = mechanism;
+    config.num_nodes = num_nodes;
+    config.virtual_cache_bytes = cache_bytes;
+    config.params = params;
+    dispatcher_ = std::make_unique<Dispatcher>(config, &catalog_, stats_.get());
+  }
+
+  TargetId AddTarget(const std::string& path, uint64_t size = 1000) {
+    return catalog_.Intern(path, size);
+  }
+
+  // Opens a connection and dispatches its first batch; returns assignments.
+  std::vector<Assignment> OpenWithBatch(ConnId conn, const std::vector<TargetId>& targets) {
+    dispatcher_->OnConnectionOpen(conn);
+    return dispatcher_->OnBatch(conn, targets);
+  }
+
+  TargetCatalog catalog_;
+  std::unique_ptr<FakeDiskStats> stats_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+};
+
+// --- First-request (handoff) behaviour ---
+
+TEST_F(DispatcherTest, FirstAssignmentIsHandoff) {
+  Build(Policy::kLard, Mechanism::kSingleHandoff, 4);
+  const TargetId t = AddTarget("/a");
+  const auto assignments = OpenWithBatch(1, {t});
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].action, AssignmentAction::kHandoff);
+  EXPECT_GE(assignments[0].node, 0);
+  EXPECT_EQ(dispatcher_->HandlingNode(1), assignments[0].node);
+}
+
+TEST_F(DispatcherTest, LardRoutesRepeatTargetToSameNode) {
+  Build(Policy::kLard, Mechanism::kSingleHandoff, 4);
+  const TargetId t = AddTarget("/hot.html");
+  const NodeId first = OpenWithBatch(1, {t})[0].node;
+  dispatcher_->OnConnectionClose(1);
+  for (ConnId conn = 2; conn < 12; ++conn) {
+    EXPECT_EQ(OpenWithBatch(conn, {t})[0].node, first) << "conn " << conn;
+    dispatcher_->OnConnectionClose(conn);
+  }
+  EXPECT_TRUE(dispatcher_->TargetCachedAt(first, t));
+}
+
+TEST_F(DispatcherTest, LardPartitionsDistinctTargets) {
+  // With idle nodes, distinct targets spread across the cluster (locality
+  // partitioning, Fig. 1): each new target goes to an idle node and sticks.
+  Build(Policy::kLard, Mechanism::kSingleHandoff, 4);
+  std::set<NodeId> used;
+  for (int i = 0; i < 4; ++i) {
+    const TargetId t = AddTarget("/doc" + std::to_string(i));
+    const auto assignments = OpenWithBatch(static_cast<ConnId>(i + 1), {t});
+    used.insert(assignments[0].node);
+  }
+  // All nodes idle and costs tie: the tie-break must not pile everything on
+  // one node once load differs. With load ties broken by lower load first,
+  // at least two nodes must be used.
+  EXPECT_GE(used.size(), 2u);
+}
+
+TEST_F(DispatcherTest, LardReassignsWhenMappedNodeOverloaded) {
+  Build(Policy::kLard, Mechanism::kSingleHandoff, 2);
+  const TargetId hot = AddTarget("/hot");
+  const NodeId home = OpenWithBatch(1, {hot})[0].node;
+  // Pile load beyond L_overload onto the home node with open connections.
+  const LardParams params;
+  const int pile = static_cast<int>(params.l_overload) + 5;
+  ConnId conn = 100;
+  int piled = 0;
+  while (piled < pile) {
+    const auto assignments = OpenWithBatch(conn, {hot});
+    if (assignments[0].node == home) {
+      ++piled;
+    }
+    ++conn;
+  }
+  // Now a fresh request for the hot target must flee to the other node.
+  const auto assignments = OpenWithBatch(conn + 1, {hot});
+  EXPECT_NE(assignments[0].node, home);
+}
+
+TEST_F(DispatcherTest, WrrIgnoresContent) {
+  Build(Policy::kWrr, Mechanism::kSingleHandoff, 3);
+  const TargetId t = AddTarget("/same");
+  std::set<NodeId> used;
+  for (ConnId conn = 1; conn <= 3; ++conn) {
+    used.insert(OpenWithBatch(conn, {t})[0].node);  // conns stay open: load 1 each
+  }
+  // Same target, but WRR spreads by load: all three nodes get one connection.
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST_F(DispatcherTest, WrrPicksLeastLoaded) {
+  Build(Policy::kWrr, Mechanism::kSingleHandoff, 2);
+  const TargetId t = AddTarget("/x");
+  const NodeId n1 = OpenWithBatch(1, {t})[0].node;
+  const NodeId n2 = OpenWithBatch(2, {t})[0].node;
+  EXPECT_NE(n1, n2);
+  dispatcher_->OnConnectionClose(1);  // node n1 now idle
+  EXPECT_EQ(OpenWithBatch(3, {t})[0].node, n1);
+}
+
+// --- Subsequent requests: mechanism constraints ---
+
+TEST_F(DispatcherTest, SingleHandoffPinsSubsequentRequests) {
+  Build(Policy::kLard, Mechanism::kSingleHandoff, 4);
+  const TargetId a = AddTarget("/a");
+  const TargetId b = AddTarget("/b");
+  const NodeId home = OpenWithBatch(1, {a})[0].node;
+  const auto batch2 = dispatcher_->OnBatch(1, {b});
+  ASSERT_EQ(batch2.size(), 1u);
+  EXPECT_EQ(batch2[0].action, AssignmentAction::kServeLocal);
+  EXPECT_EQ(batch2[0].node, home);
+}
+
+TEST_F(DispatcherTest, ExtLardServesCachedTargetLocally) {
+  Build(Policy::kExtendedLard, Mechanism::kBackEndForwarding, 4);
+  const TargetId a = AddTarget("/a");
+  const NodeId home = OpenWithBatch(1, {a})[0].node;
+  stats_->Set(home, 100);  // disk busy — but /a is cached at home
+  const auto again = dispatcher_->OnBatch(1, {a});
+  EXPECT_EQ(again[0].action, AssignmentAction::kServeLocal);
+  EXPECT_EQ(again[0].node, home);
+}
+
+TEST_F(DispatcherTest, ExtLardReadsFromIdleDiskAndCaches) {
+  Build(Policy::kExtendedLard, Mechanism::kBackEndForwarding, 4);
+  const TargetId a = AddTarget("/a");
+  const TargetId b = AddTarget("/b");
+  const NodeId home = OpenWithBatch(1, {a})[0].node;
+  stats_->Set(home, 0);  // idle disk
+  const auto assignments = dispatcher_->OnBatch(1, {b});
+  EXPECT_EQ(assignments[0].action, AssignmentAction::kServeLocal);
+  EXPECT_TRUE(assignments[0].cache_after_miss);
+  EXPECT_TRUE(dispatcher_->TargetCachedAt(home, b));
+}
+
+TEST_F(DispatcherTest, ExtLardForwardsToCachingNodeWhenDiskBusy) {
+  Build(Policy::kExtendedLard, Mechanism::kBackEndForwarding, 2);
+  const TargetId a = AddTarget("/a");
+  const TargetId b = AddTarget("/b");
+  // Warm /b on some node via its own connection.
+  const NodeId b_home = OpenWithBatch(10, {b})[0].node;
+  dispatcher_->OnConnectionClose(10);
+  // New connection for /a lands on the other node (LARD partitions).
+  const auto first = OpenWithBatch(1, {a});
+  const NodeId home = first[0].node;
+  ASSERT_NE(home, b_home);
+  stats_->Set(home, 100);  // busy disk at the handling node
+  const auto assignments = dispatcher_->OnBatch(1, {b});
+  EXPECT_EQ(assignments[0].action, AssignmentAction::kForward);
+  EXPECT_EQ(assignments[0].node, b_home);
+  EXPECT_GT(dispatcher_->counters().forwards, 0u);
+}
+
+TEST_F(DispatcherTest, ExtLardCachesFirstPlacementEvenWithBusyDisk) {
+  // A target cached nowhere is a first placement, not replication: it must
+  // enter the handling node's cache even when the disk is busy, or the
+  // cluster could never warm up (see dispatcher.cc).
+  Build(Policy::kExtendedLard, Mechanism::kBackEndForwarding, 2);
+  const TargetId a = AddTarget("/a");
+  const TargetId cold = AddTarget("/cold");
+  const NodeId home = OpenWithBatch(1, {a})[0].node;
+  stats_->Set(home, 100);  // busy disk, /cold cached nowhere
+  const auto assignments = dispatcher_->OnBatch(1, {cold});
+  EXPECT_EQ(assignments[0].action, AssignmentAction::kServeLocal);
+  EXPECT_TRUE(assignments[0].cache_after_miss);
+  EXPECT_TRUE(dispatcher_->TargetCachedAt(home, cold));
+}
+
+TEST_F(DispatcherTest, ExtLardAvoidsReplicationWhenServingDespiteRemoteCopy) {
+  // The replication-avoidance heuristic: the target IS cached remotely, but
+  // the remote node is past L_overload so the cost metrics keep the request
+  // on the handling node — which must then serve from its busy disk WITHOUT
+  // caching (a second copy would shrink the aggregate cache). Tiny LARD
+  // parameters make the overload state easy to construct.
+  LardParams params;
+  params.l_idle = 1;
+  params.l_overload = 3;
+  params.miss_cost = 4;
+  Build(Policy::kExtendedLard, Mechanism::kBackEndForwarding, 2, 1ull << 30, params);
+  const TargetId a = AddTarget("/a");
+  const TargetId b = AddTarget("/b");
+  const NodeId b_home = OpenWithBatch(10, {b})[0].node;
+  dispatcher_->OnConnectionClose(10);
+  const NodeId home = OpenWithBatch(1, {a})[0].node;
+  ASSERT_NE(home, b_home);
+  stats_->Set(home, 100);  // busy disk at the handling node
+  // Three open connections for /b drive b_home to L_overload.
+  ConnId conn = 100;
+  while (dispatcher_->NodeLoad(b_home) < params.l_overload) {
+    const auto assignments = OpenWithBatch(conn++, {b});
+    ASSERT_EQ(assignments[0].node, b_home);
+    ASSERT_LE(conn, 110u);
+  }
+  const auto assignments = dispatcher_->OnBatch(1, {b});
+  EXPECT_EQ(assignments[0].action, AssignmentAction::kServeLocal);
+  EXPECT_EQ(assignments[0].node, home);
+  EXPECT_FALSE(assignments[0].cache_after_miss);
+  EXPECT_FALSE(dispatcher_->TargetCachedAt(home, b));
+  EXPECT_GT(dispatcher_->counters().served_without_caching, 0u);
+}
+
+TEST_F(DispatcherTest, MultiHandoffMigratesInsteadOfForwarding) {
+  Build(Policy::kExtendedLard, Mechanism::kMultipleHandoff, 2);
+  const TargetId a = AddTarget("/a");
+  const TargetId b = AddTarget("/b");
+  const NodeId b_home = OpenWithBatch(10, {b})[0].node;
+  dispatcher_->OnConnectionClose(10);
+  const NodeId home = OpenWithBatch(1, {a})[0].node;
+  ASSERT_NE(home, b_home);
+  stats_->Set(home, 100);
+  const auto assignments = dispatcher_->OnBatch(1, {b});
+  EXPECT_EQ(assignments[0].action, AssignmentAction::kMigrate);
+  EXPECT_EQ(assignments[0].node, b_home);
+  // The connection now lives on b_home.
+  EXPECT_EQ(dispatcher_->HandlingNode(1), b_home);
+  EXPECT_GT(dispatcher_->counters().migrations, 0u);
+}
+
+TEST_F(DispatcherTest, RelayingFrontEndNeverHandsOff) {
+  Build(Policy::kExtendedLard, Mechanism::kRelayingFrontEnd, 3);
+  const TargetId a = AddTarget("/a");
+  const auto assignments = OpenWithBatch(1, {a, a, a});
+  for (const auto& assignment : assignments) {
+    EXPECT_EQ(assignment.action, AssignmentAction::kRelay);
+  }
+  EXPECT_EQ(dispatcher_->HandlingNode(1), kInvalidNode);
+}
+
+// --- Load accounting (Section 4.2) ---
+
+TEST_F(DispatcherTest, ActiveConnectionIsOneLoadUnit) {
+  Build(Policy::kLard, Mechanism::kSingleHandoff, 2);
+  const TargetId a = AddTarget("/a");
+  const NodeId home = OpenWithBatch(1, {a})[0].node;
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(home), 1.0);
+  dispatcher_->OnConnectionIdle(1);
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(home), 0.0);
+  dispatcher_->OnBatch(1, {a});
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(home), 1.0);
+  dispatcher_->OnConnectionClose(1);
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(home), 0.0);
+}
+
+TEST_F(DispatcherTest, ForwardedBatchAddsFractionalLoad) {
+  Build(Policy::kExtendedLard, Mechanism::kBackEndForwarding, 2);
+  const TargetId a = AddTarget("/a");
+  const TargetId b = AddTarget("/b");
+  const TargetId c = AddTarget("/c");
+  const NodeId remote_home = OpenWithBatch(10, {b})[0].node;
+  dispatcher_->OnBatch(10, {c});
+  dispatcher_->OnConnectionClose(10);
+
+  const NodeId home = OpenWithBatch(1, {a})[0].node;
+  ASSERT_NE(home, remote_home);
+  stats_->Set(home, 100);
+  // Batch of 4: two forwarded to remote_home -> 2 * (1/4) fractional load.
+  const auto assignments = dispatcher_->OnBatch(1, {b, c, a, a});
+  ASSERT_EQ(assignments.size(), 4u);
+  EXPECT_EQ(assignments[0].action, AssignmentAction::kForward);
+  EXPECT_EQ(assignments[1].action, AssignmentAction::kForward);
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(remote_home), 0.5);
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(home), 1.0);
+
+  // Next batch releases the previous batch's fractional loads.
+  dispatcher_->OnBatch(1, {a});
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(remote_home), 0.0);
+  dispatcher_->OnConnectionClose(1);
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(home), 0.0);
+}
+
+TEST_F(DispatcherTest, IdleReleasesFractionalLoads) {
+  Build(Policy::kExtendedLard, Mechanism::kBackEndForwarding, 2);
+  const TargetId a = AddTarget("/a");
+  const TargetId b = AddTarget("/b");
+  const NodeId remote_home = OpenWithBatch(10, {b})[0].node;
+  dispatcher_->OnConnectionClose(10);
+  const NodeId home = OpenWithBatch(1, {a})[0].node;
+  ASSERT_NE(home, remote_home);
+  stats_->Set(home, 100);
+  dispatcher_->OnBatch(1, {b});
+  EXPECT_GT(dispatcher_->NodeLoad(remote_home), 0.0);
+  dispatcher_->OnConnectionIdle(1);
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(remote_home), 0.0);
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(home), 0.0);
+}
+
+TEST_F(DispatcherTest, MigrationMovesLoadUnit) {
+  Build(Policy::kExtendedLard, Mechanism::kMultipleHandoff, 2);
+  const TargetId a = AddTarget("/a");
+  const TargetId b = AddTarget("/b");
+  const NodeId b_home = OpenWithBatch(10, {b})[0].node;
+  dispatcher_->OnConnectionClose(10);
+  const NodeId home = OpenWithBatch(1, {a})[0].node;
+  stats_->Set(home, 100);
+  dispatcher_->OnBatch(1, {b});
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(b_home), 1.0);
+  EXPECT_DOUBLE_EQ(dispatcher_->NodeLoad(home), 0.0);
+  dispatcher_->OnConnectionClose(1);
+}
+
+// --- Cache modelling ---
+
+TEST_F(DispatcherTest, VirtualCacheEvicts) {
+  // Cache fits one 1000-byte target: serving /b evicts /a.
+  Build(Policy::kLard, Mechanism::kSingleHandoff, 1, /*cache_bytes=*/1500);
+  const TargetId a = AddTarget("/a", 1000);
+  const TargetId b = AddTarget("/b", 1000);
+  OpenWithBatch(1, {a});
+  EXPECT_TRUE(dispatcher_->TargetCachedAt(0, a));
+  dispatcher_->OnBatch(1, {b});
+  EXPECT_TRUE(dispatcher_->TargetCachedAt(0, b));
+  EXPECT_FALSE(dispatcher_->TargetCachedAt(0, a));
+}
+
+TEST_F(DispatcherTest, UnknownTargetIsLoadBalancedOnly) {
+  Build(Policy::kLard, Mechanism::kSingleHandoff, 2);
+  const auto assignments = OpenWithBatch(1, {kInvalidTarget});
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].action, AssignmentAction::kHandoff);
+  const auto next = dispatcher_->OnBatch(1, {kInvalidTarget});
+  EXPECT_EQ(next[0].action, AssignmentAction::kServeLocal);
+}
+
+// --- Counters ---
+
+TEST_F(DispatcherTest, CountersAddUp) {
+  Build(Policy::kExtendedLard, Mechanism::kBackEndForwarding, 2);
+  const TargetId a = AddTarget("/a");
+  OpenWithBatch(1, {a});
+  dispatcher_->OnBatch(1, {a});
+  dispatcher_->OnConnectionClose(1);
+  const DispatcherCounters& counters = dispatcher_->counters();
+  EXPECT_EQ(counters.connections, 1u);
+  EXPECT_EQ(counters.requests, 2u);
+  EXPECT_EQ(counters.handoffs, 1u);
+  EXPECT_EQ(counters.handoffs + counters.local_serves + counters.forwards +
+                counters.migrations + counters.relays,
+            counters.requests);
+}
+
+// Parameterized conservation check over every policy/mechanism combo used in
+// the paper's figures.
+struct Combo {
+  Policy policy;
+  Mechanism mechanism;
+};
+
+class ComboTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ComboTest, EveryRequestGetsExactlyOneAssignment) {
+  TargetCatalog catalog;
+  std::vector<TargetId> targets;
+  for (int i = 0; i < 20; ++i) {
+    targets.push_back(catalog.Intern("/t" + std::to_string(i), 500 + i));
+  }
+  FakeDiskStats stats(4);
+  stats.Set(0, 100);  // one busy disk to exercise forwarding paths
+  DispatcherConfig config;
+  config.policy = GetParam().policy;
+  config.mechanism = GetParam().mechanism;
+  config.num_nodes = 4;
+  Dispatcher dispatcher(config, &catalog, &stats);
+
+  uint64_t expected_requests = 0;
+  for (ConnId conn = 1; conn <= 50; ++conn) {
+    dispatcher.OnConnectionOpen(conn);
+    for (int batch = 0; batch < 3; ++batch) {
+      std::vector<TargetId> batch_targets;
+      for (int i = 0; i < 4; ++i) {
+        batch_targets.push_back(targets[(conn + batch * 4 + i) % targets.size()]);
+      }
+      const auto assignments = dispatcher.OnBatch(conn, batch_targets);
+      ASSERT_EQ(assignments.size(), batch_targets.size());
+      expected_requests += batch_targets.size();
+      for (const auto& assignment : assignments) {
+        ASSERT_GE(assignment.node, 0);
+        ASSERT_LT(assignment.node, 4);
+      }
+    }
+    if (conn % 2 == 0) {
+      dispatcher.OnConnectionIdle(conn);
+    }
+    dispatcher.OnConnectionClose(conn);
+  }
+  EXPECT_EQ(dispatcher.counters().requests, expected_requests);
+  // All load returned after every connection closed.
+  for (NodeId node = 0; node < 4; ++node) {
+    EXPECT_NEAR(dispatcher.NodeLoad(node), 0.0, 1e-9) << "node " << node;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, ComboTest,
+    ::testing::Values(Combo{Policy::kWrr, Mechanism::kSingleHandoff},
+                      Combo{Policy::kLard, Mechanism::kSingleHandoff},
+                      Combo{Policy::kExtendedLard, Mechanism::kSingleHandoff},
+                      Combo{Policy::kExtendedLard, Mechanism::kBackEndForwarding},
+                      Combo{Policy::kExtendedLard, Mechanism::kMultipleHandoff},
+                      Combo{Policy::kExtendedLard, Mechanism::kIdealHandoff},
+                      Combo{Policy::kExtendedLard, Mechanism::kRelayingFrontEnd},
+                      Combo{Policy::kWrr, Mechanism::kRelayingFrontEnd}));
+
+}  // namespace
+}  // namespace lard

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "src/http/http_message.h"
+#include "src/http/request_parser.h"
+#include "src/http/response_parser.h"
+#include "src/http/tagging.h"
+
+namespace lard {
+namespace {
+
+// --- HttpHeaders / messages ---
+
+TEST(HttpHeadersTest, CaseInsensitiveLookup) {
+  HttpHeaders headers;
+  headers.Add("Content-Length", "42");
+  ASSERT_NE(headers.Find("content-length"), nullptr);
+  EXPECT_EQ(*headers.Find("CONTENT-LENGTH"), "42");
+  EXPECT_EQ(headers.Find("Host"), nullptr);
+}
+
+TEST(HttpHeadersTest, PreservesOrderAndDuplicates) {
+  HttpHeaders headers;
+  headers.Add("X-A", "1");
+  headers.Add("X-A", "2");
+  EXPECT_EQ(headers.size(), 2u);
+  EXPECT_EQ(*headers.Find("X-A"), "1");  // first wins for lookup
+}
+
+TEST(HttpRequestTest, KeepAliveRules) {
+  HttpRequest request;
+  request.version = HttpVersion::kHttp11;
+  EXPECT_TRUE(request.KeepAlive());  // 1.1 default persistent
+  request.headers.Add("Connection", "close");
+  EXPECT_FALSE(request.KeepAlive());
+
+  HttpRequest old_request;
+  old_request.version = HttpVersion::kHttp10;
+  EXPECT_FALSE(old_request.KeepAlive());  // paper: 1.0 never persists
+  old_request.headers.Add("Connection", "keep-alive");
+  EXPECT_FALSE(old_request.KeepAlive());
+}
+
+TEST(HttpResponseTest, SerializeAddsContentLength) {
+  HttpResponse response;
+  response.body = "hello";
+  const std::string wire = response.Serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 5), "hello");
+}
+
+TEST(HttpResponseTest, SerializeKeepsExplicitContentLength) {
+  HttpResponse response;
+  response.headers.Add("Content-Length", "0");
+  const std::string wire = response.Serialize();
+  // Exactly one Content-Length.
+  EXPECT_EQ(wire.find("Content-Length"), wire.rfind("Content-Length"));
+}
+
+// --- RequestParser ---
+
+TEST(RequestParserTest, ParsesSimpleGet) {
+  RequestParser parser;
+  std::vector<HttpRequest> requests;
+  ASSERT_EQ(parser.Feed("GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n", &requests),
+            RequestParser::State::kNeedMore);
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].method, "GET");
+  EXPECT_EQ(requests[0].path, "/index.html");
+  EXPECT_EQ(requests[0].version, HttpVersion::kHttp11);
+  EXPECT_EQ(*requests[0].headers.Find("Host"), "x");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(RequestParserTest, ByteAtATime) {
+  const std::string wire = "GET /a HTTP/1.0\r\nUser-Agent: t\r\n\r\n";
+  RequestParser parser;
+  std::vector<HttpRequest> requests;
+  for (const char c : wire) {
+    ASSERT_EQ(parser.Feed(std::string_view(&c, 1), &requests), RequestParser::State::kNeedMore);
+  }
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].version, HttpVersion::kHttp10);
+}
+
+TEST(RequestParserTest, PipelinedRequestsInOneRead) {
+  RequestParser parser;
+  std::vector<HttpRequest> requests;
+  parser.Feed(
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\nGET /c HTTP/1.1\r\nHost: h\r\n\r\n",
+      &requests);
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_EQ(requests[0].path, "/a");
+  EXPECT_EQ(requests[1].path, "/b");
+  EXPECT_EQ(requests[2].path, "/c");
+}
+
+TEST(RequestParserTest, PipelinedSplitMidRequest) {
+  RequestParser parser;
+  std::vector<HttpRequest> requests;
+  parser.Feed("GET /a HTTP/1.1\r\n\r\nGET /b HT", &requests);
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_GT(parser.buffered_bytes(), 0u);
+  parser.Feed("TP/1.1\r\n\r\n", &requests);
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[1].path, "/b");
+}
+
+TEST(RequestParserTest, BodyWithContentLength) {
+  RequestParser parser;
+  std::vector<HttpRequest> requests;
+  parser.Feed("POST /submit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /next HTTP/1.1\r\n\r\n",
+              &requests);
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[0].body, "hello");
+  EXPECT_EQ(requests[1].path, "/next");
+}
+
+TEST(RequestParserTest, HeaderWhitespaceTrimmed) {
+  RequestParser parser;
+  std::vector<HttpRequest> requests;
+  parser.Feed("GET / HTTP/1.1\r\nX-Pad:   spaced out  \r\n\r\n", &requests);
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(*requests[0].headers.Find("X-Pad"), "spaced out");
+}
+
+TEST(RequestParserTest, RejectsMalformedRequestLine) {
+  for (const char* bad :
+       {"GARBAGE\r\n\r\n", "GET /\r\n\r\n", "GET / HTTP/2.0\r\n\r\n", "GET  / HTTP/1.1\r\n\r\n",
+        "GET / HTTP/1.1 extra\r\n\r\n"}) {
+    RequestParser parser;
+    std::vector<HttpRequest> requests;
+    EXPECT_EQ(parser.Feed(bad, &requests), RequestParser::State::kError) << bad;
+  }
+}
+
+TEST(RequestParserTest, RejectsBadHeaders) {
+  RequestParser parser;
+  std::vector<HttpRequest> requests;
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\nno colon here\r\n\r\n", &requests),
+            RequestParser::State::kError);
+}
+
+TEST(RequestParserTest, RejectsAbsurdContentLength) {
+  RequestParser parser;
+  std::vector<HttpRequest> requests;
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", &requests),
+            RequestParser::State::kError);
+}
+
+TEST(RequestParserTest, ErrorStateIsSticky) {
+  RequestParser parser;
+  std::vector<HttpRequest> requests;
+  parser.Feed("BAD\r\n\r\n", &requests);
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\n\r\n", &requests), RequestParser::State::kError);
+  EXPECT_TRUE(requests.empty());
+}
+
+// --- ResponseParser ---
+
+TEST(ResponseParserTest, RoundTripsSerializedResponse) {
+  HttpResponse out;
+  out.status = 200;
+  out.body = std::string(1000, 'x');
+  ResponseParser parser;
+  std::vector<HttpResponse> responses;
+  parser.Feed(out.Serialize(), &responses);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, 200);
+  EXPECT_EQ(responses[0].body, out.body);
+}
+
+TEST(ResponseParserTest, PipelinedResponses) {
+  HttpResponse a;
+  a.body = "aa";
+  HttpResponse b;
+  b.status = 404;
+  b.reason = "Not Found";
+  b.body = "nope";
+  ResponseParser parser;
+  std::vector<HttpResponse> responses;
+  parser.Feed(a.Serialize() + b.Serialize(), &responses);
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].body, "aa");
+  EXPECT_EQ(responses[1].status, 404);
+}
+
+TEST(ResponseParserTest, SplitAcrossReads) {
+  HttpResponse out;
+  out.body = std::string(100, 'y');
+  const std::string wire = out.Serialize();
+  ResponseParser parser;
+  std::vector<HttpResponse> responses;
+  parser.Feed(wire.substr(0, 20), &responses);
+  EXPECT_TRUE(responses.empty());
+  parser.Feed(wire.substr(20), &responses);
+  ASSERT_EQ(responses.size(), 1u);
+}
+
+TEST(ResponseParserTest, RejectsGarbage) {
+  ResponseParser parser;
+  std::vector<HttpResponse> responses;
+  EXPECT_EQ(parser.Feed("SPDY/9 hello\r\n\r\n", &responses), ResponseParser::State::kError);
+}
+
+// --- Tagging (Section 7.3) ---
+
+TEST(TaggingTest, RoundTrips) {
+  const std::string tagged = TagPathForNode("/dir/file.html", 3);
+  EXPECT_EQ(tagged, "/__be3/dir/file.html");
+  NodeId node = kInvalidNode;
+  std::string path;
+  ASSERT_TRUE(ParseTaggedPath(tagged, &node, &path));
+  EXPECT_EQ(node, 3);
+  EXPECT_EQ(path, "/dir/file.html");
+}
+
+TEST(TaggingTest, PlainPathsAreNotTags) {
+  NodeId node = kInvalidNode;
+  std::string path;
+  EXPECT_FALSE(ParseTaggedPath("/dir/file.html", &node, &path));
+  EXPECT_FALSE(ParseTaggedPath("/__bex/file", &node, &path));
+  EXPECT_FALSE(ParseTaggedPath("/__be9", &node, &path));  // no trailing path
+  EXPECT_FALSE(ParseTaggedPath("/__be", &node, &path));
+}
+
+TEST(TaggingTest, MultiDigitNodes) {
+  NodeId node = kInvalidNode;
+  std::string path;
+  ASSERT_TRUE(ParseTaggedPath(TagPathForNode("/x", 127), &node, &path));
+  EXPECT_EQ(node, 127);
+}
+
+TEST(ReasonPhraseTest, KnownCodes) {
+  EXPECT_STREQ(ReasonPhrase(200), "OK");
+  EXPECT_STREQ(ReasonPhrase(404), "Not Found");
+  EXPECT_STREQ(ReasonPhrase(418), "Unknown");
+}
+
+}  // namespace
+}  // namespace lard

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "src/core/lru_cache.h"
+#include "src/util/rng.h"
+
+namespace lard {
+namespace {
+
+TEST(LruCacheTest, InsertAndContains) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Insert(1, 40));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 40u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(100);
+  cache.Insert(1, 40);
+  cache.Insert(2, 40);
+  std::vector<TargetId> evicted;
+  cache.Insert(3, 40, &evicted);  // must evict 1 (oldest)
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 1u);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(LruCacheTest, TouchPreventsEviction) {
+  LruCache cache(100);
+  cache.Insert(1, 40);
+  cache.Insert(2, 40);
+  EXPECT_TRUE(cache.Touch(1));  // 1 becomes MRU
+  std::vector<TargetId> evicted;
+  cache.Insert(3, 40, &evicted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2u);
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(LruCacheTest, TouchMissingReturnsFalse) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.Touch(9));
+}
+
+TEST(LruCacheTest, ReinsertRefreshesWithoutGrowth) {
+  LruCache cache(100);
+  cache.Insert(1, 40);
+  cache.Insert(1, 40);
+  EXPECT_EQ(cache.used_bytes(), 40u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(LruCacheTest, OversizedObjectNotCached) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.Insert(1, 200));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCacheTest, OversizedDoesNotEvictOthers) {
+  LruCache cache(100);
+  cache.Insert(1, 50);
+  EXPECT_FALSE(cache.Insert(2, 150));
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(LruCacheTest, MultipleEvictionsForLargeInsert) {
+  LruCache cache(100);
+  cache.Insert(1, 30);
+  cache.Insert(2, 30);
+  cache.Insert(3, 30);
+  std::vector<TargetId> evicted;
+  cache.Insert(4, 90, &evicted);
+  EXPECT_EQ(evicted.size(), 3u);
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(LruCacheTest, Erase) {
+  LruCache cache(100);
+  cache.Insert(1, 60);
+  cache.Erase(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  cache.Erase(1);  // idempotent
+}
+
+TEST(LruCacheTest, ZeroSizeEntries) {
+  LruCache cache(10);
+  EXPECT_TRUE(cache.Insert(1, 0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+// Property test: under random operations the byte budget is never exceeded
+// and bookkeeping stays consistent.
+class LruPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LruPropertyTest, InvariantsHoldUnderRandomOps) {
+  const uint64_t capacity = GetParam();
+  LruCache cache(capacity);
+  Rng rng(capacity);
+  uint64_t accounted = 0;
+  std::unordered_map<TargetId, uint64_t> resident;
+
+  for (int op = 0; op < 20000; ++op) {
+    const TargetId id = static_cast<TargetId>(rng.NextBelow(64));
+    const uint64_t size = rng.NextBelow(capacity / 2) + 1;
+    switch (rng.NextBelow(3)) {
+      case 0: {
+        std::vector<TargetId> evicted;
+        const bool inserted = cache.Insert(id, size, &evicted);
+        for (const TargetId victim : evicted) {
+          auto it = resident.find(victim);
+          ASSERT_NE(it, resident.end());
+          accounted -= it->second;
+          resident.erase(it);
+        }
+        if (inserted && resident.find(id) == resident.end()) {
+          resident[id] = size;
+          accounted += size;
+        }
+        break;
+      }
+      case 1:
+        cache.Touch(id);
+        break;
+      case 2: {
+        auto it = resident.find(id);
+        if (it != resident.end()) {
+          accounted -= it->second;
+          resident.erase(it);
+        }
+        cache.Erase(id);
+        break;
+      }
+    }
+    ASSERT_LE(cache.used_bytes(), capacity);
+    ASSERT_EQ(cache.entry_count(), resident.size());
+    ASSERT_EQ(cache.used_bytes(), accounted);
+    for (const auto& [key, value] : resident) {
+      ASSERT_TRUE(cache.Contains(key));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LruPropertyTest, ::testing::Values(64, 1024, 65536));
+
+}  // namespace
+}  // namespace lard

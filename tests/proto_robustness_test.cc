@@ -1,0 +1,222 @@
+// Robustness and edge-case tests of the prototype cluster: abrupt client
+// disconnects, idle-timeout sweeping, pipelined bursts, relaying mode under
+// concurrency, and keep-alive semantics over real sockets.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <future>
+#include <thread>
+
+#include "src/http/response_parser.h"
+#include "src/net/socket.h"
+#include "src/proto/cluster.h"
+#include "src/proto/load_generator.h"
+#include "src/trace/synthetic.h"
+
+namespace lard {
+namespace {
+
+Trace SmallTrace(uint64_t seed = 42) {
+  SyntheticTraceConfig config;
+  config.seed = seed;
+  config.num_pages = 30;
+  config.num_sessions = 40;
+  config.max_size_bytes = 32 * 1024;
+  return GenerateSyntheticTrace(config);
+}
+
+ClusterConfig FastCluster(int nodes, Policy policy = Policy::kExtendedLard,
+                          Mechanism mechanism = Mechanism::kBackEndForwarding) {
+  ClusterConfig config;
+  config.num_nodes = nodes;
+  config.policy = policy;
+  config.mechanism = mechanism;
+  config.backend_cache_bytes = 4ull * 1024 * 1024;
+  config.disk_time_scale = 0.01;
+  return config;
+}
+
+// Reads until EOF or `want` bytes of parsed responses arrive.
+std::string ReadAll(int fd) {
+  std::string out;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+TEST(ProtoRobustnessTest, AbruptClientDisconnectMidResponse) {
+  const Trace trace = SmallTrace();
+  Cluster cluster(FastCluster(2), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // Open, send a request, and slam the connection shut without reading.
+  for (int i = 0; i < 20; ++i) {
+    auto fd = ConnectTcp(cluster.port());
+    ASSERT_TRUE(fd.ok());
+    const std::string request = "GET " + trace.catalog().Get(0).path + " HTTP/1.1\r\n\r\n";
+    ASSERT_GT(::send(fd.value().get(), request.data(), request.size(), 0), 0);
+    fd.value().Reset();  // RST/EOF towards the cluster
+  }
+  // The cluster must still serve a well-behaved client correctly.
+  LoadGeneratorConfig load;
+  load.port = cluster.port();
+  load.num_clients = 4;
+  const LoadResult result = RunLoad(load, trace);
+  EXPECT_EQ(result.responses_bad, 0u);
+  EXPECT_EQ(result.responses_ok, trace.total_requests());
+  cluster.Stop();
+}
+
+TEST(ProtoRobustnessTest, GarbageRequestGets400) {
+  const Trace trace = SmallTrace();
+  Cluster cluster(FastCluster(1), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+  auto fd = ConnectTcp(cluster.port());
+  ASSERT_TRUE(fd.ok());
+  const std::string garbage = "NOT-HTTP AT ALL\r\n\r\n";
+  ASSERT_GT(::send(fd.value().get(), garbage.data(), garbage.size(), 0), 0);
+  const std::string reply = ReadAll(fd.value().get());
+  EXPECT_NE(reply.find("400"), std::string::npos);
+  cluster.Stop();
+}
+
+TEST(ProtoRobustnessTest, IdleConnectionsSweptByServerTimeout) {
+  const Trace trace = SmallTrace();
+  ClusterConfig config = FastCluster(1);
+  config.idle_close_ms = 150;  // aggressive idle close for the test
+  Cluster cluster(config, &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  auto fd = ConnectTcp(cluster.port());
+  ASSERT_TRUE(fd.ok());
+  const std::string request = "GET " + trace.catalog().Get(0).path + " HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(fd.value().get(), request.data(), request.size(), 0), 0);
+  // The server answers, then (after the idle window) closes: ReadAll
+  // returning proves we got EOF rather than hanging forever.
+  const std::string reply = ReadAll(fd.value().get());
+  EXPECT_NE(reply.find("200"), std::string::npos);
+  cluster.Stop();
+}
+
+TEST(ProtoRobustnessTest, DeepPipelineOneWrite) {
+  // Many requests in a single write: responses must all arrive, in order.
+  const Trace trace = SmallTrace();
+  Cluster cluster(FastCluster(2), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  auto fd = ConnectTcp(cluster.port());
+  ASSERT_TRUE(fd.ok());
+  std::string burst;
+  const int kDepth = 32;
+  for (int i = 0; i < kDepth; ++i) {
+    const TargetId target = static_cast<TargetId>(i % trace.catalog().size());
+    burst += "GET " + trace.catalog().Get(target).path + " HTTP/1.1\r\n";
+    if (i + 1 == kDepth) {
+      burst += "Connection: close\r\n";
+    }
+    burst += "\r\n";
+  }
+  ASSERT_GT(::send(fd.value().get(), burst.data(), burst.size(), 0), 0);
+  const std::string wire = ReadAll(fd.value().get());
+  ResponseParser parser;
+  std::vector<HttpResponse> responses;
+  ASSERT_EQ(parser.Feed(wire, &responses), ResponseParser::State::kNeedMore);
+  ASSERT_EQ(responses.size(), static_cast<size_t>(kDepth));
+  for (int i = 0; i < kDepth; ++i) {
+    const TargetId target = static_cast<TargetId>(i % trace.catalog().size());
+    const Target& entry = trace.catalog().Get(target);
+    EXPECT_EQ(responses[static_cast<size_t>(i)].body.size(), entry.size_bytes) << "response " << i;
+    // In-order: each body's header names its own path.
+    EXPECT_EQ(responses[static_cast<size_t>(i)].body.rfind(entry.path, 0), 0u) << "response " << i;
+  }
+  cluster.Stop();
+}
+
+TEST(ProtoRobustnessTest, RelayModeUnderConcurrency) {
+  const Trace trace = SmallTrace(9);
+  Cluster cluster(FastCluster(3, Policy::kExtendedLard, Mechanism::kRelayingFrontEnd),
+                  &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+  LoadGeneratorConfig load;
+  load.port = cluster.port();
+  load.num_clients = 12;
+  const LoadResult result = RunLoad(load, trace);
+  EXPECT_EQ(result.responses_ok, trace.total_requests());
+  EXPECT_EQ(result.responses_bad, 0u);
+  EXPECT_EQ(cluster.Snapshot().requests_served, trace.total_requests());
+  cluster.Stop();
+}
+
+TEST(ProtoRobustnessTest, Http10ConnectionClosesAfterResponse) {
+  const Trace trace = SmallTrace();
+  Cluster cluster(FastCluster(1), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+  auto fd = ConnectTcp(cluster.port());
+  ASSERT_TRUE(fd.ok());
+  const std::string request = "GET " + trace.catalog().Get(0).path + " HTTP/1.0\r\n\r\n";
+  ASSERT_GT(::send(fd.value().get(), request.data(), request.size(), 0), 0);
+  const std::string wire = ReadAll(fd.value().get());  // EOF proves close
+  ResponseParser parser;
+  std::vector<HttpResponse> responses;
+  parser.Feed(wire, &responses);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].version, HttpVersion::kHttp10);
+  ASSERT_NE(responses[0].headers.Find("Connection"), nullptr);
+  EXPECT_EQ(*responses[0].headers.Find("Connection"), "close");
+  cluster.Stop();
+}
+
+TEST(ProtoRobustnessTest, ManySmallClustersStartAndStop) {
+  // Lifecycle churn: no leaked threads/fds preventing restarts.
+  const Trace trace = SmallTrace();
+  for (int round = 0; round < 5; ++round) {
+    Cluster cluster(FastCluster(2), &trace.catalog());
+    ASSERT_TRUE(cluster.Start().ok());
+    auto fd = ConnectTcp(cluster.port());
+    ASSERT_TRUE(fd.ok());
+    cluster.Stop();
+  }
+}
+
+// Keep-alive across policies, parameterized.
+class ProtoPolicyParamTest : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(ProtoPolicyParamTest, SequentialKeepAliveRequests) {
+  const Trace trace = SmallTrace(17);
+  const Mechanism mechanism = GetParam() == Policy::kExtendedLard
+                                  ? Mechanism::kBackEndForwarding
+                                  : Mechanism::kSingleHandoff;
+  Cluster cluster(FastCluster(2, GetParam(), mechanism), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+  auto fd = ConnectTcp(cluster.port());
+  ASSERT_TRUE(fd.ok());
+
+  ResponseParser parser;
+  for (int i = 0; i < 5; ++i) {
+    const TargetId target = static_cast<TargetId>(i);
+    const std::string request =
+        "GET " + trace.catalog().Get(target).path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_GT(::send(fd.value().get(), request.data(), request.size(), 0), 0);
+    std::vector<HttpResponse> responses;
+    char buf[16384];
+    while (responses.empty()) {
+      const ssize_t n = ::recv(fd.value().get(), buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0) << "connection died mid keep-alive sequence";
+      ASSERT_NE(parser.Feed(std::string_view(buf, static_cast<size_t>(n)), &responses),
+                ResponseParser::State::kError);
+    }
+    EXPECT_EQ(responses[0].status, 200);
+    EXPECT_EQ(responses[0].body.size(), trace.catalog().Get(target).size_bytes);
+  }
+  cluster.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ProtoPolicyParamTest,
+                         ::testing::Values(Policy::kWrr, Policy::kLard, Policy::kExtendedLard));
+
+}  // namespace
+}  // namespace lard

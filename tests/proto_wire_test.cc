@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "src/proto/content_store.h"
+#include "src/proto/control_protocol.h"
+#include "src/proto/wire.h"
+
+namespace lard {
+namespace {
+
+// --- WireWriter / WireReader ---
+
+TEST(WireTest, ScalarsRoundTrip) {
+  WireWriter writer;
+  writer.U8(7);
+  writer.U32(0xdeadbeef);
+  writer.U64(0x0123456789abcdefull);
+  writer.Str("hello");
+
+  WireReader reader(writer.bytes());
+  EXPECT_EQ(reader.U8(), 7);
+  EXPECT_EQ(reader.U32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.U64(), 0x0123456789abcdefull);
+  EXPECT_EQ(reader.Str(), "hello");
+  EXPECT_TRUE(reader.Complete());
+}
+
+TEST(WireTest, EmptyStringRoundTrips) {
+  WireWriter writer;
+  writer.Str("");
+  WireReader reader(writer.bytes());
+  EXPECT_EQ(reader.Str(), "");
+  EXPECT_TRUE(reader.Complete());
+}
+
+TEST(WireTest, TruncatedReadFails) {
+  WireWriter writer;
+  writer.U64(42);
+  WireReader reader(std::string_view(writer.bytes()).substr(0, 5));
+  reader.U64();
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.Complete());
+}
+
+TEST(WireTest, TrailingBytesMeanIncomplete) {
+  WireWriter writer;
+  writer.U8(1);
+  writer.U8(2);
+  WireReader reader(writer.bytes());
+  reader.U8();
+  EXPECT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.Complete());
+}
+
+TEST(WireTest, BadStringLengthFailsCleanly) {
+  WireWriter writer;
+  writer.U32(1000);  // claims 1000 bytes, provides none
+  WireReader reader(writer.bytes());
+  EXPECT_EQ(reader.Str(), "");
+  EXPECT_FALSE(reader.ok());
+}
+
+// --- Control protocol messages ---
+
+TEST(ControlProtocolTest, HandoffRoundTrips) {
+  HandoffMsg msg;
+  msg.conn_id = 0x1122334455667788ull;
+  msg.autonomous = true;
+  RequestDirective local;
+  local.path = "/a.html";
+  msg.directives.push_back(local);
+  RequestDirective lateral;
+  lateral.action = DirectiveAction::kLateral;
+  lateral.path = "/__be2/b.gif";
+  lateral.cache_after_miss = false;
+  msg.directives.push_back(lateral);
+  RequestDirective migrate;
+  migrate.action = DirectiveAction::kMigrate;
+  migrate.node = 3;
+  migrate.path = "/c.html";
+  msg.directives.push_back(migrate);
+  msg.unparsed_input = "GET /partial HTT";
+
+  HandoffMsg decoded;
+  ASSERT_TRUE(DecodeHandoff(EncodeHandoff(msg), &decoded));
+  EXPECT_EQ(decoded.conn_id, msg.conn_id);
+  EXPECT_EQ(decoded.autonomous, true);
+  ASSERT_EQ(decoded.directives.size(), 3u);
+  EXPECT_EQ(decoded.directives[0].action, DirectiveAction::kLocal);
+  EXPECT_EQ(decoded.directives[0].path, "/a.html");
+  EXPECT_TRUE(decoded.directives[0].cache_after_miss);
+  EXPECT_EQ(decoded.directives[1].action, DirectiveAction::kLateral);
+  EXPECT_EQ(decoded.directives[1].path, "/__be2/b.gif");
+  EXPECT_FALSE(decoded.directives[1].cache_after_miss);
+  EXPECT_EQ(decoded.directives[2].action, DirectiveAction::kMigrate);
+  EXPECT_EQ(decoded.directives[2].node, 3);
+  EXPECT_EQ(decoded.unparsed_input, "GET /partial HTT");
+}
+
+TEST(ControlProtocolTest, ConsultRoundTrips) {
+  ConsultMsg msg;
+  msg.conn_id = 99;
+  msg.disk_queue_len = 7;
+  msg.paths = {"/x", "/y", "/z"};
+  ConsultMsg decoded;
+  ASSERT_TRUE(DecodeConsult(EncodeConsult(msg), &decoded));
+  EXPECT_EQ(decoded.conn_id, 99u);
+  EXPECT_EQ(decoded.disk_queue_len, 7u);
+  EXPECT_EQ(decoded.paths, msg.paths);
+}
+
+TEST(ControlProtocolTest, AssignmentsRoundTrips) {
+  AssignmentsMsg msg;
+  msg.conn_id = 3;
+  RequestDirective directive;
+  directive.path = "/p";
+  directive.cache_after_miss = false;
+  msg.directives.push_back(directive);
+  AssignmentsMsg decoded;
+  ASSERT_TRUE(DecodeAssignments(EncodeAssignments(msg), &decoded));
+  EXPECT_EQ(decoded.conn_id, 3u);
+  ASSERT_EQ(decoded.directives.size(), 1u);
+  EXPECT_FALSE(decoded.directives[0].cache_after_miss);
+}
+
+TEST(ControlProtocolTest, HandbackRoundTrips) {
+  HandbackMsg msg;
+  msg.conn_id = 77;
+  msg.target_node = 2;
+  RequestDirective first;
+  first.path = "/moved.html";
+  msg.directives.push_back(first);
+  msg.replay_input = "GET /moved.html HTTP/1.1\r\n\r\nGET /nex";
+  HandbackMsg decoded;
+  ASSERT_TRUE(DecodeHandback(EncodeHandback(msg), &decoded));
+  EXPECT_EQ(decoded.conn_id, 77u);
+  EXPECT_EQ(decoded.target_node, 2);
+  ASSERT_EQ(decoded.directives.size(), 1u);
+  EXPECT_EQ(decoded.directives[0].path, "/moved.html");
+  EXPECT_EQ(decoded.replay_input, msg.replay_input);
+}
+
+TEST(ControlProtocolTest, DecodeRejectsBadDirectiveAction) {
+  HandoffMsg msg;
+  msg.conn_id = 1;
+  RequestDirective directive;
+  directive.path = "/a";
+  msg.directives.push_back(directive);
+  std::string encoded = EncodeHandoff(msg);
+  // Corrupt the action byte (first byte after conn_id u64 + autonomous u8 +
+  // count u32).
+  encoded[8 + 1 + 4] = 9;
+  HandoffMsg decoded;
+  EXPECT_FALSE(DecodeHandoff(encoded, &decoded));
+}
+
+TEST(ControlProtocolTest, ScalarsRoundTrip) {
+  uint64_t v64 = 0;
+  ASSERT_TRUE(DecodeU64(EncodeU64(12345678901234ull), &v64));
+  EXPECT_EQ(v64, 12345678901234ull);
+  uint32_t v32 = 0;
+  ASSERT_TRUE(DecodeU32(EncodeU32(77), &v32));
+  EXPECT_EQ(v32, 77u);
+}
+
+TEST(ControlProtocolTest, DecodeRejectsTruncation) {
+  HandoffMsg msg;
+  msg.conn_id = 1;
+  RequestDirective directive;
+  directive.path = "/a";
+  msg.directives.push_back(directive);
+  const std::string encoded = EncodeHandoff(msg);
+  HandoffMsg decoded;
+  EXPECT_FALSE(DecodeHandoff(std::string_view(encoded).substr(0, encoded.size() - 3), &decoded));
+  uint64_t v = 0;
+  EXPECT_FALSE(DecodeU64("abc", &v));
+}
+
+// --- ContentStore ---
+
+TEST(ContentStoreTest, BodyMatchesExpectedHelper) {
+  TargetCatalog catalog;
+  const TargetId id = catalog.Intern("/page1/index.html", 4096);
+  ContentStore store(&catalog);
+  const std::string body = store.BodyFor(id);
+  EXPECT_EQ(body.size(), 4096u);
+  EXPECT_EQ(body, ContentStore::ExpectedBody("/page1/index.html", 4096));
+  // Header prefix embeds path and size.
+  EXPECT_EQ(body.rfind("/page1/index.html#4096#", 0), 0u);
+}
+
+TEST(ContentStoreTest, DifferentPathsDifferentBodies) {
+  EXPECT_NE(ContentStore::ExpectedBody("/a", 256), ContentStore::ExpectedBody("/b", 256));
+}
+
+TEST(ContentStoreTest, TinyBodyTruncatesHeader) {
+  const std::string body = ContentStore::ExpectedBody("/long/path/name.html", 4);
+  EXPECT_EQ(body.size(), 4u);
+  EXPECT_EQ(body, "/lon");
+}
+
+TEST(ContentStoreTest, ZeroSizeBody) {
+  EXPECT_TRUE(ContentStore::ExpectedBody("/x", 0).empty());
+}
+
+TEST(ContentStoreTest, ResolveFindsAndMisses) {
+  TargetCatalog catalog;
+  catalog.Intern("/exists", 10);
+  ContentStore store(&catalog);
+  EXPECT_NE(store.Resolve("/exists"), kInvalidTarget);
+  EXPECT_EQ(store.Resolve("/missing"), kInvalidTarget);
+}
+
+}  // namespace
+}  // namespace lard

@@ -1,0 +1,181 @@
+// Behavioural and property tests of the simulator beyond the basics in
+// cluster_sim_test.cc: saturation curves, mechanism cost ordering, front-end
+// limiting, latency behaviour, and workload-shape effects.
+#include <gtest/gtest.h>
+
+#include "src/sim/cluster_sim.h"
+#include "src/trace/synthetic.h"
+
+namespace lard {
+namespace {
+
+Trace MakeTrace(int64_t pages, int64_t sessions, uint64_t seed = 3,
+                double pages_per_session = 1.2) {
+  SyntheticTraceConfig config;
+  config.seed = seed;
+  config.num_pages = pages;
+  config.num_sessions = sessions;
+  config.pages_per_session_mean = pages_per_session;
+  return GenerateSyntheticTrace(config);
+}
+
+ClusterSimConfig Config(int nodes, Policy policy, Mechanism mechanism,
+                        uint64_t cache_mb = 8) {
+  ClusterSimConfig config;
+  config.num_nodes = nodes;
+  config.policy = policy;
+  config.mechanism = mechanism;
+  config.backend_cache_bytes = cache_mb * 1024 * 1024;
+  return config;
+}
+
+TEST(SimBehaviorTest, ThroughputSaturatesWithLoad) {
+  // Fig. 3's premise: beyond the knee, more concurrent connections buy
+  // little throughput but much delay.
+  const Trace trace = MakeTrace(50, 2000);
+  double rps_low, rps_high, delay_low, delay_high;
+  {
+    ClusterSimConfig config = Config(1, Policy::kLard, Mechanism::kSingleHandoff, 64);
+    config.concurrent_sessions_per_node = 4;
+    ClusterSim sim(config, &trace);
+    const ClusterSimMetrics metrics = sim.Run();
+    rps_low = metrics.throughput_rps;
+    delay_low = metrics.mean_batch_latency_ms;
+  }
+  {
+    ClusterSimConfig config = Config(1, Policy::kLard, Mechanism::kSingleHandoff, 64);
+    config.concurrent_sessions_per_node = 128;
+    ClusterSim sim(config, &trace);
+    const ClusterSimMetrics metrics = sim.Run();
+    rps_high = metrics.throughput_rps;
+    delay_high = metrics.mean_batch_latency_ms;
+  }
+  EXPECT_LT(rps_high, rps_low * 2.0) << "throughput should saturate";
+  EXPECT_GT(delay_high, delay_low * 4.0) << "delay should keep climbing";
+}
+
+TEST(SimBehaviorTest, MigrationStallAddsLatencyNotThroughputLoss) {
+  // Multiple handoff vs the zero-cost ideal: the pipeline stall should cost
+  // some latency, not an order of magnitude of throughput.
+  const Trace trace = MakeTrace(400, 6000);
+  ClusterSim multi(Config(4, Policy::kExtendedLard, Mechanism::kMultipleHandoff), &trace);
+  ClusterSim ideal(Config(4, Policy::kExtendedLard, Mechanism::kIdealHandoff), &trace);
+  const ClusterSimMetrics multi_metrics = multi.Run();
+  const ClusterSimMetrics ideal_metrics = ideal.Run();
+  EXPECT_GT(multi_metrics.throughput_rps, 0.7 * ideal_metrics.throughput_rps);
+  EXPECT_GE(ideal_metrics.throughput_rps, multi_metrics.throughput_rps * 0.98);
+}
+
+TEST(SimBehaviorTest, FrontEndLimitCapsThroughput) {
+  const Trace trace = MakeTrace(100, 4000);
+  ClusterSimConfig config = Config(8, Policy::kExtendedLard, Mechanism::kBackEndForwarding, 64);
+  ClusterSim unlimited(config, &trace);
+  config.model_front_end_limit = true;
+  // Make the FE deliberately slow so it must bottleneck.
+  config.fe_costs.per_request_us = 2000.0;
+  ClusterSim limited(config, &trace);
+  const double unlimited_rps = unlimited.Run().throughput_rps;
+  const ClusterSimMetrics limited_metrics = limited.Run();
+  EXPECT_LT(limited_metrics.throughput_rps, unlimited_rps);
+  // A saturated FE: close to 100% utilization, throughput near 1/2000µs
+  // (first requests pay the cheaper handoff cost, hence the slack).
+  EXPECT_GT(limited_metrics.fe_utilization, 0.9);
+  EXPECT_LT(limited_metrics.throughput_rps, 1e6 / 2000.0 * 1.3);
+}
+
+TEST(SimBehaviorTest, BiggerCachesNeverHurt) {
+  const Trace trace = MakeTrace(600, 6000);
+  double previous = 0.0;
+  for (const uint64_t cache_mb : {2, 8, 32}) {
+    ClusterSim sim(Config(4, Policy::kLard, Mechanism::kSingleHandoff, cache_mb), &trace);
+    const double hit_rate = sim.Run().cache_hit_rate;
+    EXPECT_GE(hit_rate, previous - 0.01) << cache_mb << " MB";
+    previous = hit_rate;
+  }
+}
+
+TEST(SimBehaviorTest, FlashOutrunsApacheWhenCpuBound) {
+  // Cache-resident workload, long enough that the cold-start disk warmup
+  // does not dominate: Flash's lower CPU costs must show directly.
+  const Trace trace = MakeTrace(40, 10000);
+  ClusterSimConfig config = Config(2, Policy::kLard, Mechanism::kSingleHandoff, 64);
+  ClusterSim apache(config, &trace);
+  config.server_costs = FlashCosts();
+  ClusterSim flash(config, &trace);
+  EXPECT_GT(flash.Run().throughput_rps, 1.5 * apache.Run().throughput_rps);
+}
+
+TEST(SimBehaviorTest, PhttpBeatsHttp10WhenCacheResident) {
+  // The paper's 26%-gain regime: CPU-bound cluster, connection overhead
+  // amortized over ~6-7 requests.
+  const Trace trace = MakeTrace(40, 3000);
+  ClusterSimConfig config = Config(2, Policy::kExtendedLard, Mechanism::kBackEndForwarding, 64);
+  ClusterSim phttp(config, &trace);
+  config.policy = Policy::kLard;
+  config.mechanism = Mechanism::kSingleHandoff;
+  config.http10 = true;
+  ClusterSim http10(config, &trace);
+  const double phttp_rps = phttp.Run().throughput_rps;
+  const double http10_rps = http10.Run().throughput_rps;
+  EXPECT_GT(phttp_rps, 1.05 * http10_rps);
+  EXPECT_LT(phttp_rps, 1.6 * http10_rps);  // bounded by the setup-cost share
+}
+
+TEST(SimBehaviorTest, WrrInsensitiveToPersistentConnections) {
+  // Paper: "WRR cannot obtain throughput advantages from persistent
+  // connections on our workload as it remains disk bound".
+  const Trace trace = MakeTrace(800, 8000);  // disk-bound: big working set
+  ClusterSimConfig config = Config(4, Policy::kWrr, Mechanism::kSingleHandoff, 2);
+  ClusterSim phttp(config, &trace);
+  config.http10 = true;
+  ClusterSim http10(config, &trace);
+  const double ratio = phttp.Run().throughput_rps / http10.Run().throughput_rps;
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(SimBehaviorTest, DispatcherLoadReturnsToZero) {
+  const Trace trace = MakeTrace(100, 2000);
+  for (const Mechanism mechanism :
+       {Mechanism::kSingleHandoff, Mechanism::kBackEndForwarding,
+        Mechanism::kMultipleHandoff, Mechanism::kRelayingFrontEnd}) {
+    ClusterSim sim(Config(3, Policy::kExtendedLard, mechanism), &trace);
+    const ClusterSimMetrics metrics = sim.Run();
+    EXPECT_EQ(metrics.total_requests, trace.total_requests()) << MechanismName(mechanism);
+  }
+}
+
+TEST(SimBehaviorTest, ThroughputScalesWithClusterForLard) {
+  const Trace trace = MakeTrace(600, 8000);
+  double previous = 0.0;
+  for (const int nodes : {1, 2, 4, 8}) {
+    ClusterSim sim(Config(nodes, Policy::kLard, Mechanism::kSingleHandoff, 4), &trace);
+    const double rps = sim.Run().throughput_rps;
+    EXPECT_GT(rps, previous) << nodes << " nodes";
+    previous = rps;
+  }
+}
+
+// Property sweep over seeds: conservation and determinism hold regardless of
+// workload randomness.
+class SimSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimSeedTest, ConservationAcrossSeeds) {
+  const Trace trace = MakeTrace(150, 1500, GetParam());
+  ClusterSim sim(Config(5, Policy::kExtendedLard, Mechanism::kBackEndForwarding), &trace);
+  const ClusterSimMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.total_requests, trace.total_requests());
+  EXPECT_EQ(metrics.total_connections, trace.sessions().size());
+  uint64_t served = 0;
+  for (const auto& node : metrics.per_node) {
+    served += node.cache_hits + node.disk_reads;
+  }
+  EXPECT_GE(served, metrics.total_requests);
+  EXPECT_GT(metrics.cache_hit_rate, 0.0);
+  EXPECT_LE(metrics.cache_hit_rate, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimSeedTest, ::testing::Values(1, 7, 1999, 424242));
+
+}  // namespace
+}  // namespace lard

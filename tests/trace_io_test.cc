@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/trace_io.h"
+#include "src/trace/synthetic.h"
+
+namespace lard {
+namespace {
+
+TEST(TraceIoTest, RoundTripsSyntheticTrace) {
+  const Trace original = GenerateSyntheticTrace(SmallTraceConfig(31));
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(original, buffer).ok());
+  auto loaded = ReadTrace(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const Trace& copy = loaded.value();
+  ASSERT_EQ(copy.catalog().size(), original.catalog().size());
+  for (TargetId id = 0; id < original.catalog().size(); ++id) {
+    EXPECT_EQ(copy.catalog().Get(id).path, original.catalog().Get(id).path);
+    EXPECT_EQ(copy.catalog().Get(id).size_bytes, original.catalog().Get(id).size_bytes);
+  }
+  ASSERT_EQ(copy.sessions().size(), original.sessions().size());
+  for (size_t s = 0; s < original.sessions().size(); ++s) {
+    const TraceSession& a = original.sessions()[s];
+    const TraceSession& b = copy.sessions()[s];
+    EXPECT_EQ(a.client_id, b.client_id);
+    EXPECT_EQ(a.start_us, b.start_us);
+    ASSERT_EQ(a.batches.size(), b.batches.size());
+    for (size_t i = 0; i < a.batches.size(); ++i) {
+      EXPECT_EQ(a.batches[i].offset_us, b.batches[i].offset_us);
+      EXPECT_EQ(a.batches[i].targets, b.batches[i].targets);
+    }
+  }
+  EXPECT_EQ(copy.total_response_bytes(), original.total_response_bytes());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(empty, buffer).ok());
+  auto loaded = ReadTrace(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->catalog().size(), 0u);
+  EXPECT_EQ(loaded->sessions().size(), 0u);
+}
+
+TEST(TraceIoTest, RejectsBadMagic) {
+  std::stringstream buffer("definitely not a trace file");
+  EXPECT_FALSE(ReadTrace(buffer).ok());
+}
+
+TEST(TraceIoTest, RejectsTruncation) {
+  const Trace original = GenerateSyntheticTrace(SmallTraceConfig(7));
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(original, buffer).ok());
+  const std::string bytes = buffer.str();
+  // Chop at several depths: header, mid-catalog, mid-sessions.
+  for (const size_t keep : {size_t{4}, size_t{20}, bytes.size() / 2, bytes.size() - 3}) {
+    std::stringstream truncated(bytes.substr(0, keep));
+    EXPECT_FALSE(ReadTrace(truncated).ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(TraceIoTest, RejectsOutOfRangeTargetIds) {
+  Trace trace;
+  const TargetId a = trace.catalog().Intern("/a", 10);
+  TraceSession session;
+  session.batches.push_back(TraceBatch{0, {a}});
+  trace.sessions().push_back(session);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(trace, buffer).ok());
+  std::string bytes = buffer.str();
+  // The last u32 is the single target id; overwrite it with a large value.
+  bytes[bytes.size() - 4] = static_cast<char>(0xff);
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(ReadTrace(corrupted).ok());
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const Trace original = GenerateSyntheticTrace(SmallTraceConfig(77));
+  const std::string path = ::testing::TempDir() + "/lard_trace_io_test.trc";
+  ASSERT_TRUE(WriteTraceFile(original, path).ok());
+  auto loaded = ReadTraceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->total_requests(), original.total_requests());
+  EXPECT_EQ(loaded->catalog().TotalBytes(), original.catalog().TotalBytes());
+  ::unlink(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileIsIoError) {
+  auto loaded = ReadTraceFile("/nonexistent/path/x.trc");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace lard
