@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   int64_t sessions = 400;
   int64_t clients = 12;
   int64_t cache_mb = 4;
+  int64_t listen_port = 0;
+  int64_t admin_port = 0;
   double disk_scale = 0.05;
   std::string policy = "extlard";  // extlard | lard | wrr
   std::string mechanism = "beforward";  // beforward | single | multi | relay
@@ -36,6 +38,8 @@ int main(int argc, char** argv) {
   flags.AddInt("sessions", &sessions, "sessions the load generator replays");
   flags.AddInt("clients", &clients, "concurrent clients");
   flags.AddInt("cache-mb", &cache_mb, "per-node content cache (MB)");
+  flags.AddInt("port", &listen_port, "front-end client port (0 = ephemeral)");
+  flags.AddInt("admin-port", &admin_port, "admin API port (0 = ephemeral)");
   flags.AddDouble("disk-scale", &disk_scale, "simulated-disk time scale (1.0 = 28.5 ms seeks)");
   flags.AddString("policy", &policy, "extlard | lard | wrr");
   flags.AddString("mechanism", &mechanism, "beforward | single | multi | relay");
@@ -62,6 +66,8 @@ int main(int argc, char** argv) {
                                             : lard::Mechanism::kBackEndForwarding;
   config.backend_cache_bytes = static_cast<uint64_t>(cache_mb) * 1024 * 1024;
   config.disk_time_scale = disk_scale;
+  config.listen_port = static_cast<uint16_t>(listen_port);
+  config.admin_port = static_cast<uint16_t>(admin_port);
 
   lard::Cluster cluster(config, &trace.catalog());
   const lard::Status status = cluster.Start();
@@ -76,6 +82,8 @@ int main(int argc, char** argv) {
               trace.catalog().size(), static_cast<double>(trace.catalog().TotalBytes()) / 1e6);
 
   if (serve) {
+    std::printf("admin API: http://127.0.0.1:%u/ (try /metrics, /nodes)\n",
+                cluster.admin_port());
     std::printf("serving until Ctrl-C...\n");
     std::signal(SIGINT, HandleSignal);
     std::signal(SIGTERM, HandleSignal);

@@ -7,29 +7,39 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--nodes 6] [--sessions 20000] [--cache-mb 16]
 #include <cstdio>
 
 #include "src/sim/cluster_sim.h"
 #include "src/trace/synthetic.h"
+#include "src/util/flags.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lard::FlagSet flags("quickstart");
+  int64_t nodes = 6;
+  int64_t sessions = 20000;
+  int64_t cache_mb = 16;
+  flags.AddInt("nodes", &nodes, "number of back-end nodes");
+  flags.AddInt("sessions", &sessions, "P-HTTP sessions in the workload");
+  flags.AddInt("cache-mb", &cache_mb, "per-node file cache (MB)");
+  flags.Parse(argc, argv);
+
   // 1. A workload: pages with embedded objects, fetched over persistent
   //    connections with pipelining (HTTP/1.1 P-HTTP structure).
   lard::SyntheticTraceConfig workload;
   workload.seed = 1;
   workload.num_pages = 1000;
-  workload.num_sessions = 20000;
+  workload.num_sessions = sessions;
   workload.pages_per_session_mean = 1.2;
   const lard::Trace trace = lard::GenerateSyntheticTrace(workload);
   std::printf("workload: %zu documents, %.0f MB, %zu requests on %zu persistent connections\n",
               trace.catalog().size(), static_cast<double>(trace.catalog().TotalBytes()) / 1e6,
               trace.total_requests(), trace.sessions().size());
 
-  // 2. A cluster: 6 back-ends, Apache-like cost model, 16 MB caches.
+  // 2. A cluster: --nodes back-ends, Apache-like cost model, --cache-mb caches.
   lard::ClusterSimConfig cluster;
-  cluster.num_nodes = 6;
-  cluster.backend_cache_bytes = 16ull * 1024 * 1024;
+  cluster.num_nodes = static_cast<int>(nodes);
+  cluster.backend_cache_bytes = static_cast<uint64_t>(cache_mb) * 1024 * 1024;
 
   // 3. The paper's policy: extended LARD over back-end request forwarding.
   cluster.policy = lard::Policy::kExtendedLard;

@@ -30,6 +30,31 @@ const char* PolicyName(Policy policy) {
   return "?";
 }
 
+bool ParsePolicyName(const std::string& name, Policy* policy) {
+  if (name == "wrr") {
+    *policy = Policy::kWrr;
+  } else if (name == "lard") {
+    *policy = Policy::kLard;
+  } else if (name == "extlard") {
+    *policy = Policy::kExtendedLard;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* NodeStateName(NodeState state) {
+  switch (state) {
+    case NodeState::kActive:
+      return "active";
+    case NodeState::kDraining:
+      return "draining";
+    case NodeState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
 bool MechanismAllowsPerRequestDistribution(Mechanism mechanism) {
   switch (mechanism) {
     case Mechanism::kRelayingFrontEnd:

@@ -47,6 +47,22 @@ enum class Policy {
 const char* MechanismName(Mechanism mechanism);
 const char* PolicyName(Policy policy);
 
+// Parses the short names used on command lines and the admin API
+// ("wrr" | "lard" | "extlard"); returns false on anything else.
+bool ParsePolicyName(const std::string& name, Policy* policy);
+
+// Lifecycle of a back-end node in the control plane. Node ids are stable:
+// a removed node's id is never reused, so a NodeId seen in logs, metrics or
+// admin responses always denotes the same machine.
+//   kActive:   takes new connections and forwards.
+//   kDraining: finishes its active persistent connections but receives no new
+//              assignments of any kind.
+//   kDead:     removed (admin action or missed heartbeats); its virtual cache
+//              is evicted and its connections are failed over or dropped.
+enum class NodeState { kActive, kDraining, kDead };
+
+const char* NodeStateName(NodeState state);
+
 // True when the mechanism lets the policy place each request independently
 // (relaying, multiple handoff, ideal). Single handoff cannot; back-end
 // forwarding can, but only via lateral fetches.

@@ -13,10 +13,98 @@ Dispatcher::Dispatcher(const DispatcherConfig& config, const TargetCatalog* cata
   LARD_CHECK(config_.num_nodes > 0);
   LARD_CHECK(catalog_ != nullptr);
   LARD_CHECK(stats_ != nullptr);
-  load_.assign(static_cast<size_t>(config_.num_nodes), 0.0);
-  vcaches_.reserve(static_cast<size_t>(config_.num_nodes));
   for (int i = 0; i < config_.num_nodes; ++i) {
-    vcaches_.emplace_back(config_.virtual_cache_bytes);
+    AddNode();
+  }
+  // The initial membership is a given, not a control-plane event.
+  counters_.nodes_added = 0;
+}
+
+NodeId Dispatcher::AddNode() {
+  const NodeId node = static_cast<NodeId>(states_.size());
+  load_.push_back(0.0);
+  vcaches_.emplace_back(config_.virtual_cache_bytes);
+  states_.push_back(NodeState::kActive);
+  load_gauges_.push_back(
+      config_.metrics == nullptr
+          ? nullptr
+          : config_.metrics->Gauge(MetricsRegistry::WithNode("lard_node_load", node)));
+  ++counters_.nodes_added;
+  return node;
+}
+
+bool Dispatcher::DrainNode(NodeId node) {
+  if (node < 0 || node >= num_node_slots() || !Assignable(node)) {
+    return false;
+  }
+  if (active_node_count() <= 1) {
+    return false;  // refuse to drain the last assignable node
+  }
+  states_[static_cast<size_t>(node)] = NodeState::kDraining;
+  ++counters_.nodes_drained;
+  return true;
+}
+
+bool Dispatcher::RemoveNode(NodeId node, std::vector<ConnId>* orphans) {
+  if (node < 0 || node >= num_node_slots() || Dead(node)) {
+    return false;
+  }
+  states_[static_cast<size_t>(node)] = NodeState::kDead;
+  vcaches_[static_cast<size_t>(node)].Clear();
+  ++counters_.nodes_removed;
+
+  // Forget every connection the node was handling. Their remote fractions on
+  // *other* nodes are released; the dead node's own load is simply zeroed
+  // (fractions other connections parked on it die with it — ReleaseBatchLoads
+  // skips dead nodes).
+  std::vector<ConnId> victims;
+  for (auto& [conn, state] : conns_) {
+    if (state.handling == node) {
+      victims.push_back(conn);
+    }
+  }
+  for (const ConnId conn : victims) {
+    ConnState& state = conns_[conn];
+    state.active = false;  // the 1-unit load dies with the node's counter
+    ReleaseBatchLoads(state);
+    conns_.erase(conn);
+    ++counters_.orphaned_connections;
+    if (orphans != nullptr) {
+      orphans->push_back(conn);
+    }
+  }
+  load_[static_cast<size_t>(node)] = 0.0;
+  if (load_gauges_[static_cast<size_t>(node)] != nullptr) {
+    load_gauges_[static_cast<size_t>(node)]->Set(0.0);
+  }
+  return true;
+}
+
+void Dispatcher::SetPolicy(Policy policy) { config_.policy = policy; }
+
+int Dispatcher::active_node_count() const {
+  int count = 0;
+  for (const NodeState state : states_) {
+    if (state == NodeState::kActive) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+NodeState Dispatcher::node_state(NodeId node) const {
+  LARD_CHECK(node >= 0 && node < num_node_slots());
+  return states_[static_cast<size_t>(node)];
+}
+
+void Dispatcher::AddLoad(NodeId node, double delta) {
+  double& load = load_[static_cast<size_t>(node)];
+  load += delta;
+  if (load > -1e-9 && load < 1e-9) {
+    load = 0.0;  // scrub float dust (fractional releases don't cancel exactly)
+  }
+  if (load_gauges_[static_cast<size_t>(node)] != nullptr) {
+    load_gauges_[static_cast<size_t>(node)]->Set(load);
   }
 }
 
@@ -56,7 +144,7 @@ std::vector<Assignment> Dispatcher::OnBatch(ConnId conn, const std::vector<Targe
         assignment.action = AssignmentAction::kRelay;
         assignment.node = PickWrr();
         ++counters_.relays;
-        load_[assignment.node] += fraction;
+        AddLoad(assignment.node, fraction);
         conn_state.remote_nodes.push_back(assignment.node);
       } else if (conn_state.handling == kInvalidNode) {
         assignment.action = AssignmentAction::kHandoff;
@@ -78,7 +166,7 @@ std::vector<Assignment> Dispatcher::OnBatch(ConnId conn, const std::vector<Targe
           config_.policy == Policy::kWrr ? PickWrr() : PickBasicLard(target);
       assignment.served_from_cache = Cached(assignment.node, target);
       ++counters_.relays;
-      load_[assignment.node] += fraction;
+      AddLoad(assignment.node, fraction);
       conn_state.remote_nodes.push_back(assignment.node);
     } else if (conn_state.handling == kInvalidNode) {
       // First request of the connection: the handoff decision.
@@ -99,7 +187,7 @@ std::vector<Assignment> Dispatcher::OnBatch(ConnId conn, const std::vector<Targe
   // service.
   if (conn_state.handling != kInvalidNode && !conn_state.active && !targets.empty()) {
     conn_state.active = true;
-    load_[conn_state.handling] += 1.0;
+    AddLoad(conn_state.handling, 1.0);
   }
   return assignments;
 }
@@ -133,14 +221,15 @@ Assignment Dispatcher::DecideSubsequent(ConnState& conn_state, TargetId target) 
     return assignment;
   }
 
-  // Local disk is busy: consider the handling node and every node that
-  // currently caches the target; pick the minimum aggregate cost.
+  // Local disk is busy: consider the handling node and every *assignable*
+  // node that currently caches the target (forwards are new work — draining
+  // and dead nodes take none); pick the minimum aggregate cost.
   NodeId best = handling;
   double best_cost = AggregateCost(load_[handling], /*target_cached_at_node=*/false,
                                    config_.params);
   bool any_remote_candidate = false;
-  for (NodeId node = 0; node < config_.num_nodes; ++node) {
-    if (node == handling || !Cached(node, target)) {
+  for (NodeId node = 0; node < num_node_slots(); ++node) {
+    if (node == handling || !Assignable(node) || !Cached(node, target)) {
       continue;
     }
     any_remote_candidate = true;
@@ -161,8 +250,10 @@ Assignment Dispatcher::DecideSubsequent(ConnState& conn_state, TargetId target) 
   if (best_cost == kInfiniteCost) {
     // Everything (including the handling node) is past L_overload; fall back
     // to the least-loaded candidate to stay work-conserving.
-    for (NodeId node = 0; node < config_.num_nodes; ++node) {
-      if ((node == handling || Cached(node, target)) && load_[node] < load_[best]) {
+    for (NodeId node = 0; node < num_node_slots(); ++node) {
+      const bool candidate =
+          node == handling || (Assignable(node) && Cached(node, target));
+      if (candidate && load_[node] < load_[best]) {
         best = node;
       }
     }
@@ -186,15 +277,15 @@ Assignment Dispatcher::DecideSubsequent(ConnState& conn_state, TargetId target) 
     assignment.action = AssignmentAction::kForward;
     ++counters_.forwards;
     // Remote node carries 1/N for the batch service time.
-    load_[best] += conn_state.remote_fraction;
+    AddLoad(best, conn_state.remote_fraction);
     conn_state.remote_nodes.push_back(best);
   } else {
     // Multiple handoff (or the zero-cost ideal): the connection itself moves.
     assignment.action = AssignmentAction::kMigrate;
     ++counters_.migrations;
     if (conn_state.active) {
-      load_[conn_state.handling] -= 1.0;
-      load_[best] += 1.0;
+      AddLoad(conn_state.handling, -1.0);
+      AddLoad(best, 1.0);
     }
     conn_state.handling = best;
   }
@@ -207,35 +298,39 @@ NodeId Dispatcher::PickFirstNode(TargetId target) {
 
 NodeId Dispatcher::PickWrr() {
   // Weighted round-robin with equal-speed nodes and load feedback: choose the
-  // least-loaded node, breaking ties in round-robin order so an idle cluster
-  // still rotates.
+  // least-loaded assignable node, breaking ties in round-robin order so an
+  // idle cluster still rotates.
   NodeId best = kInvalidNode;
   double best_load = kInfiniteCost;
-  const size_t n = static_cast<size_t>(config_.num_nodes);
+  const size_t n = static_cast<size_t>(num_node_slots());
   for (size_t k = 0; k < n; ++k) {
     const NodeId node = static_cast<NodeId>((rr_cursor_ + k) % n);
-    if (load_[node] < best_load) {
+    if (Assignable(node) && load_[node] < best_load) {
       best = node;
       best_load = load_[node];
     }
   }
+  LARD_CHECK(best != kInvalidNode) << "no assignable node (all drained or dead)";
   rr_cursor_ = (static_cast<size_t>(best) + 1) % n;
   return best;
 }
 
 NodeId Dispatcher::PickBasicLard(TargetId target) {
-  // Basic LARD in its Fig. 4 cost form: evaluate every node, assign to the
-  // minimum aggregate cost. Ties prefer a node that caches the target, then
-  // the lower load. Remaining full ties (e.g. a cold target on an idle
-  // cluster) rotate round-robin so initial placements spread — the cost form
-  // is otherwise indifferent and piling cold targets onto node 0 would defeat
-  // the partitioning.
+  // Basic LARD in its Fig. 4 cost form: evaluate every assignable node,
+  // assign to the minimum aggregate cost. Ties prefer a node that caches the
+  // target, then the lower load. Remaining full ties (e.g. a cold target on
+  // an idle cluster) rotate round-robin so initial placements spread — the
+  // cost form is otherwise indifferent and piling cold targets onto node 0
+  // would defeat the partitioning.
   NodeId best = kInvalidNode;
   double best_cost = kInfiniteCost;
   bool best_cached = false;
-  const size_t n = static_cast<size_t>(config_.num_nodes);
+  const size_t n = static_cast<size_t>(num_node_slots());
   for (size_t k = 0; k < n; ++k) {
     const NodeId node = static_cast<NodeId>((rr_cursor_ + k) % n);
+    if (!Assignable(node)) {
+      continue;
+    }
     const bool cached = Cached(node, target);
     const double cost = AggregateCost(load_[node], cached, config_.params);
     const bool better =
@@ -248,9 +343,10 @@ NodeId Dispatcher::PickBasicLard(TargetId target) {
       best_cached = cached;
     }
   }
+  LARD_CHECK(best != kInvalidNode) << "no assignable node (all drained or dead)";
   if (best_cost == kInfiniteCost) {
-    for (NodeId node = 0; node < config_.num_nodes; ++node) {
-      if (load_[node] < load_[best]) {
+    for (NodeId node = 0; node < num_node_slots(); ++node) {
+      if (Assignable(node) && load_[node] < load_[best]) {
         best = node;
       }
     }
@@ -277,10 +373,10 @@ void Dispatcher::ApplyCacheEffects(TargetId target, const Assignment& assignment
 
 void Dispatcher::ReleaseBatchLoads(ConnState& conn_state) {
   for (const NodeId node : conn_state.remote_nodes) {
-    load_[node] -= conn_state.remote_fraction;
-    if (load_[node] < 0.0 && load_[node] > -1e-9) {
-      load_[node] = 0.0;  // scrub float dust
+    if (Dead(node)) {
+      continue;  // its load was zeroed wholesale at removal
     }
+    AddLoad(node, -conn_state.remote_fraction);
   }
   conn_state.remote_nodes.clear();
 }
@@ -292,7 +388,9 @@ void Dispatcher::OnConnectionIdle(ConnId conn) {
   ReleaseBatchLoads(conn_state);
   if (conn_state.active) {
     conn_state.active = false;
-    load_[conn_state.handling] -= 1.0;
+    if (!Dead(conn_state.handling)) {
+      AddLoad(conn_state.handling, -1.0);
+    }
   }
 }
 
@@ -304,7 +402,7 @@ void Dispatcher::OnConnectionClose(ConnId conn) {
 }
 
 double Dispatcher::NodeLoad(NodeId node) const {
-  LARD_CHECK(node >= 0 && node < config_.num_nodes);
+  LARD_CHECK(node >= 0 && node < num_node_slots());
   return load_[node];
 }
 
@@ -314,8 +412,13 @@ NodeId Dispatcher::HandlingNode(ConnId conn) const {
 }
 
 bool Dispatcher::TargetCachedAt(NodeId node, TargetId target) const {
-  LARD_CHECK(node >= 0 && node < config_.num_nodes);
+  LARD_CHECK(node >= 0 && node < num_node_slots());
   return vcaches_[node].Contains(target);
+}
+
+uint64_t Dispatcher::VirtualCacheBytes(NodeId node) const {
+  LARD_CHECK(node >= 0 && node < num_node_slots());
+  return vcaches_[node].used_bytes();
 }
 
 }  // namespace lard

@@ -16,7 +16,11 @@
 //     the paper's target->node mappings, "updated each time a target is
 //     fetched from a backend node",
 //   * per-connection state: handling node, activity, outstanding fractional
-//     loads.
+//     loads,
+//   * per-node membership state (active / draining / dead): the control
+//     plane's dynamic view of the cluster. `config.num_nodes` is only the
+//     *initial* membership; nodes join via AddNode and leave via
+//     DrainNode/RemoveNode at runtime. Node ids are stable and never reused.
 //
 // Not thread-safe: the simulator is single-threaded and the prototype drives
 // it from its single dispatcher thread (mirroring the kernel dispatcher
@@ -32,6 +36,7 @@
 #include "src/core/lard_params.h"
 #include "src/core/lru_cache.h"
 #include "src/trace/trace.h"
+#include "src/util/metrics.h"
 
 namespace lard {
 
@@ -39,10 +44,13 @@ struct DispatcherConfig {
   Policy policy = Policy::kExtendedLard;
   Mechanism mechanism = Mechanism::kBackEndForwarding;
   LardParams params;
-  int num_nodes = 1;
+  int num_nodes = 1;  // initial membership: nodes [0, num_nodes) start active
   // Capacity of the dispatcher's per-node virtual cache; should match the
   // back-ends' file-cache size.
   uint64_t virtual_cache_bytes = 85ull * 1024 * 1024;
+  // Optional: decision counters and per-node load gauges are published here
+  // (lard_dispatcher_* and lard_node_load{node="k"}).
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Aggregate decision counters, for tests, metrics and EXPERIMENTS.md tables.
@@ -55,6 +63,11 @@ struct DispatcherCounters {
   uint64_t migrations = 0;
   uint64_t relays = 0;
   uint64_t served_without_caching = 0;  // extLARD "disk busy, don't cache"
+  // Control plane.
+  uint64_t nodes_added = 0;
+  uint64_t nodes_drained = 0;
+  uint64_t nodes_removed = 0;
+  uint64_t orphaned_connections = 0;  // open conns whose handling node died
 };
 
 class Dispatcher {
@@ -84,10 +97,42 @@ class Dispatcher {
   // The connection closed. Releases all load and state.
   void OnConnectionClose(ConnId conn);
 
-  // --- introspection (tests, metrics) ---
+  // --- membership (the control plane) ---
+
+  // Adds a node with an empty virtual cache and zero load; returns its
+  // (freshly allocated, never-recycled) id. The node is immediately
+  // assignable.
+  NodeId AddNode();
+
+  // Stops new assignments (handoffs, forwards, migrations, relays) to
+  // `node`; its active persistent connections keep being served. Returns
+  // false when `node` is not an active node or is the last active node
+  // (draining it would leave nothing to assign to).
+  bool DrainNode(NodeId node);
+
+  // Removes `node` (admin action or detected failure): evicts its virtual
+  // cache, zeroes its load and forgets every connection it was handling.
+  // The orphaned connection ids are appended to *orphans (when non-null) so
+  // the caller can fail them over or tear them down; their dispatcher state
+  // is gone either way. Returns false when `node` is already dead or
+  // invalid. Removing the last active node is allowed — failures don't ask
+  // permission — after which OnBatch must not be called for new work until a
+  // node is added (see active_node_count()).
+  bool RemoveNode(NodeId node, std::vector<ConnId>* orphans = nullptr);
+
+  // Runtime policy switch (admin POST /policy). Existing connections keep
+  // their handling nodes; only future decisions use the new policy.
+  void SetPolicy(Policy policy);
+
+  // --- introspection (tests, metrics, admin API) ---
+  // Total node slots ever allocated (including drained/dead ids).
+  int num_node_slots() const { return static_cast<int>(states_.size()); }
+  int active_node_count() const;
+  NodeState node_state(NodeId node) const;
   double NodeLoad(NodeId node) const;
   NodeId HandlingNode(ConnId conn) const;
   bool TargetCachedAt(NodeId node, TargetId target) const;
+  uint64_t VirtualCacheBytes(NodeId node) const;
   const DispatcherCounters& counters() const { return counters_; }
   const DispatcherConfig& config() const { return config_; }
   size_t open_connections() const { return conns_.size(); }
@@ -111,6 +156,16 @@ class Dispatcher {
 
   void ReleaseBatchLoads(ConnState& conn_state);
 
+  // True when new work may be assigned to `node`.
+  bool Assignable(NodeId node) const {
+    return states_[static_cast<size_t>(node)] == NodeState::kActive;
+  }
+  bool Dead(NodeId node) const {
+    return states_[static_cast<size_t>(node)] == NodeState::kDead;
+  }
+  // All load_ mutations go through here so the published gauges track.
+  void AddLoad(NodeId node, double delta);
+
   bool Cached(NodeId node, TargetId target) const { return vcaches_[node].Contains(target); }
   uint64_t SizeOf(TargetId target) const { return catalog_->Get(target).size_bytes; }
 
@@ -120,6 +175,8 @@ class Dispatcher {
 
   std::vector<double> load_;
   std::vector<LruCache> vcaches_;
+  std::vector<NodeState> states_;
+  std::vector<MetricGauge*> load_gauges_;  // nullptrs when metrics disabled
   std::unordered_map<ConnId, ConnState> conns_;
   size_t rr_cursor_ = 0;  // WRR tie-breaking
   DispatcherCounters counters_;

@@ -37,6 +37,12 @@ void LruCache::Erase(TargetId id) {
   index_.erase(it);
 }
 
+void LruCache::Clear() {
+  entries_.clear();
+  index_.clear();
+  used_bytes_ = 0;
+}
+
 void LruCache::EvictOne(std::vector<TargetId>* evicted) {
   const Entry& victim = entries_.back();
   if (evicted != nullptr) {

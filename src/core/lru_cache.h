@@ -37,6 +37,9 @@ class LruCache {
   // Removes `id` if present.
   void Erase(TargetId id);
 
+  // Drops every entry (node removal evicts the whole virtual cache).
+  void Clear();
+
   uint64_t used_bytes() const { return used_bytes_; }
   uint64_t capacity_bytes() const { return capacity_bytes_; }
   size_t entry_count() const { return entries_.size(); }

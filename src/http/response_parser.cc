@@ -41,8 +41,11 @@ size_t ResponseParser::ParseOne(HttpResponse* response) {
   if (status_line.size() < 12) {
     return kParseError;
   }
+  // The digits must outlive strtol's end pointer (a temporary here would be
+  // dead by the time *end is checked).
+  const std::string status_digits(status_line.substr(9, 3));
   char* end = nullptr;
-  const long status = std::strtol(std::string(status_line.substr(9, 3)).c_str(), &end, 10);
+  const long status = std::strtol(status_digits.c_str(), &end, 10);
   if (end == nullptr || *end != '\0' || status < 100 || status > 599) {
     return kParseError;
   }

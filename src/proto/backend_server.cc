@@ -35,6 +35,22 @@ int64_t BackendServer::NowMs() const {
 void BackendServer::Start(UniqueFd control_fd) {
   disk_ = std::make_unique<DiskGate>(loop_, config_.disk_costs, config_.disk_time_scale);
 
+  if (config_.metrics != nullptr) {
+    const NodeId id = config_.node_id;
+    metric_requests_ =
+        config_.metrics->Counter(MetricsRegistry::WithNode("lard_backend_requests_total", id));
+    metric_hits_ =
+        config_.metrics->Counter(MetricsRegistry::WithNode("lard_backend_cache_hits_total", id));
+    metric_misses_ =
+        config_.metrics->Counter(MetricsRegistry::WithNode("lard_backend_cache_misses_total", id));
+    metric_lateral_ =
+        config_.metrics->Counter(MetricsRegistry::WithNode("lard_backend_lateral_out_total", id));
+    metric_heartbeats_ =
+        config_.metrics->Counter(MetricsRegistry::WithNode("lard_backend_heartbeats_total", id));
+    metric_open_conns_ =
+        config_.metrics->Gauge(MetricsRegistry::WithNode("lard_backend_open_connections", id));
+  }
+
   LARD_CHECK_OK(SetNonBlocking(control_fd.get(), true));
   control_ = std::make_unique<FramedChannel>(loop_, std::move(control_fd));
   control_->set_on_message([this](uint8_t type, std::string payload, UniqueFd fd) {
@@ -60,23 +76,56 @@ void BackendServer::Start(UniqueFd control_fd) {
       if (self->control_ != nullptr && self->control_->open()) {
         self->control_->Send(static_cast<uint8_t>(ControlMsg::kDiskReport),
                              EncodeU32(static_cast<uint32_t>(self->disk_->queue_length())));
+        self->MaybeSendHeartbeat();
       }
       self->SweepIdleConnections();
+      if (self->metric_open_conns_ != nullptr) {
+        self->metric_open_conns_->Set(static_cast<double>(self->conns_.size()));
+      }
       self->loop_->ScheduleAfterMs(kHousekeepingPeriodMs, Rearm{self});
     }
   };
   loop_->ScheduleAfterMs(kHousekeepingPeriodMs, Rearm{this});
 }
 
+void BackendServer::MaybeSendHeartbeat() {
+  if (config_.heartbeat_interval_ms <= 0) {
+    return;
+  }
+  const int64_t now = NowMs();
+  if (last_heartbeat_ms_ != 0 && now - last_heartbeat_ms_ < config_.heartbeat_interval_ms) {
+    return;
+  }
+  last_heartbeat_ms_ = now;
+  HeartbeatMsg heartbeat;
+  heartbeat.seq = ++heartbeat_seq_;
+  heartbeat.disk_queue_len = static_cast<uint32_t>(disk_->queue_length());
+  heartbeat.active_conns = static_cast<uint32_t>(conns_.size());
+  control_->Send(static_cast<uint8_t>(ControlMsg::kHeartbeat), EncodeHeartbeat(heartbeat));
+  if (metric_heartbeats_ != nullptr) {
+    metric_heartbeats_->Increment();
+  }
+}
+
 void BackendServer::ConnectPeers(const std::vector<uint16_t>& ports) {
-  LARD_CHECK(ports.size() == static_cast<size_t>(config_.num_nodes));
+  LARD_CHECK(ports.size() >= static_cast<size_t>(config_.num_nodes));
   peers_.clear();
-  for (int node = 0; node < config_.num_nodes; ++node) {
-    if (node == config_.node_id) {
+  for (size_t node = 0; node < ports.size(); ++node) {
+    if (static_cast<NodeId>(node) == config_.node_id) {
       peers_.push_back(nullptr);
     } else {
-      peers_.push_back(std::make_unique<LateralClient>(loop_, ports[static_cast<size_t>(node)]));
+      peers_.push_back(std::make_unique<LateralClient>(loop_, ports[node]));
     }
+  }
+}
+
+void BackendServer::AddPeer(NodeId node, uint16_t port) {
+  LARD_CHECK(node >= 0);
+  if (static_cast<size_t>(node) >= peers_.size()) {
+    peers_.resize(static_cast<size_t>(node) + 1);
+  }
+  if (node != config_.node_id) {
+    peers_[static_cast<size_t>(node)] = std::make_unique<LateralClient>(loop_, port);
   }
 }
 
@@ -247,7 +296,7 @@ void BackendServer::ProcessNext(ClientConn* conn) {
   std::string untagged;
   if (directive.action == DirectiveAction::kLateral &&
       ParseTaggedPath(directive.path, &peer, &untagged) && peer != config_.node_id &&
-      peer >= 0 && peer < config_.num_nodes) {
+      HasPeer(peer)) {
     LARD_CHECK(untagged == request.path)
         << "directive/request mismatch: " << untagged << " vs " << request.path;
     ServeLateral(conn, request, peer, untagged);
@@ -258,8 +307,8 @@ void BackendServer::ProcessNext(ClientConn* conn) {
 
 void BackendServer::StartHandback(ClientConn* conn) {
   const RequestDirective& head = conn->directives.front();
-  if (head.node < 0 || head.node >= config_.num_nodes || head.node == config_.node_id ||
-      conn->conn == nullptr || !conn->conn->open()) {
+  if (head.node == config_.node_id || !HasPeer(head.node) || conn->conn == nullptr ||
+      !conn->conn->open()) {
     // Degenerate migration (bad target or dying socket): serve locally.
     conn->directives.front().action = DirectiveAction::kLocal;
     ProcessNext(conn);
@@ -332,10 +381,16 @@ void BackendServer::ServeLocal(ClientConn* conn, const HttpRequest& request,
   const uint64_t size = store_->SizeOf(target);
   if (cache_.Touch(target)) {
     counters_.local_hits.fetch_add(1, std::memory_order_relaxed);
+    if (metric_hits_ != nullptr) {
+      metric_hits_->Increment();
+    }
     WriteResponse(conn, request, 200, store_->BodyFor(target));
     return;
   }
   counters_.local_misses.fetch_add(1, std::memory_order_relaxed);
+  if (metric_misses_ != nullptr) {
+    metric_misses_->Increment();
+  }
   const ConnId id = conn->id;
   const bool cache_after_miss = directive.cache_after_miss;
   // Copy the request: the disk read outlives this stack frame.
@@ -354,6 +409,9 @@ void BackendServer::ServeLocal(ClientConn* conn, const HttpRequest& request,
 void BackendServer::ServeLateral(ClientConn* conn, const HttpRequest& request, NodeId peer,
                                  const std::string& path) {
   counters_.lateral_out.fetch_add(1, std::memory_order_relaxed);
+  if (metric_lateral_ != nullptr) {
+    metric_lateral_->Increment();
+  }
   LateralClient* client = peers_[static_cast<size_t>(peer)].get();
   LARD_CHECK(client != nullptr) << "no lateral client for node " << peer;
   const ConnId id = conn->id;
@@ -402,6 +460,9 @@ void BackendServer::WriteResponse(ClientConn* conn, const HttpRequest& request, 
   }
   response.body = std::move(body);
   counters_.requests_served.fetch_add(1, std::memory_order_relaxed);
+  if (metric_requests_ != nullptr) {
+    metric_requests_->Increment();
+  }
   counters_.bytes_to_clients.fetch_add(response.body.size(), std::memory_order_relaxed);
   conn->conn->Write(response.Serialize());
   conn->last_activity_ms = NowMs();
@@ -554,10 +615,16 @@ void BackendServer::ProcessNextLateral(uint64_t lateral_id) {
   }
   if (cache_.Touch(target)) {
     counters_.local_hits.fetch_add(1, std::memory_order_relaxed);
+    if (metric_hits_ != nullptr) {
+      metric_hits_->Increment();
+    }
     respond(200, store_->BodyFor(target));
     return;
   }
   counters_.local_misses.fetch_add(1, std::memory_order_relaxed);
+  if (metric_misses_ != nullptr) {
+    metric_misses_->Increment();
+  }
   disk_->Read(store_->SizeOf(target), [this, target, respond]() {
     // This node is the caching node for laterally requested targets: misses
     // populate the cache.

@@ -41,6 +41,7 @@
 #include "src/proto/control_protocol.h"
 #include "src/proto/disk_gate.h"
 #include "src/proto/lateral_client.h"
+#include "src/util/metrics.h"
 
 namespace lard {
 
@@ -53,6 +54,12 @@ struct BackendConfig {
   // Close a client connection after this much inactivity (the paper's
   // "configurable interval, typically 15 seconds"). <= 0 disables.
   int64_t idle_close_ms = 15000;
+  // Liveness heartbeats to the front-end's health tracker. <= 0 disables
+  // (the front-end then relies on control-session EOF alone).
+  int64_t heartbeat_interval_ms = 500;
+  // Optional shared registry; per-node counters are published under
+  // lard_backend_*{node="k"}. Must be thread-safe (MetricsRegistry is).
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct BackendCounters {
@@ -82,8 +89,15 @@ class BackendServer {
   void Start(UniqueFd control_fd);
 
   // Loop thread. Connects lateral clients; ports[i] is node i's lateral port
-  // (entry for self ignored). Call once after every node has started.
+  // (entry for self ignored). Call after every node has started; the list may
+  // be longer than the membership this node was configured with (nodes that
+  // joined since).
   void ConnectPeers(const std::vector<uint16_t>& ports);
+
+  // Loop thread. Registers (or replaces) the lateral route to one peer — the
+  // dynamic-membership path: existing nodes learn a joining node's lateral
+  // port without re-wiring the whole mesh.
+  void AddPeer(NodeId node, uint16_t port);
 
   uint16_t lateral_port() const { return lateral_port_; }
   const BackendCounters& counters() const { return counters_; }
@@ -155,7 +169,15 @@ class BackendServer {
   void DestroyLateralConn(uint64_t lateral_id);
 
   void SweepIdleConnections();
+  void MaybeSendHeartbeat();
   int64_t NowMs() const;
+
+  // A lateral route to `node` exists. The mesh (peers_) grows as nodes join,
+  // so this — not the join-time num_nodes — is the membership bound.
+  bool HasPeer(NodeId node) const {
+    return node >= 0 && static_cast<size_t>(node) < peers_.size() &&
+           peers_[static_cast<size_t>(node)] != nullptr;
+  }
 
   BackendConfig config_;
   EventLoop* loop_;
@@ -174,6 +196,16 @@ class BackendServer {
   uint64_t next_lateral_id_ = 1;
 
   BackendCounters counters_;
+
+  // Shared-registry instruments (null when config.metrics is null).
+  MetricCounter* metric_requests_ = nullptr;
+  MetricCounter* metric_hits_ = nullptr;
+  MetricCounter* metric_misses_ = nullptr;
+  MetricCounter* metric_lateral_ = nullptr;
+  MetricCounter* metric_heartbeats_ = nullptr;
+  MetricGauge* metric_open_conns_ = nullptr;
+  uint64_t heartbeat_seq_ = 0;
+  int64_t last_heartbeat_ms_ = 0;
 };
 
 }  // namespace lard

@@ -8,8 +8,14 @@
 namespace lard {
 namespace {
 
-// Runs `fn` on the loop's thread and waits for completion.
+// Runs `fn` on the loop's thread and waits for completion. Runs inline when
+// already on that thread (admin handlers run on the front-end loop and call
+// membership operations that target the same loop).
 void RunOnLoop(EventLoop* loop, std::function<void()> fn) {
+  if (loop->IsInLoopThread()) {
+    fn();
+    return;
+  }
   std::promise<void> done;
   auto future = done.get_future();
   loop->Post([&fn, &done]() {
@@ -27,6 +33,8 @@ struct Cluster::Node {
   std::unique_ptr<EventLoop> loop;
   std::unique_ptr<BackendServer> server;
   std::thread thread;
+  uint16_t lateral_port = 0;
+  bool stopped = false;  // loop stopped (removed or killed)
 };
 
 Cluster::Cluster(const ClusterConfig& config, const TargetCatalog* catalog)
@@ -36,48 +44,56 @@ Cluster::Cluster(const ClusterConfig& config, const TargetCatalog* catalog)
 
 Cluster::~Cluster() { Stop(); }
 
+Status Cluster::StartBackend(NodeId node_id, UniqueFd* fe_end) {
+  auto pair = UnixPair();
+  if (!pair.ok()) {
+    return pair.status();
+  }
+  *fe_end = std::move(pair.value().first);
+  UniqueFd be_end = std::move(pair.value().second);
+
+  auto node = std::make_unique<Node>();
+  node->loop = std::make_unique<EventLoop>();
+  BackendConfig backend_config;
+  backend_config.node_id = node_id;
+  backend_config.num_nodes = node_id + 1;
+  backend_config.cache_bytes = config_.backend_cache_bytes;
+  backend_config.disk_costs = config_.disk_costs;
+  backend_config.disk_time_scale = config_.disk_time_scale;
+  backend_config.idle_close_ms = config_.idle_close_ms;
+  backend_config.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+  backend_config.metrics = &metrics_;
+  node->server = std::make_unique<BackendServer>(backend_config, node->loop.get(), &store_);
+  node->thread = std::thread([loop = node->loop.get()]() { loop->Run(); });
+  Node* raw = node.get();
+  LARD_CHECK(static_cast<size_t>(node_id) == nodes_.size());
+  nodes_.push_back(std::move(node));
+  RunOnLoop(raw->loop.get(), [raw, fd = &be_end]() { raw->server->Start(std::move(*fd)); });
+  raw->lateral_port = raw->server->lateral_port();
+  return Status::Ok();
+}
+
 Status Cluster::Start() {
   LARD_CHECK(!started_);
   started_ = true;
 
-  // Control sessions: one unix socketpair per back-end.
-  std::vector<UniqueFd> fe_ends;
-  std::vector<UniqueFd> be_ends;
-  for (int i = 0; i < config_.num_nodes; ++i) {
-    auto pair = UnixPair();
-    if (!pair.ok()) {
-      return pair.status();
-    }
-    fe_ends.push_back(std::move(pair.value().first));
-    be_ends.push_back(std::move(pair.value().second));
-  }
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
 
-  // Back-ends.
+  // Back-ends, each with its control-session socketpair.
+  std::vector<UniqueFd> fe_ends;
   for (int i = 0; i < config_.num_nodes; ++i) {
-    auto node = std::make_unique<Node>();
-    node->loop = std::make_unique<EventLoop>();
-    BackendConfig backend_config;
-    backend_config.node_id = i;
-    backend_config.num_nodes = config_.num_nodes;
-    backend_config.cache_bytes = config_.backend_cache_bytes;
-    backend_config.disk_costs = config_.disk_costs;
-    backend_config.disk_time_scale = config_.disk_time_scale;
-    backend_config.idle_close_ms = config_.idle_close_ms;
-    node->server = std::make_unique<BackendServer>(backend_config, node->loop.get(), &store_);
-    node->thread = std::thread([loop = node->loop.get()]() { loop->Run(); });
-    nodes_.push_back(std::move(node));
-  }
-  for (int i = 0; i < config_.num_nodes; ++i) {
-    Node* node = nodes_[static_cast<size_t>(i)].get();
-    RunOnLoop(node->loop.get(), [node, fd = &be_ends[static_cast<size_t>(i)]]() {
-      node->server->Start(std::move(*fd));
-    });
+    UniqueFd fe_end;
+    Status status = StartBackend(i, &fe_end);
+    if (!status.ok()) {
+      return status;
+    }
+    fe_ends.push_back(std::move(fe_end));
   }
 
   // Lateral mesh.
   std::vector<uint16_t> lateral_ports;
   for (const auto& node : nodes_) {
-    lateral_ports.push_back(node->server->lateral_port());
+    lateral_ports.push_back(node->lateral_port);
   }
   for (const auto& node : nodes_) {
     RunOnLoop(node->loop.get(),
@@ -93,6 +109,8 @@ Status Cluster::Start() {
   fe_config.params = config_.params;
   fe_config.virtual_cache_bytes = config_.backend_cache_bytes;
   fe_config.listen_port = config_.listen_port;
+  fe_config.heartbeat_timeout_ms = config_.heartbeat_timeout_ms;
+  fe_config.metrics = &metrics_;
   frontend_ = std::make_unique<FrontEnd>(fe_config, fe_loop_.get(), &store_.catalog());
   fe_thread_ = std::thread([loop = fe_loop_.get()]() { loop->Run(); });
   RunOnLoop(fe_loop_.get(), [this, &fe_ends, &lateral_ports]() {
@@ -101,7 +119,189 @@ Status Cluster::Start() {
       frontend_->ConnectBackends(lateral_ports);
     }
   });
+
+  // Admin plane, on the front-end's loop (handlers run where the dispatcher
+  // lives).
+  if (config_.enable_admin) {
+    admin_ = std::make_unique<AdminServer>(fe_loop_.get(), &metrics_);
+    RegisterAdminRoutes();
+    RunOnLoop(fe_loop_.get(), [this]() { admin_->Start(config_.admin_port); });
+  }
   return Status::Ok();
+}
+
+void Cluster::RegisterAdminRoutes() {
+  admin_->set_before_metrics([this]() { BridgeDispatcherMetrics(); });
+
+  admin_->Route("GET", "/nodes", [this](const HttpRequest&, const std::string&) {
+    return AdminResponse::Json(frontend_->DescribeNodesJson());
+  });
+
+  admin_->Route("POST", "/nodes/add", [this](const HttpRequest&, const std::string&) {
+    const NodeId node = AddNode();
+    if (node == kInvalidNode) {
+      return AdminResponse::Error(500, "failed to start node");
+    }
+    return AdminResponse::Json("{\"id\":" + std::to_string(node) + "}");
+  });
+
+  admin_->RoutePrefix("POST", "/nodes/", [this](const HttpRequest&, const std::string& tail) {
+    // tail: "<id>/drain" | "<id>/remove" | "<id>/kill".
+    const size_t slash = tail.find('/');
+    if (slash == std::string::npos) {
+      return AdminResponse::Error(400, "expected /nodes/<id>/<verb>");
+    }
+    NodeId node = kInvalidNode;
+    try {
+      node = static_cast<NodeId>(std::stol(tail.substr(0, slash)));
+    } catch (...) {
+      return AdminResponse::Error(400, "bad node id");
+    }
+    const std::string verb = tail.substr(slash + 1);
+    bool ok = false;
+    if (verb == "drain") {
+      ok = DrainNode(node);
+    } else if (verb == "remove") {
+      ok = RemoveNode(node);
+    } else if (verb == "kill") {
+      ok = KillNode(node);
+    } else {
+      return AdminResponse::Error(400, "unknown verb: " + verb);
+    }
+    if (!ok) {
+      return AdminResponse::Error(409, verb + " refused for node " +
+                                           std::to_string(node));
+    }
+    return AdminResponse::Json("{\"id\":" + std::to_string(node) + ",\"action\":\"" + verb +
+                               "\"}");
+  });
+
+  admin_->Route("POST", "/policy", [this](const HttpRequest& request, const std::string&) {
+    Policy policy;
+    if (!ParsePolicyName(request.body, &policy)) {
+      return AdminResponse::Error(400, "body must be wrr | lard | extlard");
+    }
+    frontend_->SetPolicy(policy);
+    return AdminResponse::Json("{\"policy\":\"" + request.body + "\"}");
+  });
+}
+
+void Cluster::BridgeDispatcherMetrics() {
+  // Runs on the front-end loop (the dispatcher's thread). The dispatcher's
+  // decision counters are plain uint64s, so they are bridged as gauges on
+  // each /metrics render rather than double-counted.
+  const DispatcherCounters& counters = frontend_->dispatcher().counters();
+  metrics_.Gauge("lard_dispatcher_requests")->Set(static_cast<double>(counters.requests));
+  metrics_.Gauge("lard_dispatcher_handoffs")->Set(static_cast<double>(counters.handoffs));
+  metrics_.Gauge("lard_dispatcher_forwards")->Set(static_cast<double>(counters.forwards));
+  metrics_.Gauge("lard_dispatcher_local_serves")->Set(static_cast<double>(counters.local_serves));
+  metrics_.Gauge("lard_dispatcher_migrations")->Set(static_cast<double>(counters.migrations));
+  metrics_.Gauge("lard_dispatcher_relays")->Set(static_cast<double>(counters.relays));
+  metrics_.Gauge("lard_dispatcher_open_connections")
+      ->Set(static_cast<double>(frontend_->dispatcher().open_connections()));
+  metrics_.Gauge("lard_dispatcher_nodes_removed")
+      ->Set(static_cast<double>(counters.nodes_removed));
+  metrics_.Gauge("lard_dispatcher_orphaned_connections")
+      ->Set(static_cast<double>(counters.orphaned_connections));
+}
+
+NodeId Cluster::AddNode() {
+  // The whole membership operation runs on the front-end loop thread (inline
+  // when an admin handler calls us there). nodes_mutex_ is then only ever
+  // taken either on that thread or by readers that never wait on it
+  // (Snapshot, post-join Stop) — holding it across a cross-thread
+  // RunOnLoop(fe_loop_) here could deadlock with an admin-driven membership
+  // operation blocking on the mutex from the loop itself.
+  NodeId node_id = kInvalidNode;
+  RunOnLoop(fe_loop_.get(), [this, &node_id]() {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    if (stopped_) {
+      return;
+    }
+    const NodeId fresh_id = static_cast<NodeId>(nodes_.size());
+    UniqueFd fe_end;
+    if (!StartBackend(fresh_id, &fe_end).ok()) {
+      return;
+    }
+    Node* fresh = nodes_.back().get();
+
+    // Lateral mesh: the new node learns every live peer; every live peer
+    // learns the new node.
+    std::vector<uint16_t> lateral_ports;
+    for (const auto& node : nodes_) {
+      lateral_ports.push_back(node->lateral_port);
+    }
+    RunOnLoop(fresh->loop.get(),
+              [fresh, &lateral_ports]() { fresh->server->ConnectPeers(lateral_ports); });
+    for (NodeId peer = 0; peer < fresh_id; ++peer) {
+      Node* node = nodes_[static_cast<size_t>(peer)].get();
+      if (node->stopped) {
+        continue;
+      }
+      RunOnLoop(node->loop.get(), [node, fresh_id, port = fresh->lateral_port]() {
+        node->server->AddPeer(fresh_id, port);
+      });
+    }
+
+    const NodeId assigned = frontend_->AddNode(std::move(fe_end), fresh->lateral_port);
+    LARD_CHECK(assigned == fresh_id);
+    node_id = fresh_id;
+  });
+  return node_id;
+}
+
+bool Cluster::DrainNode(NodeId node) {
+  bool ok = false;
+  RunOnLoop(fe_loop_.get(), [this, node, &ok]() { ok = frontend_->DrainNode(node); });
+  return ok;
+}
+
+void Cluster::StopNodeLocked(NodeId node, bool destroy_server) {
+  Node* target = nodes_[static_cast<size_t>(node)].get();
+  if (target->stopped) {
+    return;
+  }
+  target->stopped = true;
+  if (destroy_server) {
+    // Tear the server down on its own loop first so fds unregister cleanly
+    // and its clients see EOF instead of silence.
+    RunOnLoop(target->loop.get(), [target]() { target->server.reset(); });
+  }
+  target->loop->Stop();
+  if (target->thread.joinable()) {
+    target->thread.join();
+  }
+}
+
+bool Cluster::RemoveNode(NodeId node) {
+  bool ok = false;
+  RunOnLoop(fe_loop_.get(), [this, node, &ok]() {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+      return;
+    }
+    ok = frontend_->RemoveNode(node);
+    StopNodeLocked(node, /*destroy_server=*/true);
+  });
+  return ok;
+}
+
+bool Cluster::KillNode(NodeId node) {
+  bool ok = false;
+  RunOnLoop(fe_loop_.get(), [this, node, &ok]() {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    if (node < 0 || static_cast<size_t>(node) >= nodes_.size() ||
+        nodes_[static_cast<size_t>(node)]->stopped) {
+      return;
+    }
+    // No front-end notification, no fd teardown: the node simply goes silent
+    // (its control session and client sockets stay open but unserviced), so
+    // detection must come from the heartbeat timeout.
+    StopNodeLocked(node, /*destroy_server=*/false);
+    LARD_LOG(WARNING) << "cluster: node " << node << " killed (silent crash)";
+    ok = true;
+  });
+  return ok;
 }
 
 void Cluster::Stop() {
@@ -115,6 +315,7 @@ void Cluster::Stop() {
   if (fe_thread_.joinable()) {
     fe_thread_.join();
   }
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
   for (auto& node : nodes_) {
     node->loop->Stop();
     if (node->thread.joinable()) {
@@ -128,9 +329,19 @@ uint16_t Cluster::port() const {
   return frontend_->port();
 }
 
+uint16_t Cluster::admin_port() const {
+  LARD_CHECK(admin_ != nullptr) << "admin server disabled";
+  return admin_->port();
+}
+
 ClusterSnapshot Cluster::Snapshot() const {
   ClusterSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
   for (const auto& node : nodes_) {
+    if (node->server == nullptr) {
+      snapshot.requests_per_node.push_back(0);
+      continue;
+    }
     const BackendCounters& counters = node->server->counters();
     const uint64_t requests = counters.requests_served.load(std::memory_order_relaxed);
     snapshot.requests_served += requests;
@@ -146,6 +357,8 @@ ClusterSnapshot Cluster::Snapshot() const {
     snapshot.connections = frontend_->counters().connections_accepted.load();
     snapshot.consults = frontend_->counters().consults.load();
     snapshot.handoffs = frontend_->counters().handoffs.load();
+    snapshot.heartbeats = frontend_->counters().heartbeats.load();
+    snapshot.auto_removals = frontend_->counters().auto_removals.load();
     if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
       // Relay mode serves clients from the front-end; back-end
       // requests_served counters stay zero (their lateral path served the

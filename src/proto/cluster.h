@@ -2,15 +2,24 @@
 // wires up one front-end and N back-ends, each on its own event-loop thread,
 // connected by unix-socket control sessions, and exposes the front-end's TCP
 // port. Used by the integration tests, the examples and the Figure 13 bench.
+//
+// The harness is also where the control plane becomes operable: it owns the
+// shared MetricsRegistry, runs the AdminServer on the front-end's loop, and
+// implements the membership verbs the admin API exposes — AddNode (spin up a
+// back-end thread and join it), DrainNode, RemoveNode (graceful teardown) and
+// KillNode (simulated crash: the node's loop stops dead, heartbeats cease,
+// and the front-end's health tracker auto-removes it).
 #ifndef SRC_PROTO_CLUSTER_H_
 #define SRC_PROTO_CLUSTER_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/admin/admin_server.h"
 #include "src/core/cluster_types.h"
 #include "src/core/lard_params.h"
 #include "src/proto/backend_server.h"
@@ -18,6 +27,7 @@
 #include "src/proto/frontend.h"
 #include "src/sim/cost_model.h"
 #include "src/trace/trace.h"
+#include "src/util/metrics.h"
 #include "src/util/status.h"
 
 namespace lard {
@@ -33,6 +43,11 @@ struct ClusterConfig {
   double disk_time_scale = 1.0;
   int64_t idle_close_ms = 15000;
   uint16_t listen_port = 0;  // 0 = ephemeral
+  // Control plane.
+  bool enable_admin = true;
+  uint16_t admin_port = 0;  // 0 = ephemeral (see admin_port() after Start)
+  int64_t heartbeat_interval_ms = 200;
+  int64_t heartbeat_timeout_ms = 1500;  // <= 0 disables liveness detection
 };
 
 // Snapshot of the whole cluster's counters.
@@ -47,6 +62,8 @@ struct ClusterSnapshot {
   uint64_t handoffs = 0;
   uint64_t migrations = 0;  // multiple-handoff hand-backs
   uint64_t not_found = 0;
+  uint64_t heartbeats = 0;
+  uint64_t auto_removals = 0;
   double cache_hit_rate = 0.0;
   std::vector<uint64_t> requests_per_node;
 };
@@ -65,20 +82,48 @@ class Cluster {
   // Stops all loops and joins the threads. Safe to call twice.
   void Stop();
 
+  // --- membership (any thread; also wired to the admin API) ---
+
+  // Starts a new back-end, joins it to the lateral mesh and registers it
+  // with the front-end. Returns the new node's id.
+  NodeId AddNode();
+  // Stops new assignments to `node`; its active connections finish.
+  bool DrainNode(NodeId node);
+  // Graceful removal: front-end eviction, then the node's loop is shut down
+  // and its thread joined (open client connections are closed).
+  bool RemoveNode(NodeId node);
+  // Simulated crash: the node's loop stops dead — control session stays
+  // open but falls silent, so the front-end must detect the death via
+  // missed heartbeats and auto-remove it.
+  bool KillNode(NodeId node);
+
   uint16_t port() const;
+  uint16_t admin_port() const;
   ClusterSnapshot Snapshot() const;
   const ContentStore& store() const { return store_; }
+  const FrontEnd& frontend() const { return *frontend_; }
+  MetricsRegistry* metrics() { return &metrics_; }
 
  private:
   struct Node;
 
+  // Creates + starts one back-end (loop thread, control session wiring).
+  // Returns the fe-side control fd through *fe_end. Caller holds nodes_mutex_.
+  Status StartBackend(NodeId node_id, UniqueFd* fe_end);
+  void StopNodeLocked(NodeId node, bool destroy_server);
+  void RegisterAdminRoutes();
+  void BridgeDispatcherMetrics();
+
   ClusterConfig config_;
   ContentStore store_;
+  MetricsRegistry metrics_;
 
   std::unique_ptr<EventLoop> fe_loop_;
   std::unique_ptr<FrontEnd> frontend_;
+  std::unique_ptr<AdminServer> admin_;
   std::thread fe_thread_;
 
+  mutable std::mutex nodes_mutex_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
   bool stopped_ = false;

@@ -13,9 +13,14 @@ void EncodeDirectives(WireWriter* writer, const std::vector<RequestDirective>& d
   }
 }
 
+// Minimum encoded size of one directive: action u8 + node u32 + path length
+// u32 + cache u8. Bounding the declared count by remaining/10 keeps a
+// malicious 4-byte count from reserving gigabytes before the reads fail.
+constexpr size_t kMinDirectiveBytes = 10;
+
 bool DecodeDirectives(WireReader* reader, std::vector<RequestDirective>* directives) {
   const uint32_t count = reader->U32();
-  if (count > 1u << 20) {
+  if (count > 1u << 20 || count > reader->remaining() / kMinDirectiveBytes) {
     return false;
   }
   directives->clear();
@@ -36,6 +41,22 @@ bool DecodeDirectives(WireReader* reader, std::vector<RequestDirective>* directi
 }
 
 }  // namespace
+
+std::string EncodeHeartbeat(const HeartbeatMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.seq);
+  writer.U32(msg.disk_queue_len);
+  writer.U32(msg.active_conns);
+  return writer.Take();
+}
+
+bool DecodeHeartbeat(std::string_view payload, HeartbeatMsg* msg) {
+  WireReader reader(payload);
+  msg->seq = reader.U64();
+  msg->disk_queue_len = reader.U32();
+  msg->active_conns = reader.U32();
+  return reader.Complete();
+}
 
 std::string EncodeHandoff(const HandoffMsg& msg) {
   WireWriter writer;
@@ -93,7 +114,8 @@ bool DecodeConsult(std::string_view payload, ConsultMsg* msg) {
   msg->conn_id = reader.U64();
   msg->disk_queue_len = reader.U32();
   const uint32_t count = reader.U32();
-  if (count > 1u << 20) {
+  // Each path costs at least its u32 length prefix on the wire.
+  if (count > 1u << 20 || count > reader.remaining() / 4) {
     return false;
   }
   msg->paths.clear();

@@ -35,6 +35,10 @@ enum class ControlMsg : uint8_t {
   // extension). Payload: HandbackMsg. The FE relays it as a kHandoff to the
   // target node.
   kHandback = 7,
+  // BE -> FE. Payload: HeartbeatMsg. Periodic liveness + load report; the
+  // front-end's health tracker declares a node dead (and auto-removes it
+  // from the dispatcher) after a configurable number of missed intervals.
+  kHeartbeat = 8,
 };
 
 // One request directive inside kHandoff / kAssignments.
@@ -97,6 +101,19 @@ struct HandbackMsg {
   // Serialized unserved requests followed by the unparsed input tail.
   std::string replay_input;
 };
+
+// Periodic liveness report. Sequence numbers are monotonic per control
+// session so the front-end can spot silent restarts; the load fields ride
+// along so healthy heartbeats double as feedback (disk queue like
+// kDiskReport, plus the node's open client-connection count for /nodes).
+struct HeartbeatMsg {
+  uint64_t seq = 0;
+  uint32_t disk_queue_len = 0;
+  uint32_t active_conns = 0;
+};
+
+std::string EncodeHeartbeat(const HeartbeatMsg& msg);
+bool DecodeHeartbeat(std::string_view payload, HeartbeatMsg* msg);
 
 std::string EncodeHandoff(const HandoffMsg& msg);
 bool DecodeHandoff(std::string_view payload, HandoffMsg* msg);

@@ -2,9 +2,11 @@
 
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <time.h>
 
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 
 #include "src/http/tagging.h"
 #include "src/net/socket.h"
@@ -13,15 +15,22 @@
 namespace lard {
 
 // Last-reported disk queue length per back-end — the dispatcher's
-// BackendStatsProvider view (updated from kDiskReport messages and consult
-// piggybacks; all on the loop thread).
+// BackendStatsProvider view (updated from kDiskReport messages, heartbeats
+// and consult piggybacks; all on the loop thread). Grows as nodes join.
 class FrontEnd::DiskTable final : public BackendStatsProvider {
  public:
   explicit DiskTable(int num_nodes) : queue_lengths_(static_cast<size_t>(num_nodes), 0) {}
   int DiskQueueLength(NodeId node) const override {
-    return queue_lengths_[static_cast<size_t>(node)];
+    return static_cast<size_t>(node) < queue_lengths_.size()
+               ? queue_lengths_[static_cast<size_t>(node)]
+               : 0;
   }
-  void Update(NodeId node, int length) { queue_lengths_[static_cast<size_t>(node)] = length; }
+  void Update(NodeId node, int length) {
+    if (static_cast<size_t>(node) >= queue_lengths_.size()) {
+      queue_lengths_.resize(static_cast<size_t>(node) + 1, 0);
+    }
+    queue_lengths_[static_cast<size_t>(node)] = length;
+  }
 
  private:
   std::vector<int> queue_lengths_;
@@ -44,24 +53,53 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCa
   dispatch_config.params = config_.params;
   dispatch_config.num_nodes = config_.num_nodes;
   dispatch_config.virtual_cache_bytes = config_.virtual_cache_bytes;
+  dispatch_config.metrics = config_.metrics;
   dispatcher_ = std::make_unique<Dispatcher>(dispatch_config, catalog_, disk_table_.get());
+
+  if (config_.metrics != nullptr) {
+    metric_active_nodes_ = config_.metrics->Gauge("lard_cluster_active_nodes");
+    metric_active_nodes_->Set(config_.num_nodes);
+    metric_auto_removals_ = config_.metrics->Counter("lard_cluster_auto_removals_total");
+    metric_heartbeats_ = config_.metrics->Counter("lard_fe_heartbeats_total");
+    metric_connections_ = config_.metrics->Counter("lard_fe_connections_total");
+  }
 }
 
 FrontEnd::~FrontEnd() = default;
 
+int64_t FrontEnd::NowMs() const {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+void FrontEnd::AttachControl(NodeId node, UniqueFd control_fd) {
+  if (static_cast<size_t>(node) >= nodes_.size()) {
+    nodes_.resize(static_cast<size_t>(node) + 1);
+  }
+  NodeLink& link = nodes_[static_cast<size_t>(node)];
+  LARD_CHECK_OK(SetNonBlocking(control_fd.get(), true));
+  link.control = std::make_unique<FramedChannel>(loop_, std::move(control_fd));
+  link.last_heartbeat_ms = NowMs();
+  link.control->set_on_message([this, node](uint8_t type, std::string payload, UniqueFd passed_fd) {
+    OnControlMessage(node, type, std::move(payload), std::move(passed_fd));
+  });
+  // EOF/error means the back-end process died (or closed on us): remove it.
+  // Deferred — we may be inside the channel's own event handler.
+  link.control->set_on_close([this, node]() {
+    loop_->Post([this, node]() { RemoveNodeInternal(node, "control session lost"); });
+  });
+  link.control->Start();
+  if (config_.metrics != nullptr) {
+    link.handoff_counter =
+        config_.metrics->Counter(MetricsRegistry::WithNode("lard_fe_handoffs_total", node));
+  }
+}
+
 void FrontEnd::Start(std::vector<UniqueFd> control_fds) {
   LARD_CHECK(control_fds.size() == static_cast<size_t>(config_.num_nodes));
   for (int node = 0; node < config_.num_nodes; ++node) {
-    UniqueFd fd = std::move(control_fds[static_cast<size_t>(node)]);
-    LARD_CHECK_OK(SetNonBlocking(fd.get(), true));
-    auto channel = std::make_unique<FramedChannel>(loop_, std::move(fd));
-    channel->set_on_message([this, node](uint8_t type, std::string payload, UniqueFd passed_fd) {
-      OnControlMessage(node, type, std::move(payload), std::move(passed_fd));
-    });
-    channel->set_on_close(
-        [node]() { LARD_LOG(WARNING) << "front-end: control session to node " << node << " lost"; });
-    channel->Start();
-    controls_.push_back(std::move(channel));
+    AttachControl(node, std::move(control_fds[static_cast<size_t>(node)]));
   }
 
   auto listener = ListenTcp(config_.listen_port, &port_);
@@ -69,14 +107,137 @@ void FrontEnd::Start(std::vector<UniqueFd> control_fds) {
   listener_ = std::move(listener.value());
   LARD_CHECK_OK(SetNonBlocking(listener_.get(), true));
   loop_->Register(listener_.get(), EPOLLIN, [this](uint32_t events) { OnAccept(events); });
+
+  if (config_.heartbeat_timeout_ms > 0) {
+    const int64_t period = std::max<int64_t>(config_.heartbeat_timeout_ms / 4, 25);
+    struct Rearm {
+      FrontEnd* self;
+      int64_t period;
+      void operator()() const {
+        self->CheckNodeHealth();
+        self->loop_->ScheduleAfterMs(period, Rearm{self, period});
+      }
+    };
+    loop_->ScheduleAfterMs(period, Rearm{this, period});
+  }
+}
+
+void FrontEnd::CheckNodeHealth() {
+  const int64_t now = NowMs();
+  for (NodeId node = 0; node < static_cast<NodeId>(nodes_.size()); ++node) {
+    if (!NodeLive(node)) {
+      continue;
+    }
+    const NodeLink& link = nodes_[static_cast<size_t>(node)];
+    if (now - link.last_heartbeat_ms > config_.heartbeat_timeout_ms) {
+      RemoveNodeInternal(node, "missed heartbeats");
+    }
+  }
+}
+
+NodeId FrontEnd::AddNode(UniqueFd control_fd, uint16_t backend_http_port) {
+  const NodeId node = dispatcher_->AddNode();
+  AttachControl(node, std::move(control_fd));
+  disk_table_->Update(node, 0);
+  if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
+    if (static_cast<size_t>(node) >= relays_.size()) {
+      relays_.resize(static_cast<size_t>(node) + 1);
+    }
+    relays_[static_cast<size_t>(node)] =
+        std::make_unique<LateralClient>(loop_, backend_http_port);
+  }
+  if (metric_active_nodes_ != nullptr) {
+    metric_active_nodes_->Set(dispatcher_->active_node_count());
+  }
+  LARD_LOG(INFO) << "front-end: node " << node << " joined";
+  return node;
+}
+
+bool FrontEnd::DrainNode(NodeId node) {
+  if (!NodeLive(node) || !dispatcher_->DrainNode(node)) {
+    return false;
+  }
+  if (metric_active_nodes_ != nullptr) {
+    metric_active_nodes_->Set(dispatcher_->active_node_count());
+  }
+  LARD_LOG(INFO) << "front-end: node " << node << " draining";
+  return true;
+}
+
+bool FrontEnd::RemoveNode(NodeId node) { return RemoveNodeInternal(node, "admin remove"); }
+
+bool FrontEnd::RemoveNodeInternal(NodeId node, const char* reason) {
+  if (node < 0 || node >= dispatcher_->num_node_slots()) {
+    return false;
+  }
+  std::vector<ConnId> orphans;
+  const bool dispatcher_removed = dispatcher_->RemoveNode(node, &orphans);
+  NodeLink* link =
+      static_cast<size_t>(node) < nodes_.size() ? &nodes_[static_cast<size_t>(node)] : nullptr;
+  const bool had_channel = link != nullptr && link->control != nullptr;
+  if (!dispatcher_removed && !had_channel) {
+    return false;  // already fully removed
+  }
+  for (const ConnId conn : orphans) {
+    live_in_dispatcher_.erase(conn);
+  }
+  if (had_channel) {
+    link->control.reset();  // closes the session; the back-end sees EOF
+  }
+  const bool detected_failure = std::strcmp(reason, "admin remove") != 0;
+  if (detected_failure) {
+    counters_.auto_removals.fetch_add(1, std::memory_order_relaxed);
+    if (metric_auto_removals_ != nullptr) {
+      metric_auto_removals_->Increment();
+    }
+  }
+  if (metric_active_nodes_ != nullptr) {
+    metric_active_nodes_->Set(dispatcher_->active_node_count());
+  }
+  LARD_LOG(WARNING) << "front-end: node " << node << " removed (" << reason << "), "
+                    << orphans.size() << " connections orphaned, "
+                    << dispatcher_->active_node_count() << " active nodes remain";
+  return true;
+}
+
+void FrontEnd::SetPolicy(Policy policy) {
+  config_.policy = policy;
+  dispatcher_->SetPolicy(policy);
+  LARD_LOG(INFO) << "front-end: policy switched to " << PolicyName(policy);
+}
+
+std::string FrontEnd::DescribeNodesJson() const {
+  const int64_t now = NowMs();
+  std::ostringstream out;
+  out << "{\"policy\":\"" << PolicyName(dispatcher_->config().policy) << "\",\"mechanism\":\""
+      << MechanismName(config_.mechanism) << "\",\"active_nodes\":"
+      << dispatcher_->active_node_count() << ",\"nodes\":[";
+  for (NodeId node = 0; node < dispatcher_->num_node_slots(); ++node) {
+    if (node > 0) {
+      out << ",";
+    }
+    const NodeState state = dispatcher_->node_state(node);
+    out << "{\"id\":" << node << ",\"state\":\"" << NodeStateName(state) << "\"";
+    out << ",\"load\":" << dispatcher_->NodeLoad(node);
+    out << ",\"vcache_bytes\":" << dispatcher_->VirtualCacheBytes(node);
+    if (static_cast<size_t>(node) < nodes_.size()) {
+      const NodeLink& link = nodes_[static_cast<size_t>(node)];
+      out << ",\"connections\":" << link.reported_conns;
+      out << ",\"heartbeat_seq\":" << link.heartbeat_seq;
+      out << ",\"heartbeat_age_ms\":"
+          << (state == NodeState::kDead ? -1 : now - link.last_heartbeat_ms);
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
 }
 
 void FrontEnd::ConnectBackends(const std::vector<uint16_t>& backend_http_ports) {
-  LARD_CHECK(backend_http_ports.size() == static_cast<size_t>(config_.num_nodes));
+  LARD_CHECK(backend_http_ports.size() >= static_cast<size_t>(config_.num_nodes));
   relays_.clear();
-  for (int node = 0; node < config_.num_nodes; ++node) {
-    relays_.push_back(
-        std::make_unique<LateralClient>(loop_, backend_http_ports[static_cast<size_t>(node)]));
+  for (size_t node = 0; node < backend_http_ports.size(); ++node) {
+    relays_.push_back(std::make_unique<LateralClient>(loop_, backend_http_ports[node]));
   }
 }
 
@@ -94,7 +255,22 @@ void FrontEnd::OnAccept(uint32_t) {
       return;
     }
     (void)SetTcpNoDelay(fd);
+
+    if (dispatcher_->active_node_count() == 0) {
+      // Every back-end drained or dead: shed load at the door. The write is
+      // best-effort on a fresh socket (buffer empty, nothing to flush).
+      UniqueFd doomed(fd);
+      static constexpr char kUnavailable[] =
+          "HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n";
+      (void)!::send(doomed.get(), kUnavailable, sizeof(kUnavailable) - 1, MSG_NOSIGNAL);
+      counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
     counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    if (metric_connections_ != nullptr) {
+      metric_connections_->Increment();
+    }
 
     auto conn = std::make_unique<FeConn>();
     FeConn* raw = conn.get();
@@ -172,6 +348,17 @@ RequestDirective FrontEnd::DirectiveFor(const std::string& path,
 }
 
 void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
+  // The whole membership can vanish between accept and first data (e.g. the
+  // last back-end was just auto-removed); shed instead of crashing the
+  // dispatcher's pick loops.
+  if (dispatcher_->active_node_count() == 0) {
+    conn->conn->Write("HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
+    conn->conn->CloseAfterFlush();
+    counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
+    DestroyConn(conn);
+    return;
+  }
+
   // The first batch: every complete request that arrived before we decided.
   std::vector<std::string> paths;
   paths.reserve(requests.size());
@@ -186,6 +373,16 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
   LARD_CHECK(!assignments.empty());
   const NodeId node = assignments[0].node;
   LARD_CHECK(assignments[0].action == AssignmentAction::kHandoff);
+  if (!NodeLive(node)) {
+    // Raced with a node death the health sweep has not yet processed.
+    live_in_dispatcher_.erase(conn->id);
+    dispatcher_->OnConnectionClose(conn->id);
+    conn->conn->Write("HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
+    conn->conn->CloseAfterFlush();
+    counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
+    DestroyConn(conn);
+    return;
+  }
 
   HandoffMsg msg;
   msg.conn_id = conn->id;
@@ -203,9 +400,12 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
   msg.unparsed_input = std::move(conn->raw_bytes);
 
   Connection::Detached detached = conn->conn->Detach();
-  controls_[static_cast<size_t>(node)]->SendWithFd(static_cast<uint8_t>(ControlMsg::kHandoff),
-                                                   EncodeHandoff(msg), std::move(detached.fd));
+  nodes_[static_cast<size_t>(node)].control->SendWithFd(
+      static_cast<uint8_t>(ControlMsg::kHandoff), EncodeHandoff(msg), std::move(detached.fd));
   counters_.handoffs.fetch_add(1, std::memory_order_relaxed);
+  if (nodes_[static_cast<size_t>(node)].handoff_counter != nullptr) {
+    nodes_[static_cast<size_t>(node)].handoff_counter->Increment();
+  }
   // Dispatcher state for this connection now lives on; our socket plumbing
   // does not. (Deferred: we are inside this Connection's on_data callback.)
   conn->closed = true;
@@ -213,6 +413,13 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
 }
 
 void FrontEnd::RelayFlow(FeConn* conn, std::vector<HttpRequest> requests) {
+  if (dispatcher_->active_node_count() == 0) {
+    conn->conn->Write("HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
+    conn->conn->CloseAfterFlush();
+    counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
+    DestroyConn(conn);
+    return;
+  }
   std::vector<std::string> paths;
   paths.reserve(requests.size());
   for (const auto& request : requests) {
@@ -246,6 +453,9 @@ void FrontEnd::ProcessNextRelay(ConnId id) {
   counters_.relayed_requests.fetch_add(1, std::memory_order_relaxed);
 
   LARD_CHECK(!relays_.empty()) << "relay mode requires ConnectBackends()";
+  LARD_CHECK(static_cast<size_t>(node) < relays_.size() &&
+             relays_[static_cast<size_t>(node)] != nullptr)
+      << "no relay route to node " << node;
   relays_[static_cast<size_t>(node)]->Fetch(
       request.path, [this, id, request](int status, std::string body) {
         auto it = conns_.find(id);
@@ -290,6 +500,9 @@ void FrontEnd::DestroyConn(FeConn* conn) {
 }
 
 void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, UniqueFd fd) {
+  NodeLink& link = nodes_[static_cast<size_t>(node)];
+  // Any control-session traffic proves the node alive.
+  link.last_heartbeat_ms = NowMs();
   switch (static_cast<ControlMsg>(type)) {
     case ControlMsg::kHandback: {
       // Multiple handoff: a back-end flushed and detached the connection; we
@@ -297,19 +510,19 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
       // handoff carrying the unserved request replay.
       HandbackMsg msg;
       if (!DecodeHandback(payload, &msg) || !fd.valid() || msg.target_node < 0 ||
-          msg.target_node >= config_.num_nodes) {
+          msg.target_node >= dispatcher_->num_node_slots()) {
         LARD_LOG(ERROR) << "front-end: bad handback from node " << node;
         return;
       }
-      if (live_in_dispatcher_.count(msg.conn_id) == 0) {
-        return;  // connection died in flight; drop the fd (RAII closes it)
+      if (live_in_dispatcher_.count(msg.conn_id) == 0 || !NodeLive(msg.target_node)) {
+        return;  // connection or target died in flight; drop the fd (RAII closes it)
       }
       HandoffMsg handoff;
       handoff.conn_id = msg.conn_id;
       handoff.autonomous = false;
       handoff.directives = std::move(msg.directives);
       handoff.unparsed_input = std::move(msg.replay_input);
-      controls_[static_cast<size_t>(msg.target_node)]->SendWithFd(
+      nodes_[static_cast<size_t>(msg.target_node)].control->SendWithFd(
           static_cast<uint8_t>(ControlMsg::kHandoff), EncodeHandoff(handoff), std::move(fd));
       counters_.migrations.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -344,6 +557,25 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
       }
       return;
     }
+    case ControlMsg::kHeartbeat: {
+      HeartbeatMsg msg;
+      if (!DecodeHeartbeat(payload, &msg)) {
+        LARD_LOG(ERROR) << "front-end: bad heartbeat from node " << node;
+        return;
+      }
+      if (msg.seq < link.heartbeat_seq) {
+        LARD_LOG(WARNING) << "front-end: node " << node << " heartbeat sequence went backwards ("
+                          << link.heartbeat_seq << " -> " << msg.seq << "), node restarted?";
+      }
+      link.heartbeat_seq = msg.seq;
+      link.reported_conns = msg.active_conns;
+      disk_table_->Update(node, static_cast<int>(msg.disk_queue_len));
+      counters_.heartbeats.fetch_add(1, std::memory_order_relaxed);
+      if (metric_heartbeats_ != nullptr) {
+        metric_heartbeats_->Increment();
+      }
+      return;
+    }
     default:
       LARD_LOG(ERROR) << "front-end: unexpected control message type " << static_cast<int>(type)
                       << " from node " << node;
@@ -364,8 +596,8 @@ void FrontEnd::HandleConsult(NodeId node, const ConsultMsg& msg) {
   for (size_t i = 0; i < assignments.size(); ++i) {
     reply.directives.push_back(DirectiveFor(msg.paths[i], assignments[i]));
   }
-  controls_[static_cast<size_t>(node)]->Send(static_cast<uint8_t>(ControlMsg::kAssignments),
-                                             EncodeAssignments(reply));
+  nodes_[static_cast<size_t>(node)].control->Send(static_cast<uint8_t>(ControlMsg::kAssignments),
+                                                  EncodeAssignments(reply));
 }
 
 }  // namespace lard

@@ -17,6 +17,13 @@
 //     a per-request back-end choice over persistent back-end connections and
 //     relays the response bytes itself.
 //
+// The front-end is also the cluster's control plane anchor: it tracks
+// back-end liveness via kHeartbeat messages on the control sessions, declares
+// a silent node dead after `heartbeat_timeout_ms` and auto-removes it from
+// the dispatcher (the kill-a-back-end scenario), and exposes the membership
+// operations the admin API drives — AddNode, DrainNode, RemoveNode,
+// SetPolicy.
+//
 // Load accounting and cache modeling live in the shared Dispatcher; this
 // class is plumbing. Runs entirely on its EventLoop thread.
 #ifndef SRC_PROTO_FRONTEND_H_
@@ -40,6 +47,7 @@
 #include "src/proto/control_protocol.h"
 #include "src/proto/lateral_client.h"
 #include "src/trace/trace.h"
+#include "src/util/metrics.h"
 
 namespace lard {
 
@@ -54,6 +62,12 @@ struct FrontEndConfig {
   LardParams params;
   uint64_t virtual_cache_bytes = 32ull * 1024 * 1024;
   uint16_t listen_port = 0;  // 0 = pick a free port
+  // A back-end silent (no heartbeat, no disk report) for this long is
+  // declared dead and auto-removed. <= 0 disables liveness tracking (the
+  // control-session-EOF path still removes crashed nodes).
+  int64_t heartbeat_timeout_ms = 2000;
+  // Optional shared registry (lard_fe_*, lard_cluster_* instruments).
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct FrontEndCounters {
@@ -62,6 +76,9 @@ struct FrontEndCounters {
   std::atomic<uint64_t> consults{0};
   std::atomic<uint64_t> relayed_requests{0};
   std::atomic<uint64_t> migrations{0};  // hand-backs relayed (multiple handoff)
+  std::atomic<uint64_t> heartbeats{0};
+  std::atomic<uint64_t> auto_removals{0};  // nodes declared dead by health tracking
+  std::atomic<uint64_t> rejected_no_backend{0};  // 503s with zero active nodes
 };
 
 class FrontEnd {
@@ -82,6 +99,22 @@ class FrontEnd {
   // (lateral) ports.
   void ConnectBackends(const std::vector<uint16_t>& backend_http_ports);
 
+  // --- control plane (loop thread; the admin server calls these) ---
+
+  // Registers a freshly started back-end: control session + (relay mode) its
+  // HTTP port. Returns the new node's id.
+  NodeId AddNode(UniqueFd control_fd, uint16_t backend_http_port);
+  // Stops new assignments to `node`; its persistent connections finish.
+  bool DrainNode(NodeId node);
+  // Removes `node` now: dispatcher eviction, orphaned-connection cleanup,
+  // control-session teardown. Safe on live, draining and already-dead nodes
+  // (idempotent; returns false when nothing changed).
+  bool RemoveNode(NodeId node);
+  // Runtime policy switch (future decisions only).
+  void SetPolicy(Policy policy);
+  // Membership + health snapshot as the admin API's JSON body.
+  std::string DescribeNodesJson() const;
+
   uint16_t port() const { return port_; }
   const FrontEndCounters& counters() const { return counters_; }
   const Dispatcher& dispatcher() const { return *dispatcher_; }
@@ -99,6 +132,16 @@ class FrontEnd {
     bool closed = false;
   };
 
+  // Per-back-end control-plane state, indexed by NodeId (slots persist after
+  // removal so ids stay stable).
+  struct NodeLink {
+    std::unique_ptr<FramedChannel> control;
+    int64_t last_heartbeat_ms = 0;   // also bumped by disk reports/consults
+    uint64_t heartbeat_seq = 0;
+    uint32_t reported_conns = 0;
+    MetricCounter* handoff_counter = nullptr;
+  };
+
   class DiskTable;
 
   void OnAccept(uint32_t events);
@@ -113,8 +156,22 @@ class FrontEnd {
   void OnControlMessage(NodeId node, uint8_t type, std::string payload, UniqueFd fd);
   void HandleConsult(NodeId node, const ConsultMsg& msg);
 
+  // Wires one control session into nodes_[node] (creates the slot).
+  void AttachControl(NodeId node, UniqueFd control_fd);
+  // Health sweep: auto-remove nodes whose heartbeats stopped.
+  void CheckNodeHealth();
+  // Shared removal path for admin removes, heartbeat timeouts and control
+  // EOFs. `reason` goes to the log and the removal counters.
+  bool RemoveNodeInternal(NodeId node, const char* reason);
+  bool NodeLive(NodeId node) const {
+    return node >= 0 && node < static_cast<NodeId>(nodes_.size()) &&
+           nodes_[static_cast<size_t>(node)].control != nullptr &&
+           nodes_[static_cast<size_t>(node)].control->open();
+  }
+
   std::vector<TargetId> PathsToTargets(const std::vector<std::string>& paths) const;
   RequestDirective DirectiveFor(const std::string& path, const Assignment& assignment) const;
+  int64_t NowMs() const;
 
   FrontEndConfig config_;
   EventLoop* loop_;
@@ -124,14 +181,18 @@ class FrontEnd {
   std::unique_ptr<Dispatcher> dispatcher_;
   UniqueFd listener_;
   uint16_t port_ = 0;
-  std::vector<std::unique_ptr<FramedChannel>> controls_;  // index = NodeId
-  std::vector<std::unique_ptr<LateralClient>> relays_;    // relaying mode
+  std::vector<NodeLink> nodes_;                        // index = NodeId
+  std::vector<std::unique_ptr<LateralClient>> relays_;  // relaying mode
 
   std::unordered_map<ConnId, std::unique_ptr<FeConn>> conns_;
   std::set<ConnId> live_in_dispatcher_;  // conns with dispatcher state
   ConnId next_conn_id_ = 1;
 
   FrontEndCounters counters_;
+  MetricGauge* metric_active_nodes_ = nullptr;
+  MetricCounter* metric_auto_removals_ = nullptr;
+  MetricCounter* metric_heartbeats_ = nullptr;
+  MetricCounter* metric_connections_ = nullptr;
 };
 
 }  // namespace lard

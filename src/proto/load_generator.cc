@@ -76,6 +76,16 @@ bool SendAll(int fd, std::string_view data) {
   return true;
 }
 
+void ApplyRecvTimeout(int fd, int64_t timeout_ms) {
+  if (timeout_ms <= 0) {
+    return;
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
 class Worker {
  public:
   Worker(const LoadGeneratorConfig* config, const Trace* trace) : config_(config), trace_(trace) {}
@@ -115,6 +125,7 @@ class Worker {
       return;
     }
     (void)SetTcpNoDelay(fd.value().get());
+    ApplyRecvTimeout(fd.value().get(), config_->recv_timeout_ms);
     ResponseParser parser;
     std::vector<HttpResponse> responses;
     for (size_t b = 0; b < session.batches.size(); ++b) {
@@ -160,6 +171,7 @@ class Worker {
           continue;
         }
         (void)SetTcpNoDelay(fd.value().get());
+        ApplyRecvTimeout(fd.value().get(), config_->recv_timeout_ms);
         const std::string out =
             "GET " + trace_->catalog().Get(target).path + " HTTP/1.0\r\nHost: cluster\r\n\r\n";
         ResponseParser parser;

@@ -29,6 +29,11 @@ struct LoadGeneratorConfig {
   // Stop issuing new sessions after this long (0 = no limit); in-flight
   // sessions complete.
   int64_t time_limit_ms = 0;
+  // Per-socket receive timeout (SO_RCVTIMEO). 0 = block forever. Membership
+  // scenarios need this: a *killed* back-end holds its client sockets open
+  // but silent, and the affected sessions must fail over to fresh
+  // connections instead of hanging the worker.
+  int64_t recv_timeout_ms = 0;
 };
 
 struct LoadResult {

@@ -40,6 +40,10 @@ struct ClusterSim::SessionRun {
   size_t outstanding = 0;       // responses pending in the current batch
   SimTimeUs batch_start_us = 0;
   bool first_batch = true;
+  // The handling node died (NodeFailure): the dispatcher state for `conn` is
+  // gone. Once the current batch's in-flight responses drain, the client
+  // reconnects — the run continues on a fresh ConnId the dispatcher re-assigns.
+  bool conn_lost = false;
 };
 
 ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : config_(config) {
@@ -64,11 +68,60 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
   dispatch_config.params = config_.lard_params;
   dispatch_config.num_nodes = config_.num_nodes;
   dispatch_config.virtual_cache_bytes = config_.backend_cache_bytes;
+  dispatch_config.metrics = config_.metrics;
   dispatcher_ =
       std::make_unique<Dispatcher>(dispatch_config, &trace_->catalog(), disk_stats_.get());
 
   if (config_.model_front_end_limit || config_.mechanism == Mechanism::kRelayingFrontEnd) {
     fe_cpu_ = std::make_unique<FifoServer>(&queue_);
+  }
+  if (config_.metrics != nullptr) {
+    metric_batch_latency_ = config_.metrics->Histogram("lard_sim_batch_latency_us");
+    metric_requests_ = config_.metrics->Counter("lard_sim_requests_total");
+    metric_failovers_ = config_.metrics->Counter("lard_sim_failovers_total");
+  }
+}
+
+void ClusterSim::ApplyMembershipEvent(const MembershipEvent& event) {
+  switch (event.action) {
+    case MembershipAction::kNodeJoin: {
+      const NodeId node = dispatcher_->AddNode();
+      LARD_CHECK(static_cast<size_t>(node) == backends_.size());
+      backends_.push_back(std::make_unique<Backend>(&queue_, config_.disk_costs));
+      ++nodes_joined_;
+      LARD_LOG(INFO) << "sim t=" << queue_.now_us() << "us: node " << node << " joined";
+      break;
+    }
+    case MembershipAction::kNodeDrain: {
+      if (dispatcher_->DrainNode(event.node)) {
+        ++nodes_drained_;
+        LARD_LOG(INFO) << "sim t=" << queue_.now_us() << "us: node " << event.node
+                       << " draining";
+      }
+      break;
+    }
+    case MembershipAction::kNodeFailure: {
+      std::vector<ConnId> orphans;
+      if (!dispatcher_->RemoveNode(event.node, &orphans)) {
+        break;
+      }
+      ++nodes_failed_;
+      // In-flight service at the dead node completes (those events are
+      // already scheduled — the paper's simulator has no mid-service
+      // preemption); what fails over is the *connections*: each orphaned
+      // session reconnects after its current batch drains.
+      for (const ConnId conn : orphans) {
+        for (const auto& run : active_runs_) {
+          if (run->conn == conn) {
+            run->conn_lost = true;
+            break;
+          }
+        }
+      }
+      LARD_LOG(INFO) << "sim t=" << queue_.now_us() << "us: node " << event.node << " failed, "
+                     << orphans.size() << " connections orphaned";
+      break;
+    }
   }
 }
 
@@ -99,8 +152,26 @@ void ClusterSim::StartNextSession() {
   FrontEndWork(config_.fe_costs.accept_us, [this, raw]() { ProcessBatch(raw); });
 }
 
+void ClusterSim::ReopenIfLost(SessionRun* run) {
+  if (!run->conn_lost) {
+    return;
+  }
+  // Failover: the client reconnects; the dispatcher re-assigns the fresh
+  // connection (and the remaining batches) under the surviving membership.
+  run->conn_lost = false;
+  run->conn = next_conn_id_++;
+  dispatcher_->OnConnectionOpen(run->conn);
+  ++failovers_;
+  if (metric_failovers_ != nullptr) {
+    metric_failovers_->Increment();
+  }
+}
+
 void ClusterSim::ProcessBatch(SessionRun* run) {
   LARD_CHECK(run->next_batch < run->session->batches.size());
+  // The handling node can die during a think-time wait; reconnect before
+  // consulting the dispatcher about the next batch.
+  ReopenIfLost(run);
   const TraceBatch& batch = run->session->batches[run->next_batch++];
   run->batch_start_us = queue_.now_us();
   run->outstanding = batch.targets.size();
@@ -118,6 +189,9 @@ void ClusterSim::ProcessBatch(SessionRun* run) {
 
 void ClusterSim::IssueRequest(SessionRun* run, TargetId target, const Assignment& assignment) {
   ++total_requests_;
+  if (metric_requests_ != nullptr) {
+    metric_requests_->Increment();
+  }
   const uint64_t bytes = trace_->catalog().Get(target).size_bytes;
   total_bytes_ += bytes;
   const ServerCostModel& costs = config_.server_costs;
@@ -239,11 +313,15 @@ void ClusterSim::OnResponseDone(SessionRun* run) {
     return;
   }
   batch_latency_us_.Add(static_cast<double>(queue_.now_us() - run->batch_start_us));
+  if (metric_batch_latency_ != nullptr) {
+    metric_batch_latency_->Observe(static_cast<double>(queue_.now_us() - run->batch_start_us));
+  }
 
   if (run->next_batch >= run->session->batches.size()) {
     FinishSession(run);
     return;
   }
+  ReopenIfLost(run);
   if (config_.use_think_times) {
     const int64_t prev_offset = run->session->batches[run->next_batch - 1].offset_us;
     const int64_t next_offset = run->session->batches[run->next_batch].offset_us;
@@ -258,15 +336,21 @@ void ClusterSim::OnResponseDone(SessionRun* run) {
 }
 
 void ClusterSim::FinishSession(SessionRun* run) {
-  // Connection teardown: handling node pays teardown CPU; FE cleans up.
-  const NodeId handling = dispatcher_->HandlingNode(run->conn);
-  const bool zero_cost = config_.mechanism == Mechanism::kIdealHandoff;
-  if (handling != kInvalidNode && !zero_cost) {
-    backends_[static_cast<size_t>(handling)]->cpu.Submit(config_.server_costs.conn_teardown_us,
-                                                         []() {});
+  if (run->conn_lost) {
+    // The session's last batch completed on a connection whose node died:
+    // the dispatcher already forgot it, so there is nothing to tear down.
+    fe_accounted_us_ += config_.fe_costs.conn_close_us;
+  } else {
+    // Connection teardown: handling node pays teardown CPU; FE cleans up.
+    const NodeId handling = dispatcher_->HandlingNode(run->conn);
+    const bool zero_cost = config_.mechanism == Mechanism::kIdealHandoff;
+    if (handling != kInvalidNode && !zero_cost) {
+      backends_[static_cast<size_t>(handling)]->cpu.Submit(config_.server_costs.conn_teardown_us,
+                                                           []() {});
+    }
+    fe_accounted_us_ += config_.fe_costs.conn_close_us;
+    dispatcher_->OnConnectionClose(run->conn);
   }
-  fe_accounted_us_ += config_.fe_costs.conn_close_us;
-  dispatcher_->OnConnectionClose(run->conn);
 
   ++sessions_done_;
   // Recycle the slot: start the next session from the trace.
@@ -280,6 +364,12 @@ void ClusterSim::FinishSession(SessionRun* run) {
 ClusterSimMetrics ClusterSim::Run() {
   LARD_CHECK(!ran_) << "ClusterSim::Run may be called once";
   ran_ = true;
+
+  // The control-plane scenario replays at fixed simulated times, giving
+  // deterministic join/drain/failure runs the prototype can only approximate.
+  for (const MembershipEvent& event : config_.membership_events) {
+    queue_.ScheduleAt(event.at_us, [this, event]() { ApplyMembershipEvent(event); });
+  }
 
   const size_t initial =
       std::min(trace_->sessions().size(),
@@ -322,10 +412,15 @@ ClusterSimMetrics ClusterSim::Run() {
   }
   metrics.cache_hit_rate =
       served > 0 ? static_cast<double>(hits) / static_cast<double>(served) : 0.0;
-  metrics.mean_cpu_idle = 1.0 - cpu_util_sum / static_cast<double>(config_.num_nodes);
-  metrics.mean_disk_idle = 1.0 - disk_util_sum / static_cast<double>(config_.num_nodes);
+  const double node_count = static_cast<double>(backends_.size());
+  metrics.mean_cpu_idle = 1.0 - cpu_util_sum / node_count;
+  metrics.mean_disk_idle = 1.0 - disk_util_sum / node_count;
   metrics.fe_utilization =
       queue_.now_us() > 0 ? fe_accounted_us_ / static_cast<double>(queue_.now_us()) : 0.0;
+  metrics.nodes_joined = nodes_joined_;
+  metrics.nodes_failed = nodes_failed_;
+  metrics.nodes_drained = nodes_drained_;
+  metrics.failovers = failovers_;
   return metrics;
 }
 

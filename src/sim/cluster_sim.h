@@ -22,9 +22,24 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/resources.h"
 #include "src/trace/trace.h"
+#include "src/util/metrics.h"
 #include "src/util/stats.h"
 
 namespace lard {
+
+// A scripted control-plane event, replayed at a fixed simulated time — the
+// simulator's deterministic twin of the prototype's admin API and heartbeat
+// detector. kFail removes the node instantly (crash + detection, with the
+// detection latency abstracted away); its in-flight requests complete but its
+// connections are failed over: each affected session finishes the current
+// batch, then re-opens as a fresh connection that the dispatcher re-assigns.
+enum class MembershipAction { kNodeJoin, kNodeDrain, kNodeFailure };
+
+struct MembershipEvent {
+  SimTimeUs at_us = 0;
+  MembershipAction action = MembershipAction::kNodeFailure;
+  NodeId node = kInvalidNode;  // ignored for kNodeJoin (ids are allocated)
+};
 
 struct ClusterSimConfig {
   int num_nodes = 4;
@@ -53,6 +68,12 @@ struct ClusterSimConfig {
 
   // Serialize front-end work through a real CPU (otherwise only accounted).
   bool model_front_end_limit = false;
+
+  // Control-plane scenario to replay (sorted or not; scheduled by at_us).
+  std::vector<MembershipEvent> membership_events;
+
+  // Optional shared registry (lard_sim_* instruments + dispatcher gauges).
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct BackendSimMetrics {
@@ -75,10 +96,15 @@ struct ClusterSimMetrics {
   double cache_hit_rate = 0.0;
   double mean_batch_latency_ms = 0.0;
   double fe_utilization = 0.0;
-  double mean_cpu_idle = 0.0;   // across back-ends
-  double mean_disk_idle = 0.0;  // across back-ends
+  double mean_cpu_idle = 0.0;   // across back-ends (final membership)
+  double mean_disk_idle = 0.0;  // across back-ends (final membership)
   std::vector<BackendSimMetrics> per_node;
   DispatcherCounters dispatcher;
+  // Control plane.
+  uint64_t nodes_joined = 0;
+  uint64_t nodes_failed = 0;
+  uint64_t nodes_drained = 0;
+  uint64_t failovers = 0;  // connections re-opened after their node died
 };
 
 class ClusterSim {
@@ -101,6 +127,9 @@ class ClusterSim {
   class DiskQueueStats;
 
   void StartNextSession();
+  void ApplyMembershipEvent(const MembershipEvent& event);
+  // Re-opens a fresh dispatcher connection for a run whose node died.
+  void ReopenIfLost(SessionRun* run);
   void ProcessBatch(SessionRun* run);
   void IssueRequest(SessionRun* run, TargetId target, const Assignment& assignment);
   // Serves one request at `node`: per-request CPU, then (for a model-declared
@@ -133,6 +162,15 @@ class ClusterSim {
   uint64_t total_bytes_ = 0;
   StreamingStats batch_latency_us_;
   bool ran_ = false;
+
+  // Control plane.
+  uint64_t nodes_joined_ = 0;
+  uint64_t nodes_failed_ = 0;
+  uint64_t nodes_drained_ = 0;
+  uint64_t failovers_ = 0;
+  MetricHistogram* metric_batch_latency_ = nullptr;
+  MetricCounter* metric_requests_ = nullptr;
+  MetricCounter* metric_failovers_ = nullptr;
 };
 
 }  // namespace lard

@@ -1,0 +1,149 @@
+#include "src/util/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace lard {
+namespace {
+
+int BucketFor(double value) {
+  if (!(value >= 1.0)) {
+    return 0;  // negatives, NaN and sub-unit samples land in bucket 0
+  }
+  const int bucket = static_cast<int>(std::log2(value));
+  return bucket >= MetricHistogram::kBuckets ? MetricHistogram::kBuckets - 1 : bucket;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  // %.17g round-trips but is noisy; %.6g is plenty for monitoring output.
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+// JSON string escaping for metric names (quotes appear in label syntax).
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void MetricHistogram::Observe(double value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // C++17 has no atomic<double>::fetch_add; CAS-loop the sum.
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value, std::memory_order_relaxed)) {
+  }
+}
+
+double MetricHistogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double MetricHistogram::Percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) {
+    return 0.0;
+  }
+  const double target = static_cast<double>(total) * p / 100.0;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(seen) >= target) {
+      return std::pow(2.0, i + 1);  // bucket upper bound
+    }
+  }
+  return std::pow(2.0, kBuckets);
+}
+
+MetricCounter* MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<MetricCounter>();
+  }
+  return slot.get();
+}
+
+MetricGauge* MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<MetricGauge>();
+  }
+  return slot.get();
+}
+
+MetricHistogram* MetricsRegistry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<MetricHistogram>();
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::WithNode(const std::string& name, int32_t node) {
+  return name + "{node=\"" + std::to_string(node) + "\"}";
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << name << " " << FormatDouble(gauge->value()) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << name << "_count " << histogram->count() << "\n";
+    out << name << "_sum " << FormatDouble(histogram->sum()) << "\n";
+    out << name << "_p50 " << FormatDouble(histogram->Percentile(50)) << "\n";
+    out << name << "_p90 " << FormatDouble(histogram->Percentile(90)) << "\n";
+    out << name << "_p99 " << FormatDouble(histogram->Percentile(99)) << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "" : ",") << JsonQuote(name) << ":" << counter->value();
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "" : ",") << JsonQuote(name) << ":" << FormatDouble(gauge->value());
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "" : ",") << JsonQuote(name) << ":{\"count\":" << histogram->count()
+        << ",\"sum\":" << FormatDouble(histogram->sum())
+        << ",\"p50\":" << FormatDouble(histogram->Percentile(50))
+        << ",\"p90\":" << FormatDouble(histogram->Percentile(90))
+        << ",\"p99\":" << FormatDouble(histogram->Percentile(99)) << "}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace lard

@@ -1,0 +1,101 @@
+// Cluster-wide metrics registry: named counters, gauges and latency
+// histograms that the dispatcher, front-end, back-ends and simulator publish
+// into, and that the admin server renders over HTTP (GET /metrics).
+//
+// Publishing is lock-free after the first lookup: instruments are atomics
+// with stable addresses (callers cache the pointer), so the prototype's hot
+// paths (event-loop threads) pay one relaxed atomic op per update. Lookup and
+// rendering take the registry mutex; rendering sees a consistent-enough
+// snapshot for monitoring (per-instrument atomicity, no cross-instrument
+// barrier — the usual monitoring contract).
+#ifndef SRC_UTIL_METRICS_H_
+#define SRC_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lard {
+
+// Monotonic event count.
+class MetricCounter {
+ public:
+  void Increment(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time value (load, queue length, node count).
+class MetricGauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log2-bucketed latency/size histogram with atomic buckets: bucket i counts
+// samples in [2^i, 2^(i+1)), bucket 0 additionally holds samples < 1.
+// Percentiles are upper bounds of the covering bucket (factor-of-2 accuracy,
+// which is what operational latency monitoring needs).
+class MetricHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  // p in [0, 100]; returns the upper bound of the smallest bucket prefix
+  // covering p% of the samples. 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. The returned pointer is stable for the registry's
+  // lifetime; callers on hot paths should look up once and cache it.
+  // Metric names use prometheus conventions ("lard_requests_total");
+  // per-node instruments append a label ("...{node=\"3\"}" via WithNode).
+  MetricCounter* Counter(const std::string& name);
+  MetricGauge* Gauge(const std::string& name);
+  MetricHistogram* Histogram(const std::string& name);
+
+  // "name{node=\"7\"}" — the one label family the cluster uses.
+  static std::string WithNode(const std::string& name, int32_t node);
+
+  // Plaintext exposition: one "name value" line per instrument, histograms
+  // expanded to _count/_sum/_p50/_p90/_p99 lines. Sorted by name.
+  std::string RenderText() const;
+  // The same data as a JSON object {"counters":{...},"gauges":{...},
+  // "histograms":{"name":{"count":..,"sum":..,"p50":..,"p90":..,"p99":..}}}.
+  std::string RenderJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // node-stable containers: instruments never move once created.
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+}  // namespace lard
+
+#endif  // SRC_UTIL_METRICS_H_

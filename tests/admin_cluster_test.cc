@@ -1,0 +1,231 @@
+// End-to-end control-plane tests on the real prototype cluster: the admin
+// HTTP API over real sockets, drain/remove/add mid-run, heartbeat-driven
+// auto-removal of a killed back-end, and /metrics correctness throughout.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/net/socket.h"
+#include "src/proto/cluster.h"
+#include "src/proto/load_generator.h"
+#include "src/trace/synthetic.h"
+
+namespace lard {
+namespace {
+
+Trace TestTrace(uint64_t seed = 42, int sessions = 150) {
+  SyntheticTraceConfig config;
+  config.seed = seed;
+  config.num_pages = 60;
+  config.num_sessions = sessions;
+  config.num_clients = 16;
+  config.max_size_bytes = 32 * 1024;
+  return GenerateSyntheticTrace(config);
+}
+
+ClusterConfig BaseConfig(int nodes) {
+  ClusterConfig config;
+  config.num_nodes = nodes;
+  config.policy = Policy::kExtendedLard;
+  config.mechanism = Mechanism::kBackEndForwarding;
+  config.backend_cache_bytes = 2ull * 1024 * 1024;
+  config.disk_time_scale = 0.02;
+  config.heartbeat_interval_ms = 50;
+  config.heartbeat_timeout_ms = 400;
+  return config;
+}
+
+// Blocking HTTP/1.0 request against the admin API; returns "<status> <body>".
+std::string AdminHttp(uint16_t port, const std::string& method, const std::string& path,
+                      const std::string& body = "") {
+  auto fd = ConnectTcp(port);
+  if (!fd.ok()) {
+    return "<connect failed>";
+  }
+  const std::string request = method + " " + path + " HTTP/1.0\r\nContent-Length: " +
+                              std::to_string(body.size()) + "\r\n\r\n" + body;
+  if (::send(fd.value().get(), request.data(), request.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(request.size())) {
+    return "<send failed>";
+  }
+  std::string reply;
+  char buf[16384];
+  ssize_t n;
+  while ((n = ::recv(fd.value().get(), buf, sizeof(buf), 0)) > 0) {
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = reply.find("\r\n");
+  const size_t header_end = reply.find("\r\n\r\n");
+  if (line_end == std::string::npos || header_end == std::string::npos) {
+    return reply;
+  }
+  // "HTTP/1.0 200 OK" -> "200", plus the body.
+  const std::string status_line = reply.substr(0, line_end);
+  const size_t space = status_line.find(' ');
+  return status_line.substr(space + 1, 3) + " " + reply.substr(header_end + 4);
+}
+
+TEST(AdminClusterTest, MetricsAndNodesEndpoints) {
+  const Trace trace = TestTrace();
+  Cluster cluster(BaseConfig(3), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  LoadGeneratorConfig load;
+  load.port = cluster.port();
+  load.num_clients = 8;
+  const LoadResult result = RunLoad(load, trace);
+  EXPECT_EQ(result.responses_ok, trace.total_requests());
+
+  const std::string index = AdminHttp(cluster.admin_port(), "GET", "/");
+  EXPECT_NE(index.find("200"), std::string::npos);
+  EXPECT_NE(index.find("/metrics"), std::string::npos);
+
+  const std::string metrics = AdminHttp(cluster.admin_port(), "GET", "/metrics");
+  ASSERT_EQ(metrics.substr(0, 3), "200");
+  // Per-node counters from all three back-ends, front-end counters, and the
+  // dispatcher bridge must all be present.
+  EXPECT_NE(metrics.find("lard_backend_requests_total{node=\"0\"}"), std::string::npos);
+  EXPECT_NE(metrics.find("lard_backend_cache_hits_total{node=\"2\"}"), std::string::npos);
+  EXPECT_NE(metrics.find("lard_fe_handoffs_total{node=\"1\"}"), std::string::npos);
+  EXPECT_NE(metrics.find("lard_node_load{node=\"0\"}"), std::string::npos);
+  EXPECT_NE(metrics.find("lard_cluster_active_nodes 3"), std::string::npos);
+  EXPECT_NE(metrics.find("lard_dispatcher_requests"), std::string::npos);
+  EXPECT_NE(metrics.find("lard_backend_heartbeats_total{node=\"0\"}"), std::string::npos);
+
+  const std::string json = AdminHttp(cluster.admin_port(), "GET", "/metrics?format=json");
+  ASSERT_EQ(json.substr(0, 3), "200");
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+
+  const std::string nodes = AdminHttp(cluster.admin_port(), "GET", "/nodes");
+  ASSERT_EQ(nodes.substr(0, 3), "200");
+  EXPECT_NE(nodes.find("\"active_nodes\":3"), std::string::npos);
+  EXPECT_NE(nodes.find("\"id\":2"), std::string::npos);
+  EXPECT_NE(nodes.find("\"state\":\"active\""), std::string::npos);
+
+  EXPECT_NE(AdminHttp(cluster.admin_port(), "GET", "/no/such").substr(0, 3), "200");
+  cluster.Stop();
+}
+
+TEST(AdminClusterTest, DrainNodeMidRunFinishesCleanly) {
+  const Trace trace = TestTrace(7, 300);
+  Cluster cluster(BaseConfig(3), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // Drive load in the background; drain node 1 via the admin API mid-run.
+  LoadResult result;
+  std::thread load_thread([&]() {
+    LoadGeneratorConfig load;
+    load.port = cluster.port();
+    load.num_clients = 8;
+    load.recv_timeout_ms = 5000;
+    result = RunLoad(load, trace);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const std::string drained = AdminHttp(cluster.admin_port(), "POST", "/nodes/1/drain");
+  EXPECT_EQ(drained.substr(0, 3), "200") << drained;
+  load_thread.join();
+
+  // Every request still answered correctly: the draining node finished its
+  // active persistent connections.
+  EXPECT_EQ(result.responses_ok, trace.total_requests());
+  EXPECT_EQ(result.transport_errors, 0u);
+
+  const std::string nodes = AdminHttp(cluster.admin_port(), "GET", "/nodes");
+  EXPECT_NE(nodes.find("\"state\":\"draining\""), std::string::npos);
+  EXPECT_NE(nodes.find("\"active_nodes\":2"), std::string::npos);
+
+  // Draining twice is refused (409), as is draining a bogus id.
+  EXPECT_EQ(AdminHttp(cluster.admin_port(), "POST", "/nodes/1/drain").substr(0, 3), "409");
+  EXPECT_NE(AdminHttp(cluster.admin_port(), "POST", "/nodes/99/drain").substr(0, 3), "200");
+  cluster.Stop();
+}
+
+TEST(AdminClusterTest, KilledBackendIsAutoRemovedByHeartbeats) {
+  const Trace trace = TestTrace(13, 400);
+  Cluster cluster(BaseConfig(3), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  LoadResult result;
+  std::thread load_thread([&]() {
+    LoadGeneratorConfig load;
+    load.port = cluster.port();
+    load.num_clients = 8;
+    load.recv_timeout_ms = 2000;  // stranded connections must not hang
+    result = RunLoad(load, trace);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_TRUE(cluster.KillNode(2));
+
+  // Heartbeats stop; within the timeout the front-end must declare node 2
+  // dead and evict it.
+  bool removed = false;
+  for (int i = 0; i < 100 && !removed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    removed = cluster.Snapshot().auto_removals > 0;
+  }
+  EXPECT_TRUE(removed) << "killed node was never auto-removed";
+  load_thread.join();
+
+  const std::string nodes = AdminHttp(cluster.admin_port(), "GET", "/nodes");
+  EXPECT_NE(nodes.find("\"id\":2,\"state\":\"dead\""), std::string::npos) << nodes;
+
+  // The cluster kept serving: every request either succeeded or failed fast
+  // on the killed node's sockets, and the survivors answered the rest.
+  EXPECT_GT(result.responses_ok, 0u);
+  EXPECT_EQ(result.responses_bad, 0u);
+  // New traffic after the removal is fine (same catalog, fresh sessions).
+  LoadGeneratorConfig after;
+  after.port = cluster.port();
+  after.num_clients = 4;
+  after.max_sessions = 40;
+  const LoadResult post = RunLoad(after, trace);
+  EXPECT_EQ(post.transport_errors, 0u);
+  EXPECT_GT(post.responses_ok, 0u);
+  cluster.Stop();
+}
+
+TEST(AdminClusterTest, AddNodeJoinsAndTakesTraffic) {
+  const Trace trace = TestTrace(21, 200);
+  Cluster cluster(BaseConfig(2), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const std::string added = AdminHttp(cluster.admin_port(), "POST", "/nodes/add");
+  ASSERT_EQ(added.substr(0, 3), "200") << added;
+  EXPECT_NE(added.find("\"id\":2"), std::string::npos);
+
+  LoadGeneratorConfig load;
+  load.port = cluster.port();
+  load.num_clients = 8;
+  const LoadResult result = RunLoad(load, trace);
+  EXPECT_EQ(result.responses_ok, trace.total_requests());
+  EXPECT_EQ(result.transport_errors, 0u);
+
+  const ClusterSnapshot snapshot = cluster.Snapshot();
+  ASSERT_EQ(snapshot.requests_per_node.size(), 3u);
+  EXPECT_GT(snapshot.requests_per_node[2], 0u) << "joined node took no traffic";
+  cluster.Stop();
+}
+
+TEST(AdminClusterTest, PolicySwitchAtRuntime) {
+  const Trace trace = TestTrace(31, 100);
+  Cluster cluster(BaseConfig(2), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  EXPECT_EQ(AdminHttp(cluster.admin_port(), "POST", "/policy", "wrr").substr(0, 3), "200");
+  const std::string nodes = AdminHttp(cluster.admin_port(), "GET", "/nodes");
+  EXPECT_NE(nodes.find("\"policy\":\"WRR\""), std::string::npos) << nodes;
+  EXPECT_EQ(AdminHttp(cluster.admin_port(), "POST", "/policy", "bogus").substr(0, 3), "400");
+
+  LoadGeneratorConfig load;
+  load.port = cluster.port();
+  load.num_clients = 6;
+  const LoadResult result = RunLoad(load, trace);
+  EXPECT_EQ(result.responses_ok, trace.total_requests());
+  cluster.Stop();
+}
+
+}  // namespace
+}  // namespace lard

@@ -1,0 +1,236 @@
+// Control-plane semantics of the shared dispatcher: AddNode / DrainNode /
+// RemoveNode, assignment eligibility, virtual-cache eviction, orphaned
+// connections and load-accounting integrity across membership changes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/dispatcher.h"
+#include "src/util/metrics.h"
+
+namespace lard {
+namespace {
+
+class MembershipTest : public ::testing::Test {
+ protected:
+  MembershipTest() {
+    for (int i = 0; i < 16; ++i) {
+      targets_.push_back(
+          catalog_.Intern("/page" + std::to_string(i) + ".html", 8 * 1024));
+    }
+  }
+
+  Dispatcher MakeDispatcher(int nodes, Policy policy = Policy::kLard,
+                            Mechanism mechanism = Mechanism::kSingleHandoff) {
+    DispatcherConfig config;
+    config.policy = policy;
+    config.mechanism = mechanism;
+    config.num_nodes = nodes;
+    config.virtual_cache_bytes = 1024 * 1024;
+    return Dispatcher(config, &catalog_, &stats_);
+  }
+
+  // Opens a connection and returns the node its first batch lands on.
+  NodeId Open(Dispatcher& dispatcher, ConnId conn, TargetId target) {
+    dispatcher.OnConnectionOpen(conn);
+    const auto assignments = dispatcher.OnBatch(conn, {target});
+    EXPECT_EQ(assignments.size(), 1u);
+    EXPECT_EQ(assignments[0].action, AssignmentAction::kHandoff);
+    return assignments[0].node;
+  }
+
+  TargetCatalog catalog_;
+  NullBackendStats stats_;
+  std::vector<TargetId> targets_;
+};
+
+TEST_F(MembershipTest, AddNodeAllocatesFreshAssignableIds) {
+  Dispatcher dispatcher = MakeDispatcher(2);
+  EXPECT_EQ(dispatcher.num_node_slots(), 2);
+  EXPECT_EQ(dispatcher.active_node_count(), 2);
+  const NodeId fresh = dispatcher.AddNode();
+  EXPECT_EQ(fresh, 2);
+  EXPECT_EQ(dispatcher.node_state(fresh), NodeState::kActive);
+  EXPECT_EQ(dispatcher.active_node_count(), 3);
+  EXPECT_DOUBLE_EQ(dispatcher.NodeLoad(fresh), 0.0);
+  EXPECT_EQ(dispatcher.counters().nodes_added, 1u);  // initial nodes don't count
+
+  // The new node participates in placement: with WRR and 3 nodes, three
+  // simultaneous connections spread one per node.
+  Dispatcher wrr = MakeDispatcher(2, Policy::kWrr);
+  wrr.AddNode();
+  std::vector<bool> seen(3, false);
+  for (ConnId conn = 1; conn <= 3; ++conn) {
+    seen[static_cast<size_t>(Open(wrr, conn, targets_[conn]))] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST_F(MembershipTest, DrainStopsNewAssignmentsButKeepsConnections) {
+  Dispatcher dispatcher = MakeDispatcher(2, Policy::kWrr);
+  const NodeId handling = Open(dispatcher, 1, targets_[0]);
+
+  ASSERT_TRUE(dispatcher.DrainNode(handling));
+  EXPECT_EQ(dispatcher.node_state(handling), NodeState::kDraining);
+  EXPECT_EQ(dispatcher.counters().nodes_drained, 1u);
+
+  // No new connection may land on the draining node...
+  for (ConnId conn = 10; conn < 20; ++conn) {
+    EXPECT_NE(Open(dispatcher, conn, targets_[conn % targets_.size()]), handling);
+  }
+  // ...but the existing connection keeps being served there.
+  const auto assignments = dispatcher.OnBatch(1, {targets_[1], targets_[2]});
+  for (const Assignment& assignment : assignments) {
+    EXPECT_EQ(assignment.node, handling);
+    EXPECT_EQ(assignment.action, AssignmentAction::kServeLocal);
+  }
+  dispatcher.OnConnectionClose(1);
+  EXPECT_DOUBLE_EQ(dispatcher.NodeLoad(handling), 0.0);
+}
+
+TEST_F(MembershipTest, DrainRefusesLastActiveNodeAndBadIds) {
+  Dispatcher dispatcher = MakeDispatcher(2);
+  EXPECT_FALSE(dispatcher.DrainNode(-1));
+  EXPECT_FALSE(dispatcher.DrainNode(7));
+  EXPECT_TRUE(dispatcher.DrainNode(0));
+  EXPECT_FALSE(dispatcher.DrainNode(0));  // already draining
+  EXPECT_FALSE(dispatcher.DrainNode(1));  // last active node
+  EXPECT_EQ(dispatcher.active_node_count(), 1);
+}
+
+TEST_F(MembershipTest, ExtendedLardNeverForwardsToDrainingNode) {
+  // Node A caches a target; drain A; a connection on B with a busy disk must
+  // not forward to A even though A has the only cached copy.
+  class BusyDisk : public BackendStatsProvider {
+   public:
+    int DiskQueueLength(NodeId) const override { return 100; }
+  };
+  BusyDisk busy;
+  DispatcherConfig config;
+  config.policy = Policy::kExtendedLard;
+  config.mechanism = Mechanism::kBackEndForwarding;
+  config.num_nodes = 2;
+  config.virtual_cache_bytes = 1024 * 1024;
+  Dispatcher dispatcher(config, &catalog_, &busy);
+
+  // Warm target 0 onto node 0 via a dedicated connection.
+  dispatcher.OnConnectionOpen(1);
+  NodeId warm_node = dispatcher.OnBatch(1, {targets_[0]})[0].node;
+  dispatcher.OnConnectionClose(1);
+  ASSERT_TRUE(dispatcher.TargetCachedAt(warm_node, targets_[0]));
+
+  const NodeId other = warm_node == 0 ? 1 : 0;
+  // A connection handled on the *other* node, asking for the warmed target
+  // with a busy disk: before the drain this forwards to warm_node.
+  dispatcher.OnConnectionOpen(2);
+  (void)dispatcher.OnBatch(2, {targets_[5]});
+  ASSERT_EQ(dispatcher.HandlingNode(2), other) << "LARD should spread cold targets";
+  auto before = dispatcher.OnBatch(2, {targets_[0]});
+  EXPECT_EQ(before[0].action, AssignmentAction::kForward);
+  EXPECT_EQ(before[0].node, warm_node);
+
+  // After draining warm_node the same request must be served locally.
+  ASSERT_TRUE(dispatcher.DrainNode(warm_node));
+  auto after = dispatcher.OnBatch(2, {targets_[0]});
+  EXPECT_EQ(after[0].action, AssignmentAction::kServeLocal);
+  EXPECT_EQ(after[0].node, other);
+}
+
+TEST_F(MembershipTest, RemoveNodeEvictsCacheAndOrphansConnections) {
+  Dispatcher dispatcher = MakeDispatcher(3, Policy::kWrr);
+  const NodeId victim = Open(dispatcher, 1, targets_[0]);
+  ASSERT_TRUE(dispatcher.TargetCachedAt(victim, targets_[0]));
+  EXPECT_GT(dispatcher.NodeLoad(victim), 0.0);
+
+  std::vector<ConnId> orphans;
+  ASSERT_TRUE(dispatcher.RemoveNode(victim, &orphans));
+  EXPECT_EQ(dispatcher.node_state(victim), NodeState::kDead);
+  EXPECT_EQ(orphans, std::vector<ConnId>{1});
+  EXPECT_EQ(dispatcher.counters().orphaned_connections, 1u);
+  // Virtual cache evicted, load zeroed, state forgotten.
+  EXPECT_FALSE(dispatcher.TargetCachedAt(victim, targets_[0]));
+  EXPECT_EQ(dispatcher.VirtualCacheBytes(victim), 0u);
+  EXPECT_DOUBLE_EQ(dispatcher.NodeLoad(victim), 0.0);
+  EXPECT_EQ(dispatcher.HandlingNode(1), kInvalidNode);
+  EXPECT_EQ(dispatcher.open_connections(), 0u);
+
+  // Idempotent; id not recycled by a later AddNode.
+  EXPECT_FALSE(dispatcher.RemoveNode(victim));
+  EXPECT_NE(dispatcher.AddNode(), victim);
+
+  // New placements never land on the dead node.
+  for (ConnId conn = 50; conn < 60; ++conn) {
+    EXPECT_NE(Open(dispatcher, conn, targets_[conn % targets_.size()]), victim);
+  }
+}
+
+TEST_F(MembershipTest, RemoveReleasesRemoteFractionsOnSurvivors) {
+  // A connection on node A forwarding to node B parks 1/N load on B. If *A*
+  // dies, B's fractional load must be released with the orphaned connection.
+  class BusyDisk : public BackendStatsProvider {
+   public:
+    int DiskQueueLength(NodeId) const override { return 100; }
+  };
+  BusyDisk busy;
+  DispatcherConfig config;
+  config.policy = Policy::kExtendedLard;
+  config.mechanism = Mechanism::kBackEndForwarding;
+  config.num_nodes = 2;
+  config.virtual_cache_bytes = 1024 * 1024;
+  Dispatcher dispatcher(config, &catalog_, &busy);
+
+  dispatcher.OnConnectionOpen(1);
+  const NodeId warm_node = dispatcher.OnBatch(1, {targets_[0]})[0].node;
+  dispatcher.OnConnectionClose(1);
+  const NodeId other = warm_node == 0 ? 1 : 0;
+
+  dispatcher.OnConnectionOpen(2);
+  (void)dispatcher.OnBatch(2, {targets_[5]});
+  ASSERT_EQ(dispatcher.HandlingNode(2), other);
+  auto assignments = dispatcher.OnBatch(2, {targets_[0]});
+  ASSERT_EQ(assignments[0].action, AssignmentAction::kForward);
+  const double warm_load_with_fraction = dispatcher.NodeLoad(warm_node);
+  EXPECT_GT(warm_load_with_fraction, 0.0);
+
+  std::vector<ConnId> orphans;
+  ASSERT_TRUE(dispatcher.RemoveNode(other, &orphans));
+  EXPECT_EQ(orphans, std::vector<ConnId>{2});
+  // The survivor's fractional load from the dead connection is gone.
+  EXPECT_DOUBLE_EQ(dispatcher.NodeLoad(warm_node), 0.0);
+}
+
+TEST_F(MembershipTest, SetPolicyTakesEffectOnFutureDecisions) {
+  Dispatcher dispatcher = MakeDispatcher(2, Policy::kLard);
+  // LARD sends repeat requests for one target to one node.
+  const NodeId first = Open(dispatcher, 1, targets_[0]);
+  dispatcher.OnConnectionClose(1);
+  const NodeId second = Open(dispatcher, 2, targets_[0]);
+  dispatcher.OnConnectionClose(2);
+  EXPECT_EQ(first, second);
+
+  dispatcher.SetPolicy(Policy::kWrr);
+  EXPECT_EQ(dispatcher.config().policy, Policy::kWrr);
+  // WRR rotates on an idle cluster regardless of cache affinity.
+  const NodeId third = Open(dispatcher, 3, targets_[0]);
+  const NodeId fourth = Open(dispatcher, 4, targets_[0]);
+  EXPECT_NE(third, fourth);
+}
+
+TEST_F(MembershipTest, LoadGaugesTrackMembership) {
+  MetricsRegistry registry;
+  DispatcherConfig config;
+  config.policy = Policy::kWrr;
+  config.mechanism = Mechanism::kSingleHandoff;
+  config.num_nodes = 1;
+  config.metrics = &registry;
+  Dispatcher dispatcher(config, &catalog_, &stats_);
+  dispatcher.OnConnectionOpen(1);
+  (void)dispatcher.OnBatch(1, {targets_[0]});
+  EXPECT_DOUBLE_EQ(registry.Gauge(MetricsRegistry::WithNode("lard_node_load", 0))->value(), 1.0);
+  std::vector<ConnId> orphans;
+  ASSERT_TRUE(dispatcher.RemoveNode(0, &orphans));
+  EXPECT_DOUBLE_EQ(registry.Gauge(MetricsRegistry::WithNode("lard_node_load", 0))->value(), 0.0);
+}
+
+}  // namespace
+}  // namespace lard

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/util/metrics.h"
+
+namespace lard {
+namespace {
+
+TEST(MetricsTest, CounterFindOrCreateIsStable) {
+  MetricsRegistry registry;
+  MetricCounter* counter = registry.Counter("lard_test_total");
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(registry.Counter("lard_test_total"), counter);
+  EXPECT_EQ(counter->value(), 42u);
+}
+
+TEST(MetricsTest, GaugeSetsAndOverwrites) {
+  MetricsRegistry registry;
+  MetricGauge* gauge = registry.Gauge("lard_test_load");
+  gauge->Set(3.5);
+  gauge->Set(-1.25);
+  EXPECT_DOUBLE_EQ(registry.Gauge("lard_test_load")->value(), -1.25);
+}
+
+TEST(MetricsTest, WithNodeFormatsLabel) {
+  EXPECT_EQ(MetricsRegistry::WithNode("lard_node_load", 7), "lard_node_load{node=\"7\"}");
+}
+
+TEST(MetricsTest, HistogramPercentilesBracketTheData) {
+  MetricsRegistry registry;
+  MetricHistogram* histogram = registry.Histogram("lard_test_us");
+  // 900 samples near 100, 100 samples near 100000: p50 must bracket 100,
+  // p99 must bracket 100000 (log2 buckets give factor-of-2 upper bounds).
+  for (int i = 0; i < 900; ++i) {
+    histogram->Observe(100.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    histogram->Observe(100000.0);
+  }
+  EXPECT_EQ(histogram->count(), 1000u);
+  EXPECT_NEAR(histogram->sum(), 900 * 100.0 + 100 * 100000.0, 1.0);
+  const double p50 = histogram->Percentile(50);
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, 256.0);
+  const double p99 = histogram->Percentile(99);
+  EXPECT_GE(p99, 100000.0);
+  EXPECT_LE(p99, 262144.0);
+  // Percentiles are monotone in p.
+  EXPECT_LE(histogram->Percentile(10), histogram->Percentile(90));
+}
+
+TEST(MetricsTest, HistogramHandlesEdgeSamples) {
+  MetricHistogram histogram;
+  histogram.Observe(0.0);
+  histogram.Observe(-5.0);
+  histogram.Observe(0.25);
+  histogram.Observe(std::nan(""));
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_GT(histogram.Percentile(100), 0.0);  // everything landed in bucket 0
+  EXPECT_LE(histogram.Percentile(100), 2.0);
+}
+
+TEST(MetricsTest, ConcurrentPublishFromManyThreads) {
+  // The dispatcher thread, N back-end threads and the admin renderer all hit
+  // the registry at once; counts must not be lost and rendering must not
+  // crash mid-publish.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry]() {
+      MetricCounter* counter = registry.Counter("lard_concurrent_total");
+      MetricHistogram* histogram = registry.Histogram("lard_concurrent_us");
+      for (int i = 0; i < kIncrements; ++i) {
+        counter->Increment();
+        histogram->Observe(static_cast<double>(i % 1024));
+        if (i % 4096 == 0) {
+          (void)registry.RenderText();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.Counter("lard_concurrent_total")->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(registry.Histogram("lard_concurrent_us")->count(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsTest, RenderTextContainsAllInstruments) {
+  MetricsRegistry registry;
+  registry.Counter("b_counter")->Increment(5);
+  registry.Gauge("a_gauge")->Set(1.5);
+  registry.Histogram("c_hist")->Observe(10.0);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("b_counter 5\n"), std::string::npos);
+  EXPECT_NE(text.find("a_gauge 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("c_hist_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("c_hist_sum 10\n"), std::string::npos);
+  EXPECT_NE(text.find("c_hist_p99"), std::string::npos);
+}
+
+TEST(MetricsTest, RenderJsonIsWellFormedEnough) {
+  MetricsRegistry registry;
+  registry.Counter(MetricsRegistry::WithNode("lard_backend_requests_total", 3))->Increment(9);
+  registry.Gauge("lard_cluster_active_nodes")->Set(4);
+  registry.Histogram("lard_sim_batch_latency_us")->Observe(123.0);
+  const std::string json = registry.RenderJson();
+  // Label quotes must be escaped inside the JSON key.
+  EXPECT_NE(json.find("\"lard_backend_requests_total{node=\\\"3\\\"}\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"lard_cluster_active_nodes\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace lard

@@ -175,6 +175,175 @@ TEST(ControlProtocolTest, DecodeRejectsTruncation) {
   EXPECT_FALSE(DecodeU64("abc", &v));
 }
 
+TEST(ControlProtocolTest, HeartbeatRoundTrips) {
+  HeartbeatMsg msg;
+  msg.seq = 0x123456789abcull;
+  msg.disk_queue_len = 17;
+  msg.active_conns = 42;
+  HeartbeatMsg decoded;
+  ASSERT_TRUE(DecodeHeartbeat(EncodeHeartbeat(msg), &decoded));
+  EXPECT_EQ(decoded.seq, msg.seq);
+  EXPECT_EQ(decoded.disk_queue_len, 17u);
+  EXPECT_EQ(decoded.active_conns, 42u);
+}
+
+// --- Decoder robustness: truncations and garbage against every decoder ---
+
+// Valid encodings of every control message, used as truncation baselines.
+std::vector<std::string> ValidEncodings() {
+  HandoffMsg handoff;
+  handoff.conn_id = 7;
+  RequestDirective directive;
+  directive.action = DirectiveAction::kLateral;
+  directive.path = "/__be1/x.html";
+  handoff.directives = {directive, directive};
+  handoff.unparsed_input = "GET /tail";
+
+  HandbackMsg handback;
+  handback.conn_id = 8;
+  handback.target_node = 1;
+  handback.directives = {directive};
+  handback.replay_input = "GET /y HTTP/1.1\r\n\r\n";
+
+  ConsultMsg consult;
+  consult.conn_id = 9;
+  consult.disk_queue_len = 3;
+  consult.paths = {"/a", "/b", "/c"};
+
+  AssignmentsMsg assignments;
+  assignments.conn_id = 10;
+  assignments.directives = {directive};
+
+  HeartbeatMsg heartbeat;
+  heartbeat.seq = 11;
+
+  return {EncodeHandoff(handoff), EncodeHandback(handback),   EncodeConsult(consult),
+          EncodeAssignments(assignments), EncodeHeartbeat(heartbeat), EncodeU64(12),
+          EncodeU32(13)};
+}
+
+// Runs every decoder over `payload`; none may crash, over-read, or report
+// success-plus-garbage for inputs the encoders cannot produce.
+void DecodeWithAll(std::string_view payload) {
+  HandoffMsg handoff;
+  (void)DecodeHandoff(payload, &handoff);
+  HandbackMsg handback;
+  (void)DecodeHandback(payload, &handback);
+  ConsultMsg consult;
+  (void)DecodeConsult(payload, &consult);
+  AssignmentsMsg assignments;
+  (void)DecodeAssignments(payload, &assignments);
+  HeartbeatMsg heartbeat;
+  (void)DecodeHeartbeat(payload, &heartbeat);
+  uint64_t v64;
+  (void)DecodeU64(payload, &v64);
+  uint32_t v32;
+  (void)DecodeU32(payload, &v32);
+}
+
+TEST(ControlProtocolRobustnessTest, EveryPrefixOfEveryMessageFailsCleanly) {
+  const std::vector<std::string> encodings = ValidEncodings();
+  for (size_t msg = 0; msg < encodings.size(); ++msg) {
+    const std::string& encoded = encodings[msg];
+    for (size_t len = 0; len < encoded.size(); ++len) {
+      const std::string_view prefix(encoded.data(), len);
+      // A strict prefix of message type T must never decode as T (all our
+      // messages have fixed trailing fields, so Complete() cannot hold).
+      DecodeWithAll(prefix);
+      if (msg == 0) {
+        HandoffMsg handoff;
+        EXPECT_FALSE(DecodeHandoff(prefix, &handoff)) << "prefix length " << len;
+      }
+      if (msg == 2) {
+        ConsultMsg consult;
+        EXPECT_FALSE(DecodeConsult(prefix, &consult)) << "prefix length " << len;
+      }
+    }
+  }
+}
+
+TEST(ControlProtocolRobustnessTest, DeterministicGarbageNeverCrashes) {
+  // xorshift-ish deterministic byte soup, many lengths, all decoders.
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next_byte = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<char>(state & 0xff);
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    const size_t len = (round * 7) % 96;
+    garbage.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(next_byte());
+    }
+    DecodeWithAll(garbage);
+  }
+}
+
+TEST(ControlProtocolRobustnessTest, HugeDeclaredCountsFailFast) {
+  // A handoff whose directive count claims 2^20-1 entries but carries no
+  // bytes must fail before reserving gigabytes.
+  WireWriter writer;
+  writer.U64(1);                  // conn_id
+  writer.U8(0);                   // autonomous
+  writer.U32((1u << 20) - 1);     // directive count, no directive bytes
+  HandoffMsg handoff;
+  EXPECT_FALSE(DecodeHandoff(writer.bytes(), &handoff));
+  EXPECT_TRUE(handoff.directives.empty());
+
+  WireWriter consult_writer;
+  consult_writer.U64(1);          // conn_id
+  consult_writer.U32(0);          // disk queue
+  consult_writer.U32(0xffffffff); // path count
+  ConsultMsg consult;
+  EXPECT_FALSE(DecodeConsult(consult_writer.bytes(), &consult));
+  EXPECT_TRUE(consult.paths.empty());
+}
+
+TEST(ControlProtocolRobustnessTest, FlippedBytesNeverDecodeOutOfRangeActions) {
+  // Flip each byte of a valid handoff in turn: decode either fails or yields
+  // only in-range directive actions (the decoders' validation contract).
+  HandoffMsg msg;
+  msg.conn_id = 5;
+  RequestDirective directive;
+  directive.path = "/p.html";
+  msg.directives = {directive};
+  const std::string encoded = EncodeHandoff(msg);
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    std::string mutated = encoded;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x5a);
+    HandoffMsg decoded;
+    if (DecodeHandoff(mutated, &decoded)) {
+      for (const RequestDirective& d : decoded.directives) {
+        EXPECT_LE(static_cast<uint8_t>(d.action),
+                  static_cast<uint8_t>(DirectiveAction::kMigrate));
+      }
+    }
+  }
+}
+
+TEST(ControlProtocolRobustnessTest, TrailingJunkIsRejected) {
+  // Each decoder must reject its own valid encoding with a byte appended
+  // (framing guarantees exact payloads; Complete() enforces it).
+  const std::vector<std::string> encodings = ValidEncodings();
+  HandoffMsg handoff;
+  EXPECT_FALSE(DecodeHandoff(encodings[0] + "!", &handoff));
+  HandbackMsg handback;
+  EXPECT_FALSE(DecodeHandback(encodings[1] + "!", &handback));
+  ConsultMsg consult;
+  EXPECT_FALSE(DecodeConsult(encodings[2] + "!", &consult));
+  AssignmentsMsg assignments;
+  EXPECT_FALSE(DecodeAssignments(encodings[3] + "!", &assignments));
+  HeartbeatMsg heartbeat;
+  EXPECT_FALSE(DecodeHeartbeat(encodings[4] + "!", &heartbeat));
+  uint64_t v64;
+  EXPECT_FALSE(DecodeU64(encodings[5] + "!", &v64));
+  uint32_t v32;
+  EXPECT_FALSE(DecodeU32(encodings[6] + "!", &v32));
+}
+
 // --- ContentStore ---
 
 TEST(ContentStoreTest, BodyMatchesExpectedHelper) {
