@@ -25,6 +25,7 @@ NodeId Dispatcher::AddNode() {
   load_.push_back(0.0);
   vcaches_.emplace_back(config_.virtual_cache_bytes);
   states_.push_back(NodeState::kActive);
+  handled_counts_.push_back(0);
   load_gauges_.push_back(
       config_.metrics == nullptr
           ? nullptr
@@ -67,6 +68,7 @@ bool Dispatcher::RemoveNode(NodeId node, std::vector<ConnId>* orphans) {
     ConnState& state = conns_[conn];
     state.active = false;  // the 1-unit load dies with the node's counter
     ReleaseBatchLoads(state);
+    SetHandling(state, kInvalidNode);
     conns_.erase(conn);
     ++counters_.orphaned_connections;
     if (orphans != nullptr) {
@@ -78,6 +80,51 @@ bool Dispatcher::RemoveNode(NodeId node, std::vector<ConnId>* orphans) {
     load_gauges_[static_cast<size_t>(node)]->Set(0.0);
   }
   return true;
+}
+
+NodeId Dispatcher::ReassignConnection(ConnId conn, const std::vector<TargetId>& pending_targets) {
+  auto it = conns_.find(conn);
+  if (it == conns_.end() || active_node_count() == 0) {
+    return kInvalidNode;
+  }
+  ConnState& conn_state = it->second;
+  const NodeId old_node = conn_state.handling;
+
+  // Place like a fresh connection: cache affinity on the first pending target
+  // when there is one, least-loaded WRR otherwise.
+  TargetId affinity = kInvalidTarget;
+  for (const TargetId target : pending_targets) {
+    if (target != kInvalidTarget) {
+      affinity = target;
+      break;
+    }
+  }
+  const NodeId new_node = affinity != kInvalidTarget ? PickFirstNode(affinity) : PickWrr();
+  if (new_node == kInvalidNode) {
+    return kInvalidNode;
+  }
+
+  if (new_node != old_node && conn_state.active) {
+    if (old_node != kInvalidNode && !Dead(old_node)) {
+      AddLoad(old_node, -1.0);
+    }
+    AddLoad(new_node, 1.0);
+  }
+  SetHandling(conn_state, new_node);
+
+  // Seed the new node's model: the targets this connection is about to fetch
+  // there will be resident once served.
+  for (const TargetId target : pending_targets) {
+    if (target == kInvalidTarget) {
+      continue;
+    }
+    LruCache& cache = vcaches_[static_cast<size_t>(new_node)];
+    if (!cache.Touch(target)) {
+      cache.Insert(target, SizeOf(target));
+    }
+  }
+  ++counters_.reassignments;
+  return new_node;
 }
 
 void Dispatcher::SetPolicy(Policy policy) { config_.policy = policy; }
@@ -95,6 +142,18 @@ int Dispatcher::active_node_count() const {
 NodeState Dispatcher::node_state(NodeId node) const {
   LARD_CHECK(node >= 0 && node < num_node_slots());
   return states_[static_cast<size_t>(node)];
+}
+
+void Dispatcher::SetHandling(ConnState& conn_state, NodeId node) {
+  if (conn_state.handling != kInvalidNode) {
+    uint64_t& count = handled_counts_[static_cast<size_t>(conn_state.handling)];
+    LARD_CHECK(count > 0) << "handled-connection count underflow";
+    --count;
+  }
+  if (node != kInvalidNode) {
+    ++handled_counts_[static_cast<size_t>(node)];
+  }
+  conn_state.handling = node;
 }
 
 void Dispatcher::AddLoad(NodeId node, double delta) {
@@ -149,7 +208,7 @@ std::vector<Assignment> Dispatcher::OnBatch(ConnId conn, const std::vector<Targe
       } else if (conn_state.handling == kInvalidNode) {
         assignment.action = AssignmentAction::kHandoff;
         assignment.node = PickWrr();
-        conn_state.handling = assignment.node;
+        SetHandling(conn_state, assignment.node);
         ++counters_.handoffs;
       } else {
         assignment.node = conn_state.handling;
@@ -173,7 +232,7 @@ std::vector<Assignment> Dispatcher::OnBatch(ConnId conn, const std::vector<Targe
       assignment.action = AssignmentAction::kHandoff;
       assignment.node = PickFirstNode(target);
       assignment.served_from_cache = Cached(assignment.node, target);
-      conn_state.handling = assignment.node;
+      SetHandling(conn_state, assignment.node);
       ++counters_.handoffs;
     } else {
       assignment = DecideSubsequent(conn_state, target);
@@ -287,7 +346,7 @@ Assignment Dispatcher::DecideSubsequent(ConnState& conn_state, TargetId target) 
       AddLoad(conn_state.handling, -1.0);
       AddLoad(best, 1.0);
     }
-    conn_state.handling = best;
+    SetHandling(conn_state, best);
   }
   return assignment;
 }
@@ -398,6 +457,7 @@ void Dispatcher::OnConnectionClose(ConnId conn) {
   auto it = conns_.find(conn);
   LARD_CHECK(it != conns_.end()) << "OnConnectionClose for unknown connection " << conn;
   OnConnectionIdle(conn);
+  SetHandling(it->second, kInvalidNode);
   conns_.erase(conn);
 }
 
@@ -409,6 +469,13 @@ double Dispatcher::NodeLoad(NodeId node) const {
 NodeId Dispatcher::HandlingNode(ConnId conn) const {
   auto it = conns_.find(conn);
   return it == conns_.end() ? kInvalidNode : it->second.handling;
+}
+
+size_t Dispatcher::ConnectionCountOn(NodeId node) const {
+  if (node < 0 || node >= num_node_slots()) {
+    return 0;
+  }
+  return static_cast<size_t>(handled_counts_[static_cast<size_t>(node)]);
 }
 
 bool Dispatcher::TargetCachedAt(NodeId node, TargetId target) const {

@@ -68,6 +68,7 @@ struct DispatcherCounters {
   uint64_t nodes_drained = 0;
   uint64_t nodes_removed = 0;
   uint64_t orphaned_connections = 0;  // open conns whose handling node died
+  uint64_t reassignments = 0;  // connections moved off a draining/retiring node
 };
 
 class Dispatcher {
@@ -120,6 +121,17 @@ class Dispatcher {
   // node is added (see active_node_count()).
   bool RemoveNode(NodeId node, std::vector<ConnId>* orphans = nullptr);
 
+  // Moves `conn` onto a fresh assignable node — the reverse-handoff path: a
+  // draining or retiring back-end gave the connection back to the front-end,
+  // which asks for a new placement instead of orphaning the state. Preserves
+  // the connection's accounting: an active 1-unit load moves from the old
+  // handling node to the new one, remote batch fractions stay where they are,
+  // and the new node's virtual cache is seeded with `pending_targets` (the
+  // connection's unserved requests, so LARD affinity guides the pick).
+  // Returns the new handling node, or kInvalidNode when the connection is
+  // unknown or no node is assignable (caller falls back to 503/close).
+  NodeId ReassignConnection(ConnId conn, const std::vector<TargetId>& pending_targets = {});
+
   // Runtime policy switch (admin POST /policy). Existing connections keep
   // their handling nodes; only future decisions use the new policy.
   void SetPolicy(Policy policy);
@@ -131,6 +143,8 @@ class Dispatcher {
   NodeState node_state(NodeId node) const;
   double NodeLoad(NodeId node) const;
   NodeId HandlingNode(ConnId conn) const;
+  // Open connections currently handled by `node` (retire bookkeeping).
+  size_t ConnectionCountOn(NodeId node) const;
   bool TargetCachedAt(NodeId node, TargetId target) const;
   uint64_t VirtualCacheBytes(NodeId node) const;
   const DispatcherCounters& counters() const { return counters_; }
@@ -165,6 +179,10 @@ class Dispatcher {
   }
   // All load_ mutations go through here so the published gauges track.
   void AddLoad(NodeId node, double delta);
+  // All handling-node changes go through here so handled_counts_ stays exact
+  // (ConnectionCountOn is O(1) and queried per control message during
+  // retires).
+  void SetHandling(ConnState& conn_state, NodeId node);
 
   bool Cached(NodeId node, TargetId target) const { return vcaches_[node].Contains(target); }
   uint64_t SizeOf(TargetId target) const { return catalog_->Get(target).size_bytes; }
@@ -176,6 +194,7 @@ class Dispatcher {
   std::vector<double> load_;
   std::vector<LruCache> vcaches_;
   std::vector<NodeState> states_;
+  std::vector<uint64_t> handled_counts_;  // open connections per handling node
   std::vector<MetricGauge*> load_gauges_;  // nullptrs when metrics disabled
   std::unordered_map<ConnId, ConnState> conns_;
   size_t rr_cursor_ = 0;  // WRR tie-breaking

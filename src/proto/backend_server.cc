@@ -24,7 +24,12 @@ BackendServer::BackendServer(const BackendConfig& config, EventLoop* loop,
   LARD_CHECK(config_.node_id >= 0 && config_.node_id < config_.num_nodes);
 }
 
-BackendServer::~BackendServer() = default;
+BackendServer::~BackendServer() {
+  // First: deferred tasks and the housekeeping timer become no-ops instead
+  // of touching freed state (the loop may keep running after an in-place
+  // teardown, and drains posted tasks one final time at shutdown).
+  alive_.Invalidate();
+}
 
 int64_t BackendServer::NowMs() const {
   timespec ts{};
@@ -69,23 +74,22 @@ void BackendServer::Start(UniqueFd control_fd) {
 
   // Housekeeping: disk-queue reports to the dispatcher + idle-connection
   // sweep, every 100 ms (the paper conveys disk queue lengths over the
-  // control sessions).
-  struct Rearm {
-    BackendServer* self;
-    void operator()() const {
-      if (self->control_ != nullptr && self->control_->open()) {
-        self->control_->Send(static_cast<uint8_t>(ControlMsg::kDiskReport),
-                             EncodeU32(static_cast<uint32_t>(self->disk_->queue_length())));
-        self->MaybeSendHeartbeat();
-      }
-      self->SweepIdleConnections();
-      if (self->metric_open_conns_ != nullptr) {
-        self->metric_open_conns_->Set(static_cast<double>(self->conns_.size()));
-      }
-      self->loop_->ScheduleAfterMs(kHousekeepingPeriodMs, Rearm{self});
-    }
-  };
-  loop_->ScheduleAfterMs(kHousekeepingPeriodMs, Rearm{this});
+  // control sessions). Guarded: the timer must die with the server, not the
+  // loop.
+  loop_->ScheduleAfterMs(kHousekeepingPeriodMs, alive_.Guard([this]() { Housekeeping(); }));
+}
+
+void BackendServer::Housekeeping() {
+  if (control_ != nullptr && control_->open()) {
+    control_->Send(static_cast<uint8_t>(ControlMsg::kDiskReport),
+                   EncodeU32(static_cast<uint32_t>(disk_->queue_length())));
+    MaybeSendHeartbeat();
+  }
+  SweepIdleConnections();
+  if (metric_open_conns_ != nullptr) {
+    metric_open_conns_->Set(static_cast<double>(conns_.size()));
+  }
+  loop_->ScheduleAfterMs(kHousekeepingPeriodMs, alive_.Guard([this]() { Housekeeping(); }));
 }
 
 void BackendServer::MaybeSendHeartbeat() {
@@ -151,6 +155,27 @@ void BackendServer::OnControlMessage(uint8_t type, std::string payload, UniqueFd
         return;
       }
       OnAssignments(msg);
+      return;
+    }
+    case ControlMsg::kDrain: {
+      uint32_t flags = 0;
+      (void)DecodeU32(payload, &flags);  // reserved; drain regardless
+      draining_ = true;
+      LARD_LOG(INFO) << "backend " << config_.node_id
+                     << ": draining — giving connections back to the front-end";
+      // Sweep every connection: the quiescent ones hand back now, the busy
+      // ones when their in-flight batch drains (ProcessNext's idle branch).
+      std::vector<ConnId> ids;
+      ids.reserve(conns_.size());
+      for (const auto& [id, conn] : conns_) {
+        ids.push_back(id);
+      }
+      for (const ConnId id : ids) {
+        auto it = conns_.find(id);
+        if (it != conns_.end()) {
+          ProcessNext(it->second.get());
+        }
+      }
       return;
     }
     default:
@@ -272,7 +297,10 @@ void BackendServer::ProcessNext(ClientConn* conn) {
     return;
   }
   if (conn->requests.empty() || conn->directives.empty()) {
+    // Report idle first so the dispatcher releases the batch load before any
+    // drain giveback reassigns the connection.
     ReportIdleIfQuiescent(conn);
+    MaybeDrainHandback(conn);
     return;
   }
 
@@ -322,6 +350,27 @@ void BackendServer::StartHandback(ClientConn* conn) {
   DoHandback(conn->id);
 }
 
+void BackendServer::MaybeDrainHandback(ClientConn* conn) {
+  // Quiescent between batches on a draining node: give the connection back
+  // to the front-end for reassignment instead of pinning it here. Batch-1
+  // directives still waiting for a partial request to complete ride along
+  // (the target pairs them with the replayed bytes); anything mid-flight
+  // (serve, consult) defers the giveback to the next quiescence.
+  if (!draining_ || conn->closed || conn->migrating || conn->serving ||
+      !conn->requests.empty() || !conn->consult_backlog.empty() || conn->consult_outstanding) {
+    return;
+  }
+  if (conn->conn == nullptr || !conn->conn->open() || control_ == nullptr || !control_->open()) {
+    return;
+  }
+  conn->migrating = true;
+  if (conn->conn->pending_write_bytes() > 0) {
+    conn->conn->set_on_write_drained([this, id = conn->id]() { DoHandback(id); });
+    return;
+  }
+  DoHandback(conn->id);
+}
+
 void BackendServer::DoHandback(ConnId conn_id) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) {
@@ -331,21 +380,29 @@ void BackendServer::DoHandback(ConnId conn_id) {
   if (conn->closed || conn->conn == nullptr || !conn->conn->open()) {
     return;  // client went away while we flushed; normal close path handles it
   }
-  LARD_CHECK(!conn->directives.empty());
-  LARD_CHECK(conn->requests.size() >= conn->directives.size())
-      << "every directive must have a parsed request";
 
+  const bool migrate = !conn->directives.empty() &&
+                       conn->directives.front().action == DirectiveAction::kMigrate;
   HandbackMsg msg;
   msg.conn_id = conn->id;
-  msg.target_node = conn->directives.front().node;
-
-  // The migrating request is served locally at the target.
-  RequestDirective first = conn->directives.front();
-  first.action = DirectiveAction::kLocal;
-  first.node = kInvalidNode;
-  msg.directives.push_back(std::move(first));
-  for (size_t i = 1; i < conn->directives.size(); ++i) {
-    msg.directives.push_back(conn->directives[i]);
+  if (migrate) {
+    LARD_CHECK(conn->requests.size() >= conn->directives.size())
+        << "every directive must have a parsed request";
+    msg.target_node = conn->directives.front().node;
+    // The migrating request is served locally at the target.
+    RequestDirective first = conn->directives.front();
+    first.action = DirectiveAction::kLocal;
+    first.node = kInvalidNode;
+    msg.directives.push_back(std::move(first));
+    for (size_t i = 1; i < conn->directives.size(); ++i) {
+      msg.directives.push_back(conn->directives[i]);
+    }
+  } else {
+    // Drain giveback: no destination — the front-end's dispatcher reassigns.
+    // Directives still queued (waiting for a partial request's tail) are
+    // forwarded unchanged.
+    msg.target_node = kInvalidNode;
+    msg.directives.assign(conn->directives.begin(), conn->directives.end());
   }
 
   // Replay stream: every unserved request re-serialized in order, then the
@@ -362,12 +419,13 @@ void BackendServer::DoHandback(ConnId conn_id) {
   Connection::Detached detached = conn->conn->Detach();
   control_->SendWithFd(static_cast<uint8_t>(ControlMsg::kHandback), EncodeHandback(msg),
                        std::move(detached.fd));
-  counters_.handbacks.fetch_add(1, std::memory_order_relaxed);
+  (migrate ? counters_.handbacks : counters_.drain_handbacks)
+      .fetch_add(1, std::memory_order_relaxed);
 
   // State is gone from this node; do NOT notify kConnClosed — the connection
   // lives on at the target. (Deferred: we may be inside a callback.)
   conn->closed = true;
-  loop_->Post([this, id = conn->id]() { conns_.erase(id); });
+  loop_->Post(alive_.Guard([this, id = conn->id]() { conns_.erase(id); }));
 }
 
 void BackendServer::ServeLocal(ClientConn* conn, const HttpRequest& request,
@@ -506,7 +564,7 @@ void BackendServer::CloseClient(ClientConn* conn, bool notify_frontend) {
   }
   // The Connection may be mid-callback and disk/lateral callbacks may still
   // reference this ClientConn by id, so tear down on the next tick.
-  loop_->Post([this, id = conn->id]() { conns_.erase(id); });
+  loop_->Post(alive_.Guard([this, id = conn->id]() { conns_.erase(id); }));
 }
 
 void BackendServer::SweepIdleConnections() {

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -41,6 +42,7 @@
 #include "src/proto/control_protocol.h"
 #include "src/proto/disk_gate.h"
 #include "src/proto/lateral_client.h"
+#include "src/util/liveness.h"
 #include "src/util/metrics.h"
 
 namespace lard {
@@ -65,6 +67,7 @@ struct BackendConfig {
 struct BackendCounters {
   std::atomic<uint64_t> connections_adopted{0};
   std::atomic<uint64_t> handbacks{0};  // connections migrated away (multiple handoff)
+  std::atomic<uint64_t> drain_handbacks{0};  // connections given back while draining
   std::atomic<uint64_t> requests_served{0};     // responses written to clients
   std::atomic<uint64_t> local_hits{0};
   std::atomic<uint64_t> local_misses{0};
@@ -102,6 +105,7 @@ class BackendServer {
   uint16_t lateral_port() const { return lateral_port_; }
   const BackendCounters& counters() const { return counters_; }
   int disk_queue_length() const { return disk_ == nullptr ? 0 : disk_->queue_length(); }
+  bool draining() const { return draining_; }
 
  private:
   struct ClientConn {
@@ -154,6 +158,10 @@ class BackendServer {
   // mid-response).
   void StartHandback(ClientConn* conn);
   void DoHandback(ConnId conn_id);
+  // Drain-state giveback: once `conn` is quiescent between batches, flush and
+  // hand it back to the front-end with target kInvalidNode — the front-end's
+  // dispatcher reassigns it to a surviving node (reverse handoff).
+  void MaybeDrainHandback(ClientConn* conn);
   void ServeLocal(ClientConn* conn, const HttpRequest& request, const RequestDirective& directive);
   void ServeLateral(ClientConn* conn, const HttpRequest& request, NodeId peer,
                     const std::string& path);
@@ -168,6 +176,7 @@ class BackendServer {
   void ProcessNextLateral(uint64_t lateral_id);
   void DestroyLateralConn(uint64_t lateral_id);
 
+  void Housekeeping();
   void SweepIdleConnections();
   void MaybeSendHeartbeat();
   int64_t NowMs() const;
@@ -182,6 +191,11 @@ class BackendServer {
   BackendConfig config_;
   EventLoop* loop_;
   const ContentStore* store_;
+  // Guards deferred callbacks (posted erases, the housekeeping timer), which
+  // the loop may run after an in-place server teardown. Invalidated first in
+  // the destructor.
+  LivenessToken alive_;
+  bool draining_ = false;
 
   std::unique_ptr<FramedChannel> control_;
   std::unique_ptr<DiskGate> disk_;

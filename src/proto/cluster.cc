@@ -110,8 +110,12 @@ Status Cluster::Start() {
   fe_config.virtual_cache_bytes = config_.backend_cache_bytes;
   fe_config.listen_port = config_.listen_port;
   fe_config.heartbeat_timeout_ms = config_.heartbeat_timeout_ms;
+  fe_config.retire_grace_ms = config_.retire_grace_ms;
   fe_config.metrics = &metrics_;
   frontend_ = std::make_unique<FrontEnd>(fe_config, fe_loop_.get(), &store_.catalog());
+  // Node teardown follows the front-end's removal decision (which may be
+  // deferred past a graceful retire), not the admin call.
+  frontend_->set_on_node_removed([this](NodeId node) { OnNodeRemoved(node); });
   fe_thread_ = std::thread([loop = fe_loop_.get()]() { loop->Run(); });
   RunOnLoop(fe_loop_.get(), [this, &fe_ends, &lateral_ports]() {
     frontend_->Start(std::move(fe_ends));
@@ -203,6 +207,8 @@ void Cluster::BridgeDispatcherMetrics() {
       ->Set(static_cast<double>(counters.nodes_removed));
   metrics_.Gauge("lard_dispatcher_orphaned_connections")
       ->Set(static_cast<double>(counters.orphaned_connections));
+  metrics_.Gauge("lard_dispatcher_reassignments")
+      ->Set(static_cast<double>(counters.reassignments));
 }
 
 NodeId Cluster::AddNode() {
@@ -273,16 +279,21 @@ void Cluster::StopNodeLocked(NodeId node, bool destroy_server) {
   }
 }
 
+void Cluster::OnNodeRemoved(NodeId node) {
+  // Front-end loop thread. The FE has already torn the control session down;
+  // now the node's loop can stop and its server be destroyed.
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size() || stopped_) {
+    return;
+  }
+  StopNodeLocked(node, /*destroy_server=*/true);
+}
+
 bool Cluster::RemoveNode(NodeId node) {
   bool ok = false;
-  RunOnLoop(fe_loop_.get(), [this, node, &ok]() {
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
-    if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
-      return;
-    }
-    ok = frontend_->RemoveNode(node);
-    StopNodeLocked(node, /*destroy_server=*/true);
-  });
+  // Teardown of the node's thread happens via OnNodeRemoved once the
+  // front-end finishes the (possibly deferred, graceful) removal.
+  RunOnLoop(fe_loop_.get(), [this, node, &ok]() { ok = frontend_->RemoveNode(node); });
   return ok;
 }
 
@@ -305,10 +316,16 @@ bool Cluster::KillNode(NodeId node) {
 }
 
 void Cluster::Stop() {
-  if (!started_ || stopped_) {
-    return;
+  {
+    // stopped_ is read under nodes_mutex_ by OnNodeRemoved on the front-end
+    // loop; publish it under the same lock (but release before joining the
+    // loop threads, which may be blocked acquiring it).
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    if (!started_ || stopped_) {
+      return;
+    }
+    stopped_ = true;
   }
-  stopped_ = true;
   if (fe_loop_ != nullptr) {
     fe_loop_->Stop();
   }
@@ -352,11 +369,13 @@ ClusterSnapshot Cluster::Snapshot() const {
     snapshot.bytes_to_clients += counters.bytes_to_clients.load(std::memory_order_relaxed);
     snapshot.not_found += counters.not_found.load(std::memory_order_relaxed);
     snapshot.migrations += counters.handbacks.load(std::memory_order_relaxed);
+    snapshot.drain_handbacks += counters.drain_handbacks.load(std::memory_order_relaxed);
   }
   if (frontend_ != nullptr) {
     snapshot.connections = frontend_->counters().connections_accepted.load();
     snapshot.consults = frontend_->counters().consults.load();
     snapshot.handoffs = frontend_->counters().handoffs.load();
+    snapshot.rehandoffs = frontend_->counters().rehandoffs.load();
     snapshot.heartbeats = frontend_->counters().heartbeats.load();
     snapshot.auto_removals = frontend_->counters().auto_removals.load();
     if (config_.mechanism == Mechanism::kRelayingFrontEnd) {

@@ -48,6 +48,9 @@ struct ClusterConfig {
   uint16_t admin_port = 0;  // 0 = ephemeral (see admin_port() after Start)
   int64_t heartbeat_interval_ms = 200;
   int64_t heartbeat_timeout_ms = 1500;  // <= 0 disables liveness detection
+  // Graceful removal: how long a live admin-removed node gets to give its
+  // connections back before the hard removal. <= 0 removes immediately.
+  int64_t retire_grace_ms = 1000;
 };
 
 // Snapshot of the whole cluster's counters.
@@ -61,6 +64,8 @@ struct ClusterSnapshot {
   uint64_t consults = 0;
   uint64_t handoffs = 0;
   uint64_t migrations = 0;  // multiple-handoff hand-backs
+  uint64_t rehandoffs = 0;  // drain/failure givebacks re-handed-off by the FE
+  uint64_t drain_handbacks = 0;  // connections the back-ends gave back while draining
   uint64_t not_found = 0;
   uint64_t heartbeats = 0;
   uint64_t auto_removals = 0;
@@ -87,10 +92,12 @@ class Cluster {
   // Starts a new back-end, joins it to the lateral mesh and registers it
   // with the front-end. Returns the new node's id.
   NodeId AddNode();
-  // Stops new assignments to `node`; its active connections finish.
+  // Stops new assignments to `node`; its persistent connections are given
+  // back to the front-end and re-handed-off to surviving nodes.
   bool DrainNode(NodeId node);
-  // Graceful removal: front-end eviction, then the node's loop is shut down
-  // and its thread joined (open client connections are closed).
+  // Graceful removal: the node drains and gives its connections back first
+  // (bounded by retire_grace_ms); once the front-end finishes the removal the
+  // node's loop is shut down and its thread joined.
   bool RemoveNode(NodeId node);
   // Simulated crash: the node's loop stops dead — control session stays
   // open but falls silent, so the front-end must detect the death via
@@ -111,6 +118,10 @@ class Cluster {
   // Returns the fe-side control fd through *fe_end. Caller holds nodes_mutex_.
   Status StartBackend(NodeId node_id, UniqueFd* fe_end);
   void StopNodeLocked(NodeId node, bool destroy_server);
+  // Runs on the front-end loop when the FE finishes removing a node (admin
+  // remove, retire completion, heartbeat timeout or control EOF): stop the
+  // node's loop thread and tear its server down.
+  void OnNodeRemoved(NodeId node);
   void RegisterAdminRoutes();
   void BridgeDispatcherMetrics();
 

@@ -30,15 +30,23 @@ enum class ControlMsg : uint8_t {
   kConnClosed = 5,
   // BE -> FE. Payload: u32 queue length. Periodic disk report.
   kDiskReport = 6,
-  // BE -> FE. fd attached: the client socket, being handed *back* for
-  // migration to another node (TCP multiple handoff, Section 7.2's sketched
-  // extension). Payload: HandbackMsg. The FE relays it as a kHandoff to the
-  // target node.
+  // BE -> FE. fd attached: the client socket, being handed *back*. Payload:
+  // HandbackMsg. Two flavours share the message:
+  //   * target_node >= 0 — migration to that node (TCP multiple handoff,
+  //     Section 7.2's sketched extension); the FE relays it as a kHandoff.
+  //   * target_node == kInvalidNode — reverse handoff from a draining or
+  //     retiring node: the FE asks the dispatcher to *reassign* the
+  //     connection and re-handoffs it to the chosen node.
   kHandback = 7,
   // BE -> FE. Payload: HeartbeatMsg. Periodic liveness + load report; the
   // front-end's health tracker declares a node dead (and auto-removes it
   // from the dispatcher) after a configurable number of missed intervals.
   kHeartbeat = 8,
+  // FE -> BE. Payload: u32 flags (reserved, send 0). The node is draining or
+  // retiring: give every persistent connection back to the front-end (a
+  // kHandback with target_node == kInvalidNode) as soon as it is quiescent
+  // between batches, instead of holding it until the client closes.
+  kDrain = 9,
 };
 
 // One request directive inside kHandoff / kAssignments.
@@ -90,8 +98,10 @@ struct AssignmentsMsg {
   std::vector<RequestDirective> directives;
 };
 
-// The multiple-handoff hand-back: the connection (fd attached to the frame)
-// plus everything the next node needs to continue it seamlessly.
+// The hand-back: the connection (fd attached to the frame) plus everything
+// the next node needs to continue it seamlessly. target_node names the
+// migration destination, or kInvalidNode for a drain/retire giveback where
+// the front-end's dispatcher picks the destination (ReassignConnection).
 struct HandbackMsg {
   ConnId conn_id = 0;
   NodeId target_node = kInvalidNode;

@@ -62,10 +62,15 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCa
     metric_auto_removals_ = config_.metrics->Counter("lard_cluster_auto_removals_total");
     metric_heartbeats_ = config_.metrics->Counter("lard_fe_heartbeats_total");
     metric_connections_ = config_.metrics->Counter("lard_fe_connections_total");
+    metric_rehandoffs_ = config_.metrics->Counter("lard_fe_rehandoffs_total");
   }
 }
 
-FrontEnd::~FrontEnd() = default;
+FrontEnd::~FrontEnd() {
+  // First: deferred tasks (posted erases, health/retire timers) drained
+  // after this point become no-ops instead of touching freed state.
+  alive_.Invalidate();
+}
 
 int64_t FrontEnd::NowMs() const {
   timespec ts{};
@@ -81,13 +86,14 @@ void FrontEnd::AttachControl(NodeId node, UniqueFd control_fd) {
   LARD_CHECK_OK(SetNonBlocking(control_fd.get(), true));
   link.control = std::make_unique<FramedChannel>(loop_, std::move(control_fd));
   link.last_heartbeat_ms = NowMs();
+  link.heartbeat_seen = false;
   link.control->set_on_message([this, node](uint8_t type, std::string payload, UniqueFd passed_fd) {
     OnControlMessage(node, type, std::move(payload), std::move(passed_fd));
   });
   // EOF/error means the back-end process died (or closed on us): remove it.
   // Deferred — we may be inside the channel's own event handler.
   link.control->set_on_close([this, node]() {
-    loop_->Post([this, node]() { RemoveNodeInternal(node, "control session lost"); });
+    loop_->Post(alive_.Guard([this, node]() { RemoveNodeInternal(node, "control session lost"); }));
   });
   link.control->Start();
   if (config_.metrics != nullptr) {
@@ -109,17 +115,16 @@ void FrontEnd::Start(std::vector<UniqueFd> control_fds) {
   loop_->Register(listener_.get(), EPOLLIN, [this](uint32_t events) { OnAccept(events); });
 
   if (config_.heartbeat_timeout_ms > 0) {
-    const int64_t period = std::max<int64_t>(config_.heartbeat_timeout_ms / 4, 25);
-    struct Rearm {
-      FrontEnd* self;
-      int64_t period;
-      void operator()() const {
-        self->CheckNodeHealth();
-        self->loop_->ScheduleAfterMs(period, Rearm{self, period});
-      }
-    };
-    loop_->ScheduleAfterMs(period, Rearm{this, period});
+    ScheduleHealthSweep(std::max<int64_t>(config_.heartbeat_timeout_ms / 4, 25));
   }
+}
+
+void FrontEnd::ScheduleHealthSweep(int64_t period_ms) {
+  // The rearm chain is guarded: it dies with the front-end, not the loop.
+  loop_->ScheduleAfterMs(period_ms, alive_.Guard([this, period_ms]() {
+                           CheckNodeHealth();
+                           ScheduleHealthSweep(period_ms);
+                         }));
 }
 
 void FrontEnd::CheckNodeHealth() {
@@ -157,6 +162,10 @@ bool FrontEnd::DrainNode(NodeId node) {
   if (!NodeLive(node) || !dispatcher_->DrainNode(node)) {
     return false;
   }
+  // Ask the node to give its persistent connections back between batches;
+  // they come home as kHandback(target=kInvalidNode) and are re-handed-off.
+  nodes_[static_cast<size_t>(node)].control->Send(static_cast<uint8_t>(ControlMsg::kDrain),
+                                                  EncodeU32(0));
   if (metric_active_nodes_ != nullptr) {
     metric_active_nodes_->Set(dispatcher_->active_node_count());
   }
@@ -164,12 +173,50 @@ bool FrontEnd::DrainNode(NodeId node) {
   return true;
 }
 
-bool FrontEnd::RemoveNode(NodeId node) { return RemoveNodeInternal(node, "admin remove"); }
+bool FrontEnd::RemoveNode(NodeId node) {
+  if (node < 0 || node >= dispatcher_->num_node_slots()) {
+    return false;
+  }
+  if (retiring_.count(node) != 0) {
+    return true;  // removal already in progress
+  }
+  const NodeState state = dispatcher_->node_state(node);
+  // A live node still holding connections retires gracefully: stop new
+  // assignments, ask it to give its connections back, and hard-remove once
+  // they have migrated (or the grace period expires). Everything else — dead
+  // or silent nodes, empty nodes, the last assignable node (nowhere to
+  // migrate) — is removed immediately.
+  const bool can_retire =
+      config_.retire_grace_ms > 0 && NodeLive(node) && state != NodeState::kDead &&
+      dispatcher_->ConnectionCountOn(node) > 0 &&
+      dispatcher_->active_node_count() > (state == NodeState::kActive ? 1 : 0);
+  if (!can_retire) {
+    return RemoveNodeInternal(node, "admin remove");
+  }
+  if (state == NodeState::kActive) {
+    (void)dispatcher_->DrainNode(node);
+    if (metric_active_nodes_ != nullptr) {
+      metric_active_nodes_->Set(dispatcher_->active_node_count());
+    }
+  }
+  retiring_.insert(node);
+  nodes_[static_cast<size_t>(node)].control->Send(static_cast<uint8_t>(ControlMsg::kDrain),
+                                                  EncodeU32(0));
+  loop_->ScheduleAfterMs(config_.retire_grace_ms, alive_.Guard([this, node]() {
+                           if (retiring_.count(node) != 0) {
+                             RemoveNodeInternal(node, "retire grace expired");
+                           }
+                         }));
+  LARD_LOG(INFO) << "front-end: node " << node << " retiring ("
+                 << dispatcher_->ConnectionCountOn(node) << " connections to migrate)";
+  return true;
+}
 
 bool FrontEnd::RemoveNodeInternal(NodeId node, const char* reason) {
   if (node < 0 || node >= dispatcher_->num_node_slots()) {
     return false;
   }
+  retiring_.erase(node);
   std::vector<ConnId> orphans;
   const bool dispatcher_removed = dispatcher_->RemoveNode(node, &orphans);
   NodeLink* link =
@@ -184,7 +231,11 @@ bool FrontEnd::RemoveNodeInternal(NodeId node, const char* reason) {
   if (had_channel) {
     link->control.reset();  // closes the session; the back-end sees EOF
   }
-  const bool detected_failure = std::strcmp(reason, "admin remove") != 0;
+  // Admin-initiated removals (including retire completion/expiry) are not
+  // detected failures.
+  const bool detected_failure = std::strcmp(reason, "admin remove") != 0 &&
+                                std::strcmp(reason, "retired") != 0 &&
+                                std::strcmp(reason, "retire grace expired") != 0;
   if (detected_failure) {
     counters_.auto_removals.fetch_add(1, std::memory_order_relaxed);
     if (metric_auto_removals_ != nullptr) {
@@ -197,7 +248,17 @@ bool FrontEnd::RemoveNodeInternal(NodeId node, const char* reason) {
   LARD_LOG(WARNING) << "front-end: node " << node << " removed (" << reason << "), "
                     << orphans.size() << " connections orphaned, "
                     << dispatcher_->active_node_count() << " active nodes remain";
+  if (on_node_removed_) {
+    on_node_removed_(node);
+  }
   return true;
+}
+
+void FrontEnd::MaybeFinalizeRetire(NodeId node) {
+  if (retiring_.count(node) == 0 || dispatcher_->ConnectionCountOn(node) > 0) {
+    return;
+  }
+  RemoveNodeInternal(node, "retired");
 }
 
 void FrontEnd::SetPolicy(Policy policy) {
@@ -224,8 +285,12 @@ std::string FrontEnd::DescribeNodesJson() const {
       const NodeLink& link = nodes_[static_cast<size_t>(node)];
       out << ",\"connections\":" << link.reported_conns;
       out << ",\"heartbeat_seq\":" << link.heartbeat_seq;
+      // -1 until the first real heartbeat arrives (a joined-but-silent node
+      // must not report a bogus age) and for dead nodes.
       out << ",\"heartbeat_age_ms\":"
-          << (state == NodeState::kDead ? -1 : now - link.last_heartbeat_ms);
+          << (state == NodeState::kDead || !link.heartbeat_seen
+                  ? -1
+                  : now - link.last_heartbeat_ms);
     }
     out << "}";
   }
@@ -348,6 +413,15 @@ RequestDirective FrontEnd::DirectiveFor(const std::string& path,
 }
 
 void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
+  // Defensive: a first batch with zero complete requests (slow or garbage
+  // client) must get a 400 and a close, never reach the dispatcher's
+  // non-empty-batch invariants and abort the whole front-end.
+  if (requests.empty()) {
+    conn->conn->Write("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n");
+    conn->conn->CloseAfterFlush();
+    DestroyConn(conn);
+    return;
+  }
   // The whole membership can vanish between accept and first data (e.g. the
   // last back-end was just auto-removed); shed instead of crashing the
   // dispatcher's pick loops.
@@ -370,7 +444,18 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
   live_in_dispatcher_.insert(conn->id);
   const std::vector<Assignment> assignments =
       dispatcher_->OnBatch(conn->id, PathsToTargets(paths));
-  LARD_CHECK(!assignments.empty());
+  if (assignments.empty()) {
+    // Defensive only (OnBatch returns one assignment per request): if the
+    // dispatcher ever returns nothing, shed like the other no-capacity paths
+    // instead of aborting the front-end.
+    live_in_dispatcher_.erase(conn->id);
+    dispatcher_->OnConnectionClose(conn->id);
+    conn->conn->Write("HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
+    conn->conn->CloseAfterFlush();
+    counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
+    DestroyConn(conn);
+    return;
+  }
   const NodeId node = assignments[0].node;
   LARD_CHECK(assignments[0].action == AssignmentAction::kHandoff);
   if (!NodeLive(node)) {
@@ -386,10 +471,7 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
 
   HandoffMsg msg;
   msg.conn_id = conn->id;
-  // Connection-granularity policies/mechanisms never consult per request.
-  msg.autonomous = !(config_.policy == Policy::kExtendedLard &&
-                     (config_.mechanism == Mechanism::kBackEndForwarding ||
-                      config_.mechanism == Mechanism::kMultipleHandoff));
+  msg.autonomous = AutonomousHandoffs();
   msg.directives.reserve(assignments.size());
   for (size_t i = 0; i < assignments.size(); ++i) {
     msg.directives.push_back(DirectiveFor(paths[i], assignments[i]));
@@ -409,7 +491,7 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
   // Dispatcher state for this connection now lives on; our socket plumbing
   // does not. (Deferred: we are inside this Connection's on_data callback.)
   conn->closed = true;
-  loop_->Post([this, id = conn->id]() { conns_.erase(id); });
+  loop_->Post(alive_.Guard([this, id = conn->id]() { conns_.erase(id); }));
 }
 
 void FrontEnd::RelayFlow(FeConn* conn, std::vector<HttpRequest> requests) {
@@ -496,7 +578,7 @@ void FrontEnd::DestroyConn(FeConn* conn) {
   if (conn->in_dispatcher && live_in_dispatcher_.erase(conn->id) > 0) {
     dispatcher_->OnConnectionClose(conn->id);
   }
-  loop_->Post([this, id = conn->id]() { conns_.erase(id); });
+  loop_->Post(alive_.Guard([this, id = conn->id]() { conns_.erase(id); }));
 }
 
 void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, UniqueFd fd) {
@@ -505,26 +587,44 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
   link.last_heartbeat_ms = NowMs();
   switch (static_cast<ControlMsg>(type)) {
     case ControlMsg::kHandback: {
-      // Multiple handoff: a back-end flushed and detached the connection; we
-      // relay it to the dispatcher-chosen target as a fresh (non-autonomous)
-      // handoff carrying the unserved request replay.
+      // A back-end flushed and detached the connection. Two flavours:
+      //   * migration (multiple handoff): relay to the named target as a
+      //     fresh non-autonomous handoff carrying the unserved replay;
+      //   * giveback (target kInvalidNode, or the named target died in
+      //     flight): ask the dispatcher to *reassign* the connection and
+      //     re-handoff it — the drain/failure reverse-handoff path.
       HandbackMsg msg;
-      if (!DecodeHandback(payload, &msg) || !fd.valid() || msg.target_node < 0 ||
-          msg.target_node >= dispatcher_->num_node_slots()) {
+      if (!DecodeHandback(payload, &msg) || !fd.valid() ||
+          msg.target_node >= dispatcher_->num_node_slots() ||
+          (msg.target_node < 0 && msg.target_node != kInvalidNode)) {
         LARD_LOG(ERROR) << "front-end: bad handback from node " << node;
         return;
       }
-      if (live_in_dispatcher_.count(msg.conn_id) == 0 || !NodeLive(msg.target_node)) {
-        return;  // connection or target died in flight; drop the fd (RAII closes it)
+      bool resurrected = false;
+      if (live_in_dispatcher_.count(msg.conn_id) == 0) {
+        if (dispatcher_->HandlingNode(msg.conn_id) != kInvalidNode) {
+          return;  // connection closed in flight; drop the fd (RAII closes it)
+        }
+        // Failure re-handoff: the dispatcher orphaned this connection when
+        // its handling (or migration-target) node was removed, but the
+        // socket survived the trip back. Resurrect it as a fresh dispatcher
+        // connection and reassign instead of dropping the client.
+        dispatcher_->OnConnectionOpen(msg.conn_id);
+        live_in_dispatcher_.insert(msg.conn_id);
+        resurrected = true;
       }
-      HandoffMsg handoff;
-      handoff.conn_id = msg.conn_id;
-      handoff.autonomous = false;
-      handoff.directives = std::move(msg.directives);
-      handoff.unparsed_input = std::move(msg.replay_input);
-      nodes_[static_cast<size_t>(msg.target_node)].control->SendWithFd(
-          static_cast<uint8_t>(ControlMsg::kHandoff), EncodeHandoff(handoff), std::move(fd));
-      counters_.migrations.fetch_add(1, std::memory_order_relaxed);
+      if (!resurrected && msg.target_node != kInvalidNode && NodeLive(msg.target_node)) {
+        HandoffMsg handoff;
+        handoff.conn_id = msg.conn_id;
+        handoff.autonomous = false;
+        handoff.directives = std::move(msg.directives);
+        handoff.unparsed_input = std::move(msg.replay_input);
+        nodes_[static_cast<size_t>(msg.target_node)].control->SendWithFd(
+            static_cast<uint8_t>(ControlMsg::kHandoff), EncodeHandoff(handoff), std::move(fd));
+        counters_.migrations.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      RehandoffConnection(node, std::move(msg), std::move(fd));
       return;
     }
     case ControlMsg::kConsult: {
@@ -548,6 +648,10 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
       if (DecodeU64(payload, &conn_id) && live_in_dispatcher_.erase(conn_id) > 0) {
         dispatcher_->OnConnectionClose(conn_id);
       }
+      if (retiring_.count(node) != 0) {
+        // Deferred: finalizing tears down the channel we are called from.
+        loop_->Post(alive_.Guard([this, node]() { MaybeFinalizeRetire(node); }));
+      }
       return;
     }
     case ControlMsg::kDiskReport: {
@@ -568,6 +672,7 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
                           << link.heartbeat_seq << " -> " << msg.seq << "), node restarted?";
       }
       link.heartbeat_seq = msg.seq;
+      link.heartbeat_seen = true;
       link.reported_conns = msg.active_conns;
       disk_table_->Update(node, static_cast<int>(msg.disk_queue_len));
       counters_.heartbeats.fetch_add(1, std::memory_order_relaxed);
@@ -579,6 +684,77 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
     default:
       LARD_LOG(ERROR) << "front-end: unexpected control message type " << static_cast<int>(type)
                       << " from node " << node;
+  }
+}
+
+void FrontEnd::RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd fd) {
+  // Seed the new node's virtual cache with the connection's unserved local
+  // targets so affinity-aware policies pick a node that will serve them well.
+  std::vector<TargetId> pending;
+  for (const RequestDirective& directive : msg.directives) {
+    if (directive.action == DirectiveAction::kLocal) {
+      pending.push_back(catalog_->Find(directive.path));
+    }
+  }
+
+  // Ask the dispatcher for a fresh placement. A pick whose control session
+  // already died (its deferred removal not yet processed) would be offered
+  // again on a plain retry — load affinity and the attempt's own cache
+  // seeding keep steering back to it — so process that removal *now* and
+  // re-pick; each such round removes a node, which bounds the loop.
+  NodeId target = kInvalidNode;
+  const int max_attempts = dispatcher_->num_node_slots();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const NodeId pick = dispatcher_->ReassignConnection(msg.conn_id, pending);
+    if (pick == kInvalidNode) {
+      break;
+    }
+    if (NodeLive(pick)) {
+      target = pick;
+      break;
+    }
+    // Not our own channel (from_node is live — it just sent this message),
+    // so tearing the stale session down here is safe. The removal orphans
+    // the connection we just parked on the dead pick; resurrect it for the
+    // next attempt.
+    RemoveNodeInternal(pick, "control session lost");
+    if (live_in_dispatcher_.count(msg.conn_id) == 0) {
+      dispatcher_->OnConnectionOpen(msg.conn_id);
+      live_in_dispatcher_.insert(msg.conn_id);
+    }
+  }
+  if (target == kInvalidNode) {
+    // No assignable node: shed the client with a best-effort 503 on the raw
+    // socket instead of a silent reset.
+    if (live_in_dispatcher_.erase(msg.conn_id) > 0) {
+      dispatcher_->OnConnectionClose(msg.conn_id);
+    }
+    static constexpr char kUnavailable[] =
+        "HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n";
+    (void)!::send(fd.get(), kUnavailable, sizeof(kUnavailable) - 1, MSG_NOSIGNAL);
+    counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
+    LARD_LOG(WARNING) << "front-end: no assignable node for given-back connection "
+                      << msg.conn_id << ", shedding with 503";
+    return;  // fd RAII-closes
+  }
+
+  HandoffMsg handoff;
+  handoff.conn_id = msg.conn_id;
+  handoff.autonomous = AutonomousHandoffs();
+  handoff.directives = std::move(msg.directives);
+  handoff.unparsed_input = std::move(msg.replay_input);
+  nodes_[static_cast<size_t>(target)].control->SendWithFd(
+      static_cast<uint8_t>(ControlMsg::kHandoff), EncodeHandoff(handoff), std::move(fd));
+  counters_.rehandoffs.fetch_add(1, std::memory_order_relaxed);
+  if (metric_rehandoffs_ != nullptr) {
+    metric_rehandoffs_->Increment();
+  }
+  if (nodes_[static_cast<size_t>(target)].handoff_counter != nullptr) {
+    nodes_[static_cast<size_t>(target)].handoff_counter->Increment();
+  }
+  if (retiring_.count(from_node) != 0) {
+    // Deferred: finalizing tears down the channel this handback arrived on.
+    loop_->Post(alive_.Guard([this, from_node]() { MaybeFinalizeRetire(from_node); }));
   }
 }
 

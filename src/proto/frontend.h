@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -47,6 +48,7 @@
 #include "src/proto/control_protocol.h"
 #include "src/proto/lateral_client.h"
 #include "src/trace/trace.h"
+#include "src/util/liveness.h"
 #include "src/util/metrics.h"
 
 namespace lard {
@@ -66,6 +68,10 @@ struct FrontEndConfig {
   // declared dead and auto-removed. <= 0 disables liveness tracking (the
   // control-session-EOF path still removes crashed nodes).
   int64_t heartbeat_timeout_ms = 2000;
+  // Graceful removal: a live node being admin-removed first drains and gives
+  // its connections back (re-handoff); after this grace period whatever is
+  // left is hard-removed. <= 0 removes immediately (old drop semantics).
+  int64_t retire_grace_ms = 1000;
   // Optional shared registry (lard_fe_*, lard_cluster_* instruments).
   MetricsRegistry* metrics = nullptr;
 };
@@ -76,9 +82,10 @@ struct FrontEndCounters {
   std::atomic<uint64_t> consults{0};
   std::atomic<uint64_t> relayed_requests{0};
   std::atomic<uint64_t> migrations{0};  // hand-backs relayed (multiple handoff)
+  std::atomic<uint64_t> rehandoffs{0};  // drain givebacks re-handed-off to a new node
   std::atomic<uint64_t> heartbeats{0};
   std::atomic<uint64_t> auto_removals{0};  // nodes declared dead by health tracking
-  std::atomic<uint64_t> rejected_no_backend{0};  // 503s with zero active nodes
+  std::atomic<uint64_t> rejected_no_backend{0};  // 503s with zero assignable nodes
 };
 
 class FrontEnd {
@@ -104,12 +111,18 @@ class FrontEnd {
   // Registers a freshly started back-end: control session + (relay mode) its
   // HTTP port. Returns the new node's id.
   NodeId AddNode(UniqueFd control_fd, uint16_t backend_http_port);
-  // Stops new assignments to `node`; its persistent connections finish.
+  // Stops new assignments to `node` and asks it (kDrain) to give its idle
+  // persistent connections back for re-handoff to surviving nodes.
   bool DrainNode(NodeId node);
-  // Removes `node` now: dispatcher eviction, orphaned-connection cleanup,
-  // control-session teardown. Safe on live, draining and already-dead nodes
-  // (idempotent; returns false when nothing changed).
+  // Removes `node`. A live node with connections retires gracefully: drain +
+  // giveback, then the hard removal once its connections have migrated (or
+  // after retire_grace_ms). Dead/silent nodes are removed immediately. Safe
+  // on live, draining and already-dead nodes (idempotent; returns false when
+  // nothing changed).
   bool RemoveNode(NodeId node);
+  // Invoked on the loop thread after a node's removal completes (control
+  // session torn down) — the harness stops the node's thread here.
+  void set_on_node_removed(std::function<void(NodeId)> cb) { on_node_removed_ = std::move(cb); }
   // Runtime policy switch (future decisions only).
   void SetPolicy(Policy policy);
   // Membership + health snapshot as the admin API's JSON body.
@@ -137,6 +150,7 @@ class FrontEnd {
   struct NodeLink {
     std::unique_ptr<FramedChannel> control;
     int64_t last_heartbeat_ms = 0;   // also bumped by disk reports/consults
+    bool heartbeat_seen = false;     // a real kHeartbeat arrived (age is valid)
     uint64_t heartbeat_seq = 0;
     uint32_t reported_conns = 0;
     MetricCounter* handoff_counter = nullptr;
@@ -155,6 +169,19 @@ class FrontEnd {
 
   void OnControlMessage(NodeId node, uint8_t type, std::string payload, UniqueFd fd);
   void HandleConsult(NodeId node, const ConsultMsg& msg);
+  // Giveback (target kInvalidNode) or dead-target handback: reassign via the
+  // dispatcher and re-handoff; 503-close the client when no node is
+  // assignable.
+  void RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd fd);
+  // Completes a graceful admin removal once `node`'s connections migrated
+  // away (or its grace period expired).
+  void MaybeFinalizeRetire(NodeId node);
+  // Connection-granularity policies/mechanisms never consult per request.
+  bool AutonomousHandoffs() const {
+    return !(config_.policy == Policy::kExtendedLard &&
+             (config_.mechanism == Mechanism::kBackEndForwarding ||
+              config_.mechanism == Mechanism::kMultipleHandoff));
+  }
 
   // Wires one control session into nodes_[node] (creates the slot).
   void AttachControl(NodeId node, UniqueFd control_fd);
@@ -172,10 +199,16 @@ class FrontEnd {
   std::vector<TargetId> PathsToTargets(const std::vector<std::string>& paths) const;
   RequestDirective DirectiveFor(const std::string& path, const Assignment& assignment) const;
   int64_t NowMs() const;
+  // Periodic heartbeat sweep; reschedules itself while the front-end lives.
+  void ScheduleHealthSweep(int64_t period_ms);
 
   FrontEndConfig config_;
   EventLoop* loop_;
   const TargetCatalog* catalog_;
+  // Guards deferred callbacks (posted erases, health/retire timers), which
+  // the loop may drain after this front-end is torn down. Invalidated first
+  // in the destructor.
+  LivenessToken alive_;
 
   std::unique_ptr<DiskTable> disk_table_;
   std::unique_ptr<Dispatcher> dispatcher_;
@@ -186,13 +219,16 @@ class FrontEnd {
 
   std::unordered_map<ConnId, std::unique_ptr<FeConn>> conns_;
   std::set<ConnId> live_in_dispatcher_;  // conns with dispatcher state
+  std::set<NodeId> retiring_;  // admin-removed live nodes awaiting giveback
   ConnId next_conn_id_ = 1;
+  std::function<void(NodeId)> on_node_removed_;
 
   FrontEndCounters counters_;
   MetricGauge* metric_active_nodes_ = nullptr;
   MetricCounter* metric_auto_removals_ = nullptr;
   MetricCounter* metric_heartbeats_ = nullptr;
   MetricCounter* metric_connections_ = nullptr;
+  MetricCounter* metric_rehandoffs_ = nullptr;
 };
 
 }  // namespace lard

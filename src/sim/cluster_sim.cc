@@ -44,6 +44,10 @@ struct ClusterSim::SessionRun {
   // gone. Once the current batch's in-flight responses drain, the client
   // reconnects — the run continues on a fresh ConnId the dispatcher re-assigns.
   bool conn_lost = false;
+  // The handling node is draining (NodeDrain): before the next batch the
+  // connection migrates — the dispatcher reassigns it to a surviving node,
+  // mirroring the prototype's giveback/re-handoff.
+  bool drain_pending = false;
 };
 
 ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : config_(config) {
@@ -79,6 +83,7 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
     metric_batch_latency_ = config_.metrics->Histogram("lard_sim_batch_latency_us");
     metric_requests_ = config_.metrics->Counter("lard_sim_requests_total");
     metric_failovers_ = config_.metrics->Counter("lard_sim_failovers_total");
+    metric_rehandoffs_ = config_.metrics->Counter("lard_sim_rehandoffs_total");
   }
 }
 
@@ -95,8 +100,19 @@ void ClusterSim::ApplyMembershipEvent(const MembershipEvent& event) {
     case MembershipAction::kNodeDrain: {
       if (dispatcher_->DrainNode(event.node)) {
         ++nodes_drained_;
+        // Reverse handoff: every connection the node is handling migrates at
+        // its next between-batches point instead of pinning here — matching
+        // the prototype's kDrain giveback so the two report the same
+        // migration counters.
+        size_t marked = 0;
+        for (const auto& run : active_runs_) {
+          if (!run->conn_lost && dispatcher_->HandlingNode(run->conn) == event.node) {
+            run->drain_pending = true;
+            ++marked;
+          }
+        }
         LARD_LOG(INFO) << "sim t=" << queue_.now_us() << "us: node " << event.node
-                       << " draining";
+                       << " draining, " << marked << " connections to migrate";
       }
       break;
     }
@@ -159,6 +175,7 @@ void ClusterSim::ReopenIfLost(SessionRun* run) {
   // Failover: the client reconnects; the dispatcher re-assigns the fresh
   // connection (and the remaining batches) under the surviving membership.
   run->conn_lost = false;
+  run->drain_pending = false;  // the fresh connection is placed anew anyway
   run->conn = next_conn_id_++;
   dispatcher_->OnConnectionOpen(run->conn);
   ++failovers_;
@@ -167,12 +184,33 @@ void ClusterSim::ReopenIfLost(SessionRun* run) {
   }
 }
 
+void ClusterSim::RehandoffIfDraining(SessionRun* run, const std::vector<TargetId>& targets) {
+  if (!run->drain_pending) {
+    return;
+  }
+  run->drain_pending = false;
+  const NodeId moved_to = dispatcher_->ReassignConnection(run->conn, targets);
+  if (moved_to == kInvalidNode) {
+    return;  // nowhere to go; the connection stays pinned (prototype 503s)
+  }
+  ++rehandoffs_;
+  if (metric_rehandoffs_ != nullptr) {
+    metric_rehandoffs_->Increment();
+  }
+  // The front-end pays the re-handoff work (accounted; the giveback happens
+  // between batches so it does not stall the response pipeline).
+  fe_accounted_us_ += config_.fe_costs.migrate_us;
+}
+
 void ClusterSim::ProcessBatch(SessionRun* run) {
   LARD_CHECK(run->next_batch < run->session->batches.size());
   // The handling node can die during a think-time wait; reconnect before
   // consulting the dispatcher about the next batch.
   ReopenIfLost(run);
   const TraceBatch& batch = run->session->batches[run->next_batch++];
+  // Draining-node migration happens between batches, seeding the new node's
+  // cache model with the batch about to be served there.
+  RehandoffIfDraining(run, batch.targets);
   run->batch_start_us = queue_.now_us();
   run->outstanding = batch.targets.size();
   if (batch.targets.empty()) {
@@ -421,6 +459,7 @@ ClusterSimMetrics ClusterSim::Run() {
   metrics.nodes_failed = nodes_failed_;
   metrics.nodes_drained = nodes_drained_;
   metrics.failovers = failovers_;
+  metrics.rehandoffs = rehandoffs_;
   return metrics;
 }
 

@@ -33,6 +33,10 @@ namespace lard {
 // detection latency abstracted away); its in-flight requests complete but its
 // connections are failed over: each affected session finishes the current
 // batch, then re-opens as a fresh connection that the dispatcher re-assigns.
+// kNodeDrain mirrors the prototype's reverse handoff: each connection on the
+// draining node finishes its in-flight batch, then *migrates* — the
+// dispatcher reassigns it to a surviving node (ReassignConnection) instead of
+// pinning it until the client closes.
 enum class MembershipAction { kNodeJoin, kNodeDrain, kNodeFailure };
 
 struct MembershipEvent {
@@ -104,7 +108,8 @@ struct ClusterSimMetrics {
   uint64_t nodes_joined = 0;
   uint64_t nodes_failed = 0;
   uint64_t nodes_drained = 0;
-  uint64_t failovers = 0;  // connections re-opened after their node died
+  uint64_t failovers = 0;    // connections re-opened after their node died
+  uint64_t rehandoffs = 0;   // connections migrated off a draining node
 };
 
 class ClusterSim {
@@ -130,6 +135,9 @@ class ClusterSim {
   void ApplyMembershipEvent(const MembershipEvent& event);
   // Re-opens a fresh dispatcher connection for a run whose node died.
   void ReopenIfLost(SessionRun* run);
+  // Migrates a run off a draining node (reverse handoff) before its next
+  // batch; `targets` seed the new node's virtual cache.
+  void RehandoffIfDraining(SessionRun* run, const std::vector<TargetId>& targets);
   void ProcessBatch(SessionRun* run);
   void IssueRequest(SessionRun* run, TargetId target, const Assignment& assignment);
   // Serves one request at `node`: per-request CPU, then (for a model-declared
@@ -168,9 +176,11 @@ class ClusterSim {
   uint64_t nodes_failed_ = 0;
   uint64_t nodes_drained_ = 0;
   uint64_t failovers_ = 0;
+  uint64_t rehandoffs_ = 0;
   MetricHistogram* metric_batch_latency_ = nullptr;
   MetricCounter* metric_requests_ = nullptr;
   MetricCounter* metric_failovers_ = nullptr;
+  MetricCounter* metric_rehandoffs_ = nullptr;
 };
 
 }  // namespace lard

@@ -1,0 +1,43 @@
+// Liveness token for deferred callbacks: event-loop components post tasks
+// and timers capturing `this`, which the loop may run after the component is
+// destroyed (an in-place teardown, or the loop's final task drain at
+// shutdown). Guard() wraps such a callback so it becomes a no-op once the
+// owner invalidated the token — typically the first statement of its
+// destructor.
+//
+//   class Server {
+//     ~Server() { alive_.Invalidate(); }
+//     void Tick() { loop_->Post(alive_.Guard([this] { ... })); }
+//     LivenessToken alive_;
+//   };
+#ifndef SRC_UTIL_LIVENESS_H_
+#define SRC_UTIL_LIVENESS_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace lard {
+
+class LivenessToken {
+ public:
+  // Call first in the owner's destructor: already-queued guarded callbacks
+  // become no-ops from this point on.
+  void Invalidate() { token_.reset(); }
+
+  template <typename Fn>
+  std::function<void()> Guard(Fn fn) const {
+    return [weak = std::weak_ptr<char>(token_), fn = std::move(fn)]() {
+      if (weak.lock() != nullptr) {
+        fn();
+      }
+    };
+  }
+
+ private:
+  std::shared_ptr<char> token_ = std::make_shared<char>('\0');
+};
+
+}  // namespace lard
+
+#endif  // SRC_UTIL_LIVENESS_H_

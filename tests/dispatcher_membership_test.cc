@@ -3,10 +3,12 @@
 // connections and load-accounting integrity across membership changes.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/dispatcher.h"
 #include "src/util/metrics.h"
+#include "src/util/rng.h"
 
 namespace lard {
 namespace {
@@ -214,6 +216,178 @@ TEST_F(MembershipTest, SetPolicyTakesEffectOnFutureDecisions) {
   const NodeId third = Open(dispatcher, 3, targets_[0]);
   const NodeId fourth = Open(dispatcher, 4, targets_[0]);
   EXPECT_NE(third, fourth);
+}
+
+TEST_F(MembershipTest, ReassignConnectionMovesLoadAndSeedsCache) {
+  Dispatcher dispatcher = MakeDispatcher(2, Policy::kWrr);
+  const NodeId old_node = Open(dispatcher, 1, targets_[0]);
+  const NodeId other = old_node == 0 ? 1 : 0;
+  ASSERT_DOUBLE_EQ(dispatcher.NodeLoad(old_node), 1.0);
+  ASSERT_EQ(dispatcher.ConnectionCountOn(old_node), 1u);
+
+  // Drain the handling node, then reassign (the reverse-handoff path): the
+  // connection and its active 1-unit load move; the new node's virtual cache
+  // is seeded with the pending target.
+  ASSERT_TRUE(dispatcher.DrainNode(old_node));
+  const NodeId moved = dispatcher.ReassignConnection(1, {targets_[3]});
+  EXPECT_EQ(moved, other);
+  EXPECT_EQ(dispatcher.HandlingNode(1), other);
+  EXPECT_DOUBLE_EQ(dispatcher.NodeLoad(old_node), 0.0);
+  EXPECT_DOUBLE_EQ(dispatcher.NodeLoad(other), 1.0);
+  EXPECT_EQ(dispatcher.ConnectionCountOn(old_node), 0u);
+  EXPECT_EQ(dispatcher.ConnectionCountOn(other), 1u);
+  EXPECT_TRUE(dispatcher.TargetCachedAt(other, targets_[3]));
+  EXPECT_EQ(dispatcher.counters().reassignments, 1u);
+
+  // Subsequent batches land on the new node.
+  const auto assignments = dispatcher.OnBatch(1, {targets_[3]});
+  EXPECT_EQ(assignments[0].node, other);
+  EXPECT_EQ(assignments[0].action, AssignmentAction::kServeLocal);
+  dispatcher.OnConnectionClose(1);
+  EXPECT_DOUBLE_EQ(dispatcher.NodeLoad(other), 0.0);
+}
+
+TEST_F(MembershipTest, ReassignIdleConnectionMovesNoLoad) {
+  Dispatcher dispatcher = MakeDispatcher(2, Policy::kWrr);
+  const NodeId old_node = Open(dispatcher, 1, targets_[0]);
+  dispatcher.OnConnectionIdle(1);  // batch done: load released
+  ASSERT_DOUBLE_EQ(dispatcher.NodeLoad(old_node), 0.0);
+
+  ASSERT_TRUE(dispatcher.DrainNode(old_node));
+  const NodeId moved = dispatcher.ReassignConnection(1);
+  ASSERT_NE(moved, kInvalidNode);
+  EXPECT_NE(moved, old_node);
+  // Idle connections carry no load; nothing moves until the next batch.
+  EXPECT_DOUBLE_EQ(dispatcher.NodeLoad(old_node), 0.0);
+  EXPECT_DOUBLE_EQ(dispatcher.NodeLoad(moved), 0.0);
+  (void)dispatcher.OnBatch(1, {targets_[1]});
+  EXPECT_DOUBLE_EQ(dispatcher.NodeLoad(moved), 1.0);
+}
+
+TEST_F(MembershipTest, ReassignReturnsInvalidWithoutStateOrNodes) {
+  Dispatcher dispatcher = MakeDispatcher(2, Policy::kWrr);
+  // Unknown connection.
+  EXPECT_EQ(dispatcher.ReassignConnection(99), kInvalidNode);
+  EXPECT_EQ(dispatcher.counters().reassignments, 0u);
+
+  // No assignable node left: both removed.
+  const NodeId node = Open(dispatcher, 1, targets_[0]);
+  ASSERT_TRUE(dispatcher.RemoveNode(node == 0 ? 1 : 0));
+  std::vector<ConnId> orphans;
+  ASSERT_TRUE(dispatcher.RemoveNode(node, &orphans));
+  EXPECT_EQ(orphans, std::vector<ConnId>{1});
+  EXPECT_EQ(dispatcher.ReassignConnection(1), kInvalidNode);
+}
+
+TEST_F(MembershipTest, RandomizedChurnKeepsLoadInvariants) {
+  // Satellite invariant check: across randomized open/batch/idle/close/
+  // drain/remove/add/reassign interleavings, NodeLoad never goes negative,
+  // matches a from-scratch recomputation (WRR + single handoff: one unit per
+  // active connection on its handling node), and the published gauges track.
+  MetricsRegistry registry;
+  DispatcherConfig config;
+  config.policy = Policy::kWrr;
+  config.mechanism = Mechanism::kSingleHandoff;
+  config.num_nodes = 3;
+  config.virtual_cache_bytes = 1024 * 1024;
+  config.metrics = &registry;
+  Dispatcher dispatcher(config, &catalog_, &stats_);
+
+  struct ConnModel {
+    NodeId handling = kInvalidNode;
+    bool active = false;
+  };
+  std::unordered_map<ConnId, ConnModel> model;
+  Rng rng(2026);
+  ConnId next_conn = 1;
+
+  auto check_invariants = [&]() {
+    std::vector<double> expected(static_cast<size_t>(dispatcher.num_node_slots()), 0.0);
+    for (const auto& [conn, state] : model) {
+      if (state.active && state.handling != kInvalidNode &&
+          dispatcher.node_state(state.handling) != NodeState::kDead) {
+        expected[static_cast<size_t>(state.handling)] += 1.0;
+      }
+    }
+    for (NodeId node = 0; node < dispatcher.num_node_slots(); ++node) {
+      const double load = dispatcher.NodeLoad(node);
+      ASSERT_GE(load, 0.0) << "negative load on node " << node;
+      ASSERT_DOUBLE_EQ(load, expected[static_cast<size_t>(node)]) << "node " << node;
+      ASSERT_DOUBLE_EQ(
+          registry.Gauge(MetricsRegistry::WithNode("lard_node_load", node))->value(), load)
+          << "gauge for node " << node;
+      ASSERT_EQ(dispatcher.ConnectionCountOn(node),
+                [&]() {
+                  size_t count = 0;
+                  for (const auto& [conn, state] : model) {
+                    if (state.handling == node) {
+                      ++count;
+                    }
+                  }
+                  return count;
+                }())
+          << "connection count on node " << node;
+    }
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t op = rng.NextUint64() % 100;
+    if (op < 30 && dispatcher.active_node_count() > 0) {
+      // Open + first batch.
+      const ConnId conn = next_conn++;
+      dispatcher.OnConnectionOpen(conn);
+      const TargetId target = targets_[rng.NextUint64() % targets_.size()];
+      const auto assignments = dispatcher.OnBatch(conn, {target});
+      ASSERT_EQ(assignments.size(), 1u);
+      model[conn] = {assignments[0].node, true};
+    } else if (op < 50 && !model.empty()) {
+      // Next batch on a random live connection.
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.NextUint64() % model.size()));
+      const auto assignments =
+          dispatcher.OnBatch(it->first, {targets_[rng.NextUint64() % targets_.size()]});
+      ASSERT_EQ(assignments[0].node, it->second.handling);
+      it->second.active = true;
+    } else if (op < 60 && !model.empty()) {
+      // Idle: release the batch load.
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.NextUint64() % model.size()));
+      dispatcher.OnConnectionIdle(it->first);
+      it->second.active = false;
+    } else if (op < 72 && !model.empty()) {
+      // Close.
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.NextUint64() % model.size()));
+      dispatcher.OnConnectionClose(it->first);
+      model.erase(it);
+    } else if (op < 80 && !model.empty() && dispatcher.active_node_count() > 0) {
+      // Reverse handoff of a random connection.
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.NextUint64() % model.size()));
+      const NodeId moved = dispatcher.ReassignConnection(it->first);
+      if (moved != kInvalidNode) {
+        it->second.handling = moved;
+      }
+    } else if (op < 86) {
+      // Drain a random node (may be refused; membership state only).
+      (void)dispatcher.DrainNode(
+          static_cast<NodeId>(rng.NextUint64() %
+                              static_cast<uint64_t>(dispatcher.num_node_slots())));
+    } else if (op < 92 && dispatcher.active_node_count() > 1) {
+      // Remove a random node; its connections are orphaned.
+      const NodeId victim = static_cast<NodeId>(
+          rng.NextUint64() % static_cast<uint64_t>(dispatcher.num_node_slots()));
+      std::vector<ConnId> orphans;
+      if (dispatcher.RemoveNode(victim, &orphans)) {
+        for (const ConnId conn : orphans) {
+          model.erase(conn);
+        }
+      }
+    } else {
+      (void)dispatcher.AddNode();
+    }
+    check_invariants();
+  }
 }
 
 TEST_F(MembershipTest, LoadGaugesTrackMembership) {

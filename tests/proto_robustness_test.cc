@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <future>
 #include <thread>
 
@@ -81,6 +82,39 @@ TEST(ProtoRobustnessTest, GarbageRequestGets400) {
   ASSERT_GT(::send(fd.value().get(), garbage.data(), garbage.size(), 0), 0);
   const std::string reply = ReadAll(fd.value().get());
   EXPECT_NE(reply.find("400"), std::string::npos);
+  cluster.Stop();
+}
+
+TEST(ProtoRobustnessTest, PartialFirstBatchNeverCrashesTheFrontEnd) {
+  // Regression: a first batch that parses to zero complete requests (a slow
+  // or garbage client trickling bytes) must never reach the dispatcher's
+  // non-empty-batch invariants and abort the front-end — the degenerate
+  // batch gets a 400/close (or simply waits for more bytes) while the
+  // cluster keeps serving everyone else.
+  const Trace trace = SmallTrace();
+  Cluster cluster(FastCluster(2), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // A mix of slow clients: a bare partial request line, a partial header
+  // block, and a lone CRLF, each left dangling and then closed.
+  for (const std::string fragment :
+       {std::string("GET /page0.html"), std::string("GET /page0.html HTTP/1.1\r\nHost: x"),
+        std::string("\r\n")}) {
+    auto fd = ConnectTcp(cluster.port());
+    ASSERT_TRUE(fd.ok());
+    ASSERT_GT(::send(fd.value().get(), fragment.data(), fragment.size(), MSG_NOSIGNAL), 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    fd.value().Reset();  // abandon mid-request
+  }
+
+  // The front-end survived and still serves a well-behaved workload.
+  LoadGeneratorConfig load;
+  load.port = cluster.port();
+  load.num_clients = 4;
+  const LoadResult result = RunLoad(load, trace);
+  EXPECT_EQ(result.responses_ok, trace.total_requests());
+  EXPECT_EQ(result.responses_bad, 0u);
+  EXPECT_EQ(result.transport_errors, 0u);
   cluster.Stop();
 }
 

@@ -139,6 +139,53 @@ TEST(ControlProtocolTest, HandbackRoundTrips) {
   EXPECT_EQ(decoded.replay_input, msg.replay_input);
 }
 
+TEST(ControlProtocolTest, GivebackHandbackRoundTripsInvalidTarget) {
+  // The drain/retire giveback flavour: target kInvalidNode (the front-end
+  // reassigns), empty directives, just the fd's unconsumed parser bytes.
+  HandbackMsg msg;
+  msg.conn_id = 91;
+  msg.target_node = kInvalidNode;
+  msg.replay_input = "GET /half-a-req";
+  HandbackMsg decoded;
+  decoded.target_node = 5;  // must be overwritten
+  ASSERT_TRUE(DecodeHandback(EncodeHandback(msg), &decoded));
+  EXPECT_EQ(decoded.conn_id, 91u);
+  EXPECT_EQ(decoded.target_node, kInvalidNode);
+  EXPECT_TRUE(decoded.directives.empty());
+  EXPECT_EQ(decoded.replay_input, "GET /half-a-req");
+}
+
+TEST(ControlProtocolTest, GivebackHandbackCarriesPendingDirectives) {
+  // A giveback can still carry batch-1 directives waiting on a partial
+  // request; they must survive the trip untouched.
+  HandbackMsg msg;
+  msg.conn_id = 7;
+  msg.target_node = kInvalidNode;
+  RequestDirective pending;
+  pending.action = DirectiveAction::kLateral;
+  pending.node = 3;
+  pending.path = "/__be3/shared.html";
+  pending.cache_after_miss = false;
+  msg.directives.push_back(pending);
+  HandbackMsg decoded;
+  ASSERT_TRUE(DecodeHandback(EncodeHandback(msg), &decoded));
+  ASSERT_EQ(decoded.directives.size(), 1u);
+  EXPECT_EQ(decoded.directives[0].action, DirectiveAction::kLateral);
+  EXPECT_EQ(decoded.directives[0].node, 3);
+  EXPECT_EQ(decoded.directives[0].path, "/__be3/shared.html");
+  EXPECT_FALSE(decoded.directives[0].cache_after_miss);
+}
+
+TEST(ControlProtocolTest, DrainPayloadScalarRoundTrips) {
+  // kDrain carries a reserved u32 flags word; today it is always zero.
+  uint32_t flags = 0xdeadbeef;
+  ASSERT_TRUE(DecodeU32(EncodeU32(0), &flags));
+  EXPECT_EQ(flags, 0u);
+  // A truncated payload fails cleanly (the back-end drains regardless but
+  // must not read past the buffer).
+  EXPECT_FALSE(DecodeU32(std::string_view("\x01", 1), &flags));
+}
+
 TEST(ControlProtocolTest, DecodeRejectsBadDirectiveAction) {
   HandoffMsg msg;
   msg.conn_id = 1;
