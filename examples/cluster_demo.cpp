@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "src/core/policy.h"
 #include "src/proto/cluster.h"
 #include "src/proto/load_generator.h"
 #include "src/trace/synthetic.h"
@@ -30,7 +31,7 @@ int main(int argc, char** argv) {
   int64_t listen_port = 0;
   int64_t admin_port = 0;
   double disk_scale = 0.05;
-  std::string policy = "extlard";  // extlard | lard | wrr
+  std::string policy = "extlard";  // any PolicyRegistry name
   std::string mechanism = "beforward";  // beforward | single | multi | relay
   bool http10 = false;
   bool serve = false;
@@ -41,7 +42,8 @@ int main(int argc, char** argv) {
   flags.AddInt("port", &listen_port, "front-end client port (0 = ephemeral)");
   flags.AddInt("admin-port", &admin_port, "admin API port (0 = ephemeral)");
   flags.AddDouble("disk-scale", &disk_scale, "simulated-disk time scale (1.0 = 28.5 ms seeks)");
-  flags.AddString("policy", &policy, "extlard | lard | wrr");
+  flags.AddString("policy", &policy,
+                  "routing policy (" + lard::PolicyRegistry::Global().NamesCsv() + ")");
   flags.AddString("mechanism", &mechanism, "beforward | single | multi | relay");
   flags.AddBool("http10", &http10, "drive with one connection per request");
   flags.AddBool("serve", &serve, "keep the cluster running for manual curl");
@@ -57,9 +59,12 @@ int main(int argc, char** argv) {
 
   lard::ClusterConfig config;
   config.num_nodes = static_cast<int>(nodes);
-  config.policy = policy == "wrr"    ? lard::Policy::kWrr
-                  : policy == "lard" ? lard::Policy::kLard
-                                     : lard::Policy::kExtendedLard;
+  if (!lard::PolicyRegistry::Global().Contains(policy)) {
+    std::fprintf(stderr, "unknown policy '%s' (registered: %s)\n", policy.c_str(),
+                 lard::PolicyRegistry::Global().NamesCsv().c_str());
+    return 1;
+  }
+  config.policy_name = policy;
   config.mechanism = mechanism == "single"  ? lard::Mechanism::kSingleHandoff
                      : mechanism == "relay" ? lard::Mechanism::kRelayingFrontEnd
                      : mechanism == "multi" ? lard::Mechanism::kMultipleHandoff
@@ -76,7 +81,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("cluster up: %lld back-ends, %s over %s, http://127.0.0.1:%u/\n",
-              static_cast<long long>(nodes), lard::PolicyName(config.policy),
+              static_cast<long long>(nodes), policy.c_str(),
               lard::MechanismName(config.mechanism), cluster.port());
   std::printf("document tree: %zu files, %.1f MB (e.g. /page0/index.html)\n",
               trace.catalog().size(), static_cast<double>(trace.catalog().TotalBytes()) / 1e6);

@@ -1,12 +1,15 @@
-// Policy laboratory: sweep any policy/mechanism combination over a
-// configurable synthetic workload in the simulator and print a comparison
-// table (optionally CSV). Useful for exploring where LARD's advantage
-// appears, how the working-set : cache ratio shifts the curves, and what
-// P-HTTP does to each policy.
+// Policy laboratory: sweep any registered routing policy against any
+// mechanism over a configurable synthetic workload in the simulator and
+// print a comparison table (optionally CSV). Useful for exploring where
+// LARD's advantage appears, how the working-set : cache ratio shifts the
+// curves, what P-HTTP does to each policy, and — with --skew — what
+// heterogeneous node speeds do to weighted vs unweighted placement.
 //
 //   ./build/examples/policy_lab --nodes 8 --pages 2000 --cache-mb 16
 //   ./build/examples/policy_lab --alpha 0.7 --csv /tmp/lab.csv
+//   ./build/examples/policy_lab --skew 2   # fast half runs 2x; wextLARD knows
 #include <cstdio>
+#include <vector>
 
 #include "src/sim/cluster_sim.h"
 #include "src/trace/synthetic.h"
@@ -18,9 +21,10 @@ namespace {
 
 struct Combo {
   const char* label;
-  lard::Policy policy;
+  const char* policy;  // PolicyRegistry name
   lard::Mechanism mechanism;
   bool http10;
+  bool weighted;  // node weights track the true speeds (--skew)
 };
 
 }  // namespace
@@ -34,6 +38,7 @@ int main(int argc, char** argv) {
   int64_t seed = 42;
   double alpha = 1.0;
   double pages_per_session = 1.5;
+  double skew = 1.0;
   bool flash = false;
   std::string csv;
   flags.AddInt("nodes", &nodes, "cluster size");
@@ -43,6 +48,7 @@ int main(int argc, char** argv) {
   flags.AddInt("seed", &seed, "workload seed");
   flags.AddDouble("alpha", &alpha, "Zipf popularity exponent");
   flags.AddDouble("pages-per-session", &pages_per_session, "mean page visits per connection");
+  flags.AddDouble("skew", &skew, "speed multiplier of the fast half (1 = homogeneous cluster)");
   flags.AddBool("flash", &flash, "use the Flash cost model instead of Apache");
   flags.AddString("csv", &csv, "write results as CSV here");
   flags.Parse(argc, argv);
@@ -67,19 +73,25 @@ int main(int argc, char** argv) {
                   static_cast<double>(stats.footprint_bytes),
               flash ? "flash" : "apache");
 
+  std::vector<double> speeds(static_cast<size_t>(nodes), 1.0);
+  if (skew != 1.0) {
+    for (size_t i = 0; i < speeds.size() / 2; ++i) {
+      speeds[i] = skew;
+    }
+    std::printf("speed skew: fast half at %.1fx (wextLARD rows carry weights=speeds)\n", skew);
+  }
+
   const Combo combos[] = {
-      {"WRR", lard::Policy::kWrr, lard::Mechanism::kSingleHandoff, true},
-      {"WRR-PHTTP", lard::Policy::kWrr, lard::Mechanism::kSingleHandoff, false},
-      {"simple-LARD", lard::Policy::kLard, lard::Mechanism::kSingleHandoff, true},
-      {"simple-LARD-PHTTP", lard::Policy::kLard, lard::Mechanism::kSingleHandoff, false},
-      {"BEforward-extLARD-PHTTP", lard::Policy::kExtendedLard,
-       lard::Mechanism::kBackEndForwarding, false},
-      {"multiHandoff-extLARD-PHTTP", lard::Policy::kExtendedLard,
-       lard::Mechanism::kMultipleHandoff, false},
-      {"relay-extLARD-PHTTP", lard::Policy::kExtendedLard,
-       lard::Mechanism::kRelayingFrontEnd, false},
-      {"zeroCost-extLARD-PHTTP", lard::Policy::kExtendedLard, lard::Mechanism::kIdealHandoff,
-       false},
+      {"WRR", "wrr", lard::Mechanism::kSingleHandoff, true, false},
+      {"WRR-PHTTP", "wrr", lard::Mechanism::kSingleHandoff, false, false},
+      {"simple-LARD", "lard", lard::Mechanism::kSingleHandoff, true, false},
+      {"simple-LARD-PHTTP", "lard", lard::Mechanism::kSingleHandoff, false, false},
+      {"BEforward-extLARD-PHTTP", "extlard", lard::Mechanism::kBackEndForwarding, false, false},
+      {"BEforward-wextLARD-PHTTP", "wextlard", lard::Mechanism::kBackEndForwarding, false, true},
+      {"BEforward-LARD/R-PHTTP", "lardr", lard::Mechanism::kBackEndForwarding, false, false},
+      {"multiHandoff-extLARD-PHTTP", "extlard", lard::Mechanism::kMultipleHandoff, false, false},
+      {"relay-extLARD-PHTTP", "extlard", lard::Mechanism::kRelayingFrontEnd, false, false},
+      {"zeroCost-extLARD-PHTTP", "extlard", lard::Mechanism::kIdealHandoff, false, false},
   };
 
   lard::Table table({"policy/mechanism", "req/s", "Mb/s", "hit rate", "batch ms", "forwards",
@@ -87,11 +99,15 @@ int main(int argc, char** argv) {
   for (const Combo& combo : combos) {
     lard::ClusterSimConfig config;
     config.num_nodes = static_cast<int>(nodes);
-    config.policy = combo.policy;
+    config.policy_name = combo.policy;
     config.mechanism = combo.mechanism;
     config.http10 = combo.http10;
     config.backend_cache_bytes = static_cast<uint64_t>(cache_mb) * 1024 * 1024;
     config.server_costs = flash ? lard::FlashCosts() : lard::ApacheCosts();
+    config.node_speeds = speeds;
+    if (combo.weighted) {
+      config.node_weights = speeds;
+    }
     const lard::ClusterSimMetrics metrics = lard::ClusterSim(config, &trace).Run();
     table.Row()
         .Cell(combo.label)

@@ -18,29 +18,52 @@ const char* MechanismName(Mechanism mechanism) {
   return "?";
 }
 
+namespace {
+
+// The one authoritative enum <-> key <-> display mapping for the built-ins
+// (the registry in src/core/policy.cc instantiates the same keys).
+struct PolicyNameEntry {
+  Policy policy;
+  const char* key;
+  const char* display;
+};
+
+constexpr PolicyNameEntry kPolicyNames[] = {
+    {Policy::kWrr, "wrr", "WRR"},
+    {Policy::kLard, "lard", "LARD"},
+    {Policy::kExtendedLard, "extlard", "extLARD"},
+    {Policy::kWeightedExtendedLard, "wextlard", "wextLARD"},
+    {Policy::kLardReplication, "lardr", "LARD/R"},
+};
+
+}  // namespace
+
 const char* PolicyName(Policy policy) {
-  switch (policy) {
-    case Policy::kWrr:
-      return "WRR";
-    case Policy::kLard:
-      return "LARD";
-    case Policy::kExtendedLard:
-      return "extLARD";
+  for (const PolicyNameEntry& entry : kPolicyNames) {
+    if (entry.policy == policy) {
+      return entry.display;
+    }
+  }
+  return "?";
+}
+
+const char* PolicyKey(Policy policy) {
+  for (const PolicyNameEntry& entry : kPolicyNames) {
+    if (entry.policy == policy) {
+      return entry.key;
+    }
   }
   return "?";
 }
 
 bool ParsePolicyName(const std::string& name, Policy* policy) {
-  if (name == "wrr") {
-    *policy = Policy::kWrr;
-  } else if (name == "lard") {
-    *policy = Policy::kLard;
-  } else if (name == "extlard") {
-    *policy = Policy::kExtendedLard;
-  } else {
-    return false;
+  for (const PolicyNameEntry& entry : kPolicyNames) {
+    if (name == entry.key) {
+      *policy = entry.policy;
+      return true;
+    }
   }
-  return true;
+  return false;
 }
 
 const char* NodeStateName(NodeState state) {

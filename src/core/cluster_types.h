@@ -37,18 +37,33 @@ enum class Mechanism {
   kIdealHandoff,
 };
 
-// Section 2.2 / 4's distribution policies.
+// Section 2.2 / 4's distribution policies, plus this repo's extensions for
+// heterogeneous and replicated clusters. The enum is convenient shorthand for
+// the built-ins; the authoritative, extensible surface is the string-keyed
+// PolicyRegistry in src/core/policy.h — configs carry an optional
+// `policy_name` that overrides the enum, and POST /policy accepts any
+// registered name.
 enum class Policy {
   kWrr,           // weighted round-robin: pure load balancing, content-blind
   kLard,          // basic LARD (Fig. 4 cost metrics) at connection granularity
   kExtendedLard,  // Section 4.2: LARD extended for P-HTTP
+  kWeightedExtendedLard,  // extLARD with per-node capacity weights: load
+                          // comparisons normalize by weight (heterogeneous
+                          // node speeds)
+  kLardReplication,       // LARD/R: hot targets map to a replica *set*,
+                          // splitting their load across nodes
 };
 
 const char* MechanismName(Mechanism mechanism);
 const char* PolicyName(Policy policy);
 
-// Parses the short names used on command lines and the admin API
-// ("wrr" | "lard" | "extlard"); returns false on anything else.
+// The PolicyRegistry key for a built-in ("wrr" | "lard" | "extlard" |
+// "wextlard" | "lardr").
+const char* PolicyKey(Policy policy);
+
+// Parses the registry keys used on command lines and the admin API; returns
+// false on anything else (including registered plugin policies that have no
+// enum value — resolve those through the PolicyRegistry directly).
 bool ParsePolicyName(const std::string& name, Policy* policy);
 
 // Lifecycle of a back-end node in the control plane. Node ids are stable:

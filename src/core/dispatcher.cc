@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "src/core/cost_metrics.h"
 #include "src/util/logging.h"
 
 namespace lard {
@@ -13,16 +12,33 @@ Dispatcher::Dispatcher(const DispatcherConfig& config, const TargetCatalog* cata
   LARD_CHECK(config_.num_nodes > 0);
   LARD_CHECK(catalog_ != nullptr);
   LARD_CHECK(stats_ != nullptr);
+  const std::string initial_policy =
+      config_.policy_name.empty() ? PolicyKey(config_.policy) : config_.policy_name;
+  policy_ = PolicyRegistry::Global().Create(initial_policy);
+  LARD_CHECK(policy_ != nullptr) << "unknown routing policy '" << initial_policy
+                                 << "' (registered: "
+                                 << PolicyRegistry::Global().NamesCsv() << ")";
+  (void)ParsePolicyName(initial_policy, &config_.policy);  // keep the enum in sync for built-ins
   for (int i = 0; i < config_.num_nodes; ++i) {
-    AddNode();
+    const double weight = static_cast<size_t>(i) < config_.node_weights.size()
+                              ? config_.node_weights[static_cast<size_t>(i)]
+                              : 1.0;
+    AddNode(weight);
   }
   // The initial membership is a given, not a control-plane event.
   counters_.nodes_added = 0;
 }
 
-NodeId Dispatcher::AddNode() {
+DispatcherView Dispatcher::View() const {
+  return DispatcherView(&load_, &weights_, &states_, &vcaches_, stats_, &config_.params,
+                        config_.mechanism);
+}
+
+NodeId Dispatcher::AddNode(double weight) {
+  LARD_CHECK(weight > 0.0) << "node weight must be positive, got " << weight;
   const NodeId node = static_cast<NodeId>(states_.size());
   load_.push_back(0.0);
+  weights_.push_back(weight);
   vcaches_.emplace_back(config_.virtual_cache_bytes);
   states_.push_back(NodeState::kActive);
   handled_counts_.push_back(0);
@@ -91,7 +107,7 @@ NodeId Dispatcher::ReassignConnection(ConnId conn, const std::vector<TargetId>& 
   const NodeId old_node = conn_state.handling;
 
   // Place like a fresh connection: cache affinity on the first pending target
-  // when there is one, least-loaded WRR otherwise.
+  // when there is one, a pure load-balance pick otherwise.
   TargetId affinity = kInvalidTarget;
   for (const TargetId target : pending_targets) {
     if (target != kInvalidTarget) {
@@ -99,7 +115,10 @@ NodeId Dispatcher::ReassignConnection(ConnId conn, const std::vector<TargetId>& 
       break;
     }
   }
-  const NodeId new_node = affinity != kInvalidTarget ? PickFirstNode(affinity) : PickWrr();
+  const DispatcherView view = View();
+  const NodeId new_node = affinity != kInvalidTarget
+                              ? policy_->PickFirstNode(view, policy_state_, affinity)
+                              : policy_->PickLoadBalanced(view, policy_state_);
   if (new_node == kInvalidNode) {
     return kInvalidNode;
   }
@@ -127,7 +146,26 @@ NodeId Dispatcher::ReassignConnection(ConnId conn, const std::vector<TargetId>& 
   return new_node;
 }
 
-void Dispatcher::SetPolicy(Policy policy) { config_.policy = policy; }
+void Dispatcher::SetPolicy(Policy policy) {
+  LARD_CHECK(SetPolicyByName(PolicyKey(policy)));
+}
+
+bool Dispatcher::SetPolicyByName(const std::string& name) {
+  if (name == policy_->name()) {
+    return true;  // idempotent: keep stateful policies' accumulated state
+                  // (e.g. LARD/R replica sets) on a re-post of the same name
+  }
+  std::unique_ptr<RoutingPolicy> fresh = PolicyRegistry::Global().Create(name);
+  if (fresh == nullptr) {
+    return false;
+  }
+  policy_ = std::move(fresh);
+  // Keep the enum shorthand coherent for built-ins; plugin policies leave it
+  // at its last value (policy() is the authoritative answer either way).
+  (void)ParsePolicyName(name, &config_.policy);
+  config_.policy_name = name;
+  return true;
+}
 
 int Dispatcher::active_node_count() const {
   int count = 0;
@@ -201,13 +239,13 @@ std::vector<Assignment> Dispatcher::OnBatch(ConnId conn, const std::vector<Targe
       // modeling.
       if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
         assignment.action = AssignmentAction::kRelay;
-        assignment.node = PickWrr();
+        assignment.node = policy_->PickLoadBalanced(View(), policy_state_);
         ++counters_.relays;
         AddLoad(assignment.node, fraction);
         conn_state.remote_nodes.push_back(assignment.node);
       } else if (conn_state.handling == kInvalidNode) {
         assignment.action = AssignmentAction::kHandoff;
-        assignment.node = PickWrr();
+        assignment.node = policy_->PickLoadBalanced(View(), policy_state_);
         SetHandling(conn_state, assignment.node);
         ++counters_.handoffs;
       } else {
@@ -221,8 +259,7 @@ std::vector<Assignment> Dispatcher::OnBatch(ConnId conn, const std::vector<Targe
     if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
       // No handoff ever: the FE relays each request to a per-request choice.
       assignment.action = AssignmentAction::kRelay;
-      assignment.node =
-          config_.policy == Policy::kWrr ? PickWrr() : PickBasicLard(target);
+      assignment.node = policy_->PickPerRequest(View(), policy_state_, target);
       assignment.served_from_cache = Cached(assignment.node, target);
       ++counters_.relays;
       AddLoad(assignment.node, fraction);
@@ -230,12 +267,21 @@ std::vector<Assignment> Dispatcher::OnBatch(ConnId conn, const std::vector<Targe
     } else if (conn_state.handling == kInvalidNode) {
       // First request of the connection: the handoff decision.
       assignment.action = AssignmentAction::kHandoff;
-      assignment.node = PickFirstNode(target);
+      assignment.node = policy_->PickFirstNode(View(), policy_state_, target);
       assignment.served_from_cache = Cached(assignment.node, target);
       SetHandling(conn_state, assignment.node);
       ++counters_.handoffs;
     } else {
-      assignment = DecideSubsequent(conn_state, target);
+      // Subsequent pipelined request: per-request distribution only when the
+      // policy wants it AND the mechanism supports it; otherwise the
+      // connection is pinned to its handling node.
+      SubsequentDecision decision;
+      decision.node = conn_state.handling;
+      if (policy_->per_request_distribution() &&
+          MechanismAllowsPerRequestDistribution(config_.mechanism)) {
+        decision = policy_->DecideSubsequent(View(), policy_state_, conn_state.handling, target);
+      }
+      assignment = ApplySubsequent(conn_state, target, decision);
     }
 
     ApplyCacheEffects(target, assignment);
@@ -251,169 +297,43 @@ std::vector<Assignment> Dispatcher::OnBatch(ConnId conn, const std::vector<Targe
   return assignments;
 }
 
-Assignment Dispatcher::DecideSubsequent(ConnState& conn_state, TargetId target) {
+Assignment Dispatcher::ApplySubsequent(ConnState& conn_state, TargetId target,
+                                       const SubsequentDecision& decision) {
   const NodeId handling = conn_state.handling;
   Assignment assignment;
-  assignment.node = handling;
-  assignment.action = AssignmentAction::kServeLocal;
+  assignment.node = decision.node;
+  assignment.cache_after_miss = decision.cache_after_miss;
+  // The model's cache verdict falls out of the chosen node: a remote pick was
+  // chosen *because* it caches the target; a local serve hits iff the
+  // handling node's virtual cache holds it.
+  assignment.served_from_cache = Cached(decision.node, target);
 
-  const bool per_request_allowed = config_.policy == Policy::kExtendedLard &&
-                                   MechanismAllowsPerRequestDistribution(config_.mechanism);
-  if (!per_request_allowed) {
-    // WRR, basic LARD, or a single-handoff mechanism: stuck on the handling
-    // node no matter what.
-    assignment.served_from_cache = Cached(handling, target);
+  if (decision.node == handling) {
+    assignment.action = AssignmentAction::kServeLocal;
     ++counters_.local_serves;
-    return assignment;
-  }
-
-  // Extended LARD, Section 4.2.
-  if (Cached(handling, target)) {
-    assignment.served_from_cache = true;
-    ++counters_.local_serves;
-    return assignment;
-  }
-  if (stats_->DiskQueueLength(handling) < config_.params.low_disk_queue_threshold) {
-    // Local disk is idle enough: read locally, avoid forwarding overhead, and
-    // cache the result (disk not thrashing => there is room to cache).
-    ++counters_.local_serves;
-    return assignment;
-  }
-
-  // Local disk is busy: consider the handling node and every *assignable*
-  // node that currently caches the target (forwards are new work — draining
-  // and dead nodes take none); pick the minimum aggregate cost.
-  NodeId best = handling;
-  double best_cost = AggregateCost(load_[handling], /*target_cached_at_node=*/false,
-                                   config_.params);
-  bool any_remote_candidate = false;
-  for (NodeId node = 0; node < num_node_slots(); ++node) {
-    if (node == handling || !Assignable(node) || !Cached(node, target)) {
-      continue;
-    }
-    any_remote_candidate = true;
-    const double cost = AggregateCost(load_[node], /*target_cached_at_node=*/true,
-                                      config_.params);
-    if (cost < best_cost || (cost == best_cost && load_[node] < load_[best])) {
-      best = node;
-      best_cost = cost;
-    }
-  }
-  if (!any_remote_candidate) {
-    // Cached nowhere: this is a first placement, not replication — cache it
-    // (the no-cache heuristic exists to bound *replication*; never caching a
-    // cold target would freeze the cluster in its cold state).
-    ++counters_.local_serves;
-    return assignment;
-  }
-  if (best_cost == kInfiniteCost) {
-    // Everything (including the handling node) is past L_overload; fall back
-    // to the least-loaded candidate to stay work-conserving.
-    for (NodeId node = 0; node < num_node_slots(); ++node) {
-      const bool candidate =
-          node == handling || (Assignable(node) && Cached(node, target));
-      if (candidate && load_[node] < load_[best]) {
-        best = node;
-      }
-    }
-  }
-
-  if (best == handling) {
-    // Serve locally from a busy disk; do NOT cache (the heuristic: a busy
-    // disk means the main-memory cache is already thrashing, and another
-    // node holds a copy already).
-    if (config_.params.no_cache_when_busy) {
-      assignment.cache_after_miss = false;
+    if (!decision.cache_after_miss) {
       ++counters_.served_without_caching;
     }
-    ++counters_.local_serves;
     return assignment;
   }
 
-  assignment.node = best;
-  assignment.served_from_cache = true;  // `best` was a candidate because it caches the target
   if (config_.mechanism == Mechanism::kBackEndForwarding) {
     assignment.action = AssignmentAction::kForward;
     ++counters_.forwards;
     // Remote node carries 1/N for the batch service time.
-    AddLoad(best, conn_state.remote_fraction);
-    conn_state.remote_nodes.push_back(best);
+    AddLoad(decision.node, conn_state.remote_fraction);
+    conn_state.remote_nodes.push_back(decision.node);
   } else {
     // Multiple handoff (or the zero-cost ideal): the connection itself moves.
     assignment.action = AssignmentAction::kMigrate;
     ++counters_.migrations;
     if (conn_state.active) {
       AddLoad(conn_state.handling, -1.0);
-      AddLoad(best, 1.0);
+      AddLoad(decision.node, 1.0);
     }
-    SetHandling(conn_state, best);
+    SetHandling(conn_state, decision.node);
   }
   return assignment;
-}
-
-NodeId Dispatcher::PickFirstNode(TargetId target) {
-  return config_.policy == Policy::kWrr ? PickWrr() : PickBasicLard(target);
-}
-
-NodeId Dispatcher::PickWrr() {
-  // Weighted round-robin with equal-speed nodes and load feedback: choose the
-  // least-loaded assignable node, breaking ties in round-robin order so an
-  // idle cluster still rotates.
-  NodeId best = kInvalidNode;
-  double best_load = kInfiniteCost;
-  const size_t n = static_cast<size_t>(num_node_slots());
-  for (size_t k = 0; k < n; ++k) {
-    const NodeId node = static_cast<NodeId>((rr_cursor_ + k) % n);
-    if (Assignable(node) && load_[node] < best_load) {
-      best = node;
-      best_load = load_[node];
-    }
-  }
-  LARD_CHECK(best != kInvalidNode) << "no assignable node (all drained or dead)";
-  rr_cursor_ = (static_cast<size_t>(best) + 1) % n;
-  return best;
-}
-
-NodeId Dispatcher::PickBasicLard(TargetId target) {
-  // Basic LARD in its Fig. 4 cost form: evaluate every assignable node,
-  // assign to the minimum aggregate cost. Ties prefer a node that caches the
-  // target, then the lower load. Remaining full ties (e.g. a cold target on
-  // an idle cluster) rotate round-robin so initial placements spread — the
-  // cost form is otherwise indifferent and piling cold targets onto node 0
-  // would defeat the partitioning.
-  NodeId best = kInvalidNode;
-  double best_cost = kInfiniteCost;
-  bool best_cached = false;
-  const size_t n = static_cast<size_t>(num_node_slots());
-  for (size_t k = 0; k < n; ++k) {
-    const NodeId node = static_cast<NodeId>((rr_cursor_ + k) % n);
-    if (!Assignable(node)) {
-      continue;
-    }
-    const bool cached = Cached(node, target);
-    const double cost = AggregateCost(load_[node], cached, config_.params);
-    const bool better =
-        best == kInvalidNode || cost < best_cost ||
-        (cost == best_cost && (cached && !best_cached)) ||
-        (cost == best_cost && cached == best_cached && load_[node] < load_[best]);
-    if (better) {
-      best = node;
-      best_cost = cost;
-      best_cached = cached;
-    }
-  }
-  LARD_CHECK(best != kInvalidNode) << "no assignable node (all drained or dead)";
-  if (best_cost == kInfiniteCost) {
-    for (NodeId node = 0; node < num_node_slots(); ++node) {
-      if (Assignable(node) && load_[node] < load_[best]) {
-        best = node;
-      }
-    }
-  }
-  if (!best_cached) {
-    rr_cursor_ = (static_cast<size_t>(best) + 1) % n;
-  }
-  return best;
 }
 
 void Dispatcher::ApplyCacheEffects(TargetId target, const Assignment& assignment) {
@@ -464,6 +384,15 @@ void Dispatcher::OnConnectionClose(ConnId conn) {
 double Dispatcher::NodeLoad(NodeId node) const {
   LARD_CHECK(node >= 0 && node < num_node_slots());
   return load_[node];
+}
+
+double Dispatcher::NodeWeight(NodeId node) const {
+  LARD_CHECK(node >= 0 && node < num_node_slots());
+  return weights_[static_cast<size_t>(node)];
+}
+
+double Dispatcher::NormalizedNodeLoad(NodeId node) const {
+  return NodeLoad(node) / NodeWeight(node);
 }
 
 NodeId Dispatcher::HandlingNode(ConnId conn) const {

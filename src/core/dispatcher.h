@@ -1,12 +1,13 @@
-// The front-end dispatcher: one implementation of the paper's policies
-// (WRR, LARD, extended LARD) against an abstract mechanism, shared verbatim
-// by the discrete-event simulator (src/sim) and the socket prototype
-// (src/proto) so that simulated and measured policy behaviour is the same
-// code.
+// The front-end dispatcher: the mechanism-side decision engine shared
+// verbatim by the discrete-event simulator (src/sim) and the socket
+// prototype (src/proto) so that simulated and measured policy behaviour is
+// the same code. *Which node* serves a request is delegated to a pluggable
+// RoutingPolicy (src/core/policy.h — WRR, LARD, extended LARD, weighted
+// extended LARD, LARD/R, or any registered plugin); the dispatcher owns all
+// state the policies decide over and applies their decisions' side effects.
 //
-// The dispatcher is a pure decision engine. It never touches sockets or
-// simulated hardware; it consumes connection-lifecycle events and emits
-// Assignments. It maintains:
+// The dispatcher never touches sockets or simulated hardware; it consumes
+// connection-lifecycle events and emits Assignments. It maintains:
 //   * per-node load in the paper's load units: 1 per active handed-off
 //     connection on its handling node, plus 1/N per remote node serving
 //     requests of an N-request pipelined batch, held for the batch service
@@ -17,6 +18,8 @@
 //     fetched from a backend node",
 //   * per-connection state: handling node, activity, outstanding fractional
 //     loads,
+//   * per-node capacity weights (heterogeneous node speeds; weighted
+//     policies compare load/weight),
 //   * per-node membership state (active / draining / dead): the control
 //     plane's dynamic view of the cluster. `config.num_nodes` is only the
 //     *initial* membership; nodes join via AddNode and leave via
@@ -29,12 +32,15 @@
 #define SRC_CORE_DISPATCHER_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/cluster_types.h"
 #include "src/core/lard_params.h"
 #include "src/core/lru_cache.h"
+#include "src/core/policy.h"
 #include "src/trace/trace.h"
 #include "src/util/metrics.h"
 
@@ -42,9 +48,17 @@ namespace lard {
 
 struct DispatcherConfig {
   Policy policy = Policy::kExtendedLard;
+  // When non-empty, resolved through the PolicyRegistry and overriding
+  // `policy` — the way to select a registered plugin policy that has no enum
+  // value. Unknown names abort at construction (configs are code).
+  std::string policy_name;
   Mechanism mechanism = Mechanism::kBackEndForwarding;
   LardParams params;
   int num_nodes = 1;  // initial membership: nodes [0, num_nodes) start active
+  // Capacity weight of initial node i (1.0 = baseline; 2.0 = twice the
+  // speed). Shorter than num_nodes is padded with 1.0; weights must be > 0.
+  // Weighted policies ("wextlard") compare load/weight instead of raw load.
+  std::vector<double> node_weights;
   // Capacity of the dispatcher's per-node virtual cache; should match the
   // back-ends' file-cache size.
   uint64_t virtual_cache_bytes = 85ull * 1024 * 1024;
@@ -100,10 +114,10 @@ class Dispatcher {
 
   // --- membership (the control plane) ---
 
-  // Adds a node with an empty virtual cache and zero load; returns its
-  // (freshly allocated, never-recycled) id. The node is immediately
-  // assignable.
-  NodeId AddNode();
+  // Adds a node with an empty virtual cache, zero load and the given
+  // capacity weight; returns its (freshly allocated, never-recycled) id. The
+  // node is immediately assignable.
+  NodeId AddNode(double weight = 1.0);
 
   // Stops new assignments (handoffs, forwards, migrations, relays) to
   // `node`; its active persistent connections keep being served. Returns
@@ -133,15 +147,25 @@ class Dispatcher {
   NodeId ReassignConnection(ConnId conn, const std::vector<TargetId>& pending_targets = {});
 
   // Runtime policy switch (admin POST /policy). Existing connections keep
-  // their handling nodes; only future decisions use the new policy.
+  // their handling nodes and the round-robin cursor persists; only future
+  // decisions use the new policy. The enum overload is shorthand for the
+  // built-ins; SetPolicyByName accepts any registered name and returns false
+  // (policy unchanged) on an unknown one.
   void SetPolicy(Policy policy);
+  bool SetPolicyByName(const std::string& name);
 
   // --- introspection (tests, metrics, admin API) ---
+  // The active routing policy (its name() is the canonical registry key).
+  const RoutingPolicy& policy() const { return *policy_; }
   // Total node slots ever allocated (including drained/dead ids).
   int num_node_slots() const { return static_cast<int>(states_.size()); }
   int active_node_count() const;
   NodeState node_state(NodeId node) const;
   double NodeLoad(NodeId node) const;
+  double NodeWeight(NodeId node) const;
+  // Load per unit of capacity (load/weight) — the admin API's heterogeneity
+  // signal.
+  double NormalizedNodeLoad(NodeId node) const;
   NodeId HandlingNode(ConnId conn) const;
   // Open connections currently handled by `node` (retire bookkeeping).
   size_t ConnectionCountOn(NodeId node) const;
@@ -159,11 +183,13 @@ class Dispatcher {
     double remote_fraction = 0.0;      // the 1/N each of them carries
   };
 
-  // Policy entry points.
-  NodeId PickFirstNode(TargetId target);
-  NodeId PickWrr();
-  NodeId PickBasicLard(TargetId target);
-  Assignment DecideSubsequent(ConnState& conn_state, TargetId target);
+  // The read-only window the active RoutingPolicy decides over.
+  DispatcherView View() const;
+  // Applies a policy's SubsequentDecision: maps it to a serve-local /
+  // forward / migrate assignment per the mechanism and performs the load
+  // accounting and counter updates.
+  Assignment ApplySubsequent(ConnState& conn_state, TargetId target,
+                             const SubsequentDecision& decision);
 
   // Applies the cache-model side effects of serving `target` per `assignment`.
   void ApplyCacheEffects(TargetId target, const Assignment& assignment);
@@ -190,14 +216,16 @@ class Dispatcher {
   DispatcherConfig config_;
   const TargetCatalog* catalog_;
   const BackendStatsProvider* stats_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  PolicyState policy_state_;  // shared rr cursor; survives policy switches
 
   std::vector<double> load_;
+  std::vector<double> weights_;  // capacity weight per node slot
   std::vector<LruCache> vcaches_;
   std::vector<NodeState> states_;
   std::vector<uint64_t> handled_counts_;  // open connections per handling node
   std::vector<MetricGauge*> load_gauges_;  // nullptrs when metrics disabled
   std::unordered_map<ConnId, ConnState> conns_;
-  size_t rr_cursor_ = 0;  // WRR tie-breaking
   DispatcherCounters counters_;
 };
 

@@ -24,6 +24,11 @@ struct LardParams {
   // requests are served locally from disk and the fetched content is cached
   // locally. [reconstructed; swept in bench/ablation_extlard]
   int low_disk_queue_threshold = 4;
+  // LARD/R ("lardr"): after this many placements of a target without its
+  // replica set growing, the most loaded replica is retired — the classic
+  // policy's time-based decay, counted in picks because the dispatcher has
+  // no clock.
+  int replica_decay_picks = 50;
 
   // --- Ablation switches (paper behaviour = defaults) ---
 

@@ -1,0 +1,193 @@
+// The pluggable routing-policy API. The paper's policies (WRR, LARD,
+// extended LARD) used to be welded into the Dispatcher as an enum plus
+// private pick methods; they are now RoutingPolicy implementations behind a
+// string-keyed PolicyRegistry, so new strategies — weighted placement for
+// heterogeneous node speeds, replicated hot-target sets — are ~100-line
+// plugins instead of dispatcher rewrites.
+//
+// Division of labour:
+//   * The Dispatcher owns all *state mutation*: load accounting, virtual
+//     caches, connection bookkeeping, membership, counters.
+//   * A RoutingPolicy is a pure decision function over a read-only
+//     DispatcherView (per-node load, capacity weight, membership state,
+//     virtual-cache contents, back-end disk feedback). Policies may keep
+//     their own private state (e.g. LARD/R's replica sets); the shared
+//     round-robin cursor lives in PolicyState, owned by the dispatcher, so
+//     rotation continuity survives runtime policy switches exactly as it did
+//     when the cursor was a dispatcher member.
+//
+// Built-in registry names: "wrr", "lard", "extlard", "wextlard", "lardr".
+// To add a policy: subclass RoutingPolicy, register a factory under a new
+// name (PolicyRegistry::Global().Register(...)), and it is immediately
+// selectable via DispatcherConfig::policy_name, Dispatcher::SetPolicyByName
+// and the admin API's POST /policy. See docs/ADMIN_API.md for a walkthrough.
+#ifndef SRC_CORE_POLICY_H_
+#define SRC_CORE_POLICY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster_types.h"
+#include "src/core/lard_params.h"
+#include "src/core/lru_cache.h"
+#include "src/trace/trace.h"
+
+namespace lard {
+
+// Read-only window onto the dispatcher's state, handed to every policy call.
+// Node ids index [0, num_node_slots()); dead/draining slots persist (ids are
+// never reused) and are excluded from new work via Assignable().
+class DispatcherView {
+ public:
+  DispatcherView(const std::vector<double>* loads, const std::vector<double>* weights,
+                 const std::vector<NodeState>* states, const std::vector<LruCache>* vcaches,
+                 const BackendStatsProvider* stats, const LardParams* params,
+                 Mechanism mechanism)
+      : loads_(loads),
+        weights_(weights),
+        states_(states),
+        vcaches_(vcaches),
+        stats_(stats),
+        params_(params),
+        mechanism_(mechanism) {}
+
+  int num_node_slots() const { return static_cast<int>(states_->size()); }
+  NodeState state(NodeId node) const { return (*states_)[static_cast<size_t>(node)]; }
+  // True when new work (handoffs, forwards, migrations, relays) may go to
+  // `node`.
+  bool Assignable(NodeId node) const { return state(node) == NodeState::kActive; }
+  // The paper's load units: active handed-off connections plus fractional
+  // batch loads.
+  double Load(NodeId node) const { return (*loads_)[static_cast<size_t>(node)]; }
+  // Capacity weight (1.0 = baseline machine; 2.0 = twice as fast).
+  double Weight(NodeId node) const { return (*weights_)[static_cast<size_t>(node)]; }
+  // Load per unit of capacity — what weighted policies compare and what the
+  // admin API reports for heterogeneous clusters.
+  double NormalizedLoad(NodeId node) const { return Load(node) / Weight(node); }
+  // The dispatcher's model of the node's main-memory file cache.
+  bool Cached(NodeId node, TargetId target) const {
+    return (*vcaches_)[static_cast<size_t>(node)].Contains(target);
+  }
+  // Back-end disk-queue feedback (extended LARD's only back-end signal).
+  int DiskQueueLength(NodeId node) const { return stats_->DiskQueueLength(node); }
+  const LardParams& params() const { return *params_; }
+  Mechanism mechanism() const { return mechanism_; }
+
+ private:
+  const std::vector<double>* loads_;
+  const std::vector<double>* weights_;
+  const std::vector<NodeState>* states_;
+  const std::vector<LruCache>* vcaches_;
+  const BackendStatsProvider* stats_;
+  const LardParams* params_;
+  Mechanism mechanism_;
+};
+
+// Mutable scratch state shared by all policies of one dispatcher. Keeping the
+// round-robin cursor here (not inside a policy instance) preserves rotation
+// continuity across runtime policy switches and lets the dispatcher's own
+// catalog-miss fallback rotate the same cursor the policies do.
+struct PolicyState {
+  size_t rr_cursor = 0;
+};
+
+// A policy's verdict for a subsequent pipelined request on an established
+// connection. node == the handling node means "serve locally";
+// cache_after_miss=false is extended LARD's "disk busy and a copy exists
+// elsewhere — serve without caching" heuristic.
+struct SubsequentDecision {
+  NodeId node = kInvalidNode;
+  bool cache_after_miss = true;
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  // Canonical registry key ("wrr", "extlard", ...). The admin API echoes
+  // this; SetPolicyByName round-trips it.
+  virtual const char* name() const = 0;
+  // Human-facing spelling for tables and /nodes ("WRR", "extLARD", ...).
+  virtual const char* display_name() const { return name(); }
+  // Whether the policy wants to place individual requests of a persistent
+  // connection (subject to the mechanism also allowing it). Connection-
+  // granularity policies return false and every subsequent request is pinned
+  // to the handling node.
+  virtual bool per_request_distribution() const { return false; }
+
+  // Placement of the first request of a connection: the handoff decision.
+  // `target` is always valid (catalog misses go through PickLoadBalanced).
+  virtual NodeId PickFirstNode(const DispatcherView& view, PolicyState& state,
+                               TargetId target) = 0;
+
+  // Pure load-balance pick for requests outside the catalog (soon-to-404
+  // paths carry no locality signal). Default: unweighted WRR.
+  virtual NodeId PickLoadBalanced(const DispatcherView& view, PolicyState& state);
+
+  // Per-request placement under the relaying front-end (no handoff exists, so
+  // every request is placed independently). Default: same as a first pick.
+  virtual NodeId PickPerRequest(const DispatcherView& view, PolicyState& state, TargetId target) {
+    return PickFirstNode(view, state, target);
+  }
+
+  // Subsequent request on a connection handled by `handling`; called only
+  // when per_request_distribution() and the mechanism both allow it.
+  // Default: stay on the handling node.
+  virtual SubsequentDecision DecideSubsequent(const DispatcherView& view, PolicyState& state,
+                                              NodeId handling, TargetId target);
+};
+
+// --- Reusable pick primitives (building blocks for plugins) ---
+// `weighted` selects which load the comparisons use: raw load units, or load
+// normalized by the node's capacity weight. With all weights at 1.0 the two
+// are bit-identical.
+
+// Least-loaded assignable node, ties broken in round-robin order from the
+// shared cursor (an idle cluster still rotates). Aborts when no node is
+// assignable — callers gate on active membership.
+NodeId WrrPick(const DispatcherView& view, PolicyState& state, bool weighted);
+
+// Basic LARD in its Fig. 4 cost form: minimum aggregate cost over assignable
+// nodes; ties prefer a caching node, then lower load, then round-robin.
+NodeId LardPick(const DispatcherView& view, PolicyState& state, TargetId target, bool weighted);
+
+// Extended LARD's Section 4.2 per-request logic: serve locally when cached or
+// the local disk is idle; otherwise weigh the handling node against every
+// assignable node caching the target by aggregate cost.
+SubsequentDecision ExtLardDecide(const DispatcherView& view, NodeId handling, TargetId target,
+                                 bool weighted);
+
+// --- Registry ---
+
+// String-keyed factory table. Built-ins self-register on first access;
+// plugins may Register() additional names at startup. Thread-safe.
+class PolicyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<RoutingPolicy>()>;
+
+  static PolicyRegistry& Global();
+
+  // Registers `factory` under `name`; aborts on a duplicate name (policies
+  // are identities, silently replacing one is a bug).
+  void Register(const std::string& name, Factory factory);
+  // nullptr when `name` is not registered.
+  std::unique_ptr<RoutingPolicy> Create(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  // Sorted registry keys.
+  std::vector<std::string> Names() const;
+  // "extlard, lard, lardr, wextlard, wrr" — for error messages.
+  std::string NamesCsv() const;
+
+ private:
+  PolicyRegistry();
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace lard
+
+#endif  // SRC_CORE_POLICY_H_

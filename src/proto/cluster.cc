@@ -1,7 +1,11 @@
 #include "src/proto/cluster.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <future>
+#include <sstream>
 
+#include "src/core/policy.h"
 #include "src/net/socket.h"
 #include "src/util/logging.h"
 
@@ -23,6 +27,68 @@ void RunOnLoop(EventLoop* loop, std::function<void()> fn) {
     done.set_value();
   });
   future.wait();
+}
+
+std::string Trim(const std::string& text) {
+  const size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) {
+    return std::string();
+  }
+  return text.substr(begin, text.find_last_not_of(" \t\r\n") + 1 - begin);
+}
+
+// Strict number parse: the whole (trimmed) string must be one finite,
+// positive double — trailing garbage ("2,5", "2.5x") is rejected, not
+// silently truncated.
+bool ParsePositiveNumber(const std::string& text, double* value) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return false;
+  }
+  char* parse_end = nullptr;
+  const double parsed = std::strtod(trimmed.c_str(), &parse_end);
+  if (parse_end != trimmed.c_str() + trimmed.size() || !std::isfinite(parsed) || parsed <= 0.0) {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+// Parses the optional capacity weight of a POST /nodes/add body. Accepts an
+// empty body (weight 1.0), a bare number ("2.5"), a form pair ("weight=2.5")
+// or a tiny JSON object ({"weight":2.5}). Returns false on anything else or
+// a non-positive/non-finite weight.
+bool ParseWeightBody(const std::string& body, double* weight) {
+  *weight = 1.0;
+  const std::string trimmed = Trim(body);
+  if (trimmed.empty()) {
+    return true;  // empty body: default weight
+  }
+  if (trimmed.front() == '{') {
+    // {"weight": <number>} and nothing else.
+    if (trimmed.back() != '}') {
+      return false;
+    }
+    std::string inner = Trim(trimmed.substr(1, trimmed.size() - 2));
+    static constexpr char kKey[] = "\"weight\"";
+    if (inner.compare(0, sizeof(kKey) - 1, kKey) != 0) {
+      return false;
+    }
+    inner = Trim(inner.substr(sizeof(kKey) - 1));
+    if (inner.empty() || inner.front() != ':') {
+      return false;
+    }
+    return ParsePositiveNumber(inner.substr(1), weight);
+  }
+  const size_t equals = trimmed.find('=');
+  if (equals != std::string::npos) {
+    // weight=<number> and nothing else.
+    if (Trim(trimmed.substr(0, equals)) != "weight") {
+      return false;
+    }
+    return ParsePositiveNumber(trimmed.substr(equals + 1), weight);
+  }
+  return ParsePositiveNumber(trimmed, weight);
 }
 
 }  // namespace
@@ -105,6 +171,8 @@ Status Cluster::Start() {
   FrontEndConfig fe_config;
   fe_config.num_nodes = config_.num_nodes;
   fe_config.policy = config_.policy;
+  fe_config.policy_name = config_.policy_name;
+  fe_config.node_weights = config_.node_weights;
   fe_config.mechanism = config_.mechanism;
   fe_config.params = config_.params;
   fe_config.virtual_cache_bytes = config_.backend_cache_bytes;
@@ -141,12 +209,19 @@ void Cluster::RegisterAdminRoutes() {
     return AdminResponse::Json(frontend_->DescribeNodesJson());
   });
 
-  admin_->Route("POST", "/nodes/add", [this](const HttpRequest&, const std::string&) {
-    const NodeId node = AddNode();
+  admin_->Route("POST", "/nodes/add", [this](const HttpRequest& request, const std::string&) {
+    double weight = 1.0;
+    if (!ParseWeightBody(request.body, &weight)) {
+      return AdminResponse::Error(
+          400, "body must be empty or carry a positive weight (e.g. {\"weight\":2})");
+    }
+    const NodeId node = AddNode(weight);
     if (node == kInvalidNode) {
       return AdminResponse::Error(500, "failed to start node");
     }
-    return AdminResponse::Json("{\"id\":" + std::to_string(node) + "}");
+    std::ostringstream out;
+    out << "{\"id\":" << node << ",\"weight\":" << weight << "}";
+    return AdminResponse::Json(out.str());
   });
 
   admin_->RoutePrefix("POST", "/nodes/", [this](const HttpRequest&, const std::string& tail) {
@@ -181,12 +256,16 @@ void Cluster::RegisterAdminRoutes() {
   });
 
   admin_->Route("POST", "/policy", [this](const HttpRequest& request, const std::string&) {
-    Policy policy;
-    if (!ParsePolicyName(request.body, &policy)) {
-      return AdminResponse::Error(400, "body must be wrr | lard | extlard");
+    // Trim so `curl -d "wrr"` and a trailing newline both work.
+    const std::string name = Trim(request.body);
+    if (!frontend_->SetPolicyByName(name)) {
+      return AdminResponse::Error(
+          400, "unknown policy; registered: " + PolicyRegistry::Global().NamesCsv());
     }
-    frontend_->SetPolicy(policy);
-    return AdminResponse::Json("{\"policy\":\"" + request.body + "\"}");
+    // Echo the *canonical registered name* (never the raw request body: it is
+    // attacker-controlled and must not be spliced into the JSON reply).
+    return AdminResponse::Json(
+        "{\"policy\":\"" + std::string(frontend_->dispatcher().policy().name()) + "\"}");
   });
 }
 
@@ -211,7 +290,7 @@ void Cluster::BridgeDispatcherMetrics() {
       ->Set(static_cast<double>(counters.reassignments));
 }
 
-NodeId Cluster::AddNode() {
+NodeId Cluster::AddNode(double weight) {
   // The whole membership operation runs on the front-end loop thread (inline
   // when an admin handler calls us there). nodes_mutex_ is then only ever
   // taken either on that thread or by readers that never wait on it
@@ -219,7 +298,7 @@ NodeId Cluster::AddNode() {
   // RunOnLoop(fe_loop_) here could deadlock with an admin-driven membership
   // operation blocking on the mutex from the loop itself.
   NodeId node_id = kInvalidNode;
-  RunOnLoop(fe_loop_.get(), [this, &node_id]() {
+  RunOnLoop(fe_loop_.get(), [this, weight, &node_id]() {
     std::lock_guard<std::mutex> lock(nodes_mutex_);
     if (stopped_) {
       return;
@@ -249,7 +328,7 @@ NodeId Cluster::AddNode() {
       });
     }
 
-    const NodeId assigned = frontend_->AddNode(std::move(fe_end), fresh->lateral_port);
+    const NodeId assigned = frontend_->AddNode(std::move(fe_end), fresh->lateral_port, weight);
     LARD_CHECK(assigned == fresh_id);
     node_id = fresh_id;
   });

@@ -35,6 +35,13 @@ namespace lard {
 struct ClusterConfig {
   int num_nodes = 2;
   Policy policy = Policy::kExtendedLard;
+  // Non-empty: PolicyRegistry name overriding `policy` (plugin policies).
+  std::string policy_name;
+  // Capacity weight per initial node (padded with 1.0); weighted policies
+  // normalize load by weight. Weights describe relative back-end speed —
+  // the prototype's processes are really homogeneous, so this mostly
+  // exercises the decision plumbing (the simulator models true speed skew).
+  std::vector<double> node_weights;
   Mechanism mechanism = Mechanism::kBackEndForwarding;
   LardParams params;
   uint64_t backend_cache_bytes = 32ull * 1024 * 1024;
@@ -90,8 +97,9 @@ class Cluster {
   // --- membership (any thread; also wired to the admin API) ---
 
   // Starts a new back-end, joins it to the lateral mesh and registers it
-  // with the front-end. Returns the new node's id.
-  NodeId AddNode();
+  // with the front-end under the given capacity weight. Returns the new
+  // node's id.
+  NodeId AddNode(double weight = 1.0);
   // Stops new assignments to `node`; its persistent connections are given
   // back to the front-end and re-handed-off to surviving nodes.
   bool DrainNode(NodeId node);

@@ -49,9 +49,11 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCa
 
   DispatcherConfig dispatch_config;
   dispatch_config.policy = config_.policy;
+  dispatch_config.policy_name = config_.policy_name;
   dispatch_config.mechanism = config_.mechanism;
   dispatch_config.params = config_.params;
   dispatch_config.num_nodes = config_.num_nodes;
+  dispatch_config.node_weights = config_.node_weights;
   dispatch_config.virtual_cache_bytes = config_.virtual_cache_bytes;
   dispatch_config.metrics = config_.metrics;
   dispatcher_ = std::make_unique<Dispatcher>(dispatch_config, catalog_, disk_table_.get());
@@ -140,8 +142,8 @@ void FrontEnd::CheckNodeHealth() {
   }
 }
 
-NodeId FrontEnd::AddNode(UniqueFd control_fd, uint16_t backend_http_port) {
-  const NodeId node = dispatcher_->AddNode();
+NodeId FrontEnd::AddNode(UniqueFd control_fd, uint16_t backend_http_port, double weight) {
+  const NodeId node = dispatcher_->AddNode(weight);
   AttachControl(node, std::move(control_fd));
   disk_table_->Update(node, 0);
   if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
@@ -262,15 +264,23 @@ void FrontEnd::MaybeFinalizeRetire(NodeId node) {
 }
 
 void FrontEnd::SetPolicy(Policy policy) {
-  config_.policy = policy;
-  dispatcher_->SetPolicy(policy);
-  LARD_LOG(INFO) << "front-end: policy switched to " << PolicyName(policy);
+  LARD_CHECK(SetPolicyByName(PolicyKey(policy)));
+}
+
+bool FrontEnd::SetPolicyByName(const std::string& name) {
+  if (!dispatcher_->SetPolicyByName(name)) {
+    return false;
+  }
+  (void)ParsePolicyName(name, &config_.policy);
+  LARD_LOG(INFO) << "front-end: policy switched to " << dispatcher_->policy().display_name();
+  return true;
 }
 
 std::string FrontEnd::DescribeNodesJson() const {
   const int64_t now = NowMs();
   std::ostringstream out;
-  out << "{\"policy\":\"" << PolicyName(dispatcher_->config().policy) << "\",\"mechanism\":\""
+  out << "{\"policy\":\"" << dispatcher_->policy().display_name() << "\",\"policy_key\":\""
+      << dispatcher_->policy().name() << "\",\"mechanism\":\""
       << MechanismName(config_.mechanism) << "\",\"active_nodes\":"
       << dispatcher_->active_node_count() << ",\"nodes\":[";
   for (NodeId node = 0; node < dispatcher_->num_node_slots(); ++node) {
@@ -280,6 +290,8 @@ std::string FrontEnd::DescribeNodesJson() const {
     const NodeState state = dispatcher_->node_state(node);
     out << "{\"id\":" << node << ",\"state\":\"" << NodeStateName(state) << "\"";
     out << ",\"load\":" << dispatcher_->NodeLoad(node);
+    out << ",\"weight\":" << dispatcher_->NodeWeight(node);
+    out << ",\"normalized_load\":" << dispatcher_->NormalizedNodeLoad(node);
     out << ",\"vcache_bytes\":" << dispatcher_->VirtualCacheBytes(node);
     if (static_cast<size_t>(node) < nodes_.size()) {
       const NodeLink& link = nodes_[static_cast<size_t>(node)];

@@ -56,6 +56,11 @@ namespace lard {
 struct FrontEndConfig {
   int num_nodes = 1;
   Policy policy = Policy::kExtendedLard;
+  // Non-empty: PolicyRegistry name overriding `policy` (plugin policies).
+  std::string policy_name;
+  // Capacity weight per initial node (padded with 1.0); weighted policies
+  // normalize load by weight.
+  std::vector<double> node_weights;
   // Supported in the prototype: kSingleHandoff, kBackEndForwarding,
   // kMultipleHandoff (our extension: the paper's prototype never built it —
   // we migrate connections via fd hand-back through the front-end) and
@@ -109,8 +114,8 @@ class FrontEnd {
   // --- control plane (loop thread; the admin server calls these) ---
 
   // Registers a freshly started back-end: control session + (relay mode) its
-  // HTTP port. Returns the new node's id.
-  NodeId AddNode(UniqueFd control_fd, uint16_t backend_http_port);
+  // HTTP port + capacity weight. Returns the new node's id.
+  NodeId AddNode(UniqueFd control_fd, uint16_t backend_http_port, double weight = 1.0);
   // Stops new assignments to `node` and asks it (kDrain) to give its idle
   // persistent connections back for re-handoff to surviving nodes.
   bool DrainNode(NodeId node);
@@ -123,8 +128,10 @@ class FrontEnd {
   // Invoked on the loop thread after a node's removal completes (control
   // session torn down) — the harness stops the node's thread here.
   void set_on_node_removed(std::function<void(NodeId)> cb) { on_node_removed_ = std::move(cb); }
-  // Runtime policy switch (future decisions only).
+  // Runtime policy switch (future decisions only). The name overload accepts
+  // any PolicyRegistry name and returns false on an unknown one.
   void SetPolicy(Policy policy);
+  bool SetPolicyByName(const std::string& name);
   // Membership + health snapshot as the admin API's JSON body.
   std::string DescribeNodesJson() const;
 
@@ -178,7 +185,7 @@ class FrontEnd {
   void MaybeFinalizeRetire(NodeId node);
   // Connection-granularity policies/mechanisms never consult per request.
   bool AutonomousHandoffs() const {
-    return !(config_.policy == Policy::kExtendedLard &&
+    return !(dispatcher_->policy().per_request_distribution() &&
              (config_.mechanism == Mechanism::kBackEndForwarding ||
               config_.mechanism == Mechanism::kMultipleHandoff));
   }

@@ -6,15 +6,37 @@
 
 namespace lard {
 
-// One back-end node: CPU and disk. There is exactly one cache model in the
-// simulator — the dispatcher's — shared by policy and service, as in the
-// paper's simulator; each assignment carries the model's hit/miss verdict.
+namespace {
+
+// A node's true hardware speed scales every service time it performs: the
+// disk cost model's latencies divide by `speed` at construction, CPU work at
+// submission (SubmitCpu below).
+DiskCostModel ScaleDiskCosts(DiskCostModel costs, double speed) {
+  costs.initial_latency_us /= speed;
+  costs.transfer_us_per_4kb /= speed;
+  costs.extra_seek_us /= speed;
+  return costs;
+}
+
+}  // namespace
+
+// One back-end node: CPU and disk, optionally speed-skewed (heterogeneous
+// clusters). There is exactly one cache model in the simulator — the
+// dispatcher's — shared by policy and service, as in the paper's simulator;
+// each assignment carries the model's hit/miss verdict.
 struct ClusterSim::Backend {
-  Backend(EventQueue* queue, const DiskCostModel& disk_costs)
-      : cpu(queue), disk(queue, disk_costs) {}
+  Backend(EventQueue* queue, const DiskCostModel& disk_costs, double speed_factor)
+      : cpu(queue), disk(queue, ScaleDiskCosts(disk_costs, speed_factor)), speed(speed_factor) {}
+
+  // All CPU service times funnel through here so the speed skew applies
+  // uniformly.
+  void SubmitCpu(double service_us, std::function<void()> done) {
+    cpu.Submit(service_us / speed, std::move(done));
+  }
 
   FifoServer cpu;
   DiskServer disk;
+  double speed;
   BackendSimMetrics metrics;
 };
 
@@ -62,15 +84,21 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
 
   backends_.reserve(static_cast<size_t>(config_.num_nodes));
   for (int i = 0; i < config_.num_nodes; ++i) {
-    backends_.push_back(std::make_unique<Backend>(&queue_, config_.disk_costs));
+    const double speed = static_cast<size_t>(i) < config_.node_speeds.size()
+                             ? config_.node_speeds[static_cast<size_t>(i)]
+                             : 1.0;
+    LARD_CHECK(speed > 0.0) << "node speed must be positive";
+    backends_.push_back(std::make_unique<Backend>(&queue_, config_.disk_costs, speed));
   }
   disk_stats_ = std::make_unique<DiskQueueStats>(&backends_);
 
   DispatcherConfig dispatch_config;
   dispatch_config.policy = config_.policy;
+  dispatch_config.policy_name = config_.policy_name;
   dispatch_config.mechanism = config_.mechanism;
   dispatch_config.params = config_.lard_params;
   dispatch_config.num_nodes = config_.num_nodes;
+  dispatch_config.node_weights = config_.node_weights;
   dispatch_config.virtual_cache_bytes = config_.backend_cache_bytes;
   dispatch_config.metrics = config_.metrics;
   dispatcher_ =
@@ -90,9 +118,10 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
 void ClusterSim::ApplyMembershipEvent(const MembershipEvent& event) {
   switch (event.action) {
     case MembershipAction::kNodeJoin: {
-      const NodeId node = dispatcher_->AddNode();
+      LARD_CHECK(event.speed > 0.0) << "node speed must be positive";
+      const NodeId node = dispatcher_->AddNode(event.weight);
       LARD_CHECK(static_cast<size_t>(node) == backends_.size());
-      backends_.push_back(std::make_unique<Backend>(&queue_, config_.disk_costs));
+      backends_.push_back(std::make_unique<Backend>(&queue_, config_.disk_costs, event.speed));
       ++nodes_joined_;
       LARD_LOG(INFO) << "sim t=" << queue_.now_us() << "us: node " << node << " joined";
       break;
@@ -272,7 +301,7 @@ void ClusterSim::IssueRequest(SessionRun* run, TargetId target, const Assignment
                                  [this, handling, relay_cost, bytes, done]() {
                                    Backend& handler =
                                        *backends_[static_cast<size_t>(handling)];
-                                   handler.cpu.Submit(
+                                   handler.SubmitCpu(
                                        relay_cost, [this, handling, bytes, done]() {
                                          Backend& h =
                                              *backends_[static_cast<size_t>(handling)];
@@ -322,24 +351,24 @@ void ClusterSim::ServeAtNode(NodeId node, TargetId target, bool cached, double e
   const ServerCostModel& costs = config_.server_costs;
   backend.metrics.requests++;
 
-  backend.cpu.Submit(extra_cpu_us + costs.per_request_us,
-                     [this, node, bytes, cached, done = std::move(done)]() {
-                       Backend& backend = *backends_[static_cast<size_t>(node)];
-                       const double xmit = TransmitCostUs(config_.server_costs, bytes);
-                       if (cached) {
-                         backend.metrics.cache_hits++;
-                         backend.metrics.bytes_sent += bytes;
-                         backend.cpu.Submit(xmit, std::move(done));
-                         return;
-                       }
-                       backend.metrics.disk_reads++;
-                       backend.disk.Read(bytes, [this, node, bytes, xmit,
-                                                 done = std::move(done)]() {
-                         Backend& backend = *backends_[static_cast<size_t>(node)];
-                         backend.metrics.bytes_sent += bytes;
-                         backend.cpu.Submit(xmit, std::move(done));
-                       });
-                     });
+  backend.SubmitCpu(extra_cpu_us + costs.per_request_us,
+                    [this, node, bytes, cached, done = std::move(done)]() {
+                      Backend& backend = *backends_[static_cast<size_t>(node)];
+                      const double xmit = TransmitCostUs(config_.server_costs, bytes);
+                      if (cached) {
+                        backend.metrics.cache_hits++;
+                        backend.metrics.bytes_sent += bytes;
+                        backend.SubmitCpu(xmit, std::move(done));
+                        return;
+                      }
+                      backend.metrics.disk_reads++;
+                      backend.disk.Read(bytes, [this, node, bytes, xmit,
+                                                done = std::move(done)]() {
+                        Backend& backend = *backends_[static_cast<size_t>(node)];
+                        backend.metrics.bytes_sent += bytes;
+                        backend.SubmitCpu(xmit, std::move(done));
+                      });
+                    });
   (void)costs;
 }
 
@@ -383,8 +412,8 @@ void ClusterSim::FinishSession(SessionRun* run) {
     const NodeId handling = dispatcher_->HandlingNode(run->conn);
     const bool zero_cost = config_.mechanism == Mechanism::kIdealHandoff;
     if (handling != kInvalidNode && !zero_cost) {
-      backends_[static_cast<size_t>(handling)]->cpu.Submit(config_.server_costs.conn_teardown_us,
-                                                           []() {});
+      backends_[static_cast<size_t>(handling)]->SubmitCpu(config_.server_costs.conn_teardown_us,
+                                                          []() {});
     }
     fe_accounted_us_ += config_.fe_costs.conn_close_us;
     dispatcher_->OnConnectionClose(run->conn);

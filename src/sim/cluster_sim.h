@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/cluster_types.h"
@@ -43,11 +44,26 @@ struct MembershipEvent {
   SimTimeUs at_us = 0;
   MembershipAction action = MembershipAction::kNodeFailure;
   NodeId node = kInvalidNode;  // ignored for kNodeJoin (ids are allocated)
+  // kNodeJoin only: the joining node's capacity weight (dispatcher view) and
+  // true hardware speed (CPU + disk service times divide by it).
+  double weight = 1.0;
+  double speed = 1.0;
 };
 
 struct ClusterSimConfig {
   int num_nodes = 4;
   Policy policy = Policy::kExtendedLard;
+  // Non-empty: PolicyRegistry name overriding `policy` (plugin policies).
+  std::string policy_name;
+  // Heterogeneous clusters. `node_speeds[i]` scales node i's real hardware:
+  // CPU and disk service times divide by it (2.0 = twice as fast).
+  // `node_weights[i]` is what the *dispatcher believes* about node i's
+  // capacity — weighted policies normalize load by it. Keeping the two
+  // separate lets benches measure what happens when belief and hardware
+  // disagree (e.g. unweighted extLARD on a skewed cluster: weights all 1.0,
+  // speeds skewed). Both are padded with 1.0 to num_nodes.
+  std::vector<double> node_weights;
+  std::vector<double> node_speeds;
   Mechanism mechanism = Mechanism::kBackEndForwarding;
   LardParams lard_params;
   ServerCostModel server_costs = ApacheCosts();

@@ -214,16 +214,77 @@ TEST(AdminClusterTest, PolicySwitchAtRuntime) {
   Cluster cluster(BaseConfig(2), &trace.catalog());
   ASSERT_TRUE(cluster.Start().ok());
 
-  EXPECT_EQ(AdminHttp(cluster.admin_port(), "POST", "/policy", "wrr").substr(0, 3), "200");
+  // The reply carries the *canonical registered name*, never the raw body
+  // (which used to be echoed unescaped into the JSON).
+  const std::string switched = AdminHttp(cluster.admin_port(), "POST", "/policy", "wrr\n");
+  EXPECT_EQ(switched.substr(0, 3), "200");
+  EXPECT_NE(switched.find("{\"policy\":\"wrr\"}"), std::string::npos) << switched;
   const std::string nodes = AdminHttp(cluster.admin_port(), "GET", "/nodes");
   EXPECT_NE(nodes.find("\"policy\":\"WRR\""), std::string::npos) << nodes;
-  EXPECT_EQ(AdminHttp(cluster.admin_port(), "POST", "/policy", "bogus").substr(0, 3), "400");
+  EXPECT_NE(nodes.find("\"policy_key\":\"wrr\""), std::string::npos) << nodes;
+
+  // Unknown names are rejected with the registered list; the injection body
+  // must not leak back into the reply.
+  const std::string rejected =
+      AdminHttp(cluster.admin_port(), "POST", "/policy", "bogus\"}{\"x\":\"y");
+  EXPECT_EQ(rejected.substr(0, 3), "400");
+  EXPECT_EQ(rejected.find("bogus"), std::string::npos) << rejected;
+  EXPECT_NE(rejected.find("extlard"), std::string::npos) << rejected;
+  EXPECT_NE(rejected.find("wextlard"), std::string::npos) << rejected;
+
+  // The new policies are selectable at runtime by registry name.
+  const std::string weighted = AdminHttp(cluster.admin_port(), "POST", "/policy", "wextlard");
+  EXPECT_EQ(weighted.substr(0, 3), "200");
+  EXPECT_NE(weighted.find("{\"policy\":\"wextlard\"}"), std::string::npos) << weighted;
 
   LoadGeneratorConfig load;
   load.port = cluster.port();
   load.num_clients = 6;
   const LoadResult result = RunLoad(load, trace);
   EXPECT_EQ(result.responses_ok, trace.total_requests());
+  cluster.Stop();
+}
+
+TEST(AdminClusterTest, WeightedAddNodeAndNodesReport) {
+  const Trace trace = TestTrace(33, 100);
+  Cluster cluster(BaseConfig(2), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // /nodes reports weight and normalized load for every node.
+  std::string nodes = AdminHttp(cluster.admin_port(), "GET", "/nodes");
+  EXPECT_NE(nodes.find("\"weight\":1"), std::string::npos) << nodes;
+  EXPECT_NE(nodes.find("\"normalized_load\":"), std::string::npos) << nodes;
+
+  // /nodes/add accepts an optional weight in the body (JSON or bare number).
+  const std::string added =
+      AdminHttp(cluster.admin_port(), "POST", "/nodes/add", "{\"weight\":2.5}");
+  ASSERT_EQ(added.substr(0, 3), "200") << added;
+  EXPECT_NE(added.find("\"id\":2"), std::string::npos) << added;
+  EXPECT_NE(added.find("\"weight\":2.5"), std::string::npos) << added;
+  nodes = AdminHttp(cluster.admin_port(), "GET", "/nodes");
+  EXPECT_NE(nodes.find("\"weight\":2.5"), std::string::npos) << nodes;
+
+  // Garbage, non-positive, misspelled-key and trailing-garbage weights are
+  // all rejected before any node starts.
+  EXPECT_EQ(AdminHttp(cluster.admin_port(), "POST", "/nodes/add", "{\"weight\":-1}").substr(0, 3),
+            "400");
+  EXPECT_EQ(AdminHttp(cluster.admin_port(), "POST", "/nodes/add", "junk").substr(0, 3), "400");
+  EXPECT_EQ(
+      AdminHttp(cluster.admin_port(), "POST", "/nodes/add", "{\"minweight\":7}").substr(0, 3),
+      "400");
+  EXPECT_EQ(AdminHttp(cluster.admin_port(), "POST", "/nodes/add", "{\"weight\":2,5}").substr(0, 3),
+            "400");
+  EXPECT_EQ(AdminHttp(cluster.admin_port(), "POST", "/nodes/add", "2.5x").substr(0, 3), "400");
+
+  // The weighted node is a real member: it takes traffic.
+  LoadGeneratorConfig load;
+  load.port = cluster.port();
+  load.num_clients = 8;
+  const LoadResult result = RunLoad(load, trace);
+  EXPECT_EQ(result.responses_ok, trace.total_requests());
+  const ClusterSnapshot snapshot = cluster.Snapshot();
+  ASSERT_EQ(snapshot.requests_per_node.size(), 3u);
+  EXPECT_GT(snapshot.requests_per_node[2], 0u) << "weighted node took no traffic";
   cluster.Stop();
 }
 
