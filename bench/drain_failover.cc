@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -39,6 +40,36 @@ struct Sample {
   int64_t t_ms = 0;
   uint64_t requests_total = 0;
 };
+
+// Per-request latency percentiles inside one sampling window. Every request
+// of a pipelined batch experiences the batch's latency, so batch samples are
+// expanded by their request count before ranking.
+struct WindowSlo {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  uint64_t requests = 0;
+};
+
+WindowSlo SloOver(const std::vector<LatencySample>& samples, int64_t from_ms, int64_t to_ms) {
+  PercentileTracker tracker;
+  WindowSlo slo;
+  for (const LatencySample& sample : samples) {
+    if (sample.t_ms < from_ms || sample.t_ms >= to_ms) {
+      continue;
+    }
+    slo.requests += sample.requests;
+    for (uint32_t i = 0; i < sample.requests; ++i) {
+      tracker.Add(sample.latency_ms);
+    }
+  }
+  if (tracker.count() > 0) {
+    slo.p50 = tracker.Percentile(50.0);
+    slo.p95 = tracker.Percentile(95.0);
+    slo.p99 = tracker.Percentile(99.0);
+  }
+  return slo;
+}
 
 struct DrainRecord {
   NodeId node = kInvalidNode;
@@ -118,6 +149,7 @@ int Main(int argc, char** argv) {
     load.port = cluster.port();
     load.num_clients = static_cast<int>(clients);
     load.recv_timeout_ms = 10000;
+    load.record_latencies = true;  // the drain storm is judged by SLO curves
     result = RunLoad(load, trace);
     load_done.store(true, std::memory_order_release);
   });
@@ -196,7 +228,11 @@ int Main(int argc, char** argv) {
   const ClusterSimMetrics sim_metrics = sim.Run();
 
   // --- report ---
-  Table table({"t (ms)", "cumulative req", "req/s (window)"});
+  // Latency SLO curve alongside the throughput curve: per-request
+  // p50/p95/p99 inside each sampling window, so a drain-induced latency
+  // storm shows up even when the mean barely moves.
+  std::vector<WindowSlo> window_slos;
+  Table table({"t (ms)", "cumulative req", "req/s (window)", "p50 ms", "p95 ms", "p99 ms"});
   for (size_t i = 1; i < samples.size(); ++i) {
     const double dt_s =
         static_cast<double>(samples[i].t_ms - samples[i - 1].t_ms) / 1000.0;
@@ -205,16 +241,25 @@ int Main(int argc, char** argv) {
             ? static_cast<double>(samples[i].requests_total - samples[i - 1].requests_total) /
                   dt_s
             : 0.0;
+    const WindowSlo slo = SloOver(result.latency_samples, samples[i - 1].t_ms, samples[i].t_ms);
+    window_slos.push_back(slo);
     table.Row()
         .Cell(samples[i].t_ms)
         .Cell(static_cast<int64_t>(samples[i].requests_total))
-        .Cell(window_rps, 0);
+        .Cell(window_rps, 0)
+        .Cell(slo.p50, 1)
+        .Cell(slo.p95, 1)
+        .Cell(slo.p99, 1);
   }
-  table.Print("Throughput across the rolling drain", csv);
+  table.Print("Throughput and latency SLO across the rolling drain", csv);
+  const WindowSlo overall_slo =
+      SloOver(result.latency_samples, 0, std::numeric_limits<int64_t>::max());
 
   std::printf("\nrolling drain of %lld-node cluster: %llu requests in %.2fs (%.0f req/s)\n",
               static_cast<long long>(nodes), static_cast<unsigned long long>(result.requests),
               static_cast<double>(wall_ms) / 1000.0, result.throughput_rps);
+  std::printf("per-request latency over the whole storm: p50=%.1fms p95=%.1fms p99=%.1fms\n",
+              overall_slo.p50, overall_slo.p95, overall_slo.p99);
   for (const DrainRecord& drain : drains) {
     std::printf("  node %d drained at t=%lldms, recovered in %lldms\n", drain.node,
                 static_cast<long long>(drain.at_ms), static_cast<long long>(drain.recovery_ms));
@@ -239,9 +284,16 @@ int Main(int argc, char** argv) {
     out << "\"samples\":[";
     for (size_t i = 0; i < samples.size(); ++i) {
       out << (i == 0 ? "" : ",") << "{\"t_ms\":" << samples[i].t_ms
-          << ",\"requests_total\":" << samples[i].requests_total << "}";
+          << ",\"requests_total\":" << samples[i].requests_total;
+      if (i > 0 && i - 1 < window_slos.size()) {
+        const WindowSlo& slo = window_slos[i - 1];
+        out << ",\"p50_ms\":" << slo.p50 << ",\"p95_ms\":" << slo.p95
+            << ",\"p99_ms\":" << slo.p99 << ",\"window_requests\":" << slo.requests;
+      }
+      out << "}";
     }
-    out << "],\"drains\":[";
+    out << "],\"slo\":{\"p50_ms\":" << overall_slo.p50 << ",\"p95_ms\":" << overall_slo.p95
+        << ",\"p99_ms\":" << overall_slo.p99 << "},\"drains\":[";
     for (size_t i = 0; i < drains.size(); ++i) {
       out << (i == 0 ? "" : ",") << "{\"node\":" << drains[i].node
           << ",\"at_ms\":" << drains[i].at_ms << ",\"recovery_ms\":" << drains[i].recovery_ms

@@ -1,0 +1,309 @@
+// Replicated front-end tier scenario bench: the paper's Section 8.2 estimate
+// (reproduced by bench/frontend_scalability) says one front-end CPU saturates
+// at ~10 back-ends — past that the whole cluster is capped by the FE, not by
+// its back-ends. This bench runs the simulator with the front-end CPU
+// *actually limiting* (model_front_end_limit) and sweeps
+//
+//   * the knee: back-end count x {1, 2} front-ends — the single-FE curve
+//     flattens once the FE saturates, the 2-FE curve keeps climbing. (Below
+//     the knee the table shows the opposite, on purpose: at 10 back-ends a
+//     saturated single FE is accidental admission control, and doubling the
+//     tier just overdrives the back-ends past extLARD's good regime — the
+//     reason to replicate the front-end is the knee, not reflex);
+//   * the mesh: front-end count x gossip interval at a back-end count where
+//     one FE is saturated — throughput must scale while the LARD miss ratio
+//     stays close to the single-FE oracle (whose dispatcher sees *every*
+//     placement; the replicas only see gossip).
+//
+// Output: human-readable tables plus (with --json) a machine-readable record
+// so CI can track the trajectory. Exit code is non-zero when a check fails:
+//   * mesh invariants (from the simulator's built-in audits): no connection
+//     owned by two dispatchers, no membership-epoch regression, every
+//     replica's load accounting drained to zero, epochs converged;
+//   * with 2 FEs at a back-end count where a single FE is >=95% utilized:
+//     throughput >= 1.8x the single-FE figure and a cache-miss ratio within
+//     10% relative of single-FE extLARD.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace lard {
+namespace {
+
+struct MeshRun {
+  int frontends = 1;
+  int backends = 0;
+  SimTimeUs gossip_us = 0;
+  ClusterSimMetrics metrics;
+  double miss_ratio = 0.0;
+  double min_fe_util = 0.0;
+};
+
+double MissRatio(const ClusterSimMetrics& metrics) { return 1.0 - metrics.cache_hit_rate; }
+
+int CheckInvariants(const MeshRun& run) {
+  int failures = 0;
+  if (run.metrics.ownership_violations != 0) {
+    std::fprintf(stderr, "FAIL: [fe=%d gossip=%lldus] %llu connections double-owned\n",
+                 run.frontends, static_cast<long long>(run.gossip_us),
+                 static_cast<unsigned long long>(run.metrics.ownership_violations));
+    ++failures;
+  }
+  if (run.metrics.mesh_epoch_regressions != 0) {
+    std::fprintf(stderr, "FAIL: [fe=%d gossip=%lldus] membership epoch regressed %llu times\n",
+                 run.frontends, static_cast<long long>(run.gossip_us),
+                 static_cast<unsigned long long>(run.metrics.mesh_epoch_regressions));
+    ++failures;
+  }
+  if (!run.metrics.mesh_load_conserved) {
+    std::fprintf(stderr,
+                 "FAIL: [fe=%d gossip=%lldus] dispatcher load not conserved (leftover load or "
+                 "open connections after the trace drained)\n",
+                 run.frontends, static_cast<long long>(run.gossip_us));
+    ++failures;
+  }
+  if (!run.metrics.mesh_epochs_converged) {
+    std::fprintf(stderr, "FAIL: [fe=%d gossip=%lldus] replicas ended on different epochs\n",
+                 run.frontends, static_cast<long long>(run.gossip_us));
+    ++failures;
+  }
+  if (run.frontends > 1 && run.metrics.gossip_rounds == 0) {
+    std::fprintf(stderr, "FAIL: [fe=%d] mesh run finished without a single gossip round\n",
+                 run.frontends);
+    ++failures;
+  }
+  return failures;
+}
+
+int Main(int argc, char** argv) {
+  FlagSet flags("multi_frontend");
+  int64_t backends = 24;
+  int64_t sessions = 20000;
+  int64_t max_frontends = 4;
+  int64_t gossip_us = 5000;
+  // Our simulator's forwarding-module costs are cheaper than the paper's
+  // measured prototype (one FE CPU would support ~27 back-ends; Section 8.2
+  // measured ~60% utilization at 6, i.e. ~10 supportable). This factor
+  // scales the FE cost model to the paper's measurement so the saturation
+  // knee lands inside the 10-24 back-end band the scenario sweeps.
+  double fe_cost_scale = 2.7;
+  int64_t cache_mb = 64;
+  bool knee = true;
+  bool smoke = false;
+  std::string json;
+  std::string csv;
+  flags.AddInt("backends", &backends, "back-ends for the mesh sweep (pick past the FE knee)");
+  flags.AddInt("sessions", &sessions, "trace sessions");
+  flags.AddInt("max-frontends", &max_frontends, "largest front-end tier (doubling from 1)");
+  flags.AddInt("gossip-us", &gossip_us, "base gossip interval; the sweep runs 1/5x, 1x, 4x");
+  flags.AddInt("cache-mb", &cache_mb, "per-node cache (MB)");
+  flags.AddDouble("fe-cost-scale", &fe_cost_scale,
+                  "scale the FE cost model (default calibrates to the paper's ~60% at 6)");
+  flags.AddBool("knee", &knee, "also sweep back-end count at 1 vs 2 front-ends");
+  flags.AddBool("smoke", &smoke, "small fast configuration for CI");
+  flags.AddString("json", &json, "write the scenario record as JSON here");
+  flags.AddString("csv", &csv, "also write the sweep tables as CSV here");
+  flags.Parse(argc, argv);
+
+  if (smoke) {
+    // Small enough for CI, big enough that compulsory first-touch misses
+    // don't turn the run disk-bound (which would mask the FE knee).
+    backends = 24;
+    sessions = 20000;
+    max_frontends = 2;
+    knee = false;
+  }
+
+  const Trace trace = GenerateSyntheticTrace(PaperScaleTraceConfig(sessions));
+
+  auto run_point = [&](int frontends, int node_count, SimTimeUs interval) -> MeshRun {
+    ClusterSimConfig config;
+    config.num_nodes = node_count;
+    config.policy = Policy::kExtendedLard;
+    config.mechanism = Mechanism::kBackEndForwarding;
+    config.backend_cache_bytes = static_cast<uint64_t>(cache_mb) * 1024 * 1024;
+    config.model_front_end_limit = true;  // the FE CPU really serializes
+    config.concurrent_sessions_per_node = 128;  // enough in flight to expose the bottleneck
+    config.num_frontends = frontends;
+    config.gossip_interval_us = interval;
+    config.fe_costs.accept_us *= fe_cost_scale;
+    config.fe_costs.handoff_us *= fe_cost_scale;
+    config.fe_costs.per_request_us *= fe_cost_scale;
+    config.fe_costs.conn_close_us *= fe_cost_scale;
+    config.fe_costs.migrate_us *= fe_cost_scale;
+    MeshRun run;
+    run.frontends = frontends;
+    run.backends = node_count;
+    run.gossip_us = interval;
+    run.metrics = ClusterSim(config, &trace).Run();
+    run.miss_ratio = MissRatio(run.metrics);
+    run.min_fe_util = run.metrics.per_fe_utilization.empty()
+                          ? 0.0
+                          : *std::min_element(run.metrics.per_fe_utilization.begin(),
+                                              run.metrics.per_fe_utilization.end());
+    return run;
+  };
+
+  int failures = 0;
+  std::vector<MeshRun> knee_runs;
+  if (knee) {
+    Table table({"back-ends", "FEs", "cluster req/s", "max FE util", "miss ratio"});
+    for (const int node_count : {10, 16, 24}) {
+      for (const int frontends : {1, 2}) {
+        MeshRun run = run_point(frontends, node_count, static_cast<SimTimeUs>(gossip_us));
+        failures += CheckInvariants(run);
+        table.Row()
+            .Cell(static_cast<int64_t>(node_count))
+            .Cell(static_cast<int64_t>(frontends))
+            .Cell(run.metrics.throughput_rps, 0)
+            .Cell(run.metrics.fe_utilization, 3)
+            .Cell(run.miss_ratio, 3);
+        knee_runs.push_back(std::move(run));
+      }
+    }
+    table.Print("The front-end knee: one FE saturates, two keep climbing",
+                csv.empty() ? csv : "knee-" + csv);
+  }
+
+  // The mesh sweep at the configured (post-knee) back-end count.
+  const std::vector<SimTimeUs> intervals = {
+      std::max<SimTimeUs>(gossip_us / 5, 1), static_cast<SimTimeUs>(gossip_us),
+      static_cast<SimTimeUs>(gossip_us) * 4};
+  std::vector<MeshRun> runs;
+  Table sweep({"FEs", "gossip (us)", "cluster req/s", "speedup", "max FE util", "min FE util",
+               "miss ratio", "BE cpu idle", "BE disk idle", "gossip rounds", "gossip KB"});
+  MeshRun baseline = run_point(1, static_cast<int>(backends), intervals[1]);
+  failures += CheckInvariants(baseline);
+  sweep.Row()
+      .Cell(static_cast<int64_t>(1))
+      .Cell(static_cast<int64_t>(0))
+      .Cell(baseline.metrics.throughput_rps, 0)
+      .Cell(1.0, 2)
+      .Cell(baseline.metrics.fe_utilization, 3)
+      .Cell(baseline.min_fe_util, 3)
+      .Cell(baseline.miss_ratio, 3)
+      .Cell(baseline.metrics.mean_cpu_idle, 3)
+      .Cell(baseline.metrics.mean_disk_idle, 3)
+      .Cell(static_cast<int64_t>(0))
+      .Cell(0.0, 0);
+  for (int frontends = 2; frontends <= max_frontends; frontends *= 2) {
+    for (const SimTimeUs interval : intervals) {
+      MeshRun run = run_point(frontends, static_cast<int>(backends), interval);
+      failures += CheckInvariants(run);
+      sweep.Row()
+          .Cell(static_cast<int64_t>(frontends))
+          .Cell(static_cast<int64_t>(interval))
+          .Cell(run.metrics.throughput_rps, 0)
+          .Cell(run.metrics.throughput_rps / baseline.metrics.throughput_rps, 2)
+          .Cell(run.metrics.fe_utilization, 3)
+          .Cell(run.min_fe_util, 3)
+          .Cell(run.miss_ratio, 3)
+          .Cell(run.metrics.mean_cpu_idle, 3)
+          .Cell(run.metrics.mean_disk_idle, 3)
+          .Cell(static_cast<int64_t>(run.metrics.gossip_rounds))
+          .Cell(static_cast<double>(run.metrics.gossip_bytes) / 1024.0, 0);
+      runs.push_back(std::move(run));
+    }
+  }
+  sweep.Print("Front-end mesh sweep at " + std::to_string(backends) +
+                  " back-ends (FE CPU limiting; extLARD + BE forwarding)",
+              csv);
+
+  // The headline acceptance check: with the single FE saturated, a 2-FE tier
+  // must nearly double throughput without giving up LARD's locality.
+  const MeshRun* two_fe = nullptr;
+  for (const MeshRun& run : runs) {
+    if (run.frontends == 2 && run.gossip_us == intervals[1]) {
+      two_fe = &run;
+    }
+  }
+  double speedup = 0.0;
+  if (two_fe != nullptr) {
+    speedup = two_fe->metrics.throughput_rps / baseline.metrics.throughput_rps;
+    std::printf("\nsingle FE at %lld back-ends: %.1f%% utilized, %.0f req/s\n"
+                "two FEs (gossip %lldus): %.0f req/s (%.2fx), miss ratio %.3f vs %.3f "
+                "(%.1f%% relative)\n",
+                static_cast<long long>(backends), 100.0 * baseline.metrics.fe_utilization,
+                baseline.metrics.throughput_rps, static_cast<long long>(intervals[1]),
+                two_fe->metrics.throughput_rps, speedup, two_fe->miss_ratio,
+                baseline.miss_ratio,
+                baseline.miss_ratio > 0.0
+                    ? 100.0 * (two_fe->miss_ratio - baseline.miss_ratio) / baseline.miss_ratio
+                    : 0.0);
+    if (baseline.metrics.fe_utilization >= 0.95) {
+      if (speedup < 1.8) {
+        std::fprintf(stderr,
+                     "FAIL: 2 front-ends only reached %.2fx the saturated single-FE "
+                     "throughput (need >= 1.8x)\n",
+                     speedup);
+        ++failures;
+      }
+    } else {
+      std::printf("note: single FE only %.1f%% utilized at %lld back-ends — the speedup "
+                  "check needs a saturated baseline (raise --backends)\n",
+                  100.0 * baseline.metrics.fe_utilization, static_cast<long long>(backends));
+    }
+    if (baseline.miss_ratio > 0.0 &&
+        (two_fe->miss_ratio - baseline.miss_ratio) / baseline.miss_ratio > 0.10) {
+      std::fprintf(stderr,
+                   "FAIL: 2-FE miss ratio %.3f is more than 10%% above the single-FE "
+                   "oracle's %.3f\n",
+                   two_fe->miss_ratio, baseline.miss_ratio);
+      ++failures;
+    }
+  }
+
+  if (!json.empty()) {
+    auto emit_run = [](std::ostringstream& out, const MeshRun& run) {
+      out << "{\"frontends\":" << run.frontends << ",\"backends\":" << run.backends
+          << ",\"gossip_us\":" << run.gossip_us
+          << ",\"throughput_rps\":" << run.metrics.throughput_rps
+          << ",\"fe_utilization\":" << run.metrics.fe_utilization
+          << ",\"min_fe_utilization\":" << run.min_fe_util
+          << ",\"miss_ratio\":" << run.miss_ratio
+          << ",\"cache_hit_rate\":" << run.metrics.cache_hit_rate
+          << ",\"gossip_rounds\":" << run.metrics.gossip_rounds
+          << ",\"gossip_bytes\":" << run.metrics.gossip_bytes
+          << ",\"gossip_stale_drops\":" << run.metrics.gossip_stale_drops
+          << ",\"max_gossip_lag_us\":" << run.metrics.max_gossip_lag_us
+          << ",\"ownership_violations\":" << run.metrics.ownership_violations
+          << ",\"epoch_regressions\":" << run.metrics.mesh_epoch_regressions
+          << ",\"load_conserved\":" << (run.metrics.mesh_load_conserved ? "true" : "false")
+          << "}";
+    };
+    std::ostringstream out;
+    out << "{\"config\":{\"backends\":" << backends << ",\"sessions\":" << sessions
+        << ",\"max_frontends\":" << max_frontends << ",\"gossip_us\":" << gossip_us
+        << ",\"smoke\":" << (smoke ? "true" : "false") << "},";
+    out << "\"baseline\":";
+    emit_run(out, baseline);
+    out << ",\"speedup_2fe\":" << speedup << ",\"runs\":[";
+    for (size_t i = 0; i < runs.size(); ++i) {
+      out << (i == 0 ? "" : ",");
+      emit_run(out, runs[i]);
+    }
+    out << "],\"knee\":[";
+    for (size_t i = 0; i < knee_runs.size(); ++i) {
+      out << (i == 0 ? "" : ",");
+      emit_run(out, knee_runs[i]);
+    }
+    out << "]}";
+    std::ofstream file(json);
+    file << out.str() << "\n";
+    std::printf("wrote %s\n", json.c_str());
+  }
+
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lard
+
+int main(int argc, char** argv) { return lard::Main(argc, argv); }

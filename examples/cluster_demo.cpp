@@ -25,6 +25,7 @@ void HandleSignal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   lard::FlagSet flags("cluster_demo");
   int64_t nodes = 3;
+  int64_t frontends = 1;
   int64_t sessions = 400;
   int64_t clients = 12;
   int64_t cache_mb = 4;
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
   bool http10 = false;
   bool serve = false;
   flags.AddInt("nodes", &nodes, "number of back-end nodes");
+  flags.AddInt("frontends", &frontends, "front-end replicas (mesh; clients spray across ports)");
   flags.AddInt("sessions", &sessions, "sessions the load generator replays");
   flags.AddInt("clients", &clients, "concurrent clients");
   flags.AddInt("cache-mb", &cache_mb, "per-node content cache (MB)");
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
 
   lard::ClusterConfig config;
   config.num_nodes = static_cast<int>(nodes);
+  config.num_frontends = static_cast<int>(frontends);
   if (!lard::PolicyRegistry::Global().Contains(policy)) {
     std::fprintf(stderr, "unknown policy '%s' (registered: %s)\n", policy.c_str(),
                  lard::PolicyRegistry::Global().NamesCsv().c_str());
@@ -83,6 +86,13 @@ int main(int argc, char** argv) {
   std::printf("cluster up: %lld back-ends, %s over %s, http://127.0.0.1:%u/\n",
               static_cast<long long>(nodes), policy.c_str(),
               lard::MechanismName(config.mechanism), cluster.port());
+  if (frontends > 1) {
+    std::printf("front-end tier:");
+    for (const uint16_t port : cluster.ports()) {
+      std::printf(" http://127.0.0.1:%u/", port);
+    }
+    std::printf("  (mesh state: GET /mesh on the admin port)\n");
+  }
   std::printf("document tree: %zu files, %.1f MB (e.g. /page0/index.html)\n",
               trace.catalog().size(), static_cast<double>(trace.catalog().TotalBytes()) / 1e6);
 
@@ -101,6 +111,7 @@ int main(int argc, char** argv) {
 
   lard::LoadGeneratorConfig load;
   load.port = cluster.port();
+  load.ports = cluster.ports();  // spray across the FE tier (one entry = classic)
   load.num_clients = static_cast<int>(clients);
   load.http10 = http10;
   const lard::LoadResult result = lard::RunLoad(load, trace);

@@ -1,6 +1,10 @@
 #include "src/core/cluster_types.h"
 
+#include <cmath>
+
 namespace lard {
+
+bool IsValidCapacityWeight(double weight) { return std::isfinite(weight) && weight > 0.0; }
 
 const char* MechanismName(Mechanism mechanism) {
   switch (mechanism) {

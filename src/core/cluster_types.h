@@ -135,6 +135,26 @@ class NullBackendStats final : public BackendStatsProvider {
   int DiskQueueLength(NodeId) const override { return 0; }
 };
 
+// The one check every capacity weight passes through — the dispatcher's
+// AddNode CHECK, the admin API's 400, and the simulator's membership-event
+// validation all call this, so "positive and finite" is decided in exactly
+// one place.
+bool IsValidCapacityWeight(double weight);
+
+// Per-node load contributed by *other* dispatchers — the replicated
+// front-end tier's gossip overlay. A dispatcher accounts only the
+// connections it placed itself; with N front-ends the policies must compare
+// local + remote load, so DispatcherView::Load adds this provider's answer
+// (when configured) on top of the local accounting. Implementations are
+// staleness-bounded approximations (src/mesh's MeshStateTable), never exact.
+class RemoteLoadProvider {
+ public:
+  virtual ~RemoteLoadProvider() = default;
+  // Load units other front-ends currently believe they have placed on
+  // `node`. Must tolerate any node id (return 0.0 for unknown slots).
+  virtual double RemoteLoad(NodeId node) const = 0;
+};
+
 }  // namespace lard
 
 #endif  // SRC_CORE_CLUSTER_TYPES_H_

@@ -27,15 +27,17 @@ Dispatcher::Dispatcher(const DispatcherConfig& config, const TargetCatalog* cata
   }
   // The initial membership is a given, not a control-plane event.
   counters_.nodes_added = 0;
+  membership_epoch_ = 0;
 }
 
 DispatcherView Dispatcher::View() const {
   return DispatcherView(&load_, &weights_, &states_, &vcaches_, stats_, &config_.params,
-                        config_.mechanism);
+                        config_.mechanism, config_.remote_loads);
 }
 
 NodeId Dispatcher::AddNode(double weight) {
-  LARD_CHECK(weight > 0.0) << "node weight must be positive, got " << weight;
+  LARD_CHECK(IsValidCapacityWeight(weight))
+      << "node weight must be positive and finite, got " << weight;
   const NodeId node = static_cast<NodeId>(states_.size());
   load_.push_back(0.0);
   weights_.push_back(weight);
@@ -47,6 +49,7 @@ NodeId Dispatcher::AddNode(double weight) {
           ? nullptr
           : config_.metrics->Gauge(MetricsRegistry::WithNode("lard_node_load", node)));
   ++counters_.nodes_added;
+  ++membership_epoch_;
   return node;
 }
 
@@ -59,6 +62,7 @@ bool Dispatcher::DrainNode(NodeId node) {
   }
   states_[static_cast<size_t>(node)] = NodeState::kDraining;
   ++counters_.nodes_drained;
+  ++membership_epoch_;
   return true;
 }
 
@@ -69,6 +73,7 @@ bool Dispatcher::RemoveNode(NodeId node, std::vector<ConnId>* orphans) {
   states_[static_cast<size_t>(node)] = NodeState::kDead;
   vcaches_[static_cast<size_t>(node)].Clear();
   ++counters_.nodes_removed;
+  ++membership_epoch_;
 
   // Forget every connection the node was handling. Their remote fractions on
   // *other* nodes are released; the dead node's own load is simply zeroed
@@ -144,6 +149,16 @@ NodeId Dispatcher::ReassignConnection(ConnId conn, const std::vector<TargetId>& 
   }
   ++counters_.reassignments;
   return new_node;
+}
+
+void Dispatcher::NoteRemoteFetch(NodeId node, TargetId target) {
+  if (node < 0 || node >= num_node_slots() || Dead(node) || target == kInvalidTarget) {
+    return;
+  }
+  LruCache& cache = vcaches_[static_cast<size_t>(node)];
+  if (!cache.Touch(target)) {
+    cache.Insert(target, SizeOf(target));
+  }
 }
 
 void Dispatcher::SetPolicy(Policy policy) {

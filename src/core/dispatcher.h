@@ -65,6 +65,11 @@ struct DispatcherConfig {
   // Optional: decision counters and per-node load gauges are published here
   // (lard_dispatcher_* and lard_node_load{node="k"}).
   MetricsRegistry* metrics = nullptr;
+  // Optional replicated-front-end overlay: per-node load gossiped by the
+  // *other* dispatchers of a front-end mesh, added on top of this
+  // dispatcher's own accounting in every policy's view (must outlive the
+  // dispatcher). Null = single front-end, overlay is zero.
+  const RemoteLoadProvider* remote_loads = nullptr;
 };
 
 // Aggregate decision counters, for tests, metrics and EXPERIMENTS.md tables.
@@ -146,6 +151,13 @@ class Dispatcher {
   // unknown or no node is assignable (caller falls back to 503/close).
   NodeId ReassignConnection(ConnId conn, const std::vector<TargetId>& pending_targets = {});
 
+  // Merges a gossip hint from a peer front-end: `target` was (or is about to
+  // be) fetched into `node`'s real cache by a connection some other
+  // dispatcher placed there. Keeps this dispatcher's virtual-cache model of
+  // the shared back-ends converging on reality so LARD affinity survives
+  // replication. No load or counter side effects; dead nodes are ignored.
+  void NoteRemoteFetch(NodeId node, TargetId target);
+
   // Runtime policy switch (admin POST /policy). Existing connections keep
   // their handling nodes and the round-robin cursor persists; only future
   // decisions use the new policy. The enum overload is shorthand for the
@@ -159,6 +171,15 @@ class Dispatcher {
   const RoutingPolicy& policy() const { return *policy_; }
   // Total node slots ever allocated (including drained/dead ids).
   int num_node_slots() const { return static_cast<int>(states_.size()); }
+  // Monotone counter of membership mutations (AddNode/DrainNode/RemoveNode).
+  // The front-end mesh gossips it so replicas can order membership news:
+  // a delta carrying a lower epoch than previously seen from the same peer
+  // is stale and must be dropped.
+  uint64_t membership_epoch() const { return membership_epoch_; }
+  // The gossip overlay's answer for `node` (0 when no mesh is configured).
+  double RemoteNodeLoad(NodeId node) const {
+    return config_.remote_loads == nullptr ? 0.0 : config_.remote_loads->RemoteLoad(node);
+  }
   int active_node_count() const;
   NodeState node_state(NodeId node) const;
   double NodeLoad(NodeId node) const;
@@ -227,6 +248,7 @@ class Dispatcher {
   std::vector<MetricGauge*> load_gauges_;  // nullptrs when metrics disabled
   std::unordered_map<ConnId, ConnState> conns_;
   DispatcherCounters counters_;
+  uint64_t membership_epoch_ = 0;
 };
 
 }  // namespace lard

@@ -41,19 +41,26 @@ namespace lard {
 // Read-only window onto the dispatcher's state, handed to every policy call.
 // Node ids index [0, num_node_slots()); dead/draining slots persist (ids are
 // never reused) and are excluded from new work via Assignable().
+//
+// With a replicated front-end tier, `remote` overlays the load other
+// dispatchers have gossiped for each node; Load() then answers local +
+// remote so every policy transparently decides over the (approximate)
+// *global* load without knowing the mesh exists. `remote` may be null
+// (single front-end: the overlay is zero).
 class DispatcherView {
  public:
   DispatcherView(const std::vector<double>* loads, const std::vector<double>* weights,
                  const std::vector<NodeState>* states, const std::vector<LruCache>* vcaches,
                  const BackendStatsProvider* stats, const LardParams* params,
-                 Mechanism mechanism)
+                 Mechanism mechanism, const RemoteLoadProvider* remote = nullptr)
       : loads_(loads),
         weights_(weights),
         states_(states),
         vcaches_(vcaches),
         stats_(stats),
         params_(params),
-        mechanism_(mechanism) {}
+        mechanism_(mechanism),
+        remote_(remote) {}
 
   int num_node_slots() const { return static_cast<int>(states_->size()); }
   NodeState state(NodeId node) const { return (*states_)[static_cast<size_t>(node)]; }
@@ -61,8 +68,15 @@ class DispatcherView {
   // `node`.
   bool Assignable(NodeId node) const { return state(node) == NodeState::kActive; }
   // The paper's load units: active handed-off connections plus fractional
-  // batch loads.
-  double Load(NodeId node) const { return (*loads_)[static_cast<size_t>(node)]; }
+  // batch loads — this dispatcher's own accounting plus (in a replicated
+  // front-end tier) the gossip-learned load other dispatchers placed.
+  double Load(NodeId node) const { return LocalLoad(node) + RemoteLoad(node); }
+  // The load this dispatcher placed itself (exact, not gossip).
+  double LocalLoad(NodeId node) const { return (*loads_)[static_cast<size_t>(node)]; }
+  // The overlay other front-ends gossiped for `node` (0 without a mesh).
+  double RemoteLoad(NodeId node) const {
+    return remote_ == nullptr ? 0.0 : remote_->RemoteLoad(node);
+  }
   // Capacity weight (1.0 = baseline machine; 2.0 = twice as fast).
   double Weight(NodeId node) const { return (*weights_)[static_cast<size_t>(node)]; }
   // Load per unit of capacity — what weighted policies compare and what the
@@ -85,6 +99,7 @@ class DispatcherView {
   const BackendStatsProvider* stats_;
   const LardParams* params_;
   Mechanism mechanism_;
+  const RemoteLoadProvider* remote_;
 };
 
 // Mutable scratch state shared by all policies of one dispatcher. Keeping the

@@ -1,0 +1,89 @@
+#include "src/mesh/gossip.h"
+
+#include <cstring>
+
+#include "src/proto/wire.h"
+
+namespace lard {
+
+namespace {
+
+// Doubles travel as their IEEE-754 bit pattern in the codec's little-endian
+// u64 (loads and weights are finite by construction; NaN would round-trip
+// bit-exactly anyway).
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// Serialized sizes, for the count-vs-remaining allocation bound.
+constexpr size_t kNodeEntryBytes = 4 + 8 + 8 + 1;  // node + load + weight + state
+constexpr size_t kHintBytes = 4 + 4;               // node + target
+
+}  // namespace
+
+std::string EncodeGossipDelta(const GossipDelta& delta) {
+  WireWriter writer;
+  writer.U32(delta.fe_id);
+  writer.U64(delta.seq);
+  writer.U64(delta.membership_epoch);
+  writer.U32(static_cast<uint32_t>(delta.nodes.size()));
+  for (const GossipNodeEntry& entry : delta.nodes) {
+    writer.U32(static_cast<uint32_t>(entry.node));
+    writer.U64(DoubleBits(entry.load));
+    writer.U64(DoubleBits(entry.weight));
+    writer.U8(entry.state);
+  }
+  writer.U32(static_cast<uint32_t>(delta.hints.size()));
+  for (const GossipVcacheHint& hint : delta.hints) {
+    writer.U32(static_cast<uint32_t>(hint.node));
+    writer.U32(hint.target);
+  }
+  return writer.Take();
+}
+
+bool DecodeGossipDelta(std::string_view payload, GossipDelta* delta) {
+  WireReader reader(payload);
+  delta->fe_id = reader.U32();
+  delta->seq = reader.U64();
+  delta->membership_epoch = reader.U64();
+
+  const uint32_t node_count = reader.U32();
+  if (!reader.ok() || static_cast<size_t>(node_count) > reader.remaining() / kNodeEntryBytes) {
+    return false;  // a hostile count must not drive the reserve below
+  }
+  delta->nodes.clear();
+  delta->nodes.reserve(node_count);
+  for (uint32_t i = 0; i < node_count; ++i) {
+    GossipNodeEntry entry;
+    entry.node = static_cast<NodeId>(reader.U32());
+    entry.load = BitsDouble(reader.U64());
+    entry.weight = BitsDouble(reader.U64());
+    entry.state = reader.U8();
+    delta->nodes.push_back(entry);
+  }
+
+  const uint32_t hint_count = reader.U32();
+  if (!reader.ok() || static_cast<size_t>(hint_count) > reader.remaining() / kHintBytes) {
+    return false;
+  }
+  delta->hints.clear();
+  delta->hints.reserve(hint_count);
+  for (uint32_t i = 0; i < hint_count; ++i) {
+    GossipVcacheHint hint;
+    hint.node = static_cast<NodeId>(reader.U32());
+    hint.target = reader.U32();
+    delta->hints.push_back(hint);
+  }
+  return reader.Complete();
+}
+
+}  // namespace lard

@@ -1,0 +1,86 @@
+// Gossip wire format for the replicated front-end tier (the "shared-state
+// mesh"). The paper's front-end is a single CPU that saturates at ~10
+// back-ends (Section 8.2); to scale past that we run N front-ends, each with
+// its own Dispatcher, and keep their views approximately consistent by
+// periodically exchanging *deltas*: per-node load contributions, capacity
+// weights, membership state + epoch, and virtual-cache hints (targets the
+// sender's connections fetched into the shared back-ends' caches).
+//
+// Design points, mirroring gossip-based balancer replication (arXiv:1103.1207,
+// arXiv:1009.4563):
+//   * deltas are absolute per-sender state, not increments — applying the
+//     newest delta fully replaces the older one, so loss and reordering only
+//     cost staleness, never correctness (loss-tolerant);
+//   * a per-sender sequence number orders deltas; the membership epoch
+//     (Dispatcher::membership_epoch) orders membership news — a delta whose
+//     epoch regresses below what the peer already reported is stale and must
+//     be dropped (the mesh's "monotone membership epochs" invariant);
+//   * the encoding rides the prototype's existing length-prefixed wire codec
+//     and is framed on FramedChannel between front-end peers.
+#ifndef SRC_MESH_GOSSIP_H_
+#define SRC_MESH_GOSSIP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/cluster_types.h"
+#include "src/trace/trace.h"
+
+namespace lard {
+
+// Frame type for gossip deltas on an FE<->FE FramedChannel. Deliberately
+// outside the ControlMsg range so a misrouted frame is recognisably foreign.
+inline constexpr uint8_t kGossipFrameType = 64;
+// FE->FE hello: payload u32 fe_id, sent once when a peer channel opens.
+inline constexpr uint8_t kGossipHelloFrameType = 65;
+
+// One node's slice of a delta: the *sender's own* load contribution plus
+// what the sender believes about the node (weight, membership state), so
+// receivers can cross-check convergence.
+struct GossipNodeEntry {
+  NodeId node = kInvalidNode;
+  double load = 0.0;     // load units the sender itself placed on the node
+  double weight = 1.0;   // capacity weight as the sender knows it
+  uint8_t state = 0;     // NodeState, as uint8_t
+};
+
+// A virtual-cache hint: the sender fetched (or is about to fetch) `target`
+// into `node`'s real cache, so receivers should mark it resident too.
+struct GossipVcacheHint {
+  NodeId node = kInvalidNode;
+  TargetId target = kInvalidTarget;
+};
+
+// Dedup key for a (node, target) hint — senders accumulate keys between
+// ticks so one hot pair costs one wire entry per delta. The packing is the
+// protocol's, so both worlds (prototype and simulator) share it from here.
+inline uint64_t MakeHintKey(NodeId node, TargetId target) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(node)) << 32) |
+         static_cast<uint64_t>(target);
+}
+
+inline GossipVcacheHint HintFromKey(uint64_t key) {
+  GossipVcacheHint hint;
+  hint.node = static_cast<NodeId>(key >> 32);
+  hint.target = static_cast<TargetId>(key & 0xffffffffull);
+  return hint;
+}
+
+struct GossipDelta {
+  uint32_t fe_id = 0;             // sender's front-end id
+  uint64_t seq = 0;               // per-sender monotone sequence number
+  uint64_t membership_epoch = 0;  // sender dispatcher's membership epoch
+  std::vector<GossipNodeEntry> nodes;
+  std::vector<GossipVcacheHint> hints;
+};
+
+std::string EncodeGossipDelta(const GossipDelta& delta);
+// Strict: rejects truncated or trailing bytes and (hardening) node/hint
+// counts larger than the remaining payload could possibly hold.
+bool DecodeGossipDelta(std::string_view payload, GossipDelta* delta);
+
+}  // namespace lard
+
+#endif  // SRC_MESH_GOSSIP_H_

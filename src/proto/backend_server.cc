@@ -56,14 +56,7 @@ void BackendServer::Start(UniqueFd control_fd) {
         config_.metrics->Gauge(MetricsRegistry::WithNode("lard_backend_open_connections", id));
   }
 
-  LARD_CHECK_OK(SetNonBlocking(control_fd.get(), true));
-  control_ = std::make_unique<FramedChannel>(loop_, std::move(control_fd));
-  control_->set_on_message([this](uint8_t type, std::string payload, UniqueFd fd) {
-    OnControlMessage(type, std::move(payload), std::move(fd));
-  });
-  control_->set_on_close(
-      [this]() { LARD_LOG(WARNING) << "backend " << config_.node_id << ": control session lost"; });
-  control_->Start();
+  AttachFrontEnd(0, std::move(control_fd));
 
   auto listener = ListenTcp(0, &lateral_port_);
   LARD_CHECK(listener.ok()) << listener.status().ToString();
@@ -79,10 +72,75 @@ void BackendServer::Start(UniqueFd control_fd) {
   loop_->ScheduleAfterMs(kHousekeepingPeriodMs, alive_.Guard([this]() { Housekeeping(); }));
 }
 
+void BackendServer::AttachFrontEnd(int fe_id, UniqueFd control_fd) {
+  LARD_CHECK(fe_id >= 0);
+  if (static_cast<size_t>(fe_id) >= controls_.size()) {
+    controls_.resize(static_cast<size_t>(fe_id) + 1);
+  }
+  LARD_CHECK_OK(SetNonBlocking(control_fd.get(), true));
+  auto channel = std::make_unique<FramedChannel>(loop_, std::move(control_fd));
+  channel->set_on_message([this, fe_id](uint8_t type, std::string payload, UniqueFd fd) {
+    OnControlMessage(fe_id, type, std::move(payload), std::move(fd));
+  });
+  channel->set_on_close([this, fe_id]() { OnFrontEndLost(fe_id); });
+  channel->Start();
+  controls_[static_cast<size_t>(fe_id)] = std::move(channel);
+}
+
+FramedChannel* BackendServer::FeChannel(int fe) {
+  if (fe < 0 || static_cast<size_t>(fe) >= controls_.size()) {
+    return nullptr;
+  }
+  FramedChannel* channel = controls_[static_cast<size_t>(fe)].get();
+  return channel != nullptr && channel->open() ? channel : nullptr;
+}
+
+void BackendServer::OnFrontEndLost(int fe) {
+  LARD_LOG(WARNING) << "backend " << config_.node_id << ": control session to front-end " << fe
+                    << " lost";
+  // FE leave: its consults will never be answered, so its connections flip
+  // to autonomous local service. Directives pair with requests positionally,
+  // so the unanswerable in-flight consult's paths get local directives
+  // first (those requests are older), then the unconsulted backlog.
+  for (auto& [id, conn] : conns_) {
+    if (conn->fe != fe || conn->closed || conn->autonomous) {
+      continue;
+    }
+    conn->autonomous = true;
+    conn->consult_outstanding = false;
+    for (std::string& path : conn->consult_inflight) {
+      RequestDirective directive;
+      directive.path = std::move(path);
+      conn->directives.push_back(std::move(directive));
+    }
+    conn->consult_inflight.clear();
+    for (std::string& path : conn->consult_backlog) {
+      RequestDirective directive;
+      directive.path = std::move(path);
+      conn->directives.push_back(std::move(directive));
+    }
+    conn->consult_backlog.clear();
+    // Deferred: we may be inside the dying channel's callback stack.
+    loop_->Post(alive_.Guard([this, id = conn->id]() {
+      auto it = conns_.find(id);
+      if (it != conns_.end()) {
+        ProcessNext(it->second.get());
+      }
+    }));
+  }
+}
+
 void BackendServer::Housekeeping() {
-  if (control_ != nullptr && control_->open()) {
-    control_->Send(static_cast<uint8_t>(ControlMsg::kDiskReport),
-                   EncodeU32(static_cast<uint32_t>(disk_->queue_length())));
+  bool any_fe = false;
+  for (size_t fe = 0; fe < controls_.size(); ++fe) {
+    FramedChannel* channel = FeChannel(static_cast<int>(fe));
+    if (channel != nullptr) {
+      channel->Send(static_cast<uint8_t>(ControlMsg::kDiskReport),
+                    EncodeU32(static_cast<uint32_t>(disk_->queue_length())));
+      any_fe = true;
+    }
+  }
+  if (any_fe) {
     MaybeSendHeartbeat();
   }
   SweepIdleConnections();
@@ -105,7 +163,13 @@ void BackendServer::MaybeSendHeartbeat() {
   heartbeat.seq = ++heartbeat_seq_;
   heartbeat.disk_queue_len = static_cast<uint32_t>(disk_->queue_length());
   heartbeat.active_conns = static_cast<uint32_t>(conns_.size());
-  control_->Send(static_cast<uint8_t>(ControlMsg::kHeartbeat), EncodeHeartbeat(heartbeat));
+  // Every front-end runs its own health tracker; all of them hear the beat.
+  for (size_t fe = 0; fe < controls_.size(); ++fe) {
+    FramedChannel* channel = FeChannel(static_cast<int>(fe));
+    if (channel != nullptr) {
+      channel->Send(static_cast<uint8_t>(ControlMsg::kHeartbeat), EncodeHeartbeat(heartbeat));
+    }
+  }
   if (metric_heartbeats_ != nullptr) {
     metric_heartbeats_->Increment();
   }
@@ -137,7 +201,7 @@ void BackendServer::AddPeer(NodeId node, uint16_t port) {
 // Control session
 // ---------------------------------------------------------------------------
 
-void BackendServer::OnControlMessage(uint8_t type, std::string payload, UniqueFd fd) {
+void BackendServer::OnControlMessage(int fe, uint8_t type, std::string payload, UniqueFd fd) {
   switch (static_cast<ControlMsg>(type)) {
     case ControlMsg::kHandoff: {
       HandoffMsg msg;
@@ -145,7 +209,15 @@ void BackendServer::OnControlMessage(uint8_t type, std::string payload, UniqueFd
         LARD_LOG(ERROR) << "backend " << config_.node_id << ": bad handoff message";
         return;
       }
-      AdoptConnection(std::move(msg), std::move(fd));
+      AdoptConnection(fe, std::move(msg), std::move(fd));
+      return;
+    }
+    case ControlMsg::kFeHello: {
+      uint32_t announced = 0;
+      if (!DecodeU32(payload, &announced) || announced != static_cast<uint32_t>(fe)) {
+        LARD_LOG(ERROR) << "backend " << config_.node_id << ": front-end hello mismatch ("
+                        << announced << " on session " << fe << ")";
+      }
       return;
     }
     case ControlMsg::kAssignments: {
@@ -184,13 +256,22 @@ void BackendServer::OnControlMessage(uint8_t type, std::string payload, UniqueFd
   }
 }
 
-void BackendServer::AdoptConnection(HandoffMsg msg, UniqueFd fd) {
+void BackendServer::AdoptConnection(int fe, HandoffMsg msg, UniqueFd fd) {
+  if (conns_.count(msg.conn_id) != 0) {
+    // Two front-ends minting from one id space (or a replayed handoff)
+    // would corrupt the table; refuse the adoption and reset the client
+    // (fd RAII-closes) instead of undefined behaviour.
+    LARD_LOG(ERROR) << "backend " << config_.node_id << ": duplicate handoff for connection "
+                    << msg.conn_id << " from front-end " << fe;
+    return;
+  }
   LARD_CHECK_OK(SetNonBlocking(fd.get(), true));
   (void)SetTcpNoDelay(fd.get());
 
   auto conn = std::make_unique<ClientConn>();
   ClientConn* raw = conn.get();
   raw->id = msg.conn_id;
+  raw->fe = fe;
   raw->autonomous = msg.autonomous;
   raw->directives.assign(msg.directives.begin(), msg.directives.end());
   raw->preassigned_remaining = msg.directives.size();
@@ -233,6 +314,7 @@ void BackendServer::OnAssignments(const AssignmentsMsg& msg) {
   }
   ClientConn* conn = it->second.get();
   conn->consult_outstanding = false;
+  conn->consult_inflight.clear();
   for (const auto& directive : msg.directives) {
     conn->directives.push_back(directive);
   }
@@ -283,13 +365,27 @@ void BackendServer::MaybeConsult(ClientConn* conn) {
       conn->closed || conn->migrating) {
     return;
   }
+  FramedChannel* channel = FeChannel(conn->fe);
+  if (channel == nullptr) {
+    // Owning front-end gone and the loss sweep has not reached this
+    // connection yet: degrade to autonomous local service now.
+    conn->autonomous = true;
+    for (std::string& path : conn->consult_backlog) {
+      RequestDirective directive;
+      directive.path = std::move(path);
+      conn->directives.push_back(std::move(directive));
+    }
+    conn->consult_backlog.clear();
+    return;
+  }
   ConsultMsg msg;
   msg.conn_id = conn->id;
   msg.paths = std::move(conn->consult_backlog);
   msg.disk_queue_len = static_cast<uint32_t>(disk_->queue_length());
   conn->consult_backlog.clear();
+  conn->consult_inflight = msg.paths;  // recoverable if the FE dies mid-consult
   conn->consult_outstanding = true;
-  control_->Send(static_cast<uint8_t>(ControlMsg::kConsult), EncodeConsult(msg));
+  channel->Send(static_cast<uint8_t>(ControlMsg::kConsult), EncodeConsult(msg));
 }
 
 void BackendServer::ProcessNext(ClientConn* conn) {
@@ -360,7 +456,7 @@ void BackendServer::MaybeDrainHandback(ClientConn* conn) {
       !conn->requests.empty() || !conn->consult_backlog.empty() || conn->consult_outstanding) {
     return;
   }
-  if (conn->conn == nullptr || !conn->conn->open() || control_ == nullptr || !control_->open()) {
+  if (conn->conn == nullptr || !conn->conn->open() || FeChannel(conn->fe) == nullptr) {
     return;
   }
   conn->migrating = true;
@@ -416,9 +512,21 @@ void BackendServer::DoHandback(ConnId conn_id) {
   replay += conn->parser.buffered();
   msg.replay_input = std::move(replay);
 
+  FramedChannel* channel = FeChannel(conn->fe);
+  if (channel == nullptr) {
+    // Owning front-end vanished between the flush and now: nobody can
+    // re-place the connection, so keep serving it locally.
+    conn->migrating = false;
+    if (!conn->directives.empty() &&
+        conn->directives.front().action == DirectiveAction::kMigrate) {
+      conn->directives.front().action = DirectiveAction::kLocal;
+    }
+    ProcessNext(conn);
+    return;
+  }
   Connection::Detached detached = conn->conn->Detach();
-  control_->SendWithFd(static_cast<uint8_t>(ControlMsg::kHandback), EncodeHandback(msg),
-                       std::move(detached.fd));
+  channel->SendWithFd(static_cast<uint8_t>(ControlMsg::kHandback), EncodeHandback(msg),
+                      std::move(detached.fd));
   (migrate ? counters_.handbacks : counters_.drain_handbacks)
       .fetch_add(1, std::memory_order_relaxed);
 
@@ -547,7 +655,10 @@ void BackendServer::ReportIdleIfQuiescent(ClientConn* conn) {
     return;
   }
   conn->idle_reported = true;
-  control_->Send(static_cast<uint8_t>(ControlMsg::kIdle), EncodeU64(conn->id));
+  FramedChannel* channel = FeChannel(conn->fe);
+  if (channel != nullptr) {
+    channel->Send(static_cast<uint8_t>(ControlMsg::kIdle), EncodeU64(conn->id));
+  }
 }
 
 void BackendServer::OnClientClosed(ClientConn* conn) {
@@ -559,8 +670,9 @@ void BackendServer::CloseClient(ClientConn* conn, bool notify_frontend) {
     return;
   }
   conn->closed = true;
-  if (notify_frontend && control_ != nullptr && control_->open()) {
-    control_->Send(static_cast<uint8_t>(ControlMsg::kConnClosed), EncodeU64(conn->id));
+  FramedChannel* channel = FeChannel(conn->fe);
+  if (notify_frontend && channel != nullptr) {
+    channel->Send(static_cast<uint8_t>(ControlMsg::kConnClosed), EncodeU64(conn->id));
   }
   // The Connection may be mid-callback and disk/lateral callbacks may still
   // reference this ClientConn by id, so tear down on the next tick.

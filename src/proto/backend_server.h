@@ -87,9 +87,18 @@ class BackendServer {
   BackendServer(const BackendServer&) = delete;
   BackendServer& operator=(const BackendServer&) = delete;
 
-  // Loop thread. Attaches the control session to the front-end and opens the
+  // Loop thread. Attaches front-end 0's control session and opens the
   // lateral listener (port returned via lateral_port()).
   void Start(UniqueFd control_fd);
+
+  // Loop thread. Attaches (or replaces) the control session of front-end
+  // `fe_id` — the replicated-FE tier's join path. Every client connection
+  // remembers which front-end handed it off, and its consults, idle/close
+  // notifications and handbacks travel that front-end's session; heartbeats
+  // and disk reports broadcast to every attached front-end. When a session
+  // dies (FE leave/crash), that front-end's connections degrade to
+  // autonomous local service instead of wedging on unanswerable consults.
+  void AttachFrontEnd(int fe_id, UniqueFd control_fd);
 
   // Loop thread. Connects lateral clients; ports[i] is node i's lateral port
   // (entry for self ignored). Call after every node has started; the list may
@@ -110,6 +119,7 @@ class BackendServer {
  private:
   struct ClientConn {
     ConnId id = 0;
+    int fe = 0;  // the front-end whose control session handed this conn off
     std::unique_ptr<Connection> conn;
     RequestParser parser;
     bool autonomous = false;
@@ -123,6 +133,11 @@ class BackendServer {
     // Paths parsed but not yet consulted (accumulates while one consult is in
     // flight; flushed as the next batch).
     std::vector<std::string> consult_backlog;
+    // Paths of the consult currently in flight, kept until its kAssignments
+    // reply lands — if the owning front-end dies first, these requests must
+    // still get (local) directives or the FIFO request/directive pairing
+    // skews forever.
+    std::vector<std::string> consult_inflight;
     bool consult_outstanding = false;
     bool serving = false;       // a response is being produced (serial per conn)
     bool migrating = false;     // hand-back in progress: no consults, no serves
@@ -140,10 +155,14 @@ class BackendServer {
     bool serving = false;
   };
 
-  // Control session.
-  void OnControlMessage(uint8_t type, std::string payload, UniqueFd fd);
-  void AdoptConnection(HandoffMsg msg, UniqueFd fd);
+  // Control sessions (one per front-end).
+  void OnControlMessage(int fe, uint8_t type, std::string payload, UniqueFd fd);
+  void AdoptConnection(int fe, HandoffMsg msg, UniqueFd fd);
   void OnAssignments(const AssignmentsMsg& msg);
+  // The channel to front-end `fe`, or nullptr when absent/closed.
+  FramedChannel* FeChannel(int fe);
+  // Front-end `fe`'s control session died: degrade its connections.
+  void OnFrontEndLost(int fe);
 
   // Client connections.
   void OnClientData(ClientConn* conn, std::string_view data);
@@ -197,7 +216,7 @@ class BackendServer {
   LivenessToken alive_;
   bool draining_ = false;
 
-  std::unique_ptr<FramedChannel> control_;
+  std::vector<std::unique_ptr<FramedChannel>> controls_;  // index = front-end id
   std::unique_ptr<DiskGate> disk_;
   LruCache cache_;
 

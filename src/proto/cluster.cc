@@ -37,9 +37,11 @@ std::string Trim(const std::string& text) {
   return text.substr(begin, text.find_last_not_of(" \t\r\n") + 1 - begin);
 }
 
-// Strict number parse: the whole (trimmed) string must be one finite,
-// positive double — trailing garbage ("2,5", "2.5x") is rejected, not
-// silently truncated.
+// Strict number parse: the whole (trimmed) string must be one double that
+// passes the shared capacity-weight validator (positive and finite — the
+// same IsValidCapacityWeight the dispatcher CHECKs and the simulator's
+// membership events are screened by). Trailing garbage ("2,5", "2.5x") is
+// rejected, not silently truncated.
 bool ParsePositiveNumber(const std::string& text, double* value) {
   const std::string trimmed = Trim(text);
   if (trimmed.empty()) {
@@ -47,7 +49,7 @@ bool ParsePositiveNumber(const std::string& text, double* value) {
   }
   char* parse_end = nullptr;
   const double parsed = std::strtod(trimmed.c_str(), &parse_end);
-  if (parse_end != trimmed.c_str() + trimmed.size() || !std::isfinite(parsed) || parsed <= 0.0) {
+  if (parse_end != trimmed.c_str() + trimmed.size() || !IsValidCapacityWeight(parsed)) {
     return false;
   }
   *value = parsed;
@@ -106,17 +108,23 @@ struct Cluster::Node {
 Cluster::Cluster(const ClusterConfig& config, const TargetCatalog* catalog)
     : config_(config), store_(catalog) {
   LARD_CHECK(config_.num_nodes > 0);
+  LARD_CHECK(config_.num_frontends > 0);
 }
 
 Cluster::~Cluster() { Stop(); }
 
-Status Cluster::StartBackend(NodeId node_id, UniqueFd* fe_end) {
-  auto pair = UnixPair();
-  if (!pair.ok()) {
-    return pair.status();
+Status Cluster::StartBackend(NodeId node_id, std::vector<UniqueFd>* fe_ends) {
+  // One control-session socketpair per front-end replica.
+  std::vector<UniqueFd> be_ends;
+  fe_ends->clear();
+  for (int fe = 0; fe < config_.num_frontends; ++fe) {
+    auto pair = UnixPair();
+    if (!pair.ok()) {
+      return pair.status();
+    }
+    fe_ends->push_back(std::move(pair.value().first));
+    be_ends.push_back(std::move(pair.value().second));
   }
-  *fe_end = std::move(pair.value().first);
-  UniqueFd be_end = std::move(pair.value().second);
 
   auto node = std::make_unique<Node>();
   node->loop = std::make_unique<EventLoop>();
@@ -134,7 +142,12 @@ Status Cluster::StartBackend(NodeId node_id, UniqueFd* fe_end) {
   Node* raw = node.get();
   LARD_CHECK(static_cast<size_t>(node_id) == nodes_.size());
   nodes_.push_back(std::move(node));
-  RunOnLoop(raw->loop.get(), [raw, fd = &be_end]() { raw->server->Start(std::move(*fd)); });
+  RunOnLoop(raw->loop.get(), [raw, &be_ends]() {
+    raw->server->Start(std::move(be_ends[0]));
+    for (size_t fe = 1; fe < be_ends.size(); ++fe) {
+      raw->server->AttachFrontEnd(static_cast<int>(fe), std::move(be_ends[fe]));
+    }
+  });
   raw->lateral_port = raw->server->lateral_port();
   return Status::Ok();
 }
@@ -145,15 +158,13 @@ Status Cluster::Start() {
 
   std::lock_guard<std::mutex> lock(nodes_mutex_);
 
-  // Back-ends, each with its control-session socketpair.
-  std::vector<UniqueFd> fe_ends;
+  // Back-ends, each with one control-session socketpair per front-end.
+  std::vector<std::vector<UniqueFd>> fe_ends(static_cast<size_t>(config_.num_nodes));
   for (int i = 0; i < config_.num_nodes; ++i) {
-    UniqueFd fe_end;
-    Status status = StartBackend(i, &fe_end);
+    Status status = StartBackend(i, &fe_ends[static_cast<size_t>(i)]);
     if (!status.ok()) {
       return status;
     }
-    fe_ends.push_back(std::move(fe_end));
   }
 
   // Lateral mesh.
@@ -166,38 +177,76 @@ Status Cluster::Start() {
               [&node, &lateral_ports]() { node->server->ConnectPeers(lateral_ports); });
   }
 
-  // Front-end.
-  fe_loop_ = std::make_unique<EventLoop>();
-  FrontEndConfig fe_config;
-  fe_config.num_nodes = config_.num_nodes;
-  fe_config.policy = config_.policy;
-  fe_config.policy_name = config_.policy_name;
-  fe_config.node_weights = config_.node_weights;
-  fe_config.mechanism = config_.mechanism;
-  fe_config.params = config_.params;
-  fe_config.virtual_cache_bytes = config_.backend_cache_bytes;
-  fe_config.listen_port = config_.listen_port;
-  fe_config.heartbeat_timeout_ms = config_.heartbeat_timeout_ms;
-  fe_config.retire_grace_ms = config_.retire_grace_ms;
-  fe_config.metrics = &metrics_;
-  frontend_ = std::make_unique<FrontEnd>(fe_config, fe_loop_.get(), &store_.catalog());
-  // Node teardown follows the front-end's removal decision (which may be
-  // deferred past a graceful retire), not the admin call.
-  frontend_->set_on_node_removed([this](NodeId node) { OnNodeRemoved(node); });
-  fe_thread_ = std::thread([loop = fe_loop_.get()]() { loop->Run(); });
-  RunOnLoop(fe_loop_.get(), [this, &fe_ends, &lateral_ports]() {
-    frontend_->Start(std::move(fe_ends));
-    if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
-      frontend_->ConnectBackends(lateral_ports);
+  // The front-end tier.
+  for (int fe = 0; fe < config_.num_frontends; ++fe) {
+    auto replica = std::make_unique<FeReplica>();
+    replica->loop = std::make_unique<EventLoop>();
+    FrontEndConfig fe_config;
+    fe_config.num_nodes = config_.num_nodes;
+    fe_config.fe_id = fe;
+    fe_config.num_frontends = config_.num_frontends;
+    fe_config.gossip_interval_ms = config_.gossip_interval_ms;
+    fe_config.policy = config_.policy;
+    fe_config.policy_name = config_.policy_name;
+    fe_config.node_weights = config_.node_weights;
+    fe_config.mechanism = config_.mechanism;
+    fe_config.params = config_.params;
+    fe_config.virtual_cache_bytes = config_.backend_cache_bytes;
+    // Only replica 0 gets the configured port; the rest pick free ports
+    // (ports() exposes the whole tier for client spraying).
+    fe_config.listen_port = fe == 0 ? config_.listen_port : 0;
+    fe_config.heartbeat_timeout_ms = config_.heartbeat_timeout_ms;
+    fe_config.retire_grace_ms = config_.retire_grace_ms;
+    fe_config.metrics = &metrics_;
+    replica->frontend =
+        std::make_unique<FrontEnd>(fe_config, replica->loop.get(), &store_.catalog());
+    // Node teardown follows the front-ends' removal decisions (which may be
+    // deferred past a graceful retire), not the admin call — and waits for
+    // every replica to let go.
+    replica->frontend->set_on_node_removed([this](NodeId node) { OnNodeRemoved(node); });
+    replica->thread = std::thread([loop = replica->loop.get()]() { loop->Run(); });
+    fes_.push_back(std::move(replica));
+  }
+  for (int fe = 0; fe < config_.num_frontends; ++fe) {
+    std::vector<UniqueFd> controls;
+    controls.reserve(static_cast<size_t>(config_.num_nodes));
+    for (int node = 0; node < config_.num_nodes; ++node) {
+      controls.push_back(
+          std::move(fe_ends[static_cast<size_t>(node)][static_cast<size_t>(fe)]));
     }
-  });
+    RunOnLoop(FeLoop(static_cast<size_t>(fe)), [this, fe, &controls, &lateral_ports]() {
+      Fe(static_cast<size_t>(fe))->Start(std::move(controls));
+      if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
+        Fe(static_cast<size_t>(fe))->ConnectBackends(lateral_ports);
+      }
+    });
+  }
 
-  // Admin plane, on the front-end's loop (handlers run where the dispatcher
-  // lives).
+  // Pairwise gossip channels between the replicas.
+  for (size_t i = 0; i < fes_.size(); ++i) {
+    for (size_t j = i + 1; j < fes_.size(); ++j) {
+      auto pair = UnixPair();
+      if (!pair.ok()) {
+        return pair.status();
+      }
+      UniqueFd end_i = std::move(pair.value().first);
+      UniqueFd end_j = std::move(pair.value().second);
+      RunOnLoop(FeLoop(i), [this, i, j, &end_i]() {
+        Fe(i)->AttachPeer(static_cast<uint32_t>(j), std::move(end_i));
+      });
+      RunOnLoop(FeLoop(j), [this, i, j, &end_j]() {
+        Fe(j)->AttachPeer(static_cast<uint32_t>(i), std::move(end_j));
+      });
+    }
+  }
+
+  // Admin plane, on front-end 0's loop (handlers run where that dispatcher
+  // lives; mesh introspection reads the other replicas' thread-safe
+  // snapshots).
   if (config_.enable_admin) {
-    admin_ = std::make_unique<AdminServer>(fe_loop_.get(), &metrics_);
+    admin_ = std::make_unique<AdminServer>(FeLoop(0), &metrics_);
     RegisterAdminRoutes();
-    RunOnLoop(fe_loop_.get(), [this]() { admin_->Start(config_.admin_port); });
+    RunOnLoop(FeLoop(0), [this]() { admin_->Start(config_.admin_port); });
   }
   return Status::Ok();
 }
@@ -206,7 +255,21 @@ void Cluster::RegisterAdminRoutes() {
   admin_->set_before_metrics([this]() { BridgeDispatcherMetrics(); });
 
   admin_->Route("GET", "/nodes", [this](const HttpRequest&, const std::string&) {
-    return AdminResponse::Json(frontend_->DescribeNodesJson());
+    return AdminResponse::Json(Fe(0)->DescribeNodesJson());
+  });
+
+  admin_->Route("GET", "/mesh", [this](const HttpRequest&, const std::string&) {
+    // Every replica's mesh view: epoch, gossip lag, per-peer state. The
+    // snapshots are refreshed on each replica's gossip tick and read here
+    // under their mutexes (the admin runs on replica 0's loop).
+    std::ostringstream out;
+    out << "{\"frontends\":" << fes_.size()
+        << ",\"gossip_interval_ms\":" << config_.gossip_interval_ms << ",\"fes\":[";
+    for (size_t fe = 0; fe < fes_.size(); ++fe) {
+      out << (fe == 0 ? "" : ",") << Fe(fe)->DescribeMeshJson();
+    }
+    out << "]}";
+    return AdminResponse::Json(out.str());
   });
 
   admin_->Route("POST", "/nodes/add", [this](const HttpRequest& request, const std::string&) {
@@ -258,22 +321,46 @@ void Cluster::RegisterAdminRoutes() {
   admin_->Route("POST", "/policy", [this](const HttpRequest& request, const std::string&) {
     // Trim so `curl -d "wrr"` and a trailing newline both work.
     const std::string name = Trim(request.body);
-    if (!frontend_->SetPolicyByName(name)) {
+    if (!Fe(0)->SetPolicyByName(name)) {
       return AdminResponse::Error(
           400, "unknown policy; registered: " + PolicyRegistry::Global().NamesCsv());
+    }
+    // The whole tier switches (replica 0 already validated the name).
+    // Fire-and-forget: blocking this loop on a peer loop could deadlock
+    // with a racing Stop(), and nothing here needs the replicas' results.
+    for (size_t fe = 1; fe < fes_.size(); ++fe) {
+      FeLoop(fe)->Post([this, fe, name]() { (void)Fe(fe)->SetPolicyByName(name); });
     }
     // Echo the *canonical registered name* (never the raw request body: it is
     // attacker-controlled and must not be spliced into the JSON reply).
     return AdminResponse::Json(
-        "{\"policy\":\"" + std::string(frontend_->dispatcher().policy().name()) + "\"}");
+        "{\"policy\":\"" + std::string(Fe(0)->dispatcher().policy().name()) + "\"}");
   });
 }
 
 void Cluster::BridgeDispatcherMetrics() {
-  // Runs on the front-end loop (the dispatcher's thread). The dispatcher's
-  // decision counters are plain uint64s, so they are bridged as gauges on
-  // each /metrics render rather than double-counted.
-  const DispatcherCounters& counters = frontend_->dispatcher().counters();
+  // Runs on front-end 0's loop. The dispatchers' decision counters are plain
+  // uint64s, bridged as gauges on each /metrics render rather than
+  // double-counted. With a replicated tier the bridged figures are the tier
+  // totals; the other replicas' counters are sampled without their loops
+  // (each counter is a word-sized read of a monotonically increasing value —
+  // a momentarily torn view of *different* counters is the usual monitoring
+  // contract).
+  DispatcherCounters counters;
+  size_t open_connections = 0;
+  for (size_t fe = 0; fe < fes_.size(); ++fe) {
+    const DispatcherCounters& part = Fe(fe)->dispatcher().counters();
+    counters.requests += part.requests;
+    counters.handoffs += part.handoffs;
+    counters.forwards += part.forwards;
+    counters.local_serves += part.local_serves;
+    counters.migrations += part.migrations;
+    counters.relays += part.relays;
+    counters.nodes_removed += part.nodes_removed;
+    counters.orphaned_connections += part.orphaned_connections;
+    counters.reassignments += part.reassignments;
+    open_connections += Fe(fe)->dispatcher().open_connections();
+  }
   metrics_.Gauge("lard_dispatcher_requests")->Set(static_cast<double>(counters.requests));
   metrics_.Gauge("lard_dispatcher_handoffs")->Set(static_cast<double>(counters.handoffs));
   metrics_.Gauge("lard_dispatcher_forwards")->Set(static_cast<double>(counters.forwards));
@@ -281,7 +368,7 @@ void Cluster::BridgeDispatcherMetrics() {
   metrics_.Gauge("lard_dispatcher_migrations")->Set(static_cast<double>(counters.migrations));
   metrics_.Gauge("lard_dispatcher_relays")->Set(static_cast<double>(counters.relays));
   metrics_.Gauge("lard_dispatcher_open_connections")
-      ->Set(static_cast<double>(frontend_->dispatcher().open_connections()));
+      ->Set(static_cast<double>(open_connections));
   metrics_.Gauge("lard_dispatcher_nodes_removed")
       ->Set(static_cast<double>(counters.nodes_removed));
   metrics_.Gauge("lard_dispatcher_orphaned_connections")
@@ -291,45 +378,63 @@ void Cluster::BridgeDispatcherMetrics() {
 }
 
 NodeId Cluster::AddNode(double weight) {
-  // The whole membership operation runs on the front-end loop thread (inline
-  // when an admin handler calls us there). nodes_mutex_ is then only ever
-  // taken either on that thread or by readers that never wait on it
-  // (Snapshot, post-join Stop) — holding it across a cross-thread
-  // RunOnLoop(fe_loop_) here could deadlock with an admin-driven membership
-  // operation blocking on the mutex from the loop itself.
+  // Membership operations are serialized on front-end 0's loop thread
+  // (inline when an admin handler calls us there), so concurrent joins
+  // cannot interleave id allocation across the replicas. nodes_mutex_ is
+  // held only around the backend bring-up (which posts exclusively to the
+  // *node's own* fresh loop) and released before fanning out to the other
+  // front-end loops — those may be blocked on the mutex inside
+  // OnNodeRemoved, and waiting on them while holding it would deadlock.
   NodeId node_id = kInvalidNode;
-  RunOnLoop(fe_loop_.get(), [this, weight, &node_id]() {
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
-    if (stopped_) {
-      return;
-    }
-    const NodeId fresh_id = static_cast<NodeId>(nodes_.size());
-    UniqueFd fe_end;
-    if (!StartBackend(fresh_id, &fe_end).ok()) {
-      return;
-    }
-    Node* fresh = nodes_.back().get();
-
-    // Lateral mesh: the new node learns every live peer; every live peer
-    // learns the new node.
-    std::vector<uint16_t> lateral_ports;
-    for (const auto& node : nodes_) {
-      lateral_ports.push_back(node->lateral_port);
-    }
-    RunOnLoop(fresh->loop.get(),
-              [fresh, &lateral_ports]() { fresh->server->ConnectPeers(lateral_ports); });
-    for (NodeId peer = 0; peer < fresh_id; ++peer) {
-      Node* node = nodes_[static_cast<size_t>(peer)].get();
-      if (node->stopped) {
-        continue;
+  RunOnLoop(FeLoop(0), [this, weight, &node_id]() {
+    NodeId fresh_id = kInvalidNode;
+    Node* fresh = nullptr;
+    std::vector<UniqueFd> fe_ends;
+    {
+      std::lock_guard<std::mutex> lock(nodes_mutex_);
+      if (stopped_) {
+        return;
       }
-      RunOnLoop(node->loop.get(), [node, fresh_id, port = fresh->lateral_port]() {
-        node->server->AddPeer(fresh_id, port);
+      fresh_id = static_cast<NodeId>(nodes_.size());
+      if (!StartBackend(fresh_id, &fe_ends).ok()) {
+        return;
+      }
+      fresh = nodes_.back().get();
+
+      // Lateral mesh: the new node learns every live peer; every live peer
+      // learns the new node.
+      std::vector<uint16_t> lateral_ports;
+      for (const auto& node : nodes_) {
+        lateral_ports.push_back(node->lateral_port);
+      }
+      RunOnLoop(fresh->loop.get(),
+                [fresh, &lateral_ports]() { fresh->server->ConnectPeers(lateral_ports); });
+      for (NodeId peer = 0; peer < fresh_id; ++peer) {
+        Node* node = nodes_[static_cast<size_t>(peer)].get();
+        if (node->stopped) {
+          continue;
+        }
+        RunOnLoop(node->loop.get(), [node, fresh_id, port = fresh->lateral_port]() {
+          node->server->AddPeer(fresh_id, port);
+        });
+      }
+    }
+
+    // Every front-end replica registers the node — same id on all of them:
+    // joins are serialized here, ids are never reused, and each replica's
+    // loop runs its membership posts in order. Replica 0 registers inline
+    // (we are on its loop); the rest are fire-and-forget like the other
+    // fan-outs (a blocking wait could deadlock with a racing Stop()).
+    const uint16_t lateral_port = fresh->lateral_port;
+    const NodeId assigned = Fe(0)->AddNode(std::move(fe_ends[0]), lateral_port, weight);
+    LARD_CHECK(assigned == fresh_id);
+    for (size_t fe = 1; fe < fes_.size(); ++fe) {
+      auto fd = std::make_shared<UniqueFd>(std::move(fe_ends[fe]));
+      FeLoop(fe)->Post([this, fe, fd, fresh_id, weight, lateral_port]() {
+        const NodeId replica_assigned = Fe(fe)->AddNode(std::move(*fd), lateral_port, weight);
+        LARD_CHECK(replica_assigned == fresh_id) << "front-end replicas diverged on a join";
       });
     }
-
-    const NodeId assigned = frontend_->AddNode(std::move(fe_end), fresh->lateral_port, weight);
-    LARD_CHECK(assigned == fresh_id);
     node_id = fresh_id;
   });
   return node_id;
@@ -337,7 +442,15 @@ NodeId Cluster::AddNode(double weight) {
 
 bool Cluster::DrainNode(NodeId node) {
   bool ok = false;
-  RunOnLoop(fe_loop_.get(), [this, node, &ok]() { ok = frontend_->DrainNode(node); });
+  RunOnLoop(FeLoop(0), [this, node, &ok]() {
+    ok = Fe(0)->DrainNode(node);
+    // Fire-and-forget to the other replicas (see the /policy fan-out): the
+    // caller's answer is replica 0's, and a blocking wait here could
+    // deadlock with a racing Stop().
+    for (size_t fe = 1; fe < fes_.size(); ++fe) {
+      FeLoop(fe)->Post([this, fe, node]() { (void)Fe(fe)->DrainNode(node); });
+    }
+  });
   return ok;
 }
 
@@ -359,10 +472,16 @@ void Cluster::StopNodeLocked(NodeId node, bool destroy_server) {
 }
 
 void Cluster::OnNodeRemoved(NodeId node) {
-  // Front-end loop thread. The FE has already torn the control session down;
-  // now the node's loop can stop and its server be destroyed.
+  // Some front-end replica's loop thread: that replica has torn its control
+  // session down. The node's loop may only stop once *every* replica has
+  // let go — an early teardown would reset connections the other replicas
+  // still route.
   std::lock_guard<std::mutex> lock(nodes_mutex_);
   if (node < 0 || static_cast<size_t>(node) >= nodes_.size() || stopped_) {
+    return;
+  }
+  const int acks = ++removal_acks_[node];
+  if (acks < static_cast<int>(fes_.size())) {
     return;
   }
   StopNodeLocked(node, /*destroy_server=*/true);
@@ -370,23 +489,28 @@ void Cluster::OnNodeRemoved(NodeId node) {
 
 bool Cluster::RemoveNode(NodeId node) {
   bool ok = false;
-  // Teardown of the node's thread happens via OnNodeRemoved once the
-  // front-end finishes the (possibly deferred, graceful) removal.
-  RunOnLoop(fe_loop_.get(), [this, node, &ok]() { ok = frontend_->RemoveNode(node); });
+  // Teardown of the node's thread happens via OnNodeRemoved once every
+  // front-end finishes its (possibly deferred, graceful) removal.
+  RunOnLoop(FeLoop(0), [this, node, &ok]() {
+    ok = Fe(0)->RemoveNode(node);
+    for (size_t fe = 1; fe < fes_.size(); ++fe) {
+      FeLoop(fe)->Post([this, fe, node]() { (void)Fe(fe)->RemoveNode(node); });
+    }
+  });
   return ok;
 }
 
 bool Cluster::KillNode(NodeId node) {
   bool ok = false;
-  RunOnLoop(fe_loop_.get(), [this, node, &ok]() {
+  RunOnLoop(FeLoop(0), [this, node, &ok]() {
     std::lock_guard<std::mutex> lock(nodes_mutex_);
     if (node < 0 || static_cast<size_t>(node) >= nodes_.size() ||
         nodes_[static_cast<size_t>(node)]->stopped) {
       return;
     }
     // No front-end notification, no fd teardown: the node simply goes silent
-    // (its control session and client sockets stay open but unserviced), so
-    // detection must come from the heartbeat timeout.
+    // (its control sessions and client sockets stay open but unserviced), so
+    // detection must come from every replica's heartbeat timeout.
     StopNodeLocked(node, /*destroy_server=*/false);
     LARD_LOG(WARNING) << "cluster: node " << node << " killed (silent crash)";
     ok = true;
@@ -397,7 +521,7 @@ bool Cluster::KillNode(NodeId node) {
 void Cluster::Stop() {
   {
     // stopped_ is read under nodes_mutex_ by OnNodeRemoved on the front-end
-    // loop; publish it under the same lock (but release before joining the
+    // loops; publish it under the same lock (but release before joining the
     // loop threads, which may be blocked acquiring it).
     std::lock_guard<std::mutex> lock(nodes_mutex_);
     if (!started_ || stopped_) {
@@ -405,11 +529,13 @@ void Cluster::Stop() {
     }
     stopped_ = true;
   }
-  if (fe_loop_ != nullptr) {
-    fe_loop_->Stop();
+  for (auto& replica : fes_) {
+    replica->loop->Stop();
   }
-  if (fe_thread_.joinable()) {
-    fe_thread_.join();
+  for (auto& replica : fes_) {
+    if (replica->thread.joinable()) {
+      replica->thread.join();
+    }
   }
   std::lock_guard<std::mutex> lock(nodes_mutex_);
   for (auto& node : nodes_) {
@@ -421,8 +547,22 @@ void Cluster::Stop() {
 }
 
 uint16_t Cluster::port() const {
-  LARD_CHECK(frontend_ != nullptr);
-  return frontend_->port();
+  LARD_CHECK(!fes_.empty());
+  return Fe(0)->port();
+}
+
+std::vector<uint16_t> Cluster::ports() const {
+  std::vector<uint16_t> out;
+  out.reserve(fes_.size());
+  for (size_t fe = 0; fe < fes_.size(); ++fe) {
+    out.push_back(Fe(fe)->port());
+  }
+  return out;
+}
+
+const FrontEnd& Cluster::frontend(int fe) const {
+  LARD_CHECK(fe >= 0 && static_cast<size_t>(fe) < fes_.size());
+  return *Fe(static_cast<size_t>(fe));
 }
 
 uint16_t Cluster::admin_port() const {
@@ -450,18 +590,19 @@ ClusterSnapshot Cluster::Snapshot() const {
     snapshot.migrations += counters.handbacks.load(std::memory_order_relaxed);
     snapshot.drain_handbacks += counters.drain_handbacks.load(std::memory_order_relaxed);
   }
-  if (frontend_ != nullptr) {
-    snapshot.connections = frontend_->counters().connections_accepted.load();
-    snapshot.consults = frontend_->counters().consults.load();
-    snapshot.handoffs = frontend_->counters().handoffs.load();
-    snapshot.rehandoffs = frontend_->counters().rehandoffs.load();
-    snapshot.heartbeats = frontend_->counters().heartbeats.load();
-    snapshot.auto_removals = frontend_->counters().auto_removals.load();
+  for (size_t fe = 0; fe < fes_.size(); ++fe) {
+    const FrontEndCounters& counters = Fe(fe)->counters();
+    snapshot.connections += counters.connections_accepted.load();
+    snapshot.consults += counters.consults.load();
+    snapshot.handoffs += counters.handoffs.load();
+    snapshot.rehandoffs += counters.rehandoffs.load();
+    snapshot.heartbeats += counters.heartbeats.load();
+    snapshot.auto_removals += counters.auto_removals.load();
     if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
-      // Relay mode serves clients from the front-end; back-end
+      // Relay mode serves clients from the front-ends; back-end
       // requests_served counters stay zero (their lateral path served the
       // fetches).
-      snapshot.requests_served += frontend_->counters().relayed_requests.load();
+      snapshot.requests_served += counters.relayed_requests.load();
     }
   }
   const uint64_t lookups = snapshot.local_hits + snapshot.local_misses;

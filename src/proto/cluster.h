@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/admin/admin_server.h"
@@ -34,6 +35,13 @@ namespace lard {
 
 struct ClusterConfig {
   int num_nodes = 2;
+  // Replicated front-end tier: N front-ends, each on its own loop thread
+  // with its own listen port (see ports()), its own control session to every
+  // back-end, and a pairwise gossip mesh keeping the dispatchers'
+  // load/vcache views approximately consistent. 1 = the classic single-FE
+  // harness.
+  int num_frontends = 1;
+  int64_t gossip_interval_ms = 50;
   Policy policy = Policy::kExtendedLard;
   // Non-empty: PolicyRegistry name overriding `policy` (plugin policies).
   std::string policy_name;
@@ -112,23 +120,39 @@ class Cluster {
   // missed heartbeats and auto-remove it.
   bool KillNode(NodeId node);
 
+  // Front-end 0's client port (the only one with a single-FE tier).
   uint16_t port() const;
+  // Every front-end's client port, for DNS/VIP-style client spraying.
+  std::vector<uint16_t> ports() const;
   uint16_t admin_port() const;
   ClusterSnapshot Snapshot() const;
   const ContentStore& store() const { return store_; }
-  const FrontEnd& frontend() const { return *frontend_; }
+  const FrontEnd& frontend() const { return frontend(0); }
+  const FrontEnd& frontend(int fe) const;
+  int num_frontends() const { return static_cast<int>(fes_.size()); }
   MetricsRegistry* metrics() { return &metrics_; }
 
  private:
   struct Node;
+  // One front-end replica: loop thread + server. Declaration order matters:
+  // the loop must outlive the front-end.
+  struct FeReplica {
+    std::unique_ptr<EventLoop> loop;
+    std::unique_ptr<FrontEnd> frontend;
+    std::thread thread;
+  };
+
+  EventLoop* FeLoop(size_t fe) const { return fes_[fe]->loop.get(); }
+  FrontEnd* Fe(size_t fe) const { return fes_[fe]->frontend.get(); }
 
   // Creates + starts one back-end (loop thread, control session wiring).
-  // Returns the fe-side control fd through *fe_end. Caller holds nodes_mutex_.
-  Status StartBackend(NodeId node_id, UniqueFd* fe_end);
+  // Returns one fe-side control fd per front-end through *fe_ends. Caller
+  // holds nodes_mutex_.
+  Status StartBackend(NodeId node_id, std::vector<UniqueFd>* fe_ends);
   void StopNodeLocked(NodeId node, bool destroy_server);
-  // Runs on the front-end loop when the FE finishes removing a node (admin
-  // remove, retire completion, heartbeat timeout or control EOF): stop the
-  // node's loop thread and tear its server down.
+  // Runs on a front-end loop when that replica finishes removing a node
+  // (admin remove, retire completion, heartbeat timeout or control EOF).
+  // The node's loop thread is torn down once *every* replica has let go.
   void OnNodeRemoved(NodeId node);
   void RegisterAdminRoutes();
   void BridgeDispatcherMetrics();
@@ -137,13 +161,14 @@ class Cluster {
   ContentStore store_;
   MetricsRegistry metrics_;
 
-  std::unique_ptr<EventLoop> fe_loop_;
-  std::unique_ptr<FrontEnd> frontend_;
+  std::vector<std::unique_ptr<FeReplica>> fes_;
   std::unique_ptr<AdminServer> admin_;
-  std::thread fe_thread_;
 
   mutable std::mutex nodes_mutex_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Per-node count of front-ends that completed the node's removal (guarded
+  // by nodes_mutex_); teardown happens at num_frontends acks.
+  std::unordered_map<NodeId, int> removal_acks_;
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -47,6 +47,11 @@ enum class ControlMsg : uint8_t {
   // kHandback with target_node == kInvalidNode) as soon as it is quiescent
   // between batches, instead of holding it until the client closes.
   kDrain = 9,
+  // FE -> BE. Payload: u32 fe_id. First message on a control session from a
+  // replicated front-end tier: identifies which front-end the session
+  // belongs to (FE join). FE leave is the session's EOF — the back-end then
+  // degrades that front-end's connections to autonomous local service.
+  kFeHello = 10,
 };
 
 // One request directive inside kHandoff / kAssignments.

@@ -46,6 +46,16 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCa
              config_.mechanism == Mechanism::kRelayingFrontEnd)
       << "prototype supports single/multiple handoff, BE forwarding and relaying";
   disk_table_ = std::make_unique<DiskTable>(config_.num_nodes);
+  LARD_CHECK(config_.num_frontends > 0 && config_.fe_id >= 0 &&
+             config_.fe_id < config_.num_frontends);
+  if (config_.num_frontends > 1) {
+    mesh_ = std::make_unique<MeshStateTable>(static_cast<uint32_t>(config_.fe_id));
+  }
+  // Connection ids are a shared namespace at the back-ends (their client
+  // tables and every control message key on them), so each replica mints
+  // from its own 48-bit block — two front-ends must never hand off the same
+  // id to one node.
+  next_conn_id_ = (static_cast<ConnId>(config_.fe_id) << 48) + 1;
 
   DispatcherConfig dispatch_config;
   dispatch_config.policy = config_.policy;
@@ -55,7 +65,10 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCa
   dispatch_config.num_nodes = config_.num_nodes;
   dispatch_config.node_weights = config_.node_weights;
   dispatch_config.virtual_cache_bytes = config_.virtual_cache_bytes;
-  dispatch_config.metrics = config_.metrics;
+  // Gauges and the lard_node_load family describe the cluster once; in a
+  // replicated tier only replica 0 publishes them.
+  dispatch_config.metrics = config_.fe_id == 0 ? config_.metrics : nullptr;
+  dispatch_config.remote_loads = mesh_.get();
   dispatcher_ = std::make_unique<Dispatcher>(dispatch_config, catalog_, disk_table_.get());
 
   if (config_.metrics != nullptr) {
@@ -65,6 +78,29 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCa
     metric_heartbeats_ = config_.metrics->Counter("lard_fe_heartbeats_total");
     metric_connections_ = config_.metrics->Counter("lard_fe_connections_total");
     metric_rehandoffs_ = config_.metrics->Counter("lard_fe_rehandoffs_total");
+    if (config_.num_frontends > 1) {
+      // The unlabelled instruments stay cluster totals (every replica
+      // increments them); the {fe="k"} twins attribute work to a replica.
+      const int fe = config_.fe_id;
+      metric_fe_connections_ = config_.metrics->Counter(
+          MetricsRegistry::WithFe("lard_fe_connections_total", fe));
+      metric_fe_handoffs_ =
+          config_.metrics->Counter(MetricsRegistry::WithFe("lard_fe_handoffs_total", fe));
+      metric_fe_rehandoffs_ =
+          config_.metrics->Counter(MetricsRegistry::WithFe("lard_fe_rehandoffs_total", fe));
+      metric_mesh_epoch_ =
+          config_.metrics->Gauge(MetricsRegistry::WithFe("lard_mesh_epoch", fe));
+      metric_mesh_lag_ms_ =
+          config_.metrics->Gauge(MetricsRegistry::WithFe("lard_mesh_gossip_lag_ms", fe));
+      metric_mesh_peers_ =
+          config_.metrics->Gauge(MetricsRegistry::WithFe("lard_mesh_peers", fe));
+      metric_mesh_divergence_ =
+          config_.metrics->Gauge(MetricsRegistry::WithFe("lard_mesh_divergence", fe));
+      metric_gossip_sent_ = config_.metrics->Counter(
+          MetricsRegistry::WithFe("lard_mesh_deltas_sent_total", fe));
+      metric_gossip_applied_ = config_.metrics->Counter(
+          MetricsRegistry::WithFe("lard_mesh_deltas_applied_total", fe));
+    }
   }
 }
 
@@ -98,6 +134,10 @@ void FrontEnd::AttachControl(NodeId node, UniqueFd control_fd) {
     loop_->Post(alive_.Guard([this, node]() { RemoveNodeInternal(node, "control session lost"); }));
   });
   link.control->Start();
+  // Identify this replica to the back-end (a single-FE tier is replica 0 of
+  // a 1-replica tier; the hello is harmless and keeps one code path).
+  link.control->Send(static_cast<uint8_t>(ControlMsg::kFeHello),
+                     EncodeU32(static_cast<uint32_t>(config_.fe_id)));
   if (config_.metrics != nullptr) {
     link.handoff_counter =
         config_.metrics->Counter(MetricsRegistry::WithNode("lard_fe_handoffs_total", node));
@@ -119,6 +159,169 @@ void FrontEnd::Start(std::vector<UniqueFd> control_fds) {
   if (config_.heartbeat_timeout_ms > 0) {
     ScheduleHealthSweep(std::max<int64_t>(config_.heartbeat_timeout_ms / 4, 25));
   }
+  if (MeshEnabled()) {
+    UpdateMeshSnapshot();
+    loop_->ScheduleAfterMs(std::max<int64_t>(config_.gossip_interval_ms, 1),
+                           alive_.Guard([this]() { GossipTick(); }));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The front-end mesh
+// ---------------------------------------------------------------------------
+
+void FrontEnd::AttachPeer(uint32_t peer_fe_id, UniqueFd gossip_fd) {
+  LARD_CHECK(MeshEnabled()) << "AttachPeer on a single-front-end tier";
+  LARD_CHECK(peer_fe_id != static_cast<uint32_t>(config_.fe_id));
+  LARD_CHECK_OK(SetNonBlocking(gossip_fd.get(), true));
+  auto channel = std::make_unique<FramedChannel>(loop_, std::move(gossip_fd));
+  channel->set_on_message([this, peer_fe_id](uint8_t type, std::string payload, UniqueFd) {
+    OnPeerMessage(peer_fe_id, type, std::move(payload));
+  });
+  channel->set_on_close([this, peer_fe_id]() { OnPeerClosed(peer_fe_id); });
+  channel->Start();
+  channel->Send(kGossipHelloFrameType, EncodeU32(static_cast<uint32_t>(config_.fe_id)));
+  fe_peers_[peer_fe_id] = std::move(channel);
+}
+
+void FrontEnd::OnPeerMessage(uint32_t peer, uint8_t type, std::string payload) {
+  if (type == kGossipHelloFrameType) {
+    uint32_t announced = 0;
+    if (!DecodeU32(payload, &announced) || announced != peer) {
+      LARD_LOG(ERROR) << "front-end " << config_.fe_id << ": peer hello mismatch (" << announced
+                      << " on channel " << peer << ")";
+    }
+    return;
+  }
+  if (type != kGossipFrameType) {
+    LARD_LOG(ERROR) << "front-end " << config_.fe_id << ": unexpected mesh frame type "
+                    << static_cast<int>(type) << " from peer " << peer;
+    return;
+  }
+  GossipDelta delta;
+  if (!DecodeGossipDelta(payload, &delta) || delta.fe_id != peer) {
+    LARD_LOG(ERROR) << "front-end " << config_.fe_id << ": bad gossip delta from peer " << peer;
+    return;
+  }
+  if (!mesh_->Apply(delta, NowMs() * 1000)) {
+    return;  // stale or regressed; counters already advanced
+  }
+  if (metric_gossip_applied_ != nullptr) {
+    metric_gossip_applied_->Increment();
+  }
+  // The non-load fields are the peer's membership/weight beliefs: surface
+  // how far this replica and the sender disagree (persistently non-zero =
+  // somebody missed control-plane news).
+  if (metric_mesh_divergence_ != nullptr) {
+    metric_mesh_divergence_->Set(
+        static_cast<double>(CountBeliefDivergence(delta, *dispatcher_)));
+  }
+  for (const GossipVcacheHint& hint : delta.hints) {
+    dispatcher_->NoteRemoteFetch(hint.node, hint.target);
+  }
+}
+
+void FrontEnd::OnPeerClosed(uint32_t peer) {
+  // FE leave: forget its load contribution; the channel is torn down on the
+  // next tick (we may be inside its callback).
+  mesh_->RemovePeer(peer);
+  auto it = fe_peers_.find(peer);
+  if (it != fe_peers_.end()) {
+    std::shared_ptr<FramedChannel> dead(it->second.release());
+    fe_peers_.erase(it);
+    loop_->Post([dead]() {});
+  }
+  LARD_LOG(WARNING) << "front-end " << config_.fe_id << ": mesh peer " << peer << " left";
+}
+
+void FrontEnd::RecordFetchHints(const std::vector<TargetId>& targets,
+                                const std::vector<Assignment>& assignments) {
+  if (!MeshEnabled()) {
+    return;
+  }
+  for (size_t i = 0; i < targets.size() && i < assignments.size(); ++i) {
+    if (targets[i] == kInvalidTarget || assignments[i].node == kInvalidNode) {
+      continue;
+    }
+    // Extended LARD's no-cache-under-disk-pressure serves leave the target
+    // non-resident; telling the peers otherwise would make them route for a
+    // hit the node cannot give.
+    if (!assignments[i].served_from_cache && !assignments[i].cache_after_miss) {
+      continue;
+    }
+    pending_hints_.insert(MakeHintKey(assignments[i].node, targets[i]));
+  }
+}
+
+void FrontEnd::GossipTick() {
+  std::vector<GossipVcacheHint> hints;
+  hints.reserve(pending_hints_.size());
+  for (const uint64_t key : pending_hints_) {
+    hints.push_back(HintFromKey(key));
+  }
+  pending_hints_.clear();
+  const GossipDelta delta = BuildGossipDelta(static_cast<uint32_t>(config_.fe_id),
+                                             ++gossip_seq_, *dispatcher_, std::move(hints));
+  const std::string encoded = EncodeGossipDelta(delta);
+  // Snapshot the channels: a failing Send invokes on_close synchronously,
+  // and OnPeerClosed erases the map entry (the channel object itself stays
+  // alive until the next tick, so the raw pointers remain valid).
+  std::vector<FramedChannel*> channels;
+  channels.reserve(fe_peers_.size());
+  for (auto& [peer, channel] : fe_peers_) {
+    channels.push_back(channel.get());
+  }
+  for (FramedChannel* channel : channels) {
+    if (channel != nullptr && channel->open()) {
+      channel->Send(kGossipFrameType, encoded);
+      ++gossip_sent_;
+      if (metric_gossip_sent_ != nullptr) {
+        metric_gossip_sent_->Increment();
+      }
+    }
+  }
+  UpdateMeshSnapshot();
+  loop_->ScheduleAfterMs(std::max<int64_t>(config_.gossip_interval_ms, 1),
+                         alive_.Guard([this]() { GossipTick(); }));
+}
+
+void FrontEnd::UpdateMeshSnapshot() {
+  const int64_t now_us = NowMs() * 1000;
+  std::ostringstream out;
+  out << "{\"fe_id\":" << config_.fe_id << ",\"port\":" << port_
+      << ",\"membership_epoch\":" << dispatcher_->membership_epoch()
+      << ",\"gossip_seq\":" << gossip_seq_ << ",\"deltas_sent\":" << gossip_sent_
+      << ",\"deltas_applied\":" << mesh_->deltas_applied()
+      << ",\"stale_drops\":" << mesh_->stale_drops()
+      << ",\"epoch_regressions\":" << mesh_->epoch_regressions()
+      << ",\"gossip_lag_ms\":" << mesh_->OldestPeerAgeUs(now_us) / 1000 << ",\"peers\":[";
+  bool first = true;
+  for (const MeshStateTable::PeerInfo& peer : mesh_->Peers()) {
+    out << (first ? "" : ",") << "{\"fe_id\":" << peer.fe_id << ",\"seq\":" << peer.seq
+        << ",\"membership_epoch\":" << peer.membership_epoch
+        << ",\"lag_ms\":" << (now_us - peer.last_update_us) / 1000
+        << ",\"remote_load\":" << peer.total_load << "}";
+    first = false;
+  }
+  out << "]}";
+  {
+    std::lock_guard<std::mutex> lock(mesh_json_mutex_);
+    mesh_json_ = out.str();
+  }
+  if (metric_mesh_epoch_ != nullptr) {
+    metric_mesh_epoch_->Set(static_cast<double>(dispatcher_->membership_epoch()));
+    metric_mesh_lag_ms_->Set(static_cast<double>(mesh_->OldestPeerAgeUs(now_us)) / 1000.0);
+    metric_mesh_peers_->Set(static_cast<double>(mesh_->peer_count()));
+  }
+}
+
+std::string FrontEnd::DescribeMeshJson() const {
+  if (mesh_ == nullptr) {
+    return "{\"fe_id\":" + std::to_string(config_.fe_id) + ",\"port\":" + std::to_string(port_) +
+           ",\"mesh\":false}";
+  }
+  std::lock_guard<std::mutex> lock(mesh_json_mutex_);
+  return mesh_json_;
 }
 
 void FrontEnd::ScheduleHealthSweep(int64_t period_ms) {
@@ -348,6 +551,9 @@ void FrontEnd::OnAccept(uint32_t) {
     if (metric_connections_ != nullptr) {
       metric_connections_->Increment();
     }
+    if (metric_fe_connections_ != nullptr) {
+      metric_fe_connections_->Increment();
+    }
 
     auto conn = std::make_unique<FeConn>();
     FeConn* raw = conn.get();
@@ -454,8 +660,9 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
 
   dispatcher_->OnConnectionOpen(conn->id);
   live_in_dispatcher_.insert(conn->id);
-  const std::vector<Assignment> assignments =
-      dispatcher_->OnBatch(conn->id, PathsToTargets(paths));
+  const std::vector<TargetId> targets = PathsToTargets(paths);
+  const std::vector<Assignment> assignments = dispatcher_->OnBatch(conn->id, targets);
+  RecordFetchHints(targets, assignments);
   if (assignments.empty()) {
     // Defensive only (OnBatch returns one assignment per request): if the
     // dispatcher ever returns nothing, shed like the other no-capacity paths
@@ -499,6 +706,9 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
   counters_.handoffs.fetch_add(1, std::memory_order_relaxed);
   if (nodes_[static_cast<size_t>(node)].handoff_counter != nullptr) {
     nodes_[static_cast<size_t>(node)].handoff_counter->Increment();
+  }
+  if (metric_fe_handoffs_ != nullptr) {
+    metric_fe_handoffs_->Increment();
   }
   // Dispatcher state for this connection now lives on; our socket plumbing
   // does not. (Deferred: we are inside this Connection's on_data callback.)
@@ -761,6 +971,18 @@ void FrontEnd::RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd f
   if (metric_rehandoffs_ != nullptr) {
     metric_rehandoffs_->Increment();
   }
+  if (metric_fe_rehandoffs_ != nullptr) {
+    metric_fe_rehandoffs_->Increment();
+  }
+  if (MeshEnabled()) {
+    // The reassignment seeded `target`'s virtual cache with the pending
+    // targets; tell the peers the same news.
+    std::vector<Assignment> seeded(pending.size());
+    for (Assignment& assignment : seeded) {
+      assignment.node = target;
+    }
+    RecordFetchHints(pending, seeded);
+  }
   if (nodes_[static_cast<size_t>(target)].handoff_counter != nullptr) {
     nodes_[static_cast<size_t>(target)].handoff_counter->Increment();
   }
@@ -776,8 +998,9 @@ void FrontEnd::HandleConsult(NodeId node, const ConsultMsg& msg) {
   if (live_in_dispatcher_.count(msg.conn_id) == 0) {
     return;  // connection raced away; the back-end will see kConnClosed state
   }
-  const std::vector<Assignment> assignments =
-      dispatcher_->OnBatch(msg.conn_id, PathsToTargets(msg.paths));
+  const std::vector<TargetId> targets = PathsToTargets(msg.paths);
+  const std::vector<Assignment> assignments = dispatcher_->OnBatch(msg.conn_id, targets);
+  RecordFetchHints(targets, assignments);
   AssignmentsMsg reply;
   reply.conn_id = msg.conn_id;
   reply.directives.reserve(assignments.size());

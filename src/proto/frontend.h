@@ -33,15 +33,19 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/cluster_types.h"
 #include "src/core/dispatcher.h"
 #include "src/http/request_parser.h"
+#include "src/mesh/mesh_state.h"
 #include "src/net/connection.h"
 #include "src/net/event_loop.h"
 #include "src/net/framed_channel.h"
@@ -55,6 +59,15 @@ namespace lard {
 
 struct FrontEndConfig {
   int num_nodes = 1;
+  // Replicated front-end tier (the mesh). fe_id names this replica;
+  // num_frontends > 1 arms the gossip machinery: the dispatcher decides over
+  // local + gossiped remote load, every control session announces the
+  // replica (kFeHello), and per-FE labelled metrics are published alongside
+  // the shared (cluster-total) instruments.
+  int fe_id = 0;
+  int num_frontends = 1;
+  // Mesh sync period (only meaningful with num_frontends > 1).
+  int64_t gossip_interval_ms = 50;
   Policy policy = Policy::kExtendedLard;
   // Non-empty: PolicyRegistry name overriding `policy` (plugin policies).
   std::string policy_name;
@@ -135,6 +148,16 @@ class FrontEnd {
   // Membership + health snapshot as the admin API's JSON body.
   std::string DescribeNodesJson() const;
 
+  // --- the front-end mesh (replicated tier) ---
+
+  // Loop thread. Wires the gossip channel to peer front-end `peer_fe_id`
+  // (one FramedChannel per peer pair; the harness builds the full mesh).
+  void AttachPeer(uint32_t peer_fe_id, UniqueFd gossip_fd);
+  // This replica's mesh state as JSON: epoch, gossip seq, per-peer lag/seq/
+  // epoch/load, violation counters. Thread-safe (admin runs on FE 0's loop;
+  // the snapshot is refreshed on every gossip tick under a mutex).
+  std::string DescribeMeshJson() const;
+
   uint16_t port() const { return port_; }
   const FrontEndCounters& counters() const { return counters_; }
   const Dispatcher& dispatcher() const { return *dispatcher_; }
@@ -209,6 +232,18 @@ class FrontEnd {
   // Periodic heartbeat sweep; reschedules itself while the front-end lives.
   void ScheduleHealthSweep(int64_t period_ms);
 
+  // Mesh internals (all loop thread).
+  bool MeshEnabled() const { return mesh_ != nullptr; }
+  // Queues (node, target) vcache news for the next outgoing gossip delta.
+  void RecordFetchHints(const std::vector<TargetId>& targets,
+                        const std::vector<Assignment>& assignments);
+  void OnPeerMessage(uint32_t peer, uint8_t type, std::string payload);
+  void OnPeerClosed(uint32_t peer);
+  // One gossip tick: publish this replica's delta, refresh the /mesh
+  // snapshot and the labelled gauges; reschedules itself.
+  void GossipTick();
+  void UpdateMeshSnapshot();
+
   FrontEndConfig config_;
   EventLoop* loop_;
   const TargetCatalog* catalog_;
@@ -230,12 +265,31 @@ class FrontEnd {
   ConnId next_conn_id_ = 1;
   std::function<void(NodeId)> on_node_removed_;
 
+  // The mesh (num_frontends > 1; null otherwise).
+  std::unique_ptr<MeshStateTable> mesh_;
+  std::map<uint32_t, std::unique_ptr<FramedChannel>> fe_peers_;
+  std::unordered_set<uint64_t> pending_hints_;  // (node << 32) | target
+  uint64_t gossip_seq_ = 0;
+  uint64_t gossip_sent_ = 0;
+  mutable std::mutex mesh_json_mutex_;
+  std::string mesh_json_;  // refreshed each tick; read by the admin thread
+
   FrontEndCounters counters_;
   MetricGauge* metric_active_nodes_ = nullptr;
   MetricCounter* metric_auto_removals_ = nullptr;
   MetricCounter* metric_heartbeats_ = nullptr;
   MetricCounter* metric_connections_ = nullptr;
   MetricCounter* metric_rehandoffs_ = nullptr;
+  // Per-FE labelled twins (replicated tier only; null otherwise).
+  MetricCounter* metric_fe_connections_ = nullptr;
+  MetricCounter* metric_fe_handoffs_ = nullptr;
+  MetricCounter* metric_fe_rehandoffs_ = nullptr;
+  MetricGauge* metric_mesh_epoch_ = nullptr;
+  MetricGauge* metric_mesh_lag_ms_ = nullptr;
+  MetricGauge* metric_mesh_peers_ = nullptr;
+  MetricGauge* metric_mesh_divergence_ = nullptr;
+  MetricCounter* metric_gossip_sent_ = nullptr;
+  MetricCounter* metric_gossip_applied_ = nullptr;
 };
 
 }  // namespace lard

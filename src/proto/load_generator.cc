@@ -33,6 +33,7 @@ struct WorkerStats {
   uint64_t bytes_received = 0;
   StreamingStats batch_latency_ms;
   PercentileTracker batch_latency_p;
+  std::vector<LatencySample> samples;  // only when config.record_latencies
 };
 
 // Blocking read of `count` pipelined responses.
@@ -88,9 +89,12 @@ void ApplyRecvTimeout(int fd, int64_t timeout_ms) {
 
 class Worker {
  public:
-  Worker(const LoadGeneratorConfig* config, const Trace* trace) : config_(config), trace_(trace) {}
+  Worker(const LoadGeneratorConfig* config, const Trace* trace, int64_t load_start_ms)
+      : config_(config), trace_(trace), load_start_ms_(load_start_ms) {}
 
-  void RunSession(const TraceSession& session, WorkerStats* stats) {
+  void RunSession(const TraceSession& session, size_t session_index, WorkerStats* stats) {
+    port_ = config_->ports.empty() ? config_->port
+                                   : config_->ports[session_index % config_->ports.size()];
     if (config_->http10) {
       RunHttp10Session(session, stats);
     } else {
@@ -118,8 +122,18 @@ class Worker {
     return response.body.compare(0, header.size(), header) == 0;
   }
 
+  void RecordLatency(int64_t end_ms, double latency_ms, size_t requests,
+                     WorkerStats* stats) const {
+    stats->batch_latency_ms.Add(latency_ms);
+    stats->batch_latency_p.Add(latency_ms);
+    if (config_->record_latencies) {
+      stats->samples.push_back(
+          {end_ms - load_start_ms_, latency_ms, static_cast<uint32_t>(requests)});
+    }
+  }
+
   void RunPhttpSession(const TraceSession& session, WorkerStats* stats) {
-    auto fd = ConnectTcp(config_->port);
+    auto fd = ConnectTcp(port_);
     if (!fd.ok()) {
       ++stats->transport_errors;
       return;
@@ -149,9 +163,8 @@ class Worker {
         stats->transport_errors += 1;
         return;
       }
-      const double latency = static_cast<double>(NowMs() - start);
-      stats->batch_latency_ms.Add(latency);
-      stats->batch_latency_p.Add(latency);
+      const int64_t end = NowMs();
+      RecordLatency(end, static_cast<double>(end - start), batch.targets.size(), stats);
       for (size_t i = 0; i < responses.size(); ++i) {
         if (Verify(responses[i], batch.targets[i], stats)) {
           ++stats->responses_ok;
@@ -165,7 +178,7 @@ class Worker {
   void RunHttp10Session(const TraceSession& session, WorkerStats* stats) {
     for (const auto& batch : session.batches) {
       for (const TargetId target : batch.targets) {
-        auto fd = ConnectTcp(config_->port);
+        auto fd = ConnectTcp(port_);
         if (!fd.ok()) {
           ++stats->transport_errors;
           continue;
@@ -183,9 +196,8 @@ class Worker {
           ++stats->transport_errors;
           continue;
         }
-        const double latency = static_cast<double>(NowMs() - start);
-        stats->batch_latency_ms.Add(latency);
-        stats->batch_latency_p.Add(latency);
+        const int64_t end = NowMs();
+        RecordLatency(end, static_cast<double>(end - start), 1, stats);
         if (Verify(responses[0], target, stats)) {
           ++stats->responses_ok;
         } else {
@@ -197,12 +209,17 @@ class Worker {
 
   const LoadGeneratorConfig* config_;
   const Trace* trace_;
+  int64_t load_start_ms_;
+  uint16_t port_ = 0;  // this session's front-end
 };
 
 }  // namespace
 
 LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace) {
-  LARD_CHECK(config.port != 0);
+  LARD_CHECK(config.port != 0 || !config.ports.empty());
+  for (const uint16_t port : config.ports) {
+    LARD_CHECK(port != 0) << "front-end port list contains an unbound port";
+  }
   LARD_CHECK(config.num_clients > 0);
 
   const size_t session_limit =
@@ -220,14 +237,14 @@ LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace) {
   PercentileTracker merged_p;
 
   auto worker_fn = [&]() {
-    Worker worker(&config, &trace);
+    Worker worker(&config, &trace, start_ms);
     WorkerStats stats;
     while (!time_up.load(std::memory_order_relaxed)) {
       const size_t index = next_session.fetch_add(1, std::memory_order_relaxed);
       if (index >= session_limit) {
         break;
       }
-      worker.RunSession(trace.sessions()[index], &stats);
+      worker.RunSession(trace.sessions()[index], index, &stats);
       if (config.time_limit_ms > 0 && NowMs() - start_ms > config.time_limit_ms) {
         time_up.store(true, std::memory_order_relaxed);
       }
@@ -240,6 +257,7 @@ LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace) {
     merged.transport_errors += stats.transport_errors;
     merged.bytes_received += stats.bytes_received;
     merged_latency.Merge(stats.batch_latency_ms);
+    merged.samples.insert(merged.samples.end(), stats.samples.begin(), stats.samples.end());
     if (stats.batch_latency_p.count() > 0) {
       // Cross-worker p95 is summarized as the median of per-worker p95s
       // (workers see statistically identical session streams).
@@ -272,6 +290,7 @@ LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace) {
   }
   result.mean_batch_latency_ms = merged_latency.mean();
   result.p95_batch_latency_ms = merged_p.Percentile(50.0);  // median of workers' p95s
+  result.latency_samples = std::move(merged.samples);
   return result;
 }
 

@@ -22,6 +22,9 @@ namespace lard {
 
 struct LoadGeneratorConfig {
   uint16_t port = 0;           // front-end port
+  // Replicated front-end tier: when non-empty, sessions are dealt
+  // round-robin across these ports (DNS/VIP spraying) and `port` is ignored.
+  std::vector<uint16_t> ports;
   int num_clients = 16;        // concurrent client workers
   bool http10 = false;         // flatten sessions to one request per connection
   bool verify_bodies = true;   // check prefix/length of every response
@@ -34,6 +37,19 @@ struct LoadGeneratorConfig {
   // but silent, and the affected sessions must fail over to fresh
   // connections instead of hanging the worker.
   int64_t recv_timeout_ms = 0;
+  // Record one timestamped latency sample per completed batch (SLO curves:
+  // drain/migration storms are judged by per-request p50/p95/p99 over time,
+  // not by the mean). Off by default — samples cost memory on long runs.
+  bool record_latencies = false;
+};
+
+// One completed batch: when it finished (offset from load start), how long
+// it took, and how many pipelined requests it carried (each request of a
+// batch experiences the batch's latency — the pipelining contract).
+struct LatencySample {
+  int64_t t_ms = 0;
+  double latency_ms = 0.0;
+  uint32_t requests = 0;
 };
 
 struct LoadResult {
@@ -48,6 +64,9 @@ struct LoadResult {
   double throughput_mbps = 0.0;
   double mean_batch_latency_ms = 0.0;
   double p95_batch_latency_ms = 0.0;
+  // Filled when config.record_latencies: every batch completion across all
+  // workers, unordered (callers window/sort as needed).
+  std::vector<LatencySample> latency_samples;
 };
 
 // Replays `trace` against the cluster at 127.0.0.1:config.port and blocks

@@ -1,7 +1,9 @@
 #include "src/sim/cluster_sim.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "src/mesh/gossip.h"
 #include "src/util/logging.h"
 
 namespace lard {
@@ -18,12 +20,30 @@ DiskCostModel ScaleDiskCosts(DiskCostModel costs, double speed) {
   return costs;
 }
 
+void AccumulateCounters(DispatcherCounters* total, const DispatcherCounters& part) {
+  total->connections += part.connections;
+  total->requests += part.requests;
+  total->handoffs += part.handoffs;
+  total->local_serves += part.local_serves;
+  total->forwards += part.forwards;
+  total->migrations += part.migrations;
+  total->relays += part.relays;
+  total->served_without_caching += part.served_without_caching;
+  total->nodes_added += part.nodes_added;
+  total->nodes_drained += part.nodes_drained;
+  total->nodes_removed += part.nodes_removed;
+  total->orphaned_connections += part.orphaned_connections;
+  total->reassignments += part.reassignments;
+}
+
 }  // namespace
 
 // One back-end node: CPU and disk, optionally speed-skewed (heterogeneous
-// clusters). There is exactly one cache model in the simulator — the
-// dispatcher's — shared by policy and service, as in the paper's simulator;
-// each assignment carries the model's hit/miss verdict.
+// clusters). With a single front-end there is exactly one cache model in the
+// simulator — the dispatcher's — shared by policy and service, as in the
+// paper's simulator; each assignment carries the model's hit/miss verdict.
+// With a replicated front-end tier the dispatchers' views are approximate and
+// the authoritative caches live in ClusterSim::true_caches_.
 struct ClusterSim::Backend {
   Backend(EventQueue* queue, const DiskCostModel& disk_costs, double speed_factor)
       : cpu(queue), disk(queue, ScaleDiskCosts(disk_costs, speed_factor)), speed(speed_factor) {}
@@ -41,7 +61,9 @@ struct ClusterSim::Backend {
 };
 
 // Adapts the back-ends' disk queues to the dispatcher's feedback interface
-// (the paper conveys exactly this signal over the handoff control sessions).
+// (the paper conveys exactly this signal over the handoff control sessions;
+// with N front-ends each one has its own control sessions, so every replica
+// reads the same fresh value).
 class ClusterSim::DiskQueueStats final : public BackendStatsProvider {
  public:
   explicit DiskQueueStats(const std::vector<std::unique_ptr<Backend>>* backends)
@@ -58,6 +80,7 @@ class ClusterSim::DiskQueueStats final : public BackendStatsProvider {
 struct ClusterSim::SessionRun {
   const TraceSession* session = nullptr;
   ConnId conn = 0;
+  int fe = 0;  // owning front-end (index into dispatchers_)
   size_t next_batch = 0;
   size_t outstanding = 0;       // responses pending in the current batch
   SimTimeUs batch_start_us = 0;
@@ -75,6 +98,9 @@ struct ClusterSim::SessionRun {
 ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : config_(config) {
   LARD_CHECK(trace != nullptr);
   LARD_CHECK(config_.num_nodes > 0);
+  LARD_CHECK(config_.num_frontends > 0);
+  LARD_CHECK(config_.num_frontends == 1 || config_.gossip_interval_us > 0)
+      << "a replicated front-end tier needs a positive gossip interval";
   if (config_.http10) {
     http10_trace_ = trace->ToHttp10();
     trace_ = &http10_trace_;
@@ -89,23 +115,42 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
                              : 1.0;
     LARD_CHECK(speed > 0.0) << "node speed must be positive";
     backends_.push_back(std::make_unique<Backend>(&queue_, config_.disk_costs, speed));
+    if (config_.num_frontends > 1) {
+      true_caches_.emplace_back(config_.backend_cache_bytes);
+    }
   }
   disk_stats_ = std::make_unique<DiskQueueStats>(&backends_);
 
-  DispatcherConfig dispatch_config;
-  dispatch_config.policy = config_.policy;
-  dispatch_config.policy_name = config_.policy_name;
-  dispatch_config.mechanism = config_.mechanism;
-  dispatch_config.params = config_.lard_params;
-  dispatch_config.num_nodes = config_.num_nodes;
-  dispatch_config.node_weights = config_.node_weights;
-  dispatch_config.virtual_cache_bytes = config_.backend_cache_bytes;
-  dispatch_config.metrics = config_.metrics;
-  dispatcher_ =
-      std::make_unique<Dispatcher>(dispatch_config, &trace_->catalog(), disk_stats_.get());
+  const int frontends = config_.num_frontends;
+  pending_hints_.resize(static_cast<size_t>(frontends));
+  gossip_seq_.assign(static_cast<size_t>(frontends), 0);
+  fe_accounted_us_.assign(static_cast<size_t>(frontends), 0.0);
+  if (frontends > 1) {
+    for (int fe = 0; fe < frontends; ++fe) {
+      mesh_.push_back(std::make_unique<MeshStateTable>(static_cast<uint32_t>(fe)));
+    }
+  }
+  for (int fe = 0; fe < frontends; ++fe) {
+    DispatcherConfig dispatch_config;
+    dispatch_config.policy = config_.policy;
+    dispatch_config.policy_name = config_.policy_name;
+    dispatch_config.mechanism = config_.mechanism;
+    dispatch_config.params = config_.lard_params;
+    dispatch_config.num_nodes = config_.num_nodes;
+    dispatch_config.node_weights = config_.node_weights;
+    dispatch_config.virtual_cache_bytes = config_.backend_cache_bytes;
+    // Instrument gauges describe the whole cluster; publish replica 0 only
+    // so N front-ends don't fight over one gauge family.
+    dispatch_config.metrics = fe == 0 ? config_.metrics : nullptr;
+    dispatch_config.remote_loads = frontends > 1 ? mesh_[static_cast<size_t>(fe)].get() : nullptr;
+    dispatchers_.push_back(
+        std::make_unique<Dispatcher>(dispatch_config, &trace_->catalog(), disk_stats_.get()));
+  }
 
   if (config_.model_front_end_limit || config_.mechanism == Mechanism::kRelayingFrontEnd) {
-    fe_cpu_ = std::make_unique<FifoServer>(&queue_);
+    for (int fe = 0; fe < frontends; ++fe) {
+      fe_cpus_.push_back(std::make_unique<FifoServer>(&queue_));
+    }
   }
   if (config_.metrics != nullptr) {
     metric_batch_latency_ = config_.metrics->Histogram("lard_sim_batch_latency_us");
@@ -115,19 +160,45 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
   }
 }
 
+Dispatcher& ClusterSim::DispatcherFor(const SessionRun* run) {
+  return *dispatchers_[static_cast<size_t>(run->fe)];
+}
+
 void ClusterSim::ApplyMembershipEvent(const MembershipEvent& event) {
   switch (event.action) {
     case MembershipAction::kNodeJoin: {
-      LARD_CHECK(event.speed > 0.0) << "node speed must be positive";
-      const NodeId node = dispatcher_->AddNode(event.weight);
+      // The shared validator gates scripted joins exactly like the admin
+      // API gates POST /nodes/add: a bad weight (or speed) rejects the
+      // event instead of CHECK-aborting deep inside the dispatcher.
+      if (!IsValidCapacityWeight(event.weight) || !IsValidCapacityWeight(event.speed)) {
+        ++rejected_membership_events_;
+        LARD_LOG(ERROR) << "sim t=" << queue_.now_us()
+                        << "us: NodeJoin rejected (weight=" << event.weight
+                        << ", speed=" << event.speed << " — must be positive and finite)";
+        break;
+      }
+      NodeId node = kInvalidNode;
+      for (auto& dispatcher : dispatchers_) {
+        const NodeId assigned = dispatcher->AddNode(event.weight);
+        LARD_CHECK(node == kInvalidNode || node == assigned)
+            << "front-end replicas diverged on a join";
+        node = assigned;
+      }
       LARD_CHECK(static_cast<size_t>(node) == backends_.size());
       backends_.push_back(std::make_unique<Backend>(&queue_, config_.disk_costs, event.speed));
+      if (MeshMode()) {
+        true_caches_.emplace_back(config_.backend_cache_bytes);
+      }
       ++nodes_joined_;
       LARD_LOG(INFO) << "sim t=" << queue_.now_us() << "us: node " << node << " joined";
       break;
     }
     case MembershipAction::kNodeDrain: {
-      if (dispatcher_->DrainNode(event.node)) {
+      bool drained = false;
+      for (auto& dispatcher : dispatchers_) {
+        drained = dispatcher->DrainNode(event.node) || drained;
+      }
+      if (drained) {
         ++nodes_drained_;
         // Reverse handoff: every connection the node is handling migrates at
         // its next between-batches point instead of pinning here — matching
@@ -135,7 +206,7 @@ void ClusterSim::ApplyMembershipEvent(const MembershipEvent& event) {
         // migration counters.
         size_t marked = 0;
         for (const auto& run : active_runs_) {
-          if (!run->conn_lost && dispatcher_->HandlingNode(run->conn) == event.node) {
+          if (!run->conn_lost && DispatcherFor(run.get()).HandlingNode(run->conn) == event.node) {
             run->drain_pending = true;
             ++marked;
           }
@@ -147,7 +218,11 @@ void ClusterSim::ApplyMembershipEvent(const MembershipEvent& event) {
     }
     case MembershipAction::kNodeFailure: {
       std::vector<ConnId> orphans;
-      if (!dispatcher_->RemoveNode(event.node, &orphans)) {
+      bool removed = false;
+      for (auto& dispatcher : dispatchers_) {
+        removed = dispatcher->RemoveNode(event.node, &orphans) || removed;
+      }
+      if (!removed) {
         break;
       }
       ++nodes_failed_;
@@ -172,13 +247,94 @@ void ClusterSim::ApplyMembershipEvent(const MembershipEvent& event) {
 
 ClusterSim::~ClusterSim() = default;
 
-void ClusterSim::FrontEndWork(double cost_us, std::function<void()> done) {
-  if (fe_cpu_ != nullptr) {
-    fe_accounted_us_ += cost_us;
-    fe_cpu_->Submit(cost_us, std::move(done));
+void ClusterSim::FrontEndWork(int fe, double cost_us, std::function<void()> done) {
+  fe_accounted_us_[static_cast<size_t>(fe)] += cost_us;
+  if (!fe_cpus_.empty()) {
+    fe_cpus_[static_cast<size_t>(fe)]->Submit(cost_us, std::move(done));
   } else {
-    fe_accounted_us_ += cost_us;
     done();
+  }
+}
+
+bool ClusterSim::TrueCacheServe(int fe, NodeId node, TargetId target, bool cache_after_miss) {
+  if (target == kInvalidTarget) {
+    return false;
+  }
+  LruCache& cache = true_caches_[static_cast<size_t>(node)];
+  const bool hit = cache.Touch(target);
+  if (!hit && cache_after_miss) {
+    cache.Insert(target, trace_->catalog().Get(target).size_bytes);
+  }
+  // A fetch that leaves the target resident is news for the peers'
+  // virtual-cache models (dedup'd until the next gossip round); a
+  // no-cache-under-disk-pressure serve is not.
+  if (hit || cache_after_miss) {
+    pending_hints_[static_cast<size_t>(fe)].insert(MakeHintKey(node, target));
+  }
+  return hit;
+}
+
+void ClusterSim::GossipRound() {
+  ++gossip_rounds_;
+  const int64_t now = static_cast<int64_t>(queue_.now_us());
+
+  // Unique-ownership audit: a connection must be known to exactly the
+  // dispatcher that placed it — a second claimant would double-count load
+  // and double-serve batches.
+  for (const auto& run : active_runs_) {
+    int owners = 0;
+    for (const auto& dispatcher : dispatchers_) {
+      if (dispatcher->HandlingNode(run->conn) != kInvalidNode) {
+        ++owners;
+      }
+    }
+    if (owners > 1) {
+      ++ownership_violations_;
+    }
+  }
+
+  for (const auto& table : mesh_) {
+    max_gossip_lag_us_ =
+        std::max(max_gossip_lag_us_, static_cast<double>(table->OldestPeerAgeUs(now)));
+  }
+
+  const int frontends = config_.num_frontends;
+  for (int fe = 0; fe < frontends; ++fe) {
+    auto& hint_keys = pending_hints_[static_cast<size_t>(fe)];
+    std::vector<GossipVcacheHint> hints;
+    hints.reserve(hint_keys.size());
+    for (const uint64_t key : hint_keys) {
+      hints.push_back(HintFromKey(key));
+    }
+    hint_keys.clear();
+    const GossipDelta delta =
+        BuildGossipDelta(static_cast<uint32_t>(fe), ++gossip_seq_[static_cast<size_t>(fe)],
+                         *dispatchers_[static_cast<size_t>(fe)], std::move(hints));
+    const std::string encoded = EncodeGossipDelta(delta);
+    for (int peer = 0; peer < frontends; ++peer) {
+      if (peer == fe) {
+        continue;
+      }
+      gossip_bytes_ += encoded.size();
+      GossipDelta received;
+      LARD_CHECK(DecodeGossipDelta(encoded, &received)) << "gossip codec round-trip failed";
+      if (mesh_[static_cast<size_t>(peer)]->Apply(received, now)) {
+        ++gossip_deltas_applied_;
+        if (CountBeliefDivergence(received, *dispatchers_[static_cast<size_t>(peer)]) != 0) {
+          // Membership events apply to every replica at the same simulated
+          // instant, so the replicas' beliefs must never disagree here.
+          ++gossip_divergent_deltas_;
+        }
+        for (const GossipVcacheHint& hint : received.hints) {
+          dispatchers_[static_cast<size_t>(peer)]->NoteRemoteFetch(hint.node, hint.target);
+        }
+      }
+    }
+  }
+
+  if (sessions_done_ < trace_->sessions().size()) {
+    queue_.ScheduleAfter(static_cast<double>(config_.gossip_interval_us),
+                         [this]() { GossipRound(); });
   }
 }
 
@@ -190,11 +346,14 @@ void ClusterSim::StartNextSession() {
   auto run = std::make_unique<SessionRun>();
   run->session = &session;
   run->conn = next_conn_id_++;
+  // Sessions are dealt round-robin across the front-end tier (the client
+  // side of a replicated tier is DNS/VIP spraying, which this approximates).
+  run->fe = static_cast<int>((next_session_ - 1) % static_cast<size_t>(config_.num_frontends));
   SessionRun* raw = run.get();
   active_runs_.push_back(std::move(run));
 
-  dispatcher_->OnConnectionOpen(raw->conn);
-  FrontEndWork(config_.fe_costs.accept_us, [this, raw]() { ProcessBatch(raw); });
+  DispatcherFor(raw).OnConnectionOpen(raw->conn);
+  FrontEndWork(raw->fe, config_.fe_costs.accept_us, [this, raw]() { ProcessBatch(raw); });
 }
 
 void ClusterSim::ReopenIfLost(SessionRun* run) {
@@ -206,7 +365,7 @@ void ClusterSim::ReopenIfLost(SessionRun* run) {
   run->conn_lost = false;
   run->drain_pending = false;  // the fresh connection is placed anew anyway
   run->conn = next_conn_id_++;
-  dispatcher_->OnConnectionOpen(run->conn);
+  DispatcherFor(run).OnConnectionOpen(run->conn);
   ++failovers_;
   if (metric_failovers_ != nullptr) {
     metric_failovers_->Increment();
@@ -218,7 +377,7 @@ void ClusterSim::RehandoffIfDraining(SessionRun* run, const std::vector<TargetId
     return;
   }
   run->drain_pending = false;
-  const NodeId moved_to = dispatcher_->ReassignConnection(run->conn, targets);
+  const NodeId moved_to = DispatcherFor(run).ReassignConnection(run->conn, targets);
   if (moved_to == kInvalidNode) {
     return;  // nowhere to go; the connection stays pinned (prototype 503s)
   }
@@ -228,7 +387,7 @@ void ClusterSim::RehandoffIfDraining(SessionRun* run, const std::vector<TargetId
   }
   // The front-end pays the re-handoff work (accounted; the giveback happens
   // between batches so it does not stall the response pipeline).
-  fe_accounted_us_ += config_.fe_costs.migrate_us;
+  fe_accounted_us_[static_cast<size_t>(run->fe)] += config_.fe_costs.migrate_us;
 }
 
 void ClusterSim::ProcessBatch(SessionRun* run) {
@@ -247,9 +406,16 @@ void ClusterSim::ProcessBatch(SessionRun* run) {
     return;
   }
 
-  const std::vector<Assignment> assignments = dispatcher_->OnBatch(run->conn, batch.targets);
+  std::vector<Assignment> assignments =
+      DispatcherFor(run).OnBatch(run->conn, batch.targets);
   LARD_CHECK(assignments.size() == batch.targets.size());
   for (size_t i = 0; i < assignments.size(); ++i) {
+    if (MeshMode()) {
+      // The deciding replica's virtual caches are approximate; service
+      // outcomes come from the back-ends' authoritative caches.
+      assignments[i].served_from_cache = TrueCacheServe(
+          run->fe, assignments[i].node, batch.targets[i], assignments[i].cache_after_miss);
+    }
     IssueRequest(run, batch.targets[i], assignments[i]);
   }
 }
@@ -263,6 +429,7 @@ void ClusterSim::IssueRequest(SessionRun* run, TargetId target, const Assignment
   total_bytes_ += bytes;
   const ServerCostModel& costs = config_.server_costs;
   const bool zero_cost = config_.mechanism == Mechanism::kIdealHandoff;
+  const int fe = run->fe;
   auto done = [this, run]() { OnResponseDone(run); };
 
   switch (assignment.action) {
@@ -272,12 +439,12 @@ void ClusterSim::IssueRequest(SessionRun* run, TargetId target, const Assignment
       const NodeId node = assignment.node;
       const double setup = zero_cost ? 0.0 : costs.conn_setup_us;
       const double fe_cost = zero_cost ? 0.0 : config_.fe_costs.handoff_us;
-      FrontEndWork(fe_cost, [this, node, target, hit = assignment.served_from_cache, setup,
-                             done]() { ServeAtNode(node, target, hit, setup, done); });
+      FrontEndWork(fe, fe_cost, [this, node, target, hit = assignment.served_from_cache, setup,
+                                 done]() { ServeAtNode(node, target, hit, setup, done); });
       break;
     }
     case AssignmentAction::kServeLocal: {
-      FrontEndWork(config_.fe_costs.per_request_us,
+      FrontEndWork(fe, config_.fe_costs.per_request_us,
                    [this, node = assignment.node, target, hit = assignment.served_from_cache,
                     done]() { ServeAtNode(node, target, hit, 0.0, done); });
       break;
@@ -286,12 +453,12 @@ void ClusterSim::IssueRequest(SessionRun* run, TargetId target, const Assignment
       // Handling node A tags + issues the lateral request; remote node B
       // serves it (possibly from disk) transmitting to A; A receives and
       // relays the response to the client.
-      const NodeId handling = dispatcher_->HandlingNode(run->conn);
+      const NodeId handling = DispatcherFor(run).HandlingNode(run->conn);
       LARD_CHECK(handling != kInvalidNode);
       const NodeId remote = assignment.node;
       const double xmit = TransmitCostUs(costs, bytes);
       const double relay_cost = costs.tag_us + costs.forward_receive_factor * xmit + xmit;
-      FrontEndWork(config_.fe_costs.per_request_us,
+      FrontEndWork(fe, config_.fe_costs.per_request_us,
                    [this, handling, remote, target, bytes, relay_cost,
                     hit = assignment.served_from_cache, done]() {
                      // Remote serve: per-request + cache/disk + transmit (to
@@ -319,8 +486,8 @@ void ClusterSim::IssueRequest(SessionRun* run, TargetId target, const Assignment
       const double overhead = zero_cost ? 0.0 : costs.handoff_us;
       const double stall = zero_cost ? 0.0 : costs.migration_stall_us;
       const double fe_cost = zero_cost ? 0.0 : config_.fe_costs.migrate_us;
-      FrontEndWork(fe_cost, [this, node = assignment.node, target,
-                             hit = assignment.served_from_cache, overhead, stall, done]() {
+      FrontEndWork(fe, fe_cost, [this, node = assignment.node, target,
+                                 hit = assignment.served_from_cache, overhead, stall, done]() {
         queue_.ScheduleAfter(stall, [this, node, target, hit, overhead, done]() {
           ServeAtNode(node, target, hit, overhead, done);
         });
@@ -336,8 +503,8 @@ void ClusterSim::IssueRequest(SessionRun* run, TargetId target, const Assignment
       const bool hit = assignment.served_from_cache;
       // Charge the FE after the back-end produced the data (response path
       // dominates); ordering does not affect totals.
-      ServeAtNode(node, target, hit, 0.0, [this, fe_cost, done]() {
-        FrontEndWork(fe_cost, done);
+      ServeAtNode(node, target, hit, 0.0, [this, fe, fe_cost, done]() {
+        FrontEndWork(fe, fe_cost, done);
       });
       break;
     }
@@ -394,7 +561,7 @@ void ClusterSim::OnResponseDone(SessionRun* run) {
     const int64_t next_offset = run->session->batches[run->next_batch].offset_us;
     const double think_us = static_cast<double>(std::max<int64_t>(next_offset - prev_offset, 0));
     if (think_us > 0.0) {
-      dispatcher_->OnConnectionIdle(run->conn);
+      DispatcherFor(run).OnConnectionIdle(run->conn);
       queue_.ScheduleAfter(think_us, [this, run]() { ProcessBatch(run); });
       return;
     }
@@ -406,17 +573,17 @@ void ClusterSim::FinishSession(SessionRun* run) {
   if (run->conn_lost) {
     // The session's last batch completed on a connection whose node died:
     // the dispatcher already forgot it, so there is nothing to tear down.
-    fe_accounted_us_ += config_.fe_costs.conn_close_us;
+    fe_accounted_us_[static_cast<size_t>(run->fe)] += config_.fe_costs.conn_close_us;
   } else {
     // Connection teardown: handling node pays teardown CPU; FE cleans up.
-    const NodeId handling = dispatcher_->HandlingNode(run->conn);
+    const NodeId handling = DispatcherFor(run).HandlingNode(run->conn);
     const bool zero_cost = config_.mechanism == Mechanism::kIdealHandoff;
     if (handling != kInvalidNode && !zero_cost) {
       backends_[static_cast<size_t>(handling)]->SubmitCpu(config_.server_costs.conn_teardown_us,
                                                           []() {});
     }
-    fe_accounted_us_ += config_.fe_costs.conn_close_us;
-    dispatcher_->OnConnectionClose(run->conn);
+    fe_accounted_us_[static_cast<size_t>(run->fe)] += config_.fe_costs.conn_close_us;
+    DispatcherFor(run).OnConnectionClose(run->conn);
   }
 
   ++sessions_done_;
@@ -436,6 +603,10 @@ ClusterSimMetrics ClusterSim::Run() {
   // deterministic join/drain/failure runs the prototype can only approximate.
   for (const MembershipEvent& event : config_.membership_events) {
     queue_.ScheduleAt(event.at_us, [this, event]() { ApplyMembershipEvent(event); });
+  }
+  if (MeshMode()) {
+    queue_.ScheduleAfter(static_cast<double>(config_.gossip_interval_us),
+                         [this]() { GossipRound(); });
   }
 
   const size_t initial =
@@ -459,7 +630,9 @@ ClusterSimMetrics ClusterSim::Run() {
                                       metrics.sim_seconds
                                 : 0.0;
   metrics.mean_batch_latency_ms = batch_latency_us_.mean() / 1000.0;
-  metrics.dispatcher = dispatcher_->counters();
+  for (const auto& dispatcher : dispatchers_) {
+    AccumulateCounters(&metrics.dispatcher, dispatcher->counters());
+  }
 
   uint64_t hits = 0;
   uint64_t served = 0;
@@ -482,13 +655,46 @@ ClusterSimMetrics ClusterSim::Run() {
   const double node_count = static_cast<double>(backends_.size());
   metrics.mean_cpu_idle = 1.0 - cpu_util_sum / node_count;
   metrics.mean_disk_idle = 1.0 - disk_util_sum / node_count;
-  metrics.fe_utilization =
-      queue_.now_us() > 0 ? fe_accounted_us_ / static_cast<double>(queue_.now_us()) : 0.0;
+  for (const double accounted : fe_accounted_us_) {
+    const double utilization =
+        queue_.now_us() > 0 ? accounted / static_cast<double>(queue_.now_us()) : 0.0;
+    metrics.per_fe_utilization.push_back(utilization);
+    metrics.fe_utilization = std::max(metrics.fe_utilization, utilization);
+  }
   metrics.nodes_joined = nodes_joined_;
   metrics.nodes_failed = nodes_failed_;
   metrics.nodes_drained = nodes_drained_;
   metrics.failovers = failovers_;
   metrics.rehandoffs = rehandoffs_;
+  metrics.rejected_membership_events = rejected_membership_events_;
+
+  // Mesh metrics + end-of-run invariants. With every session finished, each
+  // replica must have drained its own accounting to zero — remaining load or
+  // open connections mean the tier double-counted or leaked.
+  metrics.frontends = config_.num_frontends;
+  metrics.gossip_rounds = gossip_rounds_;
+  metrics.gossip_deltas_applied = gossip_deltas_applied_;
+  metrics.gossip_bytes = gossip_bytes_;
+  metrics.gossip_divergent_deltas = gossip_divergent_deltas_;
+  metrics.max_gossip_lag_us = max_gossip_lag_us_;
+  metrics.ownership_violations = ownership_violations_;
+  for (const auto& table : mesh_) {
+    metrics.gossip_stale_drops += table->stale_drops();
+    metrics.mesh_epoch_regressions += table->epoch_regressions();
+  }
+  for (const auto& dispatcher : dispatchers_) {
+    if (dispatcher->open_connections() != 0) {
+      metrics.mesh_load_conserved = false;
+    }
+    for (NodeId node = 0; node < dispatcher->num_node_slots(); ++node) {
+      if (std::fabs(dispatcher->NodeLoad(node)) > 1e-6) {
+        metrics.mesh_load_conserved = false;
+      }
+    }
+    if (dispatcher->membership_epoch() != dispatchers_[0]->membership_epoch()) {
+      metrics.mesh_epochs_converged = false;
+    }
+  }
   return metrics;
 }
 

@@ -13,12 +13,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/cluster_types.h"
 #include "src/core/dispatcher.h"
 #include "src/core/lard_params.h"
 #include "src/core/lru_cache.h"
+#include "src/mesh/mesh_state.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/resources.h"
@@ -89,6 +91,18 @@ struct ClusterSimConfig {
   // Serialize front-end work through a real CPU (otherwise only accounted).
   bool model_front_end_limit = false;
 
+  // Replicated front-end tier (the mesh). Sessions are dealt round-robin
+  // across this many front-ends, each with its own Dispatcher — its own load
+  // accounting, virtual caches and (when model_front_end_limit is set) its
+  // own CPU — kept approximately consistent by gossip. 1 = the classic
+  // single-dispatcher simulator, bit-identical to before the mesh existed.
+  int num_frontends = 1;
+  // Mesh sync period: every interval each front-end's delta (per-node local
+  // load, weights, membership epoch, vcache hints) is encoded through the
+  // real gossip wire codec and applied by every peer. Larger intervals mean
+  // staler remote state — the multi_frontend bench sweeps this.
+  SimTimeUs gossip_interval_us = 5000;
+
   // Control-plane scenario to replay (sorted or not; scheduled by at_us).
   std::vector<MembershipEvent> membership_events;
 
@@ -115,7 +129,10 @@ struct ClusterSimMetrics {
   double throughput_mbps = 0.0;
   double cache_hit_rate = 0.0;
   double mean_batch_latency_ms = 0.0;
+  // Utilization of the *bottleneck* front-end (== the only one when
+  // num_frontends is 1); per_fe_utilization has every front-end's figure.
   double fe_utilization = 0.0;
+  std::vector<double> per_fe_utilization;
   double mean_cpu_idle = 0.0;   // across back-ends (final membership)
   double mean_disk_idle = 0.0;  // across back-ends (final membership)
   std::vector<BackendSimMetrics> per_node;
@@ -126,6 +143,27 @@ struct ClusterSimMetrics {
   uint64_t nodes_drained = 0;
   uint64_t failovers = 0;    // connections re-opened after their node died
   uint64_t rehandoffs = 0;   // connections migrated off a draining node
+  // Scripted events dropped by validation (non-positive/non-finite weight
+  // or speed on a NodeJoin).
+  uint64_t rejected_membership_events = 0;
+
+  // Front-end mesh (num_frontends > 1; zero/true otherwise).
+  int frontends = 1;
+  uint64_t gossip_rounds = 0;
+  uint64_t gossip_deltas_applied = 0;
+  uint64_t gossip_bytes = 0;         // encoded delta bytes shipped peer-to-peer
+  uint64_t gossip_stale_drops = 0;
+  // Applied deltas whose membership/weight beliefs disagreed with the
+  // receiver's. The sim applies membership events to every replica at the
+  // same instant, so this must stay 0 there; in the prototype transient
+  // divergence is normal (the lard_mesh_divergence gauge tracks it).
+  uint64_t gossip_divergent_deltas = 0;
+  double max_gossip_lag_us = 0.0;    // oldest peer state observed at any round
+  // Invariants the multi_frontend bench (and tests) assert on:
+  uint64_t mesh_epoch_regressions = 0;   // monotone membership epochs: must be 0
+  uint64_t ownership_violations = 0;     // a conn claimed by >1 dispatcher: must be 0
+  bool mesh_epochs_converged = true;     // all dispatchers ended on one epoch
+  bool mesh_load_conserved = true;       // every dispatcher's load drained to 0
 };
 
 class ClusterSim {
@@ -163,19 +201,42 @@ class ClusterSim {
                    std::function<void()> done);
   void OnResponseDone(SessionRun* run);
   void FinishSession(SessionRun* run);
-  // Runs `done` after charging `cost_us` of front-end CPU (serialized or
-  // merely accounted, per config).
-  void FrontEndWork(double cost_us, std::function<void()> done);
+  // Runs `done` after charging `cost_us` of CPU at front-end `fe`
+  // (serialized or merely accounted, per config).
+  void FrontEndWork(int fe, double cost_us, std::function<void()> done);
+
+  // The dispatcher owning `run`'s connection (its front-end's replica).
+  Dispatcher& DispatcherFor(const SessionRun* run);
+  // Mesh mode only: the authoritative verdict — is `target` resident in
+  // `node`'s real cache? Updates the real cache per `cache_after_miss` and
+  // queues a vcache gossip hint for `fe`'s next delta.
+  bool TrueCacheServe(int fe, NodeId node, TargetId target, bool cache_after_miss);
+  // One mesh round: every front-end's delta travels the wire codec to every
+  // peer; also runs the unique-ownership audit. Reschedules itself while
+  // sessions remain.
+  void GossipRound();
+  bool MeshMode() const { return config_.num_frontends > 1; }
 
   ClusterSimConfig config_;
   Trace http10_trace_;          // used only when config.http10
   const Trace* trace_;          // points at the caller's trace or http10_trace_
   EventQueue queue_;
   std::unique_ptr<DiskQueueStats> disk_stats_;
-  std::unique_ptr<Dispatcher> dispatcher_;
+  // One dispatcher per front-end; [0] is the only one without a mesh.
+  std::vector<std::unique_ptr<Dispatcher>> dispatchers_;
+  std::vector<std::unique_ptr<MeshStateTable>> mesh_;  // empty when 1 FE
   std::vector<std::unique_ptr<Backend>> backends_;
-  std::unique_ptr<FifoServer> fe_cpu_;  // set when the FE is limiting
-  double fe_accounted_us_ = 0.0;
+  // Mesh mode: the back-ends' *authoritative* caches. With one front-end the
+  // dispatcher's virtual caches are exact, so the simulator uses its verdicts
+  // directly; with N replicas each dispatcher's view is approximate and
+  // service outcomes must come from this single source of truth.
+  std::vector<LruCache> true_caches_;
+  // Per-front-end vcache hints accumulated since the last gossip round,
+  // deduplicated ((node << 32) | target keys).
+  std::vector<std::unordered_set<uint64_t>> pending_hints_;
+  std::vector<uint64_t> gossip_seq_;
+  std::vector<std::unique_ptr<FifoServer>> fe_cpus_;  // sized when FE limiting
+  std::vector<double> fe_accounted_us_;  // one slot per front-end
 
   size_t next_session_ = 0;
   size_t sessions_done_ = 0;
@@ -193,6 +254,15 @@ class ClusterSim {
   uint64_t nodes_drained_ = 0;
   uint64_t failovers_ = 0;
   uint64_t rehandoffs_ = 0;
+  uint64_t rejected_membership_events_ = 0;
+
+  // Mesh bookkeeping.
+  uint64_t gossip_rounds_ = 0;
+  uint64_t gossip_deltas_applied_ = 0;
+  uint64_t gossip_bytes_ = 0;
+  uint64_t gossip_divergent_deltas_ = 0;
+  uint64_t ownership_violations_ = 0;
+  double max_gossip_lag_us_ = 0.0;
   MetricHistogram* metric_batch_latency_ = nullptr;
   MetricCounter* metric_requests_ = nullptr;
   MetricCounter* metric_failovers_ = nullptr;

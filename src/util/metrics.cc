@@ -98,6 +98,10 @@ std::string MetricsRegistry::WithNode(const std::string& name, int32_t node) {
   return name + "{node=\"" + std::to_string(node) + "\"}";
 }
 
+std::string MetricsRegistry::WithFe(const std::string& name, int32_t fe) {
+  return name + "{fe=\"" + std::to_string(fe) + "\"}";
+}
+
 std::string MetricsRegistry::RenderText() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;

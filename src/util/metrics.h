@@ -78,8 +78,10 @@ class MetricsRegistry {
   MetricGauge* Gauge(const std::string& name);
   MetricHistogram* Histogram(const std::string& name);
 
-  // "name{node=\"7\"}" — the one label family the cluster uses.
+  // "name{node=\"7\"}" — the per-back-end label family.
   static std::string WithNode(const std::string& name, int32_t node);
+  // "name{fe=\"1\"}" — the per-front-end label family (replicated FE tier).
+  static std::string WithFe(const std::string& name, int32_t fe);
 
   // Plaintext exposition: one "name value" line per instrument, histograms
   // expanded to _count/_sum/_p50/_p90/_p99 lines. Sorted by name.

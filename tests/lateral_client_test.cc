@@ -1,0 +1,208 @@
+// Failure-path tests for LateralClient, the pipelined back-end-to-back-end
+// fetch channel: transport failure (status 0) mid-pipeline, FIFO response
+// matching when errors interleave with successes, and reconnect-on-next-fetch
+// after the peer goes away.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/event_loop.h"
+#include "src/net/socket.h"
+#include "src/proto/lateral_client.h"
+
+namespace lard {
+namespace {
+
+std::string OkResponse(const std::string& body) {
+  return "HTTP/1.1 200 OK\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+// Drives a LateralClient on a real event loop; Fetch() calls are posted to
+// the loop thread (the class contract) and results collected under a mutex.
+class LateralClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto listener = ListenTcp(0, &port_);
+    ASSERT_TRUE(listener.ok());
+    listener_ = std::move(listener.value());
+    loop_thread_ = std::thread([this]() { loop_.Run(); });
+  }
+
+  void TearDown() override {
+    loop_.Post([this]() { client_.reset(); });
+    loop_.Stop();
+    loop_thread_.join();
+    if (peer_thread_.joinable()) {
+      peer_thread_.join();
+    }
+  }
+
+  void StartClient() {
+    loop_.Post([this]() { client_ = std::make_unique<LateralClient>(&loop_, port_); });
+  }
+
+  // Issues a fetch from the loop thread; results land in results_ in
+  // callback order.
+  void Fetch(const std::string& path) {
+    loop_.Post([this, path]() {
+      client_->Fetch(path, [this, path](int status, std::string body) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        results_.push_back({path, status, std::move(body)});
+        cv_.notify_all();
+      });
+    });
+  }
+
+  void WaitForResults(size_t count) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ASSERT_TRUE(cv_.wait_for(lock, std::chrono::seconds(5),
+                             [&]() { return results_.size() >= count; }))
+        << "only " << results_.size() << " of " << count << " callbacks fired";
+  }
+
+  struct FetchResult {
+    std::string path;
+    int status = -1;
+    std::string body;
+  };
+
+  uint16_t port_ = 0;
+  UniqueFd listener_;
+  EventLoop loop_;
+  std::thread loop_thread_;
+  std::thread peer_thread_;
+  std::unique_ptr<LateralClient> client_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<FetchResult> results_;
+};
+
+TEST_F(LateralClientTest, TransportFailureMidPipelineFailsAllInFlightInOrder) {
+  // Peer accepts, answers the first request, then slams the connection while
+  // two more fetches are in flight.
+  peer_thread_ = std::thread([this]() {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    char buf[4096];
+    size_t got = 0;
+    std::string data;
+    // Read until all three pipelined requests arrived (three "\r\n\r\n").
+    while (got < 3) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        break;
+      }
+      data.append(buf, static_cast<size_t>(n));
+      got = 0;
+      for (size_t pos = 0; (pos = data.find("\r\n\r\n", pos)) != std::string::npos; pos += 4) {
+        ++got;
+      }
+    }
+    const std::string response = OkResponse("first");
+    (void)!::send(fd, response.data(), response.size(), MSG_NOSIGNAL);
+    ::usleep(50 * 1000);  // let the response drain before the reset
+    ::close(fd);
+  });
+
+  StartClient();
+  Fetch("/a");
+  Fetch("/b");
+  Fetch("/c");
+  WaitForResults(3);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ASSERT_EQ(results_.size(), 3u);
+  // FIFO: /a got the one real response; /b and /c fail with transport
+  // status 0 in issue order, not reversed or dropped.
+  EXPECT_EQ(results_[0].path, "/a");
+  EXPECT_EQ(results_[0].status, 200);
+  EXPECT_EQ(results_[0].body, "first");
+  EXPECT_EQ(results_[1].path, "/b");
+  EXPECT_EQ(results_[1].status, 0);
+  EXPECT_TRUE(results_[1].body.empty());
+  EXPECT_EQ(results_[2].path, "/c");
+  EXPECT_EQ(results_[2].status, 0);
+}
+
+TEST_F(LateralClientTest, GarbageResponseFailsPipelineWithStatusZero) {
+  peer_thread_ = std::thread([this]() {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    char buf[4096];
+    (void)!::recv(fd, buf, sizeof(buf), 0);
+    const std::string garbage = "NOT/HTTP nonsense\r\n\r\n";
+    (void)!::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL);
+    ::usleep(100 * 1000);
+    ::close(fd);
+  });
+
+  StartClient();
+  Fetch("/x");
+  Fetch("/y");
+  WaitForResults(2);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A peer speaking garbage is a transport failure for everything in flight.
+  EXPECT_EQ(results_[0].status, 0);
+  EXPECT_EQ(results_[1].status, 0);
+}
+
+TEST_F(LateralClientTest, ReconnectsAfterPeerLossAndKeepsServing) {
+  std::atomic<int> connections{0};
+  peer_thread_ = std::thread([this, &connections]() {
+    // First connection: die without answering. Second: behave.
+    for (int round = 0; round < 2; ++round) {
+      const int fd = ::accept(listener_.get(), nullptr, nullptr);
+      if (fd < 0) {
+        return;
+      }
+      ++connections;
+      char buf[4096];
+      (void)!::recv(fd, buf, sizeof(buf), 0);
+      if (round == 1) {
+        const std::string response = OkResponse("back");
+        (void)!::send(fd, response.data(), response.size(), MSG_NOSIGNAL);
+        ::usleep(50 * 1000);
+      }
+      ::close(fd);
+    }
+  });
+
+  StartClient();
+  Fetch("/dead");
+  WaitForResults(1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EXPECT_EQ(results_[0].status, 0);
+  }
+  // The next fetch must transparently reconnect and succeed.
+  Fetch("/alive");
+  WaitForResults(2);
+  std::lock_guard<std::mutex> lock(mutex_);
+  EXPECT_EQ(results_[1].path, "/alive");
+  EXPECT_EQ(results_[1].status, 200);
+  EXPECT_EQ(results_[1].body, "back");
+  EXPECT_EQ(connections.load(), 2);
+  EXPECT_EQ(client_->fetches_issued(), 2u);
+}
+
+TEST_F(LateralClientTest, ConnectFailureFailsImmediatelyWithStatusZero) {
+  // Nothing listens on the drained port once the listener closes.
+  listener_ = UniqueFd();
+  StartClient();
+  Fetch("/nobody");
+  WaitForResults(1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  EXPECT_EQ(results_[0].status, 0);
+}
+
+}  // namespace
+}  // namespace lard
