@@ -103,7 +103,8 @@ bool Dispatcher::RemoveNode(NodeId node, std::vector<ConnId>* orphans) {
   return true;
 }
 
-NodeId Dispatcher::ReassignConnection(ConnId conn, const std::vector<TargetId>& pending_targets) {
+NodeId Dispatcher::ReassignConnection(ConnId conn, const std::vector<TargetId>& pending_targets,
+                                      ReassignReason reason) {
   auto it = conns_.find(conn);
   if (it == conns_.end() || active_node_count() == 0) {
     return kInvalidNode;
@@ -148,6 +149,9 @@ NodeId Dispatcher::ReassignConnection(ConnId conn, const std::vector<TargetId>& 
     }
   }
   ++counters_.reassignments;
+  if (reason == ReassignReason::kFailure) {
+    ++counters_.failure_reassignments;
+  }
   return new_node;
 }
 

@@ -88,6 +88,9 @@ struct DispatcherCounters {
   uint64_t nodes_removed = 0;
   uint64_t orphaned_connections = 0;  // open conns whose handling node died
   uint64_t reassignments = 0;  // connections moved off a draining/retiring node
+  // Subset of `reassignments` made because the previous handling node
+  // *crashed* (failure replay), as opposed to cooperative drain givebacks.
+  uint64_t failure_reassignments = 0;
 };
 
 class Dispatcher {
@@ -149,7 +152,12 @@ class Dispatcher {
   // connection's unserved requests, so LARD affinity guides the pick).
   // Returns the new handling node, or kInvalidNode when the connection is
   // unknown or no node is assignable (caller falls back to 503/close).
-  NodeId ReassignConnection(ConnId conn, const std::vector<TargetId>& pending_targets = {});
+  // `reason` only affects counter attribution: kFailure marks a crash-replay
+  // reassignment (the old node died uncooperatively) on top of the shared
+  // reassignment count.
+  enum class ReassignReason { kDrain, kFailure };
+  NodeId ReassignConnection(ConnId conn, const std::vector<TargetId>& pending_targets = {},
+                            ReassignReason reason = ReassignReason::kDrain);
 
   // Merges a gossip hint from a peer front-end: `target` was (or is about to
   // be) fetched into `node`'s real cache by a connection some other

@@ -80,6 +80,7 @@ void Connection::Write(std::string_view data) {
       const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
       if (n > 0) {
         sent += static_cast<size_t>(n);
+        bytes_flushed_ += static_cast<uint64_t>(n);
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -99,11 +100,13 @@ void Connection::Write(std::string_view data) {
 }
 
 void Connection::HandleWritable() {
+  const uint64_t flushed_before = bytes_flushed_;
   while (write_offset_ < write_buffer_.size()) {
     const ssize_t n = ::send(fd_.get(), write_buffer_.data() + write_offset_,
                              write_buffer_.size() - write_offset_, MSG_NOSIGNAL);
     if (n > 0) {
       write_offset_ += static_cast<size_t>(n);
+      bytes_flushed_ += static_cast<uint64_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -128,6 +131,9 @@ void Connection::HandleWritable() {
       on_write_drained_ = nullptr;
       drained();
     }
+  }
+  if (bytes_flushed_ != flushed_before && on_write_progress_) {
+    on_write_progress_();
   }
 }
 

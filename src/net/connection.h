@@ -50,6 +50,16 @@ class Connection {
     on_write_drained_ = std::move(on_drained);
   }
 
+  // Persistent: fires whenever the EPOLLOUT path hands buffered bytes to the
+  // kernel (bytes_flushed() advanced). The crash-replay journal acks flush
+  // progress from here so a kill between event-loop iterations can never
+  // separate "kernel accepted the bytes" from "the front-end heard about
+  // it" — an unacked-but-delivered response would be replayed as a
+  // duplicate.
+  void set_on_write_progress(std::function<void()> on_progress) {
+    on_write_progress_ = std::move(on_progress);
+  }
+
   // Registers with the loop. Call after the callbacks are set.
   void Start();
 
@@ -80,6 +90,11 @@ class Connection {
   bool open() const { return open_; }
   int fd() const { return fd_.get(); }
   size_t pending_write_bytes() const { return write_buffer_.size() - write_offset_; }
+  // Cumulative bytes actually handed to the kernel socket (not merely
+  // buffered). The crash-replay journal acks response progress against this:
+  // bytes the kernel accepted survive this process's death, buffered bytes
+  // do not.
+  uint64_t bytes_flushed() const { return bytes_flushed_; }
 
  private:
   void HandleEvents(uint32_t events);
@@ -96,9 +111,11 @@ class Connection {
   std::function<void(std::string_view)> on_data_;
   std::function<void()> on_close_;
   std::function<void()> on_write_drained_;
+  std::function<void()> on_write_progress_;
 
   std::string write_buffer_;
   size_t write_offset_ = 0;
+  uint64_t bytes_flushed_ = 0;
   std::string pushback_;
   uint32_t interest_ = 0;
 };

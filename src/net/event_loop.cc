@@ -126,7 +126,7 @@ void EventLoop::FireDueTimers() {
 }
 
 void EventLoop::Run() {
-  loop_thread_ = std::this_thread::get_id();
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
   running_.store(true);
   epoll_event events[64];
   while (running_.load()) {

@@ -52,7 +52,11 @@ class EventLoop {
   // Signals the loop to exit (thread-safe).
   void Stop();
 
-  bool IsInLoopThread() const { return std::this_thread::get_id() == loop_thread_; }
+  // Thread-safe: RunOnLoop-style helpers call this from arbitrary threads
+  // while the loop thread publishes its id at Run() entry.
+  bool IsInLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Timer {
@@ -72,7 +76,7 @@ class EventLoop {
   UniqueFd epoll_fd_;
   UniqueFd wakeup_fd_;  // eventfd
   std::atomic<bool> running_{false};
-  std::thread::id loop_thread_;
+  std::atomic<std::thread::id> loop_thread_{};
 
   // fd -> callback; shared_ptr so a handler staying alive through dispatch is
   // safe even if Unregister runs from inside another handler.

@@ -143,6 +143,16 @@ void BackendServer::Housekeeping() {
   if (any_fe) {
     MaybeSendHeartbeat();
   }
+  // Safety-net journal-progress sweep. Every flush path acks eagerly
+  // (WriteResponse's fast path, the EPOLLOUT progress hook, the deferred
+  // final-response drain), so this normally observes nothing new — it exists
+  // so a missed path degrades replay precision by at most one tick instead
+  // of silently forever.
+  for (auto& [id, conn] : conns_) {
+    if (conn->replay_protected && !conn->closed) {
+      MaybeSendReplayAck(conn.get());
+    }
+  }
   SweepIdleConnections();
   if (metric_open_conns_ != nullptr) {
     metric_open_conns_->Set(static_cast<double>(conns_.size()));
@@ -182,7 +192,8 @@ void BackendServer::ConnectPeers(const std::vector<uint16_t>& ports) {
     if (static_cast<NodeId>(node) == config_.node_id) {
       peers_.push_back(nullptr);
     } else {
-      peers_.push_back(std::make_unique<LateralClient>(loop_, ports[node]));
+      peers_.push_back(
+          std::make_unique<LateralClient>(loop_, ports[node], config_.lateral_timeout_ms));
     }
   }
 }
@@ -193,7 +204,8 @@ void BackendServer::AddPeer(NodeId node, uint16_t port) {
     peers_.resize(static_cast<size_t>(node) + 1);
   }
   if (node != config_.node_id) {
-    peers_[static_cast<size_t>(node)] = std::make_unique<LateralClient>(loop_, port);
+    peers_[static_cast<size_t>(node)] =
+        std::make_unique<LateralClient>(loop_, port, config_.lateral_timeout_ms);
   }
 }
 
@@ -210,6 +222,15 @@ void BackendServer::OnControlMessage(int fe, uint8_t type, std::string payload, 
         return;
       }
       AdoptConnection(fe, std::move(msg), std::move(fd));
+      return;
+    }
+    case ControlMsg::kReplay: {
+      ReplayMsg msg;
+      if (!DecodeReplay(payload, &msg) || !fd.valid()) {
+        LARD_LOG(ERROR) << "backend " << config_.node_id << ": bad replay message";
+        return;
+      }
+      AdoptReplay(fe, std::move(msg), std::move(fd));
       return;
     }
     case ControlMsg::kFeHello: {
@@ -256,25 +277,29 @@ void BackendServer::OnControlMessage(int fe, uint8_t type, std::string payload, 
   }
 }
 
-void BackendServer::AdoptConnection(int fe, HandoffMsg msg, UniqueFd fd) {
-  if (conns_.count(msg.conn_id) != 0) {
+BackendServer::ClientConn* BackendServer::AdoptCommon(int fe, ConnId conn_id, bool autonomous,
+                                                      bool replay_protected,
+                                                      std::vector<RequestDirective> directives,
+                                                      UniqueFd fd) {
+  if (conns_.count(conn_id) != 0) {
     // Two front-ends minting from one id space (or a replayed handoff)
     // would corrupt the table; refuse the adoption and reset the client
     // (fd RAII-closes) instead of undefined behaviour.
     LARD_LOG(ERROR) << "backend " << config_.node_id << ": duplicate handoff for connection "
-                    << msg.conn_id << " from front-end " << fe;
-    return;
+                    << conn_id << " from front-end " << fe;
+    return nullptr;
   }
   LARD_CHECK_OK(SetNonBlocking(fd.get(), true));
   (void)SetTcpNoDelay(fd.get());
 
   auto conn = std::make_unique<ClientConn>();
   ClientConn* raw = conn.get();
-  raw->id = msg.conn_id;
+  raw->id = conn_id;
   raw->fe = fe;
-  raw->autonomous = msg.autonomous;
-  raw->directives.assign(msg.directives.begin(), msg.directives.end());
-  raw->preassigned_remaining = msg.directives.size();
+  raw->autonomous = autonomous;
+  raw->replay_protected = replay_protected;
+  raw->directives.assign(directives.begin(), directives.end());
+  raw->preassigned_remaining = directives.size();
   raw->last_activity_ms = NowMs();
   raw->idle_reported = false;
   raw->conn = std::make_unique<Connection>(loop_, std::move(fd));
@@ -291,15 +316,57 @@ void BackendServer::AdoptConnection(int fe, HandoffMsg msg, UniqueFd fd) {
       OnClientClosed(it->second.get());
     }
   });
+  if (replay_protected) {
+    // Ack flush progress the moment the kernel accepts response bytes: an
+    // unacked-but-delivered response would be *replayed* after a crash, and
+    // the duplicate would shift the client's response pairing.
+    raw->conn->set_on_write_progress([this, id = raw->id]() {
+      auto it = conns_.find(id);
+      if (it != conns_.end()) {
+        MaybeSendReplayAck(it->second.get());
+      }
+    });
+  }
   counters_.connections_adopted.fetch_add(1, std::memory_order_relaxed);
   conns_.emplace(raw->id, std::move(conn));
 
   // Register with the loop first (no events can arrive until we return to
-  // epoll_wait), then replay the byte stream the front-end received: it
+  // epoll_wait); the caller then replays the shipped byte stream, which
   // precedes anything still in the socket buffer.
   raw->conn->Start();
+  return raw;
+}
+
+void BackendServer::AdoptConnection(int fe, HandoffMsg msg, UniqueFd fd) {
+  ClientConn* raw = AdoptCommon(fe, msg.conn_id, msg.autonomous, msg.replay_protected,
+                                std::move(msg.directives), std::move(fd));
+  if (raw == nullptr) {
+    return;
+  }
   if (!msg.unparsed_input.empty()) {
     OnClientData(raw, msg.unparsed_input);
+    if (raw->closed) {
+      return;
+    }
+  }
+  ProcessNext(raw);
+}
+
+void BackendServer::AdoptReplay(int fe, ReplayMsg msg, UniqueFd fd) {
+  ClientConn* raw = AdoptCommon(fe, msg.conn_id, msg.autonomous, /*replay_protected=*/true,
+                                std::move(msg.directives), std::move(fd));
+  if (raw == nullptr) {
+    return;
+  }
+  raw->splice_remaining = msg.splice_offset;
+  raw->splice_origin = msg.origin_node;
+  raw->splice_pending = msg.splice_offset > 0;
+  counters_.replays_adopted.fetch_add(1, std::memory_order_relaxed);
+  LARD_LOG(INFO) << "backend " << config_.node_id << ": adopted crash-replay connection "
+                 << msg.conn_id << " (" << raw->directives.size() << " requests, splice offset "
+                 << msg.splice_offset << ")";
+  if (!msg.replay_input.empty()) {
+    OnClientData(raw, msg.replay_input);
     if (raw->closed) {
       return;
     }
@@ -332,7 +399,23 @@ void BackendServer::OnClientData(ClientConn* conn, std::string_view data) {
   }
   conn->last_activity_ms = NowMs();
   std::vector<HttpRequest> requests;
-  if (conn->parser.Feed(data, &requests) == RequestParser::State::kError) {
+  const RequestParser::State parse_state = conn->parser.Feed(data, &requests);
+  if (conn->replay_protected &&
+      (!conn->tail_ever_reported || conn->parser.buffered() != conn->tail_reported)) {
+    // Ship the consumed-but-incomplete request prefix to the journal: these
+    // bytes exist nowhere else once read off the socket, and a crash right
+    // now would otherwise leave the surviving node a torn stream.
+    FramedChannel* channel = FeChannel(conn->fe);
+    if (channel != nullptr) {
+      JournalTailMsg tail;
+      tail.conn_id = conn->id;
+      tail.buffered = conn->parser.buffered();
+      channel->Send(static_cast<uint8_t>(ControlMsg::kJournalTail), EncodeJournalTail(tail));
+    }
+    conn->tail_reported = conn->parser.buffered();
+    conn->tail_ever_reported = true;
+  }
+  if (parse_state == RequestParser::State::kError) {
     HttpRequest bad;
     bad.version = HttpVersion::kHttp10;
     WriteResponse(conn, bad, 400, "bad request\n");
@@ -347,12 +430,28 @@ void BackendServer::OnClientData(ClientConn* conn, std::string_view data) {
       // Batch-1 request replayed from the handoff payload: its directive
       // already arrived with the handoff message.
       --conn->preassigned_remaining;
-    } else if (conn->autonomous) {
-      RequestDirective directive;
-      directive.path = request.path;
-      conn->directives.push_back(std::move(directive));
     } else {
-      conn->consult_backlog.push_back(request.path);
+      if (conn->replay_protected) {
+        // The front-end never parsed this request (it arrived pipelined
+        // after the handoff): ship it so the crash-replay journal covers it.
+        FramedChannel* channel = FeChannel(conn->fe);
+        if (channel != nullptr) {
+          JournalAppendMsg append;
+          append.conn_id = conn->id;
+          append.method = request.method;
+          append.path = request.path;
+          append.request_bytes = request.Serialize();
+          channel->Send(static_cast<uint8_t>(ControlMsg::kJournalAppend),
+                        EncodeJournalAppend(append));
+        }
+      }
+      if (conn->autonomous) {
+        RequestDirective directive;
+        directive.path = request.path;
+        conn->directives.push_back(std::move(directive));
+      } else {
+        conn->consult_backlog.push_back(request.path);
+      }
     }
     conn->requests.push_back(std::move(request));
   }
@@ -618,7 +717,12 @@ void BackendServer::WriteResponse(ClientConn* conn, const HttpRequest& request, 
   response.version = request.version;
   response.status = status;
   response.reason = ReasonPhrase(status);
-  response.headers.Add("Server", "lard-be" + std::to_string(config_.node_id));
+  // A spliced replay response must be byte-identical to what the crashed
+  // node was sending, so it carries the *origin* node's Server token.
+  const NodeId identity =
+      conn->splice_pending && conn->splice_origin != kInvalidNode ? conn->splice_origin
+                                                                  : config_.node_id;
+  response.headers.Add("Server", "lard-be" + std::to_string(identity));
   response.headers.Add("Content-Type", "application/octet-stream");
   const bool keep_alive = status != 400 && request.KeepAlive();
   if (!keep_alive) {
@@ -630,15 +734,88 @@ void BackendServer::WriteResponse(ClientConn* conn, const HttpRequest& request, 
     metric_requests_->Increment();
   }
   counters_.bytes_to_clients.fetch_add(response.body.size(), std::memory_order_relaxed);
-  conn->conn->Write(response.Serialize());
+  std::string serialized = response.Serialize();
+  if (conn->splice_pending) {
+    conn->splice_pending = false;
+    if (conn->splice_remaining >= serialized.size()) {
+      // The recorded delivered-prefix exceeds the regenerated response: the
+      // streams cannot be reconciled (content changed?). Closing is the only
+      // honest option — never emit overlapping or short bytes.
+      LARD_LOG(ERROR) << "backend " << config_.node_id << ": replay splice offset "
+                      << conn->splice_remaining << " >= regenerated response size "
+                      << serialized.size() << " on connection " << conn->id << ", closing";
+      CloseClient(conn, /*notify_frontend=*/true);
+      return;
+    }
+    if (conn->splice_remaining > 0) {
+      serialized.erase(0, static_cast<size_t>(conn->splice_remaining));
+      counters_.spliced_responses.fetch_add(1, std::memory_order_relaxed);
+    }
+    conn->splice_remaining = 0;
+  }
+  conn->conn->Write(serialized);
   conn->last_activity_ms = NowMs();
+  if (conn->replay_protected) {
+    // Journal bookkeeping: where (in flushed-byte space) this response ends.
+    conn->enqueued_total += serialized.size();
+    conn->response_ends.push_back(conn->enqueued_total);
+  }
 
   if (!keep_alive) {
+    if (conn->replay_protected && conn->conn->pending_write_bytes() > 0) {
+      // Keep the journal armed until the kernel holds the whole final
+      // response: kConnClosed makes the front-end drop its retained dup, and
+      // a crash between that drop and the flush would lose the response
+      // un-replayably. Close (and notify) once the buffer drains.
+      conn->conn->set_on_write_drained([this, id = conn->id]() {
+        auto it = conns_.find(id);
+        if (it == conns_.end()) {
+          return;
+        }
+        ClientConn* drained = it->second.get();
+        MaybeSendReplayAck(drained);
+        if (drained->conn != nullptr) {
+          drained->conn->CloseAfterFlush();
+        }
+        CloseClient(drained, /*notify_frontend=*/true);
+      });
+      return;
+    }
     conn->conn->CloseAfterFlush();
     CloseClient(conn, /*notify_frontend=*/true);
     return;
   }
+  MaybeSendReplayAck(conn);
   FinishRequest(conn);
+}
+
+void BackendServer::MaybeSendReplayAck(ClientConn* conn) {
+  if (!conn->replay_protected || conn->closed || conn->conn == nullptr) {
+    return;
+  }
+  const uint64_t flushed = conn->conn->bytes_flushed();
+  while (!conn->response_ends.empty() && conn->response_ends.front() <= flushed) {
+    conn->last_completed_end = conn->response_ends.front();
+    conn->response_ends.pop_front();
+    ++conn->completed_responses;
+  }
+  const uint64_t partial = flushed - conn->last_completed_end;
+  if (conn->ack_sent && conn->completed_responses == conn->acked_completed &&
+      partial == conn->acked_partial) {
+    return;  // no news
+  }
+  FramedChannel* channel = FeChannel(conn->fe);
+  if (channel == nullptr) {
+    return;
+  }
+  ReplayAckMsg ack;
+  ack.conn_id = conn->id;
+  ack.completed = conn->completed_responses;
+  ack.partial_bytes = partial;
+  channel->Send(static_cast<uint8_t>(ControlMsg::kReplayAck), EncodeReplayAck(ack));
+  conn->ack_sent = true;
+  conn->acked_completed = conn->completed_responses;
+  conn->acked_partial = partial;
 }
 
 void BackendServer::FinishRequest(ClientConn* conn) {

@@ -59,6 +59,10 @@ struct BackendConfig {
   // Liveness heartbeats to the front-end's health tracker. <= 0 disables
   // (the front-end then relies on control-session EOF alone).
   int64_t heartbeat_interval_ms = 500;
+  // Per-fetch deadline on lateral (peer) fetches: a killed peer's listener
+  // keeps accepting silently until its process dies, and an unbounded wait
+  // would wedge the client connection being served. <= 0 disables.
+  int64_t lateral_timeout_ms = 2000;
   // Optional shared registry; per-node counters are published under
   // lard_backend_*{node="k"}. Must be thread-safe (MetricsRegistry is).
   MetricsRegistry* metrics = nullptr;
@@ -66,6 +70,8 @@ struct BackendConfig {
 
 struct BackendCounters {
   std::atomic<uint64_t> connections_adopted{0};
+  std::atomic<uint64_t> replays_adopted{0};  // crash-replay connections (kReplay)
+  std::atomic<uint64_t> spliced_responses{0};  // responses emitted with a trimmed prefix
   std::atomic<uint64_t> handbacks{0};  // connections migrated away (multiple handoff)
   std::atomic<uint64_t> drain_handbacks{0};  // connections given back while draining
   std::atomic<uint64_t> requests_served{0};     // responses written to clients
@@ -124,6 +130,34 @@ class BackendServer {
     RequestParser parser;
     bool autonomous = false;
     bool closed = false;
+    // Crash-replay journal duty (the front-end journals this connection):
+    // report response-flush progress (kReplayAck) and ship requests the
+    // front-end never parsed (kJournalAppend).
+    bool replay_protected = false;
+    // Splice state of a kReplay adoption: suppress the first splice_remaining
+    // bytes of the first response, emitted under the dead origin node's
+    // Server token so the visible byte stream continues exactly where the
+    // crashed node left off.
+    uint64_t splice_remaining = 0;
+    NodeId splice_origin = kInvalidNode;
+    bool splice_pending = false;
+    // Response-progress bookkeeping (replay_protected only): cumulative
+    // enqueued-byte offset at which each in-flight response ends, compared
+    // against Connection::bytes_flushed() to ack completed responses.
+    std::deque<uint64_t> response_ends;
+    uint64_t enqueued_total = 0;
+    uint64_t completed_responses = 0;
+    uint64_t last_completed_end = 0;
+    uint64_t acked_completed = 0;
+    uint64_t acked_partial = 0;
+    bool ack_sent = false;
+    // Last parser-buffer snapshot shipped to the front-end (kJournalTail);
+    // re-sent only on change, so quiescent connections cost nothing. The
+    // first parse always reports — the front-end may hold a stale tail from
+    // before the adoption (a handback's consult-dropped remainder) that only
+    // an explicit (possibly empty) report can clear.
+    std::string tail_reported;
+    bool tail_ever_reported = false;
     // Requests whose directives arrived with the handoff (batch 1): that many
     // parsed requests must not be re-consulted to the dispatcher.
     size_t preassigned_remaining = 0;
@@ -158,6 +192,12 @@ class BackendServer {
   // Control sessions (one per front-end).
   void OnControlMessage(int fe, uint8_t type, std::string payload, UniqueFd fd);
   void AdoptConnection(int fe, HandoffMsg msg, UniqueFd fd);
+  // Crash replay (kReplay): adopt a connection whose previous node died,
+  // re-serving the journaled tail and splicing the first response.
+  void AdoptReplay(int fe, ReplayMsg msg, UniqueFd fd);
+  // Shared adoption plumbing for kHandoff and kReplay.
+  ClientConn* AdoptCommon(int fe, ConnId conn_id, bool autonomous, bool replay_protected,
+                          std::vector<RequestDirective> directives, UniqueFd fd);
   void OnAssignments(const AssignmentsMsg& msg);
   // The channel to front-end `fe`, or nullptr when absent/closed.
   FramedChannel* FeChannel(int fe);
@@ -185,6 +225,9 @@ class BackendServer {
   void ServeLateral(ClientConn* conn, const HttpRequest& request, NodeId peer,
                     const std::string& path);
   void WriteResponse(ClientConn* conn, const HttpRequest& request, int status, std::string body);
+  // Replay-protected conns: compare flushed bytes against response
+  // boundaries and report fresh progress to the owning front-end's journal.
+  void MaybeSendReplayAck(ClientConn* conn);
   void FinishRequest(ClientConn* conn);
   void CloseClient(ClientConn* conn, bool notify_frontend);
   void ReportIdleIfQuiescent(ClientConn* conn);

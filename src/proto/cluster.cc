@@ -135,6 +135,7 @@ Status Cluster::StartBackend(NodeId node_id, std::vector<UniqueFd>* fe_ends) {
   backend_config.disk_costs = config_.disk_costs;
   backend_config.disk_time_scale = config_.disk_time_scale;
   backend_config.idle_close_ms = config_.idle_close_ms;
+  backend_config.lateral_timeout_ms = config_.lateral_timeout_ms;
   backend_config.heartbeat_interval_ms = config_.heartbeat_interval_ms;
   backend_config.metrics = &metrics_;
   node->server = std::make_unique<BackendServer>(backend_config, node->loop.get(), &store_);
@@ -197,6 +198,10 @@ Status Cluster::Start() {
     fe_config.listen_port = fe == 0 ? config_.listen_port : 0;
     fe_config.heartbeat_timeout_ms = config_.heartbeat_timeout_ms;
     fe_config.retire_grace_ms = config_.retire_grace_ms;
+    fe_config.lateral_timeout_ms = config_.lateral_timeout_ms;
+    fe_config.replay_enabled = config_.replay_enabled;
+    fe_config.replay_journal = config_.replay_journal;
+    fe_config.idempotent_methods = config_.idempotent_methods;
     fe_config.metrics = &metrics_;
     replica->frontend =
         std::make_unique<FrontEnd>(fe_config, replica->loop.get(), &store_.catalog());
@@ -359,6 +364,7 @@ void Cluster::BridgeDispatcherMetrics() {
     counters.nodes_removed += part.nodes_removed;
     counters.orphaned_connections += part.orphaned_connections;
     counters.reassignments += part.reassignments;
+    counters.failure_reassignments += part.failure_reassignments;
     open_connections += Fe(fe)->dispatcher().open_connections();
   }
   metrics_.Gauge("lard_dispatcher_requests")->Set(static_cast<double>(counters.requests));
@@ -375,6 +381,8 @@ void Cluster::BridgeDispatcherMetrics() {
       ->Set(static_cast<double>(counters.orphaned_connections));
   metrics_.Gauge("lard_dispatcher_reassignments")
       ->Set(static_cast<double>(counters.reassignments));
+  metrics_.Gauge("lard_dispatcher_failure_reassignments")
+      ->Set(static_cast<double>(counters.failure_reassignments));
 }
 
 NodeId Cluster::AddNode(double weight) {
@@ -560,6 +568,12 @@ std::vector<uint16_t> Cluster::ports() const {
   return out;
 }
 
+void Cluster::InspectReplica(int fe, const std::function<void(const FrontEnd&)>& fn) const {
+  LARD_CHECK(fe >= 0 && static_cast<size_t>(fe) < fes_.size());
+  RunOnLoop(FeLoop(static_cast<size_t>(fe)),
+            [this, fe, &fn]() { fn(*Fe(static_cast<size_t>(fe))); });
+}
+
 const FrontEnd& Cluster::frontend(int fe) const {
   LARD_CHECK(fe >= 0 && static_cast<size_t>(fe) < fes_.size());
   return *Fe(static_cast<size_t>(fe));
@@ -589,6 +603,8 @@ ClusterSnapshot Cluster::Snapshot() const {
     snapshot.not_found += counters.not_found.load(std::memory_order_relaxed);
     snapshot.migrations += counters.handbacks.load(std::memory_order_relaxed);
     snapshot.drain_handbacks += counters.drain_handbacks.load(std::memory_order_relaxed);
+    snapshot.replays_adopted += counters.replays_adopted.load(std::memory_order_relaxed);
+    snapshot.spliced_responses += counters.spliced_responses.load(std::memory_order_relaxed);
   }
   for (size_t fe = 0; fe < fes_.size(); ++fe) {
     const FrontEndCounters& counters = Fe(fe)->counters();
@@ -596,6 +612,8 @@ ClusterSnapshot Cluster::Snapshot() const {
     snapshot.consults += counters.consults.load();
     snapshot.handoffs += counters.handoffs.load();
     snapshot.rehandoffs += counters.rehandoffs.load();
+    snapshot.replays += counters.replays.load();
+    snapshot.replay_giveups += counters.replay_giveups.load();
     snapshot.heartbeats += counters.heartbeats.load();
     snapshot.auto_removals += counters.auto_removals.load();
     if (config_.mechanism == Mechanism::kRelayingFrontEnd) {

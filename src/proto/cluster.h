@@ -13,6 +13,7 @@
 #define SRC_PROTO_CLUSTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -57,6 +58,8 @@ struct ClusterConfig {
   // 1.0 = paper-faithful disk latencies; tests compress (e.g. 0.02).
   double disk_time_scale = 1.0;
   int64_t idle_close_ms = 15000;
+  // Lateral/relay fetch deadline (wedge guard against silently dead peers).
+  int64_t lateral_timeout_ms = 2000;
   uint16_t listen_port = 0;  // 0 = ephemeral
   // Control plane.
   bool enable_admin = true;
@@ -66,6 +69,12 @@ struct ClusterConfig {
   // Graceful removal: how long a live admin-removed node gets to give its
   // connections back before the hard removal. <= 0 removes immediately.
   int64_t retire_grace_ms = 1000;
+  // Crash-transparent request replay (see FrontEndConfig::replay_enabled):
+  // journaled idempotent requests of a *killed* node's connections are
+  // replayed onto survivors over the retained client sockets.
+  bool replay_enabled = true;
+  ReplayJournalConfig replay_journal;
+  std::vector<std::string> idempotent_methods = {"GET", "HEAD"};
 };
 
 // Snapshot of the whole cluster's counters.
@@ -81,6 +90,10 @@ struct ClusterSnapshot {
   uint64_t migrations = 0;  // multiple-handoff hand-backs
   uint64_t rehandoffs = 0;  // drain/failure givebacks re-handed-off by the FE
   uint64_t drain_handbacks = 0;  // connections the back-ends gave back while draining
+  uint64_t replays = 0;          // crashed-node conns replayed onto survivors
+  uint64_t replay_giveups = 0;   // orphans that could not be replayed (clean 502/close)
+  uint64_t replays_adopted = 0;  // kReplay adoptions counted at the back-ends
+  uint64_t spliced_responses = 0;  // replayed responses emitted with a trimmed prefix
   uint64_t not_found = 0;
   uint64_t heartbeats = 0;
   uint64_t auto_removals = 0;
@@ -119,6 +132,11 @@ class Cluster {
   // open but falls silent, so the front-end must detect the death via
   // missed heartbeats and auto-remove it.
   bool KillNode(NodeId node);
+
+  // Runs `fn` on replica `fe`'s loop thread and waits for it — the
+  // thread-safe way for tests/tools to inspect a replica's dispatcher
+  // (whose state is loop-thread-confined) from outside.
+  void InspectReplica(int fe, const std::function<void(const FrontEnd&)>& fn) const;
 
   // Front-end 0's client port (the only one with a single-FE tier).
   uint16_t port() const;

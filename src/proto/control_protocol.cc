@@ -64,6 +64,7 @@ std::string EncodeHandoff(const HandoffMsg& msg) {
   writer.U8(msg.autonomous ? 1 : 0);
   EncodeDirectives(&writer, msg.directives);
   writer.Str(msg.unparsed_input);
+  writer.U8(msg.replay_protected ? 1 : 0);
   return writer.Take();
 }
 
@@ -75,6 +76,79 @@ bool DecodeHandoff(std::string_view payload, HandoffMsg* msg) {
     return false;
   }
   msg->unparsed_input = reader.Str();
+  msg->replay_protected = reader.U8() != 0;
+  return reader.Complete();
+}
+
+std::string EncodeReplay(const ReplayMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.conn_id);
+  writer.U32(static_cast<uint32_t>(msg.origin_node));
+  writer.U64(msg.splice_offset);
+  writer.U8(msg.autonomous ? 1 : 0);
+  EncodeDirectives(&writer, msg.directives);
+  writer.Str(msg.replay_input);
+  return writer.Take();
+}
+
+bool DecodeReplay(std::string_view payload, ReplayMsg* msg) {
+  WireReader reader(payload);
+  msg->conn_id = reader.U64();
+  msg->origin_node = static_cast<NodeId>(reader.U32());
+  msg->splice_offset = reader.U64();
+  msg->autonomous = reader.U8() != 0;
+  if (!DecodeDirectives(&reader, &msg->directives)) {
+    return false;
+  }
+  msg->replay_input = reader.Str();
+  return reader.Complete();
+}
+
+std::string EncodeReplayAck(const ReplayAckMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.conn_id);
+  writer.U64(msg.completed);
+  writer.U64(msg.partial_bytes);
+  return writer.Take();
+}
+
+bool DecodeReplayAck(std::string_view payload, ReplayAckMsg* msg) {
+  WireReader reader(payload);
+  msg->conn_id = reader.U64();
+  msg->completed = reader.U64();
+  msg->partial_bytes = reader.U64();
+  return reader.Complete();
+}
+
+std::string EncodeJournalAppend(const JournalAppendMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.conn_id);
+  writer.Str(msg.method);
+  writer.Str(msg.path);
+  writer.Str(msg.request_bytes);
+  return writer.Take();
+}
+
+bool DecodeJournalAppend(std::string_view payload, JournalAppendMsg* msg) {
+  WireReader reader(payload);
+  msg->conn_id = reader.U64();
+  msg->method = reader.Str();
+  msg->path = reader.Str();
+  msg->request_bytes = reader.Str();
+  return reader.Complete();
+}
+
+std::string EncodeJournalTail(const JournalTailMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.conn_id);
+  writer.Str(msg.buffered);
+  return writer.Take();
+}
+
+bool DecodeJournalTail(std::string_view payload, JournalTailMsg* msg) {
+  WireReader reader(payload);
+  msg->conn_id = reader.U64();
+  msg->buffered = reader.Str();
   return reader.Complete();
 }
 

@@ -52,6 +52,30 @@ enum class ControlMsg : uint8_t {
   // belongs to (FE join). FE leave is the session's EOF — the back-end then
   // degrades that front-end's connections to autonomous local service.
   kFeHello = 10,
+  // FE -> BE. fd attached: a dup of the client socket of a connection whose
+  // handling node died *uncooperatively* (no kHandback — crash). Payload:
+  // ReplayMsg — the journaled tail of idempotent requests whose responses
+  // never fully reached the client, plus the byte offset of the first
+  // response already relayed. The adopting node re-serves the tail and
+  // splices its first response at that offset so the client sees one
+  // uninterrupted P-HTTP stream.
+  kReplay = 11,
+  // BE -> FE. Payload: ReplayAckMsg. Journal progress: how many responses on
+  // a replay-protected connection have fully reached the kernel socket at
+  // this node, and how many bytes of the next one have. The front-end trims
+  // its journal to the unacknowledged tail.
+  kReplayAck = 12,
+  // BE -> FE. Payload: JournalAppendMsg. A request parsed at the back-end
+  // that the front-end never saw (pipelined after the handoff batch): its
+  // serialized bytes join the front-end's replay journal so a later crash
+  // can replay it.
+  kJournalAppend = 13,
+  // BE -> FE. Payload: JournalTailMsg — the back-end parser's current
+  // *unparsed* buffer (the prefix of a request still incomplete), sent
+  // whenever it changes. Without it, a crash that caught the node mid-read
+  // would leave the request's consumed prefix unrecoverable: the surviving
+  // node would see only the torn suffix from the socket and 400 the client.
+  kJournalTail = 14,
 };
 
 // One request directive inside kHandoff / kAssignments.
@@ -90,6 +114,10 @@ struct HandoffMsg {
   // Raw bytes the FE read but did not parse (suffix of a partial request);
   // must be replayed into the back-end's parser before new socket data.
   std::string unparsed_input;
+  // The front-end journals this connection for crash replay: the back-end
+  // must report response progress (kReplayAck) and ship requests the
+  // front-end never parsed (kJournalAppend).
+  bool replay_protected = false;
 };
 
 struct ConsultMsg {
@@ -127,11 +155,72 @@ struct HeartbeatMsg {
   uint32_t active_conns = 0;
 };
 
+// Crash replay (kReplay): everything the adopting node needs to continue a
+// connection whose handling node died without handing it back. The fd rides
+// on the frame (a dup the front-end retained at handoff time).
+struct ReplayMsg {
+  ConnId conn_id = 0;
+  // The dead node's identity. The spliced first response must be
+  // byte-identical to what the dead node was sending, so the adopting node
+  // emits it under this node's Server token.
+  NodeId origin_node = kInvalidNode;
+  // Bytes of the first replayed request's response that already reached the
+  // client; the adopting node suppresses exactly this prefix of its
+  // regenerated first response (the splice).
+  uint64_t splice_offset = 0;
+  // Serve without consulting the dispatcher (mirrors HandoffMsg.autonomous).
+  bool autonomous = false;
+  // One directive per replayed request, paired FIFO with replay_input.
+  std::vector<RequestDirective> directives;
+  // The journaled unacknowledged requests, re-serialized in order.
+  std::string replay_input;
+};
+
+// Journal progress report (kReplayAck). `completed` counts responses fully
+// flushed to the kernel socket at the reporting node since it adopted the
+// connection; `partial_bytes` is how much of response `completed + 1` has.
+struct ReplayAckMsg {
+  ConnId conn_id = 0;
+  uint64_t completed = 0;
+  uint64_t partial_bytes = 0;
+};
+
+// Journal append (kJournalAppend): a request the back-end parsed beyond the
+// handoff batch, re-serialized so the front-end's journal stays complete.
+// Method and path ride along so the front-end applies its idempotency policy
+// without re-parsing.
+struct JournalAppendMsg {
+  ConnId conn_id = 0;
+  std::string method;
+  std::string path;
+  std::string request_bytes;
+};
+
+// Parser-buffer snapshot (kJournalTail): replaces the journal's stored
+// partial tail for the connection (empty = the buffer drained into a
+// complete, separately-appended request).
+struct JournalTailMsg {
+  ConnId conn_id = 0;
+  std::string buffered;
+};
+
 std::string EncodeHeartbeat(const HeartbeatMsg& msg);
 bool DecodeHeartbeat(std::string_view payload, HeartbeatMsg* msg);
 
 std::string EncodeHandoff(const HandoffMsg& msg);
 bool DecodeHandoff(std::string_view payload, HandoffMsg* msg);
+
+std::string EncodeReplay(const ReplayMsg& msg);
+bool DecodeReplay(std::string_view payload, ReplayMsg* msg);
+
+std::string EncodeReplayAck(const ReplayAckMsg& msg);
+bool DecodeReplayAck(std::string_view payload, ReplayAckMsg* msg);
+
+std::string EncodeJournalAppend(const JournalAppendMsg& msg);
+bool DecodeJournalAppend(std::string_view payload, JournalAppendMsg* msg);
+
+std::string EncodeJournalTail(const JournalTailMsg& msg);
+bool DecodeJournalTail(std::string_view payload, JournalTailMsg* msg);
 
 std::string EncodeHandback(const HandbackMsg& msg);
 bool DecodeHandback(std::string_view payload, HandbackMsg* msg);

@@ -1,5 +1,6 @@
 #include "src/proto/frontend.h"
 
+#include <fcntl.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <time.h>
@@ -37,7 +38,7 @@ class FrontEnd::DiskTable final : public BackendStatsProvider {
 };
 
 FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCatalog* catalog)
-    : config_(config), loop_(loop), catalog_(catalog) {
+    : config_(config), loop_(loop), catalog_(catalog), journal_(config.replay_journal) {
   LARD_CHECK(loop_ != nullptr);
   LARD_CHECK(catalog_ != nullptr);
   LARD_CHECK(config_.mechanism == Mechanism::kSingleHandoff ||
@@ -78,6 +79,8 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCa
     metric_heartbeats_ = config_.metrics->Counter("lard_fe_heartbeats_total");
     metric_connections_ = config_.metrics->Counter("lard_fe_connections_total");
     metric_rehandoffs_ = config_.metrics->Counter("lard_fe_rehandoffs_total");
+    metric_replays_ = config_.metrics->Counter("lard_fe_replays_total");
+    metric_replay_giveups_ = config_.metrics->Counter("lard_fe_replay_giveups_total");
     if (config_.num_frontends > 1) {
       // The unlabelled instruments stay cluster totals (every replica
       // increments them); the {fe="k"} twins attribute work to a replica.
@@ -353,8 +356,8 @@ NodeId FrontEnd::AddNode(UniqueFd control_fd, uint16_t backend_http_port, double
     if (static_cast<size_t>(node) >= relays_.size()) {
       relays_.resize(static_cast<size_t>(node) + 1);
     }
-    relays_[static_cast<size_t>(node)] =
-        std::make_unique<LateralClient>(loop_, backend_http_port);
+    relays_[static_cast<size_t>(node)] = std::make_unique<LateralClient>(
+        loop_, backend_http_port, config_.lateral_timeout_ms);
   }
   if (metric_active_nodes_ != nullptr) {
     metric_active_nodes_->Set(dispatcher_->active_node_count());
@@ -421,14 +424,29 @@ bool FrontEnd::RemoveNodeInternal(NodeId node, const char* reason) {
   if (node < 0 || node >= dispatcher_->num_node_slots()) {
     return false;
   }
+  // Admin-initiated removals (including retire completion/expiry) are not
+  // detected failures.
+  const bool detected_failure = std::strcmp(reason, "admin remove") != 0 &&
+                                std::strcmp(reason, "retired") != 0 &&
+                                std::strcmp(reason, "retire grace expired") != 0;
+  NodeLink* link =
+      static_cast<size_t>(node) < nodes_.size() ? &nodes_[static_cast<size_t>(node)] : nullptr;
+  // Single failure epoch per node: heartbeat loss and control-session EOF
+  // can both fire for one dead node (the EOF arrives as a deferred post);
+  // the second detection must be a no-op so orphans are never reassigned or
+  // replayed twice.
+  if (detected_failure && link != nullptr && link->failure_epoch != 0) {
+    return false;
+  }
   retiring_.erase(node);
   std::vector<ConnId> orphans;
   const bool dispatcher_removed = dispatcher_->RemoveNode(node, &orphans);
-  NodeLink* link =
-      static_cast<size_t>(node) < nodes_.size() ? &nodes_[static_cast<size_t>(node)] : nullptr;
   const bool had_channel = link != nullptr && link->control != nullptr;
   if (!dispatcher_removed && !had_channel) {
     return false;  // already fully removed
+  }
+  if (detected_failure && link != nullptr) {
+    link->failure_epoch = next_failure_epoch_++;
   }
   for (const ConnId conn : orphans) {
     live_in_dispatcher_.erase(conn);
@@ -436,11 +454,27 @@ bool FrontEnd::RemoveNodeInternal(NodeId node, const char* reason) {
   if (had_channel) {
     link->control.reset();  // closes the session; the back-end sees EOF
   }
-  // Admin-initiated removals (including retire completion/expiry) are not
-  // detected failures.
-  const bool detected_failure = std::strcmp(reason, "admin remove") != 0 &&
-                                std::strcmp(reason, "retired") != 0 &&
-                                std::strcmp(reason, "retire grace expired") != 0;
+  // The failure-replay pass: with the dead channel gone and the node marked
+  // dead in the dispatcher, each orphaned connection either continues on a
+  // survivor (journal tail replayed over kReplay) or fails cleanly. A
+  // connection currently being placed by an outer PickLiveNode is left to
+  // that caller.
+  uint64_t replayed = 0;
+  for (const ConnId conn : orphans) {
+    if (conn == placement_in_progress_) {
+      continue;
+    }
+    if (detected_failure) {
+      TryReplayOrphan(conn, node);
+    }
+    if (live_in_dispatcher_.count(conn) == 0) {
+      // Not resurrected: release the retained dup so the client sees the
+      // connection actually close.
+      journal_.Drop(conn);
+    } else {
+      ++replayed;
+    }
+  }
   if (detected_failure) {
     counters_.auto_removals.fetch_add(1, std::memory_order_relaxed);
     if (metric_auto_removals_ != nullptr) {
@@ -451,8 +485,9 @@ bool FrontEnd::RemoveNodeInternal(NodeId node, const char* reason) {
     metric_active_nodes_->Set(dispatcher_->active_node_count());
   }
   LARD_LOG(WARNING) << "front-end: node " << node << " removed (" << reason << "), "
-                    << orphans.size() << " connections orphaned, "
-                    << dispatcher_->active_node_count() << " active nodes remain";
+                    << orphans.size() << " connections orphaned, " << replayed
+                    << " replayed onto survivors, " << dispatcher_->active_node_count()
+                    << " active nodes remain";
   if (on_node_removed_) {
     on_node_removed_(node);
   }
@@ -485,7 +520,13 @@ std::string FrontEnd::DescribeNodesJson() const {
   out << "{\"policy\":\"" << dispatcher_->policy().display_name() << "\",\"policy_key\":\""
       << dispatcher_->policy().name() << "\",\"mechanism\":\""
       << MechanismName(config_.mechanism) << "\",\"active_nodes\":"
-      << dispatcher_->active_node_count() << ",\"nodes\":[";
+      << dispatcher_->active_node_count()
+      << ",\"replay_enabled\":" << (ReplayEligible() ? "true" : "false")
+      << ",\"replays_total\":" << counters_.replays.load(std::memory_order_relaxed)
+      << ",\"replay_giveups_total\":"
+      << counters_.replay_giveups.load(std::memory_order_relaxed)
+      << ",\"journaled_connections\":" << journal_.tracked_connections()
+      << ",\"journal_overflows\":" << journal_.overflows() << ",\"nodes\":[";
   for (NodeId node = 0; node < dispatcher_->num_node_slots(); ++node) {
     if (node > 0) {
       out << ",";
@@ -506,6 +547,9 @@ std::string FrontEnd::DescribeNodesJson() const {
           << (state == NodeState::kDead || !link.heartbeat_seen
                   ? -1
                   : now - link.last_heartbeat_ms);
+      // 0 = never failed; otherwise the (monotone) epoch stamped when this
+      // node's death was detected and its orphans were replayed or shed.
+      out << ",\"failure_epoch\":" << link.failure_epoch;
     }
     out << "}";
   }
@@ -517,7 +561,8 @@ void FrontEnd::ConnectBackends(const std::vector<uint16_t>& backend_http_ports) 
   LARD_CHECK(backend_http_ports.size() >= static_cast<size_t>(config_.num_nodes));
   relays_.clear();
   for (size_t node = 0; node < backend_http_ports.size(); ++node) {
-    relays_.push_back(std::make_unique<LateralClient>(loop_, backend_http_ports[node]));
+    relays_.push_back(std::make_unique<LateralClient>(loop_, backend_http_ports[node],
+                                                      config_.lateral_timeout_ms));
   }
 }
 
@@ -691,6 +736,7 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
   HandoffMsg msg;
   msg.conn_id = conn->id;
   msg.autonomous = AutonomousHandoffs();
+  msg.replay_protected = ReplayEligible();
   msg.directives.reserve(assignments.size());
   for (size_t i = 0; i < assignments.size(); ++i) {
     msg.directives.push_back(DirectiveFor(paths[i], assignments[i]));
@@ -701,6 +747,27 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
   msg.unparsed_input = std::move(conn->raw_bytes);
 
   Connection::Detached detached = conn->conn->Detach();
+  if (msg.replay_protected) {
+    // Retain a dup of the client socket: if the handling node later dies
+    // without handing the connection back, this is the handle that lets a
+    // surviving node continue the very same TCP connection. The journal's
+    // first entries are the batch we parsed here.
+    UniqueFd retained(::fcntl(detached.fd.get(), F_DUPFD_CLOEXEC, 3));
+    if (retained.valid()) {
+      journal_.Track(conn->id, std::move(retained));
+      for (const HttpRequest& request : requests) {
+        ReplayJournal::Entry entry;
+        entry.bytes = request.Serialize();
+        entry.method = request.method;
+        entry.path = request.path;
+        entry.idempotent = IsIdempotent(request.method);
+        journal_.Append(conn->id, std::move(entry));
+      }
+      // The unparsed suffix of batch 1 (a request still incomplete) ships in
+      // the handoff and must survive a crash of the adopting node too.
+      journal_.SetPartialTail(conn->id, conn->parser.buffered());
+    }
+  }
   nodes_[static_cast<size_t>(node)].control->SendWithFd(
       static_cast<uint8_t>(ControlMsg::kHandoff), EncodeHandoff(msg), std::move(detached.fd));
   counters_.handoffs.fetch_add(1, std::memory_order_relaxed);
@@ -825,6 +892,7 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
       bool resurrected = false;
       if (live_in_dispatcher_.count(msg.conn_id) == 0) {
         if (dispatcher_->HandlingNode(msg.conn_id) != kInvalidNode) {
+          journal_.Drop(msg.conn_id);
           return;  // connection closed in flight; drop the fd (RAII closes it)
         }
         // Failure re-handoff: the dispatcher orphaned this connection when
@@ -835,10 +903,14 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
         live_in_dispatcher_.insert(msg.conn_id);
         resurrected = true;
       }
+      // The connection changes nodes with everything flushed: the journal
+      // restarts from exactly the requests the handback replays.
+      RebuildJournalFromHandback(msg.conn_id, msg);
       if (!resurrected && msg.target_node != kInvalidNode && NodeLive(msg.target_node)) {
         HandoffMsg handoff;
         handoff.conn_id = msg.conn_id;
         handoff.autonomous = false;
+        handoff.replay_protected = journal_.Tracks(msg.conn_id);
         handoff.directives = std::move(msg.directives);
         handoff.unparsed_input = std::move(msg.replay_input);
         nodes_[static_cast<size_t>(msg.target_node)].control->SendWithFd(
@@ -847,6 +919,38 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
         return;
       }
       RehandoffConnection(node, std::move(msg), std::move(fd));
+      return;
+    }
+    case ControlMsg::kReplayAck: {
+      ReplayAckMsg msg;
+      if (!DecodeReplayAck(payload, &msg)) {
+        LARD_LOG(ERROR) << "front-end: bad replay ack from node " << node;
+        return;
+      }
+      journal_.Ack(msg.conn_id, msg.completed, msg.partial_bytes);
+      return;
+    }
+    case ControlMsg::kJournalAppend: {
+      JournalAppendMsg msg;
+      if (!DecodeJournalAppend(payload, &msg)) {
+        LARD_LOG(ERROR) << "front-end: bad journal append from node " << node;
+        return;
+      }
+      ReplayJournal::Entry entry;
+      entry.bytes = std::move(msg.request_bytes);
+      entry.idempotent = IsIdempotent(msg.method);
+      entry.method = std::move(msg.method);
+      entry.path = std::move(msg.path);
+      journal_.Append(msg.conn_id, std::move(entry));
+      return;
+    }
+    case ControlMsg::kJournalTail: {
+      JournalTailMsg msg;
+      if (!DecodeJournalTail(payload, &msg)) {
+        LARD_LOG(ERROR) << "front-end: bad journal tail from node " << node;
+        return;
+      }
+      journal_.SetPartialTail(msg.conn_id, std::move(msg.buffered));
       return;
     }
     case ControlMsg::kConsult: {
@@ -867,8 +971,13 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
     }
     case ControlMsg::kConnClosed: {
       uint64_t conn_id = 0;
-      if (DecodeU64(payload, &conn_id) && live_in_dispatcher_.erase(conn_id) > 0) {
-        dispatcher_->OnConnectionClose(conn_id);
+      if (DecodeU64(payload, &conn_id)) {
+        if (live_in_dispatcher_.erase(conn_id) > 0) {
+          dispatcher_->OnConnectionClose(conn_id);
+        }
+        // Release the retained dup: the TCP connection must actually close
+        // (FIN) once the back-end lets go.
+        journal_.Drop(conn_id);
       }
       if (retiring_.count(node) != 0) {
         // Deferred: finalizing tears down the channel we are called from.
@@ -909,6 +1018,40 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
   }
 }
 
+NodeId FrontEnd::PickLiveNode(ConnId conn, const std::vector<TargetId>& pending,
+                              Dispatcher::ReassignReason reason) {
+  // Ask the dispatcher for a fresh placement. A pick whose control session
+  // already died (its deferred removal not yet processed) would be offered
+  // again on a plain retry — load affinity and the attempt's own cache
+  // seeding keep steering back to it — so process that removal *now* and
+  // re-pick; each such round removes a node, which bounds the loop.
+  const ConnId outer_placement = placement_in_progress_;
+  placement_in_progress_ = conn;
+  NodeId target = kInvalidNode;
+  const int max_attempts = dispatcher_->num_node_slots();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const NodeId pick = dispatcher_->ReassignConnection(conn, pending, reason);
+    if (pick == kInvalidNode) {
+      break;
+    }
+    if (NodeLive(pick)) {
+      target = pick;
+      break;
+    }
+    // Tearing the stale session down here is safe (the caller's own channel,
+    // if any, is live — it just delivered a message). The removal orphans
+    // the connection we just parked on the dead pick; resurrect it for the
+    // next attempt.
+    RemoveNodeInternal(pick, "control session lost");
+    if (live_in_dispatcher_.count(conn) == 0) {
+      dispatcher_->OnConnectionOpen(conn);
+      live_in_dispatcher_.insert(conn);
+    }
+  }
+  placement_in_progress_ = outer_placement;
+  return target;
+}
+
 void FrontEnd::RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd fd) {
   // Seed the new node's virtual cache with the connection's unserved local
   // targets so affinity-aware policies pick a node that will serve them well.
@@ -919,38 +1062,15 @@ void FrontEnd::RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd f
     }
   }
 
-  // Ask the dispatcher for a fresh placement. A pick whose control session
-  // already died (its deferred removal not yet processed) would be offered
-  // again on a plain retry — load affinity and the attempt's own cache
-  // seeding keep steering back to it — so process that removal *now* and
-  // re-pick; each such round removes a node, which bounds the loop.
-  NodeId target = kInvalidNode;
-  const int max_attempts = dispatcher_->num_node_slots();
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    const NodeId pick = dispatcher_->ReassignConnection(msg.conn_id, pending);
-    if (pick == kInvalidNode) {
-      break;
-    }
-    if (NodeLive(pick)) {
-      target = pick;
-      break;
-    }
-    // Not our own channel (from_node is live — it just sent this message),
-    // so tearing the stale session down here is safe. The removal orphans
-    // the connection we just parked on the dead pick; resurrect it for the
-    // next attempt.
-    RemoveNodeInternal(pick, "control session lost");
-    if (live_in_dispatcher_.count(msg.conn_id) == 0) {
-      dispatcher_->OnConnectionOpen(msg.conn_id);
-      live_in_dispatcher_.insert(msg.conn_id);
-    }
-  }
+  const NodeId target =
+      PickLiveNode(msg.conn_id, pending, Dispatcher::ReassignReason::kDrain);
   if (target == kInvalidNode) {
     // No assignable node: shed the client with a best-effort 503 on the raw
     // socket instead of a silent reset.
     if (live_in_dispatcher_.erase(msg.conn_id) > 0) {
       dispatcher_->OnConnectionClose(msg.conn_id);
     }
+    journal_.Drop(msg.conn_id);
     static constexpr char kUnavailable[] =
         "HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n";
     (void)!::send(fd.get(), kUnavailable, sizeof(kUnavailable) - 1, MSG_NOSIGNAL);
@@ -963,6 +1083,7 @@ void FrontEnd::RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd f
   HandoffMsg handoff;
   handoff.conn_id = msg.conn_id;
   handoff.autonomous = AutonomousHandoffs();
+  handoff.replay_protected = journal_.Tracks(msg.conn_id);
   handoff.directives = std::move(msg.directives);
   handoff.unparsed_input = std::move(msg.replay_input);
   nodes_[static_cast<size_t>(target)].control->SendWithFd(
@@ -990,6 +1111,162 @@ void FrontEnd::RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd f
     // Deferred: finalizing tears down the channel this handback arrived on.
     loop_->Post(alive_.Guard([this, from_node]() { MaybeFinalizeRetire(from_node); }));
   }
+}
+
+bool FrontEnd::IsIdempotent(const std::string& method) const {
+  for (const std::string& allowed : config_.idempotent_methods) {
+    if (method == allowed) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FrontEnd::RebuildJournalFromHandback(ConnId conn, const HandbackMsg& msg) {
+  if (!journal_.Tracks(conn)) {
+    return;
+  }
+  RequestParser parser;
+  std::vector<HttpRequest> requests;
+  if (parser.Feed(msg.replay_input, &requests) == RequestParser::State::kError) {
+    journal_.Drop(conn);  // unparseable replay stream: protection off
+    return;
+  }
+  // Only the requests with shipped directives restart the journal here; the
+  // consult-dropped remainder re-parses at the new node, which journal-
+  // appends them (same order, same channel). The stream's unparsed suffix
+  // becomes the partial tail.
+  std::vector<ReplayJournal::Entry> entries;
+  const size_t count = std::min(requests.size(), msg.directives.size());
+  entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ReplayJournal::Entry entry;
+    entry.bytes = requests[i].Serialize();
+    entry.method = requests[i].method;
+    entry.path = requests[i].path;
+    entry.idempotent = IsIdempotent(requests[i].method);
+    entries.push_back(std::move(entry));
+  }
+  // The consult-dropped remainder rides as raw tail bytes until the adopting
+  // node's own appends + tail report replace it (same channel, ordered) —
+  // otherwise a crash in that window would lose requests only the handback
+  // stream ever carried.
+  std::string tail;
+  for (size_t i = count; i < requests.size(); ++i) {
+    tail += requests[i].Serialize();
+  }
+  tail += parser.buffered();
+  journal_.Rebuild(conn, std::move(entries), std::move(tail));
+}
+
+void FrontEnd::TryReplayOrphan(ConnId conn, NodeId dead_node) {
+  ReplayJournal::Plan plan = journal_.PlanFor(conn);
+  if (!plan.tracked) {
+    return;  // unprotected connection (replay off, or the handoff dup failed)
+  }
+  const int raw_fd = journal_.client_fd(conn);
+  const auto give_up = [&](const char* why, int status) {
+    counters_.replay_giveups.fetch_add(1, std::memory_order_relaxed);
+    if (metric_replay_giveups_ != nullptr) {
+      metric_replay_giveups_->Increment();
+    }
+    // A clean error beats a spliced half-response — but once response bytes
+    // already reached the client, injecting anything would corrupt the
+    // stream mid-body; closing is the only honest signal then.
+    if (!plan.mid_response && raw_fd >= 0) {
+      const std::string reply = "HTTP/1.0 " + std::to_string(status) + " " +
+                                ReasonPhrase(status) + "\r\nContent-Length: 0\r\n\r\n";
+      (void)!::send(raw_fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+    }
+    if (raw_fd >= 0) {
+      // The dead node's fd copies keep the socket open (a crashed process
+      // in-process never closes them), so actively FIN the connection —
+      // shutdown() acts on the socket, not this dup — instead of leaving
+      // the client to its read timeout.
+      (void)::shutdown(raw_fd, SHUT_RDWR);
+    }
+    journal_.Drop(conn);
+    LARD_LOG(WARNING) << "front-end: connection " << conn << " lost with node " << dead_node
+                      << " (" << why << ")";
+  };
+  if (raw_fd < 0) {
+    give_up("no retained socket", 502);
+    return;
+  }
+  if (!plan.replayable) {
+    // Non-idempotent request in the unacknowledged tail (or journal
+    // overflow): replaying could repeat a side effect, so fail cleanly.
+    give_up("tail not replayable", 502);
+    return;
+  }
+
+  // Resurrect the connection in the dispatcher and place it on a survivor,
+  // seeding the pick's virtual cache with the tail it is about to serve.
+  dispatcher_->OnConnectionOpen(conn);
+  live_in_dispatcher_.insert(conn);
+  std::vector<TargetId> pending;
+  pending.reserve(plan.entries.size());
+  for (const ReplayJournal::Entry& entry : plan.entries) {
+    pending.push_back(catalog_->Find(entry.path));
+  }
+  const NodeId target = PickLiveNode(conn, pending, Dispatcher::ReassignReason::kFailure);
+  if (target == kInvalidNode) {
+    if (live_in_dispatcher_.erase(conn) > 0) {
+      dispatcher_->OnConnectionClose(conn);
+    }
+    counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
+    give_up("no assignable node", 503);
+    return;
+  }
+
+  UniqueFd ship(::fcntl(raw_fd, F_DUPFD_CLOEXEC, 3));
+  if (!ship.valid()) {
+    if (live_in_dispatcher_.erase(conn) > 0) {
+      dispatcher_->OnConnectionClose(conn);
+    }
+    give_up("dup failed", 502);
+    return;
+  }
+
+  ReplayMsg msg;
+  msg.conn_id = conn;
+  msg.origin_node = dead_node;
+  msg.splice_offset = plan.splice_offset;
+  msg.autonomous = AutonomousHandoffs();
+  msg.directives.reserve(plan.entries.size());
+  std::string replay_input;
+  for (const ReplayJournal::Entry& entry : plan.entries) {
+    RequestDirective directive;
+    directive.path = entry.path;
+    msg.directives.push_back(std::move(directive));
+    replay_input += entry.bytes;
+  }
+  // The dead node's consumed-but-incomplete request prefix: the suffix still
+  // in the client socket completes it at the adopting node.
+  replay_input += plan.partial_tail;
+  msg.replay_input = std::move(replay_input);
+  journal_.NoteReplaySent(conn);
+  nodes_[static_cast<size_t>(target)].control->SendWithFd(
+      static_cast<uint8_t>(ControlMsg::kReplay), EncodeReplay(msg), std::move(ship));
+  counters_.replays.fetch_add(1, std::memory_order_relaxed);
+  if (metric_replays_ != nullptr) {
+    metric_replays_->Increment();
+  }
+  if (nodes_[static_cast<size_t>(target)].handoff_counter != nullptr) {
+    nodes_[static_cast<size_t>(target)].handoff_counter->Increment();
+  }
+  if (MeshEnabled()) {
+    // The reassignment seeded `target`'s virtual cache; tell the peers.
+    std::vector<Assignment> seeded(pending.size());
+    for (Assignment& assignment : seeded) {
+      assignment.node = target;
+    }
+    RecordFetchHints(pending, seeded);
+  }
+  LARD_LOG(INFO) << "front-end: replayed connection " << conn << " from dead node " << dead_node
+                 << " onto node " << target << " (" << plan.entries.size()
+                 << " requests + " << plan.partial_tail.size()
+                 << " partial-tail bytes, splice offset " << plan.splice_offset << ")";
 }
 
 void FrontEnd::HandleConsult(NodeId node, const ConsultMsg& msg) {

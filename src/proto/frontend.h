@@ -51,6 +51,7 @@
 #include "src/net/framed_channel.h"
 #include "src/proto/control_protocol.h"
 #include "src/proto/lateral_client.h"
+#include "src/proto/replay_journal.h"
 #include "src/trace/trace.h"
 #include "src/util/liveness.h"
 #include "src/util/metrics.h"
@@ -82,6 +83,8 @@ struct FrontEndConfig {
   LardParams params;
   uint64_t virtual_cache_bytes = 32ull * 1024 * 1024;
   uint16_t listen_port = 0;  // 0 = pick a free port
+  // Relay-mode back-end fetch deadline (see BackendConfig::lateral_timeout_ms).
+  int64_t lateral_timeout_ms = 2000;
   // A back-end silent (no heartbeat, no disk report) for this long is
   // declared dead and auto-removed. <= 0 disables liveness tracking (the
   // control-session-EOF path still removes crashed nodes).
@@ -90,6 +93,19 @@ struct FrontEndConfig {
   // its connections back (re-handoff); after this grace period whatever is
   // left is hard-removed. <= 0 removes immediately (old drop semantics).
   int64_t retire_grace_ms = 1000;
+  // Crash-transparent request replay: the front-end retains a dup of every
+  // handed-off client socket plus a bounded journal of unacknowledged
+  // requests, and when a back-end dies *without* handing its connections
+  // back (kill, missed heartbeats, control EOF) the orphans are re-handed
+  // off to survivors with the journaled idempotent tail replayed and the
+  // response stream spliced at the recorded offset. Only meaningful for the
+  // handoff mechanisms (relaying keeps connections at the front-end).
+  bool replay_enabled = true;
+  ReplayJournalConfig replay_journal;
+  // Methods whose requests may be replayed after a crash (the journal's
+  // idempotency policy). A non-idempotent request in the unacknowledged tail
+  // turns the crash into a clean 502/close for that client instead.
+  std::vector<std::string> idempotent_methods = {"GET", "HEAD"};
   // Optional shared registry (lard_fe_*, lard_cluster_* instruments).
   MetricsRegistry* metrics = nullptr;
 };
@@ -101,6 +117,8 @@ struct FrontEndCounters {
   std::atomic<uint64_t> relayed_requests{0};
   std::atomic<uint64_t> migrations{0};  // hand-backs relayed (multiple handoff)
   std::atomic<uint64_t> rehandoffs{0};  // drain givebacks re-handed-off to a new node
+  std::atomic<uint64_t> replays{0};  // crashed-node conns re-handed-off with a journal replay
+  std::atomic<uint64_t> replay_giveups{0};  // orphans unreplayable (non-idempotent/overflow/no node)
   std::atomic<uint64_t> heartbeats{0};
   std::atomic<uint64_t> auto_removals{0};  // nodes declared dead by health tracking
   std::atomic<uint64_t> rejected_no_backend{0};  // 503s with zero assignable nodes
@@ -183,6 +201,11 @@ class FrontEnd {
     bool heartbeat_seen = false;     // a real kHeartbeat arrived (age is valid)
     uint64_t heartbeat_seq = 0;
     uint32_t reported_conns = 0;
+    // Non-zero once this node's *detected* failure (heartbeat loss or
+    // control EOF) has been processed. Heartbeat loss and session EOF can
+    // both fire for one dead node; the epoch makes detection idempotent so
+    // orphans are never replayed or reassigned twice.
+    uint64_t failure_epoch = 0;
     MetricCounter* handoff_counter = nullptr;
   };
 
@@ -203,6 +226,26 @@ class FrontEnd {
   // dispatcher and re-handoff; 503-close the client when no node is
   // assignable.
   void RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd fd);
+  // Asks the dispatcher for a live placement of `conn`, processing stale
+  // dead-pick removals along the way (shared by the drain re-handoff and the
+  // crash-replay paths). Returns kInvalidNode when nothing is assignable.
+  NodeId PickLiveNode(ConnId conn, const std::vector<TargetId>& pending,
+                      Dispatcher::ReassignReason reason);
+
+  // --- crash-transparent replay ---
+
+  // The journal applies to handed-off connections only (never relaying).
+  bool ReplayEligible() const {
+    return config_.replay_enabled && config_.mechanism != Mechanism::kRelayingFrontEnd;
+  }
+  bool IsIdempotent(const std::string& method) const;
+  // Restarts `conn`'s journal from the unserved requests a handback carries
+  // (cooperative node change: drain giveback or migration relay).
+  void RebuildJournalFromHandback(ConnId conn, const HandbackMsg& msg);
+  // Crash path for one orphaned connection of `dead_node`: replay the
+  // journaled idempotent tail onto a surviving node over kReplay, or give up
+  // cleanly (best-effort 502/close, counted).
+  void TryReplayOrphan(ConnId conn, NodeId dead_node);
   // Completes a graceful admin removal once `node`'s connections migrated
   // away (or its grace period expired).
   void MaybeFinalizeRetire(NodeId node);
@@ -265,6 +308,15 @@ class FrontEnd {
   ConnId next_conn_id_ = 1;
   std::function<void(NodeId)> on_node_removed_;
 
+  // Crash replay: the retained client fds + unacknowledged request tails.
+  ReplayJournal journal_;
+  // Monotone counter stamped into NodeLink::failure_epoch per detected death.
+  uint64_t next_failure_epoch_ = 1;
+  // The connection PickLiveNode is currently placing (0 = none): a nested
+  // stale-pick removal must leave it to the outer caller instead of
+  // replaying it a second time.
+  ConnId placement_in_progress_ = 0;
+
   // The mesh (num_frontends > 1; null otherwise).
   std::unique_ptr<MeshStateTable> mesh_;
   std::map<uint32_t, std::unique_ptr<FramedChannel>> fe_peers_;
@@ -280,6 +332,8 @@ class FrontEnd {
   MetricCounter* metric_heartbeats_ = nullptr;
   MetricCounter* metric_connections_ = nullptr;
   MetricCounter* metric_rehandoffs_ = nullptr;
+  MetricCounter* metric_replays_ = nullptr;
+  MetricCounter* metric_replay_giveups_ = nullptr;
   // Per-FE labelled twins (replicated tier only; null otherwise).
   MetricCounter* metric_fe_connections_ = nullptr;
   MetricCounter* metric_fe_handoffs_ = nullptr;

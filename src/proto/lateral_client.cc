@@ -5,8 +5,8 @@
 
 namespace lard {
 
-LateralClient::LateralClient(EventLoop* loop, uint16_t peer_port)
-    : loop_(loop), peer_port_(peer_port) {}
+LateralClient::LateralClient(EventLoop* loop, uint16_t peer_port, int64_t timeout_ms)
+    : loop_(loop), peer_port_(peer_port), timeout_ms_(timeout_ms) {}
 
 bool LateralClient::EnsureConnected() {
   if (conn_ != nullptr && conn_->open()) {
@@ -38,6 +38,26 @@ void LateralClient::Fetch(const std::string& path, FetchCallback callback) {
   pending_.push_back(std::move(callback));
   std::string request = "GET " + path + " HTTP/1.1\r\nHost: lateral\r\n\r\n";
   conn_->Write(request);
+  if (timeout_ms_ > 0) {
+    // Deadline for this fetch: responses are FIFO, so it has been answered
+    // iff the completed count passed its issue number by then. A silent peer
+    // (killed node whose listener still accepts) fails the pipeline instead
+    // of wedging it — and the client connection being served with it.
+    loop_->ScheduleAfterMs(timeout_ms_, alive_.Guard([this, expected = fetches_issued_]() {
+                             if (fetches_completed_ >= expected) {
+                               return;
+                             }
+                             ++fetches_timed_out_;
+                             LARD_LOG(WARNING)
+                                 << "lateral peer :" << peer_port_
+                                 << " silent for " << timeout_ms_ << "ms, failing "
+                                 << pending_.size() << " in-flight fetches";
+                             if (conn_ != nullptr) {
+                               conn_->Close();
+                             }
+                             OnClose();
+                           }));
+  }
 }
 
 void LateralClient::OnData(std::string_view data) {
@@ -52,6 +72,7 @@ void LateralClient::OnData(std::string_view data) {
     LARD_CHECK(!pending_.empty()) << "lateral response without a pending fetch";
     FetchCallback callback = std::move(pending_.front());
     pending_.pop_front();
+    ++fetches_completed_;
     callback(response.status, std::move(response.body));
   }
 }
@@ -62,6 +83,7 @@ void LateralClient::OnClose() {
   // deferred to the next loop tick.
   std::deque<FetchCallback> failed;
   failed.swap(pending_);
+  fetches_completed_ += failed.size();
   if (conn_ != nullptr) {
     std::shared_ptr<Connection> dead(conn_.release());
     loop_->Post([dead]() {});

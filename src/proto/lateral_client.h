@@ -18,6 +18,7 @@
 #include "src/http/response_parser.h"
 #include "src/net/connection.h"
 #include "src/net/event_loop.h"
+#include "src/util/liveness.h"
 
 namespace lard {
 
@@ -26,7 +27,13 @@ class LateralClient {
   // status, body. status 0 = transport failure.
   using FetchCallback = std::function<void(int status, std::string body)>;
 
-  LateralClient(EventLoop* loop, uint16_t peer_port);
+  // `timeout_ms` bounds each fetch: a peer that accepts but never answers —
+  // a *killed* node's listener keeps accepting into the kernel backlog until
+  // its process is torn down — would otherwise wedge the FIFO pipeline (and
+  // the client connection being served) forever. On expiry the whole
+  // pipeline fails with status 0 (callers fall back to a local serve) and
+  // the next fetch reconnects. <= 0 disables.
+  LateralClient(EventLoop* loop, uint16_t peer_port, int64_t timeout_ms = 2000);
 
   // Issues GET `path`; callbacks fire in issue order. Connects lazily on
   // first use; a transport failure fails all in-flight fetches with status 0
@@ -34,6 +41,7 @@ class LateralClient {
   void Fetch(const std::string& path, FetchCallback callback);
 
   uint64_t fetches_issued() const { return fetches_issued_; }
+  uint64_t fetches_timed_out() const { return fetches_timed_out_; }
 
  private:
   bool EnsureConnected();
@@ -42,10 +50,16 @@ class LateralClient {
 
   EventLoop* loop_;
   uint16_t peer_port_;
+  int64_t timeout_ms_;
+  // Guards the per-fetch deadline timers: the owning back-end can be torn
+  // down in place while its loop keeps running.
+  LivenessToken alive_;
   std::unique_ptr<Connection> conn_;
   ResponseParser parser_;
   std::deque<FetchCallback> pending_;
   uint64_t fetches_issued_ = 0;
+  uint64_t fetches_completed_ = 0;  // answered or failed (FIFO, monotone)
+  uint64_t fetches_timed_out_ = 0;
 };
 
 }  // namespace lard

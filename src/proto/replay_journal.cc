@@ -1,0 +1,146 @@
+#include "src/proto/replay_journal.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace lard {
+
+void ReplayJournal::Track(ConnId conn, UniqueFd client_fd) {
+  Record record;
+  record.fd = std::move(client_fd);
+  records_[conn] = std::move(record);
+}
+
+void ReplayJournal::Append(ConnId conn, Entry entry) {
+  auto it = records_.find(conn);
+  if (it == records_.end()) {
+    return;
+  }
+  Record& record = it->second;
+  if (record.overflowed) {
+    return;
+  }
+  record.entry_bytes += entry.bytes.size();
+  record.entries.push_back(std::move(entry));
+  if (record.entries.size() > config_.max_entries_per_conn ||
+      record.entry_bytes + record.partial_tail.size() > config_.max_bytes_per_conn) {
+    // Protection lost, not the connection: the record (fd + verdict) stays so
+    // a crash becomes a counted giveup instead of a silent drop.
+    record.overflowed = true;
+    record.entries.clear();
+    record.entry_bytes = 0;
+    record.partial_tail.clear();
+    ++overflows_;
+  }
+}
+
+void ReplayJournal::Ack(ConnId conn, uint64_t completed, uint64_t partial) {
+  auto it = records_.find(conn);
+  if (it == records_.end()) {
+    return;
+  }
+  Record& record = it->second;
+  if (completed < record.node_completed) {
+    return;  // stale or reordered report; progress is monotone per node
+  }
+  uint64_t newly_completed = completed - record.node_completed;
+  record.node_completed = completed;
+  while (newly_completed > 0 && !record.entries.empty()) {
+    record.entry_bytes -= record.entries.front().bytes.size();
+    record.entries.pop_front();
+    // Once any response completed at this node, the delivered prefix of the
+    // (new) head is entirely this node's work.
+    record.adoption_splice = 0;
+    --newly_completed;
+  }
+  record.head_partial = partial;
+}
+
+void ReplayJournal::SetPartialTail(ConnId conn, std::string buffered) {
+  auto it = records_.find(conn);
+  if (it == records_.end() || it->second.overflowed) {
+    return;
+  }
+  Record& record = it->second;
+  record.partial_tail = std::move(buffered);
+  if (record.partial_tail.size() > config_.max_bytes_per_conn) {
+    record.overflowed = true;
+    record.entries.clear();
+    record.entry_bytes = 0;
+    record.partial_tail.clear();
+    ++overflows_;
+  }
+}
+
+void ReplayJournal::Rebuild(ConnId conn, std::vector<Entry> entries, std::string partial_tail) {
+  auto it = records_.find(conn);
+  if (it == records_.end()) {
+    return;
+  }
+  Record& record = it->second;
+  if (record.overflowed) {
+    return;  // protection stays dropped; re-arming mid-life would miss bytes
+  }
+  record.entries.clear();
+  record.entry_bytes = 0;
+  for (Entry& entry : entries) {
+    record.entry_bytes += entry.bytes.size();
+    record.entries.push_back(std::move(entry));
+  }
+  record.partial_tail = std::move(partial_tail);
+  record.node_completed = 0;
+  record.adoption_splice = 0;
+  record.head_partial = 0;
+  if (record.entries.size() > config_.max_entries_per_conn ||
+      record.entry_bytes + record.partial_tail.size() > config_.max_bytes_per_conn) {
+    record.overflowed = true;
+    record.entries.clear();
+    record.entry_bytes = 0;
+    record.partial_tail.clear();
+    ++overflows_;
+  }
+}
+
+ReplayJournal::Plan ReplayJournal::PlanFor(ConnId conn) const {
+  Plan plan;
+  auto it = records_.find(conn);
+  if (it == records_.end()) {
+    return plan;
+  }
+  const Record& record = it->second;
+  plan.tracked = true;
+  plan.splice_offset = record.adoption_splice + record.head_partial;
+  plan.mid_response = plan.splice_offset > 0;
+  if (record.overflowed) {
+    return plan;  // replayable stays false
+  }
+  // Only *complete* unacknowledged requests gate on idempotency: a partial
+  // tail's request was never fully received, so it cannot have executed —
+  // re-delivering its prefix repeats nothing.
+  plan.replayable = std::all_of(record.entries.begin(), record.entries.end(),
+                                [](const Entry& entry) { return entry.idempotent; });
+  plan.entries.assign(record.entries.begin(), record.entries.end());
+  plan.partial_tail = record.partial_tail;
+  return plan;
+}
+
+void ReplayJournal::NoteReplaySent(ConnId conn) {
+  auto it = records_.find(conn);
+  if (it == records_.end()) {
+    return;
+  }
+  Record& record = it->second;
+  record.adoption_splice += record.head_partial;
+  record.head_partial = 0;
+  record.node_completed = 0;
+}
+
+int ReplayJournal::client_fd(ConnId conn) const {
+  auto it = records_.find(conn);
+  return it == records_.end() ? -1 : it->second.fd.get();
+}
+
+void ReplayJournal::Drop(ConnId conn) { records_.erase(conn); }
+
+}  // namespace lard

@@ -1,0 +1,136 @@
+// The front-end's crash-replay journal (failure re-handoff beyond the
+// cooperative drain window): for every handed-off P-HTTP connection the
+// front-end retains a dup of the client socket and the serialized bytes of
+// every request whose response has not yet fully reached the client. When a
+// back-end dies *uncooperatively* (heartbeat loss / control-session EOF — no
+// kHandback), the journal is everything needed to continue the connection on
+// a surviving node: the tail of unacknowledged requests to re-serve, and the
+// byte offset of the first response already delivered (the splice point).
+//
+// Bookkeeping contract per connection:
+//   * entries_ always holds exactly the *unacknowledged* requests, oldest
+//     first. Acks (kReplayAck from the serving node) pop completed entries.
+//   * head splice offset = adoption_splice_ + head_partial_: bytes of
+//     entries_.front()'s response delivered by earlier nodes (accumulated
+//     across repeated crashes) plus bytes the current node has flushed.
+//   * only tails that are entirely idempotent (per the front-end's method
+//     policy, GET/HEAD by default) are replayable; a non-idempotent entry or
+//     a capacity overflow turns a later crash into a clean giveup
+//     (502/close) instead of a spliced half-response.
+//
+// Single-threaded (the owning front-end's loop thread).
+#ifndef SRC_PROTO_REPLAY_JOURNAL_H_
+#define SRC_PROTO_REPLAY_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cluster_types.h"
+#include "src/net/fd.h"
+
+namespace lard {
+
+struct ReplayJournalConfig {
+  // Per-connection caps; crossing either drops the connection's protection
+  // (the journal must stay bounded — a client pipelining faster than its
+  // node serves cannot grow front-end memory without limit).
+  size_t max_entries_per_conn = 256;
+  size_t max_bytes_per_conn = 512 * 1024;
+};
+
+class ReplayJournal {
+ public:
+  struct Entry {
+    std::string bytes;   // the request, re-serialized (replayable verbatim)
+    std::string method;  // idempotency is judged per method
+    std::string path;    // seeds the reassignment's cache affinity
+    bool idempotent = false;
+  };
+
+  // The crash-time verdict for one connection.
+  struct Plan {
+    bool tracked = false;     // the journal knows this connection
+    bool replayable = false;  // tail all idempotent, not overflowed
+    // True when response bytes of the head entry already reached the client:
+    // a giveup must then close without injecting a 502 into the stream.
+    bool mid_response = false;
+    uint64_t splice_offset = 0;
+    std::vector<Entry> entries;  // the unacknowledged tail, oldest first
+    // Consumed-but-incomplete request prefix at the serving node (its parser
+    // buffer): replayed verbatim after the entries, so the suffix still in
+    // the client socket completes the request at the adopting node instead
+    // of arriving torn.
+    std::string partial_tail;
+  };
+
+  explicit ReplayJournal(ReplayJournalConfig config) : config_(config) {}
+
+  // Starts protecting `conn`. `client_fd` is the front-end's retained dup of
+  // the client socket; the journal owns it until Drop().
+  void Track(ConnId conn, UniqueFd client_fd);
+  bool Tracks(ConnId conn) const { return records_.count(conn) != 0; }
+
+  // Appends one request to the journal (handoff batch at the front-end,
+  // kJournalAppend for requests parsed only at the back-end). Overflow drops
+  // the connection's protection: entries are released, the record stays (the
+  // fd and the overflow verdict are still needed at crash time).
+  void Append(ConnId conn, Entry entry);
+
+  // Progress from the serving node: `completed` responses fully flushed
+  // since it adopted the connection, `partial` bytes of the next one.
+  void Ack(ConnId conn, uint64_t completed, uint64_t partial);
+
+  // Replaces the stored partial tail (the serving node's parser buffer;
+  // empty = it drained into a complete, separately-appended request).
+  void SetPartialTail(ConnId conn, std::string buffered);
+
+  // The connection moved nodes cooperatively (drain/migration handback): the
+  // journal restarts from exactly the requests being replayed to the new
+  // node, plus the handback stream's unparsed suffix. No partial response
+  // exists — handbacks flush first.
+  void Rebuild(ConnId conn, std::vector<Entry> entries, std::string partial_tail);
+
+  // Crash-time verdict (does not mutate).
+  Plan PlanFor(ConnId conn) const;
+
+  // A kReplay for `conn` was sent: delivered-prefix bookkeeping rolls into
+  // adoption_splice and the new node's ack counting starts from zero.
+  void NoteReplaySent(ConnId conn);
+
+  // The retained client fd (owned by the journal; dup before shipping), or
+  // -1 when the connection is untracked.
+  int client_fd(ConnId conn) const;
+
+  // Stops protecting `conn` and closes the retained fd. Idempotent.
+  void Drop(ConnId conn);
+
+  size_t tracked_connections() const { return records_.size(); }
+  uint64_t overflows() const { return overflows_; }
+
+ private:
+  struct Record {
+    std::deque<Entry> entries;
+    std::string partial_tail;
+    UniqueFd fd;
+    uint64_t entry_bytes = 0;
+    // Responses completed at the current serving node, as of the last ack.
+    uint64_t node_completed = 0;
+    // Bytes of entries.front()'s response delivered by *previous* nodes
+    // (non-zero only while the head entry survived an earlier crash replay).
+    uint64_t adoption_splice = 0;
+    // Bytes of entries.front()'s response flushed by the current node.
+    uint64_t head_partial = 0;
+    bool overflowed = false;
+  };
+
+  ReplayJournalConfig config_;
+  std::unordered_map<ConnId, Record> records_;
+  uint64_t overflows_ = 0;
+};
+
+}  // namespace lard
+
+#endif  // SRC_PROTO_REPLAY_JOURNAL_H_

@@ -34,6 +34,7 @@ void AccumulateCounters(DispatcherCounters* total, const DispatcherCounters& par
   total->nodes_removed += part.nodes_removed;
   total->orphaned_connections += part.orphaned_connections;
   total->reassignments += part.reassignments;
+  total->failure_reassignments += part.failure_reassignments;
 }
 
 }  // namespace
@@ -80,11 +81,26 @@ class ClusterSim::DiskQueueStats final : public BackendStatsProvider {
 struct ClusterSim::SessionRun {
   const TraceSession* session = nullptr;
   ConnId conn = 0;
+  uint64_t id = 0;  // stable handle for guarded completion callbacks
   int fe = 0;  // owning front-end (index into dispatchers_)
   size_t next_batch = 0;
   size_t outstanding = 0;       // responses pending in the current batch
   SimTimeUs batch_start_us = 0;
   bool first_batch = true;
+  // Failure-replay bookkeeping (config.failure_replay only): one record per
+  // request of the current batch. A crash of the serving node re-issues the
+  // idempotent undone ones elsewhere (bumping `generation` so the dead
+  // node's still-scheduled completion is recognized as stale) and declares
+  // the non-idempotent ones lost.
+  struct InflightRequest {
+    TargetId target = kInvalidTarget;
+    NodeId node = kInvalidNode;
+    bool idempotent = true;
+    bool done = false;
+    uint32_t generation = 0;
+  };
+  std::vector<InflightRequest> inflight;
+  uint32_t next_generation = 0;
   // The handling node died (NodeFailure): the dispatcher state for `conn` is
   // gone. Once the current batch's in-flight responses drain, the client
   // reconnects — the run continues on a fresh ConnId the dispatcher re-assigns.
@@ -151,6 +167,9 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
     for (int fe = 0; fe < frontends; ++fe) {
       fe_cpus_.push_back(std::make_unique<FifoServer>(&queue_));
     }
+  }
+  if (config_.failure_replay) {
+    replay_rng_ = std::make_unique<Rng>(config_.replay_seed);
   }
   if (config_.metrics != nullptr) {
     metric_batch_latency_ = config_.metrics->Histogram("lard_sim_batch_latency_us");
@@ -226,16 +245,31 @@ void ClusterSim::ApplyMembershipEvent(const MembershipEvent& event) {
         break;
       }
       ++nodes_failed_;
-      // In-flight service at the dead node completes (those events are
-      // already scheduled — the paper's simulator has no mid-service
-      // preemption); what fails over is the *connections*: each orphaned
-      // session reconnects after its current batch drains.
+      // Legacy mode: in-flight service at the dead node completes (those
+      // events are already scheduled — the paper's simulator has no
+      // mid-service preemption); what fails over is the *connections*: each
+      // orphaned session reconnects after its current batch drains.
+      // Failure-replay mode: the crash interrupts the dead node's in-flight
+      // work — orphans continue on a survivor at this very instant, exactly
+      // like the prototype's journal replay.
       for (const ConnId conn : orphans) {
+        // Two-step lookup: ReplayOrphanedRun can complete the run's batch
+        // (lost responses) and erase it from active_runs_, so the iteration
+        // must be over before any mutation.
+        SessionRun* victim = nullptr;
         for (const auto& run : active_runs_) {
           if (run->conn == conn) {
-            run->conn_lost = true;
+            victim = run.get();
             break;
           }
+        }
+        if (victim == nullptr) {
+          continue;
+        }
+        if (config_.failure_replay) {
+          ReplayOrphanedRun(victim, event.node);
+        } else {
+          victim->conn_lost = true;
         }
       }
       LARD_LOG(INFO) << "sim t=" << queue_.now_us() << "us: node " << event.node << " failed, "
@@ -346,14 +380,107 @@ void ClusterSim::StartNextSession() {
   auto run = std::make_unique<SessionRun>();
   run->session = &session;
   run->conn = next_conn_id_++;
+  run->id = next_run_id_++;
   // Sessions are dealt round-robin across the front-end tier (the client
   // side of a replicated tier is DNS/VIP spraying, which this approximates).
   run->fe = static_cast<int>((next_session_ - 1) % static_cast<size_t>(config_.num_frontends));
   SessionRun* raw = run.get();
   active_runs_.push_back(std::move(run));
+  runs_by_id_[raw->id] = raw;
 
   DispatcherFor(raw).OnConnectionOpen(raw->conn);
   FrontEndWork(raw->fe, config_.fe_costs.accept_us, [this, raw]() { ProcessBatch(raw); });
+}
+
+ClusterSim::SessionRun* ClusterSim::FindRun(uint64_t run_id) {
+  auto it = runs_by_id_.find(run_id);
+  return it == runs_by_id_.end() ? nullptr : it->second;
+}
+
+void ClusterSim::OnGuardedResponseDone(uint64_t run_id, size_t index, uint32_t generation) {
+  SessionRun* run = FindRun(run_id);
+  if (run == nullptr || index >= run->inflight.size()) {
+    return;  // the session finished (or the batch moved on) without this event
+  }
+  SessionRun::InflightRequest& entry = run->inflight[index];
+  if (entry.done || entry.generation != generation) {
+    return;  // stale completion from a crashed node; superseded by the replay
+  }
+  entry.done = true;
+  OnResponseDone(run);
+}
+
+void ClusterSim::ReplayOrphanedRun(SessionRun* run, NodeId dead_node) {
+  Dispatcher& dispatcher = DispatcherFor(run);
+  // Resurrect the connection and place it on a survivor, seeding the pick
+  // with the requests about to be re-served there (the prototype's journal
+  // tail).
+  // Every undone request of the orphaned connection is interrupted: its
+  // response either originates at the dead node or relays through it (the
+  // forwarded case — the remote peer serves, the dead handler relays), so
+  // the serving peer's identity does not matter here.
+  std::vector<TargetId> pending;
+  std::vector<size_t> replay_indices;
+  std::vector<size_t> lost_indices;
+  for (size_t i = 0; i < run->inflight.size(); ++i) {
+    const SessionRun::InflightRequest& entry = run->inflight[i];
+    if (entry.done) {
+      continue;
+    }
+    if (entry.idempotent) {
+      replay_indices.push_back(i);
+      pending.push_back(entry.target);
+    } else {
+      lost_indices.push_back(i);
+    }
+  }
+  dispatcher.OnConnectionOpen(run->conn);
+  const NodeId target =
+      dispatcher.ReassignConnection(run->conn, pending, Dispatcher::ReassignReason::kFailure);
+  if (target == kInvalidNode) {
+    // No survivor to continue on: fall back to the legacy reconnect path
+    // (the in-flight events still complete; the client re-opens after the
+    // batch drains). The prototype 503s here.
+    dispatcher.OnConnectionClose(run->conn);
+    run->conn_lost = true;
+    ++replay_unplaceable_;
+    return;
+  }
+  ++replayed_connections_;
+  run->drain_pending = false;
+  // The front-end pays the re-handoff work, as in the drain path.
+  fe_accounted_us_[static_cast<size_t>(run->fe)] += config_.fe_costs.migrate_us;
+
+  // Idempotent in-flight requests re-issue on the survivor; the crashed
+  // node's still-scheduled completions become stale via the generation bump.
+  for (const size_t index : replay_indices) {
+    SessionRun::InflightRequest& entry = run->inflight[index];
+    entry.node = target;
+    entry.generation = ++run->next_generation;
+    ++replayed_requests_;
+    const bool cached = MeshMode()
+                            ? TrueCacheServe(run->fe, target, entry.target, true)
+                            : dispatcher.TargetCachedAt(target, entry.target);
+    ServeAtNode(target, entry.target, cached, config_.server_costs.handoff_us,
+                [this, run_id = run->id, index, generation = entry.generation]() {
+                  OnGuardedResponseDone(run_id, index, generation);
+                });
+  }
+  // Non-idempotent in-flight requests die with the node (client-visible
+  // failure) — the shared invariant: lost == non_idempotent_in_flight,
+  // counted here at classification granularity, separately from the loss
+  // bookkeeping below, so the invariant checks the two paths against each
+  // other. Mark everything first; the final OnResponseDone may finish the
+  // batch and erase `run`.
+  non_idempotent_in_flight_ += lost_indices.size();
+  const size_t losses = lost_indices.size();
+  for (const size_t index : lost_indices) {
+    run->inflight[index].done = true;
+    ++lost_requests_;
+  }
+  for (size_t i = 0; i < losses; ++i) {
+    OnResponseDone(run);
+  }
 }
 
 void ClusterSim::ReopenIfLost(SessionRun* run) {
@@ -409,6 +536,21 @@ void ClusterSim::ProcessBatch(SessionRun* run) {
   std::vector<Assignment> assignments =
       DispatcherFor(run).OnBatch(run->conn, batch.targets);
   LARD_CHECK(assignments.size() == batch.targets.size());
+  if (config_.failure_replay) {
+    // Fresh in-flight records for this batch: serving node + idempotency
+    // verdict per request (the crash handler consults them).
+    run->inflight.clear();
+    run->inflight.reserve(batch.targets.size());
+    for (size_t i = 0; i < assignments.size(); ++i) {
+      SessionRun::InflightRequest entry;
+      entry.target = batch.targets[i];
+      entry.node = assignments[i].node;
+      entry.idempotent = !(config_.non_idempotent_fraction > 0.0 &&
+                           replay_rng_->NextDouble() < config_.non_idempotent_fraction);
+      entry.generation = ++run->next_generation;
+      run->inflight.push_back(entry);
+    }
+  }
   for (size_t i = 0; i < assignments.size(); ++i) {
     if (MeshMode()) {
       // The deciding replica's virtual caches are approximate; service
@@ -416,11 +558,12 @@ void ClusterSim::ProcessBatch(SessionRun* run) {
       assignments[i].served_from_cache = TrueCacheServe(
           run->fe, assignments[i].node, batch.targets[i], assignments[i].cache_after_miss);
     }
-    IssueRequest(run, batch.targets[i], assignments[i]);
+    IssueRequest(run, i, batch.targets[i], assignments[i]);
   }
 }
 
-void ClusterSim::IssueRequest(SessionRun* run, TargetId target, const Assignment& assignment) {
+void ClusterSim::IssueRequest(SessionRun* run, size_t index, TargetId target,
+                              const Assignment& assignment) {
   ++total_requests_;
   if (metric_requests_ != nullptr) {
     metric_requests_->Increment();
@@ -430,7 +573,17 @@ void ClusterSim::IssueRequest(SessionRun* run, TargetId target, const Assignment
   const ServerCostModel& costs = config_.server_costs;
   const bool zero_cost = config_.mechanism == Mechanism::kIdealHandoff;
   const int fe = run->fe;
-  auto done = [this, run]() { OnResponseDone(run); };
+  // Failure-replay mode routes completions through the guarded trampoline so
+  // a crash can supersede (replay) or drop (lose) an in-flight request.
+  std::function<void()> done;
+  if (config_.failure_replay) {
+    done = [this, run_id = run->id, index,
+            generation = run->inflight[index].generation]() {
+      OnGuardedResponseDone(run_id, index, generation);
+    };
+  } else {
+    done = [this, run]() { OnResponseDone(run); };
+  }
 
   switch (assignment.action) {
     case AssignmentAction::kHandoff: {
@@ -591,6 +744,7 @@ void ClusterSim::FinishSession(SessionRun* run) {
   auto it = std::find_if(active_runs_.begin(), active_runs_.end(),
                          [run](const std::unique_ptr<SessionRun>& p) { return p.get() == run; });
   LARD_CHECK(it != active_runs_.end());
+  runs_by_id_.erase(run->id);
   active_runs_.erase(it);
   StartNextSession();
 }
@@ -667,6 +821,11 @@ ClusterSimMetrics ClusterSim::Run() {
   metrics.failovers = failovers_;
   metrics.rehandoffs = rehandoffs_;
   metrics.rejected_membership_events = rejected_membership_events_;
+  metrics.replayed_connections = replayed_connections_;
+  metrics.replayed_requests = replayed_requests_;
+  metrics.lost_requests = lost_requests_;
+  metrics.non_idempotent_in_flight = non_idempotent_in_flight_;
+  metrics.replay_unplaceable = replay_unplaceable_;
 
   // Mesh metrics + end-of-run invariants. With every session finished, each
   // replica must have drained its own accounting to zero — remaining load or

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "src/sim/resources.h"
 #include "src/trace/trace.h"
 #include "src/util/metrics.h"
+#include "src/util/rng.h"
 #include "src/util/stats.h"
 
 namespace lard {
@@ -106,6 +108,20 @@ struct ClusterSimConfig {
   // Control-plane scenario to replay (sorted or not; scheduled by at_us).
   std::vector<MembershipEvent> membership_events;
 
+  // Failure replay — the deterministic twin of the prototype's
+  // crash-transparent request replay. When set, a NodeFailure no longer lets
+  // the dead node's in-flight work complete: each orphaned connection is
+  // reassigned to a survivor at the crash instant (same ReassignConnection
+  // path as the prototype), its in-flight *idempotent* requests re-issue
+  // there (counted in `replayed_requests`), and its non-idempotent ones are
+  // lost (client-visible failure; `lost_requests`). The shared invariant
+  // with the prototype: lost_requests == non_idempotent_in_flight.
+  bool failure_replay = false;
+  // Fraction of requests carrying a non-idempotent method (POST-like);
+  // decided per request with a deterministic RNG.
+  double non_idempotent_fraction = 0.0;
+  uint64_t replay_seed = 1234;
+
   // Optional shared registry (lard_sim_* instruments + dispatcher gauges).
   MetricsRegistry* metrics = nullptr;
 };
@@ -143,6 +159,12 @@ struct ClusterSimMetrics {
   uint64_t nodes_drained = 0;
   uint64_t failovers = 0;    // connections re-opened after their node died
   uint64_t rehandoffs = 0;   // connections migrated off a draining node
+  // Failure replay (config.failure_replay only; all zero otherwise).
+  uint64_t replayed_connections = 0;  // orphans continued on a survivor
+  uint64_t replayed_requests = 0;     // idempotent in-flight requests re-issued
+  uint64_t lost_requests = 0;         // non-idempotent in-flight requests dropped
+  uint64_t non_idempotent_in_flight = 0;  // at crash instants; == lost_requests
+  uint64_t replay_unplaceable = 0;    // orphans with no assignable survivor
   // Scripted events dropped by validation (non-positive/non-finite weight
   // or speed on a NodeJoin).
   uint64_t rejected_membership_events = 0;
@@ -187,13 +209,22 @@ class ClusterSim {
 
   void StartNextSession();
   void ApplyMembershipEvent(const MembershipEvent& event);
+  // Failure-replay mode: continue one orphaned run on a survivor at the
+  // crash instant — reassign the connection, re-issue its idempotent
+  // in-flight requests there, drop (and count) the non-idempotent ones.
+  void ReplayOrphanedRun(SessionRun* run, NodeId dead_node);
+  // Completion trampoline for failure-replay mode: drops stale completions
+  // from a crashed node (the replacement was already issued or the request
+  // was declared lost) and survives the run finishing early.
+  void OnGuardedResponseDone(uint64_t run_id, size_t index, uint32_t generation);
+  SessionRun* FindRun(uint64_t run_id);
   // Re-opens a fresh dispatcher connection for a run whose node died.
   void ReopenIfLost(SessionRun* run);
   // Migrates a run off a draining node (reverse handoff) before its next
   // batch; `targets` seed the new node's virtual cache.
   void RehandoffIfDraining(SessionRun* run, const std::vector<TargetId>& targets);
   void ProcessBatch(SessionRun* run);
-  void IssueRequest(SessionRun* run, TargetId target, const Assignment& assignment);
+  void IssueRequest(SessionRun* run, size_t index, TargetId target, const Assignment& assignment);
   // Serves one request at `node`: per-request CPU, then (for a model-declared
   // miss) the disk, then transmit CPU. `cached` is the dispatcher model's
   // verdict carried by the assignment.
@@ -241,7 +272,12 @@ class ClusterSim {
   size_t next_session_ = 0;
   size_t sessions_done_ = 0;
   ConnId next_conn_id_ = 1;
+  uint64_t next_run_id_ = 1;
   std::vector<std::unique_ptr<SessionRun>> active_runs_;
+  // Failure-replay mode: run-id lookup for the guarded completion
+  // trampoline, which fires once per response (O(1) beats scanning
+  // active_runs_ on the hot path).
+  std::unordered_map<uint64_t, SessionRun*> runs_by_id_;
 
   uint64_t total_requests_ = 0;
   uint64_t total_bytes_ = 0;
@@ -255,6 +291,13 @@ class ClusterSim {
   uint64_t failovers_ = 0;
   uint64_t rehandoffs_ = 0;
   uint64_t rejected_membership_events_ = 0;
+  // Failure replay.
+  std::unique_ptr<Rng> replay_rng_;  // per-request idempotency draws
+  uint64_t replayed_connections_ = 0;
+  uint64_t replayed_requests_ = 0;
+  uint64_t lost_requests_ = 0;
+  uint64_t non_idempotent_in_flight_ = 0;
+  uint64_t replay_unplaceable_ = 0;
 
   // Mesh bookkeeping.
   uint64_t gossip_rounds_ = 0;

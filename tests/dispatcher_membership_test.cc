@@ -279,6 +279,55 @@ TEST_F(MembershipTest, ReassignReturnsInvalidWithoutStateOrNodes) {
   EXPECT_EQ(dispatcher.ReassignConnection(1), kInvalidNode);
 }
 
+TEST_F(MembershipTest, DoubleFailureDetectionIsIdempotent) {
+  // Heartbeat loss and control-session EOF can both fire for the same dead
+  // node; the second RemoveNode must be a counted no-op — no double
+  // orphaning, no double removal, and connections already reassigned to a
+  // survivor must stay there untouched.
+  Dispatcher dispatcher = MakeDispatcher(3);
+  std::vector<ConnId> on_victim;
+  NodeId victim = kInvalidNode;
+  for (ConnId conn = 1; conn <= 9; ++conn) {
+    const NodeId node = Open(dispatcher, conn, targets_[conn % targets_.size()]);
+    if (victim == kInvalidNode) {
+      victim = node;
+    }
+    if (node == victim) {
+      on_victim.push_back(conn);
+    }
+  }
+  ASSERT_FALSE(on_victim.empty());
+
+  std::vector<ConnId> orphans;
+  ASSERT_TRUE(dispatcher.RemoveNode(victim, &orphans));
+  EXPECT_EQ(orphans.size(), on_victim.size());
+  EXPECT_EQ(dispatcher.counters().orphaned_connections, on_victim.size());
+  EXPECT_EQ(dispatcher.counters().nodes_removed, 1u);
+
+  // Failure replay resurrects the orphans onto survivors.
+  std::unordered_map<ConnId, NodeId> placed;
+  for (const ConnId conn : orphans) {
+    dispatcher.OnConnectionOpen(conn);
+    const NodeId target = dispatcher.ReassignConnection(
+        conn, {}, Dispatcher::ReassignReason::kFailure);
+    ASSERT_NE(target, kInvalidNode);
+    ASSERT_NE(target, victim);
+    placed[conn] = target;
+  }
+  EXPECT_EQ(dispatcher.counters().failure_reassignments, orphans.size());
+
+  // The second detection path fires: it must change nothing.
+  std::vector<ConnId> orphans_again;
+  EXPECT_FALSE(dispatcher.RemoveNode(victim, &orphans_again));
+  EXPECT_TRUE(orphans_again.empty()) << "a dead node must never orphan twice";
+  EXPECT_EQ(dispatcher.counters().orphaned_connections, on_victim.size());
+  EXPECT_EQ(dispatcher.counters().nodes_removed, 1u);
+  for (const auto& [conn, node] : placed) {
+    EXPECT_EQ(dispatcher.HandlingNode(conn), node)
+        << "replayed connection " << conn << " moved by the duplicate removal";
+  }
+}
+
 TEST_F(MembershipTest, RandomizedChurnKeepsLoadInvariants) {
   // Satellite invariant check: across randomized open/batch/idle/close/
   // drain/remove/add/reassign interleavings, NodeLoad never goes negative,

@@ -50,13 +50,21 @@ class LateralClientTest : public ::testing::Test {
 
   // Issues a fetch from the loop thread; results land in results_ in
   // callback order.
-  void Fetch(const std::string& path) {
-    loop_.Post([this, path]() {
-      client_->Fetch(path, [this, path](int status, std::string body) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        results_.push_back({path, status, std::move(body)});
-        cv_.notify_all();
-      });
+  void Fetch(const std::string& path) { FetchAll({path}); }
+
+  // Issues several fetches in ONE loop task, so all of them are in flight
+  // before the loop can process any peer response — tests that expect "both
+  // fetches fail together" must not race the peer's (instant, under
+  // sanitizer timing) reply against the second Fetch's posting.
+  void FetchAll(std::vector<std::string> paths) {
+    loop_.Post([this, paths = std::move(paths)]() {
+      for (const std::string& path : paths) {
+        client_->Fetch(path, [this, path](int status, std::string body) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          results_.push_back({path, status, std::move(body)});
+          cv_.notify_all();
+        });
+      }
     });
   }
 
@@ -145,8 +153,7 @@ TEST_F(LateralClientTest, GarbageResponseFailsPipelineWithStatusZero) {
   });
 
   StartClient();
-  Fetch("/x");
-  Fetch("/y");
+  FetchAll({"/x", "/y"});
   WaitForResults(2);
 
   std::lock_guard<std::mutex> lock(mutex_);

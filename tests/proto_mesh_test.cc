@@ -141,46 +141,65 @@ TEST(ProtoMeshTest, MembershipOperationsFanOutToEveryReplica) {
   Cluster cluster(MeshConfig(2, 2), &trace.catalog());
   ASSERT_TRUE(cluster.Start().ok());
 
+  // Replica dispatchers are loop-thread-confined; every read below runs on
+  // the owning loop via InspectReplica (a bare cluster.frontend(fe) read
+  // from this thread would be a data race — ThreadSanitizer agrees).
+  const auto node_slots = [&](int fe) {
+    int slots = 0;
+    cluster.InspectReplica(
+        fe, [&](const FrontEnd& frontend) { slots = frontend.dispatcher().num_node_slots(); });
+    return slots;
+  };
+  const auto node_state = [&](int fe, NodeId node) {
+    NodeState state = NodeState::kActive;
+    cluster.InspectReplica(
+        fe, [&](const FrontEnd& frontend) { state = frontend.dispatcher().node_state(node); });
+    return state;
+  };
+
   // Join: both replicas must allocate the same id (replica 0 registers
   // synchronously, the fan-out to replica 1 is posted — poll for it).
   const NodeId added = cluster.AddNode(2.0);
   EXPECT_EQ(added, 2);
-  EXPECT_EQ(cluster.frontend(0).dispatcher().num_node_slots(), 3);
+  EXPECT_EQ(node_slots(0), 3);
   for (int attempt = 0; attempt < 100; ++attempt) {
-    if (cluster.frontend(1).dispatcher().num_node_slots() == 3) {
+    if (node_slots(1) == 3) {
       break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  ASSERT_EQ(cluster.frontend(1).dispatcher().num_node_slots(), 3);
+  ASSERT_EQ(node_slots(1), 3);
   for (int fe = 0; fe < 2; ++fe) {
-    EXPECT_DOUBLE_EQ(cluster.frontend(fe).dispatcher().NodeWeight(added), 2.0);
+    double weight = 0.0;
+    cluster.InspectReplica(fe, [&](const FrontEnd& frontend) {
+      weight = frontend.dispatcher().NodeWeight(added);
+    });
+    EXPECT_DOUBLE_EQ(weight, 2.0);
   }
 
   // Drain: every replica stops assigning to the node (replica 0 answers
   // synchronously; the fan-out to the others is posted, so poll).
   ASSERT_TRUE(cluster.DrainNode(added));
-  EXPECT_EQ(cluster.frontend(0).dispatcher().node_state(added), NodeState::kDraining);
+  EXPECT_EQ(node_state(0, added), NodeState::kDraining);
   for (int attempt = 0; attempt < 100; ++attempt) {
-    if (cluster.frontend(1).dispatcher().node_state(added) == NodeState::kDraining) {
+    if (node_state(1, added) == NodeState::kDraining) {
       break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  EXPECT_EQ(cluster.frontend(1).dispatcher().node_state(added), NodeState::kDraining);
+  EXPECT_EQ(node_state(1, added), NodeState::kDraining);
 
   // Remove: the node disappears from both replicas (and its thread only
   // stops after both have let go — Stop() would hang otherwise).
   ASSERT_TRUE(cluster.RemoveNode(added));
   for (int attempt = 0; attempt < 100; ++attempt) {
-    if (cluster.frontend(0).dispatcher().node_state(added) == NodeState::kDead &&
-        cluster.frontend(1).dispatcher().node_state(added) == NodeState::kDead) {
+    if (node_state(0, added) == NodeState::kDead && node_state(1, added) == NodeState::kDead) {
       break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   for (int fe = 0; fe < 2; ++fe) {
-    EXPECT_EQ(cluster.frontend(fe).dispatcher().node_state(added), NodeState::kDead);
+    EXPECT_EQ(node_state(fe, added), NodeState::kDead);
   }
 
   // The tier still serves after the churn.
