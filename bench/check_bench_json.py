@@ -178,11 +178,42 @@ def check_failure_replay(record, data):
             fail(record, "sim storm replayed nothing")
 
 
+def check_tracing_overhead(record, data):
+    record_ns = require(record, data, "record_ns", dict)
+    if record_ns is not None:
+        for key in ("disabled", "unsampled", "sampled"):
+            value = require(record, record_ns, key, NUM)
+            if value is not None and value < 0:
+                fail(record, f"record_ns.{key} is negative")
+    modes = require(record, data, "modes", dict)
+    if modes is None:
+        return
+    for name in ("untraced", "sampled", "full"):
+        mode = require(record, modes, name, dict)
+        if mode is None:
+            continue
+        if require(record, mode, "throughput_rps", NUM) in (None, 0):
+            fail(record, f"modes.{name} has no throughput")
+        if mode.get("responses_bad", 1) != 0 or mode.get("transport_errors", 1) != 0:
+            fail(record, f"modes.{name} had client-visible errors")
+    # Tracing must actually have happened in the traced modes...
+    if modes.get("sampled", {}).get("spans_recorded", 0) == 0:
+        fail(record, "sampled mode recorded no spans")
+    if modes.get("full", {}).get("spans_recorded", 0) == 0:
+        fail(record, "full mode recorded no spans")
+    # ...and the PR's acceptance bound: default sampling costs < 2% of
+    # throughput (best-of-N per mode absorbs run-to-run noise).
+    ratio = require(record, data, "sampled_over_untraced", NUM)
+    if ratio is not None and ratio < 0.98:
+        fail(record, f"sampled tracing overhead too high: {ratio:.3f}x < 0.98x untraced")
+
+
 CHECKERS = {
     "drain_failover": check_drain_failover,
     "multi_frontend": check_multi_frontend,
     "heterogeneous_cluster": check_heterogeneous_cluster,
     "failure_replay": check_failure_replay,
+    "tracing_overhead": check_tracing_overhead,
 }
 
 

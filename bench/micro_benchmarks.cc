@@ -9,6 +9,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/resources.h"
 #include "src/util/rng.h"
+#include "src/util/tracing.h"
 
 namespace lard {
 namespace {
@@ -132,6 +133,68 @@ void BM_FifoServerSubmit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FifoServerSubmit);
+
+// The three costs a request can pay at a RecordSpan call site: tracer
+// disabled (one branch), enabled but this connection unsampled (one hash —
+// the steady-state hot path at the default 1/16 sampling), and sampled
+// (snprintf + locked ring write).
+void BM_RecordSpanDisabled(benchmark::State& state) {
+  TracerConfig config;
+  config.enabled = false;
+  Tracer tracer(config);
+  TraceRing* ring = tracer.Ring("bench");
+  uint32_t seq = 0;
+  for (auto _ : state) {
+    RecordSpan(&tracer, ring, 7, seq++, SpanKind::kServe, 1, 0, 0, "status=%d", 200);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordSpanDisabled);
+
+void BM_RecordSpanUnsampled(benchmark::State& state) {
+  TracerConfig config;
+  config.sample_every = 1u << 30;  // effectively nothing samples
+  Tracer tracer(config);
+  TraceRing* ring = tracer.Ring("bench");
+  uint64_t id = 1;
+  uint32_t seq = 0;
+  for (auto _ : state) {
+    RecordSpan(&tracer, ring, id++, seq++, SpanKind::kServe, 1, 0, 0, "status=%d", 200);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordSpanUnsampled);
+
+void BM_RecordSpanSampled(benchmark::State& state) {
+  TracerConfig config;
+  config.sample_every = 1;
+  config.ring_capacity = 4096;
+  Tracer tracer(config);
+  TraceRing* ring = tracer.Ring("bench");
+  uint32_t seq = 0;
+  for (auto _ : state) {
+    RecordSpan(&tracer, ring, 7, seq++, SpanKind::kServe, 1, 0, 0, "status=%d cache=%c", 200,
+               'h');
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordSpanSampled);
+
+void BM_TraceRingSnapshot(benchmark::State& state) {
+  TracerConfig config;
+  config.sample_every = 1;
+  config.ring_capacity = 2048;
+  Tracer tracer(config);
+  TraceRing* ring = tracer.Ring("bench");
+  for (uint32_t i = 0; i < 4096; ++i) {
+    RecordSpan(&tracer, ring, 7, i, SpanKind::kServe, 1, i, 1, "status=%d", 200);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring->Snapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRingSnapshot);
 
 void BM_ZipfSample(benchmark::State& state) {
   Rng rng(1);

@@ -1,6 +1,7 @@
 #include "src/core/dispatcher.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/util/logging.h"
 
@@ -417,6 +418,26 @@ double Dispatcher::NormalizedNodeLoad(NodeId node) const {
 NodeId Dispatcher::HandlingNode(ConnId conn) const {
   auto it = conns_.find(conn);
   return it == conns_.end() ? kInvalidNode : it->second.handling;
+}
+
+std::string Dispatcher::DescribeLoads(int max_nodes) const {
+  std::string out;
+  int listed = 0;
+  for (NodeId node = 0; node < num_node_slots(); ++node) {
+    if (!Assignable(node)) {
+      continue;
+    }
+    if (listed == max_nodes) {
+      out += "+";
+      break;
+    }
+    char entry[32];
+    std::snprintf(entry, sizeof(entry), "%s%d:%.2f", listed == 0 ? "" : ",", node,
+                  NormalizedNodeLoad(node) + RemoteNodeLoad(node) / NodeWeight(node));
+    out += entry;
+    ++listed;
+  }
+  return out;
 }
 
 size_t Dispatcher::ConnectionCountOn(NodeId node) const {

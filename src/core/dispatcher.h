@@ -196,6 +196,11 @@ class Dispatcher {
   // signal.
   double NormalizedNodeLoad(NodeId node) const;
   NodeId HandlingNode(ConnId conn) const;
+  // Compact "id:normalized_load" summary of the assignable membership — the
+  // candidate set the policy weighed for its last decision. Bounded to
+  // `max_nodes` entries ("+" marks truncation) so it fits a trace span's
+  // fixed detail buffer.
+  std::string DescribeLoads(int max_nodes = 6) const;
   // Open connections currently handled by `node` (retire bookkeeping).
   size_t ConnectionCountOn(NodeId node) const;
   bool TargetCachedAt(NodeId node, TargetId target) const;

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
 
 namespace lard {
 
@@ -31,6 +32,34 @@ int64_t EventLoop::NowMs() {
   timespec ts{};
   ::clock_gettime(CLOCK_MONOTONIC, &ts);
   return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+int64_t EventLoop::NowUs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+void EventLoop::EnableProfiling(MetricsRegistry* metrics, const std::string& label) {
+  LARD_CHECK(metrics != nullptr);
+  LARD_CHECK(!running_.load()) << "EnableProfiling must precede Run()";
+  const std::string suffix = "{loop=\"" + label + "\"}";
+  tick_us_ = metrics->Histogram("lard_loop_tick_us" + suffix);
+  callback_us_ = metrics->Histogram("lard_loop_callback_us" + suffix);
+  wakeup_delay_us_ = metrics->Histogram("lard_loop_wakeup_delay_us" + suffix);
+  pending_tasks_ = metrics->Gauge("lard_loop_pending_tasks" + suffix);
+  profiling_.store(true, std::memory_order_release);
+}
+
+template <typename Fn>
+void EventLoop::RunTimed(Fn&& fn) {
+  if (!profiling_.load(std::memory_order_relaxed)) {
+    fn();
+    return;
+  }
+  const int64_t start = NowUs();
+  fn();
+  callback_us_->Observe(static_cast<double>(NowUs() - start));
 }
 
 void EventLoop::Register(int fd, uint32_t events, IoCallback callback) {
@@ -72,9 +101,14 @@ EventLoop::TimerId EventLoop::ScheduleAfterMs(int64_t delay_ms, std::function<vo
 void EventLoop::CancelTimer(TimerId id) { timer_fns_.erase(id); }
 
 void EventLoop::Post(std::function<void()> task) {
+  PostedTask entry;
+  entry.fn = std::move(task);
+  if (profiling_.load(std::memory_order_acquire)) {
+    entry.enqueue_us = NowUs();
+  }
   {
     std::lock_guard<std::mutex> lock(tasks_mutex_);
-    tasks_.push_back(std::move(task));
+    tasks_.push_back(std::move(entry));
   }
   Wakeup();
 }
@@ -85,13 +119,20 @@ void EventLoop::Wakeup() {
 }
 
 void EventLoop::DrainTasks() {
-  std::deque<std::function<void()>> tasks;
+  std::deque<PostedTask> tasks;
   {
     std::lock_guard<std::mutex> lock(tasks_mutex_);
     tasks.swap(tasks_);
   }
+  const bool profiling = profiling_.load(std::memory_order_relaxed);
+  if (profiling) {
+    pending_tasks_->Set(static_cast<double>(tasks.size()));
+  }
   for (auto& task : tasks) {
-    task();
+    if (profiling && task.enqueue_us > 0) {
+      wakeup_delay_us_->Observe(static_cast<double>(NowUs() - task.enqueue_us));
+    }
+    RunTimed(task.fn);
   }
 }
 
@@ -121,7 +162,7 @@ void EventLoop::FireDueTimers() {
     }
     auto fn = std::move(it->second);
     timer_fns_.erase(it);
-    fn();
+    RunTimed(fn);
   }
 }
 
@@ -137,6 +178,8 @@ void EventLoop::Run() {
       }
       LARD_LOG(FATAL) << "epoll_wait: " << std::strerror(errno);
     }
+    const bool profiling = profiling_.load(std::memory_order_relaxed);
+    const int64_t tick_start = profiling ? NowUs() : 0;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wakeup_fd_.get()) {
@@ -152,10 +195,14 @@ void EventLoop::Run() {
         continue;
       }
       auto handler = it->second;  // keep alive across the call
-      (*handler)(events[i].events);
+      RunTimed([&]() { (*handler)(events[i].events); });
     }
     DrainTasks();
     FireDueTimers();
+    if (profiling) {
+      // Work done this iteration, excluding the epoll wait itself.
+      tick_us_->Observe(static_cast<double>(NowUs() - tick_start));
+    }
   }
   // Final drain so no posted task is silently dropped at shutdown.
   DrainTasks();

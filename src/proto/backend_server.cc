@@ -5,6 +5,7 @@
 #include <time.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "src/http/tagging.h"
@@ -22,6 +23,10 @@ BackendServer::BackendServer(const BackendConfig& config, EventLoop* loop,
   LARD_CHECK(loop_ != nullptr);
   LARD_CHECK(store_ != nullptr);
   LARD_CHECK(config_.node_id >= 0 && config_.node_id < config_.num_nodes);
+  tracer_ = config_.tracer;
+  if (tracer_ != nullptr) {
+    trace_ring_ = tracer_->Ring("be" + std::to_string(config_.node_id));
+  }
 }
 
 BackendServer::~BackendServer() {
@@ -327,6 +332,14 @@ BackendServer::ClientConn* BackendServer::AdoptCommon(int fe, ConnId conn_id, bo
       }
     });
   }
+  raw->traced = tracer_ != nullptr && tracer_->Sampled(conn_id);
+  raw->timed = raw->traced ||
+               (tracer_ != nullptr && tracer_->enabled() && tracer_->slow_threshold_us() > 0);
+  if (raw->traced) {
+    RecordSpan(tracer_, trace_ring_, conn_id, raw->trace_seq++, SpanKind::kAdopt,
+               config_.node_id, TraceNowUs(), 0, "fe=%d dirs=%zu autonomous=%d", fe,
+               raw->directives.size(), autonomous ? 1 : 0);
+  }
   counters_.connections_adopted.fetch_add(1, std::memory_order_relaxed);
   conns_.emplace(raw->id, std::move(conn));
 
@@ -361,6 +374,11 @@ void BackendServer::AdoptReplay(int fe, ReplayMsg msg, UniqueFd fd) {
   raw->splice_remaining = msg.splice_offset;
   raw->splice_origin = msg.origin_node;
   raw->splice_pending = msg.splice_offset > 0;
+  if (raw->traced) {
+    RecordSpan(tracer_, trace_ring_, raw->id, raw->trace_seq++, SpanKind::kReplay,
+               config_.node_id, TraceNowUs(), 0, "origin=%d splice=%llu", msg.origin_node,
+               static_cast<unsigned long long>(msg.splice_offset));
+  }
   counters_.replays_adopted.fetch_add(1, std::memory_order_relaxed);
   LARD_LOG(INFO) << "backend " << config_.node_id << ": adopted crash-replay connection "
                  << msg.conn_id << " (" << raw->directives.size() << " requests, splice offset "
@@ -514,6 +532,10 @@ void BackendServer::ProcessNext(ClientConn* conn) {
   RequestDirective directive = std::move(conn->directives.front());
   conn->directives.pop_front();
   conn->serving = true;
+  if (conn->timed) {
+    conn->serve_start_us = TraceNowUs();
+    conn->serve_cache = '-';
+  }
 
   NodeId peer = kInvalidNode;
   std::string untagged;
@@ -649,6 +671,7 @@ void BackendServer::ServeLocal(ClientConn* conn, const HttpRequest& request,
     if (metric_hits_ != nullptr) {
       metric_hits_->Increment();
     }
+    conn->serve_cache = 'h';
     WriteResponse(conn, request, 200, store_->BodyFor(target));
     return;
   }
@@ -656,18 +679,28 @@ void BackendServer::ServeLocal(ClientConn* conn, const HttpRequest& request,
   if (metric_misses_ != nullptr) {
     metric_misses_->Increment();
   }
+  conn->serve_cache = 'm';
   const ConnId id = conn->id;
   const bool cache_after_miss = directive.cache_after_miss;
+  const int64_t disk_start_us = conn->traced ? TraceNowUs() : 0;
+  const int queued_behind = conn->traced ? disk_->queue_length() : 0;
   // Copy the request: the disk read outlives this stack frame.
-  disk_->Read(size, [this, id, target, cache_after_miss, request]() {
+  disk_->Read(size, [this, id, target, cache_after_miss, request, disk_start_us,
+                     queued_behind]() {
     auto it = conns_.find(id);
     if (it == conns_.end()) {
       return;  // client went away while the disk was busy
     }
+    ClientConn* conn = it->second.get();
+    if (conn->traced) {
+      RecordSpan(tracer_, trace_ring_, id, conn->trace_seq++, SpanKind::kDiskWait,
+                 config_.node_id, disk_start_us, TraceNowUs() - disk_start_us, "queued=%d %s",
+                 queued_behind, request.path.c_str());
+    }
     if (cache_after_miss) {
       cache_.Insert(target, store_->SizeOf(target));
     }
-    WriteResponse(it->second.get(), request, 200, store_->BodyFor(target));
+    WriteResponse(conn, request, 200, store_->BodyFor(target));
   });
 }
 
@@ -680,12 +713,19 @@ void BackendServer::ServeLateral(ClientConn* conn, const HttpRequest& request, N
   LateralClient* client = peers_[static_cast<size_t>(peer)].get();
   LARD_CHECK(client != nullptr) << "no lateral client for node " << peer;
   const ConnId id = conn->id;
-  client->Fetch(path, [this, id, request](int status, std::string body) {
+  conn->serve_cache = 'l';
+  const int64_t lateral_start_us = conn->traced ? TraceNowUs() : 0;
+  client->Fetch(path, [this, id, peer, request, lateral_start_us](int status, std::string body) {
     auto it = conns_.find(id);
     if (it == conns_.end()) {
       return;
     }
     ClientConn* conn = it->second.get();
+    if (conn->traced) {
+      RecordSpan(tracer_, trace_ring_, id, conn->trace_seq++, SpanKind::kLateral,
+                 config_.node_id, lateral_start_us, TraceNowUs() - lateral_start_us,
+                 "peer=%d status=%d%s", peer, status, status == 0 ? " fallback=local" : "");
+    }
     if (status == 200) {
       // Relay without caching locally (NFS-client-caching-disabled semantics:
       // replication stays under LARD's control).
@@ -755,6 +795,33 @@ void BackendServer::WriteResponse(ClientConn* conn, const HttpRequest& request, 
   }
   conn->conn->Write(serialized);
   conn->last_activity_ms = NowMs();
+  if (conn->timed && conn->serve_start_us > 0) {
+    const int64_t now_us = TraceNowUs();
+    const int64_t total_us = now_us - conn->serve_start_us;
+    if (conn->traced) {
+      RecordSpan(tracer_, trace_ring_, conn->id, conn->trace_seq++, SpanKind::kServe,
+                 config_.node_id, conn->serve_start_us, total_us, "status=%d cache=%c %s",
+                 status, conn->serve_cache, request.path.c_str());
+      RecordSpan(tracer_, trace_ring_, conn->id, conn->trace_seq++, SpanKind::kFlush,
+                 config_.node_id, now_us, 0, "bytes=%zu pending=%zu", serialized.size(),
+                 conn->conn->pending_write_bytes());
+    }
+    if (tracer_->slow_threshold_us() > 0 && total_us >= tracer_->slow_threshold_us()) {
+      // Tail outliers get logged even when the trace was not sampled; the
+      // full span tree rides along when it was.
+      TraceSpan slow;
+      slow.trace_id = conn->id;
+      slow.seq = conn->trace_seq;
+      slow.kind = SpanKind::kServe;
+      slow.node = config_.node_id;
+      slow.start_us = conn->serve_start_us;
+      slow.duration_us = total_us;
+      std::snprintf(slow.detail, sizeof(slow.detail), "status=%d cache=%c %s", status,
+                    conn->serve_cache, request.path.c_str());
+      tracer_->LogSlow(slow);
+    }
+    conn->serve_start_us = 0;
+  }
   if (conn->replay_protected) {
     // Journal bookkeeping: where (in flushed-byte space) this response ends.
     conn->enqueued_total += serialized.size();

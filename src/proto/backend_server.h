@@ -44,6 +44,7 @@
 #include "src/proto/lateral_client.h"
 #include "src/util/liveness.h"
 #include "src/util/metrics.h"
+#include "src/util/tracing.h"
 
 namespace lard {
 
@@ -66,6 +67,10 @@ struct BackendConfig {
   // Optional shared registry; per-node counters are published under
   // lard_backend_*{node="k"}. Must be thread-safe (MetricsRegistry is).
   MetricsRegistry* metrics = nullptr;
+  // Optional request tracer: adopt/serve/disk/lateral/flush spans go into
+  // the "be<node_id>" ring. The sampling verdict depends only on the conn
+  // id, so FE and BE record the same connections.
+  Tracer* tracer = nullptr;
 };
 
 struct BackendCounters {
@@ -177,6 +182,14 @@ class BackendServer {
     bool migrating = false;     // hand-back in progress: no consults, no serves
     bool idle_reported = true;  // kIdle sent and nothing new since
     int64_t last_activity_ms = 0;
+    // Tracing (verdicts cached at adoption). `traced` = spans recorded;
+    // `timed` = per-request timestamps taken (traced, or the slow-request
+    // log is armed — which must see every request, not just sampled ones).
+    bool traced = false;
+    bool timed = false;
+    uint32_t trace_seq = 0;        // span ordinal within this connection
+    int64_t serve_start_us = 0;    // dequeue time of the request being served
+    char serve_cache = '-';        // 'h'it / 'm'iss / 'l'ateral for the kServe span
   };
 
   struct LateralConn {
@@ -272,6 +285,9 @@ class BackendServer {
   uint64_t next_lateral_id_ = 1;
 
   BackendCounters counters_;
+
+  Tracer* tracer_ = nullptr;
+  TraceRing* trace_ring_ = nullptr;
 
   // Shared-registry instruments (null when config.metrics is null).
   MetricCounter* metric_requests_ = nullptr;

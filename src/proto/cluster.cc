@@ -109,6 +109,12 @@ Cluster::Cluster(const ClusterConfig& config, const TargetCatalog* catalog)
     : config_(config), store_(catalog) {
   LARD_CHECK(config_.num_nodes > 0);
   LARD_CHECK(config_.num_frontends > 0);
+  TracerConfig tracer_config;
+  tracer_config.enabled = config_.tracing_enabled;
+  tracer_config.sample_every = config_.trace_sample_every;
+  tracer_config.ring_capacity = config_.trace_ring_capacity;
+  tracer_config.slow_threshold_us = config_.slow_request_threshold_us;
+  tracer_ = std::make_unique<Tracer>(tracer_config);
 }
 
 Cluster::~Cluster() { Stop(); }
@@ -138,7 +144,12 @@ Status Cluster::StartBackend(NodeId node_id, std::vector<UniqueFd>* fe_ends) {
   backend_config.lateral_timeout_ms = config_.lateral_timeout_ms;
   backend_config.heartbeat_interval_ms = config_.heartbeat_interval_ms;
   backend_config.metrics = &metrics_;
+  backend_config.tracer = tracer_.get();
   node->server = std::make_unique<BackendServer>(backend_config, node->loop.get(), &store_);
+  if (config_.profile_loops) {
+    // Must precede Run(): the loop thread starts just below.
+    node->loop->EnableProfiling(&metrics_, "be" + std::to_string(node_id));
+  }
   node->thread = std::thread([loop = node->loop.get()]() { loop->Run(); });
   Node* raw = node.get();
   LARD_CHECK(static_cast<size_t>(node_id) == nodes_.size());
@@ -203,12 +214,16 @@ Status Cluster::Start() {
     fe_config.replay_journal = config_.replay_journal;
     fe_config.idempotent_methods = config_.idempotent_methods;
     fe_config.metrics = &metrics_;
+    fe_config.tracer = tracer_.get();
     replica->frontend =
         std::make_unique<FrontEnd>(fe_config, replica->loop.get(), &store_.catalog());
     // Node teardown follows the front-ends' removal decisions (which may be
     // deferred past a graceful retire), not the admin call — and waits for
     // every replica to let go.
     replica->frontend->set_on_node_removed([this](NodeId node) { OnNodeRemoved(node); });
+    if (config_.profile_loops) {
+      replica->loop->EnableProfiling(&metrics_, "fe" + std::to_string(fe));
+    }
     replica->thread = std::thread([loop = replica->loop.get()]() { loop->Run(); });
     fes_.push_back(std::move(replica));
   }
@@ -321,6 +336,33 @@ void Cluster::RegisterAdminRoutes() {
     }
     return AdminResponse::Json("{\"id\":" + std::to_string(node) + ",\"action\":\"" + verb +
                                "\"}");
+  });
+
+  admin_->Route("GET", "/trace", [this](const HttpRequest& request, const std::string&) {
+    // The router matched on the query-stripped path; re-split here for the
+    // format selector.
+    const size_t q = request.path.find('?');
+    const std::string query = q == std::string::npos ? "" : request.path.substr(q + 1);
+    AdminResponse response;
+    if (query == "format=chrome") {
+      // Loadable in about:tracing / Perfetto ("Open trace file").
+      response.body = tracer_->RenderChrome();
+    } else if (query.empty() || query == "format=json") {
+      response.body = tracer_->RenderJson();
+    } else {
+      return AdminResponse::Error(400, "unknown format; use ?format=chrome or ?format=json");
+    }
+    return response;
+  });
+
+  admin_->Route("POST", "/loglevel", [](const HttpRequest& request, const std::string&) {
+    LogSeverity level = LogSeverity::kInfo;
+    if (!ParseLogSeverity(request.body, &level)) {
+      return AdminResponse::Error(400, "unknown level; use debug|info|warning|error");
+    }
+    SetMinLogSeverity(level);
+    LARD_LOG(WARNING) << "admin: log level set to " << LogSeverityName(level);
+    return AdminResponse::Json("{\"level\":\"" + std::string(LogSeverityName(level)) + "\"}");
   });
 
   admin_->Route("POST", "/policy", [this](const HttpRequest& request, const std::string&) {

@@ -31,6 +31,7 @@
 #include "src/trace/trace.h"
 #include "src/util/metrics.h"
 #include "src/util/status.h"
+#include "src/util/tracing.h"
 
 namespace lard {
 
@@ -75,6 +76,17 @@ struct ClusterConfig {
   bool replay_enabled = true;
   ReplayJournalConfig replay_journal;
   std::vector<std::string> idempotent_methods = {"GET", "HEAD"};
+  // Request tracing (src/util/tracing.h): every component records sampled
+  // per-request spans into fixed-size rings, drained via GET /trace
+  // (?format=chrome for about:tracing / Perfetto).
+  bool tracing_enabled = true;
+  uint32_t trace_sample_every = 16;  // 1 = trace every connection
+  size_t trace_ring_capacity = 2048;
+  // Requests slower than this are logged with their span tree (0 disables).
+  int64_t slow_request_threshold_us = 0;
+  // Publish event-loop health (lard_loop_*{loop="fe0"/"be1"/...} histograms:
+  // tick duration, callback runtime, wakeup-to-run latency, queue depth).
+  bool profile_loops = true;
 };
 
 // Snapshot of the whole cluster's counters.
@@ -149,6 +161,7 @@ class Cluster {
   const FrontEnd& frontend(int fe) const;
   int num_frontends() const { return static_cast<int>(fes_.size()); }
   MetricsRegistry* metrics() { return &metrics_; }
+  Tracer* tracer() { return tracer_.get(); }
 
  private:
   struct Node;
@@ -178,6 +191,7 @@ class Cluster {
   ClusterConfig config_;
   ContentStore store_;
   MetricsRegistry metrics_;
+  std::unique_ptr<Tracer> tracer_;
 
   std::vector<std::unique_ptr<FeReplica>> fes_;
   std::unique_ptr<AdminServer> admin_;

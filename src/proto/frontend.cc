@@ -58,6 +58,13 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCa
   // id to one node.
   next_conn_id_ = (static_cast<ConnId>(config_.fe_id) << 48) + 1;
 
+  // Trace ids are connection ids, so the FE-namespaced blocks above also make
+  // every trace id cluster-unique with no extra plumbing.
+  tracer_ = config_.tracer;
+  if (tracer_ != nullptr) {
+    trace_ring_ = tracer_->Ring("fe" + std::to_string(config_.fe_id));
+  }
+
   DispatcherConfig dispatch_config;
   dispatch_config.policy = config_.policy;
   dispatch_config.policy_name = config_.policy_name;
@@ -257,6 +264,8 @@ void FrontEnd::RecordFetchHints(const std::vector<TargetId>& targets,
 }
 
 void FrontEnd::GossipTick() {
+  const int64_t tick_start_us = TraceNowUs();
+  const size_t hint_count = pending_hints_.size();
   std::vector<GossipVcacheHint> hints;
   hints.reserve(pending_hints_.size());
   for (const uint64_t key : pending_hints_) {
@@ -283,6 +292,13 @@ void FrontEnd::GossipTick() {
       }
     }
   }
+  // Gossip rounds are component-scoped (no client connection), so they carry
+  // a synthetic per-replica trace id and bypass sampling.
+  RecordSpanUnsampled(tracer_, trace_ring_, static_cast<uint64_t>(config_.fe_id) << 48, 0,
+                      SpanKind::kGossip, static_cast<int32_t>(config_.fe_id), tick_start_us,
+                      TraceNowUs() - tick_start_us, "seq=%llu hints=%zu peers=%zu",
+                      static_cast<unsigned long long>(gossip_seq_), hint_count,
+                      fe_peers_.size());
   UpdateMeshSnapshot();
   loop_->ScheduleAfterMs(std::max<int64_t>(config_.gossip_interval_ms, 1),
                          alive_.Guard([this]() { GossipTick(); }));
@@ -617,6 +633,8 @@ void FrontEnd::OnAccept(uint32_t) {
       }
     });
     raw->conn->Start();
+    RecordSpan(tracer_, trace_ring_, raw->id, 0, SpanKind::kAccept,
+               static_cast<int32_t>(config_.fe_id), TraceNowUs(), 0, "fd=%d", fd);
     conns_.emplace(raw->id, std::move(conn));
 
     if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
@@ -703,10 +721,27 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
     paths.push_back(request.path);
   }
 
+  // Sampling verdict once per connection; the detail strings (notably the
+  // load snapshot) are only built for sampled traces.
+  const bool traced = tracer_ != nullptr && tracer_->Sampled(conn->id);
+  if (traced) {
+    RecordSpan(tracer_, trace_ring_, conn->id, 1, SpanKind::kParse,
+               static_cast<int32_t>(config_.fe_id), TraceNowUs(), 0, "reqs=%zu bytes=%zu",
+               requests.size(), conn->raw_bytes.size());
+  }
+
   dispatcher_->OnConnectionOpen(conn->id);
   live_in_dispatcher_.insert(conn->id);
   const std::vector<TargetId> targets = PathsToTargets(paths);
+  const int64_t policy_start_us = traced ? TraceNowUs() : 0;
   const std::vector<Assignment> assignments = dispatcher_->OnBatch(conn->id, targets);
+  if (traced) {
+    const std::string policy_key = dispatcher_->policy().name();
+    RecordSpan(tracer_, trace_ring_, conn->id, 2, SpanKind::kPolicy,
+               assignments.empty() ? -1 : assignments[0].node, policy_start_us,
+               TraceNowUs() - policy_start_us, "policy=%s loads=%s", policy_key.c_str(),
+               dispatcher_->DescribeLoads().c_str());
+  }
   RecordFetchHints(targets, assignments);
   if (assignments.empty()) {
     // Defensive only (OnBatch returns one assignment per request): if the
@@ -770,6 +805,10 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
   }
   nodes_[static_cast<size_t>(node)].control->SendWithFd(
       static_cast<uint8_t>(ControlMsg::kHandoff), EncodeHandoff(msg), std::move(detached.fd));
+  if (traced) {
+    RecordSpan(tracer_, trace_ring_, conn->id, 3, SpanKind::kHandoff, node, TraceNowUs(), 0,
+               "reqs=%zu journal=%d", requests.size(), msg.replay_protected ? 1 : 0);
+  }
   counters_.handoffs.fetch_add(1, std::memory_order_relaxed);
   if (nodes_[static_cast<size_t>(node)].handoff_counter != nullptr) {
     nodes_[static_cast<size_t>(node)].handoff_counter->Increment();
@@ -936,6 +975,8 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
         LARD_LOG(ERROR) << "front-end: bad journal append from node " << node;
         return;
       }
+      RecordSpan(tracer_, trace_ring_, msg.conn_id, 5, SpanKind::kJournal, node, TraceNowUs(), 0,
+                 "%s %s", msg.method.c_str(), msg.path.c_str());
       ReplayJournal::Entry entry;
       entry.bytes = std::move(msg.request_bytes);
       entry.idempotent = IsIdempotent(msg.method);
@@ -1088,6 +1129,8 @@ void FrontEnd::RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd f
   handoff.unparsed_input = std::move(msg.replay_input);
   nodes_[static_cast<size_t>(target)].control->SendWithFd(
       static_cast<uint8_t>(ControlMsg::kHandoff), EncodeHandoff(handoff), std::move(fd));
+  RecordSpan(tracer_, trace_ring_, msg.conn_id, 7, SpanKind::kReassign, target, TraceNowUs(), 0,
+             "from=%d reason=drain", from_node);
   counters_.rehandoffs.fetch_add(1, std::memory_order_relaxed);
   if (metric_rehandoffs_ != nullptr) {
     metric_rehandoffs_->Increment();
@@ -1160,12 +1203,15 @@ void FrontEnd::RebuildJournalFromHandback(ConnId conn, const HandbackMsg& msg) {
 }
 
 void FrontEnd::TryReplayOrphan(ConnId conn, NodeId dead_node) {
+  const int64_t replay_start_us = TraceNowUs();
   ReplayJournal::Plan plan = journal_.PlanFor(conn);
   if (!plan.tracked) {
     return;  // unprotected connection (replay off, or the handoff dup failed)
   }
   const int raw_fd = journal_.client_fd(conn);
   const auto give_up = [&](const char* why, int status) {
+    RecordSpan(tracer_, trace_ring_, conn, 6, SpanKind::kReassign, dead_node, replay_start_us,
+               TraceNowUs() - replay_start_us, "replay-giveup: %s (%d)", why, status);
     counters_.replay_giveups.fetch_add(1, std::memory_order_relaxed);
     if (metric_replay_giveups_ != nullptr) {
       metric_replay_giveups_->Increment();
@@ -1263,6 +1309,9 @@ void FrontEnd::TryReplayOrphan(ConnId conn, NodeId dead_node) {
     }
     RecordFetchHints(pending, seeded);
   }
+  RecordSpan(tracer_, trace_ring_, conn, 6, SpanKind::kReplay, target, replay_start_us,
+             TraceNowUs() - replay_start_us, "from=%d reqs=%zu splice=%llu", dead_node,
+             plan.entries.size(), static_cast<unsigned long long>(plan.splice_offset));
   LARD_LOG(INFO) << "front-end: replayed connection " << conn << " from dead node " << dead_node
                  << " onto node " << target << " (" << plan.entries.size()
                  << " requests + " << plan.partial_tail.size()
@@ -1275,8 +1324,16 @@ void FrontEnd::HandleConsult(NodeId node, const ConsultMsg& msg) {
   if (live_in_dispatcher_.count(msg.conn_id) == 0) {
     return;  // connection raced away; the back-end will see kConnClosed state
   }
+  const bool traced = tracer_ != nullptr && tracer_->Sampled(msg.conn_id);
+  const int64_t consult_start_us = traced ? TraceNowUs() : 0;
   const std::vector<TargetId> targets = PathsToTargets(msg.paths);
   const std::vector<Assignment> assignments = dispatcher_->OnBatch(msg.conn_id, targets);
+  if (traced) {
+    const std::string policy_key = dispatcher_->policy().name();
+    RecordSpan(tracer_, trace_ring_, msg.conn_id, 4, SpanKind::kConsult, node, consult_start_us,
+               TraceNowUs() - consult_start_us, "reqs=%zu policy=%s loads=%s", msg.paths.size(),
+               policy_key.c_str(), dispatcher_->DescribeLoads().c_str());
+  }
   RecordFetchHints(targets, assignments);
   AssignmentsMsg reply;
   reply.conn_id = msg.conn_id;

@@ -55,6 +55,7 @@
 #include "src/trace/trace.h"
 #include "src/util/liveness.h"
 #include "src/util/metrics.h"
+#include "src/util/tracing.h"
 
 namespace lard {
 
@@ -108,6 +109,10 @@ struct FrontEndConfig {
   std::vector<std::string> idempotent_methods = {"GET", "HEAD"};
   // Optional shared registry (lard_fe_*, lard_cluster_* instruments).
   MetricsRegistry* metrics = nullptr;
+  // Optional request tracer: accept/parse/policy/handoff/replay spans are
+  // recorded into the "fe<fe_id>" ring (sampled by trace id, so FE and
+  // back-end spans of one connection are kept or dropped together).
+  Tracer* tracer = nullptr;
 };
 
 struct FrontEndCounters {
@@ -325,6 +330,9 @@ class FrontEnd {
   uint64_t gossip_sent_ = 0;
   mutable std::mutex mesh_json_mutex_;
   std::string mesh_json_;  // refreshed each tick; read by the admin thread
+
+  Tracer* tracer_ = nullptr;
+  TraceRing* trace_ring_ = nullptr;
 
   FrontEndCounters counters_;
   MetricGauge* metric_active_nodes_ = nullptr;

@@ -171,6 +171,10 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
   if (config_.failure_replay) {
     replay_rng_ = std::make_unique<Rng>(config_.replay_seed);
   }
+  tracer_ = config_.tracer;
+  if (tracer_ != nullptr) {
+    trace_ring_ = tracer_->Ring("sim");
+  }
   if (config_.metrics != nullptr) {
     metric_batch_latency_ = config_.metrics->Histogram("lard_sim_batch_latency_us");
     metric_requests_ = config_.metrics->Counter("lard_sim_requests_total");
@@ -366,6 +370,15 @@ void ClusterSim::GossipRound() {
     }
   }
 
+  // Gossip is cluster health, not per-request flow: always recorded when
+  // tracing is on, under a synthetic per-round trace id.
+  RecordSpanUnsampled(tracer_, trace_ring_, uint64_t{1} << 60, 0, SpanKind::kGossip, -1,
+                      now, static_cast<int64_t>(queue_.now_us()) - now,
+                      "round=%llu deltas=%llu bytes=%llu",
+                      static_cast<unsigned long long>(gossip_rounds_),
+                      static_cast<unsigned long long>(gossip_deltas_applied_),
+                      static_cast<unsigned long long>(gossip_bytes_));
+
   if (sessions_done_ < trace_->sessions().size()) {
     queue_.ScheduleAfter(static_cast<double>(config_.gossip_interval_us),
                          [this]() { GossipRound(); });
@@ -447,6 +460,9 @@ void ClusterSim::ReplayOrphanedRun(SessionRun* run, NodeId dead_node) {
     return;
   }
   ++replayed_connections_;
+  RecordSpan(tracer_, trace_ring_, run->conn, 3, SpanKind::kReplay, target,
+             static_cast<int64_t>(queue_.now_us()), 0, "from=%d reqs=%zu", dead_node,
+             replay_indices.size());
   run->drain_pending = false;
   // The front-end pays the re-handoff work, as in the drain path.
   fe_accounted_us_[static_cast<size_t>(run->fe)] += config_.fe_costs.migrate_us;
@@ -509,6 +525,8 @@ void ClusterSim::RehandoffIfDraining(SessionRun* run, const std::vector<TargetId
     return;  // nowhere to go; the connection stays pinned (prototype 503s)
   }
   ++rehandoffs_;
+  RecordSpan(tracer_, trace_ring_, run->conn, 3, SpanKind::kReassign, moved_to,
+             static_cast<int64_t>(queue_.now_us()), 0, "reason=drain");
   if (metric_rehandoffs_ != nullptr) {
     metric_rehandoffs_->Increment();
   }
@@ -536,6 +554,14 @@ void ClusterSim::ProcessBatch(SessionRun* run) {
   std::vector<Assignment> assignments =
       DispatcherFor(run).OnBatch(run->conn, batch.targets);
   LARD_CHECK(assignments.size() == batch.targets.size());
+  // OnBatch is synchronous in virtual time, so the decision span has zero
+  // duration — what matters is the chosen node and the decision's inputs.
+  RecordSpan(tracer_, trace_ring_, run->conn, 1, SpanKind::kPolicy, assignments[0].node,
+             static_cast<int64_t>(run->batch_start_us), 0, "fe=%d batch=%zu reqs=%zu loads=%s",
+             run->fe, run->next_batch - 1, batch.targets.size(),
+             tracer_ != nullptr && tracer_->Sampled(run->conn)
+                 ? DispatcherFor(run).DescribeLoads().c_str()
+                 : "");
   if (config_.failure_replay) {
     // Fresh in-flight records for this batch: serving node + idempotency
     // verdict per request (the crash handler consults them).
@@ -703,6 +729,11 @@ void ClusterSim::OnResponseDone(SessionRun* run) {
   if (metric_batch_latency_ != nullptr) {
     metric_batch_latency_->Observe(static_cast<double>(queue_.now_us() - run->batch_start_us));
   }
+  RecordSpan(tracer_, trace_ring_, run->conn, 2, SpanKind::kServe,
+             DispatcherFor(run).HandlingNode(run->conn),
+             static_cast<int64_t>(run->batch_start_us),
+             static_cast<int64_t>(queue_.now_us() - run->batch_start_us), "batch=%zu",
+             run->next_batch - 1);
 
   if (run->next_batch >= run->session->batches.size()) {
     FinishSession(run);

@@ -29,6 +29,7 @@
 #include "src/util/metrics.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
+#include "src/util/tracing.h"
 
 namespace lard {
 
@@ -124,6 +125,13 @@ struct ClusterSimConfig {
 
   // Optional shared registry (lard_sim_* instruments + dispatcher gauges).
   MetricsRegistry* metrics = nullptr;
+  // Optional span recorder (ring "sim"): the simulator emits the same span
+  // model as the prototype — policy decisions, batch service, failure
+  // replays, gossip rounds — but stamped with *virtual* time, so a sim trace
+  // and a prototype trace of the same scenario line up side by side in the
+  // chrome viewer. Connection ids are deterministic, so sampling picks the
+  // same connections on every run.
+  Tracer* tracer = nullptr;
 };
 
 struct BackendSimMetrics {
@@ -306,6 +314,8 @@ class ClusterSim {
   uint64_t gossip_divergent_deltas_ = 0;
   uint64_t ownership_violations_ = 0;
   double max_gossip_lag_us_ = 0.0;
+  Tracer* tracer_ = nullptr;
+  TraceRing* trace_ring_ = nullptr;
   MetricHistogram* metric_batch_latency_ = nullptr;
   MetricCounter* metric_requests_ = nullptr;
   MetricCounter* metric_failovers_ = nullptr;

@@ -1,15 +1,27 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <string>
 
 namespace lard {
 namespace {
 
-std::atomic<LogSeverity> g_min_severity{LogSeverity::kInfo};
+LogSeverity InitialSeverity() {
+  const char* env = std::getenv("LARD_LOG_LEVEL");
+  LogSeverity severity = LogSeverity::kInfo;
+  if (env != nullptr && !ParseLogSeverity(env, &severity)) {
+    // Too early to log through ourselves reliably; say it plainly.
+    std::fprintf(stderr, "[W logging.cc] LARD_LOG_LEVEL=\"%s\" not recognized; using info\n", env);
+  }
+  return severity;
+}
+
+std::atomic<LogSeverity> g_min_severity{InitialSeverity()};
 
 std::mutex& LogMutex() {
   static std::mutex mu;
@@ -42,6 +54,46 @@ const char* Basename(const char* path) {
 
 void SetMinLogSeverity(LogSeverity severity) { g_min_severity.store(severity); }
 LogSeverity MinLogSeverity() { return g_min_severity.load(); }
+
+bool ParseLogSeverity(const std::string& name, LogSeverity* severity) {
+  std::string lower;
+  for (const char c : name) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      continue;
+    }
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    *severity = LogSeverity::kDebug;
+  } else if (lower == "info") {
+    *severity = LogSeverity::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *severity = LogSeverity::kWarning;
+  } else if (lower == "error") {
+    *severity = LogSeverity::kError;
+  } else if (lower == "fatal") {
+    *severity = LogSeverity::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogSeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "debug";
+    case LogSeverity::kInfo:
+      return "info";
+    case LogSeverity::kWarning:
+      return "warning";
+    case LogSeverity::kError:
+      return "error";
+    case LogSeverity::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity), file_(file), line_(line) {}

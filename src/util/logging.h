@@ -14,9 +14,19 @@ namespace lard {
 
 enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
-// Messages below this severity are discarded. Default: kInfo.
+// Messages below this severity are discarded. Default: kInfo, overridable at
+// process startup with the LARD_LOG_LEVEL environment variable
+// ("debug"/"info"/"warning"/"error") and at runtime on a live cluster via the
+// admin API (POST /loglevel).
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
+
+// Parses a severity name ("debug", "info", "warning"/"warn", "error",
+// "fatal"; case-insensitive, surrounding whitespace ignored). Returns false
+// on unknown names, leaving `severity` untouched.
+bool ParseLogSeverity(const std::string& name, LogSeverity* severity);
+// Canonical lowercase name ("info") for rendering the current level.
+const char* LogSeverityName(LogSeverity severity);
 
 // One in-flight log statement; emits on destruction.
 class LogMessage {

@@ -11,8 +11,38 @@ int BucketFor(double value) {
   if (!(value >= 1.0)) {
     return 0;  // negatives, NaN and sub-unit samples land in bucket 0
   }
-  const int bucket = static_cast<int>(std::log2(value));
+  int octave = static_cast<int>(std::log2(value));
+  double frac = value / std::exp2(octave);  // in [1, 2) modulo rounding
+  if (frac >= 2.0) {
+    ++octave;
+    frac = 1.0;
+  }
+  const int sub = std::min(static_cast<int>((frac - 1.0) * MetricHistogram::kSubBuckets),
+                           MetricHistogram::kSubBuckets - 1);
+  const int bucket = octave * MetricHistogram::kSubBuckets + sub;
   return bucket >= MetricHistogram::kBuckets ? MetricHistogram::kBuckets - 1 : bucket;
+}
+
+// Splits "name{label=\"x\"}" into the canonical family name and the label
+// block (empty when unlabeled) — Prometheus # TYPE lines and quantile labels
+// need the bare family name.
+void SplitName(const std::string& name, std::string* base, std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
+// Appends one label to an existing (possibly empty) label block.
+std::string WithExtraLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) {
+    return "{" + extra + "}";
+  }
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
 }
 
 std::string FormatDouble(double value) {
@@ -51,6 +81,12 @@ double MetricHistogram::mean() const {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
+double MetricHistogram::BucketUpperBound(int index) {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return std::exp2(octave) * (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+}
+
 double MetricHistogram::Percentile(double p) const {
   const uint64_t total = count();
   if (total == 0) {
@@ -61,10 +97,10 @@ double MetricHistogram::Percentile(double p) const {
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[i].load(std::memory_order_relaxed);
     if (static_cast<double>(seen) >= target) {
-      return std::pow(2.0, i + 1);  // bucket upper bound
+      return BucketUpperBound(i);
     }
   }
-  return std::pow(2.0, kBuckets);
+  return BucketUpperBound(kBuckets - 1);
 }
 
 MetricCounter* MetricsRegistry::Counter(const std::string& name) {
@@ -105,18 +141,43 @@ std::string MetricsRegistry::WithFe(const std::string& name, int32_t fe) {
 std::string MetricsRegistry::RenderText() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
+  std::string base;
+  std::string labels;
+  // One # TYPE line per metric family: labeled variants of one family sort
+  // adjacently (maps are name-ordered), so tracking the last family suffices.
+  std::string last_family;
   for (const auto& [name, counter] : counters_) {
+    SplitName(name, &base, &labels);
+    if (base != last_family) {
+      out << "# TYPE " << base << " counter\n";
+      last_family = base;
+    }
     out << name << " " << counter->value() << "\n";
   }
+  last_family.clear();
   for (const auto& [name, gauge] : gauges_) {
+    SplitName(name, &base, &labels);
+    if (base != last_family) {
+      out << "# TYPE " << base << " gauge\n";
+      last_family = base;
+    }
     out << name << " " << FormatDouble(gauge->value()) << "\n";
   }
+  last_family.clear();
   for (const auto& [name, histogram] : histograms_) {
-    out << name << "_count " << histogram->count() << "\n";
-    out << name << "_sum " << FormatDouble(histogram->sum()) << "\n";
-    out << name << "_p50 " << FormatDouble(histogram->Percentile(50)) << "\n";
-    out << name << "_p90 " << FormatDouble(histogram->Percentile(90)) << "\n";
-    out << name << "_p99 " << FormatDouble(histogram->Percentile(99)) << "\n";
+    SplitName(name, &base, &labels);
+    if (base != last_family) {
+      out << "# TYPE " << base << " summary\n";
+      last_family = base;
+    }
+    out << base << WithExtraLabel(labels, "quantile=\"0.5\"") << " "
+        << FormatDouble(histogram->Percentile(50)) << "\n";
+    out << base << WithExtraLabel(labels, "quantile=\"0.9\"") << " "
+        << FormatDouble(histogram->Percentile(90)) << "\n";
+    out << base << WithExtraLabel(labels, "quantile=\"0.99\"") << " "
+        << FormatDouble(histogram->Percentile(99)) << "\n";
+    out << base << "_count" << labels << " " << histogram->count() << "\n";
+    out << base << "_sum" << labels << " " << FormatDouble(histogram->sum()) << "\n";
   }
   return out.str();
 }

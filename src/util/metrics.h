@@ -41,13 +41,20 @@ class MetricGauge {
   std::atomic<double> value_{0.0};
 };
 
-// Log2-bucketed latency/size histogram with atomic buckets: bucket i counts
-// samples in [2^i, 2^(i+1)), bucket 0 additionally holds samples < 1.
-// Percentiles are upper bounds of the covering bucket (factor-of-2 accuracy,
-// which is what operational latency monitoring needs).
+// Log-linear latency/size histogram with atomic buckets: each power-of-two
+// octave [2^o, 2^(o+1)) is split into kSubBuckets equal-width sub-buckets, so
+// percentile upper bounds are within +25% of the true value (vs the
+// factor-of-2 error of pure log2 buckets). Bucket 0 additionally holds
+// samples < 1. Storage stays a fixed array of atomics; Observe is still one
+// relaxed fetch_add per sample.
 class MetricHistogram {
  public:
-  static constexpr int kBuckets = 64;
+  static constexpr int kSubBuckets = 4;   // per octave
+  static constexpr int kOctaves = 64;
+  static constexpr int kBuckets = kOctaves * kSubBuckets;
+
+  // Exclusive upper bound of bucket `index`: 2^o * (1 + (s+1)/kSubBuckets).
+  static double BucketUpperBound(int index);
 
   void Observe(double value);
 
@@ -83,8 +90,9 @@ class MetricsRegistry {
   // "name{fe=\"1\"}" — the per-front-end label family (replicated FE tier).
   static std::string WithFe(const std::string& name, int32_t fe);
 
-  // Plaintext exposition: one "name value" line per instrument, histograms
-  // expanded to _count/_sum/_p50/_p90/_p99 lines. Sorted by name.
+  // Prometheus text exposition: "# TYPE" lines per metric family, one
+  // "name value" line per counter/gauge, histograms rendered as summaries —
+  // quantile lines under the canonical name plus _count/_sum. Sorted by name.
   std::string RenderText() const;
   // The same data as a JSON object {"counters":{...},"gauges":{...},
   // "histograms":{"name":{"count":..,"sum":..,"p50":..,"p90":..,"p99":..}}}.

@@ -1,0 +1,169 @@
+// Per-request distributed tracing for the cluster: a lock-cheap, sampled
+// span recorder that follows one client request from front-end accept through
+// policy decision, handoff/consult, back-end serve (cache/disk/lateral) to
+// response flush — and across the failure path (journal, replay,
+// reassignment) and mesh gossip rounds.
+//
+// Design:
+//  - The trace id is the FE-namespaced connection id (fe_id << 48 | counter),
+//    which already travels in every control message — tracing adds no wire
+//    format changes. The request sequence number distinguishes requests on
+//    one persistent connection.
+//  - Sampling is deterministic on the trace id (hash % sample_every), so the
+//    front-end, the back-ends and the simulator all sample the *same*
+//    connections without coordination.
+//  - Spans are fixed-size PODs written into preallocated per-component ring
+//    buffers (overwrite-oldest). Recording takes one short per-ring mutex
+//    (uncontended in steady state: each ring has a single writer thread) and
+//    performs no allocation; detail strings are snprintf'd into a fixed
+//    buffer after the sampling check.
+//  - The admin server drains the rings: GET /trace renders recent traces as
+//    JSON, GET /trace?format=chrome emits Chrome trace-event format loadable
+//    in about:tracing / Perfetto.
+//  - A slow-request log catches tail outliers even when sampling misses
+//    them: when a request exceeds the threshold, its full span tree (if
+//    sampled) or a one-line summary (if not) goes to LARD_LOG.
+#ifndef SRC_UTIL_TRACING_H_
+#define SRC_UTIL_TRACING_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lard {
+
+// Stages of a request's life, across components. One enum for FE, BE, mesh
+// and simulator spans so traces from all of them merge into one tree.
+enum class SpanKind : uint8_t {
+  kAccept = 0,    // FE accepted the client connection
+  kParse,         // request bytes parsed into targets
+  kPolicy,        // routing decision (detail: policy key, node, loads)
+  kHandoff,       // FE shipped the connection to a back-end
+  kConsult,       // back-end asked the FE mid-stream / FE answered
+  kAdopt,         // BE adopted a handed-off (or replayed) connection
+  kServe,         // BE produced one response (detail: cache hit/miss)
+  kDiskWait,      // time gated behind the BE disk queue
+  kLateral,       // lateral fetch from a peer BE (detail: peer id)
+  kFlush,         // response bytes written toward the client
+  kJournal,       // replay-journal append
+  kReplay,        // orphaned connection replayed after a crash
+  kReassign,      // connection reassigned (detail: reason)
+  kGossip,        // one mesh gossip round
+};
+
+const char* SpanKindName(SpanKind kind);
+
+// One recorded span. Fixed size, trivially copyable: the ring buffers are
+// flat arrays of these and the hot path never allocates.
+struct TraceSpan {
+  uint64_t trace_id = 0;   // FE-namespaced conn id (0 = component-scoped)
+  uint32_t seq = 0;        // request ordinal within the connection
+  SpanKind kind = SpanKind::kAccept;
+  int32_t node = -1;       // serving/chosen node, or FE id for FE spans
+  int64_t start_us = 0;    // CLOCK_MONOTONIC µs (prototype) or sim time
+  int64_t duration_us = 0;
+  char detail[64] = {};    // NUL-terminated free-form annotation
+};
+
+// Fixed-capacity overwrite-oldest span store. One ring per component (per FE
+// replica, per back-end, one for the simulator); a short mutex per record
+// keeps cross-thread drains (the admin server) race-free.
+class TraceRing {
+ public:
+  TraceRing(std::string name, size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Record(const TraceSpan& span);
+  // Oldest-first copy of the current contents.
+  std::vector<TraceSpan> Snapshot() const;
+
+  const std::string& name() const { return name_; }
+  size_t capacity() const { return slots_.size(); }
+  // Total spans ever recorded (≥ Snapshot().size(); the excess overwrote).
+  uint64_t recorded() const;
+
+ private:
+  const std::string name_;
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> slots_;
+  size_t next_ = 0;     // next write position
+  size_t size_ = 0;     // live spans (≤ capacity)
+  uint64_t recorded_ = 0;
+};
+
+struct TracerConfig {
+  bool enabled = true;
+  // Record every Nth connection (deterministic on the trace id); 1 = all.
+  uint32_t sample_every = 16;
+  size_t ring_capacity = 2048;
+  // Requests slower than this are logged (full span tree when sampled,
+  // one-line summary otherwise). 0 disables the slow log.
+  int64_t slow_threshold_us = 0;
+};
+
+// Owns the rings and the sampling decision; one per cluster (and one per
+// simulator). All methods are thread-safe.
+class Tracer {
+ public:
+  explicit Tracer(const TracerConfig& config) : config_(config) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Find-or-create; the returned pointer is stable for the tracer's
+  // lifetime — components look their ring up once and cache it.
+  TraceRing* Ring(const std::string& name);
+
+  bool enabled() const { return config_.enabled; }
+  int64_t slow_threshold_us() const { return config_.slow_threshold_us; }
+  uint32_t sample_every() const { return config_.sample_every; }
+
+  // Deterministic per-connection sampling verdict; identical on every
+  // component because it depends only on the trace id.
+  bool Sampled(uint64_t trace_id) const;
+
+  // Recent traces grouped by trace id:
+  // {"traces":[{"trace_id":..,"spans":[...]}],"rings":[...]}.
+  std::string RenderJson() const;
+  // Chrome trace-event format ("traceEvents") for about:tracing / Perfetto;
+  // each ring becomes one named pseudo-thread.
+  std::string RenderChrome() const;
+
+  // Slow-request log: called by a component when a request's total time
+  // exceeded slow_threshold_us. Logs the summary line always, plus the
+  // request's full span tree when the trace was sampled.
+  void LogSlow(const TraceSpan& final_span);
+
+ private:
+  std::vector<TraceSpan> SpansForTrace(uint64_t trace_id) const;
+
+  const TracerConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+// Monotonic microsecond clock for span timestamps (prototype side; the
+// simulator stamps spans with virtual time instead).
+int64_t TraceNowUs();
+
+// Records a span iff `tracer`/`ring` are live and the trace is sampled. The
+// printf-style detail is formatted into the span's fixed buffer only after
+// the sampling check, so unsampled requests pay one hash and nothing else.
+void RecordSpan(Tracer* tracer, TraceRing* ring, uint64_t trace_id, uint32_t seq, SpanKind kind,
+                int32_t node, int64_t start_us, int64_t duration_us, const char* detail_fmt, ...)
+    __attribute__((format(printf, 9, 10)));
+
+// Same, but bypasses sampling (still gated on enabled): for component-scoped
+// spans with no connection, like mesh gossip rounds.
+void RecordSpanUnsampled(Tracer* tracer, TraceRing* ring, uint64_t trace_id, uint32_t seq,
+                         SpanKind kind, int32_t node, int64_t start_us, int64_t duration_us,
+                         const char* detail_fmt, ...) __attribute__((format(printf, 9, 10)));
+
+}  // namespace lard
+
+#endif  // SRC_UTIL_TRACING_H_

@@ -10,6 +10,7 @@
 
 #include "src/net/socket.h"
 #include "src/proto/cluster.h"
+#include "src/util/logging.h"
 #include "src/proto/load_generator.h"
 #include "src/trace/synthetic.h"
 
@@ -242,6 +243,69 @@ TEST(AdminClusterTest, PolicySwitchAtRuntime) {
   load.num_clients = 6;
   const LoadResult result = RunLoad(load, trace);
   EXPECT_EQ(result.responses_ok, trace.total_requests());
+  cluster.Stop();
+}
+
+TEST(AdminClusterTest, TraceEndpointReturnsFullSpanTrees) {
+  const Trace trace = TestTrace(47, 120);
+  ClusterConfig config = BaseConfig(2);
+  config.trace_sample_every = 1;  // trace every connection for the assertion
+  Cluster cluster(config, &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  LoadGeneratorConfig load;
+  load.port = cluster.port();
+  load.num_clients = 6;
+  const LoadResult result = RunLoad(load, trace);
+  EXPECT_EQ(result.responses_ok, trace.total_requests());
+
+  // The default JSON rendering groups spans per trace id and includes the
+  // whole FE->BE life of a request.
+  const std::string traces = AdminHttp(cluster.admin_port(), "GET", "/trace");
+  ASSERT_EQ(traces.substr(0, 3), "200");
+  EXPECT_NE(traces.find("\"sample_every\":1"), std::string::npos);
+  EXPECT_NE(traces.find("\"trace_id\":"), std::string::npos);
+  for (const char* kind : {"accept", "parse", "policy", "handoff", "adopt", "serve", "flush"}) {
+    EXPECT_NE(traces.find("\"kind\":\"" + std::string(kind) + "\""), std::string::npos)
+        << "missing span kind " << kind;
+  }
+  // Per-component rings: front-end plus both back-ends.
+  EXPECT_NE(traces.find("\"name\":\"fe0\""), std::string::npos);
+  EXPECT_NE(traces.find("\"name\":\"be0\""), std::string::npos);
+  EXPECT_NE(traces.find("\"name\":\"be1\""), std::string::npos);
+  // The policy span carries the decision inputs.
+  EXPECT_NE(traces.find("policy=extlard"), std::string::npos) << traces.substr(0, 2000);
+
+  // Chrome trace-event format for about:tracing / Perfetto.
+  const std::string chrome = AdminHttp(cluster.admin_port(), "GET", "/trace?format=chrome");
+  ASSERT_EQ(chrome.substr(0, 3), "200");
+  EXPECT_NE(chrome.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"M\""), std::string::npos);
+
+  EXPECT_EQ(AdminHttp(cluster.admin_port(), "GET", "/trace?format=bogus").substr(0, 3), "400");
+  cluster.Stop();
+}
+
+TEST(AdminClusterTest, LogLevelEndpointSwitchesSeverity) {
+  const Trace trace = TestTrace(51, 40);
+  Cluster cluster(BaseConfig(2), &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+  const LogSeverity before = MinLogSeverity();
+
+  const std::string raised = AdminHttp(cluster.admin_port(), "POST", "/loglevel", "error\n");
+  EXPECT_EQ(raised.substr(0, 3), "200") << raised;
+  EXPECT_NE(raised.find("{\"level\":\"error\"}"), std::string::npos) << raised;
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+
+  EXPECT_EQ(AdminHttp(cluster.admin_port(), "POST", "/loglevel", "verbose").substr(0, 3), "400");
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError) << "bad level must not change the setting";
+
+  const std::string lowered = AdminHttp(cluster.admin_port(), "POST", "/loglevel", "info");
+  EXPECT_EQ(lowered.substr(0, 3), "200");
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kInfo);
+
+  SetMinLogSeverity(before);
   cluster.Stop();
 }
 

@@ -57,6 +57,36 @@ TEST(ClusterSimTest, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.cache_hit_rate, b.cache_hit_rate);
 }
 
+TEST(ClusterSimTest, TracerRecordsDeterministicVirtualTimeSpans) {
+  const Trace trace = TestTrace();
+  TracerConfig tracer_config;
+  tracer_config.sample_every = 1;
+  tracer_config.ring_capacity = 8192;
+
+  // Two traced runs of the same scenario must record byte-identical span
+  // sets: conn ids are deterministic and timestamps are virtual.
+  std::string renders[2];
+  for (int run = 0; run < 2; ++run) {
+    Tracer tracer(tracer_config);
+    ClusterSimConfig config =
+        BaseConfig(3, Policy::kExtendedLard, Mechanism::kBackEndForwarding);
+    config.tracer = &tracer;
+    ClusterSim sim(config, &trace);
+    const ClusterSimMetrics metrics = sim.Run();
+    EXPECT_EQ(metrics.total_requests, trace.total_requests());
+    EXPECT_GT(tracer.Ring("sim")->recorded(), 0u);
+    renders[run] = tracer.RenderJson();
+    EXPECT_NE(renders[run].find("\"kind\":\"policy\""), std::string::npos);
+    EXPECT_NE(renders[run].find("\"kind\":\"serve\""), std::string::npos);
+  }
+  EXPECT_EQ(renders[0], renders[1]) << "sim spans must be run-to-run deterministic";
+
+  // An untraced run is unaffected (null tracer is the default).
+  ClusterSim untraced(BaseConfig(3, Policy::kExtendedLard, Mechanism::kBackEndForwarding),
+                      &trace);
+  EXPECT_EQ(untraced.Run().total_requests, trace.total_requests());
+}
+
 TEST(ClusterSimTest, Http10ModeCreatesConnectionPerRequest) {
   const Trace trace = TestTrace();
   ClusterSimConfig config = BaseConfig(2, Policy::kLard, Mechanism::kSingleHandoff);

@@ -33,8 +33,9 @@ TEST(MetricsTest, WithNodeFormatsLabel) {
 TEST(MetricsTest, HistogramPercentilesBracketTheData) {
   MetricsRegistry registry;
   MetricHistogram* histogram = registry.Histogram("lard_test_us");
-  // 900 samples near 100, 100 samples near 100000: p50 must bracket 100,
-  // p99 must bracket 100000 (log2 buckets give factor-of-2 upper bounds).
+  // 900 samples near 100, 100 samples near 100000: p50 must bracket 100, p99
+  // must bracket 100000. Log-linear buckets (4 sub-buckets per octave) give
+  // upper bounds within +25% of the sample, not the old factor of 2.
   for (int i = 0; i < 900; ++i) {
     histogram->Observe(100.0);
   }
@@ -45,10 +46,10 @@ TEST(MetricsTest, HistogramPercentilesBracketTheData) {
   EXPECT_NEAR(histogram->sum(), 900 * 100.0 + 100 * 100000.0, 1.0);
   const double p50 = histogram->Percentile(50);
   EXPECT_GE(p50, 100.0);
-  EXPECT_LE(p50, 256.0);
+  EXPECT_LE(p50, 125.0);  // 100 lands in [96, 112): upper bound 112
   const double p99 = histogram->Percentile(99);
   EXPECT_GE(p99, 100000.0);
-  EXPECT_LE(p99, 262144.0);
+  EXPECT_LE(p99, 125000.0);  // 100000 lands in [98304, 114688): bound 114688
   // Percentiles are monotone in p.
   EXPECT_LE(histogram->Percentile(10), histogram->Percentile(90));
 }
@@ -61,7 +62,22 @@ TEST(MetricsTest, HistogramHandlesEdgeSamples) {
   histogram.Observe(std::nan(""));
   EXPECT_EQ(histogram.count(), 4u);
   EXPECT_GT(histogram.Percentile(100), 0.0);  // everything landed in bucket 0
-  EXPECT_LE(histogram.Percentile(100), 2.0);
+  EXPECT_LE(histogram.Percentile(100), 1.25);
+}
+
+TEST(MetricsTest, LogLinearBucketsAreTight) {
+  // Every percentile upper bound is within +25% of the observed value, and
+  // bucket bounds are strictly increasing across the whole range.
+  for (const double value : {1.0, 3.0, 10.0, 100.0, 999.0, 4096.0, 1e6, 3.7e9}) {
+    MetricHistogram histogram;
+    histogram.Observe(value);
+    const double p100 = histogram.Percentile(100);
+    EXPECT_GE(p100, value) << value;
+    EXPECT_LE(p100, value * 1.25 + 1e-9) << value;
+  }
+  for (int i = 1; i < MetricHistogram::kBuckets; ++i) {
+    EXPECT_LT(MetricHistogram::BucketUpperBound(i - 1), MetricHistogram::BucketUpperBound(i));
+  }
 }
 
 TEST(MetricsTest, ConcurrentPublishFromManyThreads) {
@@ -104,7 +120,26 @@ TEST(MetricsTest, RenderTextContainsAllInstruments) {
   EXPECT_NE(text.find("a_gauge 1.5\n"), std::string::npos);
   EXPECT_NE(text.find("c_hist_count 1\n"), std::string::npos);
   EXPECT_NE(text.find("c_hist_sum 10\n"), std::string::npos);
-  EXPECT_NE(text.find("c_hist_p99"), std::string::npos);
+  EXPECT_NE(text.find("c_hist{quantile=\"0.99\"}"), std::string::npos);
+  // Prometheus metadata so real scrapers ingest the exposition cleanly.
+  EXPECT_NE(text.find("# TYPE b_counter counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE a_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE c_hist summary\n"), std::string::npos);
+}
+
+TEST(MetricsTest, RenderTextStripsLabelsFromTypeLinesAndQuantiles) {
+  MetricsRegistry registry;
+  registry.Counter(MetricsRegistry::WithNode("lard_x_total", 0))->Increment();
+  registry.Counter(MetricsRegistry::WithNode("lard_x_total", 1))->Increment();
+  registry.Histogram(MetricsRegistry::WithFe("lard_y_us", 2))->Observe(5.0);
+  const std::string text = registry.RenderText();
+  // One TYPE line for the family, not one per labeled variant.
+  const size_t first = text.find("# TYPE lard_x_total counter\n");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE lard_x_total counter\n", first + 1), std::string::npos);
+  // Quantile labels merge into the existing label block.
+  EXPECT_NE(text.find("lard_y_us{fe=\"2\",quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("lard_y_us_count{fe=\"2\"} 1\n"), std::string::npos);
 }
 
 TEST(MetricsTest, RenderJsonIsWellFormedEnough) {

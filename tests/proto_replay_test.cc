@@ -368,7 +368,9 @@ const std::string* FindHeader(const HttpResponse& response, const std::string& n
 
 TEST(ProtoReplayTest, CrashMidPipelineReplaysIdempotentTailOnSameConnection) {
   const Trace trace = TestTrace(7);
-  Cluster cluster(CrashConfig(3), &trace.catalog());
+  ClusterConfig config = CrashConfig(3);
+  config.trace_sample_every = 1;  // the replay spans are asserted on below
+  Cluster cluster(config, &trace.catalog());
   ASSERT_TRUE(cluster.Start().ok());
 
   auto fd = ConnectTcp(cluster.port());
@@ -439,6 +441,14 @@ TEST(ProtoReplayTest, CrashMidPipelineReplaysIdempotentTailOnSameConnection) {
   EXPECT_EQ(snapshot.replays,
             cluster.frontend().dispatcher().counters().failure_reassignments)
       << "FE replays and dispatcher failure reassignments are the same events";
+
+  // The crash left a causal trail in the tracer: the journaled requests, the
+  // replay onto the survivor, and the survivor's kReplay adoption.
+  const std::string traces = cluster.tracer()->RenderJson();
+  EXPECT_NE(traces.find("\"kind\":\"journal\""), std::string::npos)
+      << "journal appends left no spans";
+  EXPECT_NE(traces.find("\"kind\":\"replay\""), std::string::npos)
+      << "the crash replay left no spans";
   cluster.Stop();
 }
 
