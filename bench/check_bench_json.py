@@ -122,6 +122,31 @@ def check_multi_frontend(record, data):
     require(record, data, "speedup_2fe", NUM)
 
 
+def check_frontend_scalability(record, data):
+    runs = require(record, data, "runs", list)
+    if not runs:
+        fail(record, "no loop-sweep runs recorded")
+        return
+    for i, run in enumerate(runs):
+        for key in ("frontends", "fe_loops", "backends", "throughput_rps",
+                    "fe_utilization"):
+            if key not in run:
+                fail(record, f"runs[{i}] missing '{key}'")
+        if run.get("throughput_rps", 0) <= 0:
+            fail(record, f"runs[{i}] throughput not positive")
+    # The reactor-per-core acceptance floor: past the single-loop knee
+    # (24 back-ends, saturated baseline), 4 loops must beat 1 loop by a wide
+    # margin. The bench itself asserts >= 2x; the gate re-checks a slightly
+    # looser 1.5x so run-to-run model drift fails loudly here, not silently.
+    baseline_util = require(record, data, "baseline_util_24be", NUM)
+    speedup = require(record, data, "speedup_4loop_24be", NUM)
+    if baseline_util is not None and speedup is not None:
+        if baseline_util < 0.95:
+            fail(record, f"single-loop baseline not saturated ({baseline_util:.2f})")
+        elif speedup < 1.5:
+            fail(record, f"4-loop speedup at 24 back-ends too low: {speedup:.2f}x < 1.5x")
+
+
 def check_heterogeneous_cluster(record, data):
     regimes = require(record, data, "regimes", list)
     if not regimes:
@@ -210,6 +235,7 @@ def check_tracing_overhead(record, data):
 
 CHECKERS = {
     "drain_failover": check_drain_failover,
+    "frontend_scalability": check_frontend_scalability,
     "multi_frontend": check_multi_frontend,
     "heterogeneous_cluster": check_heterogeneous_cluster,
     "failure_replay": check_failure_replay,

@@ -4,8 +4,12 @@
 // the policy machinery itself would consume.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
 #include "src/core/dispatcher.h"
 #include "src/http/request_parser.h"
+#include "src/net/event_loop.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/resources.h"
 #include "src/util/rng.h"
@@ -195,6 +199,51 @@ void BM_TraceRingSnapshot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceRingSnapshot);
+
+// Cross-loop post round trip: another thread posts to a running loop and
+// waits for the closure to execute. This is the price every CompleteHandoff
+// pays to hop from a shard loop to the control-plane loop in the
+// reactor-per-core front end, and what the Post wakeup-contention fix
+// (atomic pending count + in-thread eventfd skip) was about.
+void BM_EventLoopCrossPost(benchmark::State& state) {
+  EventLoop loop;
+  std::thread runner([&loop]() { loop.Run(); });
+  for (auto _ : state) {
+    std::atomic<bool> done{false};
+    loop.Post([&done]() { done.store(true, std::memory_order_release); });
+    while (!done.load(std::memory_order_acquire)) {
+    }
+  }
+  loop.Stop();
+  runner.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventLoopCrossPost);
+
+// Same-loop self-posts: tasks a loop queues onto itself (deferred conn-map
+// erases, re-scheduled work) take the no-wakeup fast path — no eventfd
+// write, no syscall. A batch per round trip amortizes the one cross-thread
+// hop that kicks each measurement off.
+void BM_EventLoopSelfPost(benchmark::State& state) {
+  constexpr int kBatch = 256;
+  EventLoop loop;
+  std::thread runner([&loop]() { loop.Run(); });
+  for (auto _ : state) {
+    std::atomic<bool> done{false};
+    loop.Post([&loop, &done]() {
+      for (int i = 0; i < kBatch - 1; ++i) {
+        loop.Post([]() {});
+      }
+      loop.Post([&done]() { done.store(true, std::memory_order_release); });
+    });
+    while (!done.load(std::memory_order_acquire)) {
+    }
+  }
+  loop.Stop();
+  runner.join();
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EventLoopSelfPost);
 
 void BM_ZipfSample(benchmark::State& state) {
   Rng rng(1);

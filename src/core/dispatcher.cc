@@ -10,7 +10,9 @@ namespace lard {
 Dispatcher::Dispatcher(const DispatcherConfig& config, const TargetCatalog* catalog,
                        const BackendStatsProvider* stats)
     : config_(config), catalog_(catalog), stats_(stats) {
-  LARD_CHECK(config_.num_nodes > 0);
+  // 0 initial nodes is legal: a front-end joining an established tier at
+  // runtime starts empty and registers every slot via AddNode/BurnNodeSlot.
+  LARD_CHECK(config_.num_nodes >= 0);
   LARD_CHECK(catalog_ != nullptr);
   LARD_CHECK(stats_ != nullptr);
   const std::string initial_policy =

@@ -110,7 +110,13 @@ void EventLoop::Post(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(tasks_mutex_);
     tasks_.push_back(std::move(entry));
   }
-  Wakeup();
+  pending_count_.fetch_add(1, std::memory_order_release);
+  // A post from the loop thread itself needs no eventfd write: the loop is
+  // between callbacks right now, and NextTimeoutMs() sees pending_count_ > 0
+  // so the next epoll_wait returns immediately and drains the queue.
+  if (!IsInLoopThread()) {
+    Wakeup();
+  }
 }
 
 void EventLoop::Wakeup() {
@@ -119,11 +125,18 @@ void EventLoop::Wakeup() {
 }
 
 void EventLoop::DrainTasks() {
+  // Fast path: the queue is empty in the common iteration; skip the mutex. A
+  // concurrent Post() that this load misses also wrote the eventfd, so the
+  // next epoll_wait wakes immediately and the following drain sees it.
+  if (pending_count_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
   std::deque<PostedTask> tasks;
   {
     std::lock_guard<std::mutex> lock(tasks_mutex_);
     tasks.swap(tasks_);
   }
+  pending_count_.fetch_sub(tasks.size(), std::memory_order_release);
   const bool profiling = profiling_.load(std::memory_order_relaxed);
   if (profiling) {
     pending_tasks_->Set(static_cast<double>(tasks.size()));
@@ -137,6 +150,11 @@ void EventLoop::DrainTasks() {
 }
 
 int EventLoop::NextTimeoutMs() {
+  // Tasks posted after the last drain (e.g. by the loop thread itself, which
+  // skips the eventfd) must run now, not after a 100ms nap.
+  if (pending_count_.load(std::memory_order_acquire) > 0) {
+    return 0;
+  }
   // Skip cancelled timers sitting at the heap top.
   while (!timers_.empty() && timer_fns_.find(timers_.top().id) == timer_fns_.end()) {
     timers_.pop();

@@ -109,6 +109,12 @@ class EventLoop {
   };
   std::mutex tasks_mutex_;
   std::deque<PostedTask> tasks_;
+  // Lock-free mirror of tasks_.size(): DrainTasks() skips the mutex entirely
+  // when nothing is pending (the steady-state case — the drain runs every
+  // loop iteration), and NextTimeoutMs() returns 0 while tasks wait so a
+  // self-post during a drain is picked up next iteration without an eventfd
+  // round trip.
+  std::atomic<size_t> pending_count_{0};
 
   // Profiling instruments (EnableProfiling). The flag is atomic so Post()
   // may consult it from any thread; the pointers are written before the loop

@@ -16,13 +16,19 @@ std::string Errno(const char* what) { return std::string(what) + ": " + std::str
 
 }  // namespace
 
-StatusOr<UniqueFd> ListenTcp(uint16_t port, uint16_t* bound_port) {
+namespace {
+
+StatusOr<UniqueFd> ListenTcpInternal(uint16_t port, uint16_t* bound_port, bool reuse_port) {
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) {
     return IoError(Errno("socket"));
   }
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    return IoError(Errno("setsockopt(SO_REUSEPORT)"));
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -42,6 +48,16 @@ StatusOr<UniqueFd> ListenTcp(uint16_t port, uint16_t* bound_port) {
     *bound_port = ntohs(addr.sin_port);
   }
   return fd;
+}
+
+}  // namespace
+
+StatusOr<UniqueFd> ListenTcp(uint16_t port, uint16_t* bound_port) {
+  return ListenTcpInternal(port, bound_port, /*reuse_port=*/false);
+}
+
+StatusOr<UniqueFd> ListenTcpReusePort(uint16_t port, uint16_t* bound_port) {
+  return ListenTcpInternal(port, bound_port, /*reuse_port=*/true);
 }
 
 StatusOr<UniqueFd> ConnectTcp(uint16_t port) {

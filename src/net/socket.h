@@ -19,6 +19,13 @@ namespace lard {
 // actual port is returned in *bound_port.
 StatusOr<UniqueFd> ListenTcp(uint16_t port, uint16_t* bound_port);
 
+// Like ListenTcp but with SO_REUSEPORT set before bind, so N reactor loops
+// can each own a listening socket on the same port and let the kernel spread
+// incoming connections across them (the reactor-per-core accept path).
+// Fails with a status if the kernel refuses SO_REUSEPORT — callers fall back
+// to one ListenTcp socket plus round-robin fd handoff.
+StatusOr<UniqueFd> ListenTcpReusePort(uint16_t port, uint16_t* bound_port);
+
 // Blocking connect to 127.0.0.1:port.
 StatusOr<UniqueFd> ConnectTcp(uint16_t port);
 

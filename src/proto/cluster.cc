@@ -102,6 +102,7 @@ struct Cluster::Node {
   std::unique_ptr<BackendServer> server;
   std::thread thread;
   uint16_t lateral_port = 0;
+  double weight = 1.0;   // capacity weight it joined with (for late FE joins)
   bool stopped = false;  // loop stopped (removed or killed)
 };
 
@@ -109,6 +110,16 @@ Cluster::Cluster(const ClusterConfig& config, const TargetCatalog* catalog)
     : config_(config), store_(catalog) {
   LARD_CHECK(config_.num_nodes > 0);
   LARD_CHECK(config_.num_frontends > 0);
+  if (config_.fe_loops <= 0) {
+    // 0 = auto: the LARD_FE_LOOPS environment variable (so the whole test
+    // suite can be swept multi-loop without touching configs), else 1.
+    const char* env = std::getenv("LARD_FE_LOOPS");
+    const int parsed = env != nullptr ? std::atoi(env) : 0;
+    config_.fe_loops = parsed > 0 ? parsed : 1;
+  }
+  if (config_.fe_loops > 64) {
+    config_.fe_loops = 64;
+  }
   TracerConfig tracer_config;
   tracer_config.enabled = config_.tracing_enabled;
   tracer_config.sample_every = config_.trace_sample_every;
@@ -120,10 +131,20 @@ Cluster::Cluster(const ClusterConfig& config, const TargetCatalog* catalog)
 Cluster::~Cluster() { Stop(); }
 
 Status Cluster::StartBackend(NodeId node_id, std::vector<UniqueFd>* fe_ends) {
-  // One control-session socketpair per front-end replica.
+  // One control-session socketpair per *live* front-end replica. During
+  // Start() the FE tier doesn't exist yet, so the configured count applies;
+  // on later joins the tier may have grown (AddFrontEnd) or have holes
+  // (RemoveFrontEnd) — removed slots get no pair (invalid fds).
+  const size_t fe_count =
+      fes_.empty() ? static_cast<size_t>(config_.num_frontends) : fes_.size();
   std::vector<UniqueFd> be_ends;
   fe_ends->clear();
-  for (int fe = 0; fe < config_.num_frontends; ++fe) {
+  for (size_t fe = 0; fe < fe_count; ++fe) {
+    if (!fes_.empty() && fes_[fe]->frontend == nullptr) {
+      fe_ends->emplace_back();
+      be_ends.emplace_back();
+      continue;
+    }
     auto pair = UnixPair();
     if (!pair.ok()) {
       return pair.status();
@@ -157,7 +178,9 @@ Status Cluster::StartBackend(NodeId node_id, std::vector<UniqueFd>* fe_ends) {
   RunOnLoop(raw->loop.get(), [raw, &be_ends]() {
     raw->server->Start(std::move(be_ends[0]));
     for (size_t fe = 1; fe < be_ends.size(); ++fe) {
-      raw->server->AttachFrontEnd(static_cast<int>(fe), std::move(be_ends[fe]));
+      if (be_ends[fe].valid()) {
+        raw->server->AttachFrontEnd(static_cast<int>(fe), std::move(be_ends[fe]));
+      }
     }
   });
   raw->lateral_port = raw->server->lateral_port();
@@ -179,6 +202,12 @@ Status Cluster::Start() {
     }
   }
 
+  // Remember each node's capacity weight so front-ends joining later
+  // (AddFrontEnd) register the same weights the tier started with.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->weight = i < config_.node_weights.size() ? config_.node_weights[i] : 1.0;
+  }
+
   // Lateral mesh.
   std::vector<uint16_t> lateral_ports;
   for (const auto& node : nodes_) {
@@ -189,10 +218,12 @@ Status Cluster::Start() {
               [&node, &lateral_ports]() { node->server->ConnectPeers(lateral_ports); });
   }
 
-  // The front-end tier.
+  // The front-end tier: each replica gets its own EventLoopGroup of
+  // fe_loops reactors. Loop 0 carries the control plane; client
+  // connections shard across all loops (see FrontEnd).
   for (int fe = 0; fe < config_.num_frontends; ++fe) {
     auto replica = std::make_unique<FeReplica>();
-    replica->loop = std::make_unique<EventLoop>();
+    replica->loops = std::make_unique<EventLoopGroup>(config_.fe_loops);
     FrontEndConfig fe_config;
     fe_config.num_nodes = config_.num_nodes;
     fe_config.fe_id = fe;
@@ -216,15 +247,17 @@ Status Cluster::Start() {
     fe_config.metrics = &metrics_;
     fe_config.tracer = tracer_.get();
     replica->frontend =
-        std::make_unique<FrontEnd>(fe_config, replica->loop.get(), &store_.catalog());
+        std::make_unique<FrontEnd>(fe_config, replica->loops.get(), &store_.catalog());
     // Node teardown follows the front-ends' removal decisions (which may be
     // deferred past a graceful retire), not the admin call — and waits for
     // every replica to let go.
     replica->frontend->set_on_node_removed([this](NodeId node) { OnNodeRemoved(node); });
     if (config_.profile_loops) {
-      replica->loop->EnableProfiling(&metrics_, "fe" + std::to_string(fe));
+      // Per-loop twins: "fe<k>" for loop 0 (historic label), "fe<k>.<n>"
+      // for the extra reactors. Must precede Start(): threads spawn below.
+      replica->loops->EnableProfiling(&metrics_, "fe" + std::to_string(fe));
     }
-    replica->thread = std::thread([loop = replica->loop.get()]() { loop->Run(); });
+    replica->loops->Start();
     fes_.push_back(std::move(replica));
   }
   for (int fe = 0; fe < config_.num_frontends; ++fe) {
@@ -285,8 +318,13 @@ void Cluster::RegisterAdminRoutes() {
     std::ostringstream out;
     out << "{\"frontends\":" << fes_.size()
         << ",\"gossip_interval_ms\":" << config_.gossip_interval_ms << ",\"fes\":[";
+    bool first = true;
     for (size_t fe = 0; fe < fes_.size(); ++fe) {
-      out << (fe == 0 ? "" : ",") << Fe(fe)->DescribeMeshJson();
+      if (Fe(fe) == nullptr) {
+        continue;  // removed replica
+      }
+      out << (first ? "" : ",") << Fe(fe)->DescribeMeshJson();
+      first = false;
     }
     out << "]}";
     return AdminResponse::Json(out.str());
@@ -376,7 +414,14 @@ void Cluster::RegisterAdminRoutes() {
     // Fire-and-forget: blocking this loop on a peer loop could deadlock
     // with a racing Stop(), and nothing here needs the replicas' results.
     for (size_t fe = 1; fe < fes_.size(); ++fe) {
-      FeLoop(fe)->Post([this, fe, name]() { (void)Fe(fe)->SetPolicyByName(name); });
+      if (Fe(fe) == nullptr) {
+        continue;
+      }
+      FeLoop(fe)->Post([this, fe, name]() {
+        if (FrontEnd* frontend = FeFromReplicaLoop(fe)) {
+          (void)frontend->SetPolicyByName(name);
+        }
+      });
     }
     // Echo the *canonical registered name* (never the raw request body: it is
     // attacker-controlled and must not be spliced into the JSON reply).
@@ -386,17 +431,22 @@ void Cluster::RegisterAdminRoutes() {
 }
 
 void Cluster::BridgeDispatcherMetrics() {
-  // Runs on front-end 0's loop. The dispatchers' decision counters are plain
-  // uint64s, bridged as gauges on each /metrics render rather than
-  // double-counted. With a replicated tier the bridged figures are the tier
-  // totals; the other replicas' counters are sampled without their loops
-  // (each counter is a word-sized read of a monotonically increasing value —
-  // a momentarily torn view of *different* counters is the usual monitoring
-  // contract).
+  // Runs on front-end 0's loop. The dispatchers' decision counters are
+  // bridged as gauges on each /metrics render rather than double-counted.
+  // With a replicated tier the bridged figures are the tier totals. Each
+  // replica's contribution is one coherent copy taken under its dispatcher
+  // façade lock (DispatcherCountersSnapshot), so a render never mixes a
+  // request's "requests" increment with the pre-handoff value of its
+  // "handoffs" — the per-replica counters move together even while that
+  // replica's shard loops are mid-decision.
   DispatcherCounters counters;
   size_t open_connections = 0;
   for (size_t fe = 0; fe < fes_.size(); ++fe) {
-    const DispatcherCounters& part = Fe(fe)->dispatcher().counters();
+    if (Fe(fe) == nullptr) {
+      continue;  // removed replica: its loops are stopped, counters gone
+    }
+    size_t open = 0;
+    const DispatcherCounters part = Fe(fe)->DispatcherCountersSnapshot(&open);
     counters.requests += part.requests;
     counters.handoffs += part.handoffs;
     counters.forwards += part.forwards;
@@ -407,7 +457,7 @@ void Cluster::BridgeDispatcherMetrics() {
     counters.orphaned_connections += part.orphaned_connections;
     counters.reassignments += part.reassignments;
     counters.failure_reassignments += part.failure_reassignments;
-    open_connections += Fe(fe)->dispatcher().open_connections();
+    open_connections += open;
   }
   metrics_.Gauge("lard_dispatcher_requests")->Set(static_cast<double>(counters.requests));
   metrics_.Gauge("lard_dispatcher_handoffs")->Set(static_cast<double>(counters.handoffs));
@@ -450,6 +500,7 @@ NodeId Cluster::AddNode(double weight) {
         return;
       }
       fresh = nodes_.back().get();
+      fresh->weight = weight;
 
       // Lateral mesh: the new node learns every live peer; every live peer
       // learns the new node.
@@ -479,9 +530,16 @@ NodeId Cluster::AddNode(double weight) {
     const NodeId assigned = Fe(0)->AddNode(std::move(fe_ends[0]), lateral_port, weight);
     LARD_CHECK(assigned == fresh_id);
     for (size_t fe = 1; fe < fes_.size(); ++fe) {
+      if (Fe(fe) == nullptr) {
+        continue;  // removed replica: StartBackend left its fd slot empty
+      }
       auto fd = std::make_shared<UniqueFd>(std::move(fe_ends[fe]));
       FeLoop(fe)->Post([this, fe, fd, fresh_id, weight, lateral_port]() {
-        const NodeId replica_assigned = Fe(fe)->AddNode(std::move(*fd), lateral_port, weight);
+        FrontEnd* frontend = FeFromReplicaLoop(fe);
+        if (frontend == nullptr) {
+          return;  // replica removed while the post was in flight
+        }
+        const NodeId replica_assigned = frontend->AddNode(std::move(*fd), lateral_port, weight);
         LARD_CHECK(replica_assigned == fresh_id) << "front-end replicas diverged on a join";
       });
     }
@@ -498,7 +556,14 @@ bool Cluster::DrainNode(NodeId node) {
     // caller's answer is replica 0's, and a blocking wait here could
     // deadlock with a racing Stop().
     for (size_t fe = 1; fe < fes_.size(); ++fe) {
-      FeLoop(fe)->Post([this, fe, node]() { (void)Fe(fe)->DrainNode(node); });
+      if (Fe(fe) == nullptr) {
+        continue;
+      }
+      FeLoop(fe)->Post([this, fe, node]() {
+        if (FrontEnd* frontend = FeFromReplicaLoop(fe)) {
+          (void)frontend->DrainNode(node);
+        }
+      });
     }
   });
   return ok;
@@ -531,10 +596,25 @@ void Cluster::OnNodeRemoved(NodeId node) {
     return;
   }
   const int acks = ++removal_acks_[node];
-  if (acks < static_cast<int>(fes_.size())) {
+  if (acks < LiveFeCountLocked()) {
     return;
   }
   StopNodeLocked(node, /*destroy_server=*/true);
+}
+
+FrontEnd* Cluster::FeFromReplicaLoop(size_t fe) const {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  return Fe(fe);
+}
+
+int Cluster::LiveFeCountLocked() const {
+  int live = 0;
+  for (const auto& replica : fes_) {
+    if (replica->frontend != nullptr) {
+      ++live;
+    }
+  }
+  return live;
 }
 
 bool Cluster::RemoveNode(NodeId node) {
@@ -544,7 +624,14 @@ bool Cluster::RemoveNode(NodeId node) {
   RunOnLoop(FeLoop(0), [this, node, &ok]() {
     ok = Fe(0)->RemoveNode(node);
     for (size_t fe = 1; fe < fes_.size(); ++fe) {
-      FeLoop(fe)->Post([this, fe, node]() { (void)Fe(fe)->RemoveNode(node); });
+      if (Fe(fe) == nullptr) {
+        continue;
+      }
+      FeLoop(fe)->Post([this, fe, node]() {
+        if (FrontEnd* frontend = FeFromReplicaLoop(fe)) {
+          (void)frontend->RemoveNode(node);
+        }
+      });
     }
   });
   return ok;
@@ -568,6 +655,181 @@ bool Cluster::KillNode(NodeId node) {
   return ok;
 }
 
+int Cluster::AddFrontEnd() {
+  // Serialized on replica 0's loop like the other membership verbs: fes_
+  // mutations happen on that thread (and under nodes_mutex_), so readers on
+  // the admin/control plane never race the push_back.
+  int fe_id = -1;
+  RunOnLoop(FeLoop(0), [this, &fe_id]() {
+    struct NodeInfo {
+      bool live = false;
+      uint16_t lateral_port = 0;
+      double weight = 1.0;
+    };
+    std::vector<NodeInfo> node_info;
+    std::vector<UniqueFd> control_fds;  // fe-side ends, parallel to node_info
+    FeReplica* raw = nullptr;
+    int id = -1;
+    {
+      std::lock_guard<std::mutex> lock(nodes_mutex_);
+      if (!started_ || stopped_) {
+        return;
+      }
+      id = static_cast<int>(fes_.size());
+      auto replica = std::make_unique<FeReplica>();
+      replica->loops = std::make_unique<EventLoopGroup>(config_.fe_loops);
+      FrontEndConfig fe_config;
+      fe_config.num_nodes = 0;  // nodes join below, one AddNode per live slot
+      fe_config.fe_id = id;
+      fe_config.num_frontends = id + 1;
+      fe_config.gossip_interval_ms = config_.gossip_interval_ms;
+      fe_config.policy = config_.policy;
+      fe_config.policy_name = config_.policy_name;
+      fe_config.mechanism = config_.mechanism;
+      fe_config.params = config_.params;
+      fe_config.virtual_cache_bytes = config_.backend_cache_bytes;
+      fe_config.listen_port = 0;  // ephemeral; see ports()
+      fe_config.heartbeat_timeout_ms = config_.heartbeat_timeout_ms;
+      fe_config.retire_grace_ms = config_.retire_grace_ms;
+      fe_config.lateral_timeout_ms = config_.lateral_timeout_ms;
+      fe_config.replay_enabled = config_.replay_enabled;
+      fe_config.replay_journal = config_.replay_journal;
+      fe_config.idempotent_methods = config_.idempotent_methods;
+      fe_config.metrics = &metrics_;
+      fe_config.tracer = tracer_.get();
+      replica->frontend =
+          std::make_unique<FrontEnd>(fe_config, replica->loops.get(), &store_.catalog());
+      replica->frontend->set_on_node_removed([this](NodeId node) { OnNodeRemoved(node); });
+      if (config_.profile_loops) {
+        replica->loops->EnableProfiling(&metrics_, "fe" + std::to_string(id));
+      }
+      replica->loops->Start();
+      raw = replica.get();
+      fes_.push_back(std::move(replica));
+
+      // Back-end side of the control sessions: one pair per live node,
+      // attached on the node's own loop (the AddNode pattern — backend
+      // loops never take nodes_mutex_, so posting under it cannot
+      // deadlock, and the lock keeps StopNodeLocked from racing us).
+      for (size_t n = 0; n < nodes_.size(); ++n) {
+        Node* node = nodes_[n].get();
+        NodeInfo info;
+        info.live = !node->stopped && node->server != nullptr;
+        info.lateral_port = node->lateral_port;
+        info.weight = node->weight;
+        if (info.live) {
+          auto pair = UnixPair();
+          if (!pair.ok()) {
+            info.live = false;
+            control_fds.emplace_back();
+          } else {
+            control_fds.push_back(std::move(pair.value().first));
+            auto be_end = std::make_shared<UniqueFd>(std::move(pair.value().second));
+            RunOnLoop(node->loop.get(), [node, id, be_end]() {
+              node->server->AttachFrontEnd(id, std::move(*be_end));
+            });
+          }
+        } else {
+          control_fds.emplace_back();
+        }
+        node_info.push_back(info);
+      }
+    }
+
+    // Bring the replica up on its own control-plane loop, outside
+    // nodes_mutex_ (its loop may call back into OnNodeRemoved, which takes
+    // the lock). Node slots must register in id order: dead slots burn an
+    // id so every replica agrees on the numbering.
+    FrontEnd* fe = raw->frontend.get();
+    auto fds = std::make_shared<std::vector<UniqueFd>>(std::move(control_fds));
+    RunOnLoop(raw->loops->loop(0), [fe, fds, &node_info]() {
+      fe->Start({});
+      for (size_t n = 0; n < node_info.size(); ++n) {
+        if (node_info[n].live) {
+          const NodeId assigned = fe->AddNode(std::move((*fds)[n]), node_info[n].lateral_port,
+                                              node_info[n].weight);
+          LARD_CHECK(assigned == static_cast<NodeId>(n)) << "joining front-end diverged";
+        } else {
+          fe->BurnNodeSlot();
+        }
+      }
+    });
+
+    // Gossip mesh: pairwise channels to every surviving replica — but only
+    // when the tier was born replicated. A tier started with one front-end
+    // has no mesh on replica 0 (MeshEnabled is fixed at construction), so a
+    // late joiner there runs meshless: correct, just without remote-load
+    // sharing. Documented limitation of runtime join.
+    if (config_.num_frontends > 1) {
+      for (size_t peer = 0; peer < static_cast<size_t>(id); ++peer) {
+        FrontEnd* peer_fe = Fe(peer);  // we are on replica 0's loop: safe
+        if (peer_fe == nullptr) {
+          continue;  // removed replica
+        }
+        auto pair = UnixPair();
+        if (!pair.ok()) {
+          continue;
+        }
+        auto end_new = std::make_shared<UniqueFd>(std::move(pair.value().first));
+        auto end_peer = std::make_shared<UniqueFd>(std::move(pair.value().second));
+        RunOnLoop(raw->loops->loop(0), [fe, peer, end_new]() {
+          fe->AttachPeer(static_cast<uint32_t>(peer), std::move(*end_new));
+        });
+        // Fire-and-forget (peer 0 == this loop: Post defers, which is fine).
+        FeLoop(peer)->Post([peer_fe, id, end_peer]() {
+          peer_fe->AttachPeer(static_cast<uint32_t>(id), std::move(*end_peer));
+        });
+      }
+    }
+    LARD_LOG(WARNING) << "cluster: front-end " << id << " joined ("
+                      << raw->loops->size() << " loop(s))";
+    fe_id = id;
+  });
+  return fe_id;
+}
+
+bool Cluster::RemoveFrontEnd(int fe) {
+  if (fe <= 0) {
+    return false;  // replica 0 hosts the admin plane and anchors membership
+  }
+  EventLoopGroup* loops = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    if (!started_ || stopped_ || static_cast<size_t>(fe) >= fes_.size() ||
+        fes_[static_cast<size_t>(fe)]->frontend == nullptr) {
+      return false;
+    }
+    loops = fes_[static_cast<size_t>(fe)]->loops.get();
+  }
+  // Join the replica's loop threads without holding nodes_mutex_ — they may
+  // be blocked acquiring it inside OnNodeRemoved.
+  loops->Stop();
+  // Destroy the front-end on replica 0's loop and under nodes_mutex_ (the
+  // fes_ mutation rule), so control-plane readers see either the live
+  // replica or nullptr, never a half-destroyed one. The destructor closes
+  // the control sessions (back-ends see EOF and degrade) and the gossip
+  // channels (peers drop us from their mesh).
+  RunOnLoop(FeLoop(0), [this, fe]() {
+    std::unique_ptr<FrontEnd> dead;
+    {
+      std::lock_guard<std::mutex> lock(nodes_mutex_);
+      dead = std::move(fes_[static_cast<size_t>(fe)]->frontend);
+    }
+    dead.reset();
+    // A node removal in flight may now hold every surviving replica's ack.
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    const int live = LiveFeCountLocked();
+    for (const auto& entry : removal_acks_) {
+      if (entry.second >= live && entry.first >= 0 &&
+          static_cast<size_t>(entry.first) < nodes_.size()) {
+        StopNodeLocked(entry.first, /*destroy_server=*/true);
+      }
+    }
+  });
+  LARD_LOG(WARNING) << "cluster: front-end " << fe << " removed";
+  return true;
+}
+
 void Cluster::Stop() {
   {
     // stopped_ is read under nodes_mutex_ by OnNodeRemoved on the front-end
@@ -579,13 +841,16 @@ void Cluster::Stop() {
     }
     stopped_ = true;
   }
+  // Ask every replica's loops to stop first, then join (EventLoopGroup::Stop
+  // both signals and joins; signalling all groups up front keeps shutdown
+  // near-parallel).
   for (auto& replica : fes_) {
-    replica->loop->Stop();
+    for (int i = 0; i < replica->loops->size(); ++i) {
+      replica->loops->loop(i)->Stop();
+    }
   }
   for (auto& replica : fes_) {
-    if (replica->thread.joinable()) {
-      replica->thread.join();
-    }
+    replica->loops->Stop();
   }
   std::lock_guard<std::mutex> lock(nodes_mutex_);
   for (auto& node : nodes_) {
@@ -602,22 +867,35 @@ uint16_t Cluster::port() const {
 }
 
 std::vector<uint16_t> Cluster::ports() const {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
   std::vector<uint16_t> out;
   out.reserve(fes_.size());
   for (size_t fe = 0; fe < fes_.size(); ++fe) {
-    out.push_back(Fe(fe)->port());
+    // Removed replicas keep their slot (stable ids) but report port 0.
+    out.push_back(Fe(fe) != nullptr ? Fe(fe)->port() : 0);
   }
   return out;
 }
 
 void Cluster::InspectReplica(int fe, const std::function<void(const FrontEnd&)>& fn) const {
-  LARD_CHECK(fe >= 0 && static_cast<size_t>(fe) < fes_.size());
-  RunOnLoop(FeLoop(static_cast<size_t>(fe)),
-            [this, fe, &fn]() { fn(*Fe(static_cast<size_t>(fe))); });
+  // Look the replica up under the lock, but run the closure without it: the
+  // target loop may be blocked acquiring nodes_mutex_ inside OnNodeRemoved.
+  const FrontEnd* target = nullptr;
+  EventLoop* loop = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    LARD_CHECK(fe >= 0 && static_cast<size_t>(fe) < fes_.size());
+    target = Fe(static_cast<size_t>(fe));
+    LARD_CHECK(target != nullptr) << "replica " << fe << " was removed";
+    loop = FeLoop(static_cast<size_t>(fe));
+  }
+  RunOnLoop(loop, [target, &fn]() { fn(*target); });
 }
 
 const FrontEnd& Cluster::frontend(int fe) const {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
   LARD_CHECK(fe >= 0 && static_cast<size_t>(fe) < fes_.size());
+  LARD_CHECK(Fe(static_cast<size_t>(fe)) != nullptr) << "replica " << fe << " was removed";
   return *Fe(static_cast<size_t>(fe));
 }
 
@@ -649,6 +927,9 @@ ClusterSnapshot Cluster::Snapshot() const {
     snapshot.spliced_responses += counters.spliced_responses.load(std::memory_order_relaxed);
   }
   for (size_t fe = 0; fe < fes_.size(); ++fe) {
+    if (Fe(fe) == nullptr) {
+      continue;  // removed replica
+    }
     const FrontEndCounters& counters = Fe(fe)->counters();
     snapshot.connections += counters.connections_accepted.load();
     snapshot.consults += counters.consults.load();

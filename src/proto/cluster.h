@@ -23,6 +23,7 @@
 
 #include "src/admin/admin_server.h"
 #include "src/core/cluster_types.h"
+#include "src/net/event_loop_group.h"
 #include "src/core/lard_params.h"
 #include "src/proto/backend_server.h"
 #include "src/proto/content_store.h"
@@ -43,6 +44,12 @@ struct ClusterConfig {
   // load/vcache views approximately consistent. 1 = the classic single-FE
   // harness.
   int num_frontends = 1;
+  // Reactor-per-core front ends: event loops per FE process. Loop 0 carries
+  // the control plane (back-end control sessions, gossip, admin); client
+  // connections shard across all loops via per-loop SO_REUSEPORT listeners.
+  // 0 = auto: the LARD_FE_LOOPS environment variable when set, else 1 (the
+  // classic single-loop front-end, bit-compatible with the old harness).
+  int fe_loops = 0;
   int64_t gossip_interval_ms = 50;
   Policy policy = Policy::kExtendedLard;
   // Non-empty: PolicyRegistry name overriding `policy` (plugin policies).
@@ -145,9 +152,23 @@ class Cluster {
   // missed heartbeats and auto-remove it.
   bool KillNode(NodeId node);
 
-  // Runs `fn` on replica `fe`'s loop thread and waits for it — the
-  // thread-safe way for tests/tools to inspect a replica's dispatcher
-  // (whose state is loop-thread-confined) from outside.
+  // Runtime front-end join: spins up a new FE replica (its own
+  // EventLoopGroup of fe_loops reactors, ephemeral listen port — see
+  // ports()), attaches a control session to every live back-end and joins
+  // the gossip mesh. Returns the new replica's id, or -1 if the cluster is
+  // stopped. Serialized on replica 0's loop, like the other membership verbs.
+  int AddFrontEnd();
+  // Runtime front-end leave: stops and joins replica `fe`'s loops, then
+  // destroys the front-end — back-ends see control EOF and degrade the
+  // session; mesh peers see gossip EOF and drop the peer. The replica slot
+  // stays (frontend == nullptr) so ids remain stable. Replica 0 hosts the
+  // admin plane and cannot be removed. Returns false if `fe` is invalid,
+  // already removed, or 0.
+  bool RemoveFrontEnd(int fe);
+
+  // Runs `fn` on replica `fe`'s control-plane loop (loop 0) and waits for
+  // it — the thread-safe way for tests/tools to inspect a replica's
+  // dispatcher state from outside. `fe` must not have been removed.
   void InspectReplica(int fe, const std::function<void(const FrontEnd&)>& fn) const;
 
   // Front-end 0's client port (the only one with a single-FE tier).
@@ -165,16 +186,30 @@ class Cluster {
 
  private:
   struct Node;
-  // One front-end replica: loop thread + server. Declaration order matters:
-  // the loop must outlive the front-end.
+  // One front-end replica: a group of fe_loops reactors (each on its own
+  // thread, owned/joined by the group) + the server. Declaration order
+  // matters: the loops must outlive the front-end. After RemoveFrontEnd the
+  // slot persists with frontend == nullptr and the loops stopped.
+  //
+  // Mutation rule: fes_ (and each slot's frontend pointer) is only mutated
+  // on replica 0's loop thread *and* under nodes_mutex_. Readers on replica
+  // 0's loop need no lock; readers on any other thread take nodes_mutex_.
   struct FeReplica {
-    std::unique_ptr<EventLoop> loop;
+    std::unique_ptr<EventLoopGroup> loops;
     std::unique_ptr<FrontEnd> frontend;
-    std::thread thread;
   };
 
-  EventLoop* FeLoop(size_t fe) const { return fes_[fe]->loop.get(); }
+  // Replica `fe`'s control-plane loop (loop 0 of its group).
+  EventLoop* FeLoop(size_t fe) const { return fes_[fe]->loops->loop(0); }
   FrontEnd* Fe(size_t fe) const { return fes_[fe]->frontend.get(); }
+  // Fe(fe) for fan-out closures running on replica fe's own loop: an
+  // unlocked fes_ read there would race AddFrontEnd's push_back (replica 0's
+  // loop may be reallocating the vector). The returned pointer outlives the
+  // closure — a replica is only destroyed after its loops are joined.
+  FrontEnd* FeFromReplicaLoop(size_t fe) const;
+  // Front-ends still present (frontend != nullptr). Caller holds
+  // nodes_mutex_ (or runs on replica 0's loop).
+  int LiveFeCountLocked() const;
 
   // Creates + starts one back-end (loop thread, control session wiring).
   // Returns one fe-side control fd per front-end through *fe_ends. Caller
@@ -199,7 +234,7 @@ class Cluster {
   mutable std::mutex nodes_mutex_;
   std::vector<std::unique_ptr<Node>> nodes_;
   // Per-node count of front-ends that completed the node's removal (guarded
-  // by nodes_mutex_); teardown happens at num_frontends acks.
+  // by nodes_mutex_); teardown happens once every *live* front-end acked.
   std::unordered_map<NodeId, int> removal_acks_;
   bool started_ = false;
   bool stopped_ = false;

@@ -15,9 +15,16 @@
 
 namespace lard {
 
+namespace {
+
+constexpr char kUnavailableReply[] =
+    "HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n";
+
+}  // namespace
+
 // Last-reported disk queue length per back-end — the dispatcher's
 // BackendStatsProvider view (updated from kDiskReport messages, heartbeats
-// and consult piggybacks; all on the loop thread). Grows as nodes join.
+// and consult piggybacks; all under state_mutex_). Grows as nodes join.
 class FrontEnd::DiskTable final : public BackendStatsProvider {
  public:
   explicit DiskTable(int num_nodes) : queue_lengths_(static_cast<size_t>(num_nodes), 0) {}
@@ -37,9 +44,12 @@ class FrontEnd::DiskTable final : public BackendStatsProvider {
   std::vector<int> queue_lengths_;
 };
 
-FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCatalog* catalog)
-    : config_(config), loop_(loop), catalog_(catalog), journal_(config.replay_journal) {
-  LARD_CHECK(loop_ != nullptr);
+FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoopGroup* loops,
+                   const TargetCatalog* catalog)
+    : config_(config), loops_(loops), loop_(nullptr), catalog_(catalog),
+      journal_(config.replay_journal) {
+  LARD_CHECK(loops_ != nullptr);
+  loop_ = loops_->loop(0);
   LARD_CHECK(catalog_ != nullptr);
   LARD_CHECK(config_.mechanism == Mechanism::kSingleHandoff ||
              config_.mechanism == Mechanism::kBackEndForwarding ||
@@ -52,18 +62,31 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCa
   if (config_.num_frontends > 1) {
     mesh_ = std::make_unique<MeshStateTable>(static_cast<uint32_t>(config_.fe_id));
   }
-  // Connection ids are a shared namespace at the back-ends (their client
-  // tables and every control message key on them), so each replica mints
-  // from its own 48-bit block — two front-ends must never hand off the same
-  // id to one node.
-  next_conn_id_ = (static_cast<ConnId>(config_.fe_id) << 48) + 1;
 
-  // Trace ids are connection ids, so the FE-namespaced blocks above also make
+  // Trace ids are connection ids; the per-shard id blocks below also make
   // every trace id cluster-unique with no extra plumbing.
   tracer_ = config_.tracer;
-  if (tracer_ != nullptr) {
-    trace_ring_ = tracer_->Ring("fe" + std::to_string(config_.fe_id));
+
+  // One shard per loop. Connection ids are a shared namespace at the
+  // back-ends (their client tables and every control message key on them),
+  // so each replica mints from its own 48-bit block — and within a replica
+  // each shard mints from its own 40-bit sub-block, so two loops never hand
+  // off the same id without ever synchronizing on a counter. Shard 0's first
+  // id is (fe_id << 48) + 1, exactly what the one-loop front-end minted.
+  for (int k = 0; k < loops_->size(); ++k) {
+    auto shard = std::make_unique<LoopShard>();
+    shard->loop = loops_->loop(k);
+    shard->index = k;
+    shard->next_conn_id = (static_cast<ConnId>(config_.fe_id) << 48) |
+                          (static_cast<ConnId>(k) << 40);
+    if (tracer_ != nullptr) {
+      shard->trace_ring = tracer_->Ring(
+          k == 0 ? "fe" + std::to_string(config_.fe_id)
+                 : "fe" + std::to_string(config_.fe_id) + "." + std::to_string(k));
+    }
+    shards_.push_back(std::move(shard));
   }
+  trace_ring_ = shards_[0]->trace_ring;
 
   DispatcherConfig dispatch_config;
   dispatch_config.policy = config_.policy;
@@ -115,8 +138,9 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCa
 }
 
 FrontEnd::~FrontEnd() {
-  // First: deferred tasks (posted erases, health/retire timers) drained
-  // after this point become no-ops instead of touching freed state.
+  // First: deferred tasks (posted erases, health/retire timers, cross-loop
+  // adopts and handoff completions) drained after this point become no-ops
+  // instead of touching freed state.
   alive_.Invalidate();
 }
 
@@ -139,9 +163,13 @@ void FrontEnd::AttachControl(NodeId node, UniqueFd control_fd) {
     OnControlMessage(node, type, std::move(payload), std::move(passed_fd));
   });
   // EOF/error means the back-end process died (or closed on us): remove it.
-  // Deferred — we may be inside the channel's own event handler.
+  // Deferred — we may be inside the channel's own event handler, and a Send
+  // under state_mutex_ can fail synchronously (the posted task re-locks).
   link.control->set_on_close([this, node]() {
-    loop_->Post(alive_.Guard([this, node]() { RemoveNodeInternal(node, "control session lost"); }));
+    loop_->Post(alive_.Guard([this, node]() {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      RemoveNodeInternal(node, "control session lost");
+    }));
   });
   link.control->Start();
   // Identify this replica to the back-end (a single-FE tier is replica 0 of
@@ -160,17 +188,67 @@ void FrontEnd::Start(std::vector<UniqueFd> control_fds) {
     AttachControl(node, std::move(control_fds[static_cast<size_t>(node)]));
   }
 
-  auto listener = ListenTcp(config_.listen_port, &port_);
-  LARD_CHECK(listener.ok()) << listener.status().ToString();
-  listener_ = std::move(listener.value());
-  LARD_CHECK_OK(SetNonBlocking(listener_.get(), true));
-  loop_->Register(listener_.get(), EPOLLIN, [this](uint32_t events) { OnAccept(events); });
+  if (shards_.size() == 1) {
+    // One loop: the historic single listener, no SO_REUSEPORT involved.
+    auto listener = ListenTcp(config_.listen_port, &port_);
+    LARD_CHECK(listener.ok()) << listener.status().ToString();
+    shards_[0]->listener = std::move(listener.value());
+  } else {
+    // One SO_REUSEPORT listener per shard: the kernel spreads accepts across
+    // the loops with no cross-thread wakeups or fd passing.
+    bool reuseport_ok = true;
+    auto first = ListenTcpReusePort(config_.listen_port, &port_);
+    if (first.ok()) {
+      shards_[0]->listener = std::move(first.value());
+      for (size_t k = 1; k < shards_.size(); ++k) {
+        auto next = ListenTcpReusePort(port_, nullptr);
+        if (!next.ok()) {
+          reuseport_ok = false;
+          break;
+        }
+        shards_[k]->listener = std::move(next.value());
+      }
+    } else {
+      reuseport_ok = false;
+    }
+    if (!reuseport_ok) {
+      // Portable fallback: a single loop-0 listener, accepted fds handed to
+      // the shards round-robin (one posted task per connection).
+      for (auto& shard : shards_) {
+        shard->listener = UniqueFd();
+      }
+      LARD_LOG(WARNING) << "front-end " << config_.fe_id
+                        << ": SO_REUSEPORT unavailable, falling back to fd-handoff accept";
+      auto listener = ListenTcp(config_.listen_port, &port_);
+      LARD_CHECK(listener.ok()) << listener.status().ToString();
+      shards_[0]->listener = std::move(listener.value());
+      fd_handoff_accept_ = true;
+    }
+  }
+
+  for (auto& shard_ptr : shards_) {
+    LoopShard* shard = shard_ptr.get();
+    if (!shard->listener.valid()) {
+      continue;
+    }
+    LARD_CHECK_OK(SetNonBlocking(shard->listener.get(), true));
+    // Register is loop-thread-only; shard 0 is this thread, the rest post.
+    loops_->RunOn(shard->index, alive_.Guard([this, shard]() {
+                    shard->loop->Register(shard->listener.get(), EPOLLIN,
+                                          [this, shard](uint32_t events) {
+                                            OnAccept(shard, events);
+                                          });
+                  }));
+  }
 
   if (config_.heartbeat_timeout_ms > 0) {
     ScheduleHealthSweep(std::max<int64_t>(config_.heartbeat_timeout_ms / 4, 25));
   }
   if (MeshEnabled()) {
-    UpdateMeshSnapshot();
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      UpdateMeshSnapshot();
+    }
     loop_->ScheduleAfterMs(std::max<int64_t>(config_.gossip_interval_ms, 1),
                            alive_.Guard([this]() { GossipTick(); }));
   }
@@ -188,7 +266,14 @@ void FrontEnd::AttachPeer(uint32_t peer_fe_id, UniqueFd gossip_fd) {
   channel->set_on_message([this, peer_fe_id](uint8_t type, std::string payload, UniqueFd) {
     OnPeerMessage(peer_fe_id, type, std::move(payload));
   });
-  channel->set_on_close([this, peer_fe_id]() { OnPeerClosed(peer_fe_id); });
+  // Deferred: a failing Send inside GossipTick invokes on_close while
+  // state_mutex_ is already held, so the handler must not lock inline.
+  channel->set_on_close([this, peer_fe_id]() {
+    loop_->Post(alive_.Guard([this, peer_fe_id]() {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      OnPeerClosed(peer_fe_id);
+    }));
+  });
   channel->Start();
   channel->Send(kGossipHelloFrameType, EncodeU32(static_cast<uint32_t>(config_.fe_id)));
   fe_peers_[peer_fe_id] = std::move(channel);
@@ -213,6 +298,7 @@ void FrontEnd::OnPeerMessage(uint32_t peer, uint8_t type, std::string payload) {
     LARD_LOG(ERROR) << "front-end " << config_.fe_id << ": bad gossip delta from peer " << peer;
     return;
   }
+  std::lock_guard<std::mutex> lock(state_mutex_);
   if (!mesh_->Apply(delta, NowMs() * 1000)) {
     return;  // stale or regressed; counters already advanced
   }
@@ -233,7 +319,7 @@ void FrontEnd::OnPeerMessage(uint32_t peer, uint8_t type, std::string payload) {
 
 void FrontEnd::OnPeerClosed(uint32_t peer) {
   // FE leave: forget its load contribution; the channel is torn down on the
-  // next tick (we may be inside its callback).
+  // next loop iteration (a queued frame callback may still reference it).
   mesh_->RemovePeer(peer);
   auto it = fe_peers_.find(peer);
   if (it != fe_peers_.end()) {
@@ -264,6 +350,7 @@ void FrontEnd::RecordFetchHints(const std::vector<TargetId>& targets,
 }
 
 void FrontEnd::GossipTick() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   const int64_t tick_start_us = TraceNowUs();
   const size_t hint_count = pending_hints_.size();
   std::vector<GossipVcacheHint> hints;
@@ -276,8 +363,8 @@ void FrontEnd::GossipTick() {
                                              ++gossip_seq_, *dispatcher_, std::move(hints));
   const std::string encoded = EncodeGossipDelta(delta);
   // Snapshot the channels: a failing Send invokes on_close synchronously,
-  // and OnPeerClosed erases the map entry (the channel object itself stays
-  // alive until the next tick, so the raw pointers remain valid).
+  // whose posted cleanup erases the map entry (the channel object itself
+  // stays alive until that task runs, so the raw pointers remain valid).
   std::vector<FramedChannel*> channels;
   channels.reserve(fe_peers_.size());
   for (auto& [peer, channel] : fe_peers_) {
@@ -352,6 +439,7 @@ void FrontEnd::ScheduleHealthSweep(int64_t period_ms) {
 }
 
 void FrontEnd::CheckNodeHealth() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   const int64_t now = NowMs();
   for (NodeId node = 0; node < static_cast<NodeId>(nodes_.size()); ++node) {
     if (!NodeLive(node)) {
@@ -365,39 +453,59 @@ void FrontEnd::CheckNodeHealth() {
 }
 
 NodeId FrontEnd::AddNode(UniqueFd control_fd, uint16_t backend_http_port, double weight) {
-  const NodeId node = dispatcher_->AddNode(weight);
-  AttachControl(node, std::move(control_fd));
-  disk_table_->Update(node, 0);
-  if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
-    if (static_cast<size_t>(node) >= relays_.size()) {
-      relays_.resize(static_cast<size_t>(node) + 1);
+  NodeId node = kInvalidNode;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    node = dispatcher_->AddNode(weight);
+    disk_table_->Update(node, 0);
+    if (metric_active_nodes_ != nullptr) {
+      metric_active_nodes_->Set(dispatcher_->active_node_count());
     }
-    relays_[static_cast<size_t>(node)] = std::make_unique<LateralClient>(
-        loop_, backend_http_port, config_.lateral_timeout_ms);
   }
-  if (metric_active_nodes_ != nullptr) {
-    metric_active_nodes_->Set(dispatcher_->active_node_count());
+  AttachControl(node, std::move(control_fd));
+  if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
+    // Every shard gets its own persistent connection to the new node; the
+    // LateralClient must be built (and used) on its owning loop.
+    for (auto& shard_ptr : shards_) {
+      LoopShard* shard = shard_ptr.get();
+      loops_->RunOn(shard->index,
+                    alive_.Guard([this, shard, node, backend_http_port]() {
+                      if (static_cast<size_t>(node) >= shard->relays.size()) {
+                        shard->relays.resize(static_cast<size_t>(node) + 1);
+                      }
+                      shard->relays[static_cast<size_t>(node)] =
+                          std::make_unique<LateralClient>(shard->loop, backend_http_port,
+                                                          config_.lateral_timeout_ms);
+                    }));
+    }
   }
   LARD_LOG(INFO) << "front-end: node " << node << " joined";
   return node;
 }
 
 bool FrontEnd::DrainNode(NodeId node) {
-  if (!NodeLive(node) || !dispatcher_->DrainNode(node)) {
+  if (!NodeLive(node)) {
     return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!dispatcher_->DrainNode(node)) {
+      return false;
+    }
+    if (metric_active_nodes_ != nullptr) {
+      metric_active_nodes_->Set(dispatcher_->active_node_count());
+    }
   }
   // Ask the node to give its persistent connections back between batches;
   // they come home as kHandback(target=kInvalidNode) and are re-handed-off.
   nodes_[static_cast<size_t>(node)].control->Send(static_cast<uint8_t>(ControlMsg::kDrain),
                                                   EncodeU32(0));
-  if (metric_active_nodes_ != nullptr) {
-    metric_active_nodes_->Set(dispatcher_->active_node_count());
-  }
   LARD_LOG(INFO) << "front-end: node " << node << " draining";
   return true;
 }
 
 bool FrontEnd::RemoveNode(NodeId node) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   if (node < 0 || node >= dispatcher_->num_node_slots()) {
     return false;
   }
@@ -427,6 +535,7 @@ bool FrontEnd::RemoveNode(NodeId node) {
   nodes_[static_cast<size_t>(node)].control->Send(static_cast<uint8_t>(ControlMsg::kDrain),
                                                   EncodeU32(0));
   loop_->ScheduleAfterMs(config_.retire_grace_ms, alive_.Guard([this, node]() {
+                           std::lock_guard<std::mutex> lock(state_mutex_);
                            if (retiring_.count(node) != 0) {
                              RemoveNodeInternal(node, "retire grace expired");
                            }
@@ -517,11 +626,26 @@ void FrontEnd::MaybeFinalizeRetire(NodeId node) {
   RemoveNodeInternal(node, "retired");
 }
 
+void FrontEnd::BurnNodeSlot() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  const NodeId node = dispatcher_->AddNode(1.0);
+  std::vector<ConnId> orphans;
+  (void)dispatcher_->RemoveNode(node, &orphans);
+  LARD_CHECK(orphans.empty());
+  if (static_cast<size_t>(node) >= nodes_.size()) {
+    nodes_.resize(static_cast<size_t>(node) + 1);  // keep id indexing aligned
+  }
+  if (metric_active_nodes_ != nullptr) {
+    metric_active_nodes_->Set(dispatcher_->active_node_count());
+  }
+}
+
 void FrontEnd::SetPolicy(Policy policy) {
   LARD_CHECK(SetPolicyByName(PolicyKey(policy)));
 }
 
 bool FrontEnd::SetPolicyByName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   if (!dispatcher_->SetPolicyByName(name)) {
     return false;
   }
@@ -530,7 +654,16 @@ bool FrontEnd::SetPolicyByName(const std::string& name) {
   return true;
 }
 
+DispatcherCounters FrontEnd::DispatcherCountersSnapshot(size_t* open_connections) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (open_connections != nullptr) {
+    *open_connections = dispatcher_->open_connections();
+  }
+  return dispatcher_->counters();
+}
+
 std::string FrontEnd::DescribeNodesJson() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   const int64_t now = NowMs();
   std::ostringstream out;
   out << "{\"policy\":\"" << dispatcher_->policy().display_name() << "\",\"policy_key\":\""
@@ -575,16 +708,26 @@ std::string FrontEnd::DescribeNodesJson() const {
 
 void FrontEnd::ConnectBackends(const std::vector<uint16_t>& backend_http_ports) {
   LARD_CHECK(backend_http_ports.size() >= static_cast<size_t>(config_.num_nodes));
-  relays_.clear();
-  for (size_t node = 0; node < backend_http_ports.size(); ++node) {
-    relays_.push_back(std::make_unique<LateralClient>(loop_, backend_http_ports[node],
-                                                      config_.lateral_timeout_ms));
+  // Each shard keeps its own persistent back-end connections: LateralClient
+  // is single-loop, and relay responses must complete on the loop the client
+  // connection is pinned to.
+  for (auto& shard_ptr : shards_) {
+    LoopShard* shard = shard_ptr.get();
+    loops_->RunOn(shard->index,
+                  alive_.Guard([this, shard, ports = backend_http_ports]() {
+                    shard->relays.clear();
+                    for (const uint16_t http_port : ports) {
+                      shard->relays.push_back(std::make_unique<LateralClient>(
+                          shard->loop, http_port, config_.lateral_timeout_ms));
+                    }
+                  }));
   }
 }
 
-void FrontEnd::OnAccept(uint32_t) {
+void FrontEnd::OnAccept(LoopShard* shard, uint32_t) {
   while (true) {
-    const int fd = ::accept4(listener_.get(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = ::accept4(shard->listener.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return;
@@ -596,52 +739,88 @@ void FrontEnd::OnAccept(uint32_t) {
       return;
     }
     (void)SetTcpNoDelay(fd);
+    UniqueFd client(fd);
 
-    if (dispatcher_->active_node_count() == 0) {
-      // Every back-end drained or dead: shed load at the door. The write is
-      // best-effort on a fresh socket (buffer empty, nothing to flush).
-      UniqueFd doomed(fd);
-      static constexpr char kUnavailable[] =
-          "HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n";
-      (void)!::send(doomed.get(), kUnavailable, sizeof(kUnavailable) - 1, MSG_NOSIGNAL);
-      counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
+    if (fd_handoff_accept_) {
+      // Fallback accept path (loop 0 only): round-robin the fresh fd across
+      // the shards; the owning loop adopts it and pins every callback there.
+      LoopShard* target = shards_[next_accept_shard_++ % shards_.size()].get();
+      if (target == shard) {
+        AdoptClientFd(shard, std::move(client));
+      } else {
+        auto boxed = std::make_shared<UniqueFd>(std::move(client));
+        target->loop->Post(alive_.Guard([this, target, boxed]() {
+          AdoptClientFd(target, std::move(*boxed));
+        }));
+      }
       continue;
     }
+    AdoptClientFd(shard, std::move(client));
+  }
+}
 
-    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    if (metric_connections_ != nullptr) {
-      metric_connections_->Increment();
-    }
-    if (metric_fe_connections_ != nullptr) {
-      metric_fe_connections_->Increment();
-    }
+void FrontEnd::AdoptClientFd(LoopShard* shard, UniqueFd fd) {
+  if (!fd.valid()) {
+    return;  // fallback post raced a shutdown; nothing to adopt
+  }
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    shed = dispatcher_->active_node_count() == 0;
+  }
+  if (shed) {
+    // Every back-end drained or dead: shed load at the door. The write is
+    // best-effort on a fresh socket (buffer empty, nothing to flush).
+    (void)!::send(fd.get(), kUnavailableReply, sizeof(kUnavailableReply) - 1, MSG_NOSIGNAL);
+    counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
 
-    auto conn = std::make_unique<FeConn>();
-    FeConn* raw = conn.get();
-    raw->id = next_conn_id_++;
-    raw->conn = std::make_unique<Connection>(loop_, UniqueFd(fd));
-    raw->conn->set_on_data([this, id = raw->id](std::string_view data) {
-      auto it = conns_.find(id);
-      if (it != conns_.end()) {
-        OnClientData(it->second.get(), data);
-      }
-    });
-    raw->conn->set_on_close([this, id = raw->id]() {
-      auto it = conns_.find(id);
-      if (it != conns_.end()) {
-        OnClientClosed(it->second.get());
-      }
-    });
-    raw->conn->Start();
-    RecordSpan(tracer_, trace_ring_, raw->id, 0, SpanKind::kAccept,
-               static_cast<int32_t>(config_.fe_id), TraceNowUs(), 0, "fd=%d", fd);
-    conns_.emplace(raw->id, std::move(conn));
+  counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  if (metric_connections_ != nullptr) {
+    metric_connections_->Increment();
+  }
+  if (metric_fe_connections_ != nullptr) {
+    metric_fe_connections_->Increment();
+  }
 
-    if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
-      raw->in_dispatcher = true;
-      live_in_dispatcher_.insert(raw->id);
-      dispatcher_->OnConnectionOpen(raw->id);
+  auto conn = std::make_unique<FeConn>();
+  FeConn* raw = conn.get();
+  raw->id = ++shard->next_conn_id;
+  raw->shard = shard;
+  const int raw_fd = fd.get();
+  raw->conn = std::make_unique<Connection>(shard->loop, std::move(fd));
+  // Callbacks are pinned: they resolve the connection through the owning
+  // shard's table, which only the shard's loop thread touches. The loop-id
+  // check is the pinning invariant the churn tests assert on.
+  raw->conn->set_on_data([this, shard, id = raw->id](std::string_view data) {
+    if (!shard->loop->IsInLoopThread()) {
+      pinning_violations_.fetch_add(1, std::memory_order_relaxed);
     }
+    auto it = shard->conns.find(id);
+    if (it != shard->conns.end()) {
+      OnClientData(it->second.get(), data);
+    }
+  });
+  raw->conn->set_on_close([this, shard, id = raw->id]() {
+    if (!shard->loop->IsInLoopThread()) {
+      pinning_violations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto it = shard->conns.find(id);
+    if (it != shard->conns.end()) {
+      OnClientClosed(it->second.get());
+    }
+  });
+  raw->conn->Start();
+  RecordSpan(tracer_, shard->trace_ring, raw->id, 0, SpanKind::kAccept,
+             static_cast<int32_t>(config_.fe_id), TraceNowUs(), 0, "fd=%d", raw_fd);
+  shard->conns.emplace(raw->id, std::move(conn));
+
+  if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
+    raw->in_dispatcher = true;
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    live_in_dispatcher_.insert(raw->id);
+    dispatcher_->OnConnectionOpen(raw->id);
   }
 }
 
@@ -703,16 +882,6 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
     DestroyConn(conn);
     return;
   }
-  // The whole membership can vanish between accept and first data (e.g. the
-  // last back-end was just auto-removed); shed instead of crashing the
-  // dispatcher's pick loops.
-  if (dispatcher_->active_node_count() == 0) {
-    conn->conn->Write("HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
-    conn->conn->CloseAfterFlush();
-    counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
-    DestroyConn(conn);
-    return;
-  }
 
   // The first batch: every complete request that arrived before we decided.
   std::vector<std::string> paths;
@@ -725,135 +894,200 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
   // load snapshot) are only built for sampled traces.
   const bool traced = tracer_ != nullptr && tracer_->Sampled(conn->id);
   if (traced) {
-    RecordSpan(tracer_, trace_ring_, conn->id, 1, SpanKind::kParse,
+    RecordSpan(tracer_, conn->shard->trace_ring, conn->id, 1, SpanKind::kParse,
                static_cast<int32_t>(config_.fe_id), TraceNowUs(), 0, "reqs=%zu bytes=%zu",
                requests.size(), conn->raw_bytes.size());
   }
 
-  dispatcher_->OnConnectionOpen(conn->id);
-  live_in_dispatcher_.insert(conn->id);
-  const std::vector<TargetId> targets = PathsToTargets(paths);
-  const int64_t policy_start_us = traced ? TraceNowUs() : 0;
-  const std::vector<Assignment> assignments = dispatcher_->OnBatch(conn->id, targets);
-  if (traced) {
-    const std::string policy_key = dispatcher_->policy().name();
-    RecordSpan(tracer_, trace_ring_, conn->id, 2, SpanKind::kPolicy,
-               assignments.empty() ? -1 : assignments[0].node, policy_start_us,
-               TraceNowUs() - policy_start_us, "policy=%s loads=%s", policy_key.c_str(),
-               dispatcher_->DescribeLoads().c_str());
+  // One lock block for the whole routing decision: the no-capacity check and
+  // the batch must see the same membership (a node death between them would
+  // feed OnBatch an empty pick set and abort the pick loops).
+  PendingHandoff pending;
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (dispatcher_->active_node_count() == 0) {
+      // The whole membership can vanish between accept and first data (e.g.
+      // the last back-end was just auto-removed); shed instead of crashing.
+      shed = true;
+    } else {
+      dispatcher_->OnConnectionOpen(conn->id);
+      live_in_dispatcher_.insert(conn->id);
+      const std::vector<TargetId> targets = PathsToTargets(paths);
+      const int64_t policy_start_us = traced ? TraceNowUs() : 0;
+      const std::vector<Assignment> assignments = dispatcher_->OnBatch(conn->id, targets);
+      if (traced) {
+        const std::string policy_key = dispatcher_->policy().name();
+        RecordSpan(tracer_, conn->shard->trace_ring, conn->id, 2, SpanKind::kPolicy,
+                   assignments.empty() ? -1 : assignments[0].node, policy_start_us,
+                   TraceNowUs() - policy_start_us, "policy=%s loads=%s", policy_key.c_str(),
+                   dispatcher_->DescribeLoads().c_str());
+      }
+      RecordFetchHints(targets, assignments);
+      if (assignments.empty()) {
+        // Defensive only (OnBatch returns one assignment per request): if the
+        // dispatcher ever returns nothing, shed like the other no-capacity
+        // paths instead of aborting the front-end.
+        live_in_dispatcher_.erase(conn->id);
+        dispatcher_->OnConnectionClose(conn->id);
+        shed = true;
+      } else {
+        LARD_CHECK(assignments[0].action == AssignmentAction::kHandoff);
+        pending.node = assignments[0].node;
+        pending.msg.autonomous = AutonomousHandoffs();
+        pending.msg.directives.reserve(assignments.size());
+        for (size_t i = 0; i < assignments.size(); ++i) {
+          pending.msg.directives.push_back(DirectiveFor(paths[i], assignments[i]));
+        }
+      }
+    }
   }
-  RecordFetchHints(targets, assignments);
-  if (assignments.empty()) {
-    // Defensive only (OnBatch returns one assignment per request): if the
-    // dispatcher ever returns nothing, shed like the other no-capacity paths
-    // instead of aborting the front-end.
-    live_in_dispatcher_.erase(conn->id);
-    dispatcher_->OnConnectionClose(conn->id);
-    conn->conn->Write("HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
-    conn->conn->CloseAfterFlush();
-    counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
-    DestroyConn(conn);
-    return;
-  }
-  const NodeId node = assignments[0].node;
-  LARD_CHECK(assignments[0].action == AssignmentAction::kHandoff);
-  if (!NodeLive(node)) {
-    // Raced with a node death the health sweep has not yet processed.
-    live_in_dispatcher_.erase(conn->id);
-    dispatcher_->OnConnectionClose(conn->id);
-    conn->conn->Write("HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
+  if (shed) {
+    conn->conn->Write(kUnavailableReply);
     conn->conn->CloseAfterFlush();
     counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
     DestroyConn(conn);
     return;
   }
 
-  HandoffMsg msg;
-  msg.conn_id = conn->id;
-  msg.autonomous = AutonomousHandoffs();
-  msg.replay_protected = ReplayEligible();
-  msg.directives.reserve(assignments.size());
-  for (size_t i = 0; i < assignments.size(); ++i) {
-    msg.directives.push_back(DirectiveFor(paths[i], assignments[i]));
-  }
+  pending.msg.conn_id = conn->id;
+  pending.msg.replay_protected = ReplayEligible();
   // Ship the whole byte stream we saw; the back-end re-parses it and pairs
   // requests with our directives 1:1 (the paper's "copy of request packets to
   // the dispatcher" in reverse).
-  msg.unparsed_input = std::move(conn->raw_bytes);
+  pending.msg.unparsed_input = std::move(conn->raw_bytes);
+  pending.traced = traced;
+  pending.trace_ring = conn->shard->trace_ring;
+  pending.request_count = requests.size();
 
   Connection::Detached detached = conn->conn->Detach();
-  if (msg.replay_protected) {
+  if (pending.msg.replay_protected) {
     // Retain a dup of the client socket: if the handling node later dies
     // without handing the connection back, this is the handle that lets a
     // surviving node continue the very same TCP connection. The journal's
-    // first entries are the batch we parsed here.
-    UniqueFd retained(::fcntl(detached.fd.get(), F_DUPFD_CLOEXEC, 3));
-    if (retained.valid()) {
-      journal_.Track(conn->id, std::move(retained));
+    // first entries are the batch we parsed here. The dup and the entry
+    // construction happen here on the owning loop; the journal itself is
+    // loop-0 state and is written in CompleteHandoff.
+    pending.retained_fd = UniqueFd(::fcntl(detached.fd.get(), F_DUPFD_CLOEXEC, 3));
+    if (pending.retained_fd.valid()) {
+      pending.journal_entries.reserve(requests.size());
       for (const HttpRequest& request : requests) {
         ReplayJournal::Entry entry;
         entry.bytes = request.Serialize();
         entry.method = request.method;
         entry.path = request.path;
         entry.idempotent = IsIdempotent(request.method);
-        journal_.Append(conn->id, std::move(entry));
+        pending.journal_entries.push_back(std::move(entry));
       }
       // The unparsed suffix of batch 1 (a request still incomplete) ships in
       // the handoff and must survive a crash of the adopting node too.
-      journal_.SetPartialTail(conn->id, conn->parser.buffered());
+      pending.partial_tail = conn->parser.buffered();
     }
   }
-  nodes_[static_cast<size_t>(node)].control->SendWithFd(
-      static_cast<uint8_t>(ControlMsg::kHandoff), EncodeHandoff(msg), std::move(detached.fd));
-  if (traced) {
-    RecordSpan(tracer_, trace_ring_, conn->id, 3, SpanKind::kHandoff, node, TraceNowUs(), 0,
-               "reqs=%zu journal=%d", requests.size(), msg.replay_protected ? 1 : 0);
+  pending.client_fd = std::move(detached.fd);
+
+  // Dispatcher state for this connection now lives on; our socket plumbing
+  // does not. (Deferred: we are inside this Connection's on_data callback.)
+  conn->closed = true;
+  LoopShard* shard = conn->shard;
+  shard->loop->Post(alive_.Guard([shard, id = conn->id]() { shard->conns.erase(id); }));
+
+  // The loop-0-owned half: journal writes and the control-session send.
+  if (loop_->IsInLoopThread()) {
+    CompleteHandoff(std::move(pending));
+  } else {
+    auto boxed = std::make_shared<PendingHandoff>(std::move(pending));
+    loop_->Post(alive_.Guard([this, boxed]() { CompleteHandoff(std::move(*boxed)); }));
+  }
+}
+
+void FrontEnd::CompleteHandoff(PendingHandoff pending) {
+  if (!NodeLive(pending.node)) {
+    // The shard's pick raced a node death loop 0 processed first. Unwind the
+    // dispatcher state and shed with a best-effort 503 on the raw socket —
+    // nothing was ever written to this client, so the payload is clean.
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (live_in_dispatcher_.erase(pending.msg.conn_id) > 0) {
+        dispatcher_->OnConnectionClose(pending.msg.conn_id);
+      }
+    }
+    if (pending.client_fd.valid()) {
+      (void)!::send(pending.client_fd.get(), kUnavailableReply, sizeof(kUnavailableReply) - 1,
+                    MSG_NOSIGNAL);
+    }
+    counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
+    return;  // fds RAII-close
+  }
+
+  if (pending.msg.replay_protected && pending.retained_fd.valid()) {
+    const ConnId conn = pending.msg.conn_id;
+    journal_.Track(conn, std::move(pending.retained_fd));
+    for (ReplayJournal::Entry& entry : pending.journal_entries) {
+      journal_.Append(conn, std::move(entry));
+    }
+    journal_.SetPartialTail(conn, std::move(pending.partial_tail));
+  }
+
+  NodeLink& link = nodes_[static_cast<size_t>(pending.node)];
+  link.control->SendWithFd(static_cast<uint8_t>(ControlMsg::kHandoff),
+                           EncodeHandoff(pending.msg), std::move(pending.client_fd));
+  if (pending.traced) {
+    RecordSpan(tracer_, pending.trace_ring, pending.msg.conn_id, 3, SpanKind::kHandoff,
+               pending.node, TraceNowUs(), 0, "reqs=%zu journal=%d", pending.request_count,
+               pending.msg.replay_protected ? 1 : 0);
   }
   counters_.handoffs.fetch_add(1, std::memory_order_relaxed);
-  if (nodes_[static_cast<size_t>(node)].handoff_counter != nullptr) {
-    nodes_[static_cast<size_t>(node)].handoff_counter->Increment();
+  if (link.handoff_counter != nullptr) {
+    link.handoff_counter->Increment();
   }
   if (metric_fe_handoffs_ != nullptr) {
     metric_fe_handoffs_->Increment();
   }
-  // Dispatcher state for this connection now lives on; our socket plumbing
-  // does not. (Deferred: we are inside this Connection's on_data callback.)
-  conn->closed = true;
-  loop_->Post(alive_.Guard([this, id = conn->id]() { conns_.erase(id); }));
 }
 
 void FrontEnd::RelayFlow(FeConn* conn, std::vector<HttpRequest> requests) {
-  if (dispatcher_->active_node_count() == 0) {
-    conn->conn->Write("HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n");
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (dispatcher_->active_node_count() == 0) {
+      shed = true;
+    } else {
+      std::vector<std::string> paths;
+      paths.reserve(requests.size());
+      for (const auto& request : requests) {
+        paths.push_back(request.path);
+      }
+      const std::vector<Assignment> assignments =
+          dispatcher_->OnBatch(conn->id, PathsToTargets(paths));
+      for (size_t i = 0; i < assignments.size(); ++i) {
+        LARD_CHECK(assignments[i].action == AssignmentAction::kRelay);
+        conn->relay_queue.emplace_back(std::move(requests[i]), assignments[i].node);
+      }
+    }
+  }
+  if (shed) {
+    conn->conn->Write(kUnavailableReply);
     conn->conn->CloseAfterFlush();
     counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
     DestroyConn(conn);
     return;
   }
-  std::vector<std::string> paths;
-  paths.reserve(requests.size());
-  for (const auto& request : requests) {
-    paths.push_back(request.path);
-  }
-  const std::vector<Assignment> assignments =
-      dispatcher_->OnBatch(conn->id, PathsToTargets(paths));
-  for (size_t i = 0; i < assignments.size(); ++i) {
-    LARD_CHECK(assignments[i].action == AssignmentAction::kRelay);
-    conn->relay_queue.emplace_back(std::move(requests[i]), assignments[i].node);
-  }
-  ProcessNextRelay(conn->id);
+  ProcessNextRelay(conn->shard, conn->id);
 }
 
-void FrontEnd::ProcessNextRelay(ConnId id) {
-  auto it = conns_.find(id);
-  if (it == conns_.end()) {
+void FrontEnd::ProcessNextRelay(LoopShard* shard, ConnId id) {
+  auto it = shard->conns.find(id);
+  if (it == shard->conns.end()) {
     return;
   }
   FeConn* conn = it->second.get();
   if (conn->serving || conn->closed || conn->relay_queue.empty()) {
-    if (!conn->serving && !conn->closed && conn->relay_queue.empty() &&
-        live_in_dispatcher_.count(id) != 0) {
-      dispatcher_->OnConnectionIdle(id);
+    if (!conn->serving && !conn->closed && conn->relay_queue.empty()) {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (live_in_dispatcher_.count(id) != 0) {
+        dispatcher_->OnConnectionIdle(id);
+      }
     }
     return;
   }
@@ -862,14 +1096,17 @@ void FrontEnd::ProcessNextRelay(ConnId id) {
   conn->serving = true;
   counters_.relayed_requests.fetch_add(1, std::memory_order_relaxed);
 
-  LARD_CHECK(!relays_.empty()) << "relay mode requires ConnectBackends()";
-  LARD_CHECK(static_cast<size_t>(node) < relays_.size() &&
-             relays_[static_cast<size_t>(node)] != nullptr)
+  LARD_CHECK(!shard->relays.empty()) << "relay mode requires ConnectBackends()";
+  LARD_CHECK(static_cast<size_t>(node) < shard->relays.size() &&
+             shard->relays[static_cast<size_t>(node)] != nullptr)
       << "no relay route to node " << node;
-  relays_[static_cast<size_t>(node)]->Fetch(
-      request.path, [this, id, request](int status, std::string body) {
-        auto it = conns_.find(id);
-        if (it == conns_.end()) {
+  shard->relays[static_cast<size_t>(node)]->Fetch(
+      request.path, [this, shard, id, request](int status, std::string body) {
+        if (!shard->loop->IsInLoopThread()) {
+          pinning_violations_.fetch_add(1, std::memory_order_relaxed);
+        }
+        auto it = shard->conns.find(id);
+        if (it == shard->conns.end()) {
           return;
         }
         FeConn* conn = it->second.get();
@@ -892,7 +1129,7 @@ void FrontEnd::ProcessNextRelay(ConnId id) {
           DestroyConn(conn);
           return;
         }
-        ProcessNextRelay(id);
+        ProcessNextRelay(shard, id);
       });
 }
 
@@ -903,13 +1140,26 @@ void FrontEnd::DestroyConn(FeConn* conn) {
     return;
   }
   conn->closed = true;
-  if (conn->in_dispatcher && live_in_dispatcher_.erase(conn->id) > 0) {
-    dispatcher_->OnConnectionClose(conn->id);
+  if (conn->in_dispatcher) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (live_in_dispatcher_.erase(conn->id) > 0) {
+      dispatcher_->OnConnectionClose(conn->id);
+    }
   }
-  loop_->Post(alive_.Guard([this, id = conn->id]() { conns_.erase(id); }));
+  LoopShard* shard = conn->shard;
+  shard->loop->Post(alive_.Guard([shard, id = conn->id]() { shard->conns.erase(id); }));
+}
+
+void FrontEnd::RunOnLoop0(std::function<void()> fn) {
+  if (loop_->IsInLoopThread()) {
+    fn();
+  } else {
+    loop_->Post(std::move(fn));
+  }
 }
 
 void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, UniqueFd fd) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   NodeLink& link = nodes_[static_cast<size_t>(node)];
   // Any control-session traffic proves the node alive.
   link.last_heartbeat_ms = NowMs();
@@ -1022,7 +1272,10 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
       }
       if (retiring_.count(node) != 0) {
         // Deferred: finalizing tears down the channel we are called from.
-        loop_->Post(alive_.Guard([this, node]() { MaybeFinalizeRetire(node); }));
+        loop_->Post(alive_.Guard([this, node]() {
+          std::lock_guard<std::mutex> relock(state_mutex_);
+          MaybeFinalizeRetire(node);
+        }));
       }
       return;
     }
@@ -1112,9 +1365,7 @@ void FrontEnd::RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd f
       dispatcher_->OnConnectionClose(msg.conn_id);
     }
     journal_.Drop(msg.conn_id);
-    static constexpr char kUnavailable[] =
-        "HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n";
-    (void)!::send(fd.get(), kUnavailable, sizeof(kUnavailable) - 1, MSG_NOSIGNAL);
+    (void)!::send(fd.get(), kUnavailableReply, sizeof(kUnavailableReply) - 1, MSG_NOSIGNAL);
     counters_.rejected_no_backend.fetch_add(1, std::memory_order_relaxed);
     LARD_LOG(WARNING) << "front-end: no assignable node for given-back connection "
                       << msg.conn_id << ", shedding with 503";
@@ -1152,7 +1403,10 @@ void FrontEnd::RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd f
   }
   if (retiring_.count(from_node) != 0) {
     // Deferred: finalizing tears down the channel this handback arrived on.
-    loop_->Post(alive_.Guard([this, from_node]() { MaybeFinalizeRetire(from_node); }));
+    loop_->Post(alive_.Guard([this, from_node]() {
+      std::lock_guard<std::mutex> relock(state_mutex_);
+      MaybeFinalizeRetire(from_node);
+    }));
   }
 }
 

@@ -24,8 +24,21 @@
 // operations the admin API drives — AddNode, DrainNode, RemoveNode,
 // SetPolicy.
 //
-// Load accounting and cache modeling live in the shared Dispatcher; this
-// class is plumbing. Runs entirely on its EventLoop thread.
+// Threading model (reactor-per-core): the front-end runs on an EventLoopGroup
+// of N epoll loops. Loop 0 is the control-plane loop — back-end control
+// sessions, heartbeats/health sweeps, mesh gossip, the replay journal and the
+// admin server all live there and nowhere else. Client connections shard
+// across all N loops (per-loop SO_REUSEPORT listeners when the kernel allows,
+// round-robin fd handoff from a single loop-0 listener otherwise); a
+// connection, its parser and its raw-byte capture are pinned to the owning
+// loop for their whole lifetime. The shared routing state (dispatcher,
+// live-connection set, disk table, mesh table, gossip hints) sits behind one
+// mutex — a thread-safe façade rather than per-loop shards — so every loop
+// decides over the same coherent vcache/load view; see
+// docs/ARCHITECTURE.md "Threading model" for why. A shard loop that hands a
+// connection off finishes the loop-0-owned half (journal, control-session
+// send) by posting a CompleteHandoff to loop 0. With one loop the group
+// degenerates to the old single-threaded front-end, bit-for-bit.
 #ifndef SRC_PROTO_FRONTEND_H_
 #define SRC_PROTO_FRONTEND_H_
 
@@ -48,6 +61,7 @@
 #include "src/mesh/mesh_state.h"
 #include "src/net/connection.h"
 #include "src/net/event_loop.h"
+#include "src/net/event_loop_group.h"
 #include "src/net/framed_channel.h"
 #include "src/proto/control_protocol.h"
 #include "src/proto/lateral_client.h"
@@ -110,8 +124,9 @@ struct FrontEndConfig {
   // Optional shared registry (lard_fe_*, lard_cluster_* instruments).
   MetricsRegistry* metrics = nullptr;
   // Optional request tracer: accept/parse/policy/handoff/replay spans are
-  // recorded into the "fe<fe_id>" ring (sampled by trace id, so FE and
-  // back-end spans of one connection are kept or dropped together).
+  // recorded into per-loop rings — "fe<fe_id>" for loop 0 (the historic name)
+  // and "fe<fe_id>.<k>" for shard loop k — sampled by trace id, so FE and
+  // back-end spans of one connection are kept or dropped together.
   Tracer* tracer = nullptr;
 };
 
@@ -132,22 +147,24 @@ struct FrontEndCounters {
 class FrontEnd {
  public:
   // `catalog` maps request paths to targets (sizes) for the dispatcher's
-  // virtual caches; must outlive the front-end.
-  FrontEnd(const FrontEndConfig& config, EventLoop* loop, const TargetCatalog* catalog);
+  // virtual caches; must outlive the front-end. `loops` is the reactor
+  // group this front-end runs on (loop 0 = control plane; all loops carry
+  // client connections); it must outlive the front-end too.
+  FrontEnd(const FrontEndConfig& config, EventLoopGroup* loops, const TargetCatalog* catalog);
   ~FrontEnd();
 
   FrontEnd(const FrontEnd&) = delete;
   FrontEnd& operator=(const FrontEnd&) = delete;
 
-  // Loop thread. control_fds[i] is the unix-socket end of node i's control
-  // session. Opens the client listener; port available via port() after.
+  // Loop-0 thread. control_fds[i] is the unix-socket end of node i's control
+  // session. Opens the client listener(s); port available via port() after.
   void Start(std::vector<UniqueFd> control_fds);
 
-  // Loop thread; relaying mechanism only: connect to the back-ends' HTTP
-  // (lateral) ports.
+  // Loop-0 thread; relaying mechanism only: connect to the back-ends' HTTP
+  // (lateral) ports (every shard loop gets its own persistent connections).
   void ConnectBackends(const std::vector<uint16_t>& backend_http_ports);
 
-  // --- control plane (loop thread; the admin server calls these) ---
+  // --- control plane (loop-0 thread; the admin server calls these) ---
 
   // Registers a freshly started back-end: control session + (relay mode) its
   // HTTP port + capacity weight. Returns the new node's id.
@@ -161,7 +178,7 @@ class FrontEnd {
   // on live, draining and already-dead nodes (idempotent; returns false when
   // nothing changed).
   bool RemoveNode(NodeId node);
-  // Invoked on the loop thread after a node's removal completes (control
+  // Invoked on the loop-0 thread after a node's removal completes (control
   // session torn down) — the harness stops the node's thread here.
   void set_on_node_removed(std::function<void(NodeId)> cb) { on_node_removed_ = std::move(cb); }
   // Runtime policy switch (future decisions only). The name overload accepts
@@ -170,10 +187,14 @@ class FrontEnd {
   bool SetPolicyByName(const std::string& name);
   // Membership + health snapshot as the admin API's JSON body.
   std::string DescribeNodesJson() const;
+  // Burns one dispatcher node-id slot (add + immediate remove) so a
+  // front-end joining an established cluster keeps its node ids aligned with
+  // the tier across slots whose nodes already died.
+  void BurnNodeSlot();
 
   // --- the front-end mesh (replicated tier) ---
 
-  // Loop thread. Wires the gossip channel to peer front-end `peer_fe_id`
+  // Loop-0 thread. Wires the gossip channel to peer front-end `peer_fe_id`
   // (one FramedChannel per peer pair; the harness builds the full mesh).
   void AttachPeer(uint32_t peer_fe_id, UniqueFd gossip_fd);
   // This replica's mesh state as JSON: epoch, gossip seq, per-peer lag/seq/
@@ -184,10 +205,27 @@ class FrontEnd {
   uint16_t port() const { return port_; }
   const FrontEndCounters& counters() const { return counters_; }
   const Dispatcher& dispatcher() const { return *dispatcher_; }
+  int fe_loops() const { return static_cast<int>(shards_.size()); }
+
+  // Coherent cross-thread copy of the dispatcher's decision counters (and,
+  // optionally, its open-connection count), taken under the routing-state
+  // mutex — the shard loops mutate the counters concurrently, so a raw
+  // counters() read from another thread would be torn.
+  DispatcherCounters DispatcherCountersSnapshot(size_t* open_connections = nullptr) const;
+
+  // Times a client-connection callback fired on a loop other than the one
+  // the connection is pinned to. Always 0 by construction; exported so the
+  // pinning-under-churn tests can assert the invariant directly.
+  uint64_t pinning_violations() const {
+    return pinning_violations_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct LoopShard;
+
   struct FeConn {
     ConnId id = 0;
+    LoopShard* shard = nullptr;  // owning loop; all callbacks fire there
     std::unique_ptr<Connection> conn;
     RequestParser parser;
     std::string raw_bytes;  // everything received (shipped on handoff)
@@ -198,8 +236,38 @@ class FrontEnd {
     bool closed = false;
   };
 
+  // One reactor shard: a loop plus everything pinned to it. Client
+  // connections never migrate between shards; only the detached fd leaves
+  // (to a back-end, via loop 0). Shard 0 is loop 0 and also hosts the
+  // control plane.
+  struct LoopShard {
+    EventLoop* loop = nullptr;
+    int index = 0;
+    UniqueFd listener;  // per-shard SO_REUSEPORT socket (or the fallback's)
+    std::unordered_map<ConnId, std::unique_ptr<FeConn>> conns;
+    ConnId next_conn_id = 0;
+    TraceRing* trace_ring = nullptr;  // "fe<k>" for shard 0, "fe<k>.<n>" else
+    std::vector<std::unique_ptr<LateralClient>> relays;  // relaying mode
+  };
+
+  // The loop-0-owned half of a shard-initiated handoff: journal bookkeeping
+  // plus the control-session send. Built on the shard loop (which owns the
+  // parse and the fd dup), executed on loop 0 (which owns nodes_ and the
+  // journal).
+  struct PendingHandoff {
+    NodeId node = kInvalidNode;
+    HandoffMsg msg;
+    UniqueFd client_fd;    // the detached socket to ship
+    UniqueFd retained_fd;  // journal dup (invalid when unprotected/dup failed)
+    std::vector<ReplayJournal::Entry> journal_entries;
+    std::string partial_tail;
+    TraceRing* trace_ring = nullptr;
+    bool traced = false;
+    size_t request_count = 0;
+  };
+
   // Per-back-end control-plane state, indexed by NodeId (slots persist after
-  // removal so ids stay stable).
+  // removal so ids stay stable). Loop-0 confined.
   struct NodeLink {
     std::unique_ptr<FramedChannel> control;
     int64_t last_heartbeat_ms = 0;   // also bumped by disk reports/consults
@@ -216,16 +284,24 @@ class FrontEnd {
 
   class DiskTable;
 
-  void OnAccept(uint32_t events);
+  void OnAccept(LoopShard* shard, uint32_t events);
+  // Takes ownership of a fresh client socket on `shard`'s loop thread: the
+  // shed-at-the-door check, FeConn construction, callback pinning.
+  void AdoptClientFd(LoopShard* shard, UniqueFd fd);
   void OnClientData(FeConn* conn, std::string_view data);
   void OnClientClosed(FeConn* conn);
   void DestroyConn(FeConn* conn);
 
   void HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests);
+  // Loop 0. Re-checks the target's control session (the shard's dispatcher
+  // pick can race a node death), journals the retained dup, and ships the
+  // connection. Sheds with a raw 503 when the target died in flight.
+  void CompleteHandoff(PendingHandoff pending);
   void RelayFlow(FeConn* conn, std::vector<HttpRequest> requests);
-  void ProcessNextRelay(ConnId id);
+  void ProcessNextRelay(LoopShard* shard, ConnId id);
 
   void OnControlMessage(NodeId node, uint8_t type, std::string payload, UniqueFd fd);
+  // Locked (state_mutex_) helpers — callers hold the lock.
   void HandleConsult(NodeId node, const ConsultMsg& msg);
   // Giveback (target kInvalidNode) or dead-target handback: reassign via the
   // dispatcher and re-handoff; 503-close the client when no node is
@@ -237,7 +313,7 @@ class FrontEnd {
   NodeId PickLiveNode(ConnId conn, const std::vector<TargetId>& pending,
                       Dispatcher::ReassignReason reason);
 
-  // --- crash-transparent replay ---
+  // --- crash-transparent replay (all loop 0) ---
 
   // The journal applies to handed-off connections only (never relaying).
   bool ReplayEligible() const {
@@ -255,6 +331,7 @@ class FrontEnd {
   // away (or its grace period expired).
   void MaybeFinalizeRetire(NodeId node);
   // Connection-granularity policies/mechanisms never consult per request.
+  // Callers hold state_mutex_ (reads the dispatcher's policy).
   bool AutonomousHandoffs() const {
     return !(dispatcher_->policy().per_request_distribution() &&
              (config_.mechanism == Mechanism::kBackEndForwarding ||
@@ -266,8 +343,10 @@ class FrontEnd {
   // Health sweep: auto-remove nodes whose heartbeats stopped.
   void CheckNodeHealth();
   // Shared removal path for admin removes, heartbeat timeouts and control
-  // EOFs. `reason` goes to the log and the removal counters.
+  // EOFs. `reason` goes to the log and the removal counters. Caller holds
+  // state_mutex_.
   bool RemoveNodeInternal(NodeId node, const char* reason);
+  // Loop 0 only: nodes_ (and the channels in it) are loop-0 confined.
   bool NodeLive(NodeId node) const {
     return node >= 0 && node < static_cast<NodeId>(nodes_.size()) &&
            nodes_[static_cast<size_t>(node)].control != nullptr &&
@@ -279,10 +358,14 @@ class FrontEnd {
   int64_t NowMs() const;
   // Periodic heartbeat sweep; reschedules itself while the front-end lives.
   void ScheduleHealthSweep(int64_t period_ms);
+  // Runs `fn` on loop 0: inline when already there (the fe_loops=1 fast
+  // path and every control-plane caller), posted otherwise.
+  void RunOnLoop0(std::function<void()> fn);
 
-  // Mesh internals (all loop thread).
+  // Mesh internals (loop 0; locked helpers note their caller's lock).
   bool MeshEnabled() const { return mesh_ != nullptr; }
   // Queues (node, target) vcache news for the next outgoing gossip delta.
+  // Caller holds state_mutex_.
   void RecordFetchHints(const std::vector<TargetId>& targets,
                         const std::vector<Assignment>& assignments);
   void OnPeerMessage(uint32_t peer, uint8_t type, std::string payload);
@@ -293,24 +376,35 @@ class FrontEnd {
   void UpdateMeshSnapshot();
 
   FrontEndConfig config_;
-  EventLoop* loop_;
+  EventLoopGroup* loops_;
+  EventLoop* loop_;  // loops_->loop(0): the control-plane loop
   const TargetCatalog* catalog_;
   // Guards deferred callbacks (posted erases, health/retire timers), which
-  // the loop may drain after this front-end is torn down. Invalidated first
+  // the loops may drain after this front-end is torn down. Invalidated first
   // in the destructor.
   LivenessToken alive_;
 
+  // The routing-state façade lock: dispatcher_, live_in_dispatcher_,
+  // disk_table_, mesh_ and pending_hints_ are mutated from every shard loop
+  // (client batches) and loop 0 (control traffic, membership, gossip), and
+  // all of them feed one LARD decision, so they share one mutex. Uncontended
+  // with fe_loops=1. nodes_, journal_, retiring_ and the fe_peers_ channels
+  // are NOT under this lock — they are loop-0 confined by design.
+  mutable std::mutex state_mutex_;
   std::unique_ptr<DiskTable> disk_table_;
   std::unique_ptr<Dispatcher> dispatcher_;
-  UniqueFd listener_;
   uint16_t port_ = 0;
-  std::vector<NodeLink> nodes_;                        // index = NodeId
-  std::vector<std::unique_ptr<LateralClient>> relays_;  // relaying mode
+  std::vector<NodeLink> nodes_;  // index = NodeId; loop-0 confined
 
-  std::unordered_map<ConnId, std::unique_ptr<FeConn>> conns_;
-  std::set<ConnId> live_in_dispatcher_;  // conns with dispatcher state
+  // Reactor shards (size = loops_->size()); shard 0 runs on loop 0.
+  std::vector<std::unique_ptr<LoopShard>> shards_;
+  // Fallback accept path (SO_REUSEPORT unavailable): the single loop-0
+  // listener round-robins accepted fds across shards.
+  bool fd_handoff_accept_ = false;
+  size_t next_accept_shard_ = 0;  // loop-0 confined
+
+  std::set<ConnId> live_in_dispatcher_;  // conns with dispatcher state (locked)
   std::set<NodeId> retiring_;  // admin-removed live nodes awaiting giveback
-  ConnId next_conn_id_ = 1;
   std::function<void(NodeId)> on_node_removed_;
 
   // Crash replay: the retained client fds + unacknowledged request tails.
@@ -332,9 +426,10 @@ class FrontEnd {
   std::string mesh_json_;  // refreshed each tick; read by the admin thread
 
   Tracer* tracer_ = nullptr;
-  TraceRing* trace_ring_ = nullptr;
+  TraceRing* trace_ring_ = nullptr;  // shard 0's ring; control-plane spans
 
   FrontEndCounters counters_;
+  std::atomic<uint64_t> pinning_violations_{0};
   MetricGauge* metric_active_nodes_ = nullptr;
   MetricCounter* metric_auto_removals_ = nullptr;
   MetricCounter* metric_heartbeats_ = nullptr;

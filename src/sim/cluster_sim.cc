@@ -82,7 +82,8 @@ struct ClusterSim::SessionRun {
   const TraceSession* session = nullptr;
   ConnId conn = 0;
   uint64_t id = 0;  // stable handle for guarded completion callbacks
-  int fe = 0;  // owning front-end (index into dispatchers_)
+  int fe = 0;       // owning front-end (index into dispatchers_)
+  int fe_loop = 0;  // owning event loop within that front-end (pinned for life)
   size_t next_batch = 0;
   size_t outstanding = 0;       // responses pending in the current batch
   SimTimeUs batch_start_us = 0;
@@ -137,10 +138,14 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
   }
   disk_stats_ = std::make_unique<DiskQueueStats>(&backends_);
 
+  if (config_.fe_loops < 1) {
+    config_.fe_loops = 1;
+  }
   const int frontends = config_.num_frontends;
   pending_hints_.resize(static_cast<size_t>(frontends));
   gossip_seq_.assign(static_cast<size_t>(frontends), 0);
   fe_accounted_us_.assign(static_cast<size_t>(frontends), 0.0);
+  next_fe_loop_.assign(static_cast<size_t>(frontends), 0);
   if (frontends > 1) {
     for (int fe = 0; fe < frontends; ++fe) {
       mesh_.push_back(std::make_unique<MeshStateTable>(static_cast<uint32_t>(fe)));
@@ -164,7 +169,10 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
   }
 
   if (config_.model_front_end_limit || config_.mechanism == Mechanism::kRelayingFrontEnd) {
-    for (int fe = 0; fe < frontends; ++fe) {
+    // One serialized CPU per (front-end, loop): the reactor-per-core FE's
+    // capacity model. Sessions pin to a loop, so per-loop queues form just
+    // like the prototype's per-reactor epoll loops.
+    for (int fe = 0; fe < frontends * config_.fe_loops; ++fe) {
       fe_cpus_.push_back(std::make_unique<FifoServer>(&queue_));
     }
   }
@@ -285,10 +293,12 @@ void ClusterSim::ApplyMembershipEvent(const MembershipEvent& event) {
 
 ClusterSim::~ClusterSim() = default;
 
-void ClusterSim::FrontEndWork(int fe, double cost_us, std::function<void()> done) {
+void ClusterSim::FrontEndWork(int fe, int loop, double cost_us, std::function<void()> done) {
   fe_accounted_us_[static_cast<size_t>(fe)] += cost_us;
   if (!fe_cpus_.empty()) {
-    fe_cpus_[static_cast<size_t>(fe)]->Submit(cost_us, std::move(done));
+    const size_t slot = static_cast<size_t>(fe) * static_cast<size_t>(config_.fe_loops) +
+                        static_cast<size_t>(loop);
+    fe_cpus_[slot]->Submit(cost_us, std::move(done));
   } else {
     done();
   }
@@ -397,12 +407,18 @@ void ClusterSim::StartNextSession() {
   // Sessions are dealt round-robin across the front-end tier (the client
   // side of a replicated tier is DNS/VIP spraying, which this approximates).
   run->fe = static_cast<int>((next_session_ - 1) % static_cast<size_t>(config_.num_frontends));
+  // Within the front-end, connections are dealt round-robin across its event
+  // loops (the prototype's SO_REUSEPORT accept spreading) and pinned there.
+  int& next_loop = next_fe_loop_[static_cast<size_t>(run->fe)];
+  run->fe_loop = next_loop;
+  next_loop = (next_loop + 1) % config_.fe_loops;
   SessionRun* raw = run.get();
   active_runs_.push_back(std::move(run));
   runs_by_id_[raw->id] = raw;
 
   DispatcherFor(raw).OnConnectionOpen(raw->conn);
-  FrontEndWork(raw->fe, config_.fe_costs.accept_us, [this, raw]() { ProcessBatch(raw); });
+  FrontEndWork(raw->fe, raw->fe_loop, config_.fe_costs.accept_us,
+               [this, raw]() { ProcessBatch(raw); });
 }
 
 ClusterSim::SessionRun* ClusterSim::FindRun(uint64_t run_id) {
@@ -599,6 +615,7 @@ void ClusterSim::IssueRequest(SessionRun* run, size_t index, TargetId target,
   const ServerCostModel& costs = config_.server_costs;
   const bool zero_cost = config_.mechanism == Mechanism::kIdealHandoff;
   const int fe = run->fe;
+  const int fe_loop = run->fe_loop;
   // Failure-replay mode routes completions through the guarded trampoline so
   // a crash can supersede (replay) or drop (lose) an in-flight request.
   std::function<void()> done;
@@ -618,12 +635,14 @@ void ClusterSim::IssueRequest(SessionRun* run, size_t index, TargetId target,
       const NodeId node = assignment.node;
       const double setup = zero_cost ? 0.0 : costs.conn_setup_us;
       const double fe_cost = zero_cost ? 0.0 : config_.fe_costs.handoff_us;
-      FrontEndWork(fe, fe_cost, [this, node, target, hit = assignment.served_from_cache, setup,
-                                 done]() { ServeAtNode(node, target, hit, setup, done); });
+      FrontEndWork(fe, fe_loop, fe_cost, [this, node, target, hit = assignment.served_from_cache,
+                                          setup, done]() {
+        ServeAtNode(node, target, hit, setup, done);
+      });
       break;
     }
     case AssignmentAction::kServeLocal: {
-      FrontEndWork(fe, config_.fe_costs.per_request_us,
+      FrontEndWork(fe, fe_loop, config_.fe_costs.per_request_us,
                    [this, node = assignment.node, target, hit = assignment.served_from_cache,
                     done]() { ServeAtNode(node, target, hit, 0.0, done); });
       break;
@@ -637,7 +656,7 @@ void ClusterSim::IssueRequest(SessionRun* run, size_t index, TargetId target,
       const NodeId remote = assignment.node;
       const double xmit = TransmitCostUs(costs, bytes);
       const double relay_cost = costs.tag_us + costs.forward_receive_factor * xmit + xmit;
-      FrontEndWork(fe, config_.fe_costs.per_request_us,
+      FrontEndWork(fe, fe_loop, config_.fe_costs.per_request_us,
                    [this, handling, remote, target, bytes, relay_cost,
                     hit = assignment.served_from_cache, done]() {
                      // Remote serve: per-request + cache/disk + transmit (to
@@ -665,8 +684,9 @@ void ClusterSim::IssueRequest(SessionRun* run, size_t index, TargetId target,
       const double overhead = zero_cost ? 0.0 : costs.handoff_us;
       const double stall = zero_cost ? 0.0 : costs.migration_stall_us;
       const double fe_cost = zero_cost ? 0.0 : config_.fe_costs.migrate_us;
-      FrontEndWork(fe, fe_cost, [this, node = assignment.node, target,
-                                 hit = assignment.served_from_cache, overhead, stall, done]() {
+      FrontEndWork(fe, fe_loop, fe_cost, [this, node = assignment.node, target,
+                                          hit = assignment.served_from_cache, overhead, stall,
+                                          done]() {
         queue_.ScheduleAfter(stall, [this, node, target, hit, overhead, done]() {
           ServeAtNode(node, target, hit, overhead, done);
         });
@@ -682,8 +702,8 @@ void ClusterSim::IssueRequest(SessionRun* run, size_t index, TargetId target,
       const bool hit = assignment.served_from_cache;
       // Charge the FE after the back-end produced the data (response path
       // dominates); ordering does not affect totals.
-      ServeAtNode(node, target, hit, 0.0, [this, fe, fe_cost, done]() {
-        FrontEndWork(fe, fe_cost, done);
+      ServeAtNode(node, target, hit, 0.0, [this, fe, fe_loop, fe_cost, done]() {
+        FrontEndWork(fe, fe_loop, fe_cost, done);
       });
       break;
     }
@@ -841,8 +861,12 @@ ClusterSimMetrics ClusterSim::Run() {
   metrics.mean_cpu_idle = 1.0 - cpu_util_sum / node_count;
   metrics.mean_disk_idle = 1.0 - disk_util_sum / node_count;
   for (const double accounted : fe_accounted_us_) {
+    // An FE's capacity is fe_loops loop-CPUs; 1.0 = all its loops busy the
+    // whole run (the single-loop formula when fe_loops is 1).
     const double utilization =
-        queue_.now_us() > 0 ? accounted / static_cast<double>(queue_.now_us()) : 0.0;
+        queue_.now_us() > 0 ? accounted / (static_cast<double>(queue_.now_us()) *
+                                           static_cast<double>(config_.fe_loops))
+                            : 0.0;
     metrics.per_fe_utilization.push_back(utilization);
     metrics.fe_utilization = std::max(metrics.fe_utilization, utilization);
   }

@@ -94,6 +94,14 @@ struct ClusterSimConfig {
   // Serialize front-end work through a real CPU (otherwise only accounted).
   bool model_front_end_limit = false;
 
+  // Reactor-per-core front ends: event loops (cores) per front-end, the
+  // simulator's twin of ClusterConfig::fe_loops. Each session is pinned to
+  // one loop of its front-end for life (as in the prototype) and, when
+  // model_front_end_limit is set, each loop is its own serialized CPU — so
+  // an FE saturates at ~fe_loops times the single-loop knee. 1 = the
+  // classic single-loop front-end, bit-identical to before.
+  int fe_loops = 1;
+
   // Replicated front-end tier (the mesh). Sessions are dealt round-robin
   // across this many front-ends, each with its own Dispatcher — its own load
   // accounting, virtual caches and (when model_front_end_limit is set) its
@@ -240,9 +248,9 @@ class ClusterSim {
                    std::function<void()> done);
   void OnResponseDone(SessionRun* run);
   void FinishSession(SessionRun* run);
-  // Runs `done` after charging `cost_us` of CPU at front-end `fe`
-  // (serialized or merely accounted, per config).
-  void FrontEndWork(int fe, double cost_us, std::function<void()> done);
+  // Runs `done` after charging `cost_us` of CPU at front-end `fe`'s event
+  // loop `loop` (serialized or merely accounted, per config).
+  void FrontEndWork(int fe, int loop, double cost_us, std::function<void()> done);
 
   // The dispatcher owning `run`'s connection (its front-end's replica).
   Dispatcher& DispatcherFor(const SessionRun* run);
@@ -274,8 +282,11 @@ class ClusterSim {
   // deduplicated ((node << 32) | target keys).
   std::vector<std::unordered_set<uint64_t>> pending_hints_;
   std::vector<uint64_t> gossip_seq_;
-  std::vector<std::unique_ptr<FifoServer>> fe_cpus_;  // sized when FE limiting
+  // One serialized CPU per (front-end, loop) when FE limiting is on; slot
+  // fe * fe_loops + loop.
+  std::vector<std::unique_ptr<FifoServer>> fe_cpus_;
   std::vector<double> fe_accounted_us_;  // one slot per front-end
+  std::vector<int> next_fe_loop_;        // per-FE round-robin loop dealing
 
   size_t next_session_ = 0;
   size_t sessions_done_ = 0;

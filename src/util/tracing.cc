@@ -136,17 +136,39 @@ bool Tracer::Sampled(uint64_t trace_id) const {
   return Mix64(trace_id) % config_.sample_every == 0;
 }
 
+std::vector<TraceRingSnapshot> Tracer::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Take every ring's lock before copying any ring: the copies form one
+  // coherent epoch across rings instead of N reads racing with writers on
+  // other loop threads. Lock order is fixed (tracer mutex, then rings in
+  // creation order) and no other path holds two locks, so this cannot
+  // deadlock. Writers stall for the duration of one memcpy-scale copy.
+  std::vector<std::unique_lock<std::mutex>> ring_locks;
+  ring_locks.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    ring_locks.emplace_back(ring->mutex_);
+  }
+  std::vector<TraceRingSnapshot> out;
+  out.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    TraceRingSnapshot snap;
+    snap.name = ring->name_;
+    snap.capacity = ring->slots_.size();
+    snap.recorded = ring->recorded_;
+    snap.spans.reserve(ring->size_);
+    const size_t start = ring->size_ == ring->slots_.size() ? ring->next_ : 0;
+    for (size_t i = 0; i < ring->size_; ++i) {
+      snap.spans.push_back(ring->slots_[(start + i) % ring->slots_.size()]);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
 std::vector<TraceSpan> Tracer::SpansForTrace(uint64_t trace_id) const {
   std::vector<TraceSpan> spans;
-  std::vector<TraceRing*> rings;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& ring : rings_) {
-      rings.push_back(ring.get());
-    }
-  }
-  for (TraceRing* ring : rings) {
-    for (const TraceSpan& span : ring->Snapshot()) {
+  for (const TraceRingSnapshot& ring : SnapshotAll()) {
+    for (const TraceSpan& span : ring.spans) {
       if (span.trace_id == trace_id) {
         spans.push_back(span);
       }
@@ -159,15 +181,9 @@ std::vector<TraceSpan> Tracer::SpansForTrace(uint64_t trace_id) const {
 }
 
 std::string Tracer::RenderJson() const {
-  // Collect every ring's contents, then group by trace id (ordered map so
-  // output is stable for tests and diffing).
-  std::vector<TraceRing*> rings;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& ring : rings_) {
-      rings.push_back(ring.get());
-    }
-  }
+  // One coherent capture of every ring, then group by trace id (ordered map
+  // so output is stable for tests and diffing).
+  const std::vector<TraceRingSnapshot> rings = SnapshotAll();
   struct Annotated {
     TraceSpan span;
     const std::string* ring;
@@ -175,12 +191,12 @@ std::string Tracer::RenderJson() const {
   std::map<uint64_t, std::vector<Annotated>> by_trace;
   std::ostringstream rings_json;
   bool first_ring = true;
-  for (TraceRing* ring : rings) {
-    for (const TraceSpan& span : ring->Snapshot()) {
-      by_trace[span.trace_id].push_back(Annotated{span, &ring->name()});
+  for (const TraceRingSnapshot& ring : rings) {
+    for (const TraceSpan& span : ring.spans) {
+      by_trace[span.trace_id].push_back(Annotated{span, &ring.name});
     }
-    rings_json << (first_ring ? "" : ",") << "{\"name\":\"" << JsonEscape(ring->name().c_str())
-               << "\",\"capacity\":" << ring->capacity() << ",\"recorded\":" << ring->recorded()
+    rings_json << (first_ring ? "" : ",") << "{\"name\":\"" << JsonEscape(ring.name.c_str())
+               << "\",\"capacity\":" << ring.capacity << ",\"recorded\":" << ring.recorded
                << "}";
     first_ring = false;
   }
@@ -214,22 +230,17 @@ std::string Tracer::RenderJson() const {
 
 std::string Tracer::RenderChrome() const {
   // Chrome trace-event format: one complete ("X") event per span, each ring
-  // presented as a named pseudo-thread ("M" thread_name metadata).
-  std::vector<TraceRing*> rings;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& ring : rings_) {
-      rings.push_back(ring.get());
-    }
-  }
+  // presented as a named pseudo-thread ("M" thread_name metadata). One
+  // coherent capture feeds both the metadata and the events.
+  const std::vector<TraceRingSnapshot> rings = SnapshotAll();
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (size_t tid = 0; tid < rings.size(); ++tid) {
     out << (first ? "" : ",") << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-        << ",\"args\":{\"name\":\"" << JsonEscape(rings[tid]->name().c_str()) << "\"}}";
+        << ",\"args\":{\"name\":\"" << JsonEscape(rings[tid].name.c_str()) << "\"}}";
     first = false;
-    for (const TraceSpan& span : rings[tid]->Snapshot()) {
+    for (const TraceSpan& span : rings[tid].spans) {
       out << ",{\"name\":\"" << SpanKindName(span.kind) << "\",\"cat\":\"lard\",\"ph\":\"X\""
           << ",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << span.start_us
           << ",\"dur\":" << std::max<int64_t>(span.duration_us, 1) << ",\"args\":{\"trace_id\":\""

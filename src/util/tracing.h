@@ -88,12 +88,24 @@ class TraceRing {
   uint64_t recorded() const;
 
  private:
+  // Tracer::SnapshotAll() holds every ring's mutex at once to capture one
+  // coherent cross-ring epoch for the admin renders.
+  friend class Tracer;
+
   const std::string name_;
   mutable std::mutex mutex_;
   std::vector<TraceSpan> slots_;
   size_t next_ = 0;     // next write position
   size_t size_ = 0;     // live spans (≤ capacity)
   uint64_t recorded_ = 0;
+};
+
+// One ring's contents captured at a snapshot epoch (see Tracer::SnapshotAll).
+struct TraceRingSnapshot {
+  std::string name;
+  size_t capacity = 0;
+  uint64_t recorded = 0;
+  std::vector<TraceSpan> spans;  // oldest-first
 };
 
 struct TracerConfig {
@@ -126,6 +138,13 @@ class Tracer {
   // Deterministic per-connection sampling verdict; identical on every
   // component because it depends only on the trace id.
   bool Sampled(uint64_t trace_id) const;
+
+  // Captures every ring (contents + recorded counter) under one snapshot
+  // epoch: all ring locks are held simultaneously while copying, so a
+  // concurrent writer on another loop thread can never make the rendered
+  // rings mutually inconsistent (a trace half in one ring's snapshot and
+  // half missing from another's). Both renders below consume this.
+  std::vector<TraceRingSnapshot> SnapshotAll() const;
 
   // Recent traces grouped by trace id:
   // {"traces":[{"trace_id":..,"spans":[...]}],"rings":[...]}.
