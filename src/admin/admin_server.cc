@@ -52,7 +52,7 @@ AdminServer::AdminServer(EventLoop* loop, MetricsRegistry* metrics)
   }
 }
 
-AdminServer::~AdminServer() = default;
+AdminServer::~AdminServer() { alive_.Invalidate(); }
 
 void AdminServer::Route(const std::string& method, const std::string& path,
                         AdminHandler handler) {
@@ -196,7 +196,7 @@ void AdminServer::DestroyConn(AdminConn* conn) {
     return;
   }
   conn->closed = true;
-  loop_->Post([this, id = conn->id]() { conns_.erase(id); });
+  loop_->Post(alive_.Guard([this, id = conn->id]() { conns_.erase(id); }));
 }
 
 }  // namespace lard

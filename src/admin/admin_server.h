@@ -29,6 +29,7 @@
 #include "src/http/request_parser.h"
 #include "src/net/connection.h"
 #include "src/net/event_loop.h"
+#include "src/util/liveness.h"
 #include "src/util/metrics.h"
 
 namespace lard {
@@ -86,6 +87,9 @@ class AdminServer {
 
   EventLoop* loop_;
   MetricsRegistry* metrics_;
+  // Invalidated first in the destructor so deferred-reclaim posts (DestroyConn
+  // defers the map erase) become no-ops once the server is gone.
+  LivenessToken alive_;
   UniqueFd listener_;
   uint16_t port_ = 0;
 

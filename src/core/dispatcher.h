@@ -28,6 +28,12 @@
 // Not thread-safe: the simulator is single-threaded and the prototype drives
 // it from its single dispatcher thread (mirroring the kernel dispatcher
 // module, which serializes on the control session).
+//
+// Concurrency contract (docs/CONCURRENCY.md): the dispatcher carries no lock
+// of its own. The prototype serializes every call through
+// FrontEnd::state_mutex_ (the FrontEnd is the capability); the simulator is
+// single-threaded. That external guard is not expressible as a GUARDED_BY on
+// members here, so this class stays annotation-free by design.
 #ifndef SRC_CORE_DISPATCHER_H_
 #define SRC_CORE_DISPATCHER_H_
 

@@ -46,13 +46,13 @@ class LruCache {
 
  private:
   struct Entry {
-    TargetId id;
-    uint64_t size_bytes;
+    TargetId id = 0;
+    uint64_t size_bytes = 0;
   };
 
   void EvictOne(std::vector<TargetId>* evicted);
 
-  uint64_t capacity_bytes_;
+  uint64_t capacity_bytes_ = 0;
   uint64_t used_bytes_ = 0;
   std::list<Entry> entries_;  // front = most recently used
   std::unordered_map<TargetId, std::list<Entry>::iterator> index_;

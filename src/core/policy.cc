@@ -340,25 +340,25 @@ PolicyRegistry& PolicyRegistry::Global() {
 
 void PolicyRegistry::Register(const std::string& name, Factory factory) {
   LARD_CHECK(!name.empty());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   LARD_CHECK(factories_.find(name) == factories_.end())
       << "routing policy '" << name << "' is already registered";
   factories_[name] = std::move(factory);
 }
 
 std::unique_ptr<RoutingPolicy> PolicyRegistry::Create(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = factories_.find(name);
   return it == factories_.end() ? nullptr : it->second();
 }
 
 bool PolicyRegistry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return factories_.find(name) != factories_.end();
 }
 
 std::vector<std::string> PolicyRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<std::string> names;
   names.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) {

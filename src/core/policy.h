@@ -27,7 +27,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +34,8 @@
 #include "src/core/lard_params.h"
 #include "src/core/lru_cache.h"
 #include "src/trace/trace.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace lard {
 
@@ -199,8 +200,8 @@ class PolicyRegistry {
 
  private:
   PolicyRegistry();
-  mutable std::mutex mutex_;
-  std::map<std::string, Factory> factories_;
+  mutable Mutex mutex_;
+  std::map<std::string, Factory> factories_ LARD_GUARDED_BY(mutex_);
 };
 
 }  // namespace lard

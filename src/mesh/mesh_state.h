@@ -17,6 +17,12 @@
 //
 // Not thread-safe: lives on its front-end's loop thread (prototype) or the
 // simulator's single thread, like the Dispatcher it feeds.
+//
+// Concurrency contract (docs/CONCURRENCY.md): the table carries no lock of
+// its own. In the prototype every access — Apply from gossip receipt, the
+// RemoteLoad overlay reads, and the Peers()/age introspection — happens with
+// FrontEnd::state_mutex_ held; the owning FrontEnd is the capability, so the
+// guard is not expressible as a GUARDED_BY on these members.
 #ifndef SRC_MESH_MESH_STATE_H_
 #define SRC_MESH_MESH_STATE_H_
 
@@ -75,7 +81,7 @@ class MeshStateTable final : public RemoteLoadProvider {
     std::vector<double> loads;  // indexed by NodeId, sized to the peer's report
   };
 
-  uint32_t self_;
+  uint32_t self_ = 0;
   std::map<uint32_t, PeerState> peers_;
   // Aggregated overlay, maintained incrementally on Apply/RemovePeer.
   std::vector<double> remote_sum_;

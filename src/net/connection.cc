@@ -46,6 +46,8 @@ void Connection::HandleEvents(uint32_t events) {
 void Connection::HandleReadable() {
   char buf[64 * 1024];
   while (open_) {
+    // lard-lint: allow(blocking-call) fd is O_NONBLOCK (Connection requires it);
+    // this recv returns EAGAIN instead of blocking the loop.
     const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
     if (n > 0) {
       if (on_data_) {

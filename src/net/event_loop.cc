@@ -62,7 +62,19 @@ void EventLoop::RunTimed(Fn&& fn) {
   callback_us_->Observe(static_cast<double>(NowUs() - start));
 }
 
+void EventLoop::AssertInLoopThread() const {
+  if (IsInLoopThread() || !running_.load(std::memory_order_acquire)) {
+    return;  // on the loop thread, or single-threaded setup/teardown
+  }
+#ifndef NDEBUG
+  LARD_CHECK(false) << "loop-confined state touched off its loop thread";
+#else
+  pinning_violations_.fetch_add(1, std::memory_order_relaxed);
+#endif
+}
+
 void EventLoop::Register(int fd, uint32_t events, IoCallback callback) {
+  AssertInLoopThread();
   LARD_CHECK(handlers_.find(fd) == handlers_.end()) << "fd " << fd << " already registered";
   handlers_[fd] = std::make_shared<IoCallback>(std::move(callback));
   epoll_event event{};
@@ -73,6 +85,7 @@ void EventLoop::Register(int fd, uint32_t events, IoCallback callback) {
 }
 
 void EventLoop::Modify(int fd, uint32_t events) {
+  AssertInLoopThread();
   LARD_CHECK(handlers_.find(fd) != handlers_.end()) << "fd " << fd << " not registered";
   epoll_event event{};
   event.events = events;
@@ -82,6 +95,7 @@ void EventLoop::Modify(int fd, uint32_t events) {
 }
 
 void EventLoop::Unregister(int fd) {
+  AssertInLoopThread();
   auto it = handlers_.find(fd);
   if (it == handlers_.end()) {
     return;
@@ -92,13 +106,17 @@ void EventLoop::Unregister(int fd) {
 }
 
 EventLoop::TimerId EventLoop::ScheduleAfterMs(int64_t delay_ms, std::function<void()> fn) {
+  AssertInLoopThread();
   const TimerId id = next_timer_id_++;
   timer_fns_[id] = std::move(fn);
   timers_.push(Timer{NowMs() + delay_ms, id});
   return id;
 }
 
-void EventLoop::CancelTimer(TimerId id) { timer_fns_.erase(id); }
+void EventLoop::CancelTimer(TimerId id) {
+  AssertInLoopThread();
+  timer_fns_.erase(id);
+}
 
 void EventLoop::Post(std::function<void()> task) {
   PostedTask entry;
@@ -107,7 +125,7 @@ void EventLoop::Post(std::function<void()> task) {
     entry.enqueue_us = NowUs();
   }
   {
-    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    MutexLock lock(&tasks_mutex_);
     tasks_.push_back(std::move(entry));
   }
   pending_count_.fetch_add(1, std::memory_order_release);
@@ -133,7 +151,7 @@ void EventLoop::DrainTasks() {
   }
   std::deque<PostedTask> tasks;
   {
-    std::lock_guard<std::mutex> lock(tasks_mutex_);
+    MutexLock lock(&tasks_mutex_);
     tasks.swap(tasks_);
   }
   pending_count_.fetch_sub(tasks.size(), std::memory_order_release);
@@ -201,7 +219,7 @@ void EventLoop::Run() {
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wakeup_fd_.get()) {
-        uint64_t drain;
+        uint64_t drain = 0;
         while (::read(wakeup_fd_.get(), &drain, sizeof(drain)) > 0) {
         }
         continue;

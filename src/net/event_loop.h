@@ -12,13 +12,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "src/net/fd.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace lard {
 
@@ -72,10 +73,23 @@ class EventLoop {
     return std::this_thread::get_id() == loop_thread_.load(std::memory_order_acquire);
   }
 
+  // Pinning contract enforcement: fatal in debug builds when called off the
+  // loop thread while the loop is running; release builds count the
+  // violation (see pinning_violations()) and keep serving. Passes before
+  // Run() / after Stop(), when setup and teardown legally happen on the
+  // owner thread. Loop-confined mutation paths (LoopShard state, Connection
+  // maps, the loop's own fd/timer tables) call this at the top.
+  void AssertInLoopThread() const;
+  // Off-thread touches observed by AssertInLoopThread in release builds.
+  // Stays 0 in a correct run; scraped into tests and health checks.
+  uint64_t pinning_violations() const {
+    return pinning_violations_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Timer {
-    int64_t deadline_ms;
-    TimerId id;
+    int64_t deadline_ms = 0;
+    TimerId id = 0;
     bool operator>(const Timer& other) const {
       return deadline_ms != other.deadline_ms ? deadline_ms > other.deadline_ms : id > other.id;
     }
@@ -107,8 +121,8 @@ class EventLoop {
     std::function<void()> fn;
     int64_t enqueue_us = 0;
   };
-  std::mutex tasks_mutex_;
-  std::deque<PostedTask> tasks_;
+  Mutex tasks_mutex_;
+  std::deque<PostedTask> tasks_ LARD_GUARDED_BY(tasks_mutex_);
   // Lock-free mirror of tasks_.size(): DrainTasks() skips the mutex entirely
   // when nothing is pending (the steady-state case — the drain runs every
   // loop iteration), and NextTimeoutMs() returns 0 while tasks wait so a
@@ -125,9 +139,14 @@ class EventLoop {
   MetricHistogram* wakeup_delay_us_ = nullptr;
   MetricGauge* pending_tasks_ = nullptr;
 
+  // Loop-confined (no mutex by design): handlers_, timers_, timer_fns_ and
+  // next_timer_id_ are only touched from the loop thread —
+  // AssertInLoopThread() guards the mutating entry points at runtime and
+  // tools/lint/concurrency_lint.py checks the callers statically.
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
   std::unordered_map<TimerId, std::function<void()>> timer_fns_;
   TimerId next_timer_id_ = 1;
+  mutable std::atomic<uint64_t> pinning_violations_{0};
 };
 
 }  // namespace lard

@@ -71,7 +71,7 @@ void FramedChannel::SendWithFd(uint8_t type, std::string_view payload, UniqueFd 
 void FramedChannel::Flush() {
   while (open_ && !out_.empty()) {
     OutFrame& frame = out_.front();
-    ssize_t n;
+    ssize_t n = 0;
     if (frame.offset == 0 && frame.fd.valid()) {
       // First byte of an fd-carrying frame: attach SCM_RIGHTS.
       msghdr msg{};

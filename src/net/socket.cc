@@ -69,6 +69,8 @@ StatusOr<UniqueFd> ConnectTcp(uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
+  // lard-lint: allow(blocking-call) loopback connect for clients/tests; never
+  // called from an event-loop callback (loops only accept, they don't dial).
   if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return IoError(Errno("connect"));
   }

@@ -188,10 +188,12 @@ Status Cluster::StartBackend(NodeId node_id, std::vector<UniqueFd>* fe_ends) {
 }
 
 Status Cluster::Start() {
+  MutexLock lock(&nodes_mutex_);
+  // started_ is read under nodes_mutex_ by the membership verbs on the
+  // front-end loops; the write must be published under the same lock (the
+  // annotation pass caught the old unlocked write).
   LARD_CHECK(!started_);
   started_ = true;
-
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
 
   // Back-ends, each with one control-session socketpair per front-end.
   std::vector<std::vector<UniqueFd>> fe_ends(static_cast<size_t>(config_.num_nodes));
@@ -417,6 +419,8 @@ void Cluster::RegisterAdminRoutes() {
       if (Fe(fe) == nullptr) {
         continue;
       }
+      // lard-lint: allow(liveness-guard) Stop() joins every FE loop before ~Cluster,
+      // so a posted task can never outlive `this`.
       FeLoop(fe)->Post([this, fe, name]() {
         if (FrontEnd* frontend = FeFromReplicaLoop(fe)) {
           (void)frontend->SetPolicyByName(name);
@@ -491,7 +495,7 @@ NodeId Cluster::AddNode(double weight) {
     Node* fresh = nullptr;
     std::vector<UniqueFd> fe_ends;
     {
-      std::lock_guard<std::mutex> lock(nodes_mutex_);
+      MutexLock lock(&nodes_mutex_);
       if (stopped_) {
         return;
       }
@@ -534,6 +538,8 @@ NodeId Cluster::AddNode(double weight) {
         continue;  // removed replica: StartBackend left its fd slot empty
       }
       auto fd = std::make_shared<UniqueFd>(std::move(fe_ends[fe]));
+      // lard-lint: allow(liveness-guard) Stop() joins every FE loop before ~Cluster,
+      // so a posted task can never outlive `this`.
       FeLoop(fe)->Post([this, fe, fd, fresh_id, weight, lateral_port]() {
         FrontEnd* frontend = FeFromReplicaLoop(fe);
         if (frontend == nullptr) {
@@ -559,6 +565,8 @@ bool Cluster::DrainNode(NodeId node) {
       if (Fe(fe) == nullptr) {
         continue;
       }
+      // lard-lint: allow(liveness-guard) Stop() joins every FE loop before ~Cluster,
+      // so a posted task can never outlive `this`.
       FeLoop(fe)->Post([this, fe, node]() {
         if (FrontEnd* frontend = FeFromReplicaLoop(fe)) {
           (void)frontend->DrainNode(node);
@@ -591,7 +599,7 @@ void Cluster::OnNodeRemoved(NodeId node) {
   // session down. The node's loop may only stop once *every* replica has
   // let go — an early teardown would reset connections the other replicas
   // still route.
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  MutexLock lock(&nodes_mutex_);
   if (node < 0 || static_cast<size_t>(node) >= nodes_.size() || stopped_) {
     return;
   }
@@ -603,7 +611,7 @@ void Cluster::OnNodeRemoved(NodeId node) {
 }
 
 FrontEnd* Cluster::FeFromReplicaLoop(size_t fe) const {
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  MutexLock lock(&nodes_mutex_);
   return Fe(fe);
 }
 
@@ -627,6 +635,8 @@ bool Cluster::RemoveNode(NodeId node) {
       if (Fe(fe) == nullptr) {
         continue;
       }
+      // lard-lint: allow(liveness-guard) Stop() joins every FE loop before ~Cluster,
+      // so a posted task can never outlive `this`.
       FeLoop(fe)->Post([this, fe, node]() {
         if (FrontEnd* frontend = FeFromReplicaLoop(fe)) {
           (void)frontend->RemoveNode(node);
@@ -640,7 +650,7 @@ bool Cluster::RemoveNode(NodeId node) {
 bool Cluster::KillNode(NodeId node) {
   bool ok = false;
   RunOnLoop(FeLoop(0), [this, node, &ok]() {
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    MutexLock lock(&nodes_mutex_);
     if (node < 0 || static_cast<size_t>(node) >= nodes_.size() ||
         nodes_[static_cast<size_t>(node)]->stopped) {
       return;
@@ -671,7 +681,7 @@ int Cluster::AddFrontEnd() {
     FeReplica* raw = nullptr;
     int id = -1;
     {
-      std::lock_guard<std::mutex> lock(nodes_mutex_);
+      MutexLock lock(&nodes_mutex_);
       if (!started_ || stopped_) {
         return;
       }
@@ -794,7 +804,7 @@ bool Cluster::RemoveFrontEnd(int fe) {
   }
   EventLoopGroup* loops = nullptr;
   {
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    MutexLock lock(&nodes_mutex_);
     if (!started_ || stopped_ || static_cast<size_t>(fe) >= fes_.size() ||
         fes_[static_cast<size_t>(fe)]->frontend == nullptr) {
       return false;
@@ -812,12 +822,12 @@ bool Cluster::RemoveFrontEnd(int fe) {
   RunOnLoop(FeLoop(0), [this, fe]() {
     std::unique_ptr<FrontEnd> dead;
     {
-      std::lock_guard<std::mutex> lock(nodes_mutex_);
+      MutexLock lock(&nodes_mutex_);
       dead = std::move(fes_[static_cast<size_t>(fe)]->frontend);
     }
     dead.reset();
     // A node removal in flight may now hold every surviving replica's ack.
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    MutexLock lock(&nodes_mutex_);
     const int live = LiveFeCountLocked();
     for (const auto& entry : removal_acks_) {
       if (entry.second >= live && entry.first >= 0 &&
@@ -835,24 +845,37 @@ void Cluster::Stop() {
     // stopped_ is read under nodes_mutex_ by OnNodeRemoved on the front-end
     // loops; publish it under the same lock (but release before joining the
     // loop threads, which may be blocked acquiring it).
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    MutexLock lock(&nodes_mutex_);
     if (!started_ || stopped_) {
       return;
     }
     stopped_ = true;
   }
+  // Snapshot the loop groups under the lock (fes_ may have grown via
+  // AddFrontEnd since Start), then signal + join outside it — the loop
+  // threads may be blocked acquiring nodes_mutex_ inside OnNodeRemoved.
+  // stopped_ is already published, so no new replica can appear after the
+  // snapshot.
+  std::vector<EventLoopGroup*> groups;
+  {
+    MutexLock lock(&nodes_mutex_);
+    groups.reserve(fes_.size());
+    for (auto& replica : fes_) {
+      groups.push_back(replica->loops.get());
+    }
+  }
   // Ask every replica's loops to stop first, then join (EventLoopGroup::Stop
   // both signals and joins; signalling all groups up front keeps shutdown
   // near-parallel).
-  for (auto& replica : fes_) {
-    for (int i = 0; i < replica->loops->size(); ++i) {
-      replica->loops->loop(i)->Stop();
+  for (EventLoopGroup* group : groups) {
+    for (int i = 0; i < group->size(); ++i) {
+      group->loop(i)->Stop();
     }
   }
-  for (auto& replica : fes_) {
-    replica->loops->Stop();
+  for (EventLoopGroup* group : groups) {
+    group->Stop();
   }
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  MutexLock lock(&nodes_mutex_);
   for (auto& node : nodes_) {
     node->loop->Stop();
     if (node->thread.joinable()) {
@@ -862,12 +885,16 @@ void Cluster::Stop() {
 }
 
 uint16_t Cluster::port() const {
+  // Same lock discipline as ports()/frontend(): tests call this from their
+  // own thread while AddFrontEnd may be reallocating fes_ on replica 0's
+  // loop (the annotation pass caught the old unlocked read).
+  MutexLock lock(&nodes_mutex_);
   LARD_CHECK(!fes_.empty());
   return Fe(0)->port();
 }
 
 std::vector<uint16_t> Cluster::ports() const {
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  MutexLock lock(&nodes_mutex_);
   std::vector<uint16_t> out;
   out.reserve(fes_.size());
   for (size_t fe = 0; fe < fes_.size(); ++fe) {
@@ -883,7 +910,7 @@ void Cluster::InspectReplica(int fe, const std::function<void(const FrontEnd&)>&
   const FrontEnd* target = nullptr;
   EventLoop* loop = nullptr;
   {
-    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    MutexLock lock(&nodes_mutex_);
     LARD_CHECK(fe >= 0 && static_cast<size_t>(fe) < fes_.size());
     target = Fe(static_cast<size_t>(fe));
     LARD_CHECK(target != nullptr) << "replica " << fe << " was removed";
@@ -892,8 +919,14 @@ void Cluster::InspectReplica(int fe, const std::function<void(const FrontEnd&)>&
   RunOnLoop(loop, [target, &fn]() { fn(*target); });
 }
 
+int Cluster::num_frontends() const {
+  // Same lock discipline as ports()/frontend(): AddFrontEnd grows fes_.
+  MutexLock lock(&nodes_mutex_);
+  return static_cast<int>(fes_.size());
+}
+
 const FrontEnd& Cluster::frontend(int fe) const {
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  MutexLock lock(&nodes_mutex_);
   LARD_CHECK(fe >= 0 && static_cast<size_t>(fe) < fes_.size());
   LARD_CHECK(Fe(static_cast<size_t>(fe)) != nullptr) << "replica " << fe << " was removed";
   return *Fe(static_cast<size_t>(fe));
@@ -906,7 +939,7 @@ uint16_t Cluster::admin_port() const {
 
 ClusterSnapshot Cluster::Snapshot() const {
   ClusterSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  MutexLock lock(&nodes_mutex_);
   for (const auto& node : nodes_) {
     if (node->server == nullptr) {
       snapshot.requests_per_node.push_back(0);

@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -31,7 +30,9 @@
 #include "src/sim/cost_model.h"
 #include "src/trace/trace.h"
 #include "src/util/metrics.h"
+#include "src/util/mutex.h"
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/tracing.h"
 
 namespace lard {
@@ -180,7 +181,7 @@ class Cluster {
   const ContentStore& store() const { return store_; }
   const FrontEnd& frontend() const { return frontend(0); }
   const FrontEnd& frontend(int fe) const;
-  int num_frontends() const { return static_cast<int>(fes_.size()); }
+  int num_frontends() const;
   MetricsRegistry* metrics() { return &metrics_; }
   Tracer* tracer() { return tracer_.get(); }
 
@@ -206,20 +207,21 @@ class Cluster {
   // unlocked fes_ read there would race AddFrontEnd's push_back (replica 0's
   // loop may be reallocating the vector). The returned pointer outlives the
   // closure — a replica is only destroyed after its loops are joined.
-  FrontEnd* FeFromReplicaLoop(size_t fe) const;
+  FrontEnd* FeFromReplicaLoop(size_t fe) const LARD_EXCLUDES(nodes_mutex_);
   // Front-ends still present (frontend != nullptr). Caller holds
   // nodes_mutex_ (or runs on replica 0's loop).
-  int LiveFeCountLocked() const;
+  int LiveFeCountLocked() const LARD_REQUIRES(nodes_mutex_);
 
   // Creates + starts one back-end (loop thread, control session wiring).
   // Returns one fe-side control fd per front-end through *fe_ends. Caller
   // holds nodes_mutex_.
-  Status StartBackend(NodeId node_id, std::vector<UniqueFd>* fe_ends);
-  void StopNodeLocked(NodeId node, bool destroy_server);
+  Status StartBackend(NodeId node_id, std::vector<UniqueFd>* fe_ends)
+      LARD_REQUIRES(nodes_mutex_);
+  void StopNodeLocked(NodeId node, bool destroy_server) LARD_REQUIRES(nodes_mutex_);
   // Runs on a front-end loop when that replica finishes removing a node
   // (admin remove, retire completion, heartbeat timeout or control EOF).
   // The node's loop thread is torn down once *every* replica has let go.
-  void OnNodeRemoved(NodeId node);
+  void OnNodeRemoved(NodeId node) LARD_EXCLUDES(nodes_mutex_);
   void RegisterAdminRoutes();
   void BridgeDispatcherMetrics();
 
@@ -228,16 +230,23 @@ class Cluster {
   MetricsRegistry metrics_;
   std::unique_ptr<Tracer> tracer_;
 
+  // fes_ follows the hybrid discipline documented on FeReplica (mutations on
+  // replica 0's loop AND under nodes_mutex_; replica-0-loop readers
+  // lock-free), which a single GUARDED_BY cannot express — the lock-free
+  // reads are legal and annotating them away with lock acquisitions would
+  // deadlock replica-0-loop closures that run while Start()/AddNode() hold
+  // nodes_mutex_. The runtime check is FeFromReplicaLoop + the loop-thread
+  // serialization; see docs/CONCURRENCY.md.
   std::vector<std::unique_ptr<FeReplica>> fes_;
   std::unique_ptr<AdminServer> admin_;
 
-  mutable std::mutex nodes_mutex_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  // Per-node count of front-ends that completed the node's removal (guarded
-  // by nodes_mutex_); teardown happens once every *live* front-end acked.
-  std::unordered_map<NodeId, int> removal_acks_;
-  bool started_ = false;
-  bool stopped_ = false;
+  mutable Mutex nodes_mutex_;
+  std::vector<std::unique_ptr<Node>> nodes_ LARD_GUARDED_BY(nodes_mutex_);
+  // Per-node count of front-ends that completed the node's removal; teardown
+  // happens once every *live* front-end acked.
+  std::unordered_map<NodeId, int> removal_acks_ LARD_GUARDED_BY(nodes_mutex_);
+  bool started_ LARD_GUARDED_BY(nodes_mutex_) = false;
+  bool stopped_ LARD_GUARDED_BY(nodes_mutex_) = false;
 };
 
 }  // namespace lard

@@ -29,10 +29,10 @@ void DiskGate::Read(uint64_t bytes, std::function<void()> done) {
   busy_until_ms_ = completion;
   ++outstanding_;
   ++total_reads_;
-  loop_->ScheduleAfterMs(completion - now, [this, done = std::move(done)]() {
-    --outstanding_;
-    done();
-  });
+  loop_->ScheduleAfterMs(completion - now, alive_.Guard([this, done = std::move(done)]() {
+                           --outstanding_;
+                           done();
+                         }));
 }
 
 }  // namespace lard

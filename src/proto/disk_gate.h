@@ -14,6 +14,7 @@
 
 #include "src/net/event_loop.h"
 #include "src/sim/cost_model.h"
+#include "src/util/liveness.h"
 
 namespace lard {
 
@@ -22,6 +23,10 @@ class DiskGate {
   // `loop` must outlive the gate. time_scale 1.0 = paper-faithful latencies
   // (28.5 ms initial); 0.01 = hundredfold compression for tests.
   DiskGate(EventLoop* loop, const DiskCostModel& costs, double time_scale);
+  // Pending completion timers become no-ops (their `done` callbacks are
+  // dropped): a gate torn down mid-read must not run completions into a
+  // destroyed owner.
+  ~DiskGate() { alive_.Invalidate(); }
 
   // Schedules a read of `bytes`; `done` runs on the loop thread when the
   // (simulated) read completes. FCFS: the read starts when all previously
@@ -37,6 +42,7 @@ class DiskGate {
   EventLoop* loop_;
   DiskCostModel costs_;
   double time_scale_;
+  LivenessToken alive_;
   int outstanding_ = 0;
   uint64_t total_reads_ = 0;
   int64_t busy_until_ms_ = 0;

@@ -167,7 +167,7 @@ void FrontEnd::AttachControl(NodeId node, UniqueFd control_fd) {
   // under state_mutex_ can fail synchronously (the posted task re-locks).
   link.control->set_on_close([this, node]() {
     loop_->Post(alive_.Guard([this, node]() {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(&state_mutex_);
       RemoveNodeInternal(node, "control session lost");
     }));
   });
@@ -188,20 +188,24 @@ void FrontEnd::Start(std::vector<UniqueFd> control_fds) {
     AttachControl(node, std::move(control_fds[static_cast<size_t>(node)]));
   }
 
+  // The bound port is published into the atomic only once the listener is
+  // up: AddFrontEnd installs the replica in Cluster::fes_ before Start runs
+  // on this loop, so ports() may already be reading port() concurrently.
+  uint16_t bound_port = 0;
   if (shards_.size() == 1) {
     // One loop: the historic single listener, no SO_REUSEPORT involved.
-    auto listener = ListenTcp(config_.listen_port, &port_);
+    auto listener = ListenTcp(config_.listen_port, &bound_port);
     LARD_CHECK(listener.ok()) << listener.status().ToString();
     shards_[0]->listener = std::move(listener.value());
   } else {
     // One SO_REUSEPORT listener per shard: the kernel spreads accepts across
     // the loops with no cross-thread wakeups or fd passing.
     bool reuseport_ok = true;
-    auto first = ListenTcpReusePort(config_.listen_port, &port_);
+    auto first = ListenTcpReusePort(config_.listen_port, &bound_port);
     if (first.ok()) {
       shards_[0]->listener = std::move(first.value());
       for (size_t k = 1; k < shards_.size(); ++k) {
-        auto next = ListenTcpReusePort(port_, nullptr);
+        auto next = ListenTcpReusePort(bound_port, nullptr);
         if (!next.ok()) {
           reuseport_ok = false;
           break;
@@ -219,12 +223,13 @@ void FrontEnd::Start(std::vector<UniqueFd> control_fds) {
       }
       LARD_LOG(WARNING) << "front-end " << config_.fe_id
                         << ": SO_REUSEPORT unavailable, falling back to fd-handoff accept";
-      auto listener = ListenTcp(config_.listen_port, &port_);
+      auto listener = ListenTcp(config_.listen_port, &bound_port);
       LARD_CHECK(listener.ok()) << listener.status().ToString();
       shards_[0]->listener = std::move(listener.value());
       fd_handoff_accept_ = true;
     }
   }
+  port_.store(bound_port, std::memory_order_release);
 
   for (auto& shard_ptr : shards_) {
     LoopShard* shard = shard_ptr.get();
@@ -246,7 +251,7 @@ void FrontEnd::Start(std::vector<UniqueFd> control_fds) {
   }
   if (MeshEnabled()) {
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(&state_mutex_);
       UpdateMeshSnapshot();
     }
     loop_->ScheduleAfterMs(std::max<int64_t>(config_.gossip_interval_ms, 1),
@@ -270,7 +275,7 @@ void FrontEnd::AttachPeer(uint32_t peer_fe_id, UniqueFd gossip_fd) {
   // state_mutex_ is already held, so the handler must not lock inline.
   channel->set_on_close([this, peer_fe_id]() {
     loop_->Post(alive_.Guard([this, peer_fe_id]() {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(&state_mutex_);
       OnPeerClosed(peer_fe_id);
     }));
   });
@@ -298,7 +303,7 @@ void FrontEnd::OnPeerMessage(uint32_t peer, uint8_t type, std::string payload) {
     LARD_LOG(ERROR) << "front-end " << config_.fe_id << ": bad gossip delta from peer " << peer;
     return;
   }
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   if (!mesh_->Apply(delta, NowMs() * 1000)) {
     return;  // stale or regressed; counters already advanced
   }
@@ -350,7 +355,7 @@ void FrontEnd::RecordFetchHints(const std::vector<TargetId>& targets,
 }
 
 void FrontEnd::GossipTick() {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   const int64_t tick_start_us = TraceNowUs();
   const size_t hint_count = pending_hints_.size();
   std::vector<GossipVcacheHint> hints;
@@ -394,7 +399,7 @@ void FrontEnd::GossipTick() {
 void FrontEnd::UpdateMeshSnapshot() {
   const int64_t now_us = NowMs() * 1000;
   std::ostringstream out;
-  out << "{\"fe_id\":" << config_.fe_id << ",\"port\":" << port_
+  out << "{\"fe_id\":" << config_.fe_id << ",\"port\":" << port()
       << ",\"membership_epoch\":" << dispatcher_->membership_epoch()
       << ",\"gossip_seq\":" << gossip_seq_ << ",\"deltas_sent\":" << gossip_sent_
       << ",\"deltas_applied\":" << mesh_->deltas_applied()
@@ -411,7 +416,7 @@ void FrontEnd::UpdateMeshSnapshot() {
   }
   out << "]}";
   {
-    std::lock_guard<std::mutex> lock(mesh_json_mutex_);
+    MutexLock lock(&mesh_json_mutex_);
     mesh_json_ = out.str();
   }
   if (metric_mesh_epoch_ != nullptr) {
@@ -423,10 +428,10 @@ void FrontEnd::UpdateMeshSnapshot() {
 
 std::string FrontEnd::DescribeMeshJson() const {
   if (mesh_ == nullptr) {
-    return "{\"fe_id\":" + std::to_string(config_.fe_id) + ",\"port\":" + std::to_string(port_) +
+    return "{\"fe_id\":" + std::to_string(config_.fe_id) + ",\"port\":" + std::to_string(port()) +
            ",\"mesh\":false}";
   }
-  std::lock_guard<std::mutex> lock(mesh_json_mutex_);
+  MutexLock lock(&mesh_json_mutex_);
   return mesh_json_;
 }
 
@@ -439,7 +444,7 @@ void FrontEnd::ScheduleHealthSweep(int64_t period_ms) {
 }
 
 void FrontEnd::CheckNodeHealth() {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   const int64_t now = NowMs();
   for (NodeId node = 0; node < static_cast<NodeId>(nodes_.size()); ++node) {
     if (!NodeLive(node)) {
@@ -455,7 +460,7 @@ void FrontEnd::CheckNodeHealth() {
 NodeId FrontEnd::AddNode(UniqueFd control_fd, uint16_t backend_http_port, double weight) {
   NodeId node = kInvalidNode;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     node = dispatcher_->AddNode(weight);
     disk_table_->Update(node, 0);
     if (metric_active_nodes_ != nullptr) {
@@ -470,6 +475,7 @@ NodeId FrontEnd::AddNode(UniqueFd control_fd, uint16_t backend_http_port, double
       LoopShard* shard = shard_ptr.get();
       loops_->RunOn(shard->index,
                     alive_.Guard([this, shard, node, backend_http_port]() {
+                      shard->loop->AssertInLoopThread();
                       if (static_cast<size_t>(node) >= shard->relays.size()) {
                         shard->relays.resize(static_cast<size_t>(node) + 1);
                       }
@@ -488,7 +494,7 @@ bool FrontEnd::DrainNode(NodeId node) {
     return false;
   }
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     if (!dispatcher_->DrainNode(node)) {
       return false;
     }
@@ -505,7 +511,7 @@ bool FrontEnd::DrainNode(NodeId node) {
 }
 
 bool FrontEnd::RemoveNode(NodeId node) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   if (node < 0 || node >= dispatcher_->num_node_slots()) {
     return false;
   }
@@ -535,7 +541,7 @@ bool FrontEnd::RemoveNode(NodeId node) {
   nodes_[static_cast<size_t>(node)].control->Send(static_cast<uint8_t>(ControlMsg::kDrain),
                                                   EncodeU32(0));
   loop_->ScheduleAfterMs(config_.retire_grace_ms, alive_.Guard([this, node]() {
-                           std::lock_guard<std::mutex> lock(state_mutex_);
+                           MutexLock lock(&state_mutex_);
                            if (retiring_.count(node) != 0) {
                              RemoveNodeInternal(node, "retire grace expired");
                            }
@@ -627,7 +633,7 @@ void FrontEnd::MaybeFinalizeRetire(NodeId node) {
 }
 
 void FrontEnd::BurnNodeSlot() {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   const NodeId node = dispatcher_->AddNode(1.0);
   std::vector<ConnId> orphans;
   (void)dispatcher_->RemoveNode(node, &orphans);
@@ -645,7 +651,7 @@ void FrontEnd::SetPolicy(Policy policy) {
 }
 
 bool FrontEnd::SetPolicyByName(const std::string& name) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   if (!dispatcher_->SetPolicyByName(name)) {
     return false;
   }
@@ -655,7 +661,7 @@ bool FrontEnd::SetPolicyByName(const std::string& name) {
 }
 
 DispatcherCounters FrontEnd::DispatcherCountersSnapshot(size_t* open_connections) const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   if (open_connections != nullptr) {
     *open_connections = dispatcher_->open_connections();
   }
@@ -663,7 +669,7 @@ DispatcherCounters FrontEnd::DispatcherCountersSnapshot(size_t* open_connections
 }
 
 std::string FrontEnd::DescribeNodesJson() const {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  MutexLock lock(&state_mutex_);
   const int64_t now = NowMs();
   std::ostringstream out;
   out << "{\"policy\":\"" << dispatcher_->policy().display_name() << "\",\"policy_key\":\""
@@ -715,6 +721,7 @@ void FrontEnd::ConnectBackends(const std::vector<uint16_t>& backend_http_ports) 
     LoopShard* shard = shard_ptr.get();
     loops_->RunOn(shard->index,
                   alive_.Guard([this, shard, ports = backend_http_ports]() {
+                    shard->loop->AssertInLoopThread();
                     shard->relays.clear();
                     for (const uint16_t http_port : ports) {
                       shard->relays.push_back(std::make_unique<LateralClient>(
@@ -725,6 +732,7 @@ void FrontEnd::ConnectBackends(const std::vector<uint16_t>& backend_http_ports) 
 }
 
 void FrontEnd::OnAccept(LoopShard* shard, uint32_t) {
+  shard->loop->AssertInLoopThread();
   while (true) {
     const int fd = ::accept4(shard->listener.get(), nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -760,12 +768,13 @@ void FrontEnd::OnAccept(LoopShard* shard, uint32_t) {
 }
 
 void FrontEnd::AdoptClientFd(LoopShard* shard, UniqueFd fd) {
+  shard->loop->AssertInLoopThread();
   if (!fd.valid()) {
     return;  // fallback post raced a shutdown; nothing to adopt
   }
   bool shed = false;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     shed = dispatcher_->active_node_count() == 0;
   }
   if (shed) {
@@ -818,13 +827,14 @@ void FrontEnd::AdoptClientFd(LoopShard* shard, UniqueFd fd) {
 
   if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
     raw->in_dispatcher = true;
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     live_in_dispatcher_.insert(raw->id);
     dispatcher_->OnConnectionOpen(raw->id);
   }
 }
 
 void FrontEnd::OnClientData(FeConn* conn, std::string_view data) {
+  conn->shard->loop->AssertInLoopThread();
   if (conn->closed) {
     return;
   }
@@ -873,6 +883,7 @@ RequestDirective FrontEnd::DirectiveFor(const std::string& path,
 }
 
 void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
+  conn->shard->loop->AssertInLoopThread();
   // Defensive: a first batch with zero complete requests (slow or garbage
   // client) must get a 400 and a close, never reach the dispatcher's
   // non-empty-batch invariants and abort the whole front-end.
@@ -905,7 +916,7 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
   PendingHandoff pending;
   bool shed = false;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     if (dispatcher_->active_node_count() == 0) {
       // The whole membership can vanish between accept and first data (e.g.
       // the last back-end was just auto-removed); shed instead of crashing.
@@ -1002,12 +1013,13 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
 }
 
 void FrontEnd::CompleteHandoff(PendingHandoff pending) {
+  loop_->AssertInLoopThread();  // journal_ and nodes_ are loop-0 confined
   if (!NodeLive(pending.node)) {
     // The shard's pick raced a node death loop 0 processed first. Unwind the
     // dispatcher state and shed with a best-effort 503 on the raw socket —
     // nothing was ever written to this client, so the payload is clean.
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(&state_mutex_);
       if (live_in_dispatcher_.erase(pending.msg.conn_id) > 0) {
         dispatcher_->OnConnectionClose(pending.msg.conn_id);
       }
@@ -1047,9 +1059,10 @@ void FrontEnd::CompleteHandoff(PendingHandoff pending) {
 }
 
 void FrontEnd::RelayFlow(FeConn* conn, std::vector<HttpRequest> requests) {
+  conn->shard->loop->AssertInLoopThread();
   bool shed = false;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     if (dispatcher_->active_node_count() == 0) {
       shed = true;
     } else {
@@ -1077,6 +1090,7 @@ void FrontEnd::RelayFlow(FeConn* conn, std::vector<HttpRequest> requests) {
 }
 
 void FrontEnd::ProcessNextRelay(LoopShard* shard, ConnId id) {
+  shard->loop->AssertInLoopThread();
   auto it = shard->conns.find(id);
   if (it == shard->conns.end()) {
     return;
@@ -1084,7 +1098,7 @@ void FrontEnd::ProcessNextRelay(LoopShard* shard, ConnId id) {
   FeConn* conn = it->second.get();
   if (conn->serving || conn->closed || conn->relay_queue.empty()) {
     if (!conn->serving && !conn->closed && conn->relay_queue.empty()) {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(&state_mutex_);
       if (live_in_dispatcher_.count(id) != 0) {
         dispatcher_->OnConnectionIdle(id);
       }
@@ -1136,12 +1150,13 @@ void FrontEnd::ProcessNextRelay(LoopShard* shard, ConnId id) {
 void FrontEnd::OnClientClosed(FeConn* conn) { DestroyConn(conn); }
 
 void FrontEnd::DestroyConn(FeConn* conn) {
+  conn->shard->loop->AssertInLoopThread();
   if (conn->closed) {
     return;
   }
   conn->closed = true;
   if (conn->in_dispatcher) {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(&state_mutex_);
     if (live_in_dispatcher_.erase(conn->id) > 0) {
       dispatcher_->OnConnectionClose(conn->id);
     }
@@ -1159,7 +1174,8 @@ void FrontEnd::RunOnLoop0(std::function<void()> fn) {
 }
 
 void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, UniqueFd fd) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
+  loop_->AssertInLoopThread();  // nodes_, journal_, retire timers: loop 0
+  MutexLock lock(&state_mutex_);
   NodeLink& link = nodes_[static_cast<size_t>(node)];
   // Any control-session traffic proves the node alive.
   link.last_heartbeat_ms = NowMs();
@@ -1273,7 +1289,7 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
       if (retiring_.count(node) != 0) {
         // Deferred: finalizing tears down the channel we are called from.
         loop_->Post(alive_.Guard([this, node]() {
-          std::lock_guard<std::mutex> relock(state_mutex_);
+          MutexLock relock(&state_mutex_);
           MaybeFinalizeRetire(node);
         }));
       }
@@ -1404,7 +1420,7 @@ void FrontEnd::RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd f
   if (retiring_.count(from_node) != 0) {
     // Deferred: finalizing tears down the channel this handback arrived on.
     loop_->Post(alive_.Guard([this, from_node]() {
-      std::lock_guard<std::mutex> relock(state_mutex_);
+      MutexLock relock(&state_mutex_);
       MaybeFinalizeRetire(from_node);
     }));
   }

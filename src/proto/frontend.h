@@ -48,7 +48,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -69,6 +68,8 @@
 #include "src/trace/trace.h"
 #include "src/util/liveness.h"
 #include "src/util/metrics.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/tracing.h"
 
 namespace lard {
@@ -183,14 +184,14 @@ class FrontEnd {
   void set_on_node_removed(std::function<void(NodeId)> cb) { on_node_removed_ = std::move(cb); }
   // Runtime policy switch (future decisions only). The name overload accepts
   // any PolicyRegistry name and returns false on an unknown one.
-  void SetPolicy(Policy policy);
-  bool SetPolicyByName(const std::string& name);
+  void SetPolicy(Policy policy) LARD_EXCLUDES(state_mutex_);
+  bool SetPolicyByName(const std::string& name) LARD_EXCLUDES(state_mutex_);
   // Membership + health snapshot as the admin API's JSON body.
-  std::string DescribeNodesJson() const;
+  std::string DescribeNodesJson() const LARD_EXCLUDES(state_mutex_);
   // Burns one dispatcher node-id slot (add + immediate remove) so a
   // front-end joining an established cluster keeps its node ids aligned with
   // the tier across slots whose nodes already died.
-  void BurnNodeSlot();
+  void BurnNodeSlot() LARD_EXCLUDES(state_mutex_);
 
   // --- the front-end mesh (replicated tier) ---
 
@@ -200,24 +201,36 @@ class FrontEnd {
   // This replica's mesh state as JSON: epoch, gossip seq, per-peer lag/seq/
   // epoch/load, violation counters. Thread-safe (admin runs on FE 0's loop;
   // the snapshot is refreshed on every gossip tick under a mutex).
-  std::string DescribeMeshJson() const;
+  std::string DescribeMeshJson() const LARD_EXCLUDES(mesh_json_mutex_);
 
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
   const FrontEndCounters& counters() const { return counters_; }
-  const Dispatcher& dispatcher() const { return *dispatcher_; }
+  // Lock-free view of the dispatcher for loop-0/test callers (via
+  // InspectReplica, which serializes on this front-end's control-plane
+  // loop); cross-thread readers must use DispatcherCountersSnapshot().
+  const Dispatcher& dispatcher() const LARD_NO_THREAD_SAFETY_ANALYSIS {
+    return *dispatcher_;
+  }
   int fe_loops() const { return static_cast<int>(shards_.size()); }
 
   // Coherent cross-thread copy of the dispatcher's decision counters (and,
   // optionally, its open-connection count), taken under the routing-state
   // mutex — the shard loops mutate the counters concurrently, so a raw
   // counters() read from another thread would be torn.
-  DispatcherCounters DispatcherCountersSnapshot(size_t* open_connections = nullptr) const;
+  DispatcherCounters DispatcherCountersSnapshot(size_t* open_connections = nullptr) const
+      LARD_EXCLUDES(state_mutex_);
 
   // Times a client-connection callback fired on a loop other than the one
-  // the connection is pinned to. Always 0 by construction; exported so the
+  // the connection is pinned to, plus every off-thread touch of loop-confined
+  // state the loops' own AssertInLoopThread() counted (release builds; debug
+  // builds abort instead). Always 0 by construction; exported so the
   // pinning-under-churn tests can assert the invariant directly.
   uint64_t pinning_violations() const {
-    return pinning_violations_.load(std::memory_order_relaxed);
+    uint64_t total = pinning_violations_.load(std::memory_order_relaxed);
+    for (const auto& shard : shards_) {
+      total += shard->loop->pinning_violations();
+    }
+    return total;
   }
 
  private:
@@ -300,18 +313,20 @@ class FrontEnd {
   void RelayFlow(FeConn* conn, std::vector<HttpRequest> requests);
   void ProcessNextRelay(LoopShard* shard, ConnId id);
 
-  void OnControlMessage(NodeId node, uint8_t type, std::string payload, UniqueFd fd);
+  void OnControlMessage(NodeId node, uint8_t type, std::string payload, UniqueFd fd)
+      LARD_EXCLUDES(state_mutex_);
   // Locked (state_mutex_) helpers — callers hold the lock.
-  void HandleConsult(NodeId node, const ConsultMsg& msg);
+  void HandleConsult(NodeId node, const ConsultMsg& msg) LARD_REQUIRES(state_mutex_);
   // Giveback (target kInvalidNode) or dead-target handback: reassign via the
   // dispatcher and re-handoff; 503-close the client when no node is
   // assignable.
-  void RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd fd);
+  void RehandoffConnection(NodeId from_node, HandbackMsg msg, UniqueFd fd)
+      LARD_REQUIRES(state_mutex_);
   // Asks the dispatcher for a live placement of `conn`, processing stale
   // dead-pick removals along the way (shared by the drain re-handoff and the
   // crash-replay paths). Returns kInvalidNode when nothing is assignable.
   NodeId PickLiveNode(ConnId conn, const std::vector<TargetId>& pending,
-                      Dispatcher::ReassignReason reason);
+                      Dispatcher::ReassignReason reason) LARD_REQUIRES(state_mutex_);
 
   // --- crash-transparent replay (all loop 0) ---
 
@@ -322,17 +337,18 @@ class FrontEnd {
   bool IsIdempotent(const std::string& method) const;
   // Restarts `conn`'s journal from the unserved requests a handback carries
   // (cooperative node change: drain giveback or migration relay).
-  void RebuildJournalFromHandback(ConnId conn, const HandbackMsg& msg);
+  void RebuildJournalFromHandback(ConnId conn, const HandbackMsg& msg)
+      LARD_REQUIRES(state_mutex_);
   // Crash path for one orphaned connection of `dead_node`: replay the
   // journaled idempotent tail onto a surviving node over kReplay, or give up
   // cleanly (best-effort 502/close, counted).
-  void TryReplayOrphan(ConnId conn, NodeId dead_node);
+  void TryReplayOrphan(ConnId conn, NodeId dead_node) LARD_REQUIRES(state_mutex_);
   // Completes a graceful admin removal once `node`'s connections migrated
   // away (or its grace period expired).
-  void MaybeFinalizeRetire(NodeId node);
+  void MaybeFinalizeRetire(NodeId node) LARD_REQUIRES(state_mutex_);
   // Connection-granularity policies/mechanisms never consult per request.
   // Callers hold state_mutex_ (reads the dispatcher's policy).
-  bool AutonomousHandoffs() const {
+  bool AutonomousHandoffs() const LARD_REQUIRES(state_mutex_) {
     return !(dispatcher_->policy().per_request_distribution() &&
              (config_.mechanism == Mechanism::kBackEndForwarding ||
               config_.mechanism == Mechanism::kMultipleHandoff));
@@ -341,11 +357,11 @@ class FrontEnd {
   // Wires one control session into nodes_[node] (creates the slot).
   void AttachControl(NodeId node, UniqueFd control_fd);
   // Health sweep: auto-remove nodes whose heartbeats stopped.
-  void CheckNodeHealth();
+  void CheckNodeHealth() LARD_EXCLUDES(state_mutex_);
   // Shared removal path for admin removes, heartbeat timeouts and control
   // EOFs. `reason` goes to the log and the removal counters. Caller holds
   // state_mutex_.
-  bool RemoveNodeInternal(NodeId node, const char* reason);
+  bool RemoveNodeInternal(NodeId node, const char* reason) LARD_REQUIRES(state_mutex_);
   // Loop 0 only: nodes_ (and the channels in it) are loop-0 confined.
   bool NodeLive(NodeId node) const {
     return node >= 0 && node < static_cast<NodeId>(nodes_.size()) &&
@@ -367,13 +383,15 @@ class FrontEnd {
   // Queues (node, target) vcache news for the next outgoing gossip delta.
   // Caller holds state_mutex_.
   void RecordFetchHints(const std::vector<TargetId>& targets,
-                        const std::vector<Assignment>& assignments);
-  void OnPeerMessage(uint32_t peer, uint8_t type, std::string payload);
-  void OnPeerClosed(uint32_t peer);
+                        const std::vector<Assignment>& assignments)
+      LARD_REQUIRES(state_mutex_);
+  void OnPeerMessage(uint32_t peer, uint8_t type, std::string payload)
+      LARD_EXCLUDES(state_mutex_);
+  void OnPeerClosed(uint32_t peer) LARD_REQUIRES(state_mutex_);
   // One gossip tick: publish this replica's delta, refresh the /mesh
   // snapshot and the labelled gauges; reschedules itself.
-  void GossipTick();
-  void UpdateMeshSnapshot();
+  void GossipTick() LARD_EXCLUDES(state_mutex_);
+  void UpdateMeshSnapshot() LARD_REQUIRES(state_mutex_) LARD_EXCLUDES(mesh_json_mutex_);
 
   FrontEndConfig config_;
   EventLoopGroup* loops_;
@@ -388,12 +406,15 @@ class FrontEnd {
   // disk_table_, mesh_ and pending_hints_ are mutated from every shard loop
   // (client batches) and loop 0 (control traffic, membership, gossip), and
   // all of them feed one LARD decision, so they share one mutex. Uncontended
-  // with fe_loops=1. nodes_, journal_, retiring_ and the fe_peers_ channels
-  // are NOT under this lock — they are loop-0 confined by design.
-  mutable std::mutex state_mutex_;
-  std::unique_ptr<DiskTable> disk_table_;
-  std::unique_ptr<Dispatcher> dispatcher_;
-  uint16_t port_ = 0;
+  // with fe_loops=1. nodes_, journal_ and the fe_peers_ channels are NOT
+  // under this lock — they are loop-0 confined by design (checked by
+  // AssertInLoopThread() and the concurrency linter, not TSA).
+  mutable Mutex state_mutex_;
+  std::unique_ptr<DiskTable> disk_table_ LARD_PT_GUARDED_BY(state_mutex_);
+  std::unique_ptr<Dispatcher> dispatcher_ LARD_PT_GUARDED_BY(state_mutex_);
+  // Atomic: Start() publishes the bound port on this replica's loop while
+  // Cluster::ports() readers may already see the replica in fes_.
+  std::atomic<uint16_t> port_{0};
   std::vector<NodeLink> nodes_;  // index = NodeId; loop-0 confined
 
   // Reactor shards (size = loops_->size()); shard 0 runs on loop 0.
@@ -403,27 +424,33 @@ class FrontEnd {
   bool fd_handoff_accept_ = false;
   size_t next_accept_shard_ = 0;  // loop-0 confined
 
-  std::set<ConnId> live_in_dispatcher_;  // conns with dispatcher state (locked)
-  std::set<NodeId> retiring_;  // admin-removed live nodes awaiting giveback
+  // Conns with dispatcher state.
+  std::set<ConnId> live_in_dispatcher_ LARD_GUARDED_BY(state_mutex_);
+  // Admin-removed live nodes awaiting giveback.
+  std::set<NodeId> retiring_ LARD_GUARDED_BY(state_mutex_);
   std::function<void(NodeId)> on_node_removed_;
 
   // Crash replay: the retained client fds + unacknowledged request tails.
+  // Loop-0 confined (mutated alongside nodes_ on the control plane).
   ReplayJournal journal_;
   // Monotone counter stamped into NodeLink::failure_epoch per detected death.
-  uint64_t next_failure_epoch_ = 1;
+  uint64_t next_failure_epoch_ LARD_GUARDED_BY(state_mutex_) = 1;
   // The connection PickLiveNode is currently placing (0 = none): a nested
   // stale-pick removal must leave it to the outer caller instead of
   // replaying it a second time.
-  ConnId placement_in_progress_ = 0;
+  ConnId placement_in_progress_ LARD_GUARDED_BY(state_mutex_) = 0;
 
-  // The mesh (num_frontends > 1; null otherwise).
-  std::unique_ptr<MeshStateTable> mesh_;
-  std::map<uint32_t, std::unique_ptr<FramedChannel>> fe_peers_;
-  std::unordered_set<uint64_t> pending_hints_;  // (node << 32) | target
-  uint64_t gossip_seq_ = 0;
-  uint64_t gossip_sent_ = 0;
-  mutable std::mutex mesh_json_mutex_;
-  std::string mesh_json_;  // refreshed each tick; read by the admin thread
+  // The mesh (num_frontends > 1; null otherwise — the pointer itself is set
+  // once in the constructor, so MeshEnabled() may read it lock-free).
+  std::unique_ptr<MeshStateTable> mesh_ LARD_PT_GUARDED_BY(state_mutex_);
+  std::map<uint32_t, std::unique_ptr<FramedChannel>> fe_peers_;  // loop-0 confined
+  // (node << 32) | target
+  std::unordered_set<uint64_t> pending_hints_ LARD_GUARDED_BY(state_mutex_);
+  uint64_t gossip_seq_ LARD_GUARDED_BY(state_mutex_) = 0;
+  uint64_t gossip_sent_ LARD_GUARDED_BY(state_mutex_) = 0;
+  mutable Mutex mesh_json_mutex_;
+  // Refreshed each tick; read by the admin thread.
+  std::string mesh_json_ LARD_GUARDED_BY(mesh_json_mutex_);
 
   Tracer* tracer_ = nullptr;
   TraceRing* trace_ring_ = nullptr;  // shard 0's ring; control-plane spans

@@ -49,8 +49,8 @@ class LateralClient {
   void OnClose();
 
   EventLoop* loop_;
-  uint16_t peer_port_;
-  int64_t timeout_ms_;
+  uint16_t peer_port_ = 0;
+  int64_t timeout_ms_ = 0;
   // Guards the per-fetch deadline timers: the owning back-end can be torn
   // down in place while its loop keeps running.
   LivenessToken alive_;

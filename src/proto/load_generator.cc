@@ -6,13 +6,13 @@
 
 #include <atomic>
 #include <cerrno>
-#include <mutex>
 #include <thread>
 
 #include "src/http/response_parser.h"
 #include "src/net/socket.h"
 #include "src/proto/content_store.h"
 #include "src/util/logging.h"
+#include "src/util/mutex.h"
 
 namespace lard {
 namespace {
@@ -42,6 +42,8 @@ bool ReadResponses(int fd, size_t count, ResponseParser* parser,
   responses->clear();
   char buf[64 * 1024];
   while (responses->size() < count) {
+    // lard-lint: allow(blocking-call) the load generator is a deliberately
+    // blocking client running on its own worker threads, not an event loop.
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n > 0) {
       if (parser->Feed(std::string_view(buf, static_cast<size_t>(n)), responses) ==
@@ -209,7 +211,7 @@ class Worker {
 
   const LoadGeneratorConfig* config_;
   const Trace* trace_;
-  int64_t load_start_ms_;
+  int64_t load_start_ms_ = 0;
   uint16_t port_ = 0;  // this session's front-end
 };
 
@@ -231,7 +233,7 @@ LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace) {
   std::atomic<bool> time_up{false};
   const int64_t start_ms = NowMs();
 
-  std::mutex merge_mutex;
+  Mutex merge_mutex;
   WorkerStats merged;
   StreamingStats merged_latency;
   PercentileTracker merged_p;
@@ -249,7 +251,7 @@ LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace) {
         time_up.store(true, std::memory_order_relaxed);
       }
     }
-    std::lock_guard<std::mutex> lock(merge_mutex);
+    MutexLock lock(&merge_mutex);
     merged.sessions += stats.sessions;
     merged.requests += stats.requests;
     merged.responses_ok += stats.responses_ok;

@@ -57,7 +57,7 @@ struct ClusterSim::Backend {
 
   FifoServer cpu;
   DiskServer disk;
-  double speed;
+  double speed = 1.0;
   BackendSimMetrics metrics;
 };
 

@@ -33,8 +33,8 @@ class EventQueue {
 
  private:
   struct Event {
-    SimTimeUs when_us;
-    uint64_t seq;
+    SimTimeUs when_us = 0;
+    uint64_t seq = 0;
     std::function<void()> fn;
   };
   struct Later {

@@ -76,8 +76,9 @@ std::string FormatClfTimestamp(int64_t timestamp_us) {
     rem += 86400;
     --days;
   }
-  int y;
-  unsigned m, d;
+  int y = 0;
+  unsigned m = 0;
+  unsigned d = 0;
   CivilFromDays(days, &y, &m, &d);
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%02u/%s/%04d:%02lld:%02lld:%02lld +0000", d, kMonths[m - 1], y,

@@ -11,10 +11,10 @@ Trace BuildSessions(const std::vector<ClfRecord>& records, const SessionBuilderC
   // Stable client numbering in order of first appearance.
   std::unordered_map<std::string, uint32_t> client_ids;
   struct Item {
-    uint32_t client;
-    int64_t timestamp_us;
-    TargetId target;
-    size_t order;  // original log order, to break timestamp ties stably
+    uint32_t client = 0;
+    int64_t timestamp_us = 0;
+    TargetId target = 0;
+    size_t order = 0;  // original log order, to break timestamp ties stably
   };
   std::vector<Item> items;
   items.reserve(records.size());

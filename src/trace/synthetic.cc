@@ -27,7 +27,7 @@ uint64_t ClampSize(double raw, const SyntheticTraceConfig& config) {
 }
 
 uint64_t SampleObjectSize(Rng& rng, const SyntheticTraceConfig& config) {
-  double raw;
+  double raw = 0.0;
   if (rng.NextBool(config.tail_probability)) {
     raw = rng.NextPareto(config.tail_pareto_scale, config.tail_pareto_alpha);
   } else {

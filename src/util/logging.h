@@ -41,8 +41,8 @@ class LogMessage {
 
  private:
   LogSeverity severity_;
-  const char* file_;
-  int line_;
+  const char* file_ = nullptr;
+  int line_ = 0;
   std::ostringstream stream_;
 };
 

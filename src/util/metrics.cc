@@ -104,7 +104,7 @@ double MetricHistogram::Percentile(double p) const {
 }
 
 MetricCounter* MetricsRegistry::Counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) {
     slot = std::make_unique<MetricCounter>();
@@ -113,7 +113,7 @@ MetricCounter* MetricsRegistry::Counter(const std::string& name) {
 }
 
 MetricGauge* MetricsRegistry::Gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) {
     slot = std::make_unique<MetricGauge>();
@@ -122,7 +122,7 @@ MetricGauge* MetricsRegistry::Gauge(const std::string& name) {
 }
 
 MetricHistogram* MetricsRegistry::Histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<MetricHistogram>();
@@ -139,7 +139,7 @@ std::string MetricsRegistry::WithFe(const std::string& name, int32_t fe) {
 }
 
 std::string MetricsRegistry::RenderText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::ostringstream out;
   std::string base;
   std::string labels;
@@ -183,7 +183,7 @@ std::string MetricsRegistry::RenderText() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;

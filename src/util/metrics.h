@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace lard {
 
@@ -99,11 +101,13 @@ class MetricsRegistry {
   std::string RenderJson() const;
 
  private:
-  mutable std::mutex mutex_;
-  // node-stable containers: instruments never move once created.
-  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
-  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
-  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+  mutable Mutex mutex_;
+  // node-stable containers: instruments never move once created, so the
+  // returned instrument pointers are used lock-free (they are atomics); only
+  // the maps themselves are guarded.
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_ LARD_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_ LARD_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_ LARD_GUARDED_BY(mutex_);
 };
 
 }  // namespace lard

@@ -1,0 +1,51 @@
+// Annotated mutex wrappers: the only mutex types allowed outside src/util/
+// (enforced by tools/lint/concurrency_lint.py). lard::Mutex is a std::mutex
+// carrying the Clang Thread Safety Analysis capability attribute, so fields
+// declared LARD_GUARDED_BY(mutex_) are compile-time checked under
+// -Wthread-safety (see src/util/thread_annotations.h and docs/CONCURRENCY.md).
+#ifndef SRC_UTIL_MUTEX_H_
+#define SRC_UTIL_MUTEX_H_
+
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace lard {
+
+class LARD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LARD_ACQUIRE() { mutex_.lock(); }
+  void Unlock() LARD_RELEASE() { mutex_.unlock(); }
+  bool TryLock() LARD_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  // For the rare std:: interop (std::condition_variable_any). Callers using
+  // this bypass the analysis — prefer Lock/Unlock or MutexLock.
+  std::mutex& native() LARD_RETURN_CAPABILITY(this) { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+// RAII lock, the annotated std::lock_guard equivalent.
+class LARD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mutex) LARD_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_->Lock();
+  }
+  ~MutexLock() LARD_RELEASE() { mutex_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mutex_;
+};
+
+}  // namespace lard
+
+#endif  // SRC_UTIL_MUTEX_H_

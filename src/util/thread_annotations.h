@@ -1,0 +1,64 @@
+// Clang Thread Safety Analysis macros (the compile-time half of the
+// concurrency contract; see docs/CONCURRENCY.md). Under Clang these expand to
+// the TSA attributes so a -Wthread-safety build proves every LARD_GUARDED_BY
+// field is only touched with its mutex held; under other compilers they
+// vanish. Use them through lard::Mutex / lard::MutexLock (src/util/mutex.h) —
+// raw std::mutex outside src/util/ is rejected by tools/lint/concurrency_lint.py.
+#ifndef SRC_UTIL_THREAD_ANNOTATIONS_H_
+#define SRC_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define LARD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LARD_THREAD_ANNOTATION(x)
+#endif
+
+// On a class: this type is a capability (a mutex).
+#define LARD_CAPABILITY(x) LARD_THREAD_ANNOTATION(capability(x))
+
+// On a class: RAII object that acquires a capability in its constructor and
+// releases it in its destructor (lard::MutexLock).
+#define LARD_SCOPED_CAPABILITY LARD_THREAD_ANNOTATION(scoped_lockable)
+
+// On a field: reads and writes require holding `x`.
+#define LARD_GUARDED_BY(x) LARD_THREAD_ANNOTATION(guarded_by(x))
+
+// On a pointer/smart-pointer field: the *pointed-to* data requires `x` (the
+// pointer itself may be read freely, e.g. set once in the constructor).
+#define LARD_PT_GUARDED_BY(x) LARD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On a function: the caller must already hold the capability/ies.
+#define LARD_REQUIRES(...) \
+  LARD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// On a function: the caller must NOT hold the capability/ies (the function
+// acquires them itself — annotating this catches self-deadlock).
+#define LARD_EXCLUDES(...) \
+  LARD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// On a function: acquires / releases the capability (Mutex::Lock/Unlock).
+#define LARD_ACQUIRE(...) \
+  LARD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LARD_RELEASE(...) \
+  LARD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// On a function: acquires the capability when returning `ret` (TryLock).
+#define LARD_TRY_ACQUIRE(ret, ...) \
+  LARD_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+// On a function: asserts (at runtime) that the capability is held, informing
+// the analysis without acquiring anything.
+#define LARD_ASSERT_CAPABILITY(x) \
+  LARD_THREAD_ANNOTATION(assert_capability(x))
+
+// On a function returning a reference to a mutex, so callers can lock
+// through accessors.
+#define LARD_RETURN_CAPABILITY(x) LARD_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for disciplines the analysis cannot express (e.g. locking a
+// dynamic set of mutexes in a loop, or hybrid loop-confined/locked state).
+// Every use carries a comment explaining the manual proof.
+#define LARD_NO_THREAD_SAFETY_ANALYSIS \
+  LARD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SRC_UTIL_THREAD_ANNOTATIONS_H_

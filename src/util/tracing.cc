@@ -88,10 +88,12 @@ const char* SpanKindName(SpanKind kind) {
 }
 
 TraceRing::TraceRing(std::string name, size_t capacity)
-    : name_(std::move(name)), slots_(capacity == 0 ? 1 : capacity) {}
+    : name_(std::move(name)),
+      capacity_(capacity == 0 ? 1 : capacity),
+      slots_(capacity == 0 ? 1 : capacity) {}
 
 void TraceRing::Record(const TraceSpan& span) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   slots_[next_] = span;
   next_ = (next_ + 1) % slots_.size();
   size_ = std::min(size_ + 1, slots_.size());
@@ -99,7 +101,7 @@ void TraceRing::Record(const TraceSpan& span) {
 }
 
 std::vector<TraceSpan> TraceRing::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<TraceSpan> out;
   out.reserve(size_);
   // Oldest slot is `next_` once the ring has wrapped, 0 before.
@@ -111,12 +113,12 @@ std::vector<TraceSpan> TraceRing::Snapshot() const {
 }
 
 uint64_t TraceRing::recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return recorded_;
 }
 
 TraceRing* Tracer::Ring(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   for (const auto& ring : rings_) {
     if (ring->name() == name) {
       return ring.get();
@@ -136,24 +138,27 @@ bool Tracer::Sampled(uint64_t trace_id) const {
   return Mix64(trace_id) % config_.sample_every == 0;
 }
 
-std::vector<TraceRingSnapshot> Tracer::SnapshotAll() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+// Locks a dynamic set of ring mutexes in a loop — a discipline TSA cannot
+// express (the capability set is runtime-sized), so the analysis is disabled
+// here and the proof is manual: lock order is fixed (tracer mutex, then rings
+// in creation order) and no other path holds two of these locks at once, so
+// this cannot deadlock. Writers stall for the duration of one memcpy-scale
+// copy.
+std::vector<TraceRingSnapshot> Tracer::SnapshotAll() const
+    LARD_NO_THREAD_SAFETY_ANALYSIS {
+  MutexLock lock(&mutex_);
   // Take every ring's lock before copying any ring: the copies form one
   // coherent epoch across rings instead of N reads racing with writers on
-  // other loop threads. Lock order is fixed (tracer mutex, then rings in
-  // creation order) and no other path holds two locks, so this cannot
-  // deadlock. Writers stall for the duration of one memcpy-scale copy.
-  std::vector<std::unique_lock<std::mutex>> ring_locks;
-  ring_locks.reserve(rings_.size());
+  // other loop threads.
   for (const auto& ring : rings_) {
-    ring_locks.emplace_back(ring->mutex_);
+    ring->mutex_.Lock();
   }
   std::vector<TraceRingSnapshot> out;
   out.reserve(rings_.size());
   for (const auto& ring : rings_) {
     TraceRingSnapshot snap;
     snap.name = ring->name_;
-    snap.capacity = ring->slots_.size();
+    snap.capacity = ring->capacity_;
     snap.recorded = ring->recorded_;
     snap.spans.reserve(ring->size_);
     const size_t start = ring->size_ == ring->slots_.size() ? ring->next_ : 0;
@@ -161,6 +166,9 @@ std::vector<TraceRingSnapshot> Tracer::SnapshotAll() const {
       snap.spans.push_back(ring->slots_[(start + i) % ring->slots_.size()]);
     }
     out.push_back(std::move(snap));
+  }
+  for (auto it = rings_.rbegin(); it != rings_.rend(); ++it) {
+    (*it)->mutex_.Unlock();
   }
   return out;
 }

@@ -29,9 +29,11 @@
 #include <cstdarg>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace lard {
 
@@ -83,7 +85,7 @@ class TraceRing {
   std::vector<TraceSpan> Snapshot() const;
 
   const std::string& name() const { return name_; }
-  size_t capacity() const { return slots_.size(); }
+  size_t capacity() const { return capacity_; }
   // Total spans ever recorded (≥ Snapshot().size(); the excess overwrote).
   uint64_t recorded() const;
 
@@ -93,11 +95,12 @@ class TraceRing {
   friend class Tracer;
 
   const std::string name_;
-  mutable std::mutex mutex_;
-  std::vector<TraceSpan> slots_;
-  size_t next_ = 0;     // next write position
-  size_t size_ = 0;     // live spans (≤ capacity)
-  uint64_t recorded_ = 0;
+  const size_t capacity_;  // slots_.size(), fixed at construction
+  mutable Mutex mutex_;
+  std::vector<TraceSpan> slots_ LARD_GUARDED_BY(mutex_);
+  size_t next_ LARD_GUARDED_BY(mutex_) = 0;      // next write position
+  size_t size_ LARD_GUARDED_BY(mutex_) = 0;      // live spans (≤ capacity)
+  uint64_t recorded_ LARD_GUARDED_BY(mutex_) = 0;
 };
 
 // One ring's contents captured at a snapshot epoch (see Tracer::SnapshotAll).
@@ -162,8 +165,8 @@ class Tracer {
   std::vector<TraceSpan> SpansForTrace(uint64_t trace_id) const;
 
   const TracerConfig config_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<TraceRing>> rings_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<TraceRing>> rings_ LARD_GUARDED_BY(mutex_);
 };
 
 // Monotonic microsecond clock for span timestamps (prototype side; the

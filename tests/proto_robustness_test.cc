@@ -97,7 +97,7 @@ TEST(ProtoRobustnessTest, PartialFirstBatchNeverCrashesTheFrontEnd) {
 
   // A mix of slow clients: a bare partial request line, a partial header
   // block, and a lone CRLF, each left dangling and then closed.
-  for (const std::string fragment :
+  for (const std::string& fragment :
        {std::string("GET /page0.html"), std::string("GET /page0.html HTTP/1.1\r\nHost: x"),
         std::string("\r\n")}) {
     auto fd = ConnectTcp(cluster.port());

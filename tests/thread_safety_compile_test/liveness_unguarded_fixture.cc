@@ -1,0 +1,18 @@
+// Negative lint fixture: a posted lambda capturing `this` without
+// LivenessToken::Guard. tools/lint/concurrency_lint.py MUST flag this file
+// (the `concurrency_lint_negative` ctest runs the linter over it and expects
+// a nonzero exit). The clang analysis cannot see this class of bug — lifetime
+// of a queued closure vs. its owner — which is exactly why the linter exists.
+#include <functional>
+
+struct EventLoop {
+  void Post(std::function<void()> task);
+};
+
+struct Widget {
+  void Poke() {
+    loop_->Post([this]() { ++pokes_; });  // outlives `this` if Widget dies first
+  }
+  EventLoop* loop_ = nullptr;
+  int pokes_ = 0;
+};

@@ -1,0 +1,28 @@
+// Negative thread-safety fixture: reading and writing a LARD_GUARDED_BY
+// field without holding its mutex. This file MUST FAIL to compile under
+// clang with -Wthread-safety -Werror=thread-safety — the build asserts that
+// via try_compile (see CMakeLists.txt). If it ever compiles, the analysis
+// has silently stopped enforcing the annotations.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // Both the write and the read touch balance_ with mutex_ unheld.
+  void Deposit(int amount) { balance_ += amount; }
+  int balance() const { return balance_; }
+
+ private:
+  mutable lard::Mutex mutex_;
+  int balance_ LARD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance();
+}

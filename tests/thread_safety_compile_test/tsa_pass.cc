@@ -1,0 +1,43 @@
+// Positive thread-safety fixture: correct use of the annotated primitives
+// must compile cleanly under -Wthread-safety -Werror=thread-safety. If this
+// file stops compiling, the annotation macros themselves broke — the paired
+// negative fixture (tsa_guarded_field_fail.cc) is then meaningless.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    lard::MutexLock lock(&mutex_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+    lard::MutexLock lock(&mutex_);
+    return balance_;
+  }
+
+  void DepositLocked(int amount) LARD_REQUIRES(mutex_) { balance_ += amount; }
+
+  void DepositTwice(int amount) LARD_EXCLUDES(mutex_) {
+    mutex_.Lock();
+    DepositLocked(amount);
+    DepositLocked(amount);
+    mutex_.Unlock();
+  }
+
+ private:
+  mutable lard::Mutex mutex_;
+  int balance_ LARD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  account.DepositTwice(2);
+  return account.balance() == 5 ? 0 : 1;
+}

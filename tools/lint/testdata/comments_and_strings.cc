@@ -1,0 +1,6 @@
+// Fixture: rule patterns inside comments and string literals must NOT fire.
+// A comment mentioning std::mutex and ::recv( and loop_->Post([this]() ...)
+const char* kDoc =
+    "std::mutex ::recv( ::connect( sleep_for loop_->Post([this]() {})";
+/* block comment: std::lock_guard<std::mutex> lock(mutex_); */
+int answer() { return 42; }

@@ -1,0 +1,16 @@
+// Fixture: `this` captures wrapped in LivenessToken::Guard pass clean, as do
+// posts that never capture `this`.
+struct Owner {
+  void Kick() {
+    loop_->Post(alive_.Guard([this]() { ++count_; }));
+  }
+  void KickLater() {
+    loop_->ScheduleAfterMs(10, alive_.Guard([this, step = 2]() { count_ += step; }));
+  }
+  void KickValue(int* counter) {
+    loop_->Post([counter]() { ++*counter; });
+  }
+  EventLoop* loop_ = nullptr;
+  LivenessToken alive_;
+  int count_ = 0;
+};

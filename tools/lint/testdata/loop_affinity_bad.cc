@@ -1,0 +1,5 @@
+// Fixture: FrontEnd method touching LoopShard state without asserting loop
+// affinity first.
+void FrontEnd::BreakAffinity(LoopShard* shard) {
+  shard->conns.clear();
+}

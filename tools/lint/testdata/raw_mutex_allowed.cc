@@ -1,0 +1,7 @@
+// Fixture: an allow comment suppresses the raw-mutex finding.
+#include <mutex>
+
+struct Counter {
+  // lard-lint: allow(raw-mutex) fixture demonstrating the escape hatch.
+  std::mutex mutex_;
+};

@@ -1,0 +1,11 @@
+// Fixture: raw std::mutex outside src/util/ must be flagged.
+#include <mutex>
+
+struct Counter {
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++count_;
+  }
+  std::mutex mutex_;
+  int count_ = 0;
+};
