@@ -233,6 +233,46 @@ def check_tracing_overhead(record, data):
         fail(record, f"sampled tracing overhead too high: {ratio:.3f}x < 0.98x untraced")
 
 
+def check_telemetry_overhead(record, data):
+    modes = require(record, data, "modes", dict)
+    if modes is not None:
+        for name in ("off", "on"):
+            mode = require(record, modes, name, dict)
+            if mode is None:
+                continue
+            if require(record, mode, "throughput_rps", NUM) in (None, 0):
+                fail(record, f"modes.{name} has no throughput")
+            if mode.get("responses_bad", 1) != 0 or mode.get("transport_errors", 1) != 0:
+                fail(record, f"modes.{name} had client-visible errors")
+        # The pipeline must actually have sampled in the "on" mode...
+        if modes.get("on", {}).get("fe_samples", 0) == 0:
+            fail(record, "telemetry-on mode recorded no samples")
+    # ...within the acceptance bound: sampling + shipping costs < 2% of
+    # throughput (best-of-N per mode absorbs run-to-run noise).
+    ratio = require(record, data, "on_over_off", NUM)
+    if ratio is not None and ratio < 0.98:
+        fail(record, f"telemetry overhead too high: {ratio:.3f}x < 0.98x telemetry-off")
+    watchdog = require(record, data, "watchdog", dict)
+    if watchdog is None:
+        return
+    # The watchdog acceptance: zero false transitions on a steady cacheable
+    # load, detection of induced back-end saturation within 5 sampling
+    # intervals, and the health view must carry mirrored back-end telemetry
+    # (proof the kTelemetry shipping path worked end to end).
+    if watchdog.get("steady_transitions", 1) != 0:
+        fail(record, "watchdog flapped during steady state")
+    if watchdog.get("steady_status") != "ok":
+        fail(record, f"steady-state status is '{watchdog.get('steady_status')}', not 'ok'")
+    if watchdog.get("be_mirrored") is not True:
+        fail(record, "front-end health view carries no back-end telemetry")
+    detection = require(record, watchdog, "detection_intervals", NUM)
+    if detection is not None:
+        if detection < 0:
+            fail(record, "watchdog never detected the saturated back-ends")
+        elif detection > 5:
+            fail(record, f"detection took {detection:.1f} sampling intervals (> 5)")
+
+
 CHECKERS = {
     "drain_failover": check_drain_failover,
     "frontend_scalability": check_frontend_scalability,
@@ -240,6 +280,7 @@ CHECKERS = {
     "heterogeneous_cluster": check_heterogeneous_cluster,
     "failure_replay": check_failure_replay,
     "tracing_overhead": check_tracing_overhead,
+    "telemetry_overhead": check_telemetry_overhead,
 }
 
 

@@ -144,7 +144,11 @@ AdminResponse AdminServer::Dispatch(const HttpRequest& request) {
         "  POST /nodes/add          start a node and join it to the cluster\n"
         "  POST /nodes/<id>/drain   stop new assignments to a node\n"
         "  POST /nodes/<id>/remove  remove a node now\n"
-        "  POST /policy             switch policy (body: wrr | lard | extlard)\n";
+        "  POST /policy             switch policy (body: wrr | lard | extlard)\n"
+        "  GET  /timeseries         sampled series (?metric=&component=&window=<ms>)\n"
+        "  GET  /cluster/health     merged SLO watchdog verdict + freshest samples\n"
+        "  GET  /trace              recent request traces (?component=&format=chrome)\n"
+        "  POST /slowlog            set the slow-request log threshold (body: µs)\n";
     return index;
   }
   if (request.method == "GET" && path == "/metrics") {

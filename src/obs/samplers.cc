@@ -1,0 +1,41 @@
+#include "src/obs/samplers.h"
+
+namespace lard {
+
+HistogramWindowSampler::Window HistogramWindowSampler::Sample(const MetricHistogram& histogram) {
+  uint64_t current[MetricHistogram::kBuckets];
+  histogram.SnapshotBuckets(current);
+
+  uint64_t delta[MetricHistogram::kBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < MetricHistogram::kBuckets; ++i) {
+    // A bucket that shrank means the histogram was reset; count what's there.
+    const uint64_t prev = (has_prev_ && prev_buckets_[i] <= current[i]) ? prev_buckets_[i] : 0;
+    delta[i] = current[i] - prev;
+    total += delta[i];
+    prev_buckets_[i] = current[i];
+  }
+  has_prev_ = true;
+
+  Window window;
+  window.count = total;
+  if (total == 0) {
+    return window;
+  }
+  const double targets[3] = {0.50 * static_cast<double>(total),
+                             0.95 * static_cast<double>(total),
+                             0.99 * static_cast<double>(total)};
+  double* outputs[3] = {&window.p50, &window.p95, &window.p99};
+  uint64_t seen = 0;
+  int next = 0;
+  for (int i = 0; i < MetricHistogram::kBuckets && next < 3; ++i) {
+    seen += delta[i];
+    while (next < 3 && static_cast<double>(seen) >= targets[next]) {
+      *outputs[next] = MetricHistogram::BucketUpperBound(i);
+      ++next;
+    }
+  }
+  return window;
+}
+
+}  // namespace lard

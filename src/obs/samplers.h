@@ -1,0 +1,62 @@
+// Window samplers: turn the cumulative instruments in MetricsRegistry into
+// the per-interval values a TimeSeriesStore records. Each sampler keeps the
+// previous cumulative state and emits the delta, so a 1s tick yields rates
+// ("requests/s") and window quantiles ("p99 over the last second") rather
+// than since-process-start aggregates.
+//
+// Samplers are plain value types owned by whichever component runs the
+// sampling timer; they are not thread-safe (one owner, one loop).
+#ifndef SRC_OBS_SAMPLERS_H_
+#define SRC_OBS_SAMPLERS_H_
+
+#include <cstdint>
+
+#include "src/util/metrics.h"
+
+namespace lard {
+
+// Per-second rate of a monotonic counter. A cumulative value that goes
+// backwards (process restart, counter reset) restarts the baseline at zero
+// instead of emitting a huge negative rate.
+class CounterRateSampler {
+ public:
+  double Sample(uint64_t current, double dt_seconds) {
+    uint64_t prev = prev_;
+    if (!has_prev_ || current < prev) {
+      prev = 0;  // reset: everything seen this window counts
+    }
+    prev_ = current;
+    has_prev_ = true;
+    if (dt_seconds <= 0.0) {
+      return 0.0;
+    }
+    return static_cast<double>(current - prev) / dt_seconds;
+  }
+
+ private:
+  uint64_t prev_ = 0;
+  bool has_prev_ = false;
+};
+
+// Window quantiles of a MetricHistogram: snapshots the cumulative buckets
+// each tick and computes p50/p95/p99 over the bucket *deltas*, i.e. only the
+// samples observed since the previous tick.
+class HistogramWindowSampler {
+ public:
+  struct Window {
+    uint64_t count = 0;  // samples in the window
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  Window Sample(const MetricHistogram& histogram);
+
+ private:
+  uint64_t prev_buckets_[MetricHistogram::kBuckets] = {};
+  bool has_prev_ = false;
+};
+
+}  // namespace lard
+
+#endif  // SRC_OBS_SAMPLERS_H_

@@ -1,0 +1,159 @@
+#include "src/obs/slo_watchdog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace lard {
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+const char* HealthStatusName(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kOk:
+      return "ok";
+    case HealthStatus::kDegraded:
+      return "degraded";
+    case HealthStatus::kCritical:
+      return "critical";
+  }
+  return "ok";
+}
+
+SloWatchdog::SloWatchdog(std::string component, std::vector<SloRule> rules)
+    : component_(std::move(component)) {
+  MutexLock lock(&mutex_);
+  rules_.reserve(rules.size());
+  for (SloRule& rule : rules) {
+    rule.fast_window = std::max(rule.fast_window, 1);
+    rule.slow_window = std::max(rule.slow_window, rule.fast_window);
+    rule.clear_hold = std::max(rule.clear_hold, 1);
+    RuleState state;
+    state.rule = std::move(rule);
+    state.ring.assign(static_cast<size_t>(state.rule.slow_window), false);
+    rules_.push_back(std::move(state));
+  }
+}
+
+HealthStatus SloWatchdog::RawStatus(const RuleState& state) {
+  // Warm-up ticks count as clean (full windows as denominators): a store
+  // with two samples must not trip a five-sample burn rule.
+  const double fast_frac =
+      static_cast<double>(state.fast_hot) / static_cast<double>(state.rule.fast_window);
+  const double slow_frac =
+      static_cast<double>(state.slow_hot) / static_cast<double>(state.rule.slow_window);
+  if (fast_frac >= state.rule.fast_burn) {
+    return slow_frac >= state.rule.slow_burn ? HealthStatus::kCritical : HealthStatus::kDegraded;
+  }
+  return HealthStatus::kOk;
+}
+
+HealthStatus SloWatchdog::Evaluate(const std::map<std::string, double>& inputs) {
+  HealthStatus merged = HealthStatus::kOk;
+  double pressure = 0.0;
+  std::ostringstream hot_rules;
+  {
+    MutexLock lock(&mutex_);
+    for (RuleState& state : rules_) {
+      const auto it = inputs.find(state.rule.input);
+      state.has_value = it != inputs.end();
+      state.last_value = state.has_value ? it->second : 0.0;
+      const bool violating = state.has_value && state.last_value > state.rule.ceiling;
+
+      state.ring[state.head] = violating;
+      state.head = (state.head + 1) % state.ring.size();
+      state.count = std::min(state.count + 1, state.ring.size());
+      state.fast_hot = 0;
+      state.slow_hot = 0;
+      for (size_t i = 0; i < state.count; ++i) {
+        // i samples back from the newest (which sits just behind head).
+        const size_t slot = (state.head + state.ring.size() - 1 - i) % state.ring.size();
+        if (!state.ring[slot]) {
+          continue;
+        }
+        ++state.slow_hot;
+        if (i < static_cast<size_t>(state.rule.fast_window)) {
+          ++state.fast_hot;
+        }
+      }
+
+      const HealthStatus raw = RawStatus(state);
+      if (raw >= state.status) {
+        // Escalation is immediate; only recovery is damped.
+        state.status = raw;
+        state.clean_streak = 0;
+      } else if (++state.clean_streak >= state.rule.clear_hold) {
+        state.status = raw;
+        state.clean_streak = 0;
+      }
+
+      pressure = std::max(pressure, static_cast<double>(state.fast_hot) /
+                                        static_cast<double>(state.rule.fast_window));
+      if (state.status > merged) {
+        merged = state.status;
+      }
+      if (state.status != HealthStatus::kOk) {
+        hot_rules << (hot_rules.tellp() > 0 ? ", " : "") << state.rule.name << "="
+                  << HealthStatusName(state.status);
+      }
+    }
+  }
+
+  const auto previous =
+      static_cast<HealthStatus>(overload_.status.load(std::memory_order_relaxed));
+  overload_.pressure.store(pressure, std::memory_order_relaxed);
+  overload_.status.store(static_cast<int>(merged), std::memory_order_relaxed);
+  if (merged != previous) {
+    transitions_.fetch_add(1, std::memory_order_relaxed);
+    LARD_LOG(WARNING) << "slo-watchdog[" << component_ << "]: " << HealthStatusName(previous)
+                      << " -> " << HealthStatusName(merged)
+                      << (hot_rules.tellp() > 0 ? " (" + hot_rules.str() + ")" : "");
+  }
+  return merged;
+}
+
+std::string SloWatchdog::ReasonsJson() const {
+  MutexLock lock(&mutex_);
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const RuleState& state : rules_) {
+    const double fast_frac =
+        static_cast<double>(state.fast_hot) / static_cast<double>(state.rule.fast_window);
+    const double slow_frac =
+        static_cast<double>(state.slow_hot) / static_cast<double>(state.rule.slow_window);
+    out << (first ? "" : ",") << "{\"rule\":" << JsonQuote(state.rule.name)
+        << ",\"input\":" << JsonQuote(state.rule.input)
+        << ",\"status\":\"" << HealthStatusName(state.status) << "\""
+        << ",\"value\":" << (state.has_value ? FormatDouble(state.last_value) : "null")
+        << ",\"ceiling\":" << FormatDouble(state.rule.ceiling)
+        << ",\"fast_burn\":" << FormatDouble(fast_frac)
+        << ",\"slow_burn\":" << FormatDouble(slow_frac) << "}";
+    first = false;
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace lard

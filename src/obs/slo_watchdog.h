@@ -1,0 +1,101 @@
+// SLO watchdog: declarative burn-rate rules over sampled telemetry.
+//
+// Each rule watches one named input (a value the telemetry tick extracts from
+// its TimeSeriesStore — p99 latency, giveup rate, load skew, ...) against a
+// ceiling, over two windows of recent ticks:
+//   * fast window hot  (>= fast_burn of the last fast_window ticks violate)
+//       -> degraded: something is wrong right now;
+//   * fast AND slow windows hot
+//       -> critical: it has been wrong long enough to burn real error budget.
+// Recovery is damped: a rule must stay clean for clear_hold consecutive
+// ticks before its status steps back down, so a boundary-riding signal
+// cannot flap the cluster between ok and degraded every sample.
+//
+// Evaluate() runs on one thread (the owner's telemetry tick); status reads
+// (admin plane, admission control) are cross-thread and go through the
+// internal mutex or the lock-free OverloadState mirror.
+#ifndef SRC_OBS_SLO_WATCHDOG_H_
+#define SRC_OBS_SLO_WATCHDOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace lard {
+
+enum class HealthStatus { kOk = 0, kDegraded = 1, kCritical = 2 };
+
+const char* HealthStatusName(HealthStatus status);
+
+struct SloRule {
+  std::string name;    // "fe_p99_latency_us"
+  std::string input;   // key into the Evaluate() input map
+  double ceiling = 0;  // violation when input > ceiling
+  int fast_window = 5;     // ticks
+  int slow_window = 60;    // ticks, >= fast_window
+  double fast_burn = 0.6;  // violating fraction of the fast window
+  double slow_burn = 0.5;  // violating fraction of the slow window
+  int clear_hold = 3;      // clean ticks required before stepping down
+};
+
+// Lock-free mirror of the merged verdict, exported for admission control: a
+// request path can read it without touching the watchdog mutex.
+struct OverloadState {
+  std::atomic<int> status{0};        // HealthStatus
+  std::atomic<double> pressure{0.0};  // max fast-window burn fraction, 0..1
+};
+
+class SloWatchdog {
+ public:
+  // `component` labels the WARNING transition logs ("fe0").
+  SloWatchdog(std::string component, std::vector<SloRule> rules);
+
+  SloWatchdog(const SloWatchdog&) = delete;
+  SloWatchdog& operator=(const SloWatchdog&) = delete;
+
+  // One telemetry tick. Inputs missing from the map count as clean (no data
+  // is not a violation). Returns the merged status after damping.
+  HealthStatus Evaluate(const std::map<std::string, double>& inputs) LARD_EXCLUDES(mutex_);
+
+  HealthStatus status() const {
+    return static_cast<HealthStatus>(overload_.status.load(std::memory_order_relaxed));
+  }
+  const OverloadState& overload() const { return overload_; }
+  // Transitions of the merged status since construction (bench + tests).
+  uint64_t transitions() const { return transitions_.load(std::memory_order_relaxed); }
+
+  // [{"rule":"..","input":"..","status":"..","value":..,"ceiling":..,
+  //   "fast_burn":..,"slow_burn":..}] — machine-readable reasons, every rule.
+  std::string ReasonsJson() const LARD_EXCLUDES(mutex_);
+
+ private:
+  struct RuleState {
+    SloRule rule;
+    std::vector<bool> ring;  // slow_window violation bits
+    size_t head = 0;
+    size_t count = 0;
+    int fast_hot = 0;  // violations within the fast window
+    int slow_hot = 0;  // violations within the slow window
+    int clean_streak = 0;
+    double last_value = 0.0;
+    bool has_value = false;
+    HealthStatus status = HealthStatus::kOk;
+  };
+
+  static HealthStatus RawStatus(const RuleState& state);
+
+  const std::string component_;
+  mutable Mutex mutex_;
+  std::vector<RuleState> rules_ LARD_GUARDED_BY(mutex_);
+  OverloadState overload_;
+  std::atomic<uint64_t> transitions_{0};
+};
+
+}  // namespace lard
+
+#endif  // SRC_OBS_SLO_WATCHDOG_H_

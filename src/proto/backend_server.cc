@@ -61,6 +61,27 @@ void BackendServer::Start(UniqueFd control_fd) {
         config_.metrics->Gauge(MetricsRegistry::WithNode("lard_backend_open_connections", id));
   }
 
+  if (config_.telemetry_interval_ms > 0) {
+    // The per-request latency histogram is gated on telemetry (not on the
+    // shared registry alone) so a telemetry-off cluster pays nothing for it.
+    if (config_.metrics != nullptr) {
+      metric_request_us_ = config_.metrics->Histogram(
+          MetricsRegistry::WithNode("lard_backend_request_us", config_.node_id));
+    }
+    TimeSeriesConfig series_config;
+    series_config.interval_ms = static_cast<int>(config_.telemetry_interval_ms);
+    telemetry_ = std::make_unique<TimeSeriesStore>(series_config);
+    // Series order here is the wire order of every kTelemetry row.
+    telemetry_names_ = {"request_rate", "hit_ratio", "latency_p50_us", "latency_p95_us",
+                        "latency_p99_us", "disk_queue", "open_conns", "lateral_rate",
+                        "wakeup_p99_us"};
+    for (const std::string& name : telemetry_names_) {
+      telemetry_->AddSeries(name);
+    }
+    loop_->ScheduleAfterMs(config_.telemetry_interval_ms,
+                           alive_.Guard([this]() { TelemetryTick(); }));
+  }
+
   AttachFrontEnd(0, std::move(control_fd));
 
   auto listener = ListenTcp(0, &lateral_port_);
@@ -188,6 +209,69 @@ void BackendServer::MaybeSendHeartbeat() {
   if (metric_heartbeats_ != nullptr) {
     metric_heartbeats_->Increment();
   }
+}
+
+void BackendServer::TelemetryTick() {
+  const int64_t now = NowMs();
+  const double dt_seconds = telemetry_last_ms_ == 0
+                                ? static_cast<double>(config_.telemetry_interval_ms) / 1000.0
+                                : static_cast<double>(now - telemetry_last_ms_) / 1000.0;
+  telemetry_last_ms_ = now;
+
+  telemetry_scratch_.clear();
+  const double request_rate =
+      rate_requests_.Sample(counters_.requests_served.load(std::memory_order_relaxed), dt_seconds);
+  telemetry_scratch_.emplace_back(0, request_rate);
+  const double hit_rate =
+      rate_hits_.Sample(counters_.local_hits.load(std::memory_order_relaxed), dt_seconds);
+  const double miss_rate =
+      rate_misses_.Sample(counters_.local_misses.load(std::memory_order_relaxed), dt_seconds);
+  if (hit_rate + miss_rate > 0.0) {
+    telemetry_scratch_.emplace_back(1, hit_rate / (hit_rate + miss_rate));
+  }
+  if (metric_request_us_ != nullptr) {
+    const HistogramWindowSampler::Window window = latency_window_.Sample(*metric_request_us_);
+    if (window.count > 0) {
+      telemetry_scratch_.emplace_back(2, window.p50);
+      telemetry_scratch_.emplace_back(3, window.p95);
+      telemetry_scratch_.emplace_back(4, window.p99);
+    }
+  }
+  telemetry_scratch_.emplace_back(5, static_cast<double>(disk_->queue_length()));
+  telemetry_scratch_.emplace_back(6, static_cast<double>(conns_.size()));
+  telemetry_scratch_.emplace_back(
+      7, rate_lateral_.Sample(counters_.lateral_out.load(std::memory_order_relaxed), dt_seconds));
+  if (config_.metrics != nullptr) {
+    // The loop publishes its health histograms when profiling is on; the
+    // find-or-create lookup is harmless (empty window -> no sample) when not.
+    MetricHistogram* wakeup = config_.metrics->Histogram(
+        "lard_loop_wakeup_delay_us{loop=\"be" + std::to_string(config_.node_id) + "\"}");
+    const HistogramWindowSampler::Window window = wakeup_window_.Sample(*wakeup);
+    if (window.count > 0) {
+      telemetry_scratch_.emplace_back(8, window.p99);
+    }
+  }
+  telemetry_->Append(now, telemetry_scratch_);
+
+  // Ship the row to every attached front-end: absolute state, so a dropped
+  // frame only leaves the mirror stale until the next tick.
+  TelemetryMsg msg;
+  msg.seq = ++telemetry_seq_;
+  msg.t_ms = now;
+  msg.samples.reserve(telemetry_scratch_.size());
+  for (const auto& [idx, value] : telemetry_scratch_) {
+    msg.samples.push_back(TelemetrySample{telemetry_names_[static_cast<size_t>(idx)], value});
+  }
+  const std::string payload = EncodeTelemetry(msg);
+  for (size_t fe = 0; fe < controls_.size(); ++fe) {
+    FramedChannel* channel = FeChannel(static_cast<int>(fe));
+    if (channel != nullptr) {
+      channel->Send(static_cast<uint8_t>(ControlMsg::kTelemetry), payload);
+    }
+  }
+
+  loop_->ScheduleAfterMs(config_.telemetry_interval_ms,
+                         alive_.Guard([this]() { TelemetryTick(); }));
 }
 
 void BackendServer::ConnectPeers(const std::vector<uint16_t>& ports) {
@@ -333,8 +417,11 @@ BackendServer::ClientConn* BackendServer::AdoptCommon(int fe, ConnId conn_id, bo
     });
   }
   raw->traced = tracer_ != nullptr && tracer_->Sampled(conn_id);
+  // Timed when spans or the slow log need it — or when telemetry does: the
+  // latency histogram must see every request, not just sampled ones.
   raw->timed = raw->traced ||
-               (tracer_ != nullptr && tracer_->enabled() && tracer_->slow_threshold_us() > 0);
+               (tracer_ != nullptr && tracer_->enabled() && tracer_->slow_threshold_us() > 0) ||
+               metric_request_us_ != nullptr;
   if (raw->traced) {
     RecordSpan(tracer_, trace_ring_, conn_id, raw->trace_seq++, SpanKind::kAdopt,
                config_.node_id, TraceNowUs(), 0, "fe=%d dirs=%zu autonomous=%d", fe,
@@ -798,6 +885,9 @@ void BackendServer::WriteResponse(ClientConn* conn, const HttpRequest& request, 
   if (conn->timed && conn->serve_start_us > 0) {
     const int64_t now_us = TraceNowUs();
     const int64_t total_us = now_us - conn->serve_start_us;
+    if (metric_request_us_ != nullptr) {
+      metric_request_us_->Observe(static_cast<double>(total_us));
+    }
     if (conn->traced) {
       RecordSpan(tracer_, trace_ring_, conn->id, conn->trace_seq++, SpanKind::kServe,
                  config_.node_id, conn->serve_start_us, total_us, "status=%d cache=%c %s",
@@ -806,7 +896,8 @@ void BackendServer::WriteResponse(ClientConn* conn, const HttpRequest& request, 
                  config_.node_id, now_us, 0, "bytes=%zu pending=%zu", serialized.size(),
                  conn->conn->pending_write_bytes());
     }
-    if (tracer_->slow_threshold_us() > 0 && total_us >= tracer_->slow_threshold_us()) {
+    if (tracer_ != nullptr && tracer_->slow_threshold_us() > 0 &&
+        total_us >= tracer_->slow_threshold_us()) {
       // Tail outliers get logged even when the trace was not sampled; the
       // full span tree rides along when it was.
       TraceSpan slow;

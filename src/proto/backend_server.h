@@ -38,6 +38,8 @@
 #include "src/net/connection.h"
 #include "src/net/event_loop.h"
 #include "src/net/framed_channel.h"
+#include "src/obs/samplers.h"
+#include "src/obs/time_series.h"
 #include "src/proto/content_store.h"
 #include "src/proto/control_protocol.h"
 #include "src/proto/disk_gate.h"
@@ -67,6 +69,12 @@ struct BackendConfig {
   // Optional shared registry; per-node counters are published under
   // lard_backend_*{node="k"}. Must be thread-safe (MetricsRegistry is).
   MetricsRegistry* metrics = nullptr;
+  // Telemetry sampling period: each tick appends one row of windowed values
+  // (request rate, hit ratio, latency quantiles, disk queue, loop health) to
+  // this node's TimeSeriesStore and ships it to every attached front-end
+  // (kTelemetry). <= 0 disables telemetry entirely (no store, no per-request
+  // latency timing).
+  int64_t telemetry_interval_ms = 0;
   // Optional request tracer: adopt/serve/disk/lateral/flush spans go into
   // the "be<node_id>" ring. The sampling verdict depends only on the conn
   // id, so FE and BE record the same connections.
@@ -126,6 +134,9 @@ class BackendServer {
   const BackendCounters& counters() const { return counters_; }
   int disk_queue_length() const { return disk_ == nullptr ? 0 : disk_->queue_length(); }
   bool draining() const { return draining_; }
+  // This node's telemetry time series (null when telemetry is disabled).
+  // The store is internally synchronized: cross-thread reads are safe.
+  const TimeSeriesStore* telemetry() const { return telemetry_.get(); }
 
  private:
   struct ClientConn {
@@ -254,6 +265,9 @@ class BackendServer {
   void Housekeeping();
   void SweepIdleConnections();
   void MaybeSendHeartbeat();
+  // One telemetry sampling tick (loop thread, self-rescheduling guarded
+  // timer): appends a row to telemetry_ and ships it to every front-end.
+  void TelemetryTick();
   int64_t NowMs() const;
 
   // A lateral route to `node` exists. The mesh (peers_) grows as nodes join,
@@ -298,6 +312,22 @@ class BackendServer {
   MetricGauge* metric_open_conns_ = nullptr;
   uint64_t heartbeat_seq_ = 0;
   int64_t last_heartbeat_ms_ = 0;
+
+  // Telemetry (telemetry_interval_ms > 0): the node's series store, the
+  // window samplers feeding it, and the shipping state. All loop-confined
+  // except telemetry_ itself (internally synchronized for admin reads).
+  std::unique_ptr<TimeSeriesStore> telemetry_;
+  MetricHistogram* metric_request_us_ = nullptr;  // always-on request latency
+  std::vector<std::string> telemetry_names_;      // series index -> name
+  std::vector<std::pair<int, double>> telemetry_scratch_;
+  CounterRateSampler rate_requests_;
+  CounterRateSampler rate_hits_;
+  CounterRateSampler rate_misses_;
+  CounterRateSampler rate_lateral_;
+  HistogramWindowSampler latency_window_;
+  HistogramWindowSampler wakeup_window_;
+  uint64_t telemetry_seq_ = 0;
+  int64_t telemetry_last_ms_ = 0;
 };
 
 }  // namespace lard

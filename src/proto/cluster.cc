@@ -3,10 +3,12 @@
 #include <cmath>
 #include <cstdlib>
 #include <future>
+#include <map>
 #include <sstream>
 
 #include "src/core/policy.h"
 #include "src/net/socket.h"
+#include "src/obs/process_stats.h"
 #include "src/util/logging.h"
 
 namespace lard {
@@ -93,6 +95,89 @@ bool ParseWeightBody(const std::string& body, double* weight) {
   return ParsePositiveNumber(trimmed, weight);
 }
 
+// key=value pairs of a request path's query string (the router matches on the
+// query-stripped path, so handlers re-split here). No URL decoding: the admin
+// API's parameter values are plain identifiers/numbers.
+std::map<std::string, std::string> ParseQuery(const std::string& path) {
+  std::map<std::string, std::string> params;
+  const size_t q = path.find('?');
+  if (q == std::string::npos) {
+    return params;
+  }
+  std::string query = path.substr(q + 1);
+  size_t begin = 0;
+  while (begin <= query.size()) {
+    size_t end = query.find('&', begin);
+    if (end == std::string::npos) {
+      end = query.size();
+    }
+    const std::string pair = query.substr(begin, end - begin);
+    const size_t equals = pair.find('=');
+    if (equals != std::string::npos) {
+      params[pair.substr(0, equals)] = pair.substr(equals + 1);
+    } else if (!pair.empty()) {
+      params[pair] = "";
+    }
+    begin = end + 1;
+  }
+  return params;
+}
+
+std::string QueryParam(const std::map<std::string, std::string>& params, const char* key) {
+  const auto it = params.find(key);
+  return it == params.end() ? std::string() : it->second;
+}
+
+// Strict non-negative integer parse (the /slowlog body, the /timeseries
+// window). The whole trimmed string must be one base-10 integer.
+bool ParseNonNegativeInt(const std::string& text, int64_t* value) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return false;
+  }
+  char* parse_end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(trimmed.c_str(), &parse_end, 10);
+  if (errno != 0 || parse_end != trimmed.c_str() + trimmed.size() || parsed < 0) {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+// Parses a POST /slowlog body: empty (0 = disable), a bare integer of
+// microseconds, "threshold_us=N" or {"threshold_us":N}.
+bool ParseSlowlogBody(const std::string& body, int64_t* threshold_us) {
+  *threshold_us = 0;
+  std::string trimmed = Trim(body);
+  if (trimmed.empty()) {
+    return true;
+  }
+  if (trimmed.front() == '{') {
+    if (trimmed.back() != '}') {
+      return false;
+    }
+    std::string inner = Trim(trimmed.substr(1, trimmed.size() - 2));
+    static constexpr char kKey[] = "\"threshold_us\"";
+    if (inner.compare(0, sizeof(kKey) - 1, kKey) != 0) {
+      return false;
+    }
+    inner = Trim(inner.substr(sizeof(kKey) - 1));
+    if (inner.empty() || inner.front() != ':') {
+      return false;
+    }
+    return ParseNonNegativeInt(inner.substr(1), threshold_us);
+  }
+  const size_t equals = trimmed.find('=');
+  if (equals != std::string::npos) {
+    if (Trim(trimmed.substr(0, equals)) != "threshold_us") {
+      return false;
+    }
+    return ParseNonNegativeInt(trimmed.substr(equals + 1), threshold_us);
+  }
+  return ParseNonNegativeInt(trimmed, threshold_us);
+}
+
 }  // namespace
 
 // One back-end node: loop thread + server. Declaration order matters: the
@@ -164,6 +249,7 @@ Status Cluster::StartBackend(NodeId node_id, std::vector<UniqueFd>* fe_ends) {
   backend_config.idle_close_ms = config_.idle_close_ms;
   backend_config.lateral_timeout_ms = config_.lateral_timeout_ms;
   backend_config.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+  backend_config.telemetry_interval_ms = config_.telemetry_interval_ms;
   backend_config.metrics = &metrics_;
   backend_config.tracer = tracer_.get();
   node->server = std::make_unique<BackendServer>(backend_config, node->loop.get(), &store_);
@@ -248,6 +334,8 @@ Status Cluster::Start() {
     fe_config.idempotent_methods = config_.idempotent_methods;
     fe_config.metrics = &metrics_;
     fe_config.tracer = tracer_.get();
+    fe_config.telemetry_interval_ms = config_.telemetry_interval_ms;
+    fe_config.slo_rules = config_.slo_rules;
     replica->frontend =
         std::make_unique<FrontEnd>(fe_config, replica->loops.get(), &store_.catalog());
     // Node teardown follows the front-ends' removal decisions (which may be
@@ -307,7 +395,12 @@ Status Cluster::Start() {
 }
 
 void Cluster::RegisterAdminRoutes() {
-  admin_->set_before_metrics([this]() { BridgeDispatcherMetrics(); });
+  admin_->set_before_metrics([this]() {
+    BridgeDispatcherMetrics();
+    // Build info + uptime/RSS/fd gauges refresh on every render, so they are
+    // live even when the telemetry tick (which also refreshes them) is off.
+    UpdateProcessMetrics(&metrics_);
+  });
 
   admin_->Route("GET", "/nodes", [this](const HttpRequest&, const std::string&) {
     return AdminResponse::Json(Fe(0)->DescribeNodesJson());
@@ -380,19 +473,96 @@ void Cluster::RegisterAdminRoutes() {
 
   admin_->Route("GET", "/trace", [this](const HttpRequest& request, const std::string&) {
     // The router matched on the query-stripped path; re-split here for the
-    // format selector.
-    const size_t q = request.path.find('?');
-    const std::string query = q == std::string::npos ? "" : request.path.substr(q + 1);
+    // format selector and the optional per-ring filter
+    // (?component=fe0|fe0.1|be2|sim).
+    const auto params = ParseQuery(request.path);
+    const std::string format = QueryParam(params, "format");
+    const std::string component = QueryParam(params, "component");
+    if (!component.empty() && !tracer_->HasRing(component)) {
+      return AdminResponse::Error(404, "unknown component: " + component);
+    }
     AdminResponse response;
-    if (query == "format=chrome") {
+    if (format == "chrome") {
       // Loadable in about:tracing / Perfetto ("Open trace file").
-      response.body = tracer_->RenderChrome();
-    } else if (query.empty() || query == "format=json") {
-      response.body = tracer_->RenderJson();
+      response.body = tracer_->RenderChrome(component);
+    } else if (format.empty() || format == "json") {
+      response.body = tracer_->RenderJson(component);
     } else {
       return AdminResponse::Error(400, "unknown format; use ?format=chrome or ?format=json");
     }
     return response;
+  });
+
+  admin_->Route("GET", "/timeseries", [this](const HttpRequest& request, const std::string&) {
+    // ?metric=<substring>&component=<fe0|be1|...>&window=<ms>. Each FE
+    // replica contributes its own series; the back-end mirrors are rendered
+    // from replica 0 only (every replica holds an equivalent copy).
+    const auto params = ParseQuery(request.path);
+    const std::string metric = QueryParam(params, "metric");
+    const std::string component = QueryParam(params, "component");
+    int64_t window_ms = 0;
+    const std::string window = QueryParam(params, "window");
+    if (!window.empty() && !ParseNonNegativeInt(window, &window_ms)) {
+      return AdminResponse::Error(400, "bad window; expected milliseconds");
+    }
+    std::ostringstream out;
+    out << "{\"interval_ms\":" << config_.telemetry_interval_ms << ",\"components\":{";
+    bool first = true;
+    for (size_t fe = 0; fe < fes_.size(); ++fe) {
+      if (Fe(fe) == nullptr) {
+        continue;  // removed replica
+      }
+      const std::string fragment =
+          Fe(fe)->DescribeTimeSeriesJson(metric, component, window_ms, fe == 0);
+      if (fragment.empty()) {
+        continue;
+      }
+      out << (first ? "" : ",") << fragment;
+      first = false;
+    }
+    out << "}}";
+    return AdminResponse::Json(out.str());
+  });
+
+  admin_->Route("GET", "/cluster/health", [this](const HttpRequest&, const std::string&) {
+    // One merged verdict: the worst watchdog status across the FE replicas
+    // (each of which already folds its own loops and the mirrored back-end
+    // telemetry into its view), plus every replica's detailed snapshot.
+    HealthStatus worst = HealthStatus::kOk;
+    std::ostringstream fes;
+    bool first = true;
+    for (size_t fe = 0; fe < fes_.size(); ++fe) {
+      if (Fe(fe) == nullptr) {
+        continue;
+      }
+      const HealthStatus status = Fe(fe)->health_status();
+      if (static_cast<int>(status) > static_cast<int>(worst)) {
+        worst = status;
+      }
+      fes << (first ? "" : ",") << Fe(fe)->DescribeHealthJson();
+      first = false;
+    }
+    std::ostringstream out;
+    out << "{\"status\":\"" << HealthStatusName(worst)
+        << "\",\"telemetry_interval_ms\":" << config_.telemetry_interval_ms
+        << ",\"frontends\":[" << fes.str() << "]}";
+    return AdminResponse::Json(out.str());
+  });
+
+  admin_->Route("POST", "/slowlog", [this](const HttpRequest& request, const std::string&) {
+    // Runtime-tunable slow-request threshold (the POST /loglevel pattern: one
+    // relaxed atomic the request paths read per response). 0 disables.
+    // Note: handed-off connections latch their timing decision at adoption,
+    // so raising the threshold from 0 applies to connections adopted after
+    // the change (docs/ADMIN_API.md).
+    int64_t threshold_us = 0;
+    if (!ParseSlowlogBody(request.body, &threshold_us)) {
+      return AdminResponse::Error(
+          400, "body must be empty, a microsecond count, or {\"threshold_us\":N}");
+    }
+    tracer_->set_slow_threshold_us(threshold_us);
+    LARD_LOG(WARNING) << "admin: slow-request threshold set to " << threshold_us << "us";
+    return AdminResponse::Json("{\"slow_threshold_us\":" + std::to_string(threshold_us) + "}");
   });
 
   admin_->Route("POST", "/loglevel", [](const HttpRequest& request, const std::string&) {
@@ -707,6 +877,8 @@ int Cluster::AddFrontEnd() {
       fe_config.idempotent_methods = config_.idempotent_methods;
       fe_config.metrics = &metrics_;
       fe_config.tracer = tracer_.get();
+      fe_config.telemetry_interval_ms = config_.telemetry_interval_ms;
+      fe_config.slo_rules = config_.slo_rules;
       replica->frontend =
           std::make_unique<FrontEnd>(fe_config, replica->loops.get(), &store_.catalog());
       replica->frontend->set_on_node_removed([this](NodeId node) { OnNodeRemoved(node); });

@@ -24,6 +24,7 @@
 #include "src/core/cluster_types.h"
 #include "src/net/event_loop_group.h"
 #include "src/core/lard_params.h"
+#include "src/obs/slo_watchdog.h"
 #include "src/proto/backend_server.h"
 #include "src/proto/content_store.h"
 #include "src/proto/frontend.h"
@@ -95,6 +96,15 @@ struct ClusterConfig {
   // Publish event-loop health (lard_loop_*{loop="fe0"/"be1"/...} histograms:
   // tick duration, callback runtime, wakeup-to-run latency, queue depth).
   bool profile_loops = true;
+  // Telemetry pipeline (src/obs/): every component samples rates, window
+  // quantiles and gauges into a fixed-size TimeSeriesStore at this period;
+  // back-ends ship each tick to the front-ends (kTelemetry), and the FE SLO
+  // watchdog evaluates its rules at the same cadence. <= 0 disables the
+  // pipeline (GET /timeseries and /cluster/health go empty).
+  int64_t telemetry_interval_ms = 1000;
+  // Front-end watchdog rules; empty = the built-in defaults (back-end p99
+  // latency, replay storms, giveups, loop wakeup delay, load skew).
+  std::vector<SloRule> slo_rules;
 };
 
 // Snapshot of the whole cluster's counters.

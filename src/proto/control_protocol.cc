@@ -42,6 +42,39 @@ bool DecodeDirectives(WireReader* reader, std::vector<RequestDirective>* directi
 
 }  // namespace
 
+std::string EncodeTelemetry(const TelemetryMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.seq);
+  writer.U64(static_cast<uint64_t>(msg.t_ms));
+  writer.U32(static_cast<uint32_t>(msg.samples.size()));
+  for (const auto& sample : msg.samples) {
+    writer.Str(sample.name);
+    writer.F64(sample.value);
+  }
+  return writer.Take();
+}
+
+bool DecodeTelemetry(std::string_view payload, TelemetryMsg* msg) {
+  WireReader reader(payload);
+  msg->seq = reader.U64();
+  msg->t_ms = static_cast<int64_t>(reader.U64());
+  const uint32_t count = reader.U32();
+  // Each sample costs at least its name length prefix (u32) + value (f64).
+  constexpr size_t kMinSampleBytes = 12;
+  if (count > 1u << 16 || count > reader.remaining() / kMinSampleBytes) {
+    return false;
+  }
+  msg->samples.clear();
+  msg->samples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TelemetrySample sample;
+    sample.name = reader.Str();
+    sample.value = reader.F64();
+    msg->samples.push_back(std::move(sample));
+  }
+  return reader.Complete();
+}
+
 std::string EncodeHeartbeat(const HeartbeatMsg& msg) {
   WireWriter writer;
   writer.U64(msg.seq);

@@ -76,6 +76,11 @@ enum class ControlMsg : uint8_t {
   // would leave the request's consumed prefix unrecoverable: the surviving
   // node would see only the torn suffix from the socket and 400 the client.
   kJournalTail = 14,
+  // BE -> FE. Payload: TelemetryMsg — one periodic telemetry sample row for
+  // the cluster time-series store. Mesh-style absolute state (each row
+  // carries full current values, not deltas since the last row), so a lost
+  // or reordered frame only costs staleness, never drift.
+  kTelemetry = 15,
 };
 
 // One request directive inside kHandoff / kAssignments.
@@ -203,6 +208,25 @@ struct JournalTailMsg {
   ConnId conn_id = 0;
   std::string buffered;
 };
+
+// Telemetry sample row (kTelemetry): one sampling tick of a back-end's
+// time-series store, shipped to every attached front-end. Values are
+// already windowed (rates per second, window quantiles) so the front-end
+// mirrors them verbatim; `seq` is monotonic per control session (staleness /
+// restart detection) and `t_ms` is the producer's sample timestamp.
+struct TelemetrySample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct TelemetryMsg {
+  uint64_t seq = 0;
+  int64_t t_ms = 0;
+  std::vector<TelemetrySample> samples;
+};
+
+std::string EncodeTelemetry(const TelemetryMsg& msg);
+bool DecodeTelemetry(std::string_view payload, TelemetryMsg* msg);
 
 std::string EncodeHeartbeat(const HeartbeatMsg& msg);
 bool DecodeHeartbeat(std::string_view payload, HeartbeatMsg* msg);

@@ -6,11 +6,14 @@
 #include <time.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "src/http/tagging.h"
 #include "src/net/socket.h"
+#include "src/obs/process_stats.h"
 #include "src/util/logging.h"
 
 namespace lard {
@@ -19,6 +22,64 @@ namespace {
 
 constexpr char kUnavailableReply[] =
     "HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n";
+
+// Fixed indices into the front-end's TimeSeriesStore; kFeSeriesNames order is
+// the AddSeries order in the constructor, which fixes the Append indices.
+enum FeSeries : int {
+  kSConnRate = 0,
+  kSHandoffRate,
+  kSConsultRate,
+  kSReplayRate,
+  kSGiveupRate,
+  kSRejectRate,
+  kSOpenConns,
+  kSActiveNodes,
+  kSLoadSkew,
+  kSWakeupP99Us,
+  kSPendingTasks,
+  kSRssBytes,
+  kSOpenFds,
+};
+
+constexpr const char* kFeSeriesNames[] = {
+    "conn_rate",  "handoff_rate", "consult_rate",  "replay_rate",
+    "giveup_rate", "reject_rate",  "open_conns",    "active_nodes",
+    "load_skew",  "wakeup_p99_us", "pending_tasks", "rss_bytes",
+    "open_fds",
+};
+
+// Built-in watchdog rules (FrontEndConfig::slo_rules empty). Ceilings are
+// prototype-scale: they catch order-of-magnitude regressions (a saturated
+// back-end, a stalled loop, a replay storm), not production SLOs.
+std::vector<SloRule> DefaultSloRules() {
+  std::vector<SloRule> rules;
+  SloRule rule;
+  rule.name = "be_p99_latency";
+  rule.input = "be_p99_latency_us";
+  rule.ceiling = 250000.0;  // 250ms per-request p99 at a back-end
+  rules.push_back(rule);
+  rule = SloRule();
+  rule.name = "replay_storm";
+  rule.input = "replay_rate";
+  rule.ceiling = 50.0;  // replays/s: crash-path churn, not steady state
+  rules.push_back(rule);
+  rule = SloRule();
+  rule.name = "giveup_rate";
+  rule.input = "giveup_rate";
+  rule.ceiling = 0.0;  // any unreplayable orphan is client-visible
+  rules.push_back(rule);
+  rule = SloRule();
+  rule.name = "loop_wakeup_delay";
+  rule.input = "wakeup_p99_us";
+  rule.ceiling = 100000.0;  // 100ms timer/post wakeup p99: a stalled loop
+  rules.push_back(rule);
+  rule = SloRule();
+  rule.name = "backend_load_skew";
+  rule.input = "load_skew";
+  rule.ceiling = 4.0;  // max/mean connection skew across live back-ends
+  rules.push_back(rule);
+  return rules;
+}
 
 }  // namespace
 
@@ -134,6 +195,19 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoopGroup* loops,
       metric_gossip_applied_ = config_.metrics->Counter(
           MetricsRegistry::WithFe("lard_mesh_deltas_applied_total", fe));
     }
+  }
+
+  if (config_.telemetry_interval_ms > 0) {
+    TimeSeriesConfig ts;
+    ts.interval_ms = static_cast<int>(config_.telemetry_interval_ms);
+    telemetry_ = std::make_unique<TimeSeriesStore>(ts);
+    for (const char* name : kFeSeriesNames) {
+      telemetry_->AddSeries(name);  // AddSeries order == FeSeries indices
+    }
+    std::vector<SloRule> rules =
+        config_.slo_rules.empty() ? DefaultSloRules() : config_.slo_rules;
+    watchdog_ = std::make_unique<SloWatchdog>("fe" + std::to_string(config_.fe_id),
+                                              std::move(rules));
   }
 }
 
@@ -256,6 +330,10 @@ void FrontEnd::Start(std::vector<UniqueFd> control_fds) {
     }
     loop_->ScheduleAfterMs(std::max<int64_t>(config_.gossip_interval_ms, 1),
                            alive_.Guard([this]() { GossipTick(); }));
+  }
+  if (telemetry_ != nullptr) {
+    loop_->ScheduleAfterMs(config_.telemetry_interval_ms,
+                           alive_.Guard([this]() { TelemetryTick(); }));
   }
 }
 
@@ -433,6 +511,211 @@ std::string FrontEnd::DescribeMeshJson() const {
   }
   MutexLock lock(&mesh_json_mutex_);
   return mesh_json_;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: sampling tick, back-end mirrors, admin snapshots
+// ---------------------------------------------------------------------------
+
+void FrontEnd::TelemetryTick() {
+  loop_->AssertInLoopThread();  // nodes_, samplers, scratch: loop-0 confined
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const int64_t now = NowMs();
+  const int64_t interval = std::max<int64_t>(config_.telemetry_interval_ms, 1);
+  const double dt = telemetry_last_ms_ > 0
+                        ? static_cast<double>(now - telemetry_last_ms_) / 1000.0
+                        : static_cast<double>(interval) / 1000.0;
+  telemetry_last_ms_ = now;
+
+  telemetry_scratch_.clear();
+  const auto rate = [dt](CounterRateSampler& sampler, const std::atomic<uint64_t>& counter) {
+    return sampler.Sample(counter.load(std::memory_order_relaxed), dt);
+  };
+  telemetry_scratch_.emplace_back(kSConnRate, rate(rate_conns_, counters_.connections_accepted));
+  telemetry_scratch_.emplace_back(kSHandoffRate, rate(rate_handoffs_, counters_.handoffs));
+  telemetry_scratch_.emplace_back(kSConsultRate, rate(rate_consults_, counters_.consults));
+  const double replay_rate = rate(rate_replays_, counters_.replays);
+  telemetry_scratch_.emplace_back(kSReplayRate, replay_rate);
+  const double giveup_rate = rate(rate_giveups_, counters_.replay_giveups);
+  telemetry_scratch_.emplace_back(kSGiveupRate, giveup_rate);
+  telemetry_scratch_.emplace_back(kSRejectRate,
+                                  rate(rate_rejected_, counters_.rejected_no_backend));
+
+  size_t open_conns = 0;
+  (void)DispatcherCountersSnapshot(&open_conns);
+  telemetry_scratch_.emplace_back(kSOpenConns, static_cast<double>(open_conns));
+
+  // Membership + load skew (max/mean reported connections over live nodes);
+  // skew is meaningful only while the tier actually carries load.
+  int active = 0;
+  double conn_sum = 0.0;
+  double conn_max = 0.0;
+  for (NodeId node = 0; node < static_cast<NodeId>(nodes_.size()); ++node) {
+    if (!NodeLive(node)) {
+      continue;
+    }
+    ++active;
+    const double conns = static_cast<double>(nodes_[static_cast<size_t>(node)].reported_conns);
+    conn_sum += conns;
+    conn_max = std::max(conn_max, conns);
+  }
+  telemetry_scratch_.emplace_back(kSActiveNodes, static_cast<double>(active));
+  double load_skew = kNaN;
+  if (active > 0 && conn_sum > 0.0) {
+    load_skew = conn_max / (conn_sum / static_cast<double>(active));
+    telemetry_scratch_.emplace_back(kSLoadSkew, load_skew);
+  }
+
+  // Loop health: worst wakeup-delay p99 across this replica's loops this
+  // window, plus the pending-task depth summed over the loops. The profiling
+  // histograms are labelled "fe<id>" (loop 0) / "fe<id>.<k>" (shard k); the
+  // 1 Hz find-or-create lookup is harmless when profiling is off (the empty
+  // histogram yields an empty window).
+  double wakeup_p99 = kNaN;
+  if (config_.metrics != nullptr) {
+    if (wakeup_windows_.size() < static_cast<size_t>(loops_->size())) {
+      wakeup_windows_.resize(static_cast<size_t>(loops_->size()));
+    }
+    double pending = 0.0;
+    for (int k = 0; k < loops_->size(); ++k) {
+      const std::string label =
+          k == 0 ? "fe" + std::to_string(config_.fe_id)
+                 : "fe" + std::to_string(config_.fe_id) + "." + std::to_string(k);
+      const HistogramWindowSampler::Window window = wakeup_windows_[static_cast<size_t>(k)].Sample(
+          *config_.metrics->Histogram("lard_loop_wakeup_delay_us{loop=\"" + label + "\"}"));
+      if (window.count > 0) {
+        wakeup_p99 = std::isnan(wakeup_p99) ? window.p99 : std::max(wakeup_p99, window.p99);
+      }
+      pending += config_.metrics->Gauge("lard_loop_pending_tasks{loop=\"" + label + "\"}")->value();
+    }
+    if (!std::isnan(wakeup_p99)) {
+      telemetry_scratch_.emplace_back(kSWakeupP99Us, wakeup_p99);
+    }
+    telemetry_scratch_.emplace_back(kSPendingTasks, pending);
+    UpdateProcessMetrics(config_.metrics);  // keeps the /metrics gauges fresh too
+  }
+  const ProcessStats stats = ReadProcessStats();
+  telemetry_scratch_.emplace_back(kSRssBytes, stats.rss_bytes);
+  telemetry_scratch_.emplace_back(kSOpenFds, stats.open_fds);
+
+  telemetry_->Append(now, telemetry_scratch_);
+
+  // Watchdog inputs: this tick's own samples plus the freshest mirrored
+  // back-end values. Missing inputs (no telemetry rows yet, idle windows)
+  // count as clean inside Evaluate().
+  std::map<std::string, double> inputs;
+  inputs["replay_rate"] = replay_rate;
+  inputs["giveup_rate"] = giveup_rate;
+  if (!std::isnan(wakeup_p99)) {
+    inputs["wakeup_p99_us"] = wakeup_p99;
+  }
+  if (!std::isnan(load_skew)) {
+    inputs["load_skew"] = load_skew;
+  }
+  {
+    MutexLock lock(&telemetry_mutex_);
+    double be_p99 = kNaN;
+    double be_queue = kNaN;
+    for (const auto& [node, store] : node_telemetry_) {
+      const double p99 = store->Latest("latency_p99_us");
+      if (!std::isnan(p99)) {
+        be_p99 = std::isnan(be_p99) ? p99 : std::max(be_p99, p99);
+      }
+      const double queue = store->Latest("disk_queue");
+      if (!std::isnan(queue)) {
+        be_queue = std::isnan(be_queue) ? queue : std::max(be_queue, queue);
+      }
+    }
+    if (!std::isnan(be_p99)) {
+      inputs["be_p99_latency_us"] = be_p99;
+    }
+    if (!std::isnan(be_queue)) {
+      inputs["be_max_disk_queue"] = be_queue;
+    }
+  }
+  const HealthStatus status = watchdog_->Evaluate(inputs);
+
+  // Refresh the health snapshot (the DescribeMeshJson pattern: rendered on
+  // loop 0, swapped under its own mutex for the admin thread).
+  std::ostringstream out;
+  out << "{\"fe_id\":" << config_.fe_id << ",\"status\":\"" << HealthStatusName(status)
+      << "\",\"transitions\":" << watchdog_->transitions() << ",\"pressure\":"
+      << watchdog_->overload().pressure.load(std::memory_order_relaxed)
+      << ",\"interval_ms\":" << interval << ",\"active_nodes\":" << active
+      << ",\"reasons\":" << watchdog_->ReasonsJson() << ",\"components\":{";
+  const auto emit_latest = [&out](const std::string& name, const TimeSeriesStore& store) {
+    out << "\"" << name << "\":{\"last_t_ms\":" << store.last_t_ms();
+    for (const std::string& series : store.SeriesNames()) {
+      const double value = store.Latest(series);
+      if (!std::isnan(value)) {
+        out << ",\"" << series << "\":" << value;
+      }
+    }
+    out << "}";
+  };
+  emit_latest("fe" + std::to_string(config_.fe_id), *telemetry_);
+  {
+    MutexLock lock(&telemetry_mutex_);
+    for (const auto& [node, store] : node_telemetry_) {
+      out << ",";
+      emit_latest("be" + std::to_string(node), *store);
+    }
+  }
+  out << "}}";
+  {
+    MutexLock lock(&health_json_mutex_);
+    health_json_ = out.str();
+  }
+
+  loop_->ScheduleAfterMs(interval, alive_.Guard([this]() { TelemetryTick(); }));
+}
+
+TimeSeriesStore* FrontEnd::NodeTelemetry(NodeId node) {
+  MutexLock lock(&telemetry_mutex_);
+  std::unique_ptr<TimeSeriesStore>& slot = node_telemetry_[node];
+  if (slot == nullptr) {
+    TimeSeriesConfig ts;
+    // The rows carry the producer's own timestamps; the interval here only
+    // annotates the JSON (the knob is cluster-wide, so ours is its).
+    ts.interval_ms = config_.telemetry_interval_ms > 0
+                         ? static_cast<int>(config_.telemetry_interval_ms)
+                         : 1000;
+    slot = std::make_unique<TimeSeriesStore>(ts);
+  }
+  return slot.get();
+}
+
+std::string FrontEnd::DescribeTimeSeriesJson(const std::string& metric,
+                                             const std::string& component, int64_t window_ms,
+                                             bool include_nodes) const {
+  std::ostringstream out;
+  bool first = true;
+  const std::string self_name = "fe" + std::to_string(config_.fe_id);
+  if (telemetry_ != nullptr && (component.empty() || component == self_name)) {
+    out << "\"" << self_name << "\":" << telemetry_->RenderJson(metric, window_ms);
+    first = false;
+  }
+  if (include_nodes) {
+    MutexLock lock(&telemetry_mutex_);
+    for (const auto& [node, store] : node_telemetry_) {
+      const std::string name = "be" + std::to_string(node);
+      if (!component.empty() && component != name) {
+        continue;
+      }
+      out << (first ? "" : ",") << "\"" << name << "\":" << store->RenderJson(metric, window_ms);
+      first = false;
+    }
+  }
+  return out.str();
+}
+
+std::string FrontEnd::DescribeHealthJson() const {
+  if (watchdog_ == nullptr) {
+    return "{}";
+  }
+  MutexLock lock(&health_json_mutex_);
+  // Empty until the first tick fires; callers get a well-formed object.
+  return health_json_.empty() ? "{}" : health_json_;
 }
 
 void FrontEnd::ScheduleHealthSweep(int64_t period_ms) {
@@ -1320,6 +1603,24 @@ void FrontEnd::OnControlMessage(NodeId node, uint8_t type, std::string payload, 
       if (metric_heartbeats_ != nullptr) {
         metric_heartbeats_->Increment();
       }
+      return;
+    }
+    case ControlMsg::kTelemetry: {
+      TelemetryMsg msg;
+      if (!DecodeTelemetry(payload, &msg)) {
+        LARD_LOG(ERROR) << "front-end: bad telemetry from node " << node;
+        return;
+      }
+      // Each row is the producer's absolute state for one tick (a lost frame
+      // only costs staleness), stamped with the *producer's* clock so the
+      // mirrored series stays coherent with the back-end's own timeline.
+      TimeSeriesStore* store = NodeTelemetry(node);
+      std::vector<std::pair<int, double>> values;
+      values.reserve(msg.samples.size());
+      for (const TelemetrySample& sample : msg.samples) {
+        values.emplace_back(store->AddSeries(sample.name), sample.value);
+      }
+      store->Append(msg.t_ms, values);
       return;
     }
     default:

@@ -62,6 +62,9 @@
 #include "src/net/event_loop.h"
 #include "src/net/event_loop_group.h"
 #include "src/net/framed_channel.h"
+#include "src/obs/samplers.h"
+#include "src/obs/slo_watchdog.h"
+#include "src/obs/time_series.h"
 #include "src/proto/control_protocol.h"
 #include "src/proto/lateral_client.h"
 #include "src/proto/replay_journal.h"
@@ -124,6 +127,15 @@ struct FrontEndConfig {
   std::vector<std::string> idempotent_methods = {"GET", "HEAD"};
   // Optional shared registry (lard_fe_*, lard_cluster_* instruments).
   MetricsRegistry* metrics = nullptr;
+  // Telemetry sampling period for this front-end's TimeSeriesStore (conn/
+  // handoff/replay rates, loop health, process gauges) and the SLO watchdog
+  // evaluation cadence. <= 0 disables the telemetry pipeline on this FE
+  // (back-end kTelemetry rows are still mirrored if they arrive).
+  int64_t telemetry_interval_ms = 0;
+  // Watchdog rules evaluated every telemetry tick. Empty = a built-in
+  // default set (back-end p99 latency, giveup/replay rates, loop wakeup
+  // delay, back-end load skew).
+  std::vector<SloRule> slo_rules;
   // Optional request tracer: accept/parse/policy/handoff/replay spans are
   // recorded into per-loop rings — "fe<fe_id>" for loop 0 (the historic name)
   // and "fe<fe_id>.<k>" for shard loop k — sampled by trace id, so FE and
@@ -202,6 +214,28 @@ class FrontEnd {
   // epoch/load, violation counters. Thread-safe (admin runs on FE 0's loop;
   // the snapshot is refreshed on every gossip tick under a mutex).
   std::string DescribeMeshJson() const LARD_EXCLUDES(mesh_json_mutex_);
+
+  // --- telemetry (thread-safe; stores are internally synchronized) ---
+
+  // This replica's own telemetry series (null when telemetry is disabled).
+  const TimeSeriesStore* telemetry() const { return telemetry_.get(); }
+  // The SLO watchdog (null when telemetry is disabled).
+  const SloWatchdog* watchdog() const { return watchdog_.get(); }
+  // Merged verdict for /cluster/health roll-ups; kOk when telemetry is off.
+  HealthStatus health_status() const {
+    return watchdog_ == nullptr ? HealthStatus::kOk : watchdog_->status();
+  }
+  // JSON object *fragment* ("\"fe0\":{...},\"be1\":{...}") mapping component
+  // name to its series (GET /timeseries). `component` non-empty restricts to
+  // that one component; `metric` filters series by substring; window_ms <= 0
+  // renders full retention. include_nodes adds the mirrored back-end stores.
+  std::string DescribeTimeSeriesJson(const std::string& metric, const std::string& component,
+                                     int64_t window_ms, bool include_nodes) const
+      LARD_EXCLUDES(telemetry_mutex_);
+  // This replica's health view (GET /cluster/health): watchdog status +
+  // reasons, freshest per-component samples. Refreshed every telemetry tick
+  // under a mutex (the DescribeMeshJson pattern); "{}" when telemetry is off.
+  std::string DescribeHealthJson() const LARD_EXCLUDES(health_json_mutex_);
 
   uint16_t port() const { return port_.load(std::memory_order_acquire); }
   const FrontEndCounters& counters() const { return counters_; }
@@ -374,6 +408,12 @@ class FrontEnd {
   int64_t NowMs() const;
   // Periodic heartbeat sweep; reschedules itself while the front-end lives.
   void ScheduleHealthSweep(int64_t period_ms);
+  // One telemetry tick (loop 0, self-rescheduling guarded timer): samples
+  // this replica's rates/gauges into telemetry_, evaluates the watchdog over
+  // the freshest local + mirrored values, refreshes the health snapshot.
+  void TelemetryTick() LARD_EXCLUDES(state_mutex_, telemetry_mutex_, health_json_mutex_);
+  // The mirror store for back-end `node` (created on first telemetry row).
+  TimeSeriesStore* NodeTelemetry(NodeId node) LARD_EXCLUDES(telemetry_mutex_);
   // Runs `fn` on loop 0: inline when already there (the fe_loops=1 fast
   // path and every control-plane caller), posted otherwise.
   void RunOnLoop0(std::function<void()> fn);
@@ -451,6 +491,28 @@ class FrontEnd {
   mutable Mutex mesh_json_mutex_;
   // Refreshed each tick; read by the admin thread.
   std::string mesh_json_ LARD_GUARDED_BY(mesh_json_mutex_);
+
+  // Telemetry: this replica's own store + one mirror store per back-end
+  // (fed by kTelemetry rows on loop 0, read by the admin thread). The store
+  // objects are internally synchronized; the mirror map itself needs the
+  // mutex because loop 0 inserts while admin readers iterate.
+  std::unique_ptr<TimeSeriesStore> telemetry_;
+  std::unique_ptr<SloWatchdog> watchdog_;
+  mutable Mutex telemetry_mutex_;
+  std::map<NodeId, std::unique_ptr<TimeSeriesStore>> node_telemetry_
+      LARD_GUARDED_BY(telemetry_mutex_);
+  mutable Mutex health_json_mutex_;
+  std::string health_json_ LARD_GUARDED_BY(health_json_mutex_);
+  // Window samplers + scratch (loop-0 confined, like nodes_).
+  CounterRateSampler rate_conns_;
+  CounterRateSampler rate_handoffs_;
+  CounterRateSampler rate_consults_;
+  CounterRateSampler rate_replays_;
+  CounterRateSampler rate_giveups_;
+  CounterRateSampler rate_rejected_;
+  std::vector<HistogramWindowSampler> wakeup_windows_;  // one per loop
+  std::vector<std::pair<int, double>> telemetry_scratch_;
+  int64_t telemetry_last_ms_ = 0;
 
   Tracer* tracer_ = nullptr;
   TraceRing* trace_ring_ = nullptr;  // shard 0's ring; control-plane spans

@@ -6,6 +6,7 @@
 #define SRC_PROTO_WIRE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -23,6 +24,12 @@ class WireWriter {
     for (int i = 0; i < 8; ++i) {
       out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
     }
+  }
+  // IEEE-754 double carried through the U64 little-endian framing.
+  void F64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
   }
   void Str(std::string_view s) {
     U32(static_cast<uint32_t>(s.size()));
@@ -64,6 +71,12 @@ class WireReader {
     for (int i = 0; i < 8; ++i) {
       v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
     }
+    return v;
+  }
+  double F64() {
+    const uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
     return v;
   }
   std::string Str() {

@@ -189,6 +189,19 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
     metric_failovers_ = config_.metrics->Counter("lard_sim_failovers_total");
     metric_rehandoffs_ = config_.metrics->Counter("lard_sim_rehandoffs_total");
   }
+  if (config_.telemetry_interval_us > 0) {
+    TimeSeriesConfig series_config;
+    series_config.interval_ms = std::max<int64_t>(1, config_.telemetry_interval_us / 1000);
+    telemetry_ = std::make_unique<TimeSeriesStore>(series_config);
+    // Fixed registration order == fixed RenderJson order (map by name, but
+    // the set is static): the byte-identical contract depends only on the
+    // sampled values, which virtual time makes deterministic.
+    telemetry_->AddSeries("request_rate");
+    telemetry_->AddSeries("byte_rate_mbps");
+    telemetry_->AddSeries("cache_hit_ratio");
+    telemetry_->AddSeries("batch_latency_mean_us");
+    telemetry_->AddSeries("active_sessions");
+  }
 }
 
 Dispatcher& ClusterSim::DispatcherFor(const SessionRun* run) {
@@ -393,6 +406,50 @@ void ClusterSim::GossipRound() {
     queue_.ScheduleAfter(static_cast<double>(config_.gossip_interval_us),
                          [this]() { GossipRound(); });
   }
+}
+
+void ClusterSim::TelemetryTick() {
+  const double dt_seconds = static_cast<double>(config_.telemetry_interval_us) / 1e6;
+  uint64_t hits = 0;
+  uint64_t served = 0;
+  for (const auto& backend : backends_) {
+    hits += backend->metrics.cache_hits;
+    served += backend->metrics.cache_hits + backend->metrics.disk_reads;
+  }
+  const uint64_t tick_served = served - telemetry_prev_served_;
+  const uint64_t tick_hits = hits - telemetry_prev_hits_;
+  const int64_t tick_batches = batch_latency_us_.count() - telemetry_prev_latency_n_;
+  const double tick_latency_sum = batch_latency_us_.sum() - telemetry_prev_latency_sum_;
+
+  std::vector<std::pair<int, double>> values;
+  values.emplace_back(0, static_cast<double>(total_requests_ - telemetry_prev_requests_) /
+                             dt_seconds);
+  values.emplace_back(1, 8.0 * static_cast<double>(total_bytes_ - telemetry_prev_bytes_) / 1e6 /
+                             dt_seconds);
+  if (tick_served > 0) {
+    values.emplace_back(2, static_cast<double>(tick_hits) / static_cast<double>(tick_served));
+  }
+  if (tick_batches > 0) {
+    values.emplace_back(3, tick_latency_sum / static_cast<double>(tick_batches));
+  }
+  values.emplace_back(4, static_cast<double>(active_runs_.size()));
+  telemetry_->Append(queue_.now_us() / 1000, values);
+
+  telemetry_prev_requests_ = total_requests_;
+  telemetry_prev_bytes_ = total_bytes_;
+  telemetry_prev_hits_ = hits;
+  telemetry_prev_served_ = served;
+  telemetry_prev_latency_n_ = batch_latency_us_.count();
+  telemetry_prev_latency_sum_ = batch_latency_us_.sum();
+
+  if (sessions_done_ < trace_->sessions().size()) {
+    queue_.ScheduleAfter(static_cast<double>(config_.telemetry_interval_us),
+                         [this]() { TelemetryTick(); });
+  }
+}
+
+std::string ClusterSim::TelemetryJson() const {
+  return telemetry_ == nullptr ? "{}" : telemetry_->RenderJson("", 0);
 }
 
 void ClusterSim::StartNextSession() {
@@ -813,6 +870,10 @@ ClusterSimMetrics ClusterSim::Run() {
     queue_.ScheduleAfter(static_cast<double>(config_.gossip_interval_us),
                          [this]() { GossipRound(); });
   }
+  if (telemetry_ != nullptr) {
+    queue_.ScheduleAfter(static_cast<double>(config_.telemetry_interval_us),
+                         [this]() { TelemetryTick(); });
+  }
 
   const size_t initial =
       std::min(trace_->sessions().size(),
@@ -876,6 +937,7 @@ ClusterSimMetrics ClusterSim::Run() {
   metrics.failovers = failovers_;
   metrics.rehandoffs = rehandoffs_;
   metrics.rejected_membership_events = rejected_membership_events_;
+  metrics.telemetry_samples = telemetry_ != nullptr ? telemetry_->num_samples() : 0;
   metrics.replayed_connections = replayed_connections_;
   metrics.replayed_requests = replayed_requests_;
   metrics.lost_requests = lost_requests_;

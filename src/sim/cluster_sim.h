@@ -22,6 +22,7 @@
 #include "src/core/lard_params.h"
 #include "src/core/lru_cache.h"
 #include "src/mesh/mesh_state.h"
+#include "src/obs/time_series.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/resources.h"
@@ -131,6 +132,13 @@ struct ClusterSimConfig {
   double non_idempotent_fraction = 0.0;
   uint64_t replay_seed = 1234;
 
+  // Telemetry sampling period, the simulator's deterministic twin of
+  // ClusterConfig::telemetry_interval_ms: a self-rescheduling sim event
+  // samples rates / ratios / gauges into a TimeSeriesStore stamped with
+  // *virtual* time, so two runs of the same scenario produce byte-identical
+  // series (see ClusterSim::TelemetryJson). <= 0 (default) disables it.
+  SimTimeUs telemetry_interval_us = 0;
+
   // Optional shared registry (lard_sim_* instruments + dispatcher gauges).
   MetricsRegistry* metrics = nullptr;
   // Optional span recorder (ring "sim"): the simulator emits the same span
@@ -184,6 +192,8 @@ struct ClusterSimMetrics {
   // Scripted events dropped by validation (non-positive/non-finite weight
   // or speed on a NodeJoin).
   uint64_t rejected_membership_events = 0;
+  // Telemetry rows sampled (config.telemetry_interval_us > 0 only).
+  uint64_t telemetry_samples = 0;
 
   // Front-end mesh (num_frontends > 1; zero/true otherwise).
   int frontends = 1;
@@ -217,6 +227,12 @@ class ClusterSim {
   // Replays the whole trace to completion and returns the metrics.
   // Call at most once.
   ClusterSimMetrics Run();
+
+  // The virtual-time telemetry series (null unless telemetry_interval_us > 0).
+  const TimeSeriesStore* telemetry() const { return telemetry_.get(); }
+  // The whole series as JSON — deterministic: byte-identical across runs of
+  // the same config + trace. "{}" when telemetry is disabled.
+  std::string TelemetryJson() const;
 
  private:
   struct Backend;
@@ -262,6 +278,9 @@ class ClusterSim {
   // peer; also runs the unique-ownership audit. Reschedules itself while
   // sessions remain.
   void GossipRound();
+  // Samples one telemetry row at virtual now and reschedules itself while
+  // sessions remain (the GossipRound pattern).
+  void TelemetryTick();
   bool MeshMode() const { return config_.num_frontends > 1; }
 
   ClusterSimConfig config_;
@@ -302,6 +321,16 @@ class ClusterSim {
   uint64_t total_bytes_ = 0;
   StreamingStats batch_latency_us_;
   bool ran_ = false;
+
+  // Virtual-time telemetry (config.telemetry_interval_us > 0 only). The
+  // prev_* snapshots turn cumulative totals into per-tick rates/ratios.
+  std::unique_ptr<TimeSeriesStore> telemetry_;
+  uint64_t telemetry_prev_requests_ = 0;
+  uint64_t telemetry_prev_bytes_ = 0;
+  uint64_t telemetry_prev_hits_ = 0;
+  uint64_t telemetry_prev_served_ = 0;
+  double telemetry_prev_latency_sum_ = 0.0;
+  int64_t telemetry_prev_latency_n_ = 0;
 
   // Control plane.
   uint64_t nodes_joined_ = 0;

@@ -143,41 +143,41 @@ std::string MetricsRegistry::RenderText() const {
   std::ostringstream out;
   std::string base;
   std::string labels;
-  // One # TYPE line per metric family: labeled variants of one family sort
-  // adjacently (maps are name-ordered), so tracking the last family suffices.
-  std::string last_family;
+  // Group by family so exactly one # TYPE line precedes each family's
+  // samples. Name order alone is not enough: '{' sorts after '_', so
+  // "a{...}" lands after "a_b" and a last-family check would re-emit
+  // "# TYPE a" — invalid exposition format.
+  std::map<std::string, std::string> families;
   for (const auto& [name, counter] : counters_) {
     SplitName(name, &base, &labels);
-    if (base != last_family) {
-      out << "# TYPE " << base << " counter\n";
-      last_family = base;
-    }
-    out << name << " " << counter->value() << "\n";
+    families[base] += name + " " + std::to_string(counter->value()) + "\n";
   }
-  last_family.clear();
+  for (const auto& [family, body] : families) {
+    out << "# TYPE " << family << " counter\n" << body;
+  }
+  families.clear();
   for (const auto& [name, gauge] : gauges_) {
     SplitName(name, &base, &labels);
-    if (base != last_family) {
-      out << "# TYPE " << base << " gauge\n";
-      last_family = base;
-    }
-    out << name << " " << FormatDouble(gauge->value()) << "\n";
+    families[base] += name + " " + FormatDouble(gauge->value()) + "\n";
   }
-  last_family.clear();
+  for (const auto& [family, body] : families) {
+    out << "# TYPE " << family << " gauge\n" << body;
+  }
+  families.clear();
   for (const auto& [name, histogram] : histograms_) {
     SplitName(name, &base, &labels);
-    if (base != last_family) {
-      out << "# TYPE " << base << " summary\n";
-      last_family = base;
-    }
-    out << base << WithExtraLabel(labels, "quantile=\"0.5\"") << " "
-        << FormatDouble(histogram->Percentile(50)) << "\n";
-    out << base << WithExtraLabel(labels, "quantile=\"0.9\"") << " "
-        << FormatDouble(histogram->Percentile(90)) << "\n";
-    out << base << WithExtraLabel(labels, "quantile=\"0.99\"") << " "
-        << FormatDouble(histogram->Percentile(99)) << "\n";
-    out << base << "_count" << labels << " " << histogram->count() << "\n";
-    out << base << "_sum" << labels << " " << FormatDouble(histogram->sum()) << "\n";
+    std::string& body = families[base];
+    body += base + WithExtraLabel(labels, "quantile=\"0.5\"") + " " +
+            FormatDouble(histogram->Percentile(50)) + "\n";
+    body += base + WithExtraLabel(labels, "quantile=\"0.9\"") + " " +
+            FormatDouble(histogram->Percentile(90)) + "\n";
+    body += base + WithExtraLabel(labels, "quantile=\"0.99\"") + " " +
+            FormatDouble(histogram->Percentile(99)) + "\n";
+    body += base + "_count" + labels + " " + std::to_string(histogram->count()) + "\n";
+    body += base + "_sum" + labels + " " + FormatDouble(histogram->sum()) + "\n";
+  }
+  for (const auto& [family, body] : families) {
+    out << "# TYPE " << family << " summary\n" << body;
   }
   return out.str();
 }

@@ -66,6 +66,14 @@ class MetricHistogram {
   // p in [0, 100]; returns the upper bound of the smallest bucket prefix
   // covering p% of the samples. 0 when empty.
   double Percentile(double p) const;
+  // Copies the cumulative bucket counts into `out[kBuckets]` (relaxed loads,
+  // the usual monitoring consistency). Telemetry samplers diff consecutive
+  // snapshots to get window quantiles.
+  void SnapshotBuckets(uint64_t out[kBuckets]) const {
+    for (int i = 0; i < kBuckets; ++i) {
+      out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+  }
 
  private:
   std::atomic<uint64_t> buckets_[kBuckets] = {};

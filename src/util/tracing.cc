@@ -188,10 +188,27 @@ std::vector<TraceSpan> Tracer::SpansForTrace(uint64_t trace_id) const {
   return spans;
 }
 
-std::string Tracer::RenderJson() const {
+bool Tracer::HasRing(const std::string& name) const {
+  MutexLock lock(&mutex_);
+  for (const auto& ring : rings_) {
+    if (ring->name() == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Tracer::RenderJson(const std::string& component) const {
   // One coherent capture of every ring, then group by trace id (ordered map
   // so output is stable for tests and diffing).
-  const std::vector<TraceRingSnapshot> rings = SnapshotAll();
+  std::vector<TraceRingSnapshot> rings = SnapshotAll();
+  if (!component.empty()) {
+    rings.erase(std::remove_if(rings.begin(), rings.end(),
+                               [&component](const TraceRingSnapshot& ring) {
+                                 return ring.name != component;
+                               }),
+                rings.end());
+  }
   struct Annotated {
     TraceSpan span;
     const std::string* ring;
@@ -236,11 +253,18 @@ std::string Tracer::RenderJson() const {
   return out.str();
 }
 
-std::string Tracer::RenderChrome() const {
+std::string Tracer::RenderChrome(const std::string& component) const {
   // Chrome trace-event format: one complete ("X") event per span, each ring
   // presented as a named pseudo-thread ("M" thread_name metadata). One
   // coherent capture feeds both the metadata and the events.
-  const std::vector<TraceRingSnapshot> rings = SnapshotAll();
+  std::vector<TraceRingSnapshot> rings = SnapshotAll();
+  if (!component.empty()) {
+    rings.erase(std::remove_if(rings.begin(), rings.end(),
+                               [&component](const TraceRingSnapshot& ring) {
+                                 return ring.name != component;
+                               }),
+                rings.end());
+  }
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -263,7 +287,7 @@ std::string Tracer::RenderChrome() const {
 void Tracer::LogSlow(const TraceSpan& final_span) {
   LARD_LOG(WARNING) << "slow request: trace=" << final_span.trace_id << " seq=" << final_span.seq
                     << " node=" << final_span.node << " took " << final_span.duration_us
-                    << "us (threshold " << config_.slow_threshold_us << "us) "
+                    << "us (threshold " << slow_threshold_us() << "us) "
                     << final_span.detail;
   if (!Sampled(final_span.trace_id)) {
     return;  // unsampled: only the summary line is available

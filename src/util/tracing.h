@@ -26,6 +26,7 @@
 #ifndef SRC_UTIL_TRACING_H_
 #define SRC_UTIL_TRACING_H_
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <memory>
@@ -125,7 +126,8 @@ struct TracerConfig {
 // simulator). All methods are thread-safe.
 class Tracer {
  public:
-  explicit Tracer(const TracerConfig& config) : config_(config) {}
+  explicit Tracer(const TracerConfig& config)
+      : config_(config), slow_threshold_us_(config.slow_threshold_us) {}
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -135,7 +137,12 @@ class Tracer {
   TraceRing* Ring(const std::string& name);
 
   bool enabled() const { return config_.enabled; }
-  int64_t slow_threshold_us() const { return config_.slow_threshold_us; }
+  // The slow-log threshold is runtime-tunable (POST /slowlog) the same way
+  // the log level is: a relaxed atomic read per request, no locks.
+  int64_t slow_threshold_us() const { return slow_threshold_us_.load(std::memory_order_relaxed); }
+  void set_slow_threshold_us(int64_t threshold_us) {
+    slow_threshold_us_.store(threshold_us, std::memory_order_relaxed);
+  }
   uint32_t sample_every() const { return config_.sample_every; }
 
   // Deterministic per-connection sampling verdict; identical on every
@@ -149,12 +156,17 @@ class Tracer {
   // half missing from another's). Both renders below consume this.
   std::vector<TraceRingSnapshot> SnapshotAll() const;
 
+  // True when a ring with this exact name exists (admin-plane 404s).
+  bool HasRing(const std::string& name) const;
+
   // Recent traces grouped by trace id:
-  // {"traces":[{"trace_id":..,"spans":[...]}],"rings":[...]}.
-  std::string RenderJson() const;
+  // {"traces":[{"trace_id":..,"spans":[...]}],"rings":[...]}. A non-empty
+  // `component` restricts the render to the ring with that name
+  // (GET /trace?component=...), e.g. one FE loop or one back-end.
+  std::string RenderJson(const std::string& component = "") const;
   // Chrome trace-event format ("traceEvents") for about:tracing / Perfetto;
-  // each ring becomes one named pseudo-thread.
-  std::string RenderChrome() const;
+  // each ring becomes one named pseudo-thread. Same `component` filter.
+  std::string RenderChrome(const std::string& component = "") const;
 
   // Slow-request log: called by a component when a request's total time
   // exceeded slow_threshold_us. Logs the summary line always, plus the
@@ -165,6 +177,7 @@ class Tracer {
   std::vector<TraceSpan> SpansForTrace(uint64_t trace_id) const;
 
   const TracerConfig config_;
+  std::atomic<int64_t> slow_threshold_us_;
   mutable Mutex mutex_;
   std::vector<std::unique_ptr<TraceRing>> rings_ LARD_GUARDED_BY(mutex_);
 };

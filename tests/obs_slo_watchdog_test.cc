@@ -1,0 +1,125 @@
+// SLO watchdog burn-rate semantics: escalation through degraded to critical,
+// damped recovery (clear_hold), flap resistance, and the lock-free
+// OverloadState mirror.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/slo_watchdog.h"
+
+namespace lard {
+namespace {
+
+SloRule Rule(const std::string& input, double ceiling, int fast_window = 4, int slow_window = 10,
+             double fast_burn = 0.5, double slow_burn = 0.5, int clear_hold = 3) {
+  SloRule rule;
+  rule.name = input + "_rule";
+  rule.input = input;
+  rule.ceiling = ceiling;
+  rule.fast_window = fast_window;
+  rule.slow_window = slow_window;
+  rule.fast_burn = fast_burn;
+  rule.slow_burn = slow_burn;
+  rule.clear_hold = clear_hold;
+  return rule;
+}
+
+using Inputs = std::map<std::string, double>;
+
+TEST(SloWatchdogTest, StaysOkBelowCeiling) {
+  SloWatchdog watchdog("test", {Rule("p99", 100.0)});
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(watchdog.Evaluate({{"p99", 50.0}}), HealthStatus::kOk);
+  }
+  EXPECT_EQ(watchdog.transitions(), 0u);
+  EXPECT_DOUBLE_EQ(watchdog.overload().pressure.load(), 0.0);
+}
+
+TEST(SloWatchdogTest, FastWindowEscalatesToDegraded) {
+  // fast_window 4, fast_burn 0.5: two violating ticks trip the fast window.
+  SloWatchdog watchdog("test", {Rule("p99", 100.0)});
+  EXPECT_EQ(watchdog.Evaluate({{"p99", 500.0}}), HealthStatus::kOk);
+  EXPECT_EQ(watchdog.Evaluate({{"p99", 500.0}}), HealthStatus::kDegraded);
+  EXPECT_EQ(watchdog.status(), HealthStatus::kDegraded);
+  EXPECT_EQ(watchdog.transitions(), 1u);
+  EXPECT_GT(watchdog.overload().pressure.load(), 0.0);
+}
+
+TEST(SloWatchdogTest, SustainedBurnEscalatesToCritical) {
+  // Violations must also cover slow_burn of the slow window (10 ticks) for
+  // critical: 5 violating ticks.
+  SloWatchdog watchdog("test", {Rule("p99", 100.0)});
+  HealthStatus status = HealthStatus::kOk;
+  int ticks_to_critical = 0;
+  for (int i = 0; i < 10 && status != HealthStatus::kCritical; ++i) {
+    status = watchdog.Evaluate({{"p99", 500.0}});
+    ++ticks_to_critical;
+  }
+  EXPECT_EQ(status, HealthStatus::kCritical);
+  EXPECT_EQ(ticks_to_critical, 5);
+  EXPECT_EQ(watchdog.transitions(), 2u);  // ok -> degraded -> critical
+}
+
+TEST(SloWatchdogTest, RecoveryIsDampedByClearHold) {
+  SloWatchdog watchdog("test", {Rule("p99", 100.0)});
+  watchdog.Evaluate({{"p99", 500.0}});
+  watchdog.Evaluate({{"p99", 500.0}});
+  ASSERT_EQ(watchdog.status(), HealthStatus::kDegraded);
+  // The two violations keep the fast window hot (2/4 >= 0.5) for the next
+  // two ticks, then clear_hold 3 must elapse: four clean ticks stay degraded.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(watchdog.Evaluate({{"p99", 10.0}}), HealthStatus::kDegraded) << i;
+  }
+  // Fifth clean tick completes the hold and releases.
+  EXPECT_EQ(watchdog.Evaluate({{"p99", 10.0}}), HealthStatus::kOk);
+  EXPECT_EQ(watchdog.transitions(), 2u);  // up once, down once
+}
+
+TEST(SloWatchdogTest, BoundaryRidingSignalDoesNotFlapEveryTick) {
+  // Bursty signal: two violating ticks then three clean, repeating. The raw
+  // verdict oscillates, but the clean streak never reaches clear_hold 3, so
+  // the status latches degraded after the first trip — one transition in 40
+  // ticks, not one per burst.
+  SloWatchdog watchdog("test", {Rule("p99", 100.0)});
+  for (int i = 0; i < 40; ++i) {
+    watchdog.Evaluate({{"p99", (i % 5 < 2) ? 500.0 : 10.0}});
+  }
+  EXPECT_EQ(watchdog.status(), HealthStatus::kDegraded);
+  EXPECT_EQ(watchdog.transitions(), 1u);
+}
+
+TEST(SloWatchdogTest, MissingInputsCountClean) {
+  SloWatchdog watchdog("test", {Rule("p99", 100.0)});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(watchdog.Evaluate({}), HealthStatus::kOk);
+  }
+  // A warm-up with no data must never trip a rule.
+  EXPECT_EQ(watchdog.transitions(), 0u);
+}
+
+TEST(SloWatchdogTest, WorstRuleWins) {
+  SloWatchdog watchdog("test", {Rule("a", 100.0), Rule("b", 1.0)});
+  // Only "b" violates; merged status follows it while "a" stays clean.
+  watchdog.Evaluate({{"a", 5.0}, {"b", 2.0}});
+  watchdog.Evaluate({{"a", 5.0}, {"b", 2.0}});
+  EXPECT_EQ(watchdog.status(), HealthStatus::kDegraded);
+  const std::string reasons = watchdog.ReasonsJson();
+  EXPECT_NE(reasons.find("\"rule\":\"b_rule\""), std::string::npos);
+  EXPECT_NE(reasons.find("\"status\":\"degraded\""), std::string::npos);
+  EXPECT_NE(reasons.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(reasons.find("\"ceiling\":1"), std::string::npos);
+}
+
+TEST(SloWatchdogTest, ReasonsJsonListsEveryRuleUpfront) {
+  SloWatchdog watchdog("test", {Rule("x", 10.0), Rule("y", 20.0)});
+  const std::string reasons = watchdog.ReasonsJson();
+  EXPECT_EQ(reasons.front(), '[');
+  EXPECT_EQ(reasons.back(), ']');
+  EXPECT_NE(reasons.find("x_rule"), std::string::npos);
+  EXPECT_NE(reasons.find("y_rule"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lard

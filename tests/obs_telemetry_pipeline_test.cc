@@ -1,0 +1,259 @@
+// The telemetry pipeline end to end: the kTelemetry wire codec, the
+// simulator's deterministic virtual-time series, and the prototype cluster's
+// admin surface (/timeseries, /cluster/health, /slowlog, /trace filtering).
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/net/socket.h"
+#include "src/proto/cluster.h"
+#include "src/proto/control_protocol.h"
+#include "src/proto/load_generator.h"
+#include "src/sim/cluster_sim.h"
+#include "src/trace/synthetic.h"
+#include "src/util/logging.h"
+
+namespace lard {
+namespace {
+
+// --- wire codec ---
+
+TEST(TelemetryCodecTest, RoundTripPreservesEveryField) {
+  TelemetryMsg msg;
+  msg.seq = 0x1122334455667788ull;
+  msg.t_ms = 1234567890123ll;
+  msg.samples.push_back({"request_rate", 1234.5});
+  msg.samples.push_back({"hit_ratio", 0.875});
+  msg.samples.push_back({"latency_p99_us", -0.0});
+  msg.samples.push_back({"", 3.5e300});  // empty name and extreme magnitude
+
+  TelemetryMsg decoded;
+  ASSERT_TRUE(DecodeTelemetry(EncodeTelemetry(msg), &decoded));
+  EXPECT_EQ(decoded.seq, msg.seq);
+  EXPECT_EQ(decoded.t_ms, msg.t_ms);
+  ASSERT_EQ(decoded.samples.size(), msg.samples.size());
+  for (size_t i = 0; i < msg.samples.size(); ++i) {
+    EXPECT_EQ(decoded.samples[i].name, msg.samples[i].name) << i;
+    EXPECT_DOUBLE_EQ(decoded.samples[i].value, msg.samples[i].value) << i;
+  }
+}
+
+TEST(TelemetryCodecTest, EmptySampleRowRoundTrips) {
+  TelemetryMsg msg;
+  msg.seq = 7;
+  msg.t_ms = 42;
+  TelemetryMsg decoded;
+  ASSERT_TRUE(DecodeTelemetry(EncodeTelemetry(msg), &decoded));
+  EXPECT_EQ(decoded.seq, 7u);
+  EXPECT_EQ(decoded.t_ms, 42);
+  EXPECT_TRUE(decoded.samples.empty());
+}
+
+TEST(TelemetryCodecTest, TruncatedFramesAreRejectedNotCrashed) {
+  TelemetryMsg msg;
+  msg.seq = 99;
+  msg.t_ms = 1000;
+  msg.samples.push_back({"request_rate", 10.0});
+  msg.samples.push_back({"disk_queue", 2.0});
+  const std::string encoded = EncodeTelemetry(msg);
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    TelemetryMsg decoded;
+    EXPECT_FALSE(DecodeTelemetry(std::string_view(encoded).substr(0, len), &decoded))
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(TelemetryCodecTest, GarbageFramesAreRejected) {
+  TelemetryMsg decoded;
+  EXPECT_FALSE(DecodeTelemetry("not a telemetry frame at all", &decoded));
+  // A frame whose sample count claims more rows than the payload could hold
+  // must be rejected by the bound check, not allocated.
+  std::string bomb(16, '\0');  // seq + t_ms
+  bomb += std::string("\xff\xff\xff\xff", 4);  // sample count
+  EXPECT_FALSE(DecodeTelemetry(bomb, &decoded));
+}
+
+// --- simulator twin ---
+
+Trace SimTrace() {
+  SyntheticTraceConfig config;
+  config.seed = 7;
+  config.num_pages = 80;
+  config.num_sessions = 400;
+  config.num_clients = 32;
+  config.max_size_bytes = 64 * 1024;
+  return GenerateSyntheticTrace(config);
+}
+
+TEST(SimTelemetryTest, VirtualTimeSeriesIsByteIdenticalAcrossRuns) {
+  const Trace trace = SimTrace();
+  std::string first;
+  uint64_t first_samples = 0;
+  for (int run = 0; run < 2; ++run) {
+    ClusterSimConfig config;
+    config.num_nodes = 3;
+    config.telemetry_interval_us = 50000;
+    ClusterSim sim(config, &trace);
+    const ClusterSimMetrics metrics = sim.Run();
+    EXPECT_GT(metrics.telemetry_samples, 0u);
+    const std::string json = sim.TelemetryJson();
+    EXPECT_NE(json.find("request_rate"), std::string::npos);
+    EXPECT_NE(json.find("cache_hit_ratio"), std::string::npos);
+    EXPECT_NE(json.find("active_sessions"), std::string::npos);
+    if (run == 0) {
+      first = json;
+      first_samples = metrics.telemetry_samples;
+    } else {
+      // The determinism contract: same config + trace -> byte-identical
+      // series, because every timestamp is virtual.
+      EXPECT_EQ(json, first);
+      EXPECT_EQ(metrics.telemetry_samples, first_samples);
+    }
+  }
+}
+
+TEST(SimTelemetryTest, DisabledByDefault) {
+  const Trace trace = SimTrace();
+  ClusterSimConfig config;
+  config.num_nodes = 2;
+  ClusterSim sim(config, &trace);
+  const ClusterSimMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.telemetry_samples, 0u);
+  EXPECT_EQ(sim.telemetry(), nullptr);
+  EXPECT_EQ(sim.TelemetryJson(), "{}");
+}
+
+// --- prototype cluster admin surface ---
+
+Trace TestTrace() {
+  SyntheticTraceConfig config;
+  config.seed = 42;
+  config.num_pages = 60;
+  config.num_sessions = 200;
+  config.num_clients = 16;
+  config.max_size_bytes = 32 * 1024;
+  return GenerateSyntheticTrace(config);
+}
+
+// Blocking HTTP/1.0 request against the admin API; returns "<status> <body>".
+std::string AdminHttp(uint16_t port, const std::string& method, const std::string& path,
+                      const std::string& body = "") {
+  auto fd = ConnectTcp(port);
+  if (!fd.ok()) {
+    return "<connect failed>";
+  }
+  const std::string request = method + " " + path + " HTTP/1.0\r\nContent-Length: " +
+                              std::to_string(body.size()) + "\r\n\r\n" + body;
+  if (::send(fd.value().get(), request.data(), request.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(request.size())) {
+    return "<send failed>";
+  }
+  std::string reply;
+  char buf[16384];
+  ssize_t n;
+  while ((n = ::recv(fd.value().get(), buf, sizeof(buf), 0)) > 0) {
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = reply.find("\r\n");
+  const size_t header_end = reply.find("\r\n\r\n");
+  if (line_end == std::string::npos || header_end == std::string::npos) {
+    return reply;
+  }
+  const std::string status_line = reply.substr(0, line_end);
+  const size_t space = status_line.find(' ');
+  return status_line.substr(space + 1, 3) + " " + reply.substr(header_end + 4);
+}
+
+TEST(ClusterTelemetryTest, AdminSurfaceServesSeriesHealthSlowlogAndTraces) {
+  const Trace trace = TestTrace();
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.policy = Policy::kExtendedLard;
+  config.mechanism = Mechanism::kBackEndForwarding;
+  config.backend_cache_bytes = 4ull * 1024 * 1024;
+  config.disk_time_scale = 0.02;
+  config.telemetry_interval_ms = 50;
+  config.tracing_enabled = true;
+  Cluster cluster(config, &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  LoadGeneratorConfig load;
+  load.port = cluster.port();
+  load.num_clients = 8;
+  const LoadResult result = RunLoad(load, trace);
+  EXPECT_GT(result.responses_ok, 0u);
+  // A few sampling intervals so both tiers tick and BE rows ship to the FE.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  const uint16_t admin = cluster.admin_port();
+
+  // /timeseries: FE series plus the mirrored BE stores.
+  const std::string series = AdminHttp(admin, "GET", "/timeseries");
+  EXPECT_EQ(series.substr(0, 3), "200") << series;
+  EXPECT_NE(series.find("\"fe0\""), std::string::npos) << series;
+  EXPECT_NE(series.find("conn_rate"), std::string::npos);
+  EXPECT_NE(series.find("\"be0\""), std::string::npos) << series;
+  EXPECT_NE(series.find("request_rate"), std::string::npos);
+
+  // Component + metric filters restrict the output.
+  const std::string filtered =
+      AdminHttp(admin, "GET", "/timeseries?component=fe0&metric=conn&window=60000");
+  EXPECT_EQ(filtered.substr(0, 3), "200") << filtered;
+  EXPECT_NE(filtered.find("conn_rate"), std::string::npos);
+  EXPECT_EQ(filtered.find("\"be0\""), std::string::npos) << filtered;
+  EXPECT_EQ(filtered.find("wakeup_p99_us"), std::string::npos);
+  EXPECT_EQ(AdminHttp(admin, "GET", "/timeseries?window=banana").substr(0, 3), "400");
+
+  // /cluster/health: merged watchdog verdict with per-component samples. A
+  // lightly loaded cluster must report ok (the bench asserts the same under
+  // real load — zero false transitions).
+  const std::string health = AdminHttp(admin, "GET", "/cluster/health");
+  EXPECT_EQ(health.substr(0, 3), "200") << health;
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"reasons\""), std::string::npos);
+  EXPECT_NE(health.find("\"be0\""), std::string::npos) << health;
+
+  // /slowlog: runtime-tunable threshold, strict parse.
+  const std::string slowlog = AdminHttp(admin, "POST", "/slowlog", "2500");
+  EXPECT_EQ(slowlog.substr(0, 3), "200") << slowlog;
+  EXPECT_NE(slowlog.find("\"slow_threshold_us\":2500"), std::string::npos) << slowlog;
+  EXPECT_EQ(cluster.tracer()->slow_threshold_us(), 2500);
+  EXPECT_EQ(AdminHttp(admin, "POST", "/slowlog", "{\"threshold_us\":9000}").substr(0, 3), "200");
+  EXPECT_EQ(cluster.tracer()->slow_threshold_us(), 9000);
+  EXPECT_EQ(AdminHttp(admin, "POST", "/slowlog", "soon").substr(0, 3), "400");
+  EXPECT_EQ(cluster.tracer()->slow_threshold_us(), 9000);
+
+  // /trace?component= filters rings; unknown rings 404 instead of an empty
+  // trace that hides typos.
+  EXPECT_EQ(AdminHttp(admin, "GET", "/trace?component=fe0").substr(0, 3), "200");
+  EXPECT_EQ(AdminHttp(admin, "GET", "/trace?component=nosuchring").substr(0, 3), "404");
+
+  cluster.Stop();
+}
+
+TEST(ClusterTelemetryTest, DisabledTelemetryKeepsEndpointsHonest) {
+  const Trace trace = TestTrace();
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.backend_cache_bytes = 4ull * 1024 * 1024;
+  config.disk_time_scale = 0.02;
+  config.telemetry_interval_ms = 0;  // off
+  Cluster cluster(config, &trace.catalog());
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const uint16_t admin = cluster.admin_port();
+  const std::string series = AdminHttp(admin, "GET", "/timeseries");
+  EXPECT_EQ(series.substr(0, 3), "200") << series;
+  EXPECT_EQ(series.find("conn_rate"), std::string::npos) << series;
+  const std::string health = AdminHttp(admin, "GET", "/cluster/health");
+  EXPECT_EQ(health.substr(0, 3), "200") << health;
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos) << health;
+
+  cluster.Stop();
+}
+
+}  // namespace
+}  // namespace lard
