@@ -273,7 +273,64 @@ def check_telemetry_overhead(record, data):
             fail(record, f"detection took {detection:.1f} sampling intervals (> 5)")
 
 
+def check_connection_scale(record, data):
+    target = require(record, data, "config.target_conns", NUM)
+    sustained = require(record, data, "max_sustained_conns", NUM)
+    # The headline acceptance: one FE process holds the whole requested sweep
+    # concurrently (the CI smoke asks for 50k).
+    if target is not None and sustained is not None and sustained < target:
+        fail(record, f"sustained only {sustained} of {target} idle connections")
+    sweep = require(record, data, "sweep", list)
+    if not sweep:
+        fail(record, "no sweep points recorded")
+        return
+    for i, point in enumerate(sweep):
+        for key in ("connections", "sustained", "rss_bytes_per_conn", "leaked_conns"):
+            if key not in point:
+                fail(record, f"sweep[{i}] missing '{key}'")
+        if point.get("sustained") is not True:
+            fail(record, f"sweep[{i}]: {point.get('connections')} connections not sustained")
+        if point.get("leaked_conns", 1) != 0:
+            fail(record, f"sweep[{i}]: {point.get('leaked_conns')} connections leaked")
+        # The connection-memory-diet ceiling: user-space RSS per idle conn.
+        # Measured ~0.7-0.9 KB (FeConn + Conn buffers + epoll bookkeeping);
+        # the 8 KB gate is allocator-noise headroom, not the target.
+        if point.get("connections", 0) >= 5000 and \
+                point.get("rss_bytes_per_conn", 1 << 30) > 8192:
+            fail(record, f"sweep[{i}]: {point.get('rss_bytes_per_conn'):.0f} RSS bytes/conn "
+                         "> 8192 ceiling")
+    reap = require(record, data, "idle_reap", dict)
+    if reap is not None:
+        if reap.get("ok") is not True:
+            fail(record, "idle-reap phase failed")
+        if reap.get("idle_closes") != reap.get("conns"):
+            fail(record, f"reaped {reap.get('idle_closes')} of {reap.get('conns')} idle conns")
+        lateness = require(record, reap, "reap_lateness_ms", NUM)
+        if lateness is not None and lateness > 2000:
+            fail(record, f"idle reap ran {lateness:.0f} ms past the deadline (> 2000)")
+    wheel = require(record, data, "timer_wheel", dict)
+    if wheel is not None:
+        if wheel.get("fired") != wheel.get("entries"):
+            fail(record, f"wheel fired {wheel.get('fired')} of {wheel.get('entries')} timers")
+        # O(1) per-op bounds at bench scale (~tens of ns measured; the gates
+        # absorb CI-runner noise, a heap would blow through them as N grows).
+        for key, bound in (("arm_ns", 5000), ("rearm_ns", 2000), ("cancel_ns", 2000),
+                           ("advance_ns_per_tick", 1000000)):
+            value = require(record, wheel, key, NUM)
+            if value is not None and value > bound:
+                fail(record, f"timer_wheel.{key} = {value:.0f} ns exceeds {bound}")
+    open_loop = require(record, data, "open_loop", dict)
+    if open_loop is not None:
+        if open_loop.get("responses_ok") != open_loop.get("requests"):
+            fail(record, "open-loop run dropped responses")
+        if open_loop.get("responses_bad", 1) != 0 or open_loop.get("transport_errors", 1) != 0:
+            fail(record, "open-loop run had client-visible errors")
+        if open_loop.get("requests", 0) == 0:
+            fail(record, "open-loop run served nothing")
+
+
 CHECKERS = {
+    "connection_scale": check_connection_scale,
     "drain_failover": check_drain_failover,
     "frontend_scalability": check_frontend_scalability,
     "multi_frontend": check_multi_frontend,

@@ -108,14 +108,47 @@ void EventLoop::Unregister(int fd) {
 EventLoop::TimerId EventLoop::ScheduleAfterMs(int64_t delay_ms, std::function<void()> fn) {
   AssertInLoopThread();
   const TimerId id = next_timer_id_++;
+  if (delay_ms < wheel_.horizon_ms()) {
+    // Short-deadline timers (idle deadlines, heartbeats, housekeeping) live
+    // on the hashed wheel: O(1) arm/cancel/rearm, no tombstones.
+    wheel_.Arm(id, NowMs() + delay_ms, std::move(fn));
+    return id;
+  }
   timer_fns_[id] = std::move(fn);
-  timers_.push(Timer{NowMs() + delay_ms, id});
+  timers_.push_back(Timer{NowMs() + delay_ms, id});
+  std::push_heap(timers_.begin(), timers_.end(), std::greater<Timer>());
   return id;
 }
 
 void EventLoop::CancelTimer(TimerId id) {
   AssertInLoopThread();
-  timer_fns_.erase(id);
+  if (wheel_.Cancel(id)) {
+    return;
+  }
+  if (timer_fns_.erase(id) == 0) {
+    return;  // unknown or already fired
+  }
+  // The heap entry is now a tombstone; sweep once the dead outweigh the live
+  // so cancel-heavy workloads on long timers stay O(live).
+  ++heap_cancelled_;
+  if (heap_cancelled_ >= 16 && heap_cancelled_ * 2 > timers_.size()) {
+    PurgeCancelledTimers();
+  }
+}
+
+bool EventLoop::RearmTimerMs(TimerId id, int64_t delay_ms) {
+  AssertInLoopThread();
+  return delay_ms < wheel_.horizon_ms() && wheel_.Rearm(id, NowMs() + delay_ms);
+}
+
+void EventLoop::PurgeCancelledTimers() {
+  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
+                               [this](const Timer& timer) {
+                                 return timer_fns_.find(timer.id) == timer_fns_.end();
+                               }),
+                timers_.end());
+  std::make_heap(timers_.begin(), timers_.end(), std::greater<Timer>());
+  heap_cancelled_ = 0;
 }
 
 void EventLoop::Post(std::function<void()> task) {
@@ -174,27 +207,38 @@ int EventLoop::NextTimeoutMs() {
     return 0;
   }
   // Skip cancelled timers sitting at the heap top.
-  while (!timers_.empty() && timer_fns_.find(timers_.top().id) == timer_fns_.end()) {
-    timers_.pop();
+  while (!timers_.empty() && timer_fns_.find(timers_.front().id) == timer_fns_.end()) {
+    std::pop_heap(timers_.begin(), timers_.end(), std::greater<Timer>());
+    timers_.pop_back();
+    if (heap_cancelled_ > 0) {
+      --heap_cancelled_;
+    }
   }
-  if (timers_.empty()) {
-    return 100;  // wake periodically so Stop() is prompt even without tasks
+  const int64_t now = NowMs();
+  int64_t delta = 100;  // wake periodically so Stop() is prompt even without timers
+  if (!timers_.empty()) {
+    delta = std::min<int64_t>(delta, timers_.front().deadline_ms - now);
   }
-  const int64_t delta = timers_.top().deadline_ms - NowMs();
-  if (delta <= 0) {
-    return 0;
+  const int64_t wheel_next = wheel_.MsUntilNext(now);
+  if (wheel_next >= 0) {
+    delta = std::min(delta, wheel_next);
   }
-  return static_cast<int>(std::min<int64_t>(delta, 100));
+  return static_cast<int>(std::max<int64_t>(delta, 0));
 }
 
 void EventLoop::FireDueTimers() {
   const int64_t now = NowMs();
-  while (!timers_.empty() && timers_.top().deadline_ms <= now) {
-    const Timer timer = timers_.top();
-    timers_.pop();
+  wheel_.Advance(now, [this](std::function<void()>& fn) { RunTimed(fn); });
+  while (!timers_.empty() && timers_.front().deadline_ms <= now) {
+    const Timer timer = timers_.front();
+    std::pop_heap(timers_.begin(), timers_.end(), std::greater<Timer>());
+    timers_.pop_back();
     auto it = timer_fns_.find(timer.id);
     if (it == timer_fns_.end()) {
-      continue;  // cancelled
+      if (heap_cancelled_ > 0) {
+        --heap_cancelled_;
+      }
+      continue;  // cancelled tombstone reaching its original deadline
     }
     auto fn = std::move(it->second);
     timer_fns_.erase(it);

@@ -12,12 +12,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "src/net/fd.h"
+#include "src/net/timer_wheel.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
 
@@ -44,9 +44,21 @@ class EventLoop {
   void Modify(int fd, uint32_t events);
   void Unregister(int fd);
 
-  // Runs `fn` once, `delay_ms` from now, on the loop thread.
+  // Runs `fn` once, `delay_ms` from now, on the loop thread. Short delays
+  // (under the timer wheel's horizon, ~4s) live on a hashed timer wheel with
+  // O(1) arm/cancel/rearm; longer one-shots go to the priority queue.
   TimerId ScheduleAfterMs(int64_t delay_ms, std::function<void()> fn);
   void CancelTimer(TimerId id);
+  // Pushes a live wheel timer's deadline out to `delay_ms` from now, keeping
+  // its callback: the per-connection idle-deadline fast path (no allocation,
+  // no new id). Returns false when `id` is not a live wheel timer — already
+  // fired, cancelled, or heap-resident — and the caller should schedule anew.
+  bool RearmTimerMs(TimerId id, int64_t delay_ms);
+  // Live timers across both backends (wheel + queue, tombstones excluded).
+  size_t pending_timers() const { return wheel_.size() + timer_fns_.size(); }
+  // Heap entries including cancelled tombstones — tests assert the purge
+  // keeps this O(live) under cancel churn.
+  size_t timer_heap_size() const { return timers_.size(); }
 
   // Enqueues `task` for execution on the loop thread (thread-safe).
   void Post(std::function<void()> task);
@@ -101,6 +113,10 @@ class EventLoop {
   void DrainTasks();
   int NextTimeoutMs();
   void FireDueTimers();
+  // Rebuilds timers_ without its cancelled tombstones (CancelTimer calls
+  // this once the dead fraction crosses a threshold, so a cancel-heavy
+  // workload on long timers stays O(live), not O(ever-scheduled)).
+  void PurgeCancelledTimers();
   // Runs `fn`, observing its duration into the callback histogram when
   // profiling is on.
   template <typename Fn>
@@ -139,12 +155,21 @@ class EventLoop {
   MetricHistogram* wakeup_delay_us_ = nullptr;
   MetricGauge* pending_tasks_ = nullptr;
 
-  // Loop-confined (no mutex by design): handlers_, timers_, timer_fns_ and
-  // next_timer_id_ are only touched from the loop thread —
+  // Loop-confined (no mutex by design): handlers_, wheel_, timers_,
+  // timer_fns_ and next_timer_id_ are only touched from the loop thread —
   // AssertInLoopThread() guards the mutating entry points at runtime and
   // tools/lint/concurrency_lint.py checks the callers statically.
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  //
+  // Two timer backends share the TimerId space: the hashed wheel owns every
+  // short-deadline timer (id + callback live inside it); timers_/timer_fns_
+  // is a min-heap (std::*_heap over a vector) for deadlines past the wheel's
+  // horizon. A cancelled heap timer leaves a tombstone in timers_ until
+  // PurgeCancelledTimers sweeps it; heap_cancelled_ counts the live
+  // tombstones so the sweep triggers on the dead fraction.
+  TimerWheel wheel_;
+  std::vector<Timer> timers_;
   std::unordered_map<TimerId, std::function<void()>> timer_fns_;
+  size_t heap_cancelled_ = 0;
   TimerId next_timer_id_ = 1;
   mutable std::atomic<uint64_t> pinning_violations_{0};
 };

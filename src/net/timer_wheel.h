@@ -1,0 +1,122 @@
+// Hashed timer wheel: O(1) arm/cancel/rearm for the short-deadline timers the
+// event loop churns through — per-connection idle deadlines rearmed on every
+// request, heartbeats, housekeeping ticks. The EventLoop's priority_queue
+// keeps long one-shot timers correct, but a cancelled entry there lingers as
+// a tombstone until its original deadline; at 100k+ connections rearming an
+// idle timer per request would accumulate O(requests) dead heap entries. The
+// wheel instead hashes each timer into deadline/tick slot lists: arm links,
+// cancel unlinks, rearm relinks — all constant time.
+//
+// Deadlines are quantized up to the tick (`tick_ms`), so a callback fires at
+// most one tick late and never early. An entry whose deadline lies beyond one
+// wheel rotation simply stays in its slot across rotations (the classic
+// hashed-wheel trade: each slot visit re-checks residents from later turns).
+//
+// Threading: loop-confined like the rest of the EventLoop timer state — no
+// mutex by design; the owner calls everything from one thread.
+#ifndef SRC_NET_TIMER_WHEEL_H_
+#define SRC_NET_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace lard {
+
+class TimerWheel {
+ public:
+  using TimerId = uint64_t;
+
+  // `num_slots` must be a power of two; the wheel covers one rotation of
+  // tick_ms * num_slots before entries start sharing slots across turns.
+  explicit TimerWheel(int64_t tick_ms = 8, size_t num_slots = 512);
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // Arms `id` to fire `fn` once `deadline_ms` is reached (absolute time on
+  // the caller's clock). Ids are caller-allocated and must be unique among
+  // live entries.
+  void Arm(TimerId id, int64_t deadline_ms, std::function<void()> fn);
+
+  // Unlinks and drops the entry. Returns false when `id` is not live (never
+  // armed, already fired, or already cancelled).
+  bool Cancel(TimerId id);
+
+  // Moves a live entry to a new deadline, keeping its callback: the idle
+  // timer fast path (one hash lookup + two list splices, no allocation).
+  // Also valid from inside the entry's own expiry batch — a sibling callback
+  // rearming a due timer keeps it from firing. Returns false when `id` is
+  // not live.
+  bool Rearm(TimerId id, int64_t deadline_ms);
+
+  // Fires every entry whose (quantized) deadline has been reached at
+  // `now_ms`, advancing the wheel cursor. Forward clock jumps of any size
+  // cost at most one full slot sweep; a backward jump is a no-op. When
+  // `runner` is set, each callback is invoked through it (the EventLoop
+  // passes its profiling wrapper). Returns the number of callbacks fired.
+  int Advance(int64_t now_ms,
+              const std::function<void(std::function<void()>&)>& runner = nullptr);
+
+  // Milliseconds until the next slot that could fire an entry, a lower bound
+  // on the next real deadline (an entry from a later rotation can wake the
+  // caller early, at most once per rotation). -1 when the wheel is empty.
+  int64_t MsUntilNext(int64_t now_ms) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  int64_t tick_ms() const { return tick_ms_; }
+  // Delays at or beyond this never belong on the wheel (they would lap it);
+  // the EventLoop routes them to its priority queue instead.
+  int64_t horizon_ms() const { return tick_ms_ * static_cast<int64_t>(slots_.size()); }
+
+  // Lifetime counters for benches and tests.
+  uint64_t total_fired() const { return total_fired_; }
+  uint64_t total_ticks() const { return total_ticks_; }
+
+ private:
+  struct Entry {
+    TimerId id = 0;
+    int64_t deadline_tick = 0;  // quantized: fires once cursor_ reaches it
+    std::function<void()> fn;
+    // Intrusive slot list; null prev/next + linked=false while queued for
+    // fire (unlinked but still live, so Cancel/Rearm from a sibling callback
+    // in the same batch still find it).
+    Entry* prev = nullptr;
+    Entry* next = nullptr;
+    bool linked = false;
+  };
+
+  int64_t TickFor(int64_t deadline_ms) const {
+    // Round up: never fire early. A deadline at/before "now" still lands one
+    // tick ahead of the cursor the caller last advanced to, so a 0ms delay
+    // fires on the next Advance that crosses a tick boundary.
+    return (deadline_ms + tick_ms_ - 1) / tick_ms_;
+  }
+  size_t SlotFor(int64_t tick) const {
+    return static_cast<size_t>(tick) & (slots_.size() - 1);
+  }
+  void Link(Entry* entry);
+  void Unlink(Entry* entry);
+  // Unlinks every due resident of `slot` at `tick` onto the fire queue.
+  void CollectSlot(size_t slot, int64_t tick);
+
+  const int64_t tick_ms_;
+  std::vector<Entry*> slots_;  // heads of doubly-linked resident lists
+  std::unordered_map<TimerId, std::unique_ptr<Entry>> entries_;
+  // Last tick fully processed by Advance. Starts at 0, far behind the
+  // caller's monotonic clock, so the first Advance takes the bounded
+  // full-sweep path once and lands the cursor on real time.
+  int64_t cursor_ = 0;
+  std::vector<TimerId> fire_queue_;  // scratch, reused across Advance calls
+  uint64_t total_fired_ = 0;
+  uint64_t total_ticks_ = 0;
+};
+
+}  // namespace lard
+
+#endif  // SRC_NET_TIMER_WHEEL_H_

@@ -59,6 +59,8 @@ void BackendServer::Start(UniqueFd control_fd) {
         config_.metrics->Counter(MetricsRegistry::WithNode("lard_backend_heartbeats_total", id));
     metric_open_conns_ =
         config_.metrics->Gauge(MetricsRegistry::WithNode("lard_backend_open_connections", id));
+    metric_idle_closes_ =
+        config_.metrics->Counter(MetricsRegistry::WithNode("lard_backend_idle_closes_total", id));
   }
 
   if (config_.telemetry_interval_ms > 0) {
@@ -1027,6 +1029,12 @@ void BackendServer::SweepIdleConnections() {
     }
   }
   for (ClientConn* conn : idle) {
+    counters_.idle_closes.fetch_add(1, std::memory_order_relaxed);
+    if (metric_idle_closes_ != nullptr) {
+      metric_idle_closes_->Increment();
+    }
+    // notify_frontend: the kConnClosed message is what lets the front-end
+    // reap its half (dispatcher entry, journal, retained dup).
     CloseClient(conn, /*notify_frontend=*/true);
   }
 }

@@ -94,6 +94,7 @@ struct BackendCounters {
   std::atomic<uint64_t> lateral_in{0};          // served on behalf of a peer
   std::atomic<uint64_t> bytes_to_clients{0};
   std::atomic<uint64_t> not_found{0};
+  std::atomic<uint64_t> idle_closes{0};  // adopted conns reaped by the idle sweep
 };
 
 class BackendServer {
@@ -310,6 +311,7 @@ class BackendServer {
   MetricCounter* metric_lateral_ = nullptr;
   MetricCounter* metric_heartbeats_ = nullptr;
   MetricGauge* metric_open_conns_ = nullptr;
+  MetricCounter* metric_idle_closes_ = nullptr;
   uint64_t heartbeat_seq_ = 0;
   int64_t last_heartbeat_ms_ = 0;
 

@@ -145,10 +145,11 @@ bool ParseNonNegativeInt(const std::string& text, int64_t* value) {
   return true;
 }
 
-// Parses a POST /slowlog body: empty (0 = disable), a bare integer of
-// microseconds, "threshold_us=N" or {"threshold_us":N}.
-bool ParseSlowlogBody(const std::string& body, int64_t* threshold_us) {
-  *threshold_us = 0;
+// Parses a single-knob POST body: empty (0 = disable), a bare integer,
+// "<key>=N" or {"<key>":N}. Shared by /slowlog (key threshold_us) and
+// /idletimeout (key idle_timeout_ms).
+bool ParseKeyedNonNegativeInt(const std::string& body, const std::string& key, int64_t* value) {
+  *value = 0;
   std::string trimmed = Trim(body);
   if (trimmed.empty()) {
     return true;
@@ -158,24 +159,28 @@ bool ParseSlowlogBody(const std::string& body, int64_t* threshold_us) {
       return false;
     }
     std::string inner = Trim(trimmed.substr(1, trimmed.size() - 2));
-    static constexpr char kKey[] = "\"threshold_us\"";
-    if (inner.compare(0, sizeof(kKey) - 1, kKey) != 0) {
+    const std::string quoted = "\"" + key + "\"";
+    if (inner.compare(0, quoted.size(), quoted) != 0) {
       return false;
     }
-    inner = Trim(inner.substr(sizeof(kKey) - 1));
+    inner = Trim(inner.substr(quoted.size()));
     if (inner.empty() || inner.front() != ':') {
       return false;
     }
-    return ParseNonNegativeInt(inner.substr(1), threshold_us);
+    return ParseNonNegativeInt(inner.substr(1), value);
   }
   const size_t equals = trimmed.find('=');
   if (equals != std::string::npos) {
-    if (Trim(trimmed.substr(0, equals)) != "threshold_us") {
+    if (Trim(trimmed.substr(0, equals)) != key) {
       return false;
     }
-    return ParseNonNegativeInt(trimmed.substr(equals + 1), threshold_us);
+    return ParseNonNegativeInt(trimmed.substr(equals + 1), value);
   }
-  return ParseNonNegativeInt(trimmed, threshold_us);
+  return ParseNonNegativeInt(trimmed, value);
+}
+
+bool ParseSlowlogBody(const std::string& body, int64_t* threshold_us) {
+  return ParseKeyedNonNegativeInt(body, "threshold_us", threshold_us);
 }
 
 }  // namespace
@@ -336,6 +341,7 @@ Status Cluster::Start() {
     fe_config.tracer = tracer_.get();
     fe_config.telemetry_interval_ms = config_.telemetry_interval_ms;
     fe_config.slo_rules = config_.slo_rules;
+    fe_config.idle_timeout_ms = config_.idle_timeout_ms;
     replica->frontend =
         std::make_unique<FrontEnd>(fe_config, replica->loops.get(), &store_.catalog());
     // Node teardown follows the front-ends' removal decisions (which may be
@@ -563,6 +569,35 @@ void Cluster::RegisterAdminRoutes() {
     tracer_->set_slow_threshold_us(threshold_us);
     LARD_LOG(WARNING) << "admin: slow-request threshold set to " << threshold_us << "us";
     return AdminResponse::Json("{\"slow_threshold_us\":" + std::to_string(threshold_us) + "}");
+  });
+
+  admin_->Route("POST", "/idletimeout", [this](const HttpRequest& request, const std::string&) {
+    // Runtime-tunable front-end keep-alive deadline. Body: empty or 0 to
+    // disable reaping, a bare millisecond count, "idle_timeout_ms=N" or
+    // {"idle_timeout_ms":N}. Applies on each connection's next arm/rearm.
+    int64_t timeout_ms = 0;
+    if (!ParseKeyedNonNegativeInt(request.body, "idle_timeout_ms", &timeout_ms)) {
+      return AdminResponse::Error(
+          400, "body must be empty, a millisecond count, or {\"idle_timeout_ms\":N}");
+    }
+    Fe(0)->set_idle_timeout_ms(timeout_ms);
+    // The whole tier switches; the setter is one relaxed atomic store, but
+    // routing through each replica's loop keeps the removed-replica check
+    // race-free (the /policy fan-out pattern).
+    for (size_t fe = 1; fe < fes_.size(); ++fe) {
+      if (Fe(fe) == nullptr) {
+        continue;
+      }
+      // lard-lint: allow(liveness-guard) Stop() joins every FE loop before ~Cluster,
+      // so a posted task can never outlive `this`.
+      FeLoop(fe)->Post([this, fe, timeout_ms]() {
+        if (FrontEnd* frontend = FeFromReplicaLoop(fe)) {
+          frontend->set_idle_timeout_ms(timeout_ms);
+        }
+      });
+    }
+    LARD_LOG(WARNING) << "admin: front-end idle timeout set to " << timeout_ms << "ms";
+    return AdminResponse::Json("{\"idle_timeout_ms\":" + std::to_string(timeout_ms) + "}");
   });
 
   admin_->Route("POST", "/loglevel", [](const HttpRequest& request, const std::string&) {
@@ -879,6 +914,10 @@ int Cluster::AddFrontEnd() {
       fe_config.tracer = tracer_.get();
       fe_config.telemetry_interval_ms = config_.telemetry_interval_ms;
       fe_config.slo_rules = config_.slo_rules;
+      // A replica added after a runtime POST /idletimeout joins with the
+      // tier's current deadline, not the boot-time one.
+      fe_config.idle_timeout_ms =
+          fes_.empty() || Fe(0) == nullptr ? config_.idle_timeout_ms : Fe(0)->idle_timeout_ms();
       replica->frontend =
           std::make_unique<FrontEnd>(fe_config, replica->loops.get(), &store_.catalog());
       replica->frontend->set_on_node_removed([this](NodeId node) { OnNodeRemoved(node); });

@@ -68,6 +68,12 @@ struct ClusterConfig {
   // 1.0 = paper-faithful disk latencies; tests compress (e.g. 0.02).
   double disk_time_scale = 1.0;
   int64_t idle_close_ms = 15000;
+  // Front-end keep-alive deadline: a shard-owned client connection (accepted
+  // but not yet handed off, or relayed) with no bytes in either direction for
+  // this long is reaped by its shard's timer wheel. Runtime-tunable via
+  // POST /idletimeout; <= 0 disables. The back-end companion for adopted
+  // connections is idle_close_ms above.
+  int64_t idle_timeout_ms = 30000;
   // Lateral/relay fetch deadline (wedge guard against silently dead peers).
   int64_t lateral_timeout_ms = 2000;
   uint16_t listen_port = 0;  // 0 = ephemeral

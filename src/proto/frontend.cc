@@ -39,13 +39,16 @@ enum FeSeries : int {
   kSPendingTasks,
   kSRssBytes,
   kSOpenFds,
+  kSIdleCloseRate,
+  kSConnsFeOwned,
+  kSConnsHandedOff,
 };
 
 constexpr const char* kFeSeriesNames[] = {
     "conn_rate",  "handoff_rate", "consult_rate",  "replay_rate",
     "giveup_rate", "reject_rate",  "open_conns",    "active_nodes",
     "load_skew",  "wakeup_p99_us", "pending_tasks", "rss_bytes",
-    "open_fds",
+    "open_fds",   "idle_close_rate", "conns_fe_owned", "conns_handed_off",
 };
 
 // Built-in watchdog rules (FrontEndConfig::slo_rules empty). Ceilings are
@@ -110,6 +113,7 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoopGroup* loops,
     : config_(config), loops_(loops), loop_(nullptr), catalog_(catalog),
       journal_(config.replay_journal) {
   LARD_CHECK(loops_ != nullptr);
+  idle_timeout_ms_.store(config_.idle_timeout_ms, std::memory_order_relaxed);
   loop_ = loops_->loop(0);
   LARD_CHECK(catalog_ != nullptr);
   LARD_CHECK(config_.mechanism == Mechanism::kSingleHandoff ||
@@ -172,6 +176,7 @@ FrontEnd::FrontEnd(const FrontEndConfig& config, EventLoopGroup* loops,
     metric_rehandoffs_ = config_.metrics->Counter("lard_fe_rehandoffs_total");
     metric_replays_ = config_.metrics->Counter("lard_fe_replays_total");
     metric_replay_giveups_ = config_.metrics->Counter("lard_fe_replay_giveups_total");
+    metric_idle_closes_ = config_.metrics->Counter("lard_fe_idle_closes_total");
     if (config_.num_frontends > 1) {
       // The unlabelled instruments stay cluster totals (every replica
       // increments them); the {fe="k"} twins attribute work to a replica.
@@ -597,6 +602,15 @@ void FrontEnd::TelemetryTick() {
   const ProcessStats stats = ReadProcessStats();
   telemetry_scratch_.emplace_back(kSRssBytes, stats.rss_bytes);
   telemetry_scratch_.emplace_back(kSOpenFds, stats.open_fds);
+  telemetry_scratch_.emplace_back(kSIdleCloseRate,
+                                  rate(rate_idle_closes_, counters_.idle_closes));
+  telemetry_scratch_.emplace_back(
+      kSConnsFeOwned,
+      static_cast<double>(conns_fe_owned_.load(std::memory_order_relaxed)));
+  telemetry_scratch_.emplace_back(
+      kSConnsHandedOff,
+      config_.mechanism == Mechanism::kRelayingFrontEnd ? 0.0
+                                                        : static_cast<double>(open_conns));
 
   telemetry_->Append(now, telemetry_scratch_);
 
@@ -951,6 +965,18 @@ DispatcherCounters FrontEnd::DispatcherCountersSnapshot(size_t* open_connections
   return dispatcher_->counters();
 }
 
+int64_t FrontEnd::open_conns_handed_off() const {
+  // Relaying keeps every dispatcher-tracked connection shard-owned; in the
+  // handoff mechanisms the dispatcher's open set IS the handed-off set (the
+  // shard-owned pre-handoff window registers only inside HandoffFlow's own
+  // lock scope, invisible here).
+  if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
+    return 0;
+  }
+  MutexLock lock(&state_mutex_);
+  return static_cast<int64_t>(dispatcher_->open_connections());
+}
+
 std::string FrontEnd::DescribeNodesJson() const {
   MutexLock lock(&state_mutex_);
   const int64_t now = NowMs();
@@ -1107,6 +1133,8 @@ void FrontEnd::AdoptClientFd(LoopShard* shard, UniqueFd fd) {
   RecordSpan(tracer_, shard->trace_ring, raw->id, 0, SpanKind::kAccept,
              static_cast<int32_t>(config_.fe_id), TraceNowUs(), 0, "fd=%d", raw_fd);
   shard->conns.emplace(raw->id, std::move(conn));
+  conns_fe_owned_.fetch_add(1, std::memory_order_relaxed);
+  ArmIdleTimer(raw);
 
   if (config_.mechanism == Mechanism::kRelayingFrontEnd) {
     raw->in_dispatcher = true;
@@ -1121,6 +1149,7 @@ void FrontEnd::OnClientData(FeConn* conn, std::string_view data) {
   if (conn->closed) {
     return;
   }
+  TouchIdleTimer(conn);
   conn->raw_bytes.append(data.data(), data.size());
   std::vector<HttpRequest> requests;
   if (conn->parser.Feed(data, &requests) == RequestParser::State::kError) {
@@ -1282,7 +1311,14 @@ void FrontEnd::HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests) {
 
   // Dispatcher state for this connection now lives on; our socket plumbing
   // does not. (Deferred: we are inside this Connection's on_data callback.)
+  // Idleness is the adopting back-end's concern from here (its idle_close_ms
+  // sweep), so the shard-side deadline stands down.
+  if (conn->idle_timer != 0) {
+    conn->shard->loop->CancelTimer(conn->idle_timer);
+    conn->idle_timer = 0;
+  }
   conn->closed = true;
+  conns_fe_owned_.fetch_sub(1, std::memory_order_relaxed);
   LoopShard* shard = conn->shard;
   shard->loop->Post(alive_.Guard([shard, id = conn->id]() { shard->conns.erase(id); }));
 
@@ -1356,9 +1392,12 @@ void FrontEnd::RelayFlow(FeConn* conn, std::vector<HttpRequest> requests) {
       }
       const std::vector<Assignment> assignments =
           dispatcher_->OnBatch(conn->id, PathsToTargets(paths));
+      if (!assignments.empty() && conn->relay_queue == nullptr) {
+        conn->relay_queue = std::make_unique<std::deque<std::pair<HttpRequest, NodeId>>>();
+      }
       for (size_t i = 0; i < assignments.size(); ++i) {
         LARD_CHECK(assignments[i].action == AssignmentAction::kRelay);
-        conn->relay_queue.emplace_back(std::move(requests[i]), assignments[i].node);
+        conn->relay_queue->emplace_back(std::move(requests[i]), assignments[i].node);
       }
     }
   }
@@ -1379,8 +1418,9 @@ void FrontEnd::ProcessNextRelay(LoopShard* shard, ConnId id) {
     return;
   }
   FeConn* conn = it->second.get();
-  if (conn->serving || conn->closed || conn->relay_queue.empty()) {
-    if (!conn->serving && !conn->closed && conn->relay_queue.empty()) {
+  const bool queue_empty = conn->relay_queue == nullptr || conn->relay_queue->empty();
+  if (conn->serving || conn->closed || queue_empty) {
+    if (!conn->serving && !conn->closed && queue_empty) {
       MutexLock lock(&state_mutex_);
       if (live_in_dispatcher_.count(id) != 0) {
         dispatcher_->OnConnectionIdle(id);
@@ -1388,8 +1428,8 @@ void FrontEnd::ProcessNextRelay(LoopShard* shard, ConnId id) {
     }
     return;
   }
-  auto [request, node] = std::move(conn->relay_queue.front());
-  conn->relay_queue.pop_front();
+  auto [request, node] = std::move(conn->relay_queue->front());
+  conn->relay_queue->pop_front();
   conn->serving = true;
   counters_.relayed_requests.fetch_add(1, std::memory_order_relaxed);
 
@@ -1421,6 +1461,7 @@ void FrontEnd::ProcessNextRelay(LoopShard* shard, ConnId id) {
         }
         conn->conn->Write(response.Serialize());
         conn->serving = false;
+        TouchIdleTimer(conn);  // bytes out: the keep-alive window restarts
         if (!keep_alive) {
           conn->conn->CloseAfterFlush();
           DestroyConn(conn);
@@ -1438,6 +1479,11 @@ void FrontEnd::DestroyConn(FeConn* conn) {
     return;
   }
   conn->closed = true;
+  conns_fe_owned_.fetch_sub(1, std::memory_order_relaxed);
+  if (conn->idle_timer != 0) {
+    conn->shard->loop->CancelTimer(conn->idle_timer);
+    conn->idle_timer = 0;
+  }
   if (conn->in_dispatcher) {
     MutexLock lock(&state_mutex_);
     if (live_in_dispatcher_.erase(conn->id) > 0) {
@@ -1446,6 +1492,68 @@ void FrontEnd::DestroyConn(FeConn* conn) {
   }
   LoopShard* shard = conn->shard;
   shard->loop->Post(alive_.Guard([shard, id = conn->id]() { shard->conns.erase(id); }));
+}
+
+void FrontEnd::ArmIdleTimer(FeConn* conn) {
+  conn->shard->loop->AssertInLoopThread();
+  const int64_t timeout = idle_timeout_ms();
+  if (timeout <= 0) {
+    return;  // reaper disabled
+  }
+  conn->last_activity_ms = NowMs();
+  LoopShard* shard = conn->shard;
+  conn->idle_timer = shard->loop->ScheduleAfterMs(
+      timeout, alive_.Guard([this, shard, id = conn->id]() { OnIdleDeadline(shard, id); }));
+}
+
+void FrontEnd::TouchIdleTimer(FeConn* conn) {
+  conn->last_activity_ms = NowMs();
+  const int64_t timeout = idle_timeout_ms();
+  if (timeout <= 0) {
+    return;  // a still-armed timer no-ops at its deadline
+  }
+  if (conn->idle_timer != 0) {
+    // O(1) when the timer is wheel-resident; a heap-resident deadline keeps
+    // its slot and OnIdleDeadline re-checks last_activity_ms instead.
+    (void)conn->shard->loop->RearmTimerMs(conn->idle_timer, timeout);
+    return;
+  }
+  ArmIdleTimer(conn);  // reaper was off (or the timer already fired)
+}
+
+void FrontEnd::OnIdleDeadline(LoopShard* shard, ConnId id) {
+  shard->loop->AssertInLoopThread();
+  auto it = shard->conns.find(id);
+  if (it == shard->conns.end()) {
+    return;
+  }
+  FeConn* conn = it->second.get();
+  conn->idle_timer = 0;  // this firing consumed the id
+  if (conn->closed) {
+    return;
+  }
+  const int64_t timeout = idle_timeout_ms();
+  if (timeout <= 0) {
+    return;  // reaping turned off while armed
+  }
+  const int64_t idle_for = NowMs() - conn->last_activity_ms;
+  const int64_t remaining = conn->serving ? timeout : timeout - idle_for;
+  if (remaining > 0) {
+    // Activity since the arm (a heap-resident timer skips the O(1) rearm),
+    // or a relayed response still in flight: push the deadline out.
+    conn->idle_timer = shard->loop->ScheduleAfterMs(
+        remaining, alive_.Guard([this, shard, id]() { OnIdleDeadline(shard, id); }));
+    return;
+  }
+  counters_.idle_closes.fetch_add(1, std::memory_order_relaxed);
+  if (metric_idle_closes_ != nullptr) {
+    metric_idle_closes_->Increment();
+  }
+  RecordSpan(tracer_, shard->trace_ring, id, 8, SpanKind::kClose,
+             static_cast<int32_t>(config_.fe_id), TraceNowUs(), 0, "idle after=%lldms",
+             static_cast<long long>(idle_for));
+  conn->conn->CloseAfterFlush();
+  DestroyConn(conn);
 }
 
 void FrontEnd::RunOnLoop0(std::function<void()> fn) {

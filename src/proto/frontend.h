@@ -112,6 +112,14 @@ struct FrontEndConfig {
   // its connections back (re-handoff); after this grace period whatever is
   // left is hard-removed. <= 0 removes immediately (old drop semantics).
   int64_t retire_grace_ms = 1000;
+  // Keep-alive bound for front-end-owned client connections: a connection
+  // with no bytes in or out for this long is closed and its shard state
+  // reaped (the P-HTTP idle reaper; the paper's back-ends use the companion
+  // BackendConfig::idle_close_ms for adopted connections). The deadline is a
+  // per-connection timer-wheel entry rearmed on every read/write, so the
+  // cost is O(1) per event at any connection count. Runtime-tunable via
+  // POST /idletimeout. <= 0 disables.
+  int64_t idle_timeout_ms = 30000;
   // Crash-transparent request replay: the front-end retains a dup of every
   // handed-off client socket plus a bounded journal of unacknowledged
   // requests, and when a back-end dies *without* handing its connections
@@ -155,6 +163,7 @@ struct FrontEndCounters {
   std::atomic<uint64_t> heartbeats{0};
   std::atomic<uint64_t> auto_removals{0};  // nodes declared dead by health tracking
   std::atomic<uint64_t> rejected_no_backend{0};  // 503s with zero assignable nodes
+  std::atomic<uint64_t> idle_closes{0};  // FE-owned conns reaped at the idle deadline
 };
 
 class FrontEnd {
@@ -239,6 +248,19 @@ class FrontEnd {
 
   uint16_t port() const { return port_.load(std::memory_order_acquire); }
   const FrontEndCounters& counters() const { return counters_; }
+
+  // Runtime idle-deadline tuning (POST /idletimeout; thread-safe). New
+  // deadlines apply to the next arm/rearm of each connection's timer; <= 0
+  // stops reaping (already-armed timers fire once and no-op).
+  void set_idle_timeout_ms(int64_t ms) { idle_timeout_ms_.store(ms, std::memory_order_relaxed); }
+  int64_t idle_timeout_ms() const { return idle_timeout_ms_.load(std::memory_order_relaxed); }
+  // Per-state open-connection gauges (also telemetry series): connections
+  // owned by this front-end's shards vs. handed off (dispatcher-tracked but
+  // living at a back-end, journal state still held here). Both thread-safe;
+  // the handed-off count derives from the dispatcher so every control-plane
+  // path (handback, failure replay, giveup) is covered by construction.
+  int64_t open_conns_fe_owned() const { return conns_fe_owned_.load(std::memory_order_relaxed); }
+  int64_t open_conns_handed_off() const LARD_EXCLUDES(state_mutex_);
   // Lock-free view of the dispatcher for loop-0/test callers (via
   // InspectReplica, which serializes on this front-end's control-plane
   // loop); cross-thread readers must use DispatcherCountersSnapshot().
@@ -270,15 +292,27 @@ class FrontEnd {
  private:
   struct LoopShard;
 
+  // Hot per-connection struct: at 100k+ connections per process its size is
+  // the front-end's memory floor, so cold state is packed or heap-deferred.
+  // The relay queue (relaying mode only — the handoff mechanisms never queue
+  // here) is lazily allocated: a libstdc++ deque is ~80 bytes inline plus a
+  // ~512-byte map block the moment it constructs, which would dwarf the rest
+  // of the struct for every handed-off connection.
   struct FeConn {
     ConnId id = 0;
     LoopShard* shard = nullptr;  // owning loop; all callbacks fire there
     std::unique_ptr<Connection> conn;
     RequestParser parser;
     std::string raw_bytes;  // everything received (shipped on handoff)
-    // Relaying mode state:
+    // Idle-deadline wheel timer on the owning loop (0 = none armed):
+    // rearmed on every byte in/out, fired = reap the connection. Deadlines
+    // past the wheel horizon fall back to a lazy check: the timer fires,
+    // compares last_activity_ms, and re-arms for the remainder.
+    EventLoop::TimerId idle_timer = 0;
+    int64_t last_activity_ms = 0;
+    // Relaying mode queue of parsed-but-unserved requests (see above).
+    std::unique_ptr<std::deque<std::pair<HttpRequest, NodeId>>> relay_queue;
     bool in_dispatcher = false;
-    std::deque<std::pair<HttpRequest, NodeId>> relay_queue;
     bool serving = false;
     bool closed = false;
   };
@@ -338,6 +372,16 @@ class FrontEnd {
   void OnClientData(FeConn* conn, std::string_view data);
   void OnClientClosed(FeConn* conn);
   void DestroyConn(FeConn* conn);
+
+  // --- idle-deadline reaper (each call on the connection's shard loop) ---
+
+  // Arms (or re-arms after a config change) `conn`'s idle timer.
+  void ArmIdleTimer(FeConn* conn);
+  // Bytes moved in either direction: push the deadline out. The wheel rearm
+  // is O(1); a dead/fired timer id falls back to a fresh arm.
+  void TouchIdleTimer(FeConn* conn);
+  // The deadline fired with no intervening activity: close + reap.
+  void OnIdleDeadline(LoopShard* shard, ConnId id);
 
   void HandoffFlow(FeConn* conn, std::vector<HttpRequest> requests);
   // Loop 0. Re-checks the target's control session (the shard's dispatcher
@@ -510,6 +554,7 @@ class FrontEnd {
   CounterRateSampler rate_replays_;
   CounterRateSampler rate_giveups_;
   CounterRateSampler rate_rejected_;
+  CounterRateSampler rate_idle_closes_;
   std::vector<HistogramWindowSampler> wakeup_windows_;  // one per loop
   std::vector<std::pair<int, double>> telemetry_scratch_;
   int64_t telemetry_last_ms_ = 0;
@@ -519,6 +564,14 @@ class FrontEnd {
 
   FrontEndCounters counters_;
   std::atomic<uint64_t> pinning_violations_{0};
+  // Runtime-tunable idle deadline (seeded from config_.idle_timeout_ms);
+  // read on every arm/rearm from the shard loops, written by the admin path.
+  std::atomic<int64_t> idle_timeout_ms_{0};
+  // Shard-owned open connections (accepted, pre-handoff or relaying).
+  // Atomic — bumped on the shard loops, read by telemetry and tests. The
+  // handed-off twin is derived from the dispatcher (open_conns_handed_off).
+  std::atomic<int64_t> conns_fe_owned_{0};
+  MetricCounter* metric_idle_closes_ = nullptr;
   MetricGauge* metric_active_nodes_ = nullptr;
   MetricCounter* metric_auto_removals_ = nullptr;
   MetricCounter* metric_heartbeats_ = nullptr;

@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <random>
 #include <thread>
 
 #include "src/http/response_parser.h"
@@ -34,7 +36,25 @@ struct WorkerStats {
   StreamingStats batch_latency_ms;
   PercentileTracker batch_latency_p;
   std::vector<LatencySample> samples;  // only when config.record_latencies
+  StreamingStats start_lag_ms;         // open-loop mode: schedule slippage
+  double max_start_lag_ms = 0.0;
+  uint64_t late_sessions = 0;
 };
+
+// The open-loop arrival schedule: cumulative Poisson instants (exponential
+// inter-arrivals at `rps`), fixed before any worker starts so a slow cluster
+// cannot stretch it (that is the open- vs closed-loop distinction).
+std::vector<double> BuildArrivalSchedule(size_t count, double rps, uint64_t seed) {
+  std::vector<double> arrivals_ms(count, 0.0);
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap_ms(rps / 1000.0);
+  double t = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    t += gap_ms(rng);
+    arrivals_ms[i] = t;
+  }
+  return arrivals_ms;
+}
 
 // Blocking read of `count` pipelined responses.
 bool ReadResponses(int fd, size_t count, ResponseParser* parser,
@@ -231,6 +251,11 @@ LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace) {
 
   std::atomic<size_t> next_session{0};
   std::atomic<bool> time_up{false};
+  const bool open_loop = config.open_loop_rps > 0.0;
+  const std::vector<double> arrivals_ms =
+      open_loop ? BuildArrivalSchedule(session_limit, config.open_loop_rps, config.open_loop_seed)
+                : std::vector<double>();
+  const auto open_loop_epoch = std::chrono::steady_clock::now();
   const int64_t start_ms = NowMs();
 
   Mutex merge_mutex;
@@ -246,6 +271,21 @@ LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace) {
       if (index >= session_limit) {
         break;
       }
+      if (open_loop) {
+        const auto due = open_loop_epoch + std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(arrivals_ms[index]));
+        // lard-lint: allow(blocking-call) deliberate pacing on a client thread.
+        std::this_thread::sleep_until(due);
+        const double lag_ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - due)
+                .count();
+        stats.start_lag_ms.Add(lag_ms);
+        stats.max_start_lag_ms = std::max(stats.max_start_lag_ms, lag_ms);
+        if (lag_ms > 1.0) {
+          ++stats.late_sessions;
+        }
+      }
       worker.RunSession(trace.sessions()[index], index, &stats);
       if (config.time_limit_ms > 0 && NowMs() - start_ms > config.time_limit_ms) {
         time_up.store(true, std::memory_order_relaxed);
@@ -259,6 +299,9 @@ LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace) {
     merged.transport_errors += stats.transport_errors;
     merged.bytes_received += stats.bytes_received;
     merged_latency.Merge(stats.batch_latency_ms);
+    merged.start_lag_ms.Merge(stats.start_lag_ms);
+    merged.max_start_lag_ms = std::max(merged.max_start_lag_ms, stats.max_start_lag_ms);
+    merged.late_sessions += stats.late_sessions;
     merged.samples.insert(merged.samples.end(), stats.samples.begin(), stats.samples.end());
     if (stats.batch_latency_p.count() > 0) {
       // Cross-worker p95 is summarized as the median of per-worker p95s
@@ -293,6 +336,12 @@ LoadResult RunLoad(const LoadGeneratorConfig& config, const Trace& trace) {
   result.mean_batch_latency_ms = merged_latency.mean();
   result.p95_batch_latency_ms = merged_p.Percentile(50.0);  // median of workers' p95s
   result.latency_samples = std::move(merged.samples);
+  if (open_loop) {
+    result.offered_rps = config.open_loop_rps;
+    result.mean_start_lag_ms = merged.start_lag_ms.mean();
+    result.max_start_lag_ms = merged.max_start_lag_ms;
+    result.late_sessions = merged.late_sessions;
+  }
   return result;
 }
 

@@ -41,6 +41,16 @@ struct LoadGeneratorConfig {
   // drain/migration storms are judged by per-request p50/p95/p99 over time,
   // not by the mean). Off by default — samples cost memory on long runs.
   bool record_latencies = false;
+  // Open-loop arrival mode (> 0): sessions start at Poisson arrival instants
+  // at this aggregate rate instead of as fast as the cluster responds. The
+  // whole arrival schedule is precomputed from open_loop_seed; workers sleep
+  // until each instant and record how late they actually started (the
+  // coordinated-omission guard: a saturated cluster shows up as growing
+  // start lag and rising tail latency, not as a silently slowed schedule).
+  // The closed-loop knobs (num_clients, max_sessions, time_limit_ms) keep
+  // their meanings.
+  double open_loop_rps = 0.0;
+  uint64_t open_loop_seed = 1;
 };
 
 // One completed batch: when it finished (offset from load start), how long
@@ -67,6 +77,13 @@ struct LoadResult {
   // Filled when config.record_latencies: every batch completion across all
   // workers, unordered (callers window/sort as needed).
   std::vector<LatencySample> latency_samples;
+  // Open-loop mode only (config.open_loop_rps > 0). Start lag is how far
+  // past its scheduled arrival instant each session actually began; sustained
+  // growth means the offered rate exceeds what generator + cluster sustain.
+  double offered_rps = 0.0;
+  double mean_start_lag_ms = 0.0;
+  double max_start_lag_ms = 0.0;
+  uint64_t late_sessions = 0;  // began > 1ms behind schedule
 };
 
 // Replays `trace` against the cluster at 127.0.0.1:config.port and blocks

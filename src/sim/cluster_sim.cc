@@ -110,6 +110,11 @@ struct ClusterSim::SessionRun {
   // connection migrates — the dispatcher reassigns it to a surviving node,
   // mirroring the prototype's giveback/re-handoff.
   bool drain_pending = false;
+  // The connection was reaped at the keep-alive deadline mid-think
+  // (config.idle_timeout_us). Distinguishes the reopen from a failover:
+  // the client reconnecting after an idle close is routine P-HTTP churn,
+  // not a recovery event.
+  bool idle_closed = false;
 };
 
 ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : config_(config) {
@@ -201,6 +206,11 @@ ClusterSim::ClusterSim(const ClusterSimConfig& config, const Trace* trace) : con
     telemetry_->AddSeries("cache_hit_ratio");
     telemetry_->AddSeries("batch_latency_mean_us");
     telemetry_->AddSeries("active_sessions");
+    if (config_.idle_timeout_us > 0) {
+      // Registered only when the knob is on so runs with it off stay
+      // byte-identical to pre-knob outputs.
+      telemetry_->AddSeries("idle_close_rate");
+    }
   }
 }
 
@@ -433,6 +443,10 @@ void ClusterSim::TelemetryTick() {
     values.emplace_back(3, tick_latency_sum / static_cast<double>(tick_batches));
   }
   values.emplace_back(4, static_cast<double>(active_runs_.size()));
+  if (config_.idle_timeout_us > 0) {
+    values.emplace_back(5, static_cast<double>(idle_closes_ - telemetry_prev_idle_closes_) /
+                               dt_seconds);
+  }
   telemetry_->Append(queue_.now_us() / 1000, values);
 
   telemetry_prev_requests_ = total_requests_;
@@ -441,6 +455,7 @@ void ClusterSim::TelemetryTick() {
   telemetry_prev_served_ = served;
   telemetry_prev_latency_n_ = batch_latency_us_.count();
   telemetry_prev_latency_sum_ = batch_latency_us_.sum();
+  telemetry_prev_idle_closes_ = idle_closes_;
 
   if (sessions_done_ < trace_->sessions().size()) {
     queue_.ScheduleAfter(static_cast<double>(config_.telemetry_interval_us),
@@ -582,6 +597,13 @@ void ClusterSim::ReopenIfLost(SessionRun* run) {
   run->drain_pending = false;  // the fresh connection is placed anew anyway
   run->conn = next_conn_id_++;
   DispatcherFor(run).OnConnectionOpen(run->conn);
+  if (run->idle_closed) {
+    // The client coming back after an idle reap is routine P-HTTP churn,
+    // not a recovery event — it must never inflate the failover count.
+    run->idle_closed = false;
+    ++idle_reopens_;
+    return;
+  }
   ++failovers_;
   if (metric_failovers_ != nullptr) {
     metric_failovers_->Increment();
@@ -823,6 +845,31 @@ void ClusterSim::OnResponseDone(SessionRun* run) {
     const double think_us = static_cast<double>(std::max<int64_t>(next_offset - prev_offset, 0));
     if (think_us > 0.0) {
       DispatcherFor(run).OnConnectionIdle(run->conn);
+      if (config_.idle_timeout_us > 0 &&
+          think_us > static_cast<double>(config_.idle_timeout_us)) {
+        // The think gap outlives the keep-alive deadline: the server reaps
+        // the connection at exactly think-start + idle_timeout_us. The
+        // guards make the event a no-op if the run finished, reconnected,
+        // or lost the connection to a node failure first.
+        queue_.ScheduleAfter(static_cast<double>(config_.idle_timeout_us),
+                             [this, run_id = run->id, conn = run->conn]() {
+                               SessionRun* idle_run = FindRun(run_id);
+                               if (idle_run == nullptr || idle_run->conn != conn ||
+                                   idle_run->conn_lost) {
+                                 return;
+                               }
+                               RecordSpan(tracer_, trace_ring_, conn, 4, SpanKind::kClose,
+                                          DispatcherFor(idle_run).HandlingNode(conn),
+                                          static_cast<int64_t>(queue_.now_us()), 0,
+                                          "reason=idle");
+                               DispatcherFor(idle_run).OnConnectionClose(conn);
+                               fe_accounted_us_[static_cast<size_t>(idle_run->fe)] +=
+                                   config_.fe_costs.conn_close_us;
+                               ++idle_closes_;
+                               idle_run->conn_lost = true;
+                               idle_run->idle_closed = true;
+                             });
+      }
       queue_.ScheduleAfter(think_us, [this, run]() { ProcessBatch(run); });
       return;
     }
@@ -936,6 +983,8 @@ ClusterSimMetrics ClusterSim::Run() {
   metrics.nodes_drained = nodes_drained_;
   metrics.failovers = failovers_;
   metrics.rehandoffs = rehandoffs_;
+  metrics.idle_closes = idle_closes_;
+  metrics.idle_reopens = idle_reopens_;
   metrics.rejected_membership_events = rejected_membership_events_;
   metrics.telemetry_samples = telemetry_ != nullptr ? telemetry_->num_samples() : 0;
   metrics.replayed_connections = replayed_connections_;

@@ -139,6 +139,15 @@ struct ClusterSimConfig {
   // series (see ClusterSim::TelemetryJson). <= 0 (default) disables it.
   SimTimeUs telemetry_interval_us = 0;
 
+  // Keep-alive idle deadline, the deterministic twin of
+  // ClusterConfig::idle_timeout_ms: with use_think_times on, a session whose
+  // think gap exceeds this is closed at exactly think-start + idle_timeout_us
+  // (virtual time) and reopens a fresh connection when the client returns —
+  // counted in `idle_closes`/`idle_reopens`, never in `failovers`. <= 0
+  // (default) disables reaping, leaving every output byte-identical to
+  // before the knob existed.
+  SimTimeUs idle_timeout_us = 0;
+
   // Optional shared registry (lard_sim_* instruments + dispatcher gauges).
   MetricsRegistry* metrics = nullptr;
   // Optional span recorder (ring "sim"): the simulator emits the same span
@@ -183,6 +192,9 @@ struct ClusterSimMetrics {
   uint64_t nodes_drained = 0;
   uint64_t failovers = 0;    // connections re-opened after their node died
   uint64_t rehandoffs = 0;   // connections migrated off a draining node
+  // Keep-alive reaping (config.idle_timeout_us > 0 only; zero otherwise).
+  uint64_t idle_closes = 0;   // connections closed at the idle deadline
+  uint64_t idle_reopens = 0;  // sessions that continued on a fresh connection
   // Failure replay (config.failure_replay only; all zero otherwise).
   uint64_t replayed_connections = 0;  // orphans continued on a survivor
   uint64_t replayed_requests = 0;     // idempotent in-flight requests re-issued
@@ -331,6 +343,7 @@ class ClusterSim {
   uint64_t telemetry_prev_served_ = 0;
   double telemetry_prev_latency_sum_ = 0.0;
   int64_t telemetry_prev_latency_n_ = 0;
+  uint64_t telemetry_prev_idle_closes_ = 0;
 
   // Control plane.
   uint64_t nodes_joined_ = 0;
@@ -338,6 +351,9 @@ class ClusterSim {
   uint64_t nodes_drained_ = 0;
   uint64_t failovers_ = 0;
   uint64_t rehandoffs_ = 0;
+  // Keep-alive reaping (config.idle_timeout_us > 0 only).
+  uint64_t idle_closes_ = 0;
+  uint64_t idle_reopens_ = 0;
   uint64_t rejected_membership_events_ = 0;
   // Failure replay.
   std::unique_ptr<Rng> replay_rng_;  // per-request idempotency draws

@@ -83,6 +83,8 @@ const char* SpanKindName(SpanKind kind) {
       return "reassign";
     case SpanKind::kGossip:
       return "gossip";
+    case SpanKind::kClose:
+      return "close";
   }
   return "unknown";
 }

@@ -55,6 +55,7 @@ enum class SpanKind : uint8_t {
   kReplay,        // orphaned connection replayed after a crash
   kReassign,      // connection reassigned (detail: reason)
   kGossip,        // one mesh gossip round
+  kClose,         // connection reaped (detail: reason, e.g. idle deadline)
 };
 
 const char* SpanKindName(SpanKind kind);

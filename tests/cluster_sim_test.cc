@@ -186,6 +186,40 @@ TEST(ClusterSimTest, ThinkTimesStretchSimulatedTime) {
   EXPECT_GT(relaxed.Run().sim_seconds, eager.Run().sim_seconds);
 }
 
+TEST(ClusterSimTest, IdleTimeoutReapsAndReopensDeterministically) {
+  const Trace trace = TestTrace();
+  ClusterSimConfig config = BaseConfig(3, Policy::kExtendedLard, Mechanism::kBackEndForwarding);
+  config.use_think_times = true;
+  // Well under the trace's inter-page think gaps (exponential, mean in
+  // seconds) but above the 50ms parse delays: only genuine idle waits reap.
+  config.idle_timeout_us = 200 * 1000;
+  config.telemetry_interval_us = 1000 * 1000;
+
+  std::string telemetry[2];
+  for (int run = 0; run < 2; ++run) {
+    ClusterSim sim(config, &trace);
+    const ClusterSimMetrics metrics = sim.Run();
+    EXPECT_EQ(metrics.total_requests, trace.total_requests());
+    EXPECT_GT(metrics.idle_closes, 0u);
+    // Every reaped session that had batches left came back on a fresh
+    // connection, and none of that churn registered as a failover.
+    EXPECT_GT(metrics.idle_reopens, 0u);
+    EXPECT_LE(metrics.idle_reopens, metrics.idle_closes);
+    EXPECT_EQ(metrics.failovers, 0u);
+    telemetry[run] = sim.TelemetryJson();
+    EXPECT_NE(telemetry[run].find("idle_close_rate"), std::string::npos);
+  }
+  EXPECT_EQ(telemetry[0], telemetry[1]) << "idle-close events must be run-to-run deterministic";
+
+  // Knob off: no reaping, and the telemetry schema is untouched.
+  config.idle_timeout_us = 0;
+  ClusterSim off(config, &trace);
+  const ClusterSimMetrics off_metrics = off.Run();
+  EXPECT_EQ(off_metrics.idle_closes, 0u);
+  EXPECT_EQ(off_metrics.idle_reopens, 0u);
+  EXPECT_EQ(off.TelemetryJson().find("idle_close_rate"), std::string::npos);
+}
+
 TEST(ClusterSimTest, SingleNodeDegenerate) {
   const Trace trace = TestTrace();
   for (const Policy policy : {Policy::kWrr, Policy::kLard, Policy::kExtendedLard}) {

@@ -1,0 +1,239 @@
+// TimerWheel unit tests: slot rounding, cross-rotation residency, cancel and
+// rearm churn (the O(1) contract's correctness side) and monotonic-clock
+// jumps. The wheel takes explicit `now` values, so everything here runs in
+// virtual time — no sleeps. The EventLoop-facade tests at the bottom cover
+// the wheel/heap routing and the tombstone purge.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/net/event_loop.h"
+#include "src/net/timer_wheel.h"
+
+namespace lard {
+namespace {
+
+TEST(TimerWheelTest, FiresAtQuantizedDeadlineNeverEarly) {
+  TimerWheel wheel(/*tick_ms=*/8, /*num_slots=*/64);
+  int fired = 0;
+  wheel.Arm(1, /*deadline_ms=*/1000, [&]() { ++fired; });
+  // 1000 rounds up to tick 125 (= 1000ms exactly); nothing before then.
+  EXPECT_EQ(wheel.Advance(999), 0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.Advance(1000), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.size(), 0u);
+
+  // A deadline between ticks rounds *up*: 1001 → tick 126 → fires at 1008.
+  wheel.Arm(2, 1001, [&]() { ++fired; });
+  EXPECT_EQ(wheel.Advance(1007), 0);
+  EXPECT_EQ(wheel.Advance(1008), 1);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerWheelTest, ZeroDelayFiresOnNextTick) {
+  TimerWheel wheel(8, 64);
+  bool fired = false;
+  ASSERT_EQ(wheel.Advance(800), 0);  // settle the cursor at tick 100
+  wheel.Arm(1, 800, [&]() { fired = true; });  // deadline == now
+  EXPECT_EQ(wheel.Advance(808), 1);  // next tick boundary
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheelTest, SameTickTimersFireInArmingOrder) {
+  // Timers quantized into one tick keep FIFO scheduling order — DiskGate's
+  // FCFS contract rides on this (sub-tick completion times share a slot).
+  TimerWheel wheel(8, 64);
+  std::vector<int> order;
+  ASSERT_EQ(wheel.Advance(800), 0);
+  for (int i = 1; i <= 4; ++i) {
+    wheel.Arm(static_cast<TimerWheel::TimerId>(i), 800 + i, [&order, i]() { order.push_back(i); });
+  }
+  EXPECT_EQ(wheel.Advance(808), 4);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(TimerWheelTest, LaterRotationResidentSurvivesSlotVisit) {
+  // Two entries hash to the same slot, one rotation apart: the near one
+  // fires, the far one stays through the slot visit (the hashed-wheel
+  // cascade) and fires a rotation later.
+  TimerWheel wheel(8, 64);  // rotation = 512ms
+  std::vector<int> order;
+  ASSERT_EQ(wheel.Advance(8), 0);
+  wheel.Arm(1, 16, [&]() { order.push_back(1); });
+  wheel.Arm(2, 16 + 512, [&]() { order.push_back(2); });  // same slot, next turn
+  EXPECT_EQ(wheel.Advance(16), 1);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(wheel.Advance(527), 0);  // a full sweep minus one tick: still resident
+  EXPECT_EQ(wheel.Advance(528), 1);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(TimerWheelTest, CancelRearmChurnLeavesNothingBehind) {
+  TimerWheel wheel(8, 512);
+  int fired = 0;
+  // The idle-timer pattern at scale: arm once, rearm on every "request",
+  // cancel half the population, let the rest expire. No tombstones possible:
+  // size() tracks live entries exactly.
+  const int kConns = 10000;
+  for (int i = 0; i < kConns; ++i) {
+    wheel.Arm(static_cast<TimerWheel::TimerId>(i + 1), 100, [&]() { ++fired; });
+  }
+  EXPECT_EQ(wheel.size(), static_cast<size_t>(kConns));
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < kConns; ++i) {
+      ASSERT_TRUE(wheel.Rearm(static_cast<TimerWheel::TimerId>(i + 1), 200 + round));
+    }
+  }
+  EXPECT_EQ(wheel.size(), static_cast<size_t>(kConns));
+  for (int i = 0; i < kConns; i += 2) {
+    ASSERT_TRUE(wheel.Cancel(static_cast<TimerWheel::TimerId>(i + 1)));
+  }
+  EXPECT_EQ(wheel.size(), static_cast<size_t>(kConns) / 2);
+  EXPECT_EQ(wheel.Advance(10000), kConns / 2);
+  EXPECT_EQ(fired, kConns / 2);
+  EXPECT_EQ(wheel.size(), 0u);
+  EXPECT_FALSE(wheel.Cancel(1));   // double-cancel reports dead
+  EXPECT_FALSE(wheel.Rearm(2, 1)); // rearm after expiry reports dead
+}
+
+TEST(TimerWheelTest, ForwardClockJumpFiresEverythingDueOnce) {
+  TimerWheel wheel(8, 64);
+  int fired = 0;
+  ASSERT_EQ(wheel.Advance(8), 0);
+  for (int i = 0; i < 100; ++i) {
+    wheel.Arm(static_cast<TimerWheel::TimerId>(i + 1), 16 + i * 8, [&]() { ++fired; });
+  }
+  wheel.Arm(1000, 1 << 20, [&]() { ++fired; });  // far beyond the jump
+  // Suspend/resume: now leaps many rotations forward. One bounded sweep
+  // fires everything due exactly once; the far timer stays.
+  EXPECT_EQ(wheel.Advance(100000), 100);
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(wheel.Advance(100001), 0);  // no double fire after the jump
+}
+
+TEST(TimerWheelTest, BackwardClockJumpIsNoOp) {
+  TimerWheel wheel(8, 64);
+  int fired = 0;
+  ASSERT_EQ(wheel.Advance(1000), 0);
+  wheel.Arm(1, 1008, [&]() { ++fired; });
+  EXPECT_EQ(wheel.Advance(500), 0);  // clock went backwards: hold position
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.Advance(1008), 1);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, CallbackCanCancelAndRearmSiblingsInSameBatch) {
+  TimerWheel wheel(8, 64);
+  std::vector<int> order;
+  ASSERT_EQ(wheel.Advance(8), 0);
+  // All three are due in the same batch, and #1 fires first (same-tick
+  // entries fire in arming order). It cancels #2 and rearms #3; both must
+  // take effect even though the trio was collected together.
+  wheel.Arm(1, 16, [&]() {
+    order.push_back(1);
+    EXPECT_TRUE(wheel.Cancel(2));
+    EXPECT_TRUE(wheel.Rearm(3, 100));
+  });
+  wheel.Arm(2, 16, [&]() { order.push_back(2); });
+  wheel.Arm(3, 16, [&]() { order.push_back(3); });
+  EXPECT_EQ(wheel.Advance(16), 1);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(wheel.size(), 1u);  // #3 lives on at its new deadline
+  EXPECT_EQ(wheel.Advance(104), 1);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[1], 3);
+}
+
+TEST(TimerWheelTest, MsUntilNextBoundsTheSleep) {
+  TimerWheel wheel(8, 64);
+  EXPECT_EQ(wheel.MsUntilNext(0), -1);  // empty: no wheel-imposed wakeup
+  ASSERT_EQ(wheel.Advance(800), 0);
+  wheel.Arm(1, 900, []() {});
+  const int64_t until = wheel.MsUntilNext(800);
+  EXPECT_GE(until, 0);
+  // Sleeps at most to the quantized deadline (900 rounded up one tick).
+  EXPECT_LE(until, 900 - 800 + 8);
+}
+
+// --- EventLoop facade: wheel routing, rearm, and the tombstone purge. ---
+
+class LoopTimerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    thread_ = std::thread([this]() { loop_.Run(); });
+  }
+  void TearDown() override {
+    loop_.Stop();
+    thread_.join();
+  }
+  void RunOnLoop(std::function<void()> fn) {
+    std::promise<void> done;
+    loop_.Post([&]() {
+      fn();
+      done.set_value();
+    });
+    done.get_future().wait();
+  }
+  EventLoop loop_;
+  std::thread thread_;
+};
+
+TEST_F(LoopTimerTest, ShortTimersFireAndRearmExtendsDeadline) {
+  std::promise<void> fired;
+  EventLoop::TimerId id = 0;
+  const auto armed_at = std::chrono::steady_clock::now();
+  RunOnLoop([&]() {
+    id = loop_.ScheduleAfterMs(40, [&]() { fired.set_value(); });
+    // Push the deadline out before it can fire: the O(1) rearm path.
+    ASSERT_TRUE(loop_.RearmTimerMs(id, 120));
+  });
+  fired.get_future().wait();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - armed_at);
+  EXPECT_GE(elapsed.count(), 100) << "rearm did not extend the deadline";
+}
+
+TEST_F(LoopTimerTest, CancelHeavyChurnPurgesHeapTombstones) {
+  // Long-deadline timers take the heap path; cancelling nearly all of them
+  // must not leave O(cancelled) tombstones behind (the pre-wheel bug).
+  RunOnLoop([&]() {
+    std::vector<EventLoop::TimerId> ids;
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 100; ++i) {
+        ids.push_back(loop_.ScheduleAfterMs(3'600'000, []() { ADD_FAILURE(); }));
+      }
+      for (EventLoop::TimerId id : ids) {
+        loop_.CancelTimer(id);
+      }
+      ids.clear();
+    }
+    EXPECT_EQ(loop_.pending_timers(), 0u);
+    // 5000 cancels must not leave 5000 tombstones: the purge keeps the heap
+    // proportional to the live population (here, none).
+    EXPECT_LE(loop_.timer_heap_size(), 128u);
+  });
+}
+
+TEST_F(LoopTimerTest, RearmRefusesHeapAndDeadTimers) {
+  RunOnLoop([&]() {
+    const EventLoop::TimerId heap_timer = loop_.ScheduleAfterMs(3'600'000, []() {});
+    EXPECT_FALSE(loop_.RearmTimerMs(heap_timer, 50));  // heap-resident: no rearm
+    loop_.CancelTimer(heap_timer);
+    const EventLoop::TimerId wheel_timer = loop_.ScheduleAfterMs(50, []() {});
+    loop_.CancelTimer(wheel_timer);
+    EXPECT_FALSE(loop_.RearmTimerMs(wheel_timer, 50));  // dead: no rearm
+  });
+}
+
+}  // namespace
+}  // namespace lard
